@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction repository.
+
+PY ?= python
+
+.PHONY: install test bench experiments examples clean loc
+
+install:
+	pip install -e . || $(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Full-scale experiment sweep (writes CSVs under results/).
+experiments:
+	mkdir -p results
+	$(PY) -m repro.experiments.cli all --repetitions 10 --csv results/sweep
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/shanghai_campaign.py
+	$(PY) examples/distributed_protocol.py
+	$(PY) examples/preference_tuning.py
+	$(PY) examples/real_trace_pipeline.py
+
+loc:
+	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

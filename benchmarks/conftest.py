@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper table/figure has one bench module.  Each bench runs a reduced-
+scale version of the corresponding experiment (the full-scale protocol is
+``repro-experiments <key> --repetitions 500``), prints the rows/series the
+paper reports, writes them under ``benchmarks/results/``, and asserts the
+paper's qualitative *shape* (orderings, monotonicity, bounds).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.results import ResultTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_and_print(key: str, table: ResultTable) -> None:
+    """Persist a bench's result table and echo it to the terminal."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    table.to_csv(str(RESULTS_DIR / f"{key}.csv"))
+    print(f"\n== {key} ==")
+    print(table.to_markdown())
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A shared mid-size instance for micro-benchmarks."""
+    from repro.scenario import ScenarioConfig, build_scenario
+
+    return build_scenario(
+        ScenarioConfig(city="shanghai", n_users=30, n_tasks=60, seed=404)
+    )

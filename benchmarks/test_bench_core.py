@@ -1,0 +1,133 @@
+"""Micro-benchmarks for the hot paths of the game core and substrates.
+
+These quantify the design choices DESIGN.md calls out:
+
+- incremental potential delta vs. full re-evaluation (O(route) vs. O(L));
+- best-response evaluation (candidate_profits) cost;
+- PUU's greedy disjoint selection;
+- CORN's branch-and-bound vs. exhaustive enumeration;
+- route recommendation (penalty method vs. Yen's KSP);
+- full scenario construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import CORN, DGRN, MUUN, exhaustive_optimum
+from repro.algorithms.muun import puu_select
+from repro.core import StrategyProfile, potential
+from repro.core.potential import potential_delta
+from repro.core.profit import all_profits, candidate_profits
+from repro.core.responses import UpdateProposal
+from repro.network.ksp import k_shortest_paths
+from repro.network.routing import RoutePlanner
+from repro.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def game(small_scenario):
+    return small_scenario.game
+
+
+@pytest.fixture(scope="module")
+def profile(game):
+    return StrategyProfile.random(game, np.random.default_rng(0))
+
+
+class TestCoreOps:
+    def test_candidate_profits(self, benchmark, game, profile):
+        benchmark(candidate_profits, profile, 0)
+
+    def test_all_profits(self, benchmark, profile):
+        benchmark(all_profits, profile)
+
+    def test_potential_full(self, benchmark, profile):
+        benchmark(potential, profile)
+
+    def test_potential_delta_incremental(self, benchmark, game, profile):
+        j = (profile.route_of(0) + 1) % game.num_routes(0)
+        benchmark(potential_delta, profile, 0, j)
+
+    def test_profile_move(self, benchmark, game, profile):
+        p = profile.copy()
+        j0 = p.route_of(0)
+        j1 = (j0 + 1) % game.num_routes(0)
+
+        def flip():
+            p.move(0, j1)
+            p.move(0, j0)
+
+        benchmark(flip)
+
+
+class TestSchedulers:
+    def test_puu_select_100_requests(self, benchmark):
+        rng = np.random.default_rng(0)
+        props = [
+            UpdateProposal(
+                user=i,
+                new_route=0,
+                gain=float(rng.uniform(0.1, 5.0)),
+                tau=float(rng.uniform(0.1, 5.0)),
+                touched_tasks=frozenset(
+                    int(t) for t in rng.choice(60, size=rng.integers(1, 6),
+                                               replace=False)
+                ),
+            )
+            for i in range(100)
+        ]
+        benchmark(puu_select, props)
+
+
+class TestDynamicsEndToEnd:
+    def test_dgrn_full_run(self, benchmark, game):
+        benchmark.pedantic(
+            lambda: DGRN(seed=1).run(game), rounds=3, iterations=1
+        )
+
+    def test_muun_full_run(self, benchmark, game):
+        benchmark.pedantic(
+            lambda: MUUN(seed=1).run(game), rounds=3, iterations=1
+        )
+
+
+class TestCorn:
+    @pytest.fixture(scope="class")
+    def small_game(self):
+        return build_scenario(
+            ScenarioConfig(city="shanghai", n_users=8, n_tasks=20, seed=5)
+        ).game
+
+    def test_corn_branch_and_bound(self, benchmark, small_game):
+        benchmark.pedantic(
+            lambda: CORN(seed=0).run(small_game), rounds=3, iterations=1
+        )
+
+    def test_exhaustive_baseline(self, benchmark, small_game):
+        benchmark.pedantic(
+            lambda: exhaustive_optimum(small_game), rounds=1, iterations=1
+        )
+
+
+class TestRouting:
+    def test_penalty_alternatives(self, benchmark, small_scenario):
+        net = small_scenario.network
+        planner = RoutePlanner(net, method="penalty")
+        o, d = small_scenario.od_pairs[0]
+        benchmark(planner.recommend, o, d, 5)
+
+    def test_yen_ksp(self, benchmark, small_scenario):
+        net = small_scenario.network
+        o, d = small_scenario.od_pairs[0]
+        benchmark(k_shortest_paths, net, o, d, 5)
+
+
+class TestScenarioBuild:
+    def test_full_pipeline(self, benchmark):
+        benchmark.pedantic(
+            lambda: build_scenario(
+                ScenarioConfig(city="roma", n_users=20, n_tasks=50, seed=9)
+            ),
+            rounds=3,
+            iterations=1,
+        )

@@ -1,0 +1,35 @@
+"""Bench for Figure 10: Jain's fairness index vs. user number.
+
+Paper shape: DGRN is the fairest (every user at a personal best response),
+RRN the least fair; all indices in (0, 1].
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+USER_COUNTS = (8, 10, 12)
+
+
+def run():
+    return run_experiment(
+        "fig10",
+        repetitions=4,
+        seed=0,
+        cities=("shanghai",),
+        user_counts=USER_COUNTS,
+    )
+
+
+def test_fig10_fairness(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig10", table)
+    for r in table:
+        assert 0.0 < r["jain_index_mean"] <= 1.0 + 1e-9
+
+    def total(algo):
+        return sum(r["jain_index_mean"] for r in table if r["algorithm"] == algo)
+
+    # DGRN is the fairest overall.
+    assert total("DGRN") >= total("RRN")
+    assert total("DGRN") >= total("CORN") - 0.05 * len(USER_COUNTS)

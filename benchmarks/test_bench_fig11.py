@@ -1,0 +1,37 @@
+"""Bench for Figure 11: average-reward surface over tasks x users.
+
+Paper shape: reward increases along the task axis and decreases along the
+user axis.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+TASKS = (20, 100, 200)
+USERS = (20, 60, 100)
+
+
+def run():
+    return run_experiment(
+        "fig11",
+        repetitions=3,
+        seed=0,
+        cities=("shanghai",),
+        task_counts=TASKS,
+        user_counts=USERS,
+    )
+
+
+def test_fig11_surface(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig11", table)
+    grid = {
+        (r["n_tasks"], r["n_users"]): r["average_reward_mean"] for r in table
+    }
+    # Increasing in tasks at every user level.
+    for m in USERS:
+        assert grid[(TASKS[-1], m)] > grid[(TASKS[0], m)]
+    # Decreasing in users at every task level.
+    for n in TASKS:
+        assert grid[(n, USERS[-1])] < grid[(n, USERS[0])]

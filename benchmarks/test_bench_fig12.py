@@ -1,0 +1,39 @@
+"""Bench for Figure 12: influence of the platform weights phi and theta.
+
+Paper shape (Shanghai): average reward falls as (phi, theta) grow; the
+detour distance falls along phi; the congestion level falls along theta.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+
+def run():
+    return run_experiment("fig12", repetitions=8, seed=0)
+
+
+def test_fig12_platform_weights(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig12", table)
+    grid = {(r["phi"], r["theta"]): r for r in table}
+    phis = sorted({r["phi"] for r in table})
+    thetas = sorted({r["theta"] for r in table})
+
+    # Reward: lowest-cost corner beats highest-cost corner.
+    assert (
+        grid[(phis[0], thetas[0])]["average_reward_mean"]
+        >= grid[(phis[-1], thetas[-1])]["average_reward_mean"] - 1e-9
+    )
+    # Detour falls along phi (averaged over theta).
+    detour_by_phi = [
+        sum(grid[(p, t)]["detour_mean"] for t in thetas) / len(thetas)
+        for p in phis
+    ]
+    assert detour_by_phi[-1] < detour_by_phi[0]
+    # Congestion falls along theta (averaged over phi).
+    cong_by_theta = [
+        sum(grid[(p, t)]["congestion_mean"] for p in phis) / len(phis)
+        for t in thetas
+    ]
+    assert cong_by_theta[-1] < cong_by_theta[0]

@@ -1,0 +1,26 @@
+"""Bench for Figure 13: the map presentation of the selected routes.
+
+Renders the three per-city scenes (SVG written under
+``benchmarks/results/``) and reports each shown user's route statistics.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import RESULTS_DIR, save_and_print
+
+
+def run():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return run_experiment("fig13", seed=0, out_dir=RESULTS_DIR)
+
+
+def test_fig13_presentation(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig13", table)
+    assert len(table) == 6  # 2 users x 3 cities
+    for city in ("shanghai", "roma", "epfl"):
+        assert (RESULTS_DIR / f"fig13_{city}.svg").exists()
+    for r in table:
+        assert 1 <= r["n_recommended"] <= 5
+        assert 0 <= r["selected_route"] < r["n_recommended"]
+        assert r["reward"] >= 0.0

@@ -1,0 +1,24 @@
+"""Bench for the extension experiment: reward-curvature (mu) ablation.
+
+Expected shape: the log bonus (mu > 0) softens the sharing externality, so
+the equilibrium total profit with mu = 1 is no lower than with mu = 0.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+
+def run():
+    return run_experiment(
+        "fig14", repetitions=8, seed=0, mu_values=(0.0, 0.5, 1.0)
+    )
+
+
+def test_fig14_mu_ablation(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig14", table)
+    by_mu = {r["mu"]: r for r in table}
+    assert by_mu[1.0]["total_profit_mean"] >= by_mu[0.0]["total_profit_mean"] - 1e-9
+    for r in table:
+        assert 0.0 <= r["overlap_ratio_mean"] <= 1.0

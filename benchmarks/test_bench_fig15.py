@@ -1,0 +1,30 @@
+"""Bench for the extension experiment: telemetry-loss robustness.
+
+Expected shape: with reliable delivery every run terminates at a true
+Nash equilibrium (gap 0); as the drop probability grows the protocol
+still terminates but the residual epsilon-Nash gap and the nash-fraction
+degrade gracefully.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+
+def run():
+    return run_experiment("fig15", repetitions=5, seed=0)
+
+
+def test_fig15_lossy_protocol(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig15", table)
+    by_p = {r["drop_prob"]: r for r in table}
+    assert by_p[0.0]["is_nash_mean"] == 1.0
+    assert by_p[0.0]["epsilon_gap_mean"] <= 1e-9
+    # Degradation is monotone-ish: the largest drop rate can't beat the
+    # reliable baseline on equilibrium quality.
+    assert by_p[0.5]["is_nash_mean"] <= by_p[0.0]["is_nash_mean"]
+    assert by_p[0.5]["epsilon_gap_mean"] >= -1e-12
+    # Every configuration terminated within the slot cap on average.
+    for r in table:
+        assert r["terminated_mean"] > 0.0

@@ -1,0 +1,30 @@
+"""Bench for the extension experiment: executed-route operations.
+
+Expected shape: DGRN beats RRN on sensing efficiency (completions per
+vehicle-km) and covers at least as many tasks with a first result, while
+keeping mean travel time within a modest factor (the detour-cost term
+restrains route stretching).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+
+def run():
+    return run_experiment("fig16", repetitions=6, seed=0)
+
+
+def test_fig16_execution(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig16", table)
+    by = {r["algorithm"]: r for r in table}
+    assert by["DGRN"]["completions_per_km_mean"] >= by["RRN"][
+        "completions_per_km_mean"
+    ]
+    assert by["DGRN"]["tasks_with_result_mean"] >= by["RRN"][
+        "tasks_with_result_mean"
+    ] - 1.0
+    # Travel times stay in the same regime across algorithms.
+    times = [r["mean_travel_time_s_mean"] for r in table]
+    assert max(times) <= 3.0 * min(times)

@@ -1,0 +1,25 @@
+"""Bench for the extension experiment: equilibrium-selection spread.
+
+Expected shape: few distinct equilibria per instance, all within a narrow
+quality band below the CORN optimum.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.fig17_equilibrium_spread import summarize
+
+from conftest import save_and_print
+
+
+def run():
+    return run_experiment("fig17", repetitions=4, seed=0)
+
+
+def test_fig17_equilibrium_spread(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    digest = summarize(table)
+    save_and_print("fig17", digest)
+    row = digest[0]
+    assert row["instances"] == 4
+    assert row["ratio_mean_mean"] > 0.7  # equilibria stay near-optimal
+    assert row["ratio_spread_mean"] < 0.4  # and tightly clustered
+    assert row["distinct_equilibria_mean"] >= 1.0

@@ -1,0 +1,27 @@
+"""Bench for Figure 3: user profit vs. decision slot (3 cities).
+
+Regenerates the per-user profit trajectories and checks the paper's shape:
+profits stabilize (Nash equilibrium reached) within the displayed window.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+
+def run():
+    return run_experiment("fig3", repetitions=1, seed=0)
+
+
+def test_fig3_profit_trajectories(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig3", table)
+    # Shape: per city, trajectories flatten at the converged equilibrium.
+    for city in ("shanghai", "roma", "epfl"):
+        rows = [r for r in table if r["city"] == city]
+        assert rows, city
+        last = {r["user"]: r["profit"] for r in rows if r["slot"] == 20}
+        prev = {r["user"]: r["profit"] for r in rows if r["slot"] == 19}
+        if rows[0]["converged_at"] < 19:
+            assert last == prev
+        assert len(last) == 15  # the paper observes 15 users

@@ -1,0 +1,48 @@
+"""Bench for Figure 4: decision slots vs. user number.
+
+Paper shape: MUUN < BUAU < DGRN < BRUN < BATS, growing with users.  The
+strict five-way chain needs many repetitions to resolve at every point; at
+bench scale we assert the paper's robust core orderings on the
+aggregate: MUUN fastest of the distributed schemes, BATS slowest.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+USER_COUNTS = (20, 40, 60)
+
+
+def run():
+    return run_experiment(
+        "fig4",
+        repetitions=5,
+        seed=0,
+        cities=("shanghai", "roma", "epfl"),
+        user_counts=USER_COUNTS,
+    )
+
+
+def test_fig4_slots_vs_users(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig4", table)
+
+    def total(algo):
+        return sum(
+            r["decision_slots_mean"] for r in table if r["algorithm"] == algo
+        )
+
+    assert total("MUUN") <= total("BUAU") <= total("DGRN")
+    assert total("DGRN") <= total("BATS")
+    assert total("BRUN") <= total("BATS")
+    # Slots grow with the user count (per algorithm, aggregated over cities).
+    for algo in ("DGRN", "MUUN", "BATS"):
+        by_m = {
+            m: sum(
+                r["decision_slots_mean"]
+                for r in table
+                if r["algorithm"] == algo and r["n_users"] == m
+            )
+            for m in USER_COUNTS
+        }
+        assert by_m[USER_COUNTS[-1]] > by_m[USER_COUNTS[0]]

@@ -1,0 +1,44 @@
+"""Bench for Figure 5: decision slots vs. task number.
+
+Paper shape: same algorithm ordering as Fig. 4; slot counts rise mildly
+with the task count (denser coverage couples users).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+TASK_COUNTS = (20, 60, 100)
+
+
+def run():
+    return run_experiment(
+        "fig5",
+        repetitions=5,
+        seed=0,
+        cities=("shanghai", "roma", "epfl"),
+        task_counts=TASK_COUNTS,
+    )
+
+
+def test_fig5_slots_vs_tasks(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig5", table)
+
+    def total(algo):
+        return sum(
+            r["decision_slots_mean"] for r in table if r["algorithm"] == algo
+        )
+
+    assert total("MUUN") <= total("DGRN") <= total("BATS")
+    assert total("BUAU") <= total("BRUN")
+    # Mild growth with task count for the paper's own algorithm.
+    dgrn = {
+        n: sum(
+            r["decision_slots_mean"]
+            for r in table
+            if r["algorithm"] == "DGRN" and r["n_tasks"] == n
+        )
+        for n in TASK_COUNTS
+    }
+    assert dgrn[TASK_COUNTS[-1] ] >= dgrn[TASK_COUNTS[0]] * 0.8

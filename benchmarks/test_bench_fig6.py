@@ -1,0 +1,29 @@
+"""Bench for Figure 6: potential-function value and total profit vs. slot.
+
+Paper shape: potential monotone non-decreasing to a plateau (Theorem 2);
+total profit trends upward but may dip (users optimize selfishly).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+
+def run():
+    return run_experiment("fig6", repetitions=1, seed=0)
+
+
+def test_fig6_potential_and_profit(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig6", table)
+    for city in ("shanghai", "roma", "epfl"):
+        rows = sorted(
+            (r for r in table if r["city"] == city), key=lambda r: r["slot"]
+        )
+        pots = [r["potential"] for r in rows]
+        profits = [r["total_profit"] for r in rows]
+        # Potential: monotone non-decreasing, strictly above start at end.
+        assert all(b >= a - 1e-9 for a, b in zip(pots, pots[1:]))
+        assert pots[-1] >= pots[0]
+        # Total profit improves overall even if not monotonically.
+        assert profits[-1] >= profits[0]

@@ -1,0 +1,35 @@
+"""Bench for Figure 7: total profit vs. user number (DGRN/CORN/RRN).
+
+Paper shape: RRN < DGRN < CORN at every point, DGRN close to CORN.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+USER_COUNTS = (10, 11, 12)
+
+
+def run():
+    return run_experiment(
+        "fig7",
+        repetitions=3,
+        seed=0,
+        cities=("shanghai",),
+        user_counts=USER_COUNTS,
+    )
+
+
+def test_fig7_total_profit(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig7", table)
+    for m in USER_COUNTS:
+        by = {
+            r["algorithm"]: r["total_profit_mean"]
+            for r in table
+            if r["n_users"] == m
+        }
+        assert by["RRN"] <= by["DGRN"] + 1e-9
+        assert by["DGRN"] <= by["CORN"] + 1e-9
+        # "Close to the optimal solution".
+        assert by["DGRN"] / by["CORN"] > 0.7

@@ -1,0 +1,42 @@
+"""Bench for Figure 8: coverage vs. user number (DGRN/BATS/RRN).
+
+Paper shape: coverage grows with users; RRN < BATS <= DGRN overall.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+USER_COUNTS = (20, 60, 100)
+
+
+def run():
+    return run_experiment(
+        "fig8",
+        repetitions=5,
+        seed=0,
+        cities=("shanghai", "roma", "epfl"),
+        user_counts=USER_COUNTS,
+    )
+
+
+def test_fig8_coverage(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig8", table)
+
+    def total(algo):
+        return sum(r["coverage_mean"] for r in table if r["algorithm"] == algo)
+
+    assert total("RRN") <= total("DGRN") + 1e-9
+    assert total("BATS") <= total("DGRN") + 0.05 * len(USER_COUNTS) * 3
+    # Coverage grows with the user count for every algorithm.
+    for algo in ("DGRN", "BATS", "RRN"):
+        by_m = {
+            m: sum(
+                r["coverage_mean"]
+                for r in table
+                if r["algorithm"] == algo and r["n_users"] == m
+            )
+            for m in USER_COUNTS
+        }
+        assert by_m[100] > by_m[20]

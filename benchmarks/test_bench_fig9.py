@@ -1,0 +1,41 @@
+"""Bench for Figure 9: average reward vs. task number (DGRN/BATS/RRN).
+
+Paper shape: reward grows with the task count; RRN < BATS <= DGRN.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+TASK_COUNTS = (20, 60, 100)
+
+
+def run():
+    return run_experiment(
+        "fig9",
+        repetitions=5,
+        seed=0,
+        cities=("shanghai", "roma", "epfl"),
+        task_counts=TASK_COUNTS,
+    )
+
+
+def test_fig9_average_reward(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig9", table)
+
+    def total(algo):
+        return sum(r["average_reward_mean"] for r in table if r["algorithm"] == algo)
+
+    assert total("RRN") <= total("BATS") + 1e-9
+    assert total("BATS") <= total("DGRN") + 1e-9
+    for algo in ("DGRN", "BATS", "RRN"):
+        by_n = {
+            n: sum(
+                r["average_reward_mean"]
+                for r in table
+                if r["algorithm"] == algo and r["n_tasks"] == n
+            )
+            for n in TASK_COUNTS
+        }
+        assert by_n[100] > by_n[20]

@@ -1,0 +1,104 @@
+"""Bench for Figures 1-2: the worked examples as end-to-end runs.
+
+Regenerates the Fig. 1 comparison table (approach, profits, equilibrium?)
+and the Fig. 2 platform-steering table.
+"""
+
+import numpy as np
+
+from repro.algorithms import BUAU, CORN
+from repro.core import (
+    PlatformWeights,
+    RouteNavigationGame,
+    StrategyProfile,
+    UserWeights,
+    is_nash_equilibrium,
+    total_profit,
+)
+from repro.core.profit import all_profits
+from repro.experiments.results import ResultTable
+from repro.metrics import average_congestion, average_detour, coverage
+
+from conftest import save_and_print
+
+
+def fig1_game():
+    return RouteNavigationGame.from_coverage(
+        [[[1], [0]], [[0]], [[0], [2]]],
+        base_rewards=[6.0, 5.0, 1.0],
+        reward_increments=0.0,
+        platform=PlatformWeights(0.0, 0.0),
+    )
+
+
+def fig2_game(phi, theta):
+    return RouteNavigationGame.from_coverage(
+        [[[0], [1]], [[0], [1]]],
+        base_rewards=[3.0, 3.0],
+        reward_increments=0.0,
+        detours=[[0.0, 2.0]] * 2,
+        congestions=[[3.0, 1.0]] * 2,
+        user_weights=[UserWeights(1.0, 1.0, 1.0)] * 2,
+        platform=PlatformWeights(phi, theta),
+    )
+
+
+def run_fig1():
+    game = fig1_game()
+    table = ResultTable()
+    solutions = {
+        "maximum-profit": [1, 0, 0],
+        "distributed-equilibrium": [0, 0, 0],
+        "centralized-optimal": [0, 0, 1],
+    }
+    for name, choices in solutions.items():
+        p = StrategyProfile(game, choices)
+        profits = all_profits(p)
+        table.append(
+            approach=name,
+            u1=float(profits[0]),
+            u2=float(profits[1]),
+            u3=float(profits[2]),
+            total=total_profit(p),
+            equilibrium=is_nash_equilibrium(p),
+        )
+    # The dynamics and the exact solver land where the paper says.
+    assert list(BUAU(seed=0).run(game).profile.choices) == [0, 0, 0]
+    assert CORN(seed=0).run(game).total_profit == 12.0
+    return table
+
+
+def run_fig2():
+    table = ResultTable()
+    for phi, theta in [(0.1, 0.1), (0.9, 0.1), (0.1, 0.9)]:
+        game = fig2_game(phi, theta)
+        profile = BUAU(seed=0).run(game).profile
+        table.append(
+            phi=phi,
+            theta=theta,
+            tasks_covered=int(round(coverage(profile) * 2)),
+            total_detour=average_detour(profile) * 2,
+            total_congestion=average_congestion(profile) * 2,
+        )
+    return table
+
+
+def test_fig1_comparison_table(benchmark):
+    table = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    save_and_print("fig1", table)
+    rows = {r["approach"]: r for r in table}
+    assert rows["maximum-profit"]["total"] == 6.0
+    assert not rows["maximum-profit"]["equilibrium"]
+    assert rows["distributed-equilibrium"]["total"] == 11.0
+    assert rows["distributed-equilibrium"]["equilibrium"]
+    assert rows["centralized-optimal"]["total"] == 12.0
+    assert not rows["centralized-optimal"]["equilibrium"]
+
+
+def test_fig2_platform_steering(benchmark):
+    table = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    save_and_print("fig2", table)
+    rows = {(r["phi"], r["theta"]): r for r in table}
+    assert rows[(0.1, 0.1)]["tasks_covered"] == 2
+    assert rows[(0.9, 0.1)]["total_detour"] == 0.0
+    assert rows[(0.1, 0.9)]["total_congestion"] == 2.0

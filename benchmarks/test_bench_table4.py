@@ -1,0 +1,29 @@
+"""Bench for Table 4: DGRN vs. CORN total profit, ratio, and PoA bound.
+
+Paper shape: ratio stays high (close to 1) and always dominates the
+Price-of-Anarchy lower bound.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+USER_COUNTS = (9, 10, 11, 12)
+
+
+def run():
+    return run_experiment(
+        "table4", repetitions=3, seed=0, user_counts=USER_COUNTS
+    )
+
+
+def test_table4_ratio_vs_bound(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("table4", table)
+    for r in table:
+        assert r["dgrn_profit_mean"] <= r["corn_profit_mean"] + 1e-9
+        assert r["ratio_mean"] <= 1.0 + 1e-9
+        # The measured NE/OPT ratio dominates the theoretical bound.
+        assert r["ratio_mean"] >= r["poa_bound_mean"] - 1e-9
+        # "Close to the optimal solution".
+        assert r["ratio_mean"] > 0.7

@@ -1,0 +1,33 @@
+"""Bench for Table 5: influence of one user's alpha/beta/gamma.
+
+Paper shape: the swept user's reward rises with alpha; its detour falls
+with beta; its congestion falls with gamma.  Trends are compared between
+the low (0.1-0.2) and high (0.7-0.8) ends of the sweep.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import save_and_print
+
+
+def run():
+    return run_experiment("table5", repetitions=12, seed=0)
+
+
+def _ends(table, weight, metric):
+    rows = [r for r in table if r["weight"] == weight]
+    rows.sort(key=lambda r: r["value"])
+    low = (rows[0][metric] + rows[1][metric]) / 2
+    high = (rows[-1][metric] + rows[-2][metric]) / 2
+    return low, high
+
+
+def test_table5_user_weights(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("table5", table)
+    low, high = _ends(table, "alpha", "reward_mean")
+    assert high >= low - 1e-9  # reward rises with alpha
+    low, high = _ends(table, "beta", "detour_mean")
+    assert high <= low + 1e-9  # detour falls with beta
+    low, high = _ends(table, "gamma", "congestion_mean")
+    assert high <= low + 1e-9  # congestion falls with gamma

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Drive the faithful message-passing protocol (Algorithms 1-3).
+
+Unlike the in-memory engines, this simulation has *no shared state*: user
+agents see only their recommended routes, the platform's cost annotations,
+and restricted task-count updates — the privacy property the paper argues
+for.  The script reports the protocol's message traffic and compares SUU
+against PUU scheduling.
+
+Run:  python examples/distributed_protocol.py
+"""
+
+from repro.core import is_nash_equilibrium
+from repro.distributed import DistributedSimulation
+from repro.scenario import ScenarioConfig, build_scenario
+
+
+def main() -> None:
+    scenario = build_scenario(
+        ScenarioConfig(city="roma", n_users=25, n_tasks=50, seed=21)
+    )
+    game = scenario.game
+    print(f"Roma instance: {game.num_users} users, {game.num_tasks} tasks\n")
+
+    for scheduler in ("suu", "puu"):
+        sim = DistributedSimulation(
+            game, scheduler=scheduler, seed=5, validate_local_views=True
+        )
+        out = sim.run()
+        assert out.converged and is_nash_equilibrium(out.profile)
+        grants = out.granted_per_slot
+        print(f"== {scheduler.upper()} scheduling ==")
+        print(f"decision slots:        {out.decision_slots}")
+        print(f"total profit:          {out.total_profit:.2f}")
+        print(f"messages exchanged:    {out.total_messages}")
+        for mtype, count in sorted(out.message_traffic.items()):
+            print(f"  {mtype:<20} {count:>5}")
+        if grants:
+            print(f"parallel grants/slot:  mean {sum(grants)/len(grants):.2f}, "
+                  f"max {max(grants)}")
+        print()
+
+    print("Every user agent's locally-computed profit was validated against "
+          "the global game state at every slot (validate_local_views=True).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Render a gallery of the paper's figures as SVG charts.
+
+Runs a reduced-scale version of each chartable experiment and writes one
+SVG per figure (plus the Fig. 13 maps) into the output directory — a
+self-contained, matplotlib-free reproduction gallery.
+
+Run:  python examples/experiment_gallery.py [output_dir] [repetitions]
+"""
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.viz.charts import chart_from_table
+
+# Reduced-scale knobs per experiment so the gallery finishes in minutes.
+GALLERY = {
+    "fig4": dict(repetitions=3, cities=("shanghai",)),
+    "fig5": dict(repetitions=3, cities=("shanghai",)),
+    "fig7": dict(repetitions=3, cities=("shanghai",), user_counts=(10, 11, 12)),
+    "fig8": dict(repetitions=3, cities=("shanghai",)),
+    "fig9": dict(repetitions=3, cities=("shanghai",)),
+    "fig10": dict(repetitions=3, cities=("shanghai",), user_counts=(8, 10, 12)),
+    "table4": dict(repetitions=3, user_counts=(9, 10, 11)),
+    "fig14": dict(repetitions=5),
+    "fig15": dict(repetitions=3),
+}
+
+
+def main(out_dir: Path, repetitions: int | None = None) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for key, kwargs in GALLERY.items():
+        exp = EXPERIMENTS[key]
+        if repetitions is not None:
+            kwargs = dict(kwargs, repetitions=repetitions)
+        start = time.perf_counter()
+        table = exp.run(seed=0, **kwargs)
+        assert exp.chart is not None
+        x, y, series = exp.chart
+        path = out_dir / f"{key}.svg"
+        chart_from_table(
+            table, x=x, y=y, series=series,
+            title=f"{exp.paper_artifact}: {exp.description}", path=path,
+        )
+        print(f"{key:<8} {len(table):>3} rows  {time.perf_counter()-start:5.1f}s"
+              f"  -> {path}")
+    # Fig. 13: the route maps.
+    EXPERIMENTS["fig13"].run(seed=0, out_dir=out_dir)
+    print(f"fig13    maps written under {out_dir}")
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="repro_gallery_")
+    )
+    reps = int(sys.argv[2]) if len(sys.argv) > 2 else None
+    main(target, reps)

@@ -1,0 +1,53 @@
+"""repro — reproduction of "Distributed Game-Theoretical Route Navigation
+for Vehicular Crowdsensing" (Wang et al., ICPP '21).
+
+Public API tour
+---------------
+
+Build a game instance from the synthetic substrate::
+
+    from repro.scenario import ScenarioConfig, build_scenario
+    scenario = build_scenario(ScenarioConfig(city="shanghai", n_users=30,
+                                             n_tasks=60, seed=7))
+    game = scenario.game
+
+Run the paper's algorithm and baselines::
+
+    from repro.algorithms import DGRN, MUUN, CORN, RRN
+    result = DGRN(seed=1).run(game)
+    assert result.is_nash
+
+Or drive the faithful message-passing protocol (Algorithms 1-3)::
+
+    from repro.distributed import DistributedSimulation
+    sim = DistributedSimulation(game, scheduler="puu", seed=1)
+    outcome = sim.run()
+
+Reproduce a figure or table::
+
+    from repro.experiments import run_experiment
+    table = run_experiment("fig7", repetitions=50, seed=0)
+    print(table.to_markdown())
+"""
+
+from repro._version import __version__
+from repro.core import (
+    PlatformWeights,
+    RouteNavigationGame,
+    StrategyProfile,
+    UserWeights,
+    is_nash_equilibrium,
+    potential,
+    total_profit,
+)
+
+__all__ = [
+    "PlatformWeights",
+    "RouteNavigationGame",
+    "StrategyProfile",
+    "UserWeights",
+    "__version__",
+    "is_nash_equilibrium",
+    "potential",
+    "total_profit",
+]

@@ -1,0 +1,70 @@
+"""Allocation engines: the paper's algorithm and all comparison baselines.
+
+- :class:`~repro.algorithms.dgrn.DGRN` — distributed game-theoretical route
+  navigation with Single User Update scheduling (the paper's Algorithm 1+2,
+  SUU variant).
+- :class:`~repro.algorithms.muun.MUUN` — Parallel User Update scheduling
+  (Algorithm 3).
+- :class:`~repro.algorithms.brun.BRUN` — better-response update navigation.
+- :class:`~repro.algorithms.buau.BUAU` — best update of all users.
+- :class:`~repro.algorithms.bats.BATS` — Bayesian asynchronous task
+  selection, adapted per Section 5.2.
+- :class:`~repro.algorithms.corn.CORN` — centralized optimal (branch and
+  bound; exhaustive cross-check).
+- :class:`~repro.algorithms.rrn.RRN` — random route navigation.
+- :class:`~repro.algorithms.greedy.GreedyCentralized` — extra baseline.
+"""
+
+from repro.algorithms.base import AllocationResult, Allocator, MoveRecord, RunConfig
+from repro.algorithms.async_br import AsyncBR
+from repro.algorithms.dgrn import DGRN
+from repro.algorithms.muun import MUUN, puu_select
+from repro.algorithms.brun import BRUN
+from repro.algorithms.buau import BUAU
+from repro.algorithms.bats import BATS
+from repro.algorithms.corn import CORN, exhaustive_optimum
+from repro.algorithms.rrn import RRN
+from repro.algorithms.greedy import GreedyCentralized
+
+ALGORITHM_REGISTRY: dict[str, type[Allocator]] = {
+    "DGRN": DGRN,
+    "MUUN": MUUN,
+    "BRUN": BRUN,
+    "BUAU": BUAU,
+    "BATS": BATS,
+    "CORN": CORN,
+    "RRN": RRN,
+    "GREEDY": GreedyCentralized,
+    "ASYNC": AsyncBR,
+}
+
+
+def make_allocator(name: str, **kwargs) -> Allocator:
+    """Instantiate an allocator by registry name (case-insensitive)."""
+    key = name.upper()
+    if key not in ALGORITHM_REGISTRY:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {sorted(ALGORITHM_REGISTRY)}"
+        )
+    return ALGORITHM_REGISTRY[key](**kwargs)
+
+
+__all__ = [
+    "ALGORITHM_REGISTRY",
+    "AllocationResult",
+    "Allocator",
+    "AsyncBR",
+    "BATS",
+    "BRUN",
+    "BUAU",
+    "CORN",
+    "DGRN",
+    "GreedyCentralized",
+    "MUUN",
+    "MoveRecord",
+    "RRN",
+    "RunConfig",
+    "exhaustive_optimum",
+    "make_allocator",
+    "puu_select",
+]

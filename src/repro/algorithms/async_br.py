@@ -1,0 +1,104 @@
+"""Asynchronous best-response dynamics (extension, not in the paper).
+
+The paper's Algorithms 1-2 synchronize users into decision slots.  In a
+real deployment phones act on their own clocks; this allocator models
+that: each user carries an independent Poisson clock (rate ``rates[i]``,
+default 1 per virtual time unit) and best-responds at its own ticks
+against the then-current profile.  In a potential game, every improving
+tick strictly raises ``phi``, so the process converges to the same Nash
+equilibria as the slotted dynamics — without any coordination at all.
+
+``decision_slots`` counts activations (comparable to BATS); the result's
+``virtual_time`` records the continuous time of the last improving tick,
+the natural latency measure for asynchronous deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.game import RouteNavigationGame
+from repro.core.profile import StrategyProfile
+from repro.core.responses import best_update
+from repro.algorithms.base import AllocationResult, Allocator, MoveRecord, _HistoryRecorder
+from repro.utils.validation import require
+
+
+class AsyncBR(Allocator):
+    """Poisson-clock asynchronous best response."""
+
+    name = "ASYNC"
+
+    def __init__(self, *, seed=None, config=None,
+                 rates: Sequence[float] | None = None,
+                 quiet_window: float = 3.0):
+        """``rates[i]``: user ``i``'s activation rate (default 1.0 each).
+        The run stops once every user has ticked at least once since the
+        last route change *and* ``quiet_window`` virtual time units passed
+        without a change (a distributed-friendly stopping rule)."""
+        super().__init__(seed=seed, config=config)
+        self.rates = None if rates is None else [float(r) for r in rates]
+        require(quiet_window > 0, "quiet_window must be positive")
+        self.quiet_window = float(quiet_window)
+        self.virtual_time = 0.0
+
+    def run(
+        self,
+        game: RouteNavigationGame,
+        *,
+        initial: Sequence[int] | StrategyProfile | None = None,
+    ) -> AllocationResult:
+        m = game.num_users
+        rates = np.ones(m) if self.rates is None else np.asarray(self.rates)
+        require(rates.shape == (m,), f"rates must have shape ({m},)")
+        require(bool(np.all(rates > 0)), "rates must be positive")
+
+        profile = self._initial_profile(game, initial)
+        recorder = _HistoryRecorder(profile, enabled=self.config.record_history)
+        moves: list[MoveRecord] = []
+        # Next tick per user: exponential inter-arrival times.
+        next_tick = self.rng.exponential(1.0 / rates)
+        now = 0.0
+        last_change = 0.0
+        ticked_since_change = np.zeros(m, dtype=bool)
+        activations = 0
+        converged = False
+        while activations < self.config.max_slots:
+            if (
+                bool(ticked_since_change.all())
+                and now - last_change >= self.quiet_window
+            ):
+                converged = True
+                break
+            user = int(np.argmin(next_tick))
+            now = float(next_tick[user])
+            next_tick[user] += float(self.rng.exponential(1.0 / rates[user]))
+            activations += 1
+            prop = best_update(profile, user, pick="random", rng=self.rng)
+            if prop is None:
+                ticked_since_change[user] = True
+                continue
+            old = profile.move(prop.user, prop.new_route)
+            moves.append(
+                MoveRecord(activations, prop.user, old, prop.new_route, prop.gain)
+            )
+            last_change = now
+            ticked_since_change[:] = False
+            ticked_since_change[user] = True
+            if self.config.validate:
+                profile.validate()
+            recorder.snapshot(profile)
+        self.virtual_time = now
+        return AllocationResult(
+            algorithm=self.name,
+            profile=profile,
+            decision_slots=activations,
+            converged=converged,
+            moves=moves,
+            **recorder.as_arrays(),
+        )
+
+    def _slot(self, profile: StrategyProfile, slot: int):  # pragma: no cover
+        raise NotImplementedError("AsyncBR overrides run() directly")

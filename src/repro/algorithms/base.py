@@ -1,0 +1,240 @@
+"""Allocator interface and the shared decision-slot driver.
+
+Response-dynamics algorithms (DGRN, MUUN, BRUN, BUAU, BATS) share one loop:
+per decision slot, collect the users that could improve ("update requests"),
+let a scheduler grant some of them, apply the granted moves, and stop when a
+slot produces no requests.  Subclasses implement :meth:`Allocator._slot`.
+
+Centralized algorithms (CORN, greedy, RRN) override :meth:`Allocator.run`
+directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.game import RouteNavigationGame
+from repro.core.equilibrium import is_nash_equilibrium
+from repro.core.potential import potential
+from repro.core.profile import StrategyProfile
+from repro.core.profit import all_profits
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True, slots=True)
+class MoveRecord:
+    """One granted route switch."""
+
+    slot: int
+    user: int
+    old_route: int
+    new_route: int
+    gain: float
+
+
+@dataclass(frozen=True, slots=True)
+class RunConfig:
+    """Run-level knobs shared by all allocators."""
+
+    max_slots: int = 100_000
+    record_history: bool = True
+    validate: bool = False  # re-verify counters after every slot (tests)
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of one allocator run."""
+
+    algorithm: str
+    profile: StrategyProfile
+    decision_slots: int
+    converged: bool
+    moves: list[MoveRecord] = field(default_factory=list)
+    # Histories are indexed by slot; entry 0 is the initial profile.
+    potential_history: np.ndarray | None = None
+    total_profit_history: np.ndarray | None = None
+    profit_history: np.ndarray | None = None  # (slots+1, num_users)
+
+    @property
+    def total_profit(self) -> float:
+        return float(all_profits(self.profile).sum())
+
+    @property
+    def is_nash(self) -> bool:
+        return is_nash_equilibrium(self.profile)
+
+    def summary(self) -> dict[str, float]:
+        """Scalar summary used by the experiment result tables."""
+        return {
+            "algorithm": self.algorithm,  # type: ignore[dict-item]
+            "decision_slots": float(self.decision_slots),
+            "total_profit": self.total_profit,
+            "converged": float(self.converged),
+            "moves": float(len(self.moves)),
+        }
+
+
+class Allocator(ABC):
+    """Base class for allocation algorithms."""
+
+    name: str = "base"
+
+    def __init__(self, *, seed: SeedLike = None, config: RunConfig | None = None):
+        self.rng = as_generator(seed)
+        self.config = config if config is not None else RunConfig()
+
+    # ------------------------------------------------------------------- API
+    def run(
+        self,
+        game: RouteNavigationGame,
+        *,
+        initial: Sequence[int] | StrategyProfile | None = None,
+    ) -> AllocationResult:
+        """Run decision-slot dynamics from a (random by default) profile."""
+        profile = self._initial_profile(game, initial)
+        self._begin_run(game)
+        recorder = _HistoryRecorder(profile, enabled=self.config.record_history)
+        moves: list[MoveRecord] = []
+        slot = 0
+        converged = False
+        while slot < self.config.max_slots:
+            granted = self._slot(profile, slot)
+            if not granted:
+                converged = True
+                break
+            slot += 1
+            for user, new_route, gain in granted:
+                old = profile.move(user, new_route)
+                moves.append(MoveRecord(slot, user, old, new_route, gain))
+                self._note_move(user, old, new_route)
+            if self.config.validate:
+                profile.validate()
+            recorder.snapshot(profile)
+        return AllocationResult(
+            algorithm=self.name,
+            profile=profile,
+            decision_slots=slot,
+            converged=converged,
+            moves=moves,
+            **recorder.as_arrays(),
+        )
+
+    @abstractmethod
+    def _slot(
+        self, profile: StrategyProfile, slot: int
+    ) -> list[tuple[int, int, float]]:
+        """Moves granted this slot as ``(user, new_route, gain)`` triples.
+
+        Returning an empty list signals convergence (no update requests).
+        Granted moves are applied *after* this method returns, so gains
+        computed against the entry profile stay valid as long as the granted
+        users' touched-task sets are disjoint (PUU's constraint) or a single
+        move is granted.
+        """
+
+    # ------------------------------------------------------------------ hooks
+    def _begin_run(self, game: RouteNavigationGame) -> None:
+        """Called once per run before the first slot (cache setup)."""
+
+    def _note_move(self, user: int, old_route: int, new_route: int) -> None:
+        """Called after each executed move (cache invalidation)."""
+
+    # -------------------------------------------------------------- plumbing
+    def _initial_profile(
+        self,
+        game: RouteNavigationGame,
+        initial: Sequence[int] | StrategyProfile | None,
+    ) -> StrategyProfile:
+        if initial is None:
+            return StrategyProfile.random(game, self.rng)
+        if isinstance(initial, StrategyProfile):
+            if initial.game is not game:
+                raise ValueError("initial profile belongs to a different game")
+            return initial.copy()
+        return StrategyProfile(game, list(initial))
+
+
+class ProposalCache:
+    """Per-user update proposals with touched-task invalidation.
+
+    A user's best response depends only on (a) its own current route and
+    (b) the participant counts of tasks its routes cover.  After a slot's
+    moves execute, only the movers and the users whose route tasks
+    intersect the moved tasks can have changed proposals — everyone
+    else's cached proposal stays exact.  On dense instances this cuts the
+    per-slot best-response sweep from O(M) to O(conflict neighbourhood).
+    """
+
+    def __init__(
+        self,
+        game: RouteNavigationGame,
+        *,
+        pick: str = "first",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.game = game
+        self.pick = pick
+        self.rng = rng
+        # task id -> users with any route covering it.
+        self._task_users: dict[int, set[int]] = {}
+        for i in game.users:
+            for j in range(game.num_routes(i)):
+                for k in game.covered_tasks(i, j):
+                    self._task_users.setdefault(int(k), set()).add(i)
+        self._cache: dict[int, object] = {}
+        self._dirty: set[int] = set(game.users)
+
+    def proposals(self, profile: StrategyProfile) -> list:
+        """Current update proposals of all improving users."""
+        from repro.core.responses import best_update
+
+        for i in sorted(self._dirty):
+            self._cache[i] = best_update(
+                profile, i, pick=self.pick, rng=self.rng
+            )
+        self._dirty.clear()
+        return [p for p in (self._cache[i] for i in self.game.users) if p is not None]
+
+    def note_move(self, user: int, old_route: int, new_route: int) -> None:
+        """Invalidate the mover and every user sharing a touched task."""
+        self._dirty.add(user)
+        for route in (old_route, new_route):
+            for k in self.game.covered_tasks(user, route):
+                self._dirty |= self._task_users.get(int(k), set())
+
+
+class _HistoryRecorder:
+    """Accumulates per-slot potential / profit trajectories."""
+
+    def __init__(self, profile: StrategyProfile, *, enabled: bool) -> None:
+        self.enabled = enabled
+        self._potential: list[float] = []
+        self._total: list[float] = []
+        self._profits: list[np.ndarray] = []
+        if enabled:
+            self.snapshot(profile)
+
+    def snapshot(self, profile: StrategyProfile) -> None:
+        if not self.enabled:
+            return
+        profits = all_profits(profile)
+        self._potential.append(potential(profile))
+        self._total.append(float(profits.sum()))
+        self._profits.append(profits)
+
+    def as_arrays(self) -> dict[str, np.ndarray | None]:
+        if not self.enabled:
+            return {
+                "potential_history": None,
+                "total_profit_history": None,
+                "profit_history": None,
+            }
+        return {
+            "potential_history": np.asarray(self._potential),
+            "total_profit_history": np.asarray(self._total),
+            "profit_history": np.vstack(self._profits),
+        }

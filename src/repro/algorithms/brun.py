@@ -1,0 +1,31 @@
+"""BRUN: Better Response Update Navigation (Section 5.2, item 3).
+
+Like DGRN's SUU scheduling, but the granted user switches to a *uniformly
+random strictly-better* route rather than a best one — the better-response
+update of Definition 1.  Still converges (finite improvement property) but
+typically needs more decision slots than best response.
+"""
+
+from __future__ import annotations
+
+from repro.core.profile import StrategyProfile
+from repro.core.responses import better_responses, make_proposal
+from repro.algorithms.base import Allocator
+
+
+class BRUN(Allocator):
+    """Better-response dynamics under SUU scheduling."""
+
+    name = "BRUN"
+
+    def _slot(self, profile: StrategyProfile, slot: int):
+        requesters = [
+            i for i in profile.game.users if better_responses(profile, i)
+        ]
+        if not requesters:
+            return []
+        user = requesters[int(self.rng.integers(0, len(requesters)))]
+        options = better_responses(profile, user)
+        new_route = options[int(self.rng.integers(0, len(options)))]
+        prop = make_proposal(profile, user, new_route)
+        return [(prop.user, prop.new_route, prop.gain)]

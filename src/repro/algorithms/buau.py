@@ -1,0 +1,33 @@
+"""BUAU: Best Update of All Users (Section 5.2, item 4).
+
+Per decision slot the platform inspects *every* user's best move and grants
+the single user whose move maximizes the potential-function increase — by
+Eq. (11) that is the user with the largest ``tau_i = gain_i / alpha_i``.
+Greedy steepest ascent on the potential.
+"""
+
+from __future__ import annotations
+
+from repro.core.profile import StrategyProfile
+from repro.algorithms.base import Allocator, ProposalCache
+
+
+class BUAU(Allocator):
+    """Steepest-ascent best-response dynamics (one user per slot)."""
+
+    name = "BUAU"
+
+    def _begin_run(self, game):
+        self._cache = ProposalCache(game, pick="first")
+
+    def _note_move(self, user, old_route, new_route):
+        self._cache.note_move(user, old_route, new_route)
+
+    def _slot(self, profile: StrategyProfile, slot: int):
+        best = None
+        for prop in self._cache.proposals(profile):
+            if best is None or prop.tau > best.tau:
+                best = prop
+        if best is None:
+            return []
+        return [(best.user, best.new_route, best.gain)]

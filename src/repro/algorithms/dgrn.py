@@ -1,0 +1,36 @@
+"""DGRN: Distributed Game-theoretical Route Navigation (Section 5.2, item 1).
+
+Per decision slot, every user with a non-empty best route set
+``Delta_i(t)`` sends an update request; the platform's Single User Update
+(SUU) scheduler grants exactly one request uniformly at random, and the
+granted user switches to a route drawn from its best route set.
+
+Proposals are cached between slots and invalidated by touched tasks
+(:class:`~repro.algorithms.base.ProposalCache`): a user whose route tasks
+did not change keeps the same best route set, so only the conflict
+neighbourhood of the last move is recomputed.
+"""
+
+from __future__ import annotations
+
+from repro.core.profile import StrategyProfile
+from repro.algorithms.base import Allocator, ProposalCache
+
+
+class DGRN(Allocator):
+    """Best-response dynamics under SUU scheduling."""
+
+    name = "DGRN"
+
+    def _begin_run(self, game):
+        self._cache = ProposalCache(game, pick="random", rng=self.rng)
+
+    def _note_move(self, user, old_route, new_route):
+        self._cache.note_move(user, old_route, new_route)
+
+    def _slot(self, profile: StrategyProfile, slot: int):
+        proposals = self._cache.proposals(profile)
+        if not proposals:
+            return []
+        chosen = proposals[int(self.rng.integers(0, len(proposals)))]
+        return [(chosen.user, chosen.new_route, chosen.gain)]

@@ -1,0 +1,39 @@
+"""RRN: Random Route Navigation (Section 5.2, item 7).
+
+Every user keeps a uniformly random route from its recommended set — no
+dynamics, zero decision slots.  The floor baseline of Figs. 7-10.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.game import RouteNavigationGame
+from repro.core.profile import StrategyProfile
+from repro.algorithms.base import AllocationResult, Allocator, _HistoryRecorder
+
+
+class RRN(Allocator):
+    """Uniform random selection, no updates."""
+
+    name = "RRN"
+
+    def run(
+        self,
+        game: RouteNavigationGame,
+        *,
+        initial: Sequence[int] | StrategyProfile | None = None,
+    ) -> AllocationResult:
+        profile = self._initial_profile(game, initial)
+        recorder = _HistoryRecorder(profile, enabled=self.config.record_history)
+        return AllocationResult(
+            algorithm=self.name,
+            profile=profile,
+            decision_slots=0,
+            converged=True,
+            moves=[],
+            **recorder.as_arrays(),
+        )
+
+    def _slot(self, profile: StrategyProfile, slot: int):  # pragma: no cover
+        raise NotImplementedError("RRN overrides run() directly")

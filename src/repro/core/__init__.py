@@ -1,0 +1,72 @@
+"""Game core: the paper's primary contribution.
+
+Multi-user route-navigation game (Section 3), weighted potential function
+(Theorem 2), better/best responses (Definition 1), Nash-equilibrium checks
+(Definition 2), convergence bound (Theorem 4), Price-of-Anarchy bounds
+(Theorem 5), and the NP-hardness reduction (Theorem 1).
+"""
+
+from repro.core.weights import PlatformWeights, UserWeights, E_MAX_DEFAULT, E_MIN_DEFAULT
+from repro.core.game import RouteNavigationGame
+from repro.core.profile import StrategyProfile
+from repro.core.profit import (
+    all_profits,
+    candidate_profits,
+    profit_of_user,
+    total_profit,
+)
+from repro.core.potential import potential, potential_delta
+from repro.core.responses import (
+    best_response_set,
+    best_update,
+    better_responses,
+    UpdateProposal,
+)
+from repro.core.equilibrium import (
+    epsilon_nash_gap,
+    improving_users,
+    is_nash_equilibrium,
+)
+from repro.core.convergence import convergence_slot_bound
+from repro.core.enumeration import EquilibriumAnalysis, enumerate_equilibria
+from repro.core.poa import (
+    empirical_poa_ratio,
+    poa_lower_bound,
+    special_case_poa_bounds,
+)
+from repro.core.nphardness import (
+    SetCoverInstance,
+    game_from_set_cover,
+    greedy_set_cover_value,
+)
+
+__all__ = [
+    "E_MAX_DEFAULT",
+    "E_MIN_DEFAULT",
+    "EquilibriumAnalysis",
+    "PlatformWeights",
+    "RouteNavigationGame",
+    "SetCoverInstance",
+    "StrategyProfile",
+    "UpdateProposal",
+    "UserWeights",
+    "all_profits",
+    "best_response_set",
+    "best_update",
+    "better_responses",
+    "candidate_profits",
+    "convergence_slot_bound",
+    "empirical_poa_ratio",
+    "enumerate_equilibria",
+    "epsilon_nash_gap",
+    "game_from_set_cover",
+    "greedy_set_cover_value",
+    "improving_users",
+    "is_nash_equilibrium",
+    "poa_lower_bound",
+    "potential",
+    "potential_delta",
+    "profit_of_user",
+    "special_case_poa_bounds",
+    "total_profit",
+]

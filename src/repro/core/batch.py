@@ -1,0 +1,113 @@
+"""Vectorized batch evaluation of many strategy profiles at once.
+
+Exhaustive analyses (optimum search, equilibrium enumeration, Monte-Carlo
+baselines) evaluate thousands of profiles; doing it one
+:class:`StrategyProfile` at a time pays Python overhead per profile.  This
+module evaluates a whole ``(P, M)`` choice matrix with NumPy gathers:
+
+- per-user one-hot coverage tensors turn route choices into per-profile
+  task counts and alpha-masses in two fancy-indexing passes;
+- the total reward decomposes per task as ``alpha_mass_k * w_k(n_k)/n_k``,
+  evaluated from a precomputed ``(N, M)`` share table;
+- route costs are a single gather per user.
+
+Used by :func:`exhaustive_total_profits` to drive
+:func:`repro.core.enumeration.enumerate_equilibria`-style sweeps at
+NumPy speed; cross-checked against the scalar path in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.game import RouteNavigationGame
+from repro.utils.validation import require
+
+
+class BatchEvaluator:
+    """Precomputed tensors for evaluating profile batches of one game."""
+
+    def __init__(self, game: RouteNavigationGame) -> None:
+        self.game = game
+        m, n = game.num_users, game.num_tasks
+        # coverage[i]: (routes_i, N) float; alpha-weighted variant too.
+        self._cov: list[np.ndarray] = []
+        self._cov_alpha: list[np.ndarray] = []
+        self._costs: list[np.ndarray] = []
+        for i in game.users:
+            cov = np.zeros((game.num_routes(i), n))
+            for j in range(game.num_routes(i)):
+                ids = game.covered_tasks(i, j)
+                if ids.size:
+                    cov[j, ids] = 1.0
+            self._cov.append(cov)
+            self._cov_alpha.append(cov * game.user_weights[i].alpha)
+            self._costs.append(np.asarray(game.route_cost[i], dtype=float))
+        # share_table[k, q-1] = w_k(q)/q for q = 1..M; column 0 reused for
+        # count 0 via masking.
+        if n and m:
+            q = np.arange(1, m + 1, dtype=float)
+            self._share = (
+                game.tasks.base_rewards[:, None]
+                + game.tasks.reward_increments[:, None] * np.log(q)[None, :]
+            ) / q[None, :]
+        else:
+            self._share = np.zeros((n, max(m, 1)))
+
+    def _validate(self, choices: np.ndarray) -> np.ndarray:
+        arr = np.asarray(choices, dtype=np.intp)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        require(arr.ndim == 2 and arr.shape[1] == self.game.num_users,
+                f"choices must be (P, {self.game.num_users})")
+        for i in self.game.users:
+            col = arr[:, i]
+            require(
+                bool(((col >= 0) & (col < self.game.num_routes(i))).all()),
+                f"route index out of range for user {i}",
+            )
+        return arr
+
+    def counts(self, choices: np.ndarray) -> np.ndarray:
+        """Per-profile task counts ``n_k``, shape ``(P, N)``."""
+        arr = self._validate(choices)
+        out = np.zeros((arr.shape[0], self.game.num_tasks))
+        for i in self.game.users:
+            out += self._cov[i][arr[:, i]]
+        return out
+
+    def total_profits(self, choices: np.ndarray) -> np.ndarray:
+        """Total profit (Eq. 5) of each profile, shape ``(P,)``."""
+        arr = self._validate(choices)
+        p = arr.shape[0]
+        n = self.game.num_tasks
+        counts = np.zeros((p, n))
+        mass = np.zeros((p, n))
+        cost = np.zeros(p)
+        for i in self.game.users:
+            counts += self._cov[i][arr[:, i]]
+            mass += self._cov_alpha[i][arr[:, i]]
+            cost += self._costs[i][arr[:, i]]
+        if n == 0:
+            return -cost
+        idx = np.clip(counts.astype(np.intp) - 1, 0, self._share.shape[1] - 1)
+        shares = self._share[np.arange(n)[None, :], idx]
+        shares = np.where(counts >= 1.0, shares, 0.0)
+        return (mass * shares).sum(axis=1) - cost
+
+
+def all_choice_matrix(game: RouteNavigationGame, *, limit: int = 2_000_000) -> np.ndarray:
+    """Every profile of the strategy space as a ``(P, M)`` matrix."""
+    sizes = [game.num_routes(i) for i in game.users]
+    total = int(np.prod(sizes))
+    require(total <= limit, f"strategy space too large to enumerate: {total}")
+    grids = np.meshgrid(*[np.arange(s) for s in sizes], indexing="ij")
+    return np.stack([g.reshape(-1) for g in grids], axis=1).astype(np.intp)
+
+
+def exhaustive_total_profits(
+    game: RouteNavigationGame,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(choices_matrix, total_profits)`` over the whole strategy space."""
+    choices = all_choice_matrix(game)
+    return choices, BatchEvaluator(game).total_profits(choices)

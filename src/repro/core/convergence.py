@@ -1,0 +1,86 @@
+"""Theorem 4: upper bound on the number of decision slots to convergence.
+
+``C < (e_max / dP_min) * |U| * ( |L| (g_max - g_min)
+      + (e_max/e_min) d_max + (e_max/e_min) b_max )``
+
+where ``g_min/g_max`` bound the per-user task share ``w_k(q)/q`` over the
+whole strategy space, ``d_max``/``b_max`` bound the detour and congestion
+costs, and ``dP_min`` is the smallest profit improvement a granted update
+realizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.game import RouteNavigationGame
+from repro.utils.validation import check_positive
+
+
+def share_bounds(game: RouteNavigationGame) -> tuple[float, float]:
+    """``(g_min, g_max)``: bounds of ``w_k(q)/q`` over tasks and counts.
+
+    ``q`` ranges over 1..M (all users could stack on one task).  The share
+    is evaluated exactly at every feasible count — M is small enough that a
+    vectorized table is cheaper than reasoning about monotonicity.
+    """
+    m = game.num_users
+    q = np.arange(1, m + 1, dtype=float)
+    base = game.tasks.base_rewards[:, None]
+    incs = game.tasks.reward_increments[:, None]
+    table = (base + incs * np.log(q)[None, :]) / q[None, :]
+    if table.size == 0:
+        return 0.0, 0.0
+    return float(table.min()), float(table.max())
+
+
+def cost_bounds(game: RouteNavigationGame) -> tuple[float, float]:
+    """``(d_max, b_max)``: largest detour/congestion costs over all routes."""
+    d_max = 0.0
+    b_max = 0.0
+    for i in game.users:
+        d_max = max(d_max, game.platform.phi * float(game.route_detour[i].max()))
+        b_max = max(b_max, game.platform.theta * float(game.route_congestion[i].max()))
+    return d_max, b_max
+
+
+def weight_extremes(game: RouteNavigationGame) -> tuple[float, float]:
+    """``(e_min, e_max)`` actually spanned by the instance's user weights."""
+    values: list[float] = []
+    for uw in game.user_weights:
+        values.extend((uw.alpha, uw.beta, uw.gamma))
+    return min(values), max(values)
+
+
+def convergence_slot_bound(
+    game: RouteNavigationGame, delta_p_min: float
+) -> float:
+    """Evaluate the Theorem 4 bound for a given minimum update gain.
+
+    ``delta_p_min`` is instance/run-specific (the smallest profit gain any
+    granted update realized); experiments measure it from the recorded move
+    history and check ``slots < bound``.
+    """
+    check_positive("delta_p_min", delta_p_min)
+    g_min, g_max = share_bounds(game)
+    d_max, b_max = cost_bounds(game)
+    e_min, e_max = weight_extremes(game)
+    m = game.num_users
+    n = game.num_tasks
+    ratio = e_max / e_min
+    return (e_max / delta_p_min) * m * (n * (g_max - g_min) + ratio * d_max + ratio * b_max)
+
+
+def potential_range(game: RouteNavigationGame) -> tuple[float, float]:
+    """Loose lower/upper bounds on ``phi(s)`` (Eqs. 17-18).
+
+    ``phi > |L||U| g_min - |U| (e_max/e_min)(d_max + b_max)`` and
+    ``phi < |L||U| g_max``.  Useful as a sanity envelope in tests.
+    """
+    g_min, g_max = share_bounds(game)
+    d_max, b_max = cost_bounds(game)
+    e_min, e_max = weight_extremes(game)
+    m, n = game.num_users, game.num_tasks
+    low = n * m * min(g_min, 0.0) - m * (e_max / e_min) * (d_max + b_max)
+    high = n * m * max(g_max, 0.0)
+    return low, high

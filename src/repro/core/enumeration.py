@@ -1,0 +1,127 @@
+"""Exhaustive equilibrium analysis for small games.
+
+Eq. (21) defines PoA as a minimum over *all* Nash equilibria; on small
+instances we can compute it exactly by enumerating the strategy space,
+which grounds the heuristic :func:`repro.core.poa.poa_lower_bound` and the
+empirical DGRN/CORN ratios of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.equilibrium import is_nash_equilibrium
+from repro.core.game import RouteNavigationGame
+from repro.core.profile import StrategyProfile
+from repro.core.profit import total_profit
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class EquilibriumAnalysis:
+    """Every Nash equilibrium of a (small) game, with the exact PoA."""
+
+    equilibria: tuple[tuple[int, ...], ...]
+    equilibrium_profits: tuple[float, ...]
+    optimal_choices: tuple[int, ...]
+    optimal_profit: float
+
+    @property
+    def num_equilibria(self) -> int:
+        return len(self.equilibria)
+
+    @property
+    def worst_equilibrium_profit(self) -> float:
+        return min(self.equilibrium_profits)
+
+    @property
+    def best_equilibrium_profit(self) -> float:
+        return max(self.equilibrium_profits)
+
+    @property
+    def price_of_anarchy(self) -> float:
+        """Eq. (21): worst-equilibrium total profit over the optimum."""
+        require(self.optimal_profit > 0, "non-positive optimal profit")
+        return self.worst_equilibrium_profit / self.optimal_profit
+
+    @property
+    def price_of_stability(self) -> float:
+        """Best-equilibrium total profit over the optimum."""
+        require(self.optimal_profit > 0, "non-positive optimal profit")
+        return self.best_equilibrium_profit / self.optimal_profit
+
+
+def enumerate_equilibria(game: RouteNavigationGame) -> EquilibriumAnalysis:
+    """Enumerate the strategy space; classify equilibria and the optimum.
+
+    Exponential in the number of users, but fully vectorized over the
+    profile axis (see :mod:`repro.core.batch`): the Nash test for user
+    ``i`` compares its chosen route's value against every alternative
+    evaluated from the batch count matrix, so games with 10^5-10^6
+    profiles finish in seconds.  Theorem 2 guarantees at least one
+    equilibrium exists, so the result is never empty.
+    """
+    from repro.core.batch import BatchEvaluator, all_choice_matrix
+    from repro.core.responses import IMPROVEMENT_EPS
+
+    choices = all_choice_matrix(game)
+    ev = BatchEvaluator(game)
+    totals = ev.total_profits(choices)
+    counts = ev.counts(choices)
+    p = choices.shape[0]
+    base = game.tasks.base_rewards
+    incs = game.tasks.reward_increments
+    ne_mask = np.ones(p, dtype=bool)
+    for i in game.users:
+        alpha = game.user_weights[i].alpha
+        cov_i = ev._cov[i]
+        counts_wo = counts - cov_i[choices[:, i]]
+        vals = np.empty((p, game.num_routes(i)))
+        for j in range(game.num_routes(i)):
+            ids = game.covered_tasks(i, j)
+            if ids.size:
+                nj = counts_wo[:, ids] + 1.0
+                share = (base[ids][None, :] + incs[ids][None, :] * np.log(nj)) / nj
+                reward = share.sum(axis=1)
+            else:
+                reward = np.zeros(p)
+            vals[:, j] = alpha * reward - float(game.route_cost[i][j])
+        chosen = vals[np.arange(p), choices[:, i]]
+        ne_mask &= chosen >= vals.max(axis=1) - IMPROVEMENT_EPS
+    best_idx = int(np.argmax(totals))
+    eq_idx = np.flatnonzero(ne_mask)
+    require(eq_idx.size >= 1,
+            "no Nash equilibrium found — contradicts Theorem 2")
+    return EquilibriumAnalysis(
+        equilibria=tuple(tuple(int(c) for c in choices[k]) for k in eq_idx),
+        equilibrium_profits=tuple(float(totals[k]) for k in eq_idx),
+        optimal_choices=tuple(int(c) for c in choices[best_idx]),
+        optimal_profit=float(totals[best_idx]),
+    )
+
+
+def enumerate_equilibria_slow(game: RouteNavigationGame) -> EquilibriumAnalysis:
+    """Reference scalar implementation (kept to certify the batch path)."""
+    equilibria: list[tuple[int, ...]] = []
+    eq_profits: list[float] = []
+    best_choices: tuple[int, ...] | None = None
+    best_value = -np.inf
+    for profile in StrategyProfile.all_profiles(game):
+        value = total_profit(profile)
+        if value > best_value:
+            best_value = value
+            best_choices = tuple(int(c) for c in profile.choices)
+        if is_nash_equilibrium(profile):
+            equilibria.append(tuple(int(c) for c in profile.choices))
+            eq_profits.append(value)
+    assert best_choices is not None
+    require(len(equilibria) >= 1,
+            "no Nash equilibrium found — contradicts Theorem 2")
+    return EquilibriumAnalysis(
+        equilibria=tuple(equilibria),
+        equilibrium_profits=tuple(eq_profits),
+        optimal_choices=best_choices,
+        optimal_profit=float(best_value),
+    )

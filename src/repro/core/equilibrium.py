@@ -1,0 +1,57 @@
+"""Nash-equilibrium predicates (Definition 2) and deviation diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+from repro.core.profit import candidate_profits
+from repro.core.responses import IMPROVEMENT_EPS
+
+
+def epsilon_nash_gap(profile: StrategyProfile) -> float:
+    """Largest unilateral profit improvement available to any user.
+
+    Zero (within float tolerance) iff the profile is a Nash equilibrium;
+    positive values measure how far from equilibrium the profile is
+    (an ``epsilon``-Nash profile has gap <= epsilon).
+    """
+    worst = 0.0
+    for i in profile.game.users:
+        profits = candidate_profits(profile, i)
+        gap = float(profits.max() - profits[profile.route_of(i)])
+        worst = max(worst, gap)
+    return worst
+
+
+def is_nash_equilibrium(
+    profile: StrategyProfile, *, tolerance: float = IMPROVEMENT_EPS
+) -> bool:
+    """True iff no user can unilaterally improve by more than ``tolerance``."""
+    return epsilon_nash_gap(profile) <= tolerance
+
+
+def improving_users(profile: StrategyProfile) -> list[int]:
+    """Users with a non-empty better-response set (would send update requests)."""
+    out = []
+    for i in profile.game.users:
+        profits = candidate_profits(profile, i)
+        if float(profits.max()) > float(profits[profile.route_of(i)]) + IMPROVEMENT_EPS:
+            out.append(i)
+    return out
+
+
+def deviation_report(profile: StrategyProfile) -> list[tuple[int, int, float]]:
+    """All strictly-improving unilateral deviations as ``(user, route, gain)``.
+
+    Sorted by decreasing gain; empty at a Nash equilibrium.  Used by tests
+    and by the CORN equilibrium-gap diagnostics of Table 4.
+    """
+    moves: list[tuple[int, int, float]] = []
+    for i in profile.game.users:
+        profits = candidate_profits(profile, i)
+        current = float(profits[profile.route_of(i)])
+        for j in np.flatnonzero(profits > current + IMPROVEMENT_EPS):
+            moves.append((i, int(j), float(profits[j] - current)))
+    moves.sort(key=lambda m: -m[2])
+    return moves

@@ -1,0 +1,236 @@
+"""The multi-user route-navigation game instance (Section 3.1).
+
+:class:`RouteNavigationGame` freezes everything that does not change during
+play: the task set, each user's recommended routes with their covered-task
+sets, detour distances ``h(r)`` and congestion levels ``c(r)``, the user
+weights ``(alpha_i, beta_i, gamma_i)`` and the platform weights
+``(phi, theta)``.  Strategy state lives in
+:class:`~repro.core.profile.StrategyProfile`.
+
+Derived per-route arrays are precomputed once:
+
+- ``route_cost[i][j]   = beta_i * phi * h + gamma_i * theta * c`` — the cost
+  part of the profit function (Eq. 2 with Eqs. 3-4 substituted);
+- ``route_pot_cost[i][j] = route_cost[i][j] / alpha_i`` — the cost part of
+  the potential function (Eq. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.weights import PlatformWeights, UserWeights
+from repro.network.routing import Route
+from repro.tasks.task import Task, TaskSet
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class RouteNavigationGame:
+    """Immutable game instance.
+
+    Parameters
+    ----------
+    tasks:
+        The task set ``L``.
+    route_sets:
+        ``route_sets[i]`` is user ``i``'s recommended route set ``R_i``
+        (Routes must already carry their covered ``task_ids``).
+    user_weights:
+        One :class:`UserWeights` per user.
+    platform:
+        The platform weights ``(phi, theta)``.
+    """
+
+    tasks: TaskSet
+    route_sets: tuple[tuple[Route, ...], ...]
+    user_weights: tuple[UserWeights, ...]
+    platform: PlatformWeights
+    # Unit in which the detour distance h(r) enters the profit function.
+    # Routes store physical km; the paper's h is unit-free with magnitudes
+    # comparable to task rewards, so scenario builders pass 0.1 (h counted
+    # in 100 m blocks).  1.0 keeps h in km.
+    detour_unit_km: float = 1.0
+    # Derived, filled in __post_init__ (kept out of __init__/__eq__):
+    route_task_ids: tuple[tuple[np.ndarray, ...], ...] = field(
+        init=False, repr=False, compare=False
+    )
+    route_cost: tuple[np.ndarray, ...] = field(init=False, repr=False, compare=False)
+    route_pot_cost: tuple[np.ndarray, ...] = field(
+        init=False, repr=False, compare=False
+    )
+    route_detour: tuple[np.ndarray, ...] = field(init=False, repr=False, compare=False)
+    route_congestion: tuple[np.ndarray, ...] = field(
+        init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        require(len(self.route_sets) == len(self.user_weights),
+                "route_sets and user_weights must have one entry per user")
+        require(len(self.route_sets) >= 1, "game needs at least one user")
+        require(self.detour_unit_km > 0, "detour_unit_km must be > 0")
+        n_tasks = len(self.tasks)
+        task_ids: list[tuple[np.ndarray, ...]] = []
+        costs: list[np.ndarray] = []
+        pot_costs: list[np.ndarray] = []
+        detours: list[np.ndarray] = []
+        congestions: list[np.ndarray] = []
+        for i, routes in enumerate(self.route_sets):
+            require(len(routes) >= 1, f"user {i} has an empty route set")
+            uw = self.user_weights[i]
+            ids_i: list[np.ndarray] = []
+            h = np.empty(len(routes))
+            c = np.empty(len(routes))
+            for j, r in enumerate(routes):
+                ids = np.asarray(r.task_ids, dtype=np.intp)
+                require(
+                    bool(np.all((ids >= 0) & (ids < n_tasks))) if ids.size else True,
+                    f"route ({i},{j}) references unknown task ids",
+                )
+                require(
+                    len(set(r.task_ids)) == len(r.task_ids),
+                    f"route ({i},{j}) has duplicate task ids",
+                )
+                ids_i.append(ids)
+                h[j] = r.detour_km / self.detour_unit_km
+                c[j] = r.congestion
+            d = self.platform.phi * h  # d(r) = phi * h(r), Eq. 3
+            b = self.platform.theta * c  # b(r) = theta * c(r), Eq. 4
+            cost = uw.beta * d + uw.gamma * b
+            task_ids.append(tuple(ids_i))
+            costs.append(cost)
+            pot_costs.append(cost / uw.alpha)
+            detours.append(h)
+            congestions.append(c)
+        object.__setattr__(self, "route_task_ids", tuple(task_ids))
+        object.__setattr__(self, "route_cost", tuple(costs))
+        object.__setattr__(self, "route_pot_cost", tuple(pot_costs))
+        object.__setattr__(self, "route_detour", tuple(detours))
+        object.__setattr__(self, "route_congestion", tuple(congestions))
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_users(self) -> int:
+        return len(self.route_sets)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    def num_routes(self, user: int) -> int:
+        return len(self.route_sets[user])
+
+    @property
+    def users(self) -> range:
+        return range(self.num_users)
+
+    # ------------------------------------------------------------------ views
+    def covered_tasks(self, user: int, route: int) -> np.ndarray:
+        """Task-id array ``L_r`` of user ``user``'s route ``route``."""
+        return self.route_task_ids[user][route]
+
+    def detour_h(self, user: int, route: int) -> float:
+        """Detour distance ``h(r)`` in game units (km / ``detour_unit_km``)."""
+        return float(self.route_detour[user][route])
+
+    def congestion_level(self, user: int, route: int) -> float:
+        """Raw congestion level ``c(r)``."""
+        return float(self.route_congestion[user][route])
+
+    def detour_cost(self, user: int, route: int) -> float:
+        """``d(r) = phi * h(r)`` (Eq. 3)."""
+        return self.platform.phi * float(self.route_detour[user][route])
+
+    def congestion_cost(self, user: int, route: int) -> float:
+        """``b(r) = theta * c(r)`` (Eq. 4)."""
+        return self.platform.theta * float(self.route_congestion[user][route])
+
+    # --------------------------------------------------------------- rebuilds
+    def with_platform(self, platform: PlatformWeights) -> "RouteNavigationGame":
+        """Same instance under different platform weights (Fig. 12 sweeps)."""
+        return RouteNavigationGame(
+            self.tasks, self.route_sets, self.user_weights, platform,
+            self.detour_unit_km,
+        )
+
+    def with_user_weights(
+        self, user: int, weights: UserWeights
+    ) -> "RouteNavigationGame":
+        """Same instance with one user's preferences changed (Table 5 sweeps)."""
+        uw = list(self.user_weights)
+        uw[user] = weights
+        return RouteNavigationGame(
+            self.tasks, self.route_sets, tuple(uw), self.platform,
+            self.detour_unit_km,
+        )
+
+    # ------------------------------------------------------------ constructors
+    @staticmethod
+    def build(
+        tasks: TaskSet | Sequence[Task],
+        route_sets: Sequence[Sequence[Route]],
+        user_weights: Sequence[UserWeights],
+        platform: PlatformWeights,
+        *,
+        detour_unit_km: float = 1.0,
+    ) -> "RouteNavigationGame":
+        """Normalize plain sequences into the frozen instance."""
+        ts = tasks if isinstance(tasks, TaskSet) else TaskSet(list(tasks))
+        return RouteNavigationGame(
+            tasks=ts,
+            route_sets=tuple(tuple(rs) for rs in route_sets),
+            user_weights=tuple(user_weights),
+            platform=platform,
+            detour_unit_km=detour_unit_km,
+        )
+
+    @staticmethod
+    def from_coverage(
+        coverage: Sequence[Sequence[Sequence[int]]],
+        *,
+        base_rewards: Sequence[float],
+        reward_increments: Sequence[float] | float = 0.0,
+        detours: Sequence[Sequence[float]] | None = None,
+        congestions: Sequence[Sequence[float]] | None = None,
+        user_weights: Sequence[UserWeights] | None = None,
+        platform: PlatformWeights = PlatformWeights(0.5, 0.5),
+    ) -> "RouteNavigationGame":
+        """Build an abstract game directly from coverage lists.
+
+        ``coverage[i][j]`` is the list of task ids covered by user ``i``'s
+        route ``j``.  This is the entry point for hand-built instances
+        (Fig. 1, Fig. 2, the NP-hardness reduction, and unit tests) that do
+        not need the road-network substrate.
+        """
+        n_tasks = len(base_rewards)
+        if isinstance(reward_increments, (int, float)):
+            incs = [float(reward_increments)] * n_tasks
+        else:
+            incs = [float(v) for v in reward_increments]
+        require(len(incs) == n_tasks, "reward_increments length mismatch")
+        task_list = [
+            Task(k, 0.0, 0.0, float(base_rewards[k]), incs[k]) for k in range(n_tasks)
+        ]
+        n_users = len(coverage)
+        if user_weights is None:
+            user_weights = [UserWeights(1.0, 1.0, 1.0, e_min=0.05, e_max=1.0)] * n_users
+        route_sets: list[list[Route]] = []
+        for i, routes in enumerate(coverage):
+            rs: list[Route] = []
+            for j, ids in enumerate(routes):
+                h = float(detours[i][j]) if detours is not None else 0.0
+                c = float(congestions[i][j]) if congestions is not None else 0.0
+                rs.append(
+                    Route(
+                        nodes=(0,),
+                        length_km=h,
+                        detour_km=h,
+                        congestion=c,
+                        task_ids=tuple(int(t) for t in ids),
+                    )
+                )
+            route_sets.append(rs)
+        return RouteNavigationGame.build(task_list, route_sets, user_weights, platform)

@@ -1,0 +1,92 @@
+"""Theorem 1: reduction from maximum set cover.
+
+The centralized profit-maximization problem (Eq. 5) contains maximum set
+cover as a special case: ``mu_k = 0``, ``a_k = a`` for every task,
+``phi = theta = 0``, ``alpha_i = 1``, and all users share one recommended
+route collection.  Then each user's profit is ``sum_{k in L_{s_i}} a/n_k``
+and the total profit equals ``a *`` (number of covered tasks), so choosing
+``h = |U|`` routes to cover the most elements is exactly maximum set cover.
+
+This module materializes that construction so tests can check the
+correspondence: for every strategy profile of the constructed game,
+``total_profit == a * covered_elements``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.game import RouteNavigationGame
+from repro.core.profile import StrategyProfile
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A maximum-set-cover instance: pick ``h`` subsets covering most elements."""
+
+    n_elements: int
+    subsets: tuple[tuple[int, ...], ...]
+    h: int
+
+    def __post_init__(self) -> None:
+        require(self.n_elements >= 1, "need at least one element")
+        require(len(self.subsets) >= 1, "need at least one subset")
+        require(1 <= self.h, "h must be >= 1")
+        for s in self.subsets:
+            require(
+                all(0 <= e < self.n_elements for e in s),
+                f"subset {s} references unknown elements",
+            )
+
+    def covered(self, selection: list[int]) -> set[int]:
+        """Union of the selected subsets."""
+        out: set[int] = set()
+        for idx in selection:
+            out.update(self.subsets[idx])
+        return out
+
+
+def game_from_set_cover(
+    instance: SetCoverInstance, *, base_reward: float = 1.0
+) -> RouteNavigationGame:
+    """Theorem 1's special-case game for a set-cover instance.
+
+    ``h`` users, all with the identical route set (one route per subset);
+    total profit of any profile equals ``base_reward * |covered elements|``.
+    """
+    coverage = [
+        [list(s) for s in instance.subsets] for _ in range(instance.h)
+    ]
+    return RouteNavigationGame.from_coverage(
+        coverage,
+        base_rewards=[base_reward] * instance.n_elements,
+        reward_increments=0.0,
+    )
+
+
+def covered_elements(instance: SetCoverInstance, profile: StrategyProfile) -> int:
+    """Number of elements covered by the profile's route selection."""
+    return len(instance.covered([profile.route_of(i) for i in profile.game.users]))
+
+
+def greedy_set_cover_value(instance: SetCoverInstance) -> int:
+    """Classic (1 - 1/e)-approximate greedy max coverage value.
+
+    Used as a reference point: the constructed game's CORN optimum must be
+    >= the greedy value, and the greedy value >= (1 - 1/e) * optimum.
+    """
+    covered: set[int] = set()
+    remaining = list(range(len(instance.subsets)))
+    for _ in range(instance.h):
+        best_idx, best_gain = -1, -1
+        for idx in remaining:
+            gain = len(set(instance.subsets[idx]) - covered)
+            if gain > best_gain:
+                best_idx, best_gain = idx, gain
+        if best_idx < 0:
+            break
+        covered.update(instance.subsets[best_idx])
+        # Users share the route catalogue, so the same subset may be picked
+        # again by another user — but re-picking never helps coverage.
+    return len(covered)

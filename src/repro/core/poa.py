@@ -1,0 +1,100 @@
+"""Price of Anarchy (Section 4.4, Theorem 5).
+
+``PoA = min_{s in NE} sum_i P_i(s) / sum_i P_i(s*)`` — worst equilibrium
+over centralized optimum.  Theorem 5 gives a closed-form lower bound for a
+special-case game; :func:`poa_lower_bound` generalizes the same pessimistic/
+optimistic per-user envelope to arbitrary instances (this is what Table 4's
+"Bound" column reports), and :func:`empirical_poa_ratio` measures the
+realized DGRN/CORN ratio it must dominate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.game import RouteNavigationGame
+from repro.core.profile import StrategyProfile
+from repro.core.profit import total_profit
+from repro.utils.validation import check_positive, require
+
+
+def special_case_poa_bounds(
+    n_users: int,
+    n_common_tasks: int,
+    base_reward: float,
+    private_profits: list[float],
+) -> tuple[float, float]:
+    """Theorem 5's ``(lower, upper)`` PoA bounds for the special-case game.
+
+    The game: each user ``i`` owns a private route ``r'_i`` worth
+    ``private_profits[i]`` plus a shared route set ``R`` covering
+    ``n_common_tasks`` tasks, each rewarding ``w_k = a + ln(x)``.  Then
+
+    ``p = (|U| + |L'| - 1) / |L'|``,
+    ``P_min = (a + ln p)/p``, ``P_max = a``, and
+
+    ``sum_i max(P_i, P_min) / sum_i max(P_i, P_max) <= PoA <= 1``.
+    """
+    require(n_users >= 1, "need at least one user")
+    require(n_common_tasks >= 1, "need at least one common task")
+    check_positive("base_reward", base_reward)
+    require(len(private_profits) == n_users, "one private profit per user")
+    p = (n_users + n_common_tasks - 1) / n_common_tasks
+    p_min = (base_reward + math.log(p)) / p
+    p_max = base_reward
+    numer = sum(max(pi, p_min) for pi in private_profits)
+    denom = sum(max(pi, p_max) for pi in private_profits)
+    require(denom > 0, "degenerate special case: zero optimal profit")
+    return numer / denom, 1.0
+
+
+def poa_lower_bound(game: RouteNavigationGame) -> float:
+    """Per-user pessimistic/optimistic envelope bound for a general instance.
+
+    For each user, the *optimistic* profit assumes the best route with every
+    task unshared (``n_k = 1``); the *pessimistic* profit assumes the user's
+    best route under maximal sharing pressure ``p = (|U| + |L| - 1)/|L|``
+    users per task (Theorem 5's balanced-congestion count).  The bound is
+    ``sum_i max(P_i^pess, P_i^solo_min) / sum_i P_i^opt`` clipped to [0, 1];
+    it is heuristic for general games (Theorem 5 only proves it for the
+    special case) and Table 4 checks the measured ratio dominates it.
+    """
+    m, n = game.num_users, game.num_tasks
+    require(n >= 1, "instance has no tasks")
+    p = (m + n - 1) / n
+    base = game.tasks.base_rewards
+    incs = game.tasks.reward_increments
+    optimistic_total = 0.0
+    pessimistic_total = 0.0
+    for i in game.users:
+        alpha = game.user_weights[i].alpha
+        costs = game.route_cost[i]
+        best_opt = -np.inf
+        best_pess = -np.inf
+        for j in range(game.num_routes(i)):
+            ids = game.covered_tasks(i, j)
+            if ids.size:
+                solo = float(base[ids].sum())
+                shared = float(
+                    np.sum((base[ids] + incs[ids] * np.log(p)) / p)
+                )
+            else:
+                solo = shared = 0.0
+            best_opt = max(best_opt, alpha * solo - float(costs[j]))
+            best_pess = max(best_pess, alpha * shared - float(costs[j]))
+        optimistic_total += best_opt
+        pessimistic_total += best_pess
+    if optimistic_total <= 0:
+        return 0.0
+    return float(np.clip(pessimistic_total / optimistic_total, 0.0, 1.0))
+
+
+def empirical_poa_ratio(
+    equilibrium: StrategyProfile, optimum: StrategyProfile
+) -> float:
+    """Measured ratio ``total_profit(NE) / total_profit(OPT)``."""
+    opt = total_profit(optimum)
+    require(opt > 0, "optimal profile has non-positive total profit")
+    return total_profit(equilibrium) / opt

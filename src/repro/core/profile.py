@@ -1,0 +1,151 @@
+"""Strategy profiles ``s = (s_1, ..., s_M)`` with incremental task counters.
+
+The profile keeps the participant-count vector ``n_k(s)`` synchronized with
+the users' route choices; a single-user move updates only the counters of
+the symmetric difference between the old and new covered-task sets, which is
+what makes best-response loops and the potential delta O(|route tasks|)
+instead of O(|L|).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.game import RouteNavigationGame
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_index, require
+
+
+class StrategyProfile:
+    """Mutable assignment of one route per user plus derived ``n_k`` counts."""
+
+    __slots__ = ("game", "choices", "counts")
+
+    def __init__(
+        self,
+        game: RouteNavigationGame,
+        choices: Sequence[int] | np.ndarray,
+    ) -> None:
+        self.game = game
+        arr = np.asarray(choices, dtype=np.intp)
+        require(
+            arr.shape == (game.num_users,),
+            f"choices must have shape ({game.num_users},), got {arr.shape}",
+        )
+        for i, j in enumerate(arr):
+            check_index(f"choices[{i}]", int(j), game.num_routes(i))
+        self.choices = arr.copy()
+        self.counts = self._recount()
+
+    def _recount(self) -> np.ndarray:
+        counts = np.zeros(self.game.num_tasks, dtype=np.intp)
+        for i, j in enumerate(self.choices):
+            ids = self.game.covered_tasks(i, int(j))
+            if ids.size:
+                np.add.at(counts, ids, 1)
+        return counts
+
+    # ------------------------------------------------------------------ reads
+    def route_of(self, user: int) -> int:
+        """Current route index ``s_i`` of ``user``."""
+        return int(self.choices[user])
+
+    def covered_by(self, user: int) -> np.ndarray:
+        """Task ids covered by ``user``'s current route, ``L_{s_i}``."""
+        return self.game.covered_tasks(user, self.route_of(user))
+
+    def count_of(self, task: int) -> int:
+        """``n_k(s)`` for task ``task``."""
+        return int(self.counts[task])
+
+    def counts_without(self, user: int) -> np.ndarray:
+        """``n_k(s_{-i})``: counts with ``user``'s contribution removed.
+
+        Returns a fresh array; the profile is unchanged.
+        """
+        out = self.counts.copy()
+        ids = self.covered_by(user)
+        if ids.size:
+            out[ids] -= 1
+        return out
+
+    # ----------------------------------------------------------------- writes
+    def move(self, user: int, new_route: int) -> int:
+        """Switch ``user`` to ``new_route``; returns the previous route.
+
+        Counter updates touch only the symmetric difference of the two
+        routes' task sets.
+        """
+        check_index("new_route", new_route, self.game.num_routes(user))
+        old_route = self.route_of(user)
+        if new_route == old_route:
+            return old_route
+        old_ids = self.game.covered_tasks(user, old_route)
+        new_ids = self.game.covered_tasks(user, new_route)
+        if old_ids.size:
+            self.counts[old_ids] -= 1
+        if new_ids.size:
+            self.counts[new_ids] += 1
+        self.choices[user] = new_route
+        return old_route
+
+    def copy(self) -> "StrategyProfile":
+        clone = object.__new__(StrategyProfile)
+        clone.game = self.game
+        clone.choices = self.choices.copy()
+        clone.counts = self.counts.copy()
+        return clone
+
+    # ------------------------------------------------------------- invariants
+    def validate(self) -> None:
+        """Assert counter/choice consistency (used by tests and debug runs)."""
+        expected = self._recount()
+        if not np.array_equal(expected, self.counts):
+            raise AssertionError(
+                f"task counters out of sync: expected {expected}, have {self.counts}"
+            )
+        if np.any(self.counts < 0):
+            raise AssertionError("negative task counter")
+
+    # ----------------------------------------------------------- constructors
+    @staticmethod
+    def random(game: RouteNavigationGame, seed: SeedLike = None) -> "StrategyProfile":
+        """Uniform-random initial profile (Algorithm 1, line 3)."""
+        rng = as_generator(seed)
+        choices = [int(rng.integers(0, game.num_routes(i))) for i in game.users]
+        return StrategyProfile(game, choices)
+
+    @staticmethod
+    def all_profiles(game: RouteNavigationGame) -> Iterable["StrategyProfile"]:
+        """Iterate the full strategy space (exponential; small games only)."""
+        sizes = [game.num_routes(i) for i in game.users]
+        total = int(np.prod(sizes))
+        require(total <= 2_000_000, f"strategy space too large to enumerate: {total}")
+        choices = np.zeros(len(sizes), dtype=np.intp)
+        profile = StrategyProfile(game, choices)
+        while True:
+            yield profile.copy()
+            for i in range(len(sizes) - 1, -1, -1):
+                if choices[i] + 1 < sizes[i]:
+                    profile.move(i, int(choices[i]) + 1)
+                    choices = profile.choices
+                    break
+                profile.move(i, 0)
+                choices = profile.choices
+            else:
+                return
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StrategyProfile):
+            return NotImplemented
+        return self.game is other.game and bool(
+            np.array_equal(self.choices, other.choices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.game), tuple(int(c) for c in self.choices)))
+
+    def __repr__(self) -> str:
+        return f"StrategyProfile({self.choices.tolist()})"

@@ -1,0 +1,102 @@
+"""Profit functions (Eq. 2) and their vectorized what-if evaluation.
+
+``P_i(s) = alpha_i * sum_{k in L_{s_i}} w_k(n_k(s)) / n_k(s)
+         - beta_i * d(s_i) - gamma_i * b(s_i)``
+
+The cost part ``beta_i d + gamma_i b`` is precomputed per route in
+:class:`~repro.core.game.RouteNavigationGame` (``route_cost``); this module
+supplies the sharing-aware reward part.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.game import RouteNavigationGame
+from repro.core.profile import StrategyProfile
+
+
+def _route_reward(
+    game: RouteNavigationGame, user: int, route: int, counts_with_user: np.ndarray
+) -> float:
+    """Reward sum ``sum_{k in L_r} w_k(n_k)/n_k`` given counts that already
+    include this user on route ``route``'s tasks."""
+    ids = game.covered_tasks(user, route)
+    if ids.size == 0:
+        return 0.0
+    n = counts_with_user[ids].astype(float)
+    a = game.tasks.base_rewards[ids]
+    mu = game.tasks.reward_increments[ids]
+    return float(np.sum((a + mu * np.log(n)) / n))
+
+
+def reward_of_user(profile: StrategyProfile, user: int) -> float:
+    """The (alpha-weighted-before) raw reward term of ``user`` under ``profile``."""
+    return _route_reward(
+        profile.game, user, profile.route_of(user), profile.counts
+    )
+
+
+def profit_of_user(profile: StrategyProfile, user: int) -> float:
+    """``P_i(s)`` for the profile's current strategy of ``user``."""
+    game = profile.game
+    route = profile.route_of(user)
+    reward = _route_reward(game, user, route, profile.counts)
+    return game.user_weights[user].alpha * reward - float(
+        game.route_cost[user][route]
+    )
+
+
+def all_profits(profile: StrategyProfile) -> np.ndarray:
+    """Vector of ``P_i(s)`` for every user.
+
+    The per-task shares ``w_k(n_k)/n_k`` are computed once for the whole
+    task set and gathered per user, so the cost is O(|L| + sum |L_{s_i}|).
+    """
+    game = profile.game
+    shares = game.tasks.shares(profile.counts)
+    out = np.empty(game.num_users)
+    for i in game.users:
+        route = profile.route_of(i)
+        ids = game.covered_tasks(i, route)
+        reward = float(shares[ids].sum()) if ids.size else 0.0
+        out[i] = game.user_weights[i].alpha * reward - float(
+            game.route_cost[i][route]
+        )
+    return out
+
+
+def total_profit(profile: StrategyProfile) -> float:
+    """``sum_i P_i(s)`` — the centralized objective (Eq. 5)."""
+    return float(all_profits(profile).sum())
+
+
+def candidate_profits(profile: StrategyProfile, user: int) -> np.ndarray:
+    """Profit ``user`` would get from each of its routes, others fixed.
+
+    Entry ``j`` is ``P_i(r_j, s_{-i})``.  The user's own contribution is
+    removed from the counters once, then each candidate route is evaluated
+    against ``n_k(s_{-i}) + 1`` on its own tasks — including the current
+    route, whose entry therefore equals :func:`profit_of_user`.
+    """
+    game = profile.game
+    counts_wo = profile.counts_without(user)
+    alpha = game.user_weights[user].alpha
+    costs = game.route_cost[user]
+    out = np.empty(game.num_routes(user))
+    base = game.tasks.base_rewards
+    incs = game.tasks.reward_increments
+    for j in range(game.num_routes(user)):
+        ids = game.covered_tasks(user, j)
+        if ids.size == 0:
+            out[j] = -float(costs[j])
+            continue
+        n = counts_wo[ids].astype(float) + 1.0
+        reward = float(np.sum((base[ids] + incs[ids] * np.log(n)) / n))
+        out[j] = alpha * reward - float(costs[j])
+    return out
+
+
+def profit_if_moved(profile: StrategyProfile, user: int, route: int) -> float:
+    """``P_i(route, s_{-i})`` without mutating the profile."""
+    return float(candidate_profits(profile, user)[route])

@@ -1,0 +1,132 @@
+"""Better/best response updates (Definition 1) and update proposals.
+
+The *best route set* ``Delta_i(t)`` of Algorithm 1 (line 10) is the set of
+routes that both maximize the user's profit given ``s_{-i}`` and strictly
+improve on the current route.  An :class:`UpdateProposal` packages what a
+user sends to the platform when requesting an update (Algorithm 3's inputs):
+the profit gain scaled by ``1/alpha_i`` (``tau_i``) and the set of tasks
+jointly touched by the old and new routes (``B_i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+from repro.core.profit import candidate_profits
+
+# Strict-improvement tolerance: float noise below this is not an incentive
+# to move, which also guarantees termination of response dynamics.
+IMPROVEMENT_EPS = 1e-9
+
+
+def better_responses(profile: StrategyProfile, user: int) -> list[int]:
+    """Routes strictly better than the current one (better-response set)."""
+    profits = candidate_profits(profile, user)
+    current = profits[profile.route_of(user)]
+    return [int(j) for j in np.flatnonzero(profits > current + IMPROVEMENT_EPS)]
+
+
+def best_response_set(profile: StrategyProfile, user: int) -> list[int]:
+    """``Delta_i(t)``: profit-maximizing routes that strictly improve.
+
+    Empty when the current route is already (within tolerance) optimal —
+    exactly Algorithm 1's "no update request" condition.
+    """
+    profits = candidate_profits(profile, user)
+    current = profits[profile.route_of(user)]
+    best = float(profits.max())
+    if best <= current + IMPROVEMENT_EPS:
+        return []
+    return [int(j) for j in np.flatnonzero(profits >= best - IMPROVEMENT_EPS)]
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateProposal:
+    """A user's request to switch routes.
+
+    Attributes
+    ----------
+    user:
+        Requesting user id.
+    new_route:
+        The chosen element of the best route set.
+    gain:
+        ``P_i(s_i', s_{-i}) - P_i(s)`` — the raw profit improvement.
+    tau:
+        ``gain / alpha_i`` — the potential-function improvement the move
+        realizes (Eq. 11), PUU's objective contribution.
+    touched_tasks:
+        ``B_i``: tasks covered by the old or the new route (their counters
+        change or their shares are re-split when the move executes).
+    """
+
+    user: int
+    new_route: int
+    gain: float
+    tau: float
+    touched_tasks: frozenset[int]
+
+    @property
+    def delta(self) -> float:
+        """PUU's sort key ``delta_i = tau_i / |B_i|`` (Algorithm 3, line 2)."""
+        return self.tau / max(len(self.touched_tasks), 1)
+
+
+def best_update(
+    profile: StrategyProfile,
+    user: int,
+    *,
+    pick: str = "first",
+    rng: np.random.Generator | None = None,
+) -> UpdateProposal | None:
+    """Build the user's update proposal, or ``None`` if no improvement exists.
+
+    ``pick`` selects among ties in the best route set: ``"first"`` (lowest
+    index, deterministic) or ``"random"`` (requires ``rng``).
+    """
+    profits = candidate_profits(profile, user)
+    current = profits[profile.route_of(user)]
+    best = float(profits.max())
+    if best <= current + IMPROVEMENT_EPS:
+        return None
+    candidates = [int(j) for j in np.flatnonzero(profits >= best - IMPROVEMENT_EPS)]
+    if pick == "first":
+        new_route = candidates[0]
+    elif pick == "random":
+        if rng is None:
+            raise ValueError("pick='random' requires an rng")
+        new_route = int(candidates[int(rng.integers(0, len(candidates)))])
+    else:
+        raise ValueError(f"unknown pick mode: {pick!r}")
+    return make_proposal(profile, user, new_route, profits=profits)
+
+
+def make_proposal(
+    profile: StrategyProfile,
+    user: int,
+    new_route: int,
+    *,
+    profits: np.ndarray | None = None,
+) -> UpdateProposal:
+    """Package an explicit move as an :class:`UpdateProposal`.
+
+    Pass ``profits`` (from :func:`candidate_profits`) to avoid recomputing.
+    """
+    game = profile.game
+    if profits is None:
+        profits = candidate_profits(profile, user)
+    gain = float(profits[new_route] - profits[profile.route_of(user)])
+    alpha = game.user_weights[user].alpha
+    old_ids = game.covered_tasks(user, profile.route_of(user))
+    new_ids = game.covered_tasks(user, new_route)
+    touched = frozenset(int(t) for t in old_ids) | frozenset(int(t) for t in new_ids)
+    return UpdateProposal(
+        user=user,
+        new_route=int(new_route),
+        gain=gain,
+        tau=gain / alpha,
+        touched_tasks=touched,
+    )

@@ -1,0 +1,94 @@
+"""Preference weights of users and the platform (Section 3.1).
+
+Users control ``alpha_i`` (reward emphasis), ``beta_i`` (detour aversion)
+and ``gamma_i`` (congestion aversion), each bounded in ``(e_min, e_max)``
+with ``e_min > 0``.  The platform controls ``phi`` (detour-cost scale,
+Eq. 3) and ``theta`` (congestion-cost scale, Eq. 4), both in ``(0, 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require
+
+E_MIN_DEFAULT = 0.05
+E_MAX_DEFAULT = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class UserWeights:
+    """Per-user preference weights ``(alpha_i, beta_i, gamma_i)``.
+
+    The paper constrains ``e_min < alpha, beta, gamma < e_max`` with
+    ``e_min > 0`` (needed by the Theorem 4 convergence bound); Table 2
+    samples them from [0.1, 0.9].
+    """
+
+    alpha: float
+    beta: float
+    gamma: float
+    e_min: float = E_MIN_DEFAULT
+    e_max: float = E_MAX_DEFAULT
+
+    def __post_init__(self) -> None:
+        require(0.0 < self.e_min < self.e_max, f"need 0 < e_min < e_max, got {self}")
+        for name in ("alpha", "beta", "gamma"):
+            v = getattr(self, name)
+            require(
+                self.e_min <= v <= self.e_max,
+                f"{name}={v} outside [{self.e_min}, {self.e_max}]",
+            )
+
+    def replace(self, **kwargs: float) -> "UserWeights":
+        """Copy with some fields changed (user adjusting preferences)."""
+        data = {
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "gamma": self.gamma,
+            "e_min": self.e_min,
+            "e_max": self.e_max,
+        }
+        data.update(kwargs)
+        return UserWeights(**data)
+
+    @staticmethod
+    def random(
+        rng_or_seed: SeedLike = None,
+        *,
+        low: float = 0.1,
+        high: float = 0.9,
+        e_min: float = E_MIN_DEFAULT,
+        e_max: float = E_MAX_DEFAULT,
+    ) -> "UserWeights":
+        """Sample weights uniformly from ``[low, high]`` (Table 2 defaults)."""
+        rng = as_generator(rng_or_seed)
+        a, b, g = rng.uniform(low, high, size=3)
+        return UserWeights(float(a), float(b), float(g), e_min=e_min, e_max=e_max)
+
+
+@dataclass(frozen=True, slots=True)
+class PlatformWeights:
+    """Platform-controlled cost scales ``phi`` (detour) and ``theta``
+    (congestion); Table 2 samples them from [0.1, 0.8]."""
+
+    phi: float
+    theta: float
+
+    def __post_init__(self) -> None:
+        require(0.0 <= self.phi < 1.0, f"phi must be in [0, 1), got {self.phi}")
+        require(0.0 <= self.theta < 1.0, f"theta must be in [0, 1), got {self.theta}")
+
+    def replace(self, **kwargs: float) -> "PlatformWeights":
+        data = {"phi": self.phi, "theta": self.theta}
+        data.update(kwargs)
+        return PlatformWeights(**data)
+
+    @staticmethod
+    def random(
+        rng_or_seed: SeedLike = None, *, low: float = 0.1, high: float = 0.8
+    ) -> "PlatformWeights":
+        rng = as_generator(rng_or_seed)
+        p, t = rng.uniform(low, high, size=2)
+        return PlatformWeights(float(p), float(t))

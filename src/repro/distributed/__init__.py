@@ -1,0 +1,43 @@
+"""Message-passing implementation of Algorithms 1-3.
+
+User agents (Algorithm 1) and the platform agent (Algorithm 2) communicate
+exclusively through typed messages over an in-process bus — no shared game
+state.  Users see only their own recommended routes, costs, and the task
+counts the platform sends them (the paper's privacy argument: no user
+uploads its location or preferences).
+
+The :class:`DistributedSimulation` driver advances decision slots until the
+platform broadcasts termination; the outcome is cross-validated against the
+fast in-memory engines in the test suite.
+"""
+
+from repro.distributed.messages import (
+    DecisionReport,
+    Message,
+    RouteAnnotation,
+    RouteRecommendation,
+    TaskCountUpdate,
+    Termination,
+    UpdateGrant,
+    UpdateRequest,
+)
+from repro.distributed.bus import MessageBus
+from repro.distributed.user_agent import UserAgent
+from repro.distributed.platform_agent import PlatformAgent
+from repro.distributed.simulator import DistributedOutcome, DistributedSimulation
+
+__all__ = [
+    "DecisionReport",
+    "DistributedOutcome",
+    "DistributedSimulation",
+    "Message",
+    "MessageBus",
+    "PlatformAgent",
+    "RouteAnnotation",
+    "RouteRecommendation",
+    "TaskCountUpdate",
+    "Termination",
+    "UpdateGrant",
+    "UpdateRequest",
+    "UserAgent",
+]

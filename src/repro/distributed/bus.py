@@ -1,0 +1,78 @@
+"""In-process message bus: per-agent FIFO mailboxes with delivery stats.
+
+The transport stand-in for the phone/platform network (DESIGN.md,
+substitution 3).  Delivery is reliable and ordered by default; the
+simulator controls when each agent drains its mailbox, which makes slot
+boundaries explicit and runs reproducible.
+
+For the robustness extension (not in the paper), the bus can drop
+*telemetry* messages with a configurable probability: in a real deployment
+the control plane (grants, decisions, termination) rides a reliable
+transport while task-count updates may arrive late or never, leaving users
+to decide on stale counts.  Pass ``drop_prob > 0`` and a ``droppable``
+tuple of message types to enable it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque
+
+import numpy as np
+
+from repro.distributed.messages import Message, TaskCountUpdate
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_probability
+
+
+class MessageBus:
+    """Named mailboxes plus per-message-type traffic counters."""
+
+    def __init__(
+        self,
+        *,
+        drop_prob: float = 0.0,
+        droppable: tuple[type, ...] = (TaskCountUpdate,),
+        seed: SeedLike = None,
+    ) -> None:
+        self._boxes: dict[str, Deque[Message]] = defaultdict(deque)
+        self.sent_by_type: dict[str, int] = defaultdict(int)
+        self.total_sent = 0
+        self.total_dropped = 0
+        self.drop_prob = check_probability("drop_prob", drop_prob)
+        self.droppable = droppable
+        self._rng: np.random.Generator | None = (
+            as_generator(seed) if drop_prob > 0.0 else None
+        )
+
+    def post(self, recipient: str, message: Message) -> None:
+        """Append ``message`` to ``recipient``'s mailbox.
+
+        Droppable message types are lost with probability ``drop_prob``
+        (still counted as sent — the sender paid for the transmission).
+        """
+        self.sent_by_type[type(message).__name__] += 1
+        self.total_sent += 1
+        if (
+            self._rng is not None
+            and isinstance(message, self.droppable)
+            and self._rng.random() < self.drop_prob
+        ):
+            self.total_dropped += 1
+            return
+        self._boxes[recipient].append(message)
+
+    def drain(self, recipient: str) -> list[Message]:
+        """Remove and return everything in ``recipient``'s mailbox."""
+        box = self._boxes[recipient]
+        out = list(box)
+        box.clear()
+        return out
+
+    def pending(self, recipient: str) -> int:
+        """Number of undelivered messages for ``recipient``."""
+        return len(self._boxes[recipient])
+
+    def traffic_summary(self) -> dict[str, int]:
+        """Copy of the per-type delivery counters."""
+        return dict(self.sent_by_type)

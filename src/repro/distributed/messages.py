@@ -1,0 +1,94 @@
+"""Typed protocol messages exchanged between user agents and the platform.
+
+The protocol follows Algorithms 1 and 2 line by line:
+
+==========================  =======================================  =========
+Message                     Paper step                               Direction
+==========================  =======================================  =========
+RouteRecommendation         Alg. 2 line 1 / Alg. 1 line 2            P -> U
+DecisionReport(initial)     Alg. 1 line 4 / Alg. 2 line 2            U -> P
+RouteAnnotation             Alg. 2 line 4 / Alg. 1 line 7            P -> U
+TaskCountUpdate             Alg. 2 lines 4, 10 / Alg. 1 lines 5, 9   P -> U
+UpdateRequest               Alg. 1 line 12 / Alg. 2 line 6           U -> P
+UpdateGrant                 Alg. 2 line 9 / Alg. 1 line 13           P -> U
+DecisionReport              Alg. 1 line 15 / Alg. 2 line 10          U -> P
+Termination                 Alg. 2 line 12 / Alg. 1 line 18          P -> U
+==========================  =======================================  =========
+
+Task counts are sent *only for the tasks covered by the recipient's own
+recommended routes* — the platform never shares other users' identities or
+full strategy information (the privacy point of Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class: every message carries its sender."""
+
+    sender: str
+
+
+@dataclass(frozen=True, slots=True)
+class RouteRecommendation(Message):
+    """P -> U: the recommended route set ``R_i``.
+
+    ``routes[j]`` is the tuple of task ids covered by route ``j``;
+    ``task_params`` maps each of those task ids to its published reward
+    parameters ``(a_k, mu_k)`` (task adverts are public in MCS).
+    """
+
+    routes: tuple[tuple[int, ...], ...]
+    task_params: dict[int, tuple[float, float]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class RouteAnnotation(Message):
+    """P -> U: per-route detour cost ``d(r)`` and congestion cost ``b(r)``."""
+
+    detour_costs: tuple[float, ...]
+    congestion_costs: tuple[float, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskCountUpdate(Message):
+    """P -> U: participant counts for the tasks the user's routes cover."""
+
+    slot: int
+    counts: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateRequest(Message):
+    """U -> P: request to update; carries ``tau_i`` and ``B_i`` for PUU."""
+
+    slot: int
+    user: int
+    tau: float
+    touched_tasks: frozenset[int]
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateGrant(Message):
+    """P -> U: the user won this slot's update opportunity."""
+
+    slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionReport(Message):
+    """U -> P: the user's (initial or updated) route decision."""
+
+    slot: int
+    user: int
+    route: int
+
+
+@dataclass(frozen=True, slots=True)
+class Termination(Message):
+    """P -> U: equilibrium reached; stop updating."""
+
+    slot: int

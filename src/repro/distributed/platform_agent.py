@@ -1,0 +1,167 @@
+"""Platform-side agent: Algorithm 2 plus the SUU/PUU schedulers.
+
+The platform knows the game instance (it generated the recommendations and
+task adverts) but learns the users' *decisions* only through
+:class:`~repro.distributed.messages.DecisionReport` messages.  Per slot it
+collects update requests, grants one (SUU) or a disjoint set (PUU,
+Algorithm 3), applies the reported decisions to its task counters, and
+pushes refreshed counts to each user — restricted to the tasks that user's
+routes cover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.game import RouteNavigationGame
+from repro.distributed.bus import MessageBus
+from repro.distributed.messages import (
+    DecisionReport,
+    RouteAnnotation,
+    RouteRecommendation,
+    TaskCountUpdate,
+    Termination,
+    UpdateGrant,
+    UpdateRequest,
+)
+
+PLATFORM = "platform"
+
+
+def _user_name(user: int) -> str:
+    return f"user-{user}"
+
+
+class PlatformAgent:
+    """The crowdsensing platform (Algorithm 2)."""
+
+    def __init__(
+        self,
+        game: RouteNavigationGame,
+        bus: MessageBus,
+        rng: np.random.Generator,
+        *,
+        scheduler: str = "suu",
+    ) -> None:
+        if scheduler not in ("suu", "puu"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        self.game = game
+        self.bus = bus
+        self.rng = rng
+        self.scheduler = scheduler
+        self.counts = np.zeros(game.num_tasks, dtype=np.intp)
+        self.decisions: dict[int, int] = {}
+        self.granted_per_slot: list[int] = []
+        self.terminated = False
+
+    # ------------------------------------------------------------- handshake
+    def send_recommendations(self) -> None:
+        """Alg. 2 line 1: recommended routes + reward adverts + costs."""
+        game = self.game
+        for i in game.users:
+            routes = tuple(
+                tuple(int(t) for t in game.covered_tasks(i, j))
+                for j in range(game.num_routes(i))
+            )
+            involved = sorted({t for r in routes for t in r})
+            params = {
+                k: (
+                    float(game.tasks.base_rewards[k]),
+                    float(game.tasks.reward_increments[k]),
+                )
+                for k in involved
+            }
+            self.bus.post(
+                _user_name(i),
+                RouteRecommendation(PLATFORM, routes=routes, task_params=params),
+            )
+            self.bus.post(
+                _user_name(i),
+                RouteAnnotation(
+                    PLATFORM,
+                    detour_costs=tuple(
+                        game.detour_cost(i, j) for j in range(game.num_routes(i))
+                    ),
+                    congestion_costs=tuple(
+                        game.congestion_cost(i, j)
+                        for j in range(game.num_routes(i))
+                    ),
+                ),
+            )
+
+    def process_inbox(self) -> tuple[list[UpdateRequest], list[DecisionReport]]:
+        """Split queued messages into requests and decision reports."""
+        requests: list[UpdateRequest] = []
+        reports: list[DecisionReport] = []
+        for msg in self.bus.drain(PLATFORM):
+            if isinstance(msg, UpdateRequest):
+                requests.append(msg)
+            elif isinstance(msg, DecisionReport):
+                reports.append(msg)
+            else:  # pragma: no cover - protocol misuse guard
+                raise TypeError(f"platform: unexpected message {type(msg).__name__}")
+        return requests, reports
+
+    # ----------------------------------------------------------- bookkeeping
+    def apply_reports(self, reports: list[DecisionReport]) -> None:
+        """Alg. 2 lines 2-3, 10: fold decisions into the task counters."""
+        for rep in reports:
+            old = self.decisions.get(rep.user)
+            if old is not None:
+                ids = self.game.covered_tasks(rep.user, old)
+                if ids.size:
+                    self.counts[ids] -= 1
+            ids = self.game.covered_tasks(rep.user, rep.route)
+            if ids.size:
+                self.counts[ids] += 1
+            self.decisions[rep.user] = rep.route
+
+    def broadcast_counts(self, slot: int) -> None:
+        """Alg. 2 line 4 / line 10: per-user restricted count updates."""
+        for i in self.game.users:
+            visible = sorted(
+                {
+                    int(t)
+                    for j in range(self.game.num_routes(i))
+                    for t in self.game.covered_tasks(i, j)
+                }
+            )
+            payload = {k: int(self.counts[k]) for k in visible}
+            self.bus.post(
+                _user_name(i), TaskCountUpdate(PLATFORM, slot=slot, counts=payload)
+            )
+
+    # -------------------------------------------------------------- schedule
+    def grant(self, slot: int, requests: list[UpdateRequest]) -> list[int]:
+        """Alg. 2 lines 6-9: pick the update set via SUU or PUU."""
+        if not requests:
+            return []
+        if self.scheduler == "suu":
+            chosen = [requests[int(self.rng.integers(0, len(requests)))].user]
+        else:
+            chosen = self._puu(requests)
+        for user in chosen:
+            self.bus.post(_user_name(user), UpdateGrant(PLATFORM, slot=slot))
+        self.granted_per_slot.append(len(chosen))
+        return chosen
+
+    def _puu(self, requests: list[UpdateRequest]) -> list[int]:
+        """Algorithm 3 on the received ``(tau_i, B_i)`` pairs."""
+        order = sorted(
+            requests,
+            key=lambda r: (-(r.tau / max(len(r.touched_tasks), 1)), r.user),
+        )
+        granted: list[int] = []
+        occupied: set[int] = set()
+        for req in order:
+            if req.touched_tasks & occupied:
+                continue
+            granted.append(req.user)
+            occupied |= req.touched_tasks
+        return granted
+
+    def terminate(self, slot: int) -> None:
+        """Alg. 2 lines 11-12: broadcast termination."""
+        for i in self.game.users:
+            self.bus.post(_user_name(i), Termination(PLATFORM, slot=slot))
+        self.terminated = True

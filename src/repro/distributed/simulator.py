@@ -1,0 +1,169 @@
+"""Decision-slot driver for the distributed protocol.
+
+Orchestrates the message phases of one run:
+
+1. handshake — platform sends recommendations/annotations; users pick and
+   report random initial routes; platform counts and broadcasts.
+2. per decision slot — users recompute their best route sets and request
+   updates; platform grants via SUU or PUU; granted users report; platform
+   re-counts and re-broadcasts.
+3. termination — a slot with zero requests ends the run.
+
+The driver only moves messages and steps agents; all decisions are made
+inside the agents from their local state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.game import RouteNavigationGame
+from repro.core.profile import StrategyProfile
+from repro.core.profit import all_profits
+from repro.distributed.bus import MessageBus
+from repro.distributed.platform_agent import PlatformAgent
+from repro.distributed.user_agent import UserAgent
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require
+
+
+@dataclass
+class DistributedOutcome:
+    """Result of one protocol run."""
+
+    profile: StrategyProfile
+    decision_slots: int
+    converged: bool
+    message_traffic: dict[str, int]
+    total_messages: int
+    granted_per_slot: list[int] = field(default_factory=list)
+    profit_history: np.ndarray | None = None  # (slots+1, num_users)
+
+    @property
+    def total_profit(self) -> float:
+        return float(all_profits(self.profile).sum())
+
+
+class DistributedSimulation:
+    """Run Algorithms 1-3 over the message bus for a given game."""
+
+    def __init__(
+        self,
+        game: RouteNavigationGame,
+        *,
+        scheduler: str = "suu",
+        seed: SeedLike = None,
+        max_slots: int = 100_000,
+        record_history: bool = True,
+        validate_local_views: bool = False,
+        drop_prob: float = 0.0,
+        shuffle_service_order: bool = False,
+    ) -> None:
+        """``shuffle_service_order=True`` randomizes the order agents are
+        stepped within each phase — modelling arbitrary message-arrival
+        interleavings; outcomes must still converge to Nash equilibria."""
+        require(max_slots >= 1, "max_slots must be >= 1")
+        if drop_prob > 0.0 and validate_local_views:
+            raise ValueError(
+                "validate_local_views requires reliable delivery: with "
+                "drop_prob > 0 agents act on deliberately stale counts"
+            )
+        self.game = game
+        self.scheduler = scheduler
+        self.max_slots = max_slots
+        self.record_history = record_history
+        self.validate_local_views = validate_local_views
+        root = as_generator(seed)
+        self.bus = MessageBus(drop_prob=drop_prob, seed=root.integers(2**63))
+        self.platform = PlatformAgent(game, self.bus, root, scheduler=scheduler)
+        self.users = [
+            UserAgent(i, game.user_weights[i], self.bus, as_generator(root.integers(2**63)))
+            for i in game.users
+        ]
+        self._shuffle = shuffle_service_order
+        self._order_rng = as_generator(root.integers(2**63))
+
+    def _service_order(self) -> list[UserAgent]:
+        if not self._shuffle:
+            return self.users
+        order = list(self.users)
+        self._order_rng.shuffle(order)  # type: ignore[arg-type]
+        return order
+
+    def run(self) -> DistributedOutcome:
+        # ---- handshake (Alg. 2 lines 1-4, Alg. 1 lines 1-7)
+        self.platform.send_recommendations()
+        for agent in self._service_order():
+            agent.process_inbox()  # pick + report initial routes
+        _requests, reports = self.platform.process_inbox()
+        self.platform.apply_reports(reports)
+        self.platform.broadcast_counts(slot=0)
+        for agent in self._service_order():
+            agent.process_inbox()  # absorb initial counts
+
+        history: list[np.ndarray] = []
+        if self.record_history:
+            history.append(self._profits_snapshot())
+
+        # ---- decision slots (Alg. 2 lines 5-12, Alg. 1 lines 8-18)
+        slot = 0
+        converged = False
+        while slot < self.max_slots:
+            slot += 1
+            for agent in self._service_order():
+                agent.begin_slot(slot)
+            requests, _ = self.platform.process_inbox()
+            if not requests:
+                self.platform.terminate(slot)
+                for agent in self._service_order():
+                    agent.process_inbox()
+                converged = True
+                slot -= 1  # the empty slot only carries the termination
+                break
+            self.platform.grant(slot, requests)
+            for agent in self._service_order():
+                agent.process_inbox()  # granted agents switch + report
+            _, reports = self.platform.process_inbox()
+            self.platform.apply_reports(reports)
+            self.platform.broadcast_counts(slot)
+            for agent in self._service_order():
+                agent.process_inbox()
+            if self.validate_local_views:
+                self._check_local_views()
+            if self.record_history:
+                history.append(self._profits_snapshot())
+
+        profile = StrategyProfile(
+            self.game, [self.platform.decisions[i] for i in self.game.users]
+        )
+        return DistributedOutcome(
+            profile=profile,
+            decision_slots=slot,
+            converged=converged,
+            message_traffic=self.bus.traffic_summary(),
+            total_messages=self.bus.total_sent,
+            granted_per_slot=list(self.platform.granted_per_slot),
+            profit_history=np.vstack(history) if history else None,
+        )
+
+    # ------------------------------------------------------------ validation
+    def _profits_snapshot(self) -> np.ndarray:
+        """Ground-truth per-user profits of the platform's decision view."""
+        profile = StrategyProfile(
+            self.game,
+            [self.platform.decisions[i] for i in self.game.users],
+        )
+        return all_profits(profile)
+
+    def _check_local_views(self) -> None:
+        """Assert every agent's local profit equals the global computation."""
+        truth = self._profits_snapshot()
+        for agent in self._service_order():
+            local = agent.profit()
+            if abs(local - truth[agent.user_id]) > 1e-9:
+                raise AssertionError(
+                    f"user {agent.user_id}: local profit {local} != "
+                    f"global {truth[agent.user_id]}"
+                )

@@ -1,0 +1,172 @@
+"""User-side agent: Algorithm 1, driven purely by received messages.
+
+The agent's entire world is: its preference weights, the recommended routes
+with their covered-task ids and published reward parameters, the per-route
+costs the platform annotated, and the latest participant counts for *its
+own* tasks.  It never sees other users, the road network, or the full task
+set — the privacy property motivating the paper.
+"""
+
+from __future__ import annotations
+
+import math
+import numpy as np
+
+from repro.core.weights import UserWeights
+from repro.distributed.bus import MessageBus
+from repro.distributed.messages import (
+    DecisionReport,
+    Message,
+    RouteAnnotation,
+    RouteRecommendation,
+    TaskCountUpdate,
+    Termination,
+    UpdateGrant,
+    UpdateRequest,
+)
+
+PLATFORM = "platform"
+
+# Tolerance mirroring repro.core.responses.IMPROVEMENT_EPS so agent-side
+# decisions agree bit-for-bit with the in-memory engines.
+_EPS = 1e-9
+
+
+class UserAgent:
+    """One mobile user's smartphone app."""
+
+    def __init__(
+        self,
+        user_id: int,
+        weights: UserWeights,
+        bus: MessageBus,
+        rng: np.random.Generator,
+    ) -> None:
+        self.user_id = user_id
+        self.name = f"user-{user_id}"
+        self.weights = weights
+        self.bus = bus
+        self.rng = rng
+        # Populated by protocol messages:
+        self.routes: tuple[tuple[int, ...], ...] | None = None
+        self.task_params: dict[int, tuple[float, float]] = {}
+        self.detour_costs: tuple[float, ...] | None = None
+        self.congestion_costs: tuple[float, ...] | None = None
+        self.known_counts: dict[int, int] = {}
+        self.current_route: int | None = None
+        self.terminated = False
+        # The best route set Delta_i(t) computed for the current slot.
+        self._pending_best: list[int] = []
+
+    # ----------------------------------------------------------------- inbox
+    def process_inbox(self) -> None:
+        """Handle every queued message (Algorithm 1 lines 2-7, 13-17)."""
+        for msg in self.bus.drain(self.name):
+            self._handle(msg)
+
+    def _handle(self, msg: Message) -> None:
+        if isinstance(msg, RouteRecommendation):
+            self.routes = msg.routes
+            self.task_params = dict(msg.task_params)
+            # Alg. 1 line 3: random initial route; line 4: report it.
+            self.current_route = int(self.rng.integers(0, len(self.routes)))
+            self.bus.post(
+                PLATFORM,
+                DecisionReport(self.name, slot=0, user=self.user_id,
+                               route=self.current_route),
+            )
+        elif isinstance(msg, RouteAnnotation):
+            self.detour_costs = msg.detour_costs
+            self.congestion_costs = msg.congestion_costs
+        elif isinstance(msg, TaskCountUpdate):
+            self.known_counts.update(msg.counts)
+        elif isinstance(msg, UpdateGrant):
+            self._apply_grant(msg.slot)
+        elif isinstance(msg, Termination):
+            self.terminated = True
+        else:  # pragma: no cover - protocol misuse guard
+            raise TypeError(f"{self.name}: unexpected message {type(msg).__name__}")
+
+    # ------------------------------------------------------------ slot logic
+    def begin_slot(self, slot: int) -> None:
+        """Alg. 1 lines 9-12: recompute Delta_i(t); request update if useful."""
+        if self.terminated or self.routes is None:
+            return
+        self._pending_best = self._best_route_set()
+        if not self._pending_best:
+            return
+        best = self._pending_best[0]
+        profits = self._candidate_profits()
+        gain = float(profits[best] - profits[self.current_route])
+        touched = frozenset(self.routes[self.current_route]) | frozenset(
+            self.routes[best]
+        )
+        self.bus.post(
+            PLATFORM,
+            UpdateRequest(
+                self.name,
+                slot=slot,
+                user=self.user_id,
+                tau=gain / self.weights.alpha,
+                touched_tasks=touched,
+            ),
+        )
+
+    def _apply_grant(self, slot: int) -> None:
+        """Alg. 1 lines 13-15: granted — pick from Delta_i(t) and report."""
+        if not self._pending_best:  # defensive: grant without request
+            return
+        choice = self._pending_best[
+            int(self.rng.integers(0, len(self._pending_best)))
+        ]
+        self.current_route = int(choice)
+        self.bus.post(
+            PLATFORM,
+            DecisionReport(self.name, slot=slot, user=self.user_id,
+                           route=self.current_route),
+        )
+
+    # -------------------------------------------------------- local profits
+    def profit(self) -> float:
+        """The agent's own current profit from its local view."""
+        profits = self._candidate_profits()
+        assert self.current_route is not None
+        return float(profits[self.current_route])
+
+    def _candidate_profits(self) -> np.ndarray:
+        """Profit of each route given the latest known counts.
+
+        The platform's counts include this agent's current participation,
+        so the agent first removes itself, then evaluates every route with
+        itself added — identical semantics to
+        :func:`repro.core.profit.candidate_profits`.
+        """
+        assert self.routes is not None and self.current_route is not None
+        assert self.detour_costs is not None and self.congestion_costs is not None
+        counts = dict(self.known_counts)
+        for k in self.routes[self.current_route]:
+            counts[k] = counts.get(k, 1) - 1
+        out = np.empty(len(self.routes))
+        for j, task_ids in enumerate(self.routes):
+            reward = 0.0
+            for k in task_ids:
+                a, mu = self.task_params[k]
+                # max(..., 0): under lossy delivery the stale count may not
+                # include this agent itself; never evaluate below n = 1.
+                n = max(counts.get(k, 0), 0) + 1
+                reward += (a + mu * math.log(n)) / n
+            out[j] = (
+                self.weights.alpha * reward
+                - self.weights.beta * self.detour_costs[j]
+                - self.weights.gamma * self.congestion_costs[j]
+            )
+        return out
+
+    def _best_route_set(self) -> list[int]:
+        """Delta_i(t): profit-maximizing routes strictly better than current."""
+        profits = self._candidate_profits()
+        current = profits[self.current_route]
+        best = float(profits.max())
+        if best <= current + _EPS:
+            return []
+        return [int(j) for j in np.flatnonzero(profits >= best - _EPS)]

@@ -1,0 +1,30 @@
+"""Experiment harness: one runnable module per paper table/figure.
+
+See :mod:`repro.experiments.registry` for the full index and
+``python -m repro.experiments --list`` for the CLI.
+"""
+
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import default_processes, repeat_map
+
+__all__ = [
+    "ResultTable",
+    "default_processes",
+    "get_experiment",
+    "repeat_map",
+    "run_experiment",
+]
+
+
+def run_experiment(key: str, **kwargs):
+    """Run a registered experiment by key (lazy import avoids cycles)."""
+    from repro.experiments.registry import run_experiment as _run
+
+    return _run(key, **kwargs)
+
+
+def get_experiment(key: str):
+    """Look up a registered experiment by key (lazy import avoids cycles)."""
+    from repro.experiments.registry import get_experiment as _get
+
+    return _get(key)

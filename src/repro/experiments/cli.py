@@ -1,0 +1,87 @@
+"""Command-line entry point: ``repro-experiments`` (or
+``python -m repro.experiments.cli``).
+
+Examples::
+
+    repro-experiments --list
+    repro-experiments fig7 --repetitions 20 --processes 4
+    repro-experiments table4 --csv out/table4.csv
+    repro-experiments all --repetitions 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the ICPP '21 paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment key (fig3..fig14, table3..table5) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--repetitions", type=int, default=None,
+                        help="repeated simulations (paper default: 500)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--processes", type=int, default=None,
+                        help="process-pool size (default: inline)")
+    parser.add_argument("--csv", default=None, help="also write CSV here")
+    parser.add_argument("--svg", default=None,
+                        help="render the figure's series as an SVG chart here")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiment:
+        width = max(len(k) for k in EXPERIMENTS)
+        for key, exp in EXPERIMENTS.items():
+            print(f"{key:<{width}}  {exp.paper_artifact:<10} {exp.description}")
+        return 0
+
+    keys = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
+    for key in keys:
+        exp = get_experiment(key)
+        kwargs: dict = {"seed": args.seed}
+        if args.repetitions is not None:
+            kwargs["repetitions"] = args.repetitions
+        if args.processes is not None:
+            kwargs["processes"] = args.processes
+        start = time.perf_counter()
+        table = exp.run(**kwargs)
+        elapsed = time.perf_counter() - start
+        print(f"\n== {exp.paper_artifact}: {exp.description} "
+              f"({len(table)} rows, {elapsed:.1f}s) ==")
+        print(table.to_markdown())
+        if args.csv:
+            path = args.csv if len(keys) == 1 else f"{args.csv}.{key}.csv"
+            table.to_csv(path)
+            print(f"[csv written to {path}]")
+        if args.svg:
+            if exp.chart is None:
+                print(f"[{key} has no chart spec; --svg skipped]")
+            else:
+                from repro.viz.charts import chart_from_table
+
+                x, y, series = exp.chart
+                path = args.svg if len(keys) == 1 else f"{args.svg}.{key}.svg"
+                chart_from_table(
+                    table, x=x, y=y, series=series,
+                    title=f"{exp.paper_artifact}: {exp.description}",
+                    path=path,
+                )
+                print(f"[svg written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

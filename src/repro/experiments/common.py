@@ -1,0 +1,110 @@
+"""Shared plumbing for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms import make_allocator
+from repro.algorithms.base import AllocationResult, RunConfig
+from repro.core.game import RouteNavigationGame
+from repro.core.profile import StrategyProfile
+from repro.scenario import ScenarioConfig, build_scenario
+from repro.utils.rng import spawn_children
+
+CITIES = ("shanghai", "roma", "epfl")
+
+# Algorithms compared in the convergence figures (Figs. 4-5).
+CONVERGENCE_ALGOS = ("DGRN", "BRUN", "BUAU", "BATS", "MUUN")
+
+
+@dataclass(frozen=True)
+class RepSpec:
+    """One repetition of one configuration — picklable process-pool unit."""
+
+    experiment: str
+    city: str
+    n_users: int
+    n_tasks: int
+    rep: int
+    seed: int
+    algorithms: tuple[str, ...]
+    scenario_overrides: dict[str, Any] = field(default_factory=dict)
+    record_history: bool = False
+
+
+def make_specs(
+    experiment: str,
+    *,
+    cities,
+    user_counts,
+    task_counts,
+    algorithms,
+    repetitions: int,
+    seed,
+    scenario_overrides: dict[str, Any] | None = None,
+    record_history: bool = False,
+) -> list[RepSpec]:
+    """Cross-product of configurations x repetitions with derived seeds."""
+    configs = [
+        (city, m, n)
+        for city in cities
+        for m in user_counts
+        for n in task_counts
+    ]
+    total = len(configs) * repetitions
+    rngs = spawn_children(seed, total)
+    specs: list[RepSpec] = []
+    i = 0
+    for city, m, n in configs:
+        for rep in range(repetitions):
+            specs.append(
+                RepSpec(
+                    experiment=experiment,
+                    city=city,
+                    n_users=m,
+                    n_tasks=n,
+                    rep=rep,
+                    seed=int(rngs[i].integers(2**62)),
+                    algorithms=tuple(algorithms),
+                    scenario_overrides=dict(scenario_overrides or {}),
+                    record_history=record_history,
+                )
+            )
+            i += 1
+    return specs
+
+
+def build_game_for_spec(spec: RepSpec) -> RouteNavigationGame:
+    """Materialize the spec's scenario (seeded by the spec)."""
+    cfg = ScenarioConfig(
+        city=spec.city,
+        n_users=spec.n_users,
+        n_tasks=spec.n_tasks,
+        seed=spec.seed,
+        **spec.scenario_overrides,
+    )
+    return build_scenario(cfg).game
+
+
+def run_algorithms_on_game(
+    spec: RepSpec, game: RouteNavigationGame
+) -> dict[str, AllocationResult]:
+    """Run every requested algorithm from a *common* random initial profile.
+
+    Sharing the initial profile across algorithms removes one source of
+    between-algorithm variance, as is standard for convergence comparisons.
+    """
+    rng = np.random.default_rng(spec.seed ^ 0x5EED)
+    initial = StrategyProfile.random(game, rng)
+    out: dict[str, AllocationResult] = {}
+    for idx, name in enumerate(spec.algorithms):
+        algo = make_allocator(
+            name,
+            seed=np.random.default_rng((spec.seed + 7919 * idx) & (2**63 - 1)),
+            config=RunConfig(record_history=spec.record_history),
+        )
+        out[name] = algo.run(game, initial=initial)
+    return out

@@ -1,0 +1,55 @@
+"""Fig. 10: Jain's fairness index vs. number of users (DGRN / CORN / RRN).
+
+Paper shape: DGRN achieves the highest fairness (every user sits at a
+personal best response), CORN sacrifices some users for the total, and RRN
+is the most uneven.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import CITIES, RepSpec, build_game_for_spec, make_specs, run_algorithms_on_game
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import repeat_map
+from repro.metrics import jain_fairness
+
+USER_COUNTS = (6, 8, 10, 12, 14)
+N_TASKS = 30
+
+
+def _worker(spec: RepSpec) -> list[dict]:
+    game = build_game_for_spec(spec)
+    results = run_algorithms_on_game(spec, game)
+    return [
+        {
+            "city": spec.city,
+            "n_users": spec.n_users,
+            "algorithm": name,
+            "rep": spec.rep,
+            "jain_index": jain_fairness(res.profile),
+        }
+        for name, res in results.items()
+    ]
+
+
+def run(
+    *,
+    repetitions: int = 10,
+    seed: int | None = 0,
+    processes: int | None = None,
+    cities=CITIES,
+    user_counts=USER_COUNTS,
+) -> ResultTable:
+    """Mean/std Jain index per (city, user count, algorithm)."""
+    specs = make_specs(
+        "fig10",
+        cities=cities,
+        user_counts=user_counts,
+        task_counts=[N_TASKS],
+        algorithms=("DGRN", "CORN", "RRN"),
+        repetitions=repetitions,
+        seed=seed,
+    )
+    raw = repeat_map(_worker, specs, processes=processes)
+    return raw.aggregate(
+        by=["city", "n_users", "algorithm"], values=["jain_index"]
+    )

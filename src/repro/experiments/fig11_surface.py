@@ -1,0 +1,56 @@
+"""Fig. 11: average reward vs. task count x user count (DGRN surface).
+
+Paper shape: average reward rises with the task count and falls with the
+user count (more mouths per task reward).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import RepSpec, build_game_for_spec, make_specs, run_algorithms_on_game
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import repeat_map
+from repro.metrics import average_reward
+
+TASK_COUNTS = (20, 40, 60, 80, 100, 150, 200)
+USER_COUNTS = (20, 40, 60, 80, 100)
+
+
+def _worker(spec: RepSpec) -> list[dict]:
+    game = build_game_for_spec(spec)
+    result = run_algorithms_on_game(spec, game)["DGRN"]
+    return [
+        {
+            "city": spec.city,
+            "n_tasks": spec.n_tasks,
+            "n_users": spec.n_users,
+            "rep": spec.rep,
+            "average_reward": average_reward(result.profile),
+        }
+    ]
+
+
+def run(
+    *,
+    repetitions: int = 5,
+    seed: int | None = 0,
+    processes: int | None = None,
+    cities=("shanghai", "roma", "epfl"),
+    task_counts=TASK_COUNTS,
+    user_counts=USER_COUNTS,
+) -> ResultTable:
+    """Mean average reward over the (tasks x users) grid, per city."""
+    specs = make_specs(
+        "fig11",
+        cities=cities,
+        user_counts=user_counts,
+        task_counts=task_counts,
+        algorithms=("DGRN",),
+        repetitions=repetitions,
+        seed=seed,
+    )
+    raw = repeat_map(_worker, specs, processes=processes)
+    return raw.aggregate(
+        by=["city", "n_tasks", "n_users"],
+        values=["average_reward"],
+        stats=("mean",),
+    )

@@ -1,0 +1,87 @@
+"""Fig. 12: influence of the platform weights ``phi`` and ``theta``.
+
+Paper shape (Shanghai): average reward *decreases* as phi and theta grow
+(the platform de-emphasizes rewards); the average detour distance decreases
+with phi; the average congestion level decreases with theta.
+
+One scenario is built per repetition and re-weighted with
+:meth:`RouteNavigationGame.with_platform` across the grid, so the sweep
+isolates the platform weights from substrate randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import DGRN
+from repro.algorithms.base import RunConfig
+from repro.core.profile import StrategyProfile
+from repro.core.weights import PlatformWeights
+from repro.experiments.common import RepSpec, make_specs
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import repeat_map
+from repro.metrics import average_congestion, average_detour, average_reward
+from repro.scenario import ScenarioConfig, build_scenario
+
+PHI_VALUES = (0.0, 0.2, 0.4, 0.6, 0.8)
+THETA_VALUES = (0.0, 0.2, 0.4, 0.6, 0.8)
+N_USERS = 30
+N_TASKS = 50
+
+
+def _worker(spec: RepSpec) -> list[dict]:
+    cfg = ScenarioConfig(
+        city=spec.city,
+        n_users=spec.n_users,
+        n_tasks=spec.n_tasks,
+        seed=spec.seed,
+        phi=0.4,
+        theta=0.4,
+    )
+    base_game = build_scenario(cfg).game
+    rng = np.random.default_rng(spec.seed ^ 0x5EED)
+    initial = StrategyProfile.random(base_game, rng).choices
+    rows: list[dict] = []
+    for phi in PHI_VALUES:
+        for theta in THETA_VALUES:
+            game = base_game.with_platform(PlatformWeights(phi, theta))
+            result = DGRN(
+                seed=np.random.default_rng(spec.seed),
+                config=RunConfig(record_history=False),
+            ).run(game, initial=initial)
+            rows.append(
+                {
+                    "rep": spec.rep,
+                    "phi": phi,
+                    "theta": theta,
+                    "average_reward": average_reward(result.profile),
+                    "detour": average_detour(result.profile),
+                    "congestion": average_congestion(result.profile),
+                }
+            )
+    return rows
+
+
+def run(
+    *,
+    repetitions: int = 20,
+    seed: int | None = 0,
+    processes: int | None = None,
+    city: str = "shanghai",
+) -> ResultTable:
+    """Mean reward/detour/congestion over the (phi, theta) grid."""
+    specs = make_specs(
+        "fig12",
+        cities=[city],
+        user_counts=[N_USERS],
+        task_counts=[N_TASKS],
+        algorithms=("DGRN",),
+        repetitions=repetitions,
+        seed=seed,
+    )
+    raw = repeat_map(_worker, specs, processes=processes)
+    return raw.aggregate(
+        by=["phi", "theta"],
+        values=["average_reward", "detour", "congestion"],
+        stats=("mean",),
+    )

@@ -1,0 +1,100 @@
+"""Extension experiment (not in the paper): equilibrium selection spread.
+
+Potential games generally have many Nash equilibria; which one DGRN
+reaches depends on the random initial profile and the SUU lottery.  This
+experiment holds one instance fixed and re-runs the dynamics from many
+random starts, measuring the spread of equilibrium quality (total profit
+relative to CORN) and how many distinct equilibria appear — the practical
+complement to the worst-case PoA story of Table 4.
+
+Expected: many distinct equilibria, but a tight quality band — the
+equilibrium lottery is low-stakes, which is why the paper can report
+single DGRN curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import CORN, DGRN
+from repro.algorithms.base import RunConfig
+from repro.experiments.common import RepSpec, make_specs
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import repeat_map
+from repro.scenario import ScenarioConfig, build_scenario
+
+N_USERS = 12
+N_TASKS = 30
+RESTARTS = 40  # dynamics restarts per instance
+
+
+def _worker(spec: RepSpec) -> list[dict]:
+    game = build_scenario(
+        ScenarioConfig(
+            city=spec.city, n_users=spec.n_users, n_tasks=spec.n_tasks,
+            seed=spec.seed,
+        )
+    ).game
+    optimum = CORN(
+        seed=np.random.default_rng(spec.seed),
+        config=RunConfig(record_history=False),
+    ).run(game).total_profit
+    profits = []
+    equilibria = set()
+    for restart in range(RESTARTS):
+        res = DGRN(
+            seed=np.random.default_rng((spec.seed + restart) & (2**63 - 1)),
+            config=RunConfig(record_history=False),
+        ).run(game)
+        profits.append(res.total_profit)
+        equilibria.add(tuple(int(c) for c in res.profile.choices))
+    arr = np.asarray(profits)
+    return [
+        {
+            "rep": spec.rep,
+            "distinct_equilibria": len(equilibria),
+            "ratio_worst": float(arr.min() / optimum),
+            "ratio_mean": float(arr.mean() / optimum),
+            "ratio_best": float(arr.max() / optimum),
+            "ratio_spread": float((arr.max() - arr.min()) / optimum),
+        }
+    ]
+
+
+def run(
+    *,
+    repetitions: int = 10,
+    seed: int | None = 0,
+    processes: int | None = None,
+    city: str = "shanghai",
+) -> ResultTable:
+    """Equilibrium-quality spread over dynamics restarts (fixed instances)."""
+    specs = make_specs(
+        "fig17",
+        cities=[city],
+        user_counts=[N_USERS],
+        task_counts=[N_TASKS],
+        algorithms=(),
+        repetitions=repetitions,
+        seed=seed,
+    )
+    # Per-instance rows are the product here — the spread *is* the result;
+    # use :func:`summarize` for a one-row digest.
+    return repeat_map(_worker, specs, processes=processes)
+
+
+def summarize(table: ResultTable) -> ResultTable:
+    """Aggregate the per-instance rows into one summary row."""
+    out = ResultTable()
+    if len(table) == 0:
+        return out
+    out.append(
+        instances=len(table),
+        distinct_equilibria_mean=float(
+            np.mean(table.column("distinct_equilibria"))
+        ),
+        ratio_worst_min=float(np.min(table.column("ratio_worst"))),
+        ratio_mean_mean=float(np.mean(table.column("ratio_mean"))),
+        ratio_spread_mean=float(np.mean(table.column("ratio_spread"))),
+    )
+    return out

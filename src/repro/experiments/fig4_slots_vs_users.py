@@ -1,0 +1,56 @@
+"""Fig. 4: decision slots to convergence vs. number of users.
+
+Paper shape: MUUN < BUAU < DGRN < BRUN < BATS at every user count, all
+growing with the user count.  PUU's parallel grants give MUUN the fewest
+slots; BATS pays for activations that change nothing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import CITIES, CONVERGENCE_ALGOS, RepSpec, build_game_for_spec, make_specs, run_algorithms_on_game
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import repeat_map
+
+USER_COUNTS = (20, 40, 60, 80, 100)
+N_TASKS = 50
+
+
+def _worker(spec: RepSpec) -> list[dict]:
+    game = build_game_for_spec(spec)
+    results = run_algorithms_on_game(spec, game)
+    return [
+        {
+            "city": spec.city,
+            "n_users": spec.n_users,
+            "algorithm": name,
+            "rep": spec.rep,
+            "decision_slots": res.decision_slots,
+            "converged": res.converged,
+        }
+        for name, res in results.items()
+    ]
+
+
+def run(
+    *,
+    repetitions: int = 20,
+    seed: int | None = 0,
+    processes: int | None = None,
+    cities=CITIES,
+    user_counts=USER_COUNTS,
+    algorithms=CONVERGENCE_ALGOS,
+) -> ResultTable:
+    """Mean/std decision slots per (city, user count, algorithm)."""
+    specs = make_specs(
+        "fig4",
+        cities=cities,
+        user_counts=user_counts,
+        task_counts=[N_TASKS],
+        algorithms=algorithms,
+        repetitions=repetitions,
+        seed=seed,
+    )
+    raw = repeat_map(_worker, specs, processes=processes)
+    return raw.aggregate(
+        by=["city", "n_users", "algorithm"], values=["decision_slots"]
+    )

@@ -1,0 +1,56 @@
+"""Fig. 5: decision slots to convergence vs. number of tasks.
+
+Paper shape: same ordering as Fig. 4 (MUUN < BUAU < DGRN < BRUN < BATS);
+slot counts rise slightly with the task count because denser coverage
+couples more users' decisions.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import CITIES, CONVERGENCE_ALGOS, RepSpec, build_game_for_spec, make_specs, run_algorithms_on_game
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import repeat_map
+
+TASK_COUNTS = (20, 40, 60, 80, 100)
+N_USERS = 30
+
+
+def _worker(spec: RepSpec) -> list[dict]:
+    game = build_game_for_spec(spec)
+    results = run_algorithms_on_game(spec, game)
+    return [
+        {
+            "city": spec.city,
+            "n_tasks": spec.n_tasks,
+            "algorithm": name,
+            "rep": spec.rep,
+            "decision_slots": res.decision_slots,
+            "converged": res.converged,
+        }
+        for name, res in results.items()
+    ]
+
+
+def run(
+    *,
+    repetitions: int = 20,
+    seed: int | None = 0,
+    processes: int | None = None,
+    cities=CITIES,
+    task_counts=TASK_COUNTS,
+    algorithms=CONVERGENCE_ALGOS,
+) -> ResultTable:
+    """Mean/std decision slots per (city, task count, algorithm)."""
+    specs = make_specs(
+        "fig5",
+        cities=cities,
+        user_counts=[N_USERS],
+        task_counts=task_counts,
+        algorithms=algorithms,
+        repetitions=repetitions,
+        seed=seed,
+    )
+    raw = repeat_map(_worker, specs, processes=processes)
+    return raw.aggregate(
+        by=["city", "n_tasks", "algorithm"], values=["decision_slots"]
+    )

@@ -1,0 +1,59 @@
+"""Fig. 6: potential-function value and total profit vs. decision slot.
+
+Paper shape: the potential rises monotonically and plateaus at the Nash
+equilibrium (Theorem 2); the total profit trends upward with occasional
+dips because users maximize their own profit, not the sum.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import CITIES, RepSpec, build_game_for_spec, make_specs, run_algorithms_on_game
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import repeat_map
+
+N_USERS = 30
+N_TASKS = 50
+N_SLOTS_SHOWN = 35
+
+
+def _worker(spec: RepSpec) -> list[dict]:
+    game = build_game_for_spec(spec)
+    result = run_algorithms_on_game(spec, game)["DGRN"]
+    pot = result.potential_history
+    tot = result.total_profit_history
+    assert pot is not None and tot is not None
+    rows: list[dict] = []
+    for slot in range(N_SLOTS_SHOWN + 1):
+        idx = min(slot, len(pot) - 1)
+        rows.append(
+            {
+                "city": spec.city,
+                "rep": spec.rep,
+                "slot": slot,
+                "potential": float(pot[idx]),
+                "total_profit": float(tot[idx]),
+                "converged_at": result.decision_slots,
+            }
+        )
+    return rows
+
+
+def run(
+    *,
+    repetitions: int = 1,
+    seed: int | None = 0,
+    processes: int | None = None,
+    cities=CITIES,
+) -> ResultTable:
+    """Potential/total-profit trajectories (one DGRN run per city)."""
+    specs = make_specs(
+        "fig6",
+        cities=cities,
+        user_counts=[N_USERS],
+        task_counts=[N_TASKS],
+        algorithms=("DGRN",),
+        repetitions=repetitions,
+        seed=seed,
+        record_history=True,
+    )
+    return repeat_map(_worker, specs, processes=processes)

@@ -1,0 +1,54 @@
+"""Fig. 7: total profit vs. number of users (DGRN / CORN / RRN).
+
+Paper shape: RRN < DGRN < CORN at every user count, with DGRN only
+slightly below the centralized optimum — the Nash equilibrium costs little
+total profit.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import CITIES, RepSpec, build_game_for_spec, make_specs, run_algorithms_on_game
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import repeat_map
+
+USER_COUNTS = (10, 11, 12, 13, 14)
+N_TASKS = 30
+
+
+def _worker(spec: RepSpec) -> list[dict]:
+    game = build_game_for_spec(spec)
+    results = run_algorithms_on_game(spec, game)
+    return [
+        {
+            "city": spec.city,
+            "n_users": spec.n_users,
+            "algorithm": name,
+            "rep": spec.rep,
+            "total_profit": res.total_profit,
+        }
+        for name, res in results.items()
+    ]
+
+
+def run(
+    *,
+    repetitions: int = 10,
+    seed: int | None = 0,
+    processes: int | None = None,
+    cities=CITIES,
+    user_counts=USER_COUNTS,
+) -> ResultTable:
+    """Mean/std total profit per (city, user count, algorithm)."""
+    specs = make_specs(
+        "fig7",
+        cities=cities,
+        user_counts=user_counts,
+        task_counts=[N_TASKS],
+        algorithms=("DGRN", "CORN", "RRN"),
+        repetitions=repetitions,
+        seed=seed,
+    )
+    raw = repeat_map(_worker, specs, processes=processes)
+    return raw.aggregate(
+        by=["city", "n_users", "algorithm"], values=["total_profit"]
+    )

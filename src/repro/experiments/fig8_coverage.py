@@ -1,0 +1,52 @@
+"""Fig. 8: task coverage vs. number of users (DGRN / BATS / RRN).
+
+Paper shape: coverage grows with the user count and ranks
+RRN < BATS < DGRN.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import CITIES, RepSpec, build_game_for_spec, make_specs, run_algorithms_on_game
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import repeat_map
+from repro.metrics import coverage
+
+USER_COUNTS = (20, 40, 60, 80, 100)
+N_TASKS = 50
+
+
+def _worker(spec: RepSpec) -> list[dict]:
+    game = build_game_for_spec(spec)
+    results = run_algorithms_on_game(spec, game)
+    return [
+        {
+            "city": spec.city,
+            "n_users": spec.n_users,
+            "algorithm": name,
+            "rep": spec.rep,
+            "coverage": coverage(res.profile),
+        }
+        for name, res in results.items()
+    ]
+
+
+def run(
+    *,
+    repetitions: int = 20,
+    seed: int | None = 0,
+    processes: int | None = None,
+    cities=CITIES,
+    user_counts=USER_COUNTS,
+) -> ResultTable:
+    """Mean/std coverage per (city, user count, algorithm)."""
+    specs = make_specs(
+        "fig8",
+        cities=cities,
+        user_counts=user_counts,
+        task_counts=[N_TASKS],
+        algorithms=("DGRN", "BATS", "RRN"),
+        repetitions=repetitions,
+        seed=seed,
+    )
+    raw = repeat_map(_worker, specs, processes=processes)
+    return raw.aggregate(by=["city", "n_users", "algorithm"], values=["coverage"])

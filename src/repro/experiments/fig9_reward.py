@@ -1,0 +1,54 @@
+"""Fig. 9: average user reward vs. number of tasks (DGRN / BATS / RRN).
+
+Paper shape: average reward grows with the task count (more tasks per
+route) and ranks RRN < BATS < DGRN.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import CITIES, RepSpec, build_game_for_spec, make_specs, run_algorithms_on_game
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import repeat_map
+from repro.metrics import average_reward
+
+TASK_COUNTS = (20, 40, 60, 80, 100)
+N_USERS = 30
+
+
+def _worker(spec: RepSpec) -> list[dict]:
+    game = build_game_for_spec(spec)
+    results = run_algorithms_on_game(spec, game)
+    return [
+        {
+            "city": spec.city,
+            "n_tasks": spec.n_tasks,
+            "algorithm": name,
+            "rep": spec.rep,
+            "average_reward": average_reward(res.profile),
+        }
+        for name, res in results.items()
+    ]
+
+
+def run(
+    *,
+    repetitions: int = 20,
+    seed: int | None = 0,
+    processes: int | None = None,
+    cities=CITIES,
+    task_counts=TASK_COUNTS,
+) -> ResultTable:
+    """Mean/std average reward per (city, task count, algorithm)."""
+    specs = make_specs(
+        "fig9",
+        cities=cities,
+        user_counts=[N_USERS],
+        task_counts=task_counts,
+        algorithms=("DGRN", "BATS", "RRN"),
+        repetitions=repetitions,
+        seed=seed,
+    )
+    raw = repeat_map(_worker, specs, processes=processes)
+    return raw.aggregate(
+        by=["city", "n_tasks", "algorithm"], values=["average_reward"]
+    )

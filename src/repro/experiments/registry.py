@@ -1,0 +1,109 @@
+"""Experiment registry: paper artifact id -> runnable module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    fig3_convergence,
+    fig4_slots_vs_users,
+    fig5_slots_vs_tasks,
+    fig6_potential,
+    fig7_profit,
+    fig8_coverage,
+    fig9_reward,
+    fig10_fairness,
+    fig11_surface,
+    fig12_system_params,
+    fig13_presentation,
+    fig14_mu_sweep,
+    fig15_lossy,
+    fig16_execution,
+    fig17_equilibrium_spread,
+    table3_overlap,
+    table4_poa,
+    table5_user_params,
+)
+from repro.experiments.results import ResultTable
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact.
+
+    ``chart`` optionally names the ``(x, y, series)`` columns of the run's
+    aggregated table for SVG rendering via
+    :func:`repro.viz.charts.chart_from_table` (CLI ``--svg``).
+    """
+
+    key: str
+    paper_artifact: str
+    description: str
+    run: Callable[..., ResultTable]
+    chart: tuple[str, str, str | None] | None = None
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.key: e
+    for e in [
+        Experiment("fig3", "Figure 3", "user profit vs. decision slot",
+                   fig3_convergence.run, chart=("slot", "profit", "user")),
+        Experiment("fig4", "Figure 4", "decision slots vs. user number",
+                   fig4_slots_vs_users.run,
+                   chart=("n_users", "decision_slots_mean", "algorithm")),
+        Experiment("fig5", "Figure 5", "decision slots vs. task number",
+                   fig5_slots_vs_tasks.run,
+                   chart=("n_tasks", "decision_slots_mean", "algorithm")),
+        Experiment("fig6", "Figure 6", "potential and total profit vs. slot",
+                   fig6_potential.run, chart=("slot", "potential", "city")),
+        Experiment("table3", "Table 3", "PUU selected users vs. overlap ratio",
+                   table3_overlap.run,
+                   chart=("n_tasks", "selected_users_mean", None)),
+        Experiment("fig7", "Figure 7", "total profit vs. user number",
+                   fig7_profit.run,
+                   chart=("n_users", "total_profit_mean", "algorithm")),
+        Experiment("fig8", "Figure 8", "coverage vs. user number",
+                   fig8_coverage.run,
+                   chart=("n_users", "coverage_mean", "algorithm")),
+        Experiment("fig9", "Figure 9", "average reward vs. task number",
+                   fig9_reward.run,
+                   chart=("n_tasks", "average_reward_mean", "algorithm")),
+        Experiment("fig10", "Figure 10", "Jain's fairness index vs. user number",
+                   fig10_fairness.run,
+                   chart=("n_users", "jain_index_mean", "algorithm")),
+        Experiment("fig11", "Figure 11", "average reward vs. tasks x users",
+                   fig11_surface.run,
+                   chart=("n_tasks", "average_reward_mean", "n_users")),
+        Experiment("table4", "Table 4", "DGRN/CORN ratio vs. PoA bound",
+                   table4_poa.run, chart=("n_users", "ratio_mean", None)),
+        Experiment("fig12", "Figure 12", "influence of phi and theta",
+                   fig12_system_params.run,
+                   chart=("phi", "detour_mean", "theta")),
+        Experiment("table5", "Table 5", "influence of alpha/beta/gamma",
+                   table5_user_params.run,
+                   chart=("value", "reward_mean", "weight")),
+        Experiment("fig13", "Figure 13", "route presentation on the map",
+                   fig13_presentation.run),
+        Experiment("fig14", "Extension", "reward-curvature (mu) ablation",
+                   fig14_mu_sweep.run, chart=("mu", "total_profit_mean", None)),
+        Experiment("fig15", "Extension", "protocol robustness to telemetry loss",
+                   fig15_lossy.run, chart=("drop_prob", "is_nash_mean", None)),
+        Experiment("fig16", "Extension", "executed-route latency and efficiency",
+                   fig16_execution.run),
+        Experiment("fig17", "Extension", "equilibrium-selection quality spread",
+                   fig17_equilibrium_spread.run),
+    ]
+}
+
+
+def get_experiment(key: str) -> Experiment:
+    k = key.lower()
+    if k not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {key!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[k]
+
+
+def run_experiment(key: str, **kwargs) -> ResultTable:
+    """Run one registered experiment (e.g. ``run_experiment("fig7")``)."""
+    return get_experiment(key).run(**kwargs)

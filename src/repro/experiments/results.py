@@ -1,0 +1,148 @@
+"""Lightweight result tables for experiment outputs.
+
+A :class:`ResultTable` is a list of homogeneous dict rows with helpers to
+aggregate repeated simulations (mean/std over repetitions) and render the
+rows/series a paper table or figure reports — markdown for humans, CSV for
+plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+
+class ResultTable:
+    """Ordered collection of result rows (dicts with shared keys)."""
+
+    def __init__(self, rows: Iterable[dict[str, Any]] = ()) -> None:
+        self.rows: list[dict[str, Any]] = [dict(r) for r in rows]
+
+    # ----------------------------------------------------------------- build
+    def append(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[dict[str, Any]]) -> None:
+        self.rows.extend(dict(r) for r in rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __getitem__(self, idx: int) -> dict[str, Any]:
+        return self.rows[idx]
+
+    @property
+    def columns(self) -> list[str]:
+        cols: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    # ------------------------------------------------------------- transform
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "ResultTable":
+        return ResultTable(r for r in self.rows if predicate(r))
+
+    def column(self, name: str) -> np.ndarray:
+        return np.asarray([r[name] for r in self.rows])
+
+    def aggregate(
+        self,
+        by: Sequence[str],
+        values: Sequence[str],
+        *,
+        stats: Sequence[str] = ("mean", "std"),
+    ) -> "ResultTable":
+        """Group rows by ``by`` and reduce each value column.
+
+        Produces one row per group with ``<value>_<stat>`` columns plus a
+        repetition count ``n``; group order follows first appearance.
+        """
+        groups: dict[tuple, list[dict[str, Any]]] = defaultdict(list)
+        order: list[tuple] = []
+        for row in self.rows:
+            key = tuple(row[k] for k in by)
+            if key not in groups:
+                order.append(key)
+            groups[key].append(row)
+        out = ResultTable()
+        reducers: dict[str, Callable[[np.ndarray], float]] = {
+            "mean": lambda a: float(np.mean(a)),
+            "std": lambda a: float(np.std(a)),
+            "min": lambda a: float(np.min(a)),
+            "max": lambda a: float(np.max(a)),
+            "median": lambda a: float(np.median(a)),
+        }
+        for key in order:
+            rows = groups[key]
+            agg: dict[str, Any] = dict(zip(by, key))
+            agg["n"] = len(rows)
+            for col in values:
+                data = np.asarray([r[col] for r in rows], dtype=float)
+                for stat in stats:
+                    if stat not in reducers:
+                        raise ValueError(f"unknown stat {stat!r}")
+                    agg[f"{col}_{stat}"] = reducers[stat](data)
+            out.rows.append(agg)
+        return out
+
+    def pivot(
+        self, index: str, column: str, value: str
+    ) -> tuple[list[Any], list[Any], np.ndarray]:
+        """Reshape to a matrix: rows = distinct ``index``, cols = distinct
+        ``column`` values (first-appearance order); missing cells are NaN."""
+        idx_vals: list[Any] = []
+        col_vals: list[Any] = []
+        for row in self.rows:
+            if row[index] not in idx_vals:
+                idx_vals.append(row[index])
+            if row[column] not in col_vals:
+                col_vals.append(row[column])
+        mat = np.full((len(idx_vals), len(col_vals)), np.nan)
+        for row in self.rows:
+            mat[idx_vals.index(row[index]), col_vals.index(row[column])] = row[value]
+        return idx_vals, col_vals, mat
+
+    # ----------------------------------------------------------------- render
+    def to_markdown(self, *, floatfmt: str = ".3f") -> str:
+        cols = self.columns
+        if not cols:
+            return "(empty table)"
+
+        def fmt(v: Any) -> str:
+            if isinstance(v, bool):
+                return str(v)
+            if isinstance(v, float):
+                return format(v, floatfmt)
+            return str(v)
+
+        header = "| " + " | ".join(cols) + " |"
+        sep = "|" + "|".join("---" for _ in cols) + "|"
+        body = [
+            "| " + " | ".join(fmt(row.get(c, "")) for c in cols) + " |"
+            for row in self.rows
+        ]
+        return "\n".join([header, sep, *body])
+
+    def to_csv(self, path: str | None = None) -> str:
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=self.columns, lineterminator="\n")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        text = buf.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as fh:
+                fh.write(text)
+        return text
+
+    def __repr__(self) -> str:
+        return f"ResultTable(rows={len(self.rows)}, columns={self.columns})"

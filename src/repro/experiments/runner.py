@@ -1,0 +1,43 @@
+"""Repetition executor: the paper's 500-repeated-simulation protocol.
+
+Experiments produce a list of picklable *specs* (one per repetition x
+configuration); :func:`repeat_map` fans them out over a process pool (or
+runs inline) and flattens the per-spec row lists.  Workers must be
+module-level functions so they pickle under the ``spawn`` start method.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.experiments.results import ResultTable
+
+
+def default_processes() -> int:
+    """Worker count: leave two cores for the driver (min 1)."""
+    return max(1, (os.cpu_count() or 2) - 2)
+
+
+def repeat_map(
+    worker: Callable[[Any], list[dict]],
+    specs: Sequence[Any],
+    *,
+    processes: int | None = None,
+) -> ResultTable:
+    """Apply ``worker`` to every spec; flatten the row lists into a table.
+
+    ``processes=None`` or ``0`` runs inline (deterministic ordering, easy
+    debugging); ``processes>=2`` uses a process pool.  Row order always
+    follows spec order regardless of execution order.
+    """
+    table = ResultTable()
+    if processes is None or processes <= 1 or len(specs) <= 1:
+        for spec in specs:
+            table.extend(worker(spec))
+        return table
+    with ProcessPoolExecutor(max_workers=min(processes, len(specs))) as pool:
+        for rows in pool.map(worker, specs, chunksize=max(1, len(specs) // (processes * 4) or 1)):
+            table.extend(rows)
+    return table

@@ -1,0 +1,58 @@
+"""Table 4: DGRN vs. CORN total profit, their ratio, and the PoA bound.
+
+Paper shape: the DGRN/CORN ratio stays close to 1 (0.96-1.0) and always
+dominates the Price-of-Anarchy lower bound of Section 4.4.
+"""
+
+from __future__ import annotations
+
+from repro.core.poa import poa_lower_bound
+from repro.experiments.common import RepSpec, build_game_for_spec, make_specs, run_algorithms_on_game
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import repeat_map
+
+USER_COUNTS = (9, 10, 11, 12, 13, 14)
+N_TASKS = 30
+
+
+def _worker(spec: RepSpec) -> list[dict]:
+    game = build_game_for_spec(spec)
+    results = run_algorithms_on_game(spec, game)
+    dgrn = results["DGRN"].total_profit
+    corn = results["CORN"].total_profit
+    return [
+        {
+            "n_users": spec.n_users,
+            "rep": spec.rep,
+            "dgrn_profit": dgrn,
+            "corn_profit": corn,
+            "ratio": dgrn / corn if corn > 0 else float("nan"),
+            "poa_bound": poa_lower_bound(game),
+        }
+    ]
+
+
+def run(
+    *,
+    repetitions: int = 10,
+    seed: int | None = 0,
+    processes: int | None = None,
+    user_counts=USER_COUNTS,
+    city: str = "shanghai",
+) -> ResultTable:
+    """Mean DGRN/CORN profits, their ratio, and the bound, per user count."""
+    specs = make_specs(
+        "table4",
+        cities=[city],
+        user_counts=user_counts,
+        task_counts=[N_TASKS],
+        algorithms=("DGRN", "CORN"),
+        repetitions=repetitions,
+        seed=seed,
+    )
+    raw = repeat_map(_worker, specs, processes=processes)
+    return raw.aggregate(
+        by=["n_users"],
+        values=["dgrn_profit", "corn_profit", "ratio", "poa_bound"],
+        stats=("mean",),
+    )

@@ -1,0 +1,27 @@
+"""Planar/geodesic geometry primitives used by the road-network substrate."""
+
+from repro.geometry.point import (
+    BoundingBox,
+    GeoPoint,
+    euclidean,
+    haversine_km,
+    local_xy_km,
+)
+from repro.geometry.polyline import (
+    point_to_segment_distance,
+    polyline_length,
+    polyline_point_distance,
+    resample_polyline,
+)
+
+__all__ = [
+    "BoundingBox",
+    "GeoPoint",
+    "euclidean",
+    "haversine_km",
+    "local_xy_km",
+    "point_to_segment_distance",
+    "polyline_length",
+    "polyline_point_distance",
+    "resample_polyline",
+]

@@ -1,0 +1,123 @@
+"""Points, geodesic distance, and bounding boxes.
+
+The taxi traces carry WGS-84 latitude/longitude; the road-network substrate
+works in a local planar frame (kilometres).  :func:`local_xy_km` performs the
+equirectangular projection used to move between the two, which is accurate to
+well under 1% at city scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A WGS-84 coordinate (degrees)."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self.lat, self.lon, other.lat, other.lon)
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two WGS-84 points in kilometres."""
+    p1, p2 = math.radians(lat1), math.radians(lat2)
+    dphi = p2 - p1
+    dlmb = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(p1) * math.cos(p2) * math.sin(dlmb / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def euclidean(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Planar Euclidean distance."""
+    return math.hypot(x2 - x1, y2 - y1)
+
+
+def local_xy_km(
+    lat: np.ndarray | float,
+    lon: np.ndarray | float,
+    origin_lat: float,
+    origin_lon: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Project WGS-84 coordinates to a local planar frame in kilometres.
+
+    Equirectangular projection centred on ``(origin_lat, origin_lon)``:
+    ``x`` points east, ``y`` points north.  Vectorized over array inputs.
+    """
+    lat_arr = np.asarray(lat, dtype=float)
+    lon_arr = np.asarray(lon, dtype=float)
+    ky = math.pi / 180.0 * EARTH_RADIUS_KM
+    kx = ky * math.cos(math.radians(origin_lat))
+    x = (lon_arr - origin_lon) * kx
+    y = (lat_arr - origin_lat) * ky
+    return x, y
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """Axis-aligned box, reused for both lat/lon and planar frames."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(f"degenerate bounding box: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def clamp(self, x: float, y: float) -> tuple[float, float]:
+        """Project ``(x, y)`` onto the closest point inside the box."""
+        return (
+            min(max(x, self.min_x), self.max_x),
+            min(max(y, self.min_y), self.max_y),
+        )
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` uniform points inside the box, shape ``(n, 2)``."""
+        xs = rng.uniform(self.min_x, self.max_x, size=n)
+        ys = rng.uniform(self.min_y, self.max_y, size=n)
+        return np.column_stack([xs, ys])
+
+    @staticmethod
+    def of_points(xy: np.ndarray) -> "BoundingBox":
+        """Tight bounding box of an ``(n, 2)`` point array."""
+        pts = np.asarray(xy, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] == 0:
+            raise ValueError(f"expected non-empty (n, 2) array, got shape {pts.shape}")
+        return BoundingBox(
+            float(pts[:, 0].min()),
+            float(pts[:, 1].min()),
+            float(pts[:, 0].max()),
+            float(pts[:, 1].max()),
+        )

@@ -1,0 +1,104 @@
+"""Polyline operations: length, resampling, and point-to-route distance.
+
+Route/task coverage (Section 5.1 of the paper: "each recommended route may
+cover some tasks") is decided by the distance from a task location to the
+route polyline; these helpers are vectorized so a whole task set can be
+tested against a route in one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_polyline(points: np.ndarray) -> np.ndarray:
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"polyline must be an (n, 2) array, got shape {pts.shape}")
+    if pts.shape[0] < 1:
+        raise ValueError("polyline must contain at least one point")
+    return pts
+
+
+def polyline_length(points: np.ndarray) -> float:
+    """Total length of the polyline in frame units."""
+    pts = _as_polyline(points)
+    if pts.shape[0] < 2:
+        return 0.0
+    seg = np.diff(pts, axis=0)
+    return float(np.hypot(seg[:, 0], seg[:, 1]).sum())
+
+
+def point_to_segment_distance(
+    px: np.ndarray,
+    py: np.ndarray,
+    ax: float,
+    ay: float,
+    bx: float,
+    by: float,
+) -> np.ndarray:
+    """Distance from points ``(px, py)`` to segment ``(a, b)`` (vectorized)."""
+    px = np.asarray(px, dtype=float)
+    py = np.asarray(py, dtype=float)
+    dx, dy = bx - ax, by - ay
+    seg_len2 = dx * dx + dy * dy
+    if seg_len2 == 0.0:
+        return np.hypot(px - ax, py - ay)
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_len2
+    t = np.clip(t, 0.0, 1.0)
+    cx = ax + t * dx
+    cy = ay + t * dy
+    return np.hypot(px - cx, py - cy)
+
+
+def polyline_point_distance(points: np.ndarray, xy: np.ndarray) -> np.ndarray:
+    """Minimum distance from each query point to the polyline.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` polyline vertices.
+    xy:
+        ``(m, 2)`` query points.
+
+    Returns
+    -------
+    ``(m,)`` array of distances.
+    """
+    pts = _as_polyline(points)
+    queries = np.asarray(xy, dtype=float)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    if queries.shape[1] != 2:
+        raise ValueError(f"query points must be (m, 2), got shape {queries.shape}")
+    px, py = queries[:, 0], queries[:, 1]
+    if pts.shape[0] == 1:
+        return np.hypot(px - pts[0, 0], py - pts[0, 1])
+    best = np.full(queries.shape[0], np.inf)
+    for (ax, ay), (bx, by) in zip(pts[:-1], pts[1:]):
+        np.minimum(best, point_to_segment_distance(px, py, ax, ay, bx, by), out=best)
+    return best
+
+
+def resample_polyline(points: np.ndarray, spacing: float) -> np.ndarray:
+    """Resample the polyline at (approximately) uniform arc-length spacing.
+
+    The first and last vertices are always kept.  Used to densify sparse GPS
+    traces before map matching and to place rendering markers.
+    """
+    if spacing <= 0:
+        raise ValueError(f"spacing must be > 0, got {spacing}")
+    pts = _as_polyline(points)
+    if pts.shape[0] < 2:
+        return pts.copy()
+    seg = np.diff(pts, axis=0)
+    seg_len = np.hypot(seg[:, 0], seg[:, 1])
+    cum = np.concatenate([[0.0], np.cumsum(seg_len)])
+    total = cum[-1]
+    if total == 0.0:
+        return pts[:1].copy()
+    n_samples = max(2, int(np.ceil(total / spacing)) + 1)
+    targets = np.linspace(0.0, total, n_samples)
+    xs = np.interp(targets, cum, pts[:, 0])
+    ys = np.interp(targets, cum, pts[:, 1])
+    return np.column_stack([xs, ys])

@@ -1,0 +1,132 @@
+"""Game-instance serialization.
+
+Experiments are reproducible from seeds, but sharing an *exact* instance
+(e.g. the one behind a reported number, or a minimized bug case) needs a
+portable format.  :func:`game_to_dict` / :func:`game_from_dict` round-trip
+a :class:`~repro.core.game.RouteNavigationGame` through plain JSON types;
+:func:`save_game` / :func:`load_game` add the file layer.
+
+Route geometry (node paths) is preserved so saved instances can still be
+rendered; network topology itself is not serialized — the game layer only
+needs the per-route annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.game import RouteNavigationGame
+from repro.core.weights import PlatformWeights, UserWeights
+from repro.network.routing import Route
+from repro.tasks.task import Task, TaskSet
+
+FORMAT_VERSION = 1
+
+
+def game_to_dict(game: RouteNavigationGame) -> dict[str, Any]:
+    """Serialize a game instance to JSON-compatible types."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "detour_unit_km": game.detour_unit_km,
+        "platform": {"phi": game.platform.phi, "theta": game.platform.theta},
+        "tasks": [
+            {
+                "task_id": t.task_id,
+                "x": t.x,
+                "y": t.y,
+                "base_reward": t.base_reward,
+                "reward_increment": t.reward_increment,
+            }
+            for t in game.tasks
+        ],
+        "users": [
+            {
+                "weights": {
+                    "alpha": uw.alpha,
+                    "beta": uw.beta,
+                    "gamma": uw.gamma,
+                    "e_min": uw.e_min,
+                    "e_max": uw.e_max,
+                },
+                "routes": [
+                    {
+                        "nodes": list(r.nodes),
+                        "length_km": r.length_km,
+                        "detour_km": r.detour_km,
+                        "congestion": r.congestion,
+                        "task_ids": list(r.task_ids),
+                    }
+                    for r in game.route_sets[i]
+                ],
+            }
+            for i, uw in enumerate(game.user_weights)
+        ],
+    }
+
+
+def game_from_dict(data: dict[str, Any]) -> RouteNavigationGame:
+    """Rebuild a game instance from :func:`game_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format_version {version!r} (expected {FORMAT_VERSION})"
+        )
+    tasks = TaskSet(
+        [
+            Task(
+                task_id=int(t["task_id"]),
+                x=float(t["x"]),
+                y=float(t["y"]),
+                base_reward=float(t["base_reward"]),
+                reward_increment=float(t["reward_increment"]),
+            )
+            for t in data["tasks"]
+        ]
+    )
+    user_weights = []
+    route_sets = []
+    for user in data["users"]:
+        w = user["weights"]
+        user_weights.append(
+            UserWeights(
+                alpha=float(w["alpha"]),
+                beta=float(w["beta"]),
+                gamma=float(w["gamma"]),
+                e_min=float(w["e_min"]),
+                e_max=float(w["e_max"]),
+            )
+        )
+        route_sets.append(
+            [
+                Route(
+                    nodes=tuple(int(n) for n in r["nodes"]),
+                    length_km=float(r["length_km"]),
+                    detour_km=float(r["detour_km"]),
+                    congestion=float(r["congestion"]),
+                    task_ids=tuple(int(k) for k in r["task_ids"]),
+                )
+                for r in user["routes"]
+            ]
+        )
+    platform = PlatformWeights(
+        float(data["platform"]["phi"]), float(data["platform"]["theta"])
+    )
+    return RouteNavigationGame.build(
+        tasks,
+        route_sets,
+        user_weights,
+        platform,
+        detour_unit_km=float(data.get("detour_unit_km", 1.0)),
+    )
+
+
+def save_game(game: RouteNavigationGame, path: str | Path) -> None:
+    """Write the instance as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(game_to_dict(game), indent=1))
+
+
+def load_game(path: str | Path) -> RouteNavigationGame:
+    """Read an instance written by :func:`save_game`."""
+    return game_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,26 @@
+"""Evaluation metrics of Section 5.3."""
+
+from repro.metrics.measures import (
+    average_congestion,
+    average_detour,
+    average_reward,
+    coverage,
+    jain_fairness,
+    overlap_ratio,
+    per_user_rewards,
+    platform_utility,
+)
+from repro.metrics.convergence import ConvergenceStats, convergence_stats
+
+__all__ = [
+    "ConvergenceStats",
+    "average_congestion",
+    "average_detour",
+    "average_reward",
+    "convergence_stats",
+    "coverage",
+    "jain_fairness",
+    "overlap_ratio",
+    "per_user_rewards",
+    "platform_utility",
+]

@@ -1,0 +1,55 @@
+"""Convergence diagnostics tying runs back to Theorem 4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import AllocationResult
+from repro.core.convergence import convergence_slot_bound
+from repro.core.game import RouteNavigationGame
+
+
+@dataclass(frozen=True, slots=True)
+class ConvergenceStats:
+    """Measured convergence behaviour of one run."""
+
+    decision_slots: int
+    total_moves: int
+    min_gain: float  # smallest profit improvement any granted move realized
+    theorem4_bound: float  # the bound evaluated at that min gain
+    potential_monotone: bool  # did the potential ever decrease?
+
+    @property
+    def within_bound(self) -> bool:
+        return self.decision_slots < self.theorem4_bound
+
+
+def convergence_stats(
+    game: RouteNavigationGame, result: AllocationResult
+) -> ConvergenceStats:
+    """Compute :class:`ConvergenceStats` from a recorded run.
+
+    ``min_gain`` instantiates Theorem 4's ``dP_min`` with the smallest gain
+    observed in the move log; runs without moves get an infinite bound
+    (converged instantly).
+    """
+    if result.moves:
+        min_gain = min(m.gain for m in result.moves)
+        min_gain = max(min_gain, 1e-12)  # numerical floor
+        bound = convergence_slot_bound(game, min_gain)
+    else:
+        bound = float("inf")
+        min_gain = float("inf")
+    monotone = True
+    if result.potential_history is not None and len(result.potential_history) > 1:
+        diffs = np.diff(result.potential_history)
+        monotone = bool(np.all(diffs >= -1e-9))
+    return ConvergenceStats(
+        decision_slots=result.decision_slots,
+        total_moves=len(result.moves),
+        min_gain=float(min_gain),
+        theorem4_bound=float(bound),
+        potential_monotone=monotone,
+    )

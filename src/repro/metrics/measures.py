@@ -1,0 +1,104 @@
+"""Profile-level metrics used throughout Section 5.3.
+
+- *coverage* (Fig. 8): covered tasks / total tasks.
+- *average reward* (Figs. 9, 11, 12a): total task reward received by all
+  users divided by the number of users (raw reward shares, before the
+  user's ``alpha`` weighting — the quantity a user is actually paid).
+- *Jain's fairness index* (Fig. 10) over per-user profits.
+- *overlap ratio* (Table 3): tasks with more than one participant / total.
+- *average detour* / *average congestion* (Fig. 12b-c, Table 5): mean of
+  ``h(s_i)`` and ``c(s_i)`` over users.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+
+
+def coverage(profile: StrategyProfile) -> float:
+    """Fraction of tasks with at least one participant."""
+    n = profile.game.num_tasks
+    if n == 0:
+        return 0.0
+    return float(np.count_nonzero(profile.counts) / n)
+
+
+def per_user_rewards(profile: StrategyProfile) -> np.ndarray:
+    """Raw reward income ``sum_{k in L_{s_i}} w_k(n_k)/n_k`` per user."""
+    game = profile.game
+    shares = game.tasks.shares(profile.counts)
+    out = np.empty(game.num_users)
+    for i in game.users:
+        ids = game.covered_tasks(i, profile.route_of(i))
+        out[i] = float(shares[ids].sum()) if ids.size else 0.0
+    return out
+
+
+def average_reward(profile: StrategyProfile) -> float:
+    """Total user reward divided by the number of users (Fig. 9)."""
+    return float(per_user_rewards(profile).mean())
+
+
+def jain_fairness(values: np.ndarray | StrategyProfile) -> float:
+    """Jain's index ``(sum x)^2 / (n * sum x^2)`` in (0, 1].
+
+    Accepts either a value vector or a profile (then uses per-user profits,
+    as in Fig. 10).  Degenerate all-zero inputs return 1.0 (everyone is
+    equally profitless).
+    """
+    if isinstance(values, StrategyProfile):
+        from repro.core.profit import all_profits
+
+        values = all_profits(values)
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        return 1.0
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(x) ** 2 / denom)
+
+
+def overlap_ratio(profile: StrategyProfile) -> float:
+    """Tasks with more than one participant / total tasks (Table 3)."""
+    n = profile.game.num_tasks
+    if n == 0:
+        return 0.0
+    return float(np.count_nonzero(profile.counts > 1) / n)
+
+
+def average_detour(profile: StrategyProfile) -> float:
+    """Mean selected-route detour ``h(s_i)`` over users (game units)."""
+    game = profile.game
+    return float(
+        np.mean([game.detour_h(i, profile.route_of(i)) for i in game.users])
+    )
+
+
+def average_congestion(profile: StrategyProfile) -> float:
+    """Mean selected-route congestion level ``c(s_i)`` over users."""
+    game = profile.game
+    return float(
+        np.mean(
+            [game.congestion_level(i, profile.route_of(i)) for i in game.users]
+        )
+    )
+
+
+def platform_utility(
+    profile: StrategyProfile, *, quality_rate: float = 0.7
+) -> float:
+    """Sensing value accrued to the platform.
+
+    Section 3.1 motivates the log reward bonus by "task completion quality
+    is improved when receiving multiple results"; the standard model for
+    that is diminishing-returns quality ``q(n) = 1 - exp(-lambda * n)``.
+    The platform's utility is the sum of task qualities — the quantity its
+    ``phi``/``theta`` knobs ultimately steer.
+    """
+    if quality_rate <= 0:
+        raise ValueError(f"quality_rate must be > 0, got {quality_rate}")
+    counts = profile.counts.astype(float)
+    return float(np.sum(1.0 - np.exp(-quality_rate * counts)))

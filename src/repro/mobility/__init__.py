@@ -1,0 +1,23 @@
+"""Route-execution substrate: drive the chosen routes through time.
+
+The game decides *which* route each vehicle takes; this package simulates
+the vehicles actually driving them — edge-by-edge at the congestion
+model's observed speeds — and performing each covered task as they pass
+it.  It turns an equilibrium profile into a timeline of task-completion
+events, powering latency/travel-time evaluation beyond the paper's static
+profit metrics.
+"""
+
+from repro.mobility.execution import (
+    CompletionEvent,
+    ExecutionReport,
+    UserTrip,
+    execute_profile,
+)
+
+__all__ = [
+    "CompletionEvent",
+    "ExecutionReport",
+    "UserTrip",
+    "execute_profile",
+]

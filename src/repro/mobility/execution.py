@@ -1,0 +1,174 @@
+"""Time-domain execution of a strategy profile.
+
+Each user traverses its selected route edge-by-edge at the network's
+*observed* speeds (congestion-aware).  A covered task is performed at the
+moment the vehicle passes the point of its route closest to the task.
+Outputs:
+
+- per-user :class:`UserTrip` (travel time, distance),
+- per-(user, task) :class:`CompletionEvent` timeline,
+- an :class:`ExecutionReport` with the aggregate latency/VKT metrics used
+  by the ``fig16`` extension experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+from repro.geometry.polyline import point_to_segment_distance
+from repro.network.graph import RoadNetwork
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True, slots=True)
+class CompletionEvent:
+    """One task performed by one passing vehicle."""
+
+    user: int
+    task: int
+    time_s: float  # since the user's departure (all users depart at t=0)
+    along_km: float  # arc length along the user's route
+
+
+@dataclass(frozen=True, slots=True)
+class UserTrip:
+    """One user's executed route."""
+
+    user: int
+    route: int
+    distance_km: float
+    travel_time_s: float
+    tasks_performed: tuple[int, ...]
+
+
+@dataclass
+class ExecutionReport:
+    """Aggregate outcome of executing a whole profile."""
+
+    trips: list[UserTrip]
+    events: list[CompletionEvent]
+    first_completion_s: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_distance_km(self) -> float:
+        """Total vehicle-kilometres travelled (VKT)."""
+        return float(sum(t.distance_km for t in self.trips))
+
+    @property
+    def mean_travel_time_s(self) -> float:
+        return float(np.mean([t.travel_time_s for t in self.trips]))
+
+    @property
+    def mean_first_completion_s(self) -> float:
+        """Mean time until a covered task receives its *first* result."""
+        if not self.first_completion_s:
+            return 0.0
+        return float(np.mean(list(self.first_completion_s.values())))
+
+    @property
+    def completions_per_km(self) -> float:
+        """Sensing efficiency: task completions per vehicle-km."""
+        dist = self.total_distance_km
+        return len(self.events) / dist if dist > 0 else 0.0
+
+
+def _route_timeline(
+    net: RoadNetwork, nodes: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative ``(distance_km, time_s)`` at every route vertex."""
+    if len(nodes) < 2:
+        return np.zeros(1), np.zeros(1)
+    eids = net.path_edge_ids(list(nodes))
+    lengths = net.edge_lengths[eids]
+    assert net.observed_kmh is not None
+    speeds = np.maximum(net.observed_kmh[eids], 1e-3)
+    seg_time_s = lengths / speeds * 3600.0
+    dist = np.concatenate([[0.0], np.cumsum(lengths)])
+    time = np.concatenate([[0.0], np.cumsum(seg_time_s)])
+    return dist, time
+
+
+def _task_passing_point(
+    poly: np.ndarray, cum_dist: np.ndarray, tx: float, ty: float
+) -> float:
+    """Arc length (km) at which the route passes closest to ``(tx, ty)``."""
+    best_d = np.inf
+    best_along = 0.0
+    for i in range(len(poly) - 1):
+        ax, ay = poly[i]
+        bx, by = poly[i + 1]
+        d = float(
+            point_to_segment_distance(
+                np.array([tx]), np.array([ty]), ax, ay, bx, by
+            )[0]
+        )
+        if d < best_d:
+            best_d = d
+            seg = np.array([bx - ax, by - ay])
+            seg_len = float(np.hypot(*seg))
+            if seg_len > 0:
+                t = float(
+                    np.clip(
+                        ((tx - ax) * seg[0] + (ty - ay) * seg[1]) / seg_len**2,
+                        0.0,
+                        1.0,
+                    )
+                )
+            else:
+                t = 0.0
+            best_along = float(cum_dist[i] + t * (cum_dist[i + 1] - cum_dist[i]))
+    return best_along
+
+
+def execute_profile(
+    net: RoadNetwork,
+    profile: StrategyProfile,
+) -> ExecutionReport:
+    """Drive every user's selected route; return the execution report.
+
+    All users depart simultaneously at ``t = 0`` (the navigation scenario:
+    routes are chosen, then everyone drives).  Requires the profile's game
+    to have been built on ``net`` (routes reference its node ids).
+    """
+    net.freeze()
+    game = profile.game
+    tasks = game.tasks
+    trips: list[UserTrip] = []
+    events: list[CompletionEvent] = []
+    first: dict[int, float] = {}
+    for i in game.users:
+        route_idx = profile.route_of(i)
+        route = game.route_sets[i][route_idx]
+        require(
+            max(route.nodes) < net.num_nodes,
+            f"route of user {i} references nodes outside the network",
+        )
+        nodes = route.nodes
+        cum_dist, cum_time = _route_timeline(net, nodes)
+        poly = net.path_polyline(list(nodes))
+        performed: list[int] = []
+        for k in route.task_ids:
+            along = _task_passing_point(
+                poly, cum_dist, float(tasks.xy[k, 0]), float(tasks.xy[k, 1])
+            )
+            t_s = float(np.interp(along, cum_dist, cum_time))
+            events.append(
+                CompletionEvent(user=i, task=int(k), time_s=t_s, along_km=along)
+            )
+            performed.append(int(k))
+            if int(k) not in first or t_s < first[int(k)]:
+                first[int(k)] = t_s
+        trips.append(
+            UserTrip(
+                user=i,
+                route=route_idx,
+                distance_km=float(cum_dist[-1]),
+                travel_time_s=float(cum_time[-1]),
+                tasks_performed=tuple(performed),
+            )
+        )
+    events.sort(key=lambda e: e.time_s)
+    return ExecutionReport(trips=trips, events=events, first_completion_s=first)

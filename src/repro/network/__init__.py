@@ -1,0 +1,39 @@
+"""Road-network substrate.
+
+Replaces the paper's use of the Google Maps API (Section 5.1): city-like
+road graphs, shortest paths, Yen's k-shortest loopless paths as the route
+recommender, and a background-traffic congestion model that yields the
+per-route congestion level ``c(r)`` consumed by the game layer.
+"""
+
+from repro.network.graph import Edge, RoadNetwork
+from repro.network.builders import (
+    grid_city,
+    radial_ring_city,
+    random_geometric_city,
+)
+from repro.network.shortest_path import ShortestPathResult, dijkstra, shortest_path
+from repro.network.ksp import k_shortest_paths
+from repro.network.congestion import BackgroundTraffic, CongestionField
+from repro.network.io import load_network, network_from_dict, network_to_dict, save_network
+from repro.network.routing import Route, RoutePlanner
+
+__all__ = [
+    "BackgroundTraffic",
+    "CongestionField",
+    "Edge",
+    "RoadNetwork",
+    "Route",
+    "RoutePlanner",
+    "ShortestPathResult",
+    "dijkstra",
+    "grid_city",
+    "k_shortest_paths",
+    "load_network",
+    "network_from_dict",
+    "network_to_dict",
+    "radial_ring_city",
+    "random_geometric_city",
+    "save_network",
+    "shortest_path",
+]

@@ -1,0 +1,172 @@
+"""City-like road-graph generators.
+
+Three families, mirroring the three evaluation cities' street morphologies:
+
+- :func:`grid_city` — Manhattan-style lattice with jitter and random
+  diagonal shortcuts (Shanghai-like dense regular core).
+- :func:`radial_ring_city` — concentric rings plus radial avenues
+  (Rome-like historic center).
+- :func:`random_geometric_city` — random geometric graph connected to its
+  k nearest neighbours (San Francisco Bay Area-like irregular mesh).
+
+All builders return a frozen :class:`~repro.network.graph.RoadNetwork` that
+is strongly connected (weakly-connected components are bridged).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.network.graph import RoadNetwork
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive, require
+
+
+def grid_city(
+    nx: int = 12,
+    ny: int = 12,
+    *,
+    spacing_km: float = 0.5,
+    jitter: float = 0.08,
+    diagonal_prob: float = 0.08,
+    arterial_every: int = 4,
+    seed: SeedLike = None,
+) -> RoadNetwork:
+    """Build a jittered ``nx x ny`` lattice with occasional diagonals.
+
+    Every ``arterial_every``-th row/column gets arterial speed (faster
+    free-flow), giving the route recommender meaningfully distinct
+    alternatives between the same OD pair.
+    """
+    require(nx >= 2 and ny >= 2, f"grid must be at least 2x2, got {nx}x{ny}")
+    check_positive("spacing_km", spacing_km)
+    rng = as_generator(seed)
+    net = RoadNetwork()
+    ids = np.empty((nx, ny), dtype=int)
+    for i in range(nx):
+        for j in range(ny):
+            dx, dy = rng.normal(0.0, jitter * spacing_km, size=2)
+            ids[i, j] = net.add_node(i * spacing_km + dx, j * spacing_km + dy)
+
+    def speed_for(i: int, j: int, axis: int) -> float:
+        idx = j if axis == 0 else i
+        return 70.0 if arterial_every > 0 and idx % arterial_every == 0 else 45.0
+
+    for i in range(nx):
+        for j in range(ny):
+            if i + 1 < nx:
+                net.add_edge(ids[i, j], ids[i + 1, j], free_flow_kmh=speed_for(i, j, 0))
+            if j + 1 < ny:
+                net.add_edge(ids[i, j], ids[i, j + 1], free_flow_kmh=speed_for(i, j, 1))
+            if i + 1 < nx and j + 1 < ny and rng.random() < diagonal_prob:
+                net.add_edge(ids[i, j], ids[i + 1, j + 1], free_flow_kmh=55.0)
+    return net.freeze()
+
+
+def radial_ring_city(
+    rings: int = 5,
+    spokes: int = 12,
+    *,
+    ring_spacing_km: float = 0.7,
+    seed: SeedLike = None,
+) -> RoadNetwork:
+    """Build concentric ring roads connected by radial avenues.
+
+    Ring roads are slower near the center (historic core) and faster on the
+    outer orbitals; radials are arterial-speed.
+    """
+    require(rings >= 1, f"need at least one ring, got {rings}")
+    require(spokes >= 3, f"need at least three spokes, got {spokes}")
+    check_positive("ring_spacing_km", ring_spacing_km)
+    rng = as_generator(seed)
+    net = RoadNetwork()
+    center = net.add_node(0.0, 0.0)
+    ring_nodes: list[list[int]] = []
+    for r in range(1, rings + 1):
+        radius = r * ring_spacing_km
+        nodes = []
+        for s in range(spokes):
+            angle = 2.0 * math.pi * s / spokes + rng.normal(0.0, 0.02)
+            nodes.append(net.add_node(radius * math.cos(angle), radius * math.sin(angle)))
+        ring_nodes.append(nodes)
+
+    for r, nodes in enumerate(ring_nodes):
+        ring_speed = 35.0 + 8.0 * r  # outer orbitals are faster
+        for s in range(spokes):
+            net.add_edge(nodes[s], nodes[(s + 1) % spokes], free_flow_kmh=ring_speed)
+    for s in range(spokes):
+        net.add_edge(center, ring_nodes[0][s], free_flow_kmh=50.0)
+        for r in range(rings - 1):
+            net.add_edge(ring_nodes[r][s], ring_nodes[r + 1][s], free_flow_kmh=60.0)
+    return net.freeze()
+
+
+def random_geometric_city(
+    n_nodes: int = 150,
+    *,
+    extent_km: float = 6.0,
+    k_neighbors: int = 4,
+    seed: SeedLike = None,
+) -> RoadNetwork:
+    """Random geometric graph: each node links to its k nearest neighbours.
+
+    Weakly connected components are bridged by their closest node pairs so
+    the result is always strongly connected (all edges are bidirectional).
+    """
+    require(n_nodes >= 2, f"need at least two nodes, got {n_nodes}")
+    check_positive("extent_km", extent_km)
+    require(k_neighbors >= 1, f"k_neighbors must be >= 1, got {k_neighbors}")
+    rng = as_generator(seed)
+    net = RoadNetwork()
+    xy = rng.uniform(0.0, extent_km, size=(n_nodes, 2))
+    for x, y in xy:
+        net.add_node(float(x), float(y))
+
+    d2 = ((xy[:, None, :] - xy[None, :, :]) ** 2).sum(axis=2)
+    np.fill_diagonal(d2, np.inf)
+    added: set[tuple[int, int]] = set()
+
+    def link(u: int, v: int, speed: float) -> None:
+        key = (min(u, v), max(u, v))
+        if key not in added:
+            added.add(key)
+            net.add_edge(u, v, free_flow_kmh=speed)
+
+    k = min(k_neighbors, n_nodes - 1)
+    nearest = np.argsort(d2, axis=1)[:, :k]
+    for u in range(n_nodes):
+        for v in nearest[u]:
+            link(u, int(v), float(rng.uniform(35.0, 65.0)))
+
+    _bridge_components(net, xy, link)
+    return net.freeze()
+
+
+def _bridge_components(net: RoadNetwork, xy: np.ndarray, link) -> None:
+    """Connect weakly-connected components via closest node pairs."""
+    n = net.num_nodes
+    comp = np.full(n, -1, dtype=int)
+    n_comp = 0
+    for start in range(n):
+        if comp[start] >= 0:
+            continue
+        stack = [start]
+        comp[start] = n_comp
+        while stack:
+            u = stack.pop()
+            for v, _ in net.neighbors(u):
+                if comp[v] < 0:
+                    comp[v] = n_comp
+                    stack.append(v)
+        n_comp += 1
+    while n_comp > 1:
+        main = np.flatnonzero(comp == comp[0])
+        other = np.flatnonzero(comp != comp[0])
+        d2 = ((xy[main][:, None, :] - xy[other][None, :, :]) ** 2).sum(axis=2)
+        i, j = np.unravel_index(int(np.argmin(d2)), d2.shape)
+        u, v = int(main[i]), int(other[j])
+        link(u, v, 50.0)
+        comp[comp == comp[v]] = comp[0]
+        n_comp -= 1

@@ -1,0 +1,140 @@
+"""Background-traffic congestion model.
+
+The paper computes the congestion level ``c(r)`` of a route "by the velocity
+of the vehicles on the route" (Section 5.1) and assumes it is *independent of
+the players' route choices* (Section 3.1: the finite user population has
+negligible impact on traffic).  We therefore model congestion as an exogenous
+field: hotspots of slowdown (city-center rush, incidents) depress the observed
+speed of nearby edges, and a route's congestion level aggregates the relative
+slowdown of its edges, weighted by edge length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.graph import RoadNetwork
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive, require
+
+
+@dataclass(frozen=True, slots=True)
+class CongestionField:
+    """Sum-of-Gaussians slowdown field over the plane.
+
+    ``slowdown(x, y)`` is in [0, 1): 0 means free flow, values near 1 mean
+    near-standstill.  Observed speed = free-flow speed * (1 - slowdown).
+    """
+
+    centers: np.ndarray  # (h, 2)
+    intensities: np.ndarray  # (h,) in [0, 1)
+    radii_km: np.ndarray  # (h,)
+
+    def __post_init__(self) -> None:
+        c = np.asarray(self.centers, dtype=float)
+        require(c.ndim == 2 and c.shape[1] == 2, "centers must be (h, 2)")
+        require(len(self.intensities) == len(c), "intensities/centers mismatch")
+        require(len(self.radii_km) == len(c), "radii/centers mismatch")
+        require(bool(np.all(np.asarray(self.radii_km) > 0)), "radii must be > 0")
+        inten = np.asarray(self.intensities, dtype=float)
+        require(bool(np.all((inten >= 0) & (inten < 1))), "intensities must be in [0, 1)")
+
+    def slowdown(self, xy: np.ndarray) -> np.ndarray:
+        """Slowdown factor in [0, 1) at each of the ``(m, 2)`` query points."""
+        pts = np.atleast_2d(np.asarray(xy, dtype=float))
+        if len(self.centers) == 0:
+            return np.zeros(pts.shape[0])
+        d2 = (
+            (pts[:, None, 0] - self.centers[None, :, 0]) ** 2
+            + (pts[:, None, 1] - self.centers[None, :, 1]) ** 2
+        )
+        bumps = self.intensities[None, :] * np.exp(
+            -d2 / (2.0 * self.radii_km[None, :] ** 2)
+        )
+        # Independent slowdowns compose multiplicatively on remaining speed.
+        remaining = np.prod(1.0 - bumps, axis=1)
+        return 1.0 - remaining
+
+    @staticmethod
+    def random(
+        bbox_min: tuple[float, float],
+        bbox_max: tuple[float, float],
+        *,
+        n_hotspots: int = 4,
+        max_intensity: float = 0.75,
+        radius_km: tuple[float, float] = (0.5, 2.0),
+        seed: SeedLike = None,
+    ) -> "CongestionField":
+        """Sample a random field with ``n_hotspots`` Gaussian slowdowns."""
+        require(n_hotspots >= 0, "n_hotspots must be >= 0")
+        require(0.0 <= max_intensity < 1.0, "max_intensity must be in [0, 1)")
+        rng = as_generator(seed)
+        xs = rng.uniform(bbox_min[0], bbox_max[0], size=n_hotspots)
+        ys = rng.uniform(bbox_min[1], bbox_max[1], size=n_hotspots)
+        inten = rng.uniform(0.2, max_intensity, size=n_hotspots)
+        radii = rng.uniform(radius_km[0], radius_km[1], size=n_hotspots)
+        return CongestionField(np.column_stack([xs, ys]), inten, radii)
+
+
+@dataclass
+class BackgroundTraffic:
+    """Applies a :class:`CongestionField` to a network and scores routes.
+
+    ``scale`` converts the dimensionless length-weighted mean slowdown of a
+    route into the congestion level ``c(r)`` consumed by the game; the
+    default yields levels in roughly [0, 20], matching the magnitudes the
+    paper reports in Table 5.
+    """
+
+    field: CongestionField
+    scale: float = 20.0
+    _edge_congestion: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("scale", self.scale)
+
+    def apply(self, net: RoadNetwork) -> np.ndarray:
+        """Set ``net.observed_kmh`` from the field; returns per-edge slowdown."""
+        net.freeze()
+        coords = net.coords
+        mid = np.empty((net.num_edges, 2))
+        for e in net.edges():
+            mid[e.edge_id] = 0.5 * (coords[e.u] + coords[e.v])
+        slow = self.field.slowdown(mid)
+        net.observed_kmh = net.free_flow_kmh * (1.0 - slow)
+        self._edge_congestion = slow
+        return slow
+
+    def edge_congestion(self, net: RoadNetwork) -> np.ndarray:
+        """Per-edge slowdown in [0, 1); computes lazily via :meth:`apply`."""
+        if self._edge_congestion is None or len(self._edge_congestion) != net.num_edges:
+            self.apply(net)
+        assert self._edge_congestion is not None
+        return self._edge_congestion
+
+    def route_congestion(self, net: RoadNetwork, nodes: list[int]) -> float:
+        """Congestion level ``c(r)``: scaled length-weighted mean slowdown."""
+        if len(nodes) < 2:
+            return 0.0
+        slow = self.edge_congestion(net)
+        eids = np.asarray(net.path_edge_ids(nodes), dtype=int)
+        lengths = net.edge_lengths[eids]
+        total = lengths.sum()
+        if total <= 0:
+            return 0.0
+        return float(self.scale * np.dot(slow[eids], lengths) / total)
+
+    @staticmethod
+    def uniform(level: float = 0.0, scale: float = 20.0) -> "BackgroundTraffic":
+        """Spatially-uniform congestion (handy for deterministic tests)."""
+        require(0.0 <= level < 1.0, "level must be in [0, 1)")
+        if level == 0.0:
+            fld = CongestionField(np.zeros((0, 2)), np.zeros(0), np.ones(0))
+        else:
+            # One enormous hotspot approximates a constant field.
+            fld = CongestionField(
+                np.zeros((1, 2)), np.array([level]), np.array([1e6])
+            )
+        return BackgroundTraffic(fld, scale=scale)

@@ -1,0 +1,229 @@
+"""Directed road-network graph with planar node coordinates.
+
+The graph is intentionally self-contained (no networkx dependency in the hot
+path): adjacency lists of ``(neighbour, edge_id)`` pairs plus NumPy-backed
+edge attribute arrays, so route-level aggregates (length, congestion) are
+vectorized gathers rather than per-edge Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.point import BoundingBox
+from repro.utils.validation import check_index, check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A directed road segment."""
+
+    edge_id: int
+    u: int
+    v: int
+    length_km: float
+    free_flow_kmh: float
+
+
+class RoadNetwork:
+    """Mutable-then-frozen directed graph of road segments.
+
+    Nodes carry planar ``(x, y)`` coordinates in kilometres.  Edges carry a
+    length and a free-flow speed; the congestion model later attaches an
+    *observed* speed per edge (see :mod:`repro.network.congestion`).
+    """
+
+    def __init__(self) -> None:
+        self._xs: list[float] = []
+        self._ys: list[float] = []
+        self._adj: list[list[tuple[int, int]]] = []
+        self._edge_u: list[int] = []
+        self._edge_v: list[int] = []
+        self._edge_len: list[float] = []
+        self._edge_speed: list[float] = []
+        self._frozen = False
+        self._coords: np.ndarray | None = None
+        self._len_arr: np.ndarray | None = None
+        self._speed_arr: np.ndarray | None = None
+        self.observed_kmh: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ build
+    def add_node(self, x: float, y: float) -> int:
+        """Add a node at planar position ``(x, y)`` km; returns its id."""
+        self._check_mutable()
+        self._xs.append(float(x))
+        self._ys.append(float(y))
+        self._adj.append([])
+        return len(self._xs) - 1
+
+    def add_edge(
+        self,
+        u: int,
+        v: int,
+        *,
+        length_km: float | None = None,
+        free_flow_kmh: float = 50.0,
+        bidirectional: bool = True,
+    ) -> int:
+        """Add a road segment; returns the id of the ``u -> v`` arc.
+
+        When ``length_km`` is omitted it defaults to the Euclidean distance
+        between the endpoints.  ``bidirectional=True`` adds the reverse arc
+        with identical attributes.
+        """
+        self._check_mutable()
+        check_index("u", u, self.num_nodes)
+        check_index("v", v, self.num_nodes)
+        if u == v:
+            raise ValueError(f"self-loop edges are not allowed (node {u})")
+        if length_km is None:
+            length_km = float(
+                np.hypot(self._xs[v] - self._xs[u], self._ys[v] - self._ys[u])
+            )
+            length_km = max(length_km, 1e-9)
+        check_positive("length_km", length_km)
+        check_positive("free_flow_kmh", free_flow_kmh)
+        eid = self._append_arc(u, v, length_km, free_flow_kmh)
+        if bidirectional:
+            self._append_arc(v, u, length_km, free_flow_kmh)
+        return eid
+
+    def _append_arc(self, u: int, v: int, length_km: float, speed: float) -> int:
+        eid = len(self._edge_u)
+        self._edge_u.append(u)
+        self._edge_v.append(v)
+        self._edge_len.append(float(length_km))
+        self._edge_speed.append(float(speed))
+        self._adj[u].append((v, eid))
+        return eid
+
+    def freeze(self) -> "RoadNetwork":
+        """Materialize NumPy attribute arrays; further mutation is an error."""
+        if not self._frozen:
+            self._coords = np.column_stack(
+                [np.asarray(self._xs, dtype=float), np.asarray(self._ys, dtype=float)]
+            ) if self._xs else np.zeros((0, 2))
+            self._len_arr = np.asarray(self._edge_len, dtype=float)
+            self._speed_arr = np.asarray(self._edge_speed, dtype=float)
+            if self.observed_kmh is None:
+                self.observed_kmh = self._speed_arr.copy()
+            self._frozen = True
+        return self
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise RuntimeError("RoadNetwork is frozen; build a new graph instead")
+
+    # ------------------------------------------------------------------ query
+    @property
+    def num_nodes(self) -> int:
+        return len(self._xs)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed arcs."""
+        return len(self._edge_u)
+
+    @property
+    def coords(self) -> np.ndarray:
+        """``(num_nodes, 2)`` planar coordinates (requires freeze)."""
+        self._require_frozen()
+        assert self._coords is not None
+        return self._coords
+
+    @property
+    def edge_lengths(self) -> np.ndarray:
+        self._require_frozen()
+        assert self._len_arr is not None
+        return self._len_arr
+
+    @property
+    def free_flow_kmh(self) -> np.ndarray:
+        self._require_frozen()
+        assert self._speed_arr is not None
+        return self._speed_arr
+
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise RuntimeError("call freeze() before reading attribute arrays")
+
+    def node_xy(self, node: int) -> tuple[float, float]:
+        check_index("node", node, self.num_nodes)
+        return self._xs[node], self._ys[node]
+
+    def neighbors(self, node: int) -> Sequence[tuple[int, int]]:
+        """Outgoing ``(neighbour, edge_id)`` pairs of ``node``."""
+        check_index("node", node, self.num_nodes)
+        return self._adj[node]
+
+    def edge(self, edge_id: int) -> Edge:
+        check_index("edge_id", edge_id, self.num_edges)
+        return Edge(
+            edge_id,
+            self._edge_u[edge_id],
+            self._edge_v[edge_id],
+            self._edge_len[edge_id],
+            self._edge_speed[edge_id],
+        )
+
+    def edges(self) -> Iterator[Edge]:
+        for eid in range(self.num_edges):
+            yield self.edge(eid)
+
+    def path_edge_ids(self, nodes: Sequence[int]) -> list[int]:
+        """Edge ids along a node path; raises if consecutive nodes are not adjacent."""
+        eids: list[int] = []
+        for a, b in zip(nodes[:-1], nodes[1:]):
+            for nbr, eid in self._adj[a]:
+                if nbr == b:
+                    eids.append(eid)
+                    break
+            else:
+                raise ValueError(f"nodes {a} and {b} are not adjacent")
+        return eids
+
+    def path_length_km(self, nodes: Sequence[int]) -> float:
+        """Total length of a node path in km."""
+        if len(nodes) < 2:
+            return 0.0
+        eids = self.path_edge_ids(nodes)
+        if self._frozen:
+            assert self._len_arr is not None
+            return float(self._len_arr[eids].sum())
+        return float(sum(self._edge_len[e] for e in eids))
+
+    def path_polyline(self, nodes: Sequence[int]) -> np.ndarray:
+        """``(len(nodes), 2)`` coordinate array along a node path."""
+        return np.array([[self._xs[n], self._ys[n]] for n in nodes], dtype=float)
+
+    def bounding_box(self) -> BoundingBox:
+        self._require_frozen()
+        return BoundingBox.of_points(self.coords)
+
+    def nearest_node(self, x: float, y: float) -> int:
+        """Node closest to planar position ``(x, y)`` (vectorized scan)."""
+        self._require_frozen()
+        d2 = (self.coords[:, 0] - x) ** 2 + (self.coords[:, 1] - y) ** 2
+        return int(np.argmin(d2))
+
+    def nearest_nodes(self, xy: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`nearest_node` for an ``(m, 2)`` query array."""
+        self._require_frozen()
+        queries = np.asarray(xy, dtype=float)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        # (m, n) distance matrix is fine at city scale (n <= a few thousand).
+        d2 = (
+            (queries[:, 0:1] - self.coords[None, :, 0]) ** 2
+            + (queries[:, 1:2] - self.coords[None, :, 1]) ** 2
+        )
+        return np.argmin(d2, axis=1)
+
+    def __repr__(self) -> str:
+        state = "frozen" if self._frozen else "building"
+        return (
+            f"RoadNetwork(nodes={self.num_nodes}, arcs={self.num_edges}, {state})"
+        )

@@ -1,0 +1,175 @@
+"""Route recommendation: the navigation-platform side of the system model.
+
+:class:`RoutePlanner` stands in for the Google Maps API of Section 5.1: given
+an origin-destination pair it recommends up to ``k`` loopless routes, each
+annotated with the quantities the game consumes — detour distance ``h(r)``
+relative to the shortest route, and congestion level ``c(r)`` from the
+background-traffic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.congestion import BackgroundTraffic
+from repro.network.graph import RoadNetwork
+from repro.network.ksp import k_shortest_paths
+from repro.network.shortest_path import WeightFn, dijkstra, length_weight
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Route:
+    """A recommended route with its game-relevant annotations.
+
+    Attributes
+    ----------
+    nodes:
+        Node ids along the route.
+    length_km:
+        Total geometric length.
+    detour_km:
+        ``h(r)``: extra length relative to the shortest route of the same
+        OD pair (Eq. 3's input).
+    congestion:
+        ``c(r)``: exogenous congestion level of the route (Eq. 4's input).
+    task_ids:
+        Tasks covered by this route (filled by
+        :mod:`repro.tasks.assignment`); empty tuple until assignment runs.
+    """
+
+    nodes: tuple[int, ...]
+    length_km: float
+    detour_km: float
+    congestion: float
+    task_ids: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        require(len(self.nodes) >= 1, "route must have at least one node")
+        require(self.length_km >= 0, f"negative length: {self.length_km}")
+        require(self.detour_km >= -1e-9, f"negative detour: {self.detour_km}")
+        require(self.congestion >= 0, f"negative congestion: {self.congestion}")
+
+    @property
+    def origin(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> int:
+        return self.nodes[-1]
+
+    def with_tasks(self, task_ids: tuple[int, ...]) -> "Route":
+        """Copy of this route with the covered-task set attached."""
+        return Route(
+            self.nodes, self.length_km, self.detour_km, self.congestion, task_ids
+        )
+
+    def polyline(self, net: RoadNetwork) -> np.ndarray:
+        """Coordinates along the route, ``(len(nodes), 2)``."""
+        return net.path_polyline(list(self.nodes))
+
+
+class RoutePlanner:
+    """Recommends diverse alternative routes for OD pairs.
+
+    Two strategies:
+
+    - ``method="penalty"`` (default): iterative edge-penalty alternatives —
+      after each accepted route, the weights of its edges are multiplied by
+      ``penalty_factor`` and Dijkstra re-runs, yielding genuinely different
+      routes with growing detours (the behaviour of commercial navigation
+      systems, whose alternatives differ by whole corridors).
+    - ``method="ksp"``: Yen's k-shortest loopless paths — near-optimal
+      alternatives that can be almost identical on regular grids.
+    """
+
+    def __init__(
+        self,
+        net: RoadNetwork,
+        traffic: BackgroundTraffic | None = None,
+        *,
+        weight: WeightFn | None = None,
+        method: str = "penalty",
+        penalty_factor: float = 1.6,
+    ) -> None:
+        if method not in ("penalty", "ksp"):
+            raise ValueError(f"unknown method {method!r}")
+        self.net = net.freeze()
+        self.traffic = traffic if traffic is not None else BackgroundTraffic.uniform()
+        self._weight = weight if weight is not None else length_weight(self.net)
+        self.method = method
+        self.penalty_factor = float(penalty_factor)
+        require(self.penalty_factor > 1.0, "penalty_factor must exceed 1")
+        self.traffic.apply(self.net)
+
+    def recommend(self, origin: int, destination: int, k: int) -> list[Route]:
+        """Up to ``k`` routes for the OD pair, shortest first.
+
+        Detours are measured against the first (shortest) route, so the
+        shortest route always has ``detour_km == 0``.
+        """
+        require(k >= 1, f"k must be >= 1, got {k}")
+        if origin == destination:
+            return []
+        if self.method == "penalty":
+            paths = self._penalty_paths(origin, destination, k)
+        else:
+            paths = k_shortest_paths(
+                self.net, origin, destination, k, weight=self._weight
+            )
+        if not paths:
+            return []
+        routes: list[Route] = []
+        base_len = self.net.path_length_km(paths[0][0])
+        for nodes, _cost in paths:
+            length = self.net.path_length_km(nodes)
+            routes.append(
+                Route(
+                    nodes=tuple(nodes),
+                    length_km=length,
+                    detour_km=max(0.0, length - base_len),
+                    congestion=self.traffic.route_congestion(self.net, nodes),
+                )
+            )
+        return routes
+
+    def recommend_many(
+        self, od_pairs: list[tuple[int, int]], k: int
+    ) -> list[list[Route]]:
+        """Route sets for several OD pairs (one list per pair)."""
+        return [self.recommend(o, d, k) for o, d in od_pairs]
+
+    # ----------------------------------------------------------- strategies
+    def _penalty_paths(
+        self, origin: int, destination: int, k: int
+    ) -> list[tuple[list[int], float]]:
+        """Iterative edge-penalty alternatives (loopless by construction)."""
+        penalties: dict[int, float] = {}
+        base_weight = self._weight
+
+        def weight(eid: int) -> float:
+            return base_weight(eid) * penalties.get(eid, 1.0)
+
+        accepted: list[tuple[list[int], float]] = []
+        seen: set[tuple[int, ...]] = set()
+        # A few extra attempts tolerate duplicates before giving up.
+        attempts = 0
+        while len(accepted) < k and attempts < 3 * k:
+            attempts += 1
+            res = dijkstra(self.net, origin, weight=weight, target=destination)
+            if not res.reachable(destination):
+                break
+            path = res.path_to(destination)
+            key = tuple(path)
+            for eid in self.net.path_edge_ids(path):
+                penalties[eid] = penalties.get(eid, 1.0) * self.penalty_factor
+            if key in seen:
+                continue
+            seen.add(key)
+            # Report the un-penalized cost so ordering reflects true length.
+            true_cost = sum(base_weight(e) for e in self.net.path_edge_ids(path))
+            accepted.append((path, true_cost))
+        accepted.sort(key=lambda pc: pc[1])
+        return accepted

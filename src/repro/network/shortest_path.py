@@ -1,0 +1,122 @@
+"""Dijkstra shortest paths on :class:`~repro.network.graph.RoadNetwork`.
+
+Supports the node/edge exclusion masks needed by Yen's algorithm, and two
+edge-weight modes: geometric length (km) and travel time (hours, using the
+congestion model's observed speeds).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Collection, Sequence
+
+import numpy as np
+
+from repro.network.graph import RoadNetwork
+
+WeightFn = Callable[[int], float]
+
+
+def length_weight(net: RoadNetwork) -> WeightFn:
+    """Edge weight = geometric length in km."""
+    lengths = net.edge_lengths
+    return lambda eid: float(lengths[eid])
+
+
+def travel_time_weight(net: RoadNetwork) -> WeightFn:
+    """Edge weight = traversal time in hours at the observed speed."""
+    lengths = net.edge_lengths
+    observed = net.observed_kmh
+    if observed is None:
+        raise RuntimeError("network has no observed speeds; freeze() it first")
+    return lambda eid: float(lengths[eid] / max(observed[eid], 1e-6))
+
+
+@dataclass(frozen=True, slots=True)
+class ShortestPathResult:
+    """Single-source shortest-path tree."""
+
+    source: int
+    dist: np.ndarray
+    parent: np.ndarray
+    parent_edge: np.ndarray
+
+    def distance_to(self, target: int) -> float:
+        return float(self.dist[target])
+
+    def reachable(self, target: int) -> bool:
+        return bool(np.isfinite(self.dist[target]))
+
+    def path_to(self, target: int) -> list[int]:
+        """Node path from source to target; raises if unreachable."""
+        if not self.reachable(target):
+            raise ValueError(f"node {target} unreachable from {self.source}")
+        path = [target]
+        while path[-1] != self.source:
+            path.append(int(self.parent[path[-1]]))
+        path.reverse()
+        return path
+
+
+def dijkstra(
+    net: RoadNetwork,
+    source: int,
+    *,
+    weight: WeightFn | None = None,
+    target: int | None = None,
+    banned_nodes: Collection[int] = (),
+    banned_edges: Collection[int] = (),
+) -> ShortestPathResult:
+    """Dijkstra from ``source`` with optional early exit and exclusions.
+
+    ``banned_nodes``/``banned_edges`` are skipped entirely (Yen's spur-path
+    machinery).  With ``target`` set, the search stops as soon as the target
+    is settled.
+    """
+    n = net.num_nodes
+    w = weight if weight is not None else length_weight(net)
+    dist = np.full(n, np.inf)
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    done = np.zeros(n, dtype=bool)
+    banned_n = frozenset(banned_nodes)
+    banned_e = frozenset(banned_edges)
+    if source in banned_n:
+        return ShortestPathResult(source, dist, parent, parent_edge)
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        if target is not None and u == target:
+            break
+        for v, eid in net.neighbors(u):
+            if done[v] or v in banned_n or eid in banned_e:
+                continue
+            nd = d + w(eid)
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                parent_edge[v] = eid
+                heapq.heappush(heap, (nd, v))
+    return ShortestPathResult(source, dist, parent, parent_edge)
+
+
+def shortest_path(
+    net: RoadNetwork,
+    source: int,
+    target: int,
+    *,
+    weight: WeightFn | None = None,
+) -> tuple[list[int], float]:
+    """Convenience wrapper: ``(node_path, cost)`` from source to target."""
+    res = dijkstra(net, source, weight=weight, target=target)
+    return res.path_to(target), res.distance_to(target)
+
+
+def path_cost(net: RoadNetwork, nodes: Sequence[int], weight: WeightFn) -> float:
+    """Total weight of a node path."""
+    return sum(weight(eid) for eid in net.path_edge_ids(nodes))

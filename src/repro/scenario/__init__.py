@@ -1,0 +1,6 @@
+"""Instance construction: city substrate + traces + tasks -> game (Table 2)."""
+
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.builder import Scenario, build_scenario
+
+__all__ = ["Scenario", "ScenarioConfig", "build_scenario"]

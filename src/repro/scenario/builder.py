@@ -1,0 +1,164 @@
+"""End-to-end scenario construction.
+
+Pipeline (Section 5.1): city profile -> road network + congestion field ->
+synthetic taxi traces -> occupied-trip OD pairs snapped to network nodes ->
+k-shortest-path route recommendation per user -> random tasks -> coverage
+assignment -> :class:`~repro.core.game.RouteNavigationGame`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.game import RouteNavigationGame
+from repro.core.weights import PlatformWeights, UserWeights
+from repro.network.congestion import BackgroundTraffic, CongestionField
+from repro.network.graph import RoadNetwork
+from repro.network.routing import Route, RoutePlanner
+from repro.scenario.config import ScenarioConfig
+from repro.tasks.assignment import assign_tasks_to_routes
+from repro.tasks.generator import generate_tasks
+from repro.tasks.task import TaskSet
+from repro.traces.cities import get_city
+from repro.traces.model import TraceSet
+from repro.traces.od import extract_od_pairs, od_pairs_to_nodes
+from repro.traces.projection import GeoProjection
+from repro.traces.speed_estimation import TraceDerivedTraffic
+from repro.traces.synthetic import synthesize_traces
+from repro.utils.rng import RngStream
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully-materialized instance plus its substrate provenance."""
+
+    config: ScenarioConfig
+    game: RouteNavigationGame
+    network: RoadNetwork
+    planner: RoutePlanner
+    tasks: TaskSet
+    traces: TraceSet
+    od_pairs: tuple[tuple[int, int], ...]
+
+    @property
+    def num_users(self) -> int:
+        return self.game.num_users
+
+    @property
+    def num_tasks(self) -> int:
+        return self.game.num_tasks
+
+
+def build_scenario(
+    config: ScenarioConfig,
+    *,
+    traces: TraceSet | None = None,
+) -> Scenario:
+    """Build a scenario; pass ``traces`` to use real parsed data instead of
+    the synthetic generator."""
+    stream = RngStream(config.seed)
+    city = get_city(config.city)
+
+    net = city.build_network(seed=stream.child("network"))
+    projection = GeoProjection.fit(city.lonlat_box, net)
+
+    if traces is None:
+        traces = synthesize_traces(
+            city,
+            n_vehicles=config.n_vehicles,
+            trips_per_vehicle=config.trips_per_vehicle,
+            seed=stream.child("traces"),
+        )
+
+    if config.congestion_source == "traces":
+        traffic: BackgroundTraffic | TraceDerivedTraffic = TraceDerivedTraffic(
+            traces, projection, scale=config.congestion_scale
+        )
+    else:
+        box = net.bounding_box()
+        field = CongestionField.random(
+            (box.min_x, box.min_y),
+            (box.max_x, box.max_y),
+            n_hotspots=config.congestion_hotspots,
+            seed=stream.child("congestion"),
+        )
+        traffic = BackgroundTraffic(field, scale=config.congestion_scale)
+    planner = RoutePlanner(
+        net,
+        traffic,
+        method=config.route_method,
+        penalty_factor=config.penalty_factor,
+    )
+
+    od_geo = extract_od_pairs(traces)
+    require(len(od_geo) >= 1, "trace set yielded no usable OD pairs")
+    od_nodes = od_pairs_to_nodes(
+        net,
+        od_geo,
+        projection=projection,
+        n_pairs=config.n_users,
+        seed=stream.child("od"),
+    )
+
+    rng_routes = stream.child("routes")
+    lo, hi = config.route_count_range
+    route_sets: list[list[Route]] = []
+    kept_pairs: list[tuple[int, int]] = []
+    attempts = 0
+    idx = 0
+    all_pairs = list(od_nodes)
+    while len(route_sets) < config.n_users:
+        attempts += 1
+        require(attempts <= 20 * config.n_users, "could not route enough OD pairs")
+        if idx >= len(all_pairs):
+            # Recycle pairs (with different k draws) if routing failed often.
+            idx = 0
+        o, d = all_pairs[idx]
+        idx += 1
+        k = int(rng_routes.integers(lo, hi + 1))
+        routes = planner.recommend(o, d, k)
+        if routes:
+            route_sets.append(routes)
+            kept_pairs.append((o, d))
+
+    tasks = generate_tasks(
+        net,
+        config.n_tasks,
+        base_reward_range=config.base_reward_range,
+        reward_increment_range=config.reward_increment_range,
+        seed=stream.child("tasks"),
+    )
+    route_sets = assign_tasks_to_routes(
+        net, route_sets, tasks, coverage_radius_km=config.coverage_radius_km
+    )
+
+    rng_weights = stream.child("weights")
+    wlo, whi = config.user_weight_range
+    user_weights = [
+        UserWeights.random(rng_weights, low=wlo, high=whi)
+        for _ in range(config.n_users)
+    ]
+    plo, phi_hi = config.platform_weight_range
+    if config.phi is not None and config.theta is not None:
+        platform = PlatformWeights(config.phi, config.theta)
+    else:
+        draw = PlatformWeights.random(rng_weights, low=plo, high=phi_hi)
+        platform = PlatformWeights(
+            config.phi if config.phi is not None else draw.phi,
+            config.theta if config.theta is not None else draw.theta,
+        )
+
+    game = RouteNavigationGame.build(
+        tasks, route_sets, user_weights, platform,
+        detour_unit_km=config.detour_unit_km,
+    )
+    return Scenario(
+        config=config,
+        game=game,
+        network=net,
+        planner=planner,
+        tasks=tasks,
+        traces=traces,
+        od_pairs=tuple(kept_pairs),
+    )

@@ -1,0 +1,89 @@
+"""Scenario configuration mirroring the paper's Table 2.
+
+| Table 2 parameter                           | Field                      |
+|---------------------------------------------|----------------------------|
+| Route number recommended to a user: 1-5     | ``route_count_range``      |
+| Original reward of a task a_k: 10-20        | ``base_reward_range``      |
+| Reward-increment parameter mu_k: 0-1        | ``reward_increment_range`` |
+| User weights alpha, beta, gamma: 0.1-0.9    | ``user_weight_range``      |
+| System weights phi, theta: 0.1-0.8          | ``platform_weight_range``  |
+| Number of repeated simulations: 500         | (experiment-level knob)    |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.utils.validation import check_in_range, check_positive, require
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Declarative recipe for one simulated VCS instance."""
+
+    city: str = "shanghai"
+    n_users: int = 20
+    n_tasks: int = 50
+    seed: int | None = None
+
+    # Route recommendation (Table 2 row 1).
+    route_count_range: tuple[int, int] = (1, 5)
+    coverage_radius_km: float = 0.35
+    route_method: str = "penalty"
+    penalty_factor: float = 2.2
+    # Unit of the detour distance h(r) in the profit function: 0.1 km means
+    # h counts 100 m blocks, putting detours on the paper's magnitude
+    # (comparable to task rewards; see Fig. 12 / Table 5).
+    detour_unit_km: float = 0.1
+
+    # Task rewards (Table 2 rows 2-3).
+    base_reward_range: tuple[float, float] = (10.0, 20.0)
+    reward_increment_range: tuple[float, float] = (0.0, 1.0)
+
+    # Preference weights (Table 2 rows 4-5).  ``phi``/``theta`` override the
+    # random draw with fixed platform weights (used by the Fig. 12 sweeps).
+    user_weight_range: tuple[float, float] = (0.1, 0.9)
+    platform_weight_range: tuple[float, float] = (0.1, 0.8)
+    phi: float | None = None
+    theta: float | None = None
+
+    # Congestion substrate: "field" synthesizes Gaussian slowdown hotspots;
+    # "traces" estimates observed speeds from the taxi traces themselves
+    # (the paper's own recipe, Section 5.1).
+    congestion_source: str = "field"
+    congestion_hotspots: int = 4
+    congestion_scale: float = 20.0
+
+    # Trace substrate: number of synthetic vehicles (None = the city's
+    # paper-selected trace count) and trips per vehicle.
+    n_vehicles: int | None = None
+    trips_per_vehicle: int = 3
+
+    def __post_init__(self) -> None:
+        require(self.n_users >= 1, f"n_users must be >= 1, got {self.n_users}")
+        require(self.n_tasks >= 0, f"n_tasks must be >= 0, got {self.n_tasks}")
+        lo, hi = self.route_count_range
+        require(1 <= lo <= hi <= 10, f"bad route_count_range: {self.route_count_range}")
+        check_positive("coverage_radius_km", self.coverage_radius_km)
+        require(self.route_method in ("penalty", "ksp"),
+                f"bad route_method: {self.route_method!r}")
+        require(self.penalty_factor > 1.0, "penalty_factor must exceed 1")
+        check_positive("detour_unit_km", self.detour_unit_km)
+        blo, bhi = self.base_reward_range
+        require(0 < blo <= bhi, f"bad base_reward_range: {self.base_reward_range}")
+        wlo, whi = self.user_weight_range
+        require(0 < wlo <= whi, f"bad user_weight_range: {self.user_weight_range}")
+        plo, phi_ = self.platform_weight_range
+        require(0 <= plo <= phi_ < 1, f"bad platform_weight_range: {self.platform_weight_range}")
+        if self.phi is not None:
+            check_in_range("phi", self.phi, 0.0, 1.0)
+        if self.theta is not None:
+            check_in_range("theta", self.theta, 0.0, 1.0)
+        require(self.congestion_source in ("field", "traces"),
+                f"bad congestion_source: {self.congestion_source!r}")
+        require(self.congestion_hotspots >= 0, "congestion_hotspots must be >= 0")
+        check_positive("congestion_scale", self.congestion_scale)
+
+    def with_(self, **kwargs) -> "ScenarioConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,17 @@
+"""Sensing-task substrate: the reward law of Eq. (1), spatial task
+placement, and route-coverage assignment."""
+
+from repro.tasks.task import Task, TaskSet, reward, reward_share, shared_reward_prefix_sum
+from repro.tasks.generator import generate_tasks
+from repro.tasks.assignment import assign_tasks_to_routes, coverage_matrix
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "assign_tasks_to_routes",
+    "coverage_matrix",
+    "generate_tasks",
+    "reward",
+    "reward_share",
+    "shared_reward_prefix_sum",
+]

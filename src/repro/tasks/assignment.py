@@ -1,0 +1,72 @@
+"""Route/task coverage: which tasks does a recommended route cover?
+
+A route covers a task when the task's location lies within
+``coverage_radius_km`` of the route polyline — the vehicular-sensing analogue
+of "each route may cover some MCS tasks" (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.polyline import polyline_point_distance
+from repro.network.graph import RoadNetwork
+from repro.network.routing import Route
+from repro.tasks.task import TaskSet
+from repro.utils.validation import check_positive
+
+
+def route_covers(
+    net: RoadNetwork,
+    route: Route,
+    tasks: TaskSet,
+    coverage_radius_km: float,
+) -> tuple[int, ...]:
+    """Task ids within ``coverage_radius_km`` of the route polyline."""
+    check_positive("coverage_radius_km", coverage_radius_km)
+    if len(tasks) == 0:
+        return ()
+    dist = polyline_point_distance(route.polyline(net), tasks.xy)
+    return tuple(int(k) for k in np.flatnonzero(dist <= coverage_radius_km))
+
+
+def assign_tasks_to_routes(
+    net: RoadNetwork,
+    route_sets: list[list[Route]],
+    tasks: TaskSet,
+    *,
+    coverage_radius_km: float = 0.3,
+) -> list[list[Route]]:
+    """Attach covered-task tuples to every route of every user's route set.
+
+    Returns new :class:`Route` objects (routes are immutable); the nested
+    list structure mirrors the input.
+    """
+    out: list[list[Route]] = []
+    for routes in route_sets:
+        out.append(
+            [
+                r.with_tasks(route_covers(net, r, tasks, coverage_radius_km))
+                for r in routes
+            ]
+        )
+    return out
+
+
+def coverage_matrix(route_sets: list[list[Route]], n_tasks: int) -> np.ndarray:
+    """Boolean tensor flattened to a ragged-friendly matrix.
+
+    Returns an ``(n_routes_total, n_tasks)`` boolean matrix where rows are
+    all routes of all users in order, useful for vectorized what-if
+    evaluation across an entire instance.
+    """
+    rows = []
+    for routes in route_sets:
+        for r in routes:
+            row = np.zeros(n_tasks, dtype=bool)
+            if r.task_ids:
+                row[list(r.task_ids)] = True
+            rows.append(row)
+    if not rows:
+        return np.zeros((0, n_tasks), dtype=bool)
+    return np.vstack(rows)

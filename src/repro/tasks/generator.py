@@ -1,0 +1,72 @@
+"""Random task placement (Section 5.1: "tasks are randomly generated").
+
+Tasks are placed either uniformly in the network's bounding box or biased
+toward the road network (a random point near a random edge midpoint), with
+rewards drawn per Table 2: ``a_k`` uniform in [10, 20], ``mu_k`` uniform in
+[0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.graph import RoadNetwork
+from repro.tasks.task import Task, TaskSet
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_range, require
+
+
+def generate_tasks(
+    net: RoadNetwork,
+    n_tasks: int,
+    *,
+    base_reward_range: tuple[float, float] = (10.0, 20.0),
+    reward_increment_range: tuple[float, float] = (0.0, 1.0),
+    on_road_fraction: float = 0.8,
+    road_jitter_km: float = 0.15,
+    seed: SeedLike = None,
+) -> TaskSet:
+    """Generate ``n_tasks`` tasks over the network's extent.
+
+    ``on_road_fraction`` of tasks are scattered near road segments (where
+    vehicular sensing is plausible); the remainder are uniform in the
+    bounding box.  Reward parameters follow Table 2's ranges by default.
+    """
+    require(n_tasks >= 0, f"n_tasks must be >= 0, got {n_tasks}")
+    lo, hi = base_reward_range
+    require(0 < lo <= hi, f"bad base_reward_range: {base_reward_range}")
+    ilo, ihi = reward_increment_range
+    check_in_range("reward_increment_range[0]", ilo, 0.0, 1.0)
+    check_in_range("reward_increment_range[1]", ihi, ilo, 1.0)
+    rng = as_generator(seed)
+    net.freeze()
+    bbox = net.bounding_box()
+
+    n_road = int(round(on_road_fraction * n_tasks))
+    coords = np.empty((n_tasks, 2))
+    if n_road > 0 and net.num_edges > 0:
+        eids = rng.integers(0, net.num_edges, size=n_road)
+        mids = np.empty((n_road, 2))
+        for i, eid in enumerate(eids):
+            e = net.edge(int(eid))
+            t = rng.random()
+            mids[i] = (1 - t) * net.coords[e.u] + t * net.coords[e.v]
+        coords[:n_road] = mids + rng.normal(0.0, road_jitter_km, size=(n_road, 2))
+    else:
+        n_road = 0
+    if n_tasks - n_road > 0:
+        coords[n_road:] = bbox.sample(rng, n_tasks - n_road)
+
+    a = rng.uniform(lo, hi, size=n_tasks)
+    mu = rng.uniform(ilo, ihi, size=n_tasks)
+    tasks = [
+        Task(
+            task_id=i,
+            x=float(coords[i, 0]),
+            y=float(coords[i, 1]),
+            base_reward=float(a[i]),
+            reward_increment=float(mu[i]),
+        )
+        for i in range(n_tasks)
+    ]
+    return TaskSet(tasks)

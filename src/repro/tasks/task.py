@@ -1,0 +1,142 @@
+"""Sensing tasks and the shared-reward law of Eq. (1).
+
+A task ``k`` performed by ``x`` users pays the *pool* ``w_k(x) = a_k +
+mu_k * ln(x)``, shared equally: each participant receives ``w_k(x)/x``
+(Eq. 2).  The potential function needs the prefix sums
+``sum_{q=1}^{n} w_k(q)/q`` (Eq. 8), computed vectorized here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive, require
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """One sensing task.
+
+    Attributes
+    ----------
+    task_id:
+        Dense index into the instance's task set.
+    x, y:
+        Planar location in km.
+    base_reward:
+        ``a_k``: the reward when a single user performs the task
+        (Table 2: uniform in [10, 20]).
+    reward_increment:
+        ``mu_k`` in [0, 1]: marginal pool growth per ln(participants).
+    """
+
+    task_id: int
+    x: float
+    y: float
+    base_reward: float
+    reward_increment: float
+
+    def __post_init__(self) -> None:
+        check_positive("base_reward", self.base_reward)
+        check_in_range("reward_increment", self.reward_increment, 0.0, 1.0)
+
+    def reward(self, x: int) -> float:
+        """Pool ``w_k(x)`` for ``x >= 1`` participants."""
+        return reward(self.base_reward, self.reward_increment, x)
+
+    def share(self, x: int) -> float:
+        """Per-participant share ``w_k(x)/x``."""
+        return reward_share(self.base_reward, self.reward_increment, x)
+
+
+def reward(a: float, mu: float, x: int | np.ndarray) -> float | np.ndarray:
+    """Eq. (1): ``w(x) = a + mu * ln(x)``, defined for ``x >= 1``."""
+    x_arr = np.asarray(x)
+    if np.any(x_arr < 1):
+        raise ValueError(f"participant count must be >= 1, got {x}")
+    out = a + mu * np.log(x_arr)
+    return float(out) if np.isscalar(x) or x_arr.ndim == 0 else out
+
+
+def reward_share(a: float, mu: float, x: int | np.ndarray) -> float | np.ndarray:
+    """Per-user share ``w(x)/x``."""
+    x_arr = np.asarray(x, dtype=float)
+    w = reward(a, mu, x)
+    out = np.asarray(w) / x_arr
+    return float(out) if np.isscalar(x) or x_arr.ndim == 0 else out
+
+
+def shared_reward_prefix_sum(a: float, mu: float, n: int) -> float:
+    """``sum_{q=1}^{n} w(q)/q`` — the task's term in the potential (Eq. 8)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if n == 0:
+        return 0.0
+    q = np.arange(1, n + 1, dtype=float)
+    return float(np.sum((a + mu * np.log(q)) / q))
+
+
+class TaskSet:
+    """Immutable indexed collection of tasks with vectorized attribute views."""
+
+    def __init__(self, tasks: Sequence[Task]) -> None:
+        require(
+            all(t.task_id == i for i, t in enumerate(tasks)),
+            "task ids must be dense 0..N-1 in order",
+        )
+        self._tasks = tuple(tasks)
+        n = len(tasks)
+        self.xy = np.array([[t.x, t.y] for t in tasks], dtype=float).reshape(n, 2)
+        self.base_rewards = np.array([t.base_reward for t in tasks], dtype=float)
+        self.reward_increments = np.array(
+            [t.reward_increment for t in tasks], dtype=float
+        )
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __getitem__(self, task_id: int) -> Task:
+        return self._tasks[task_id]
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def shares(self, counts: np.ndarray) -> np.ndarray:
+        """Per-task share ``w_k(n_k)/n_k`` for a full count vector.
+
+        Tasks with count 0 get share 0.  Vectorized over all tasks.
+        """
+        c = np.asarray(counts, dtype=float)
+        if c.shape != (len(self),):
+            raise ValueError(f"counts must have shape ({len(self)},), got {c.shape}")
+        out = np.zeros(len(self))
+        active = c >= 1
+        ca = c[active]
+        out[active] = (
+            self.base_rewards[active] + self.reward_increments[active] * np.log(ca)
+        ) / ca
+        return out
+
+    def potential_terms(self, counts: np.ndarray) -> np.ndarray:
+        """Per-task prefix sums ``sum_{q<=n_k} w_k(q)/q`` (Eq. 8 first term)."""
+        c = np.asarray(counts, dtype=int)
+        if c.shape != (len(self),):
+            raise ValueError(f"counts must have shape ({len(self)},), got {c.shape}")
+        if np.any(c < 0):
+            raise ValueError("counts must be non-negative")
+        out = np.zeros(len(self))
+        max_n = int(c.max()) if len(c) else 0
+        if max_n == 0:
+            return out
+        # shares_table[k, q-1] = w_k(q)/q for q = 1..max_n, built in one shot.
+        q = np.arange(1, max_n + 1, dtype=float)
+        table = (
+            self.base_rewards[:, None] + self.reward_increments[:, None] * np.log(q)[None, :]
+        ) / q[None, :]
+        csum = np.cumsum(table, axis=1)
+        active = c >= 1
+        out[active] = csum[active, c[active] - 1]
+        return out

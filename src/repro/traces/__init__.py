@@ -1,0 +1,48 @@
+"""Taxi GPS trace substrate.
+
+The paper draws origin-destination pairs from three CRAWDAD taxi datasets
+(Shanghai, Roma, Epfl/cabspotting).  Those datasets cannot be redistributed,
+so this package provides (a) parsers/writers for the real on-disk formats,
+letting users drop in the actual data unchanged, and (b) synthetic trace
+generators calibrated to each city's published fleet size and geometry.
+"""
+
+from repro.traces.model import TraceSet, Trajectory
+from repro.traces.cities import CITY_PROFILES, CityProfile, get_city
+from repro.traces.parsers import (
+    parse_epfl_cab_file,
+    parse_roma_file,
+    parse_shanghai_file,
+    write_epfl_cab_file,
+    write_roma_file,
+    write_shanghai_file,
+)
+from repro.traces.synthetic import synthesize_traces
+from repro.traces.od import extract_od_pairs, od_pairs_to_nodes
+from repro.traces.projection import GeoProjection
+from repro.traces.speed_estimation import (
+    TraceDerivedTraffic,
+    estimate_edge_speeds,
+    segment_speeds,
+)
+
+__all__ = [
+    "CITY_PROFILES",
+    "CityProfile",
+    "GeoProjection",
+    "TraceDerivedTraffic",
+    "TraceSet",
+    "Trajectory",
+    "estimate_edge_speeds",
+    "extract_od_pairs",
+    "get_city",
+    "od_pairs_to_nodes",
+    "segment_speeds",
+    "parse_epfl_cab_file",
+    "parse_roma_file",
+    "parse_shanghai_file",
+    "synthesize_traces",
+    "write_epfl_cab_file",
+    "write_roma_file",
+    "write_shanghai_file",
+]

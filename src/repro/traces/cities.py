@@ -1,0 +1,104 @@
+"""Evaluation-city profiles (Section 5.1).
+
+Geometry and fleet statistics of the three datasets, used to calibrate the
+synthetic trace generators and to choose a matching road-graph morphology:
+
+- **Shanghai** (HERO, Zhu et al. 2009): GPS traces of taxis, Aug-Oct 2006;
+  the paper selects 200 one-day traces.  Dense regular core -> grid graph.
+- **Roma** (CRAWDAD roma/taxi): 320 taxis over 30 days; the paper selects
+  150 traces in the city center.  Historic radial center -> ring/spoke
+  graph.
+- **Epfl** (CRAWDAD epfl/mobility, cabspotting): ~500 cabs in the San
+  Francisco Bay Area over 30 days; the paper selects 200 same-period
+  traces.  Irregular mesh -> random geometric graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import BoundingBox
+from repro.network.builders import grid_city, radial_ring_city, random_geometric_city
+from repro.network.graph import RoadNetwork
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class CityProfile:
+    """Everything the substrate needs to impersonate one evaluation city."""
+
+    name: str
+    display_name: str
+    # WGS-84 box of the modeled central area (x = lon, y = lat).
+    lonlat_box: BoundingBox
+    fleet_size: int  # taxis in the original dataset
+    paper_trace_count: int  # traces the paper selects
+    morphology: str  # "grid" | "radial" | "geometric"
+    mean_trip_km: float
+    trip_km_sigma: float  # lognormal sigma of trip length
+    mean_speed_kmh: float
+    fix_interval_s: float  # GPS sampling period
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """``(lat, lon)`` of the modeled area's center."""
+        cx, cy = self.lonlat_box.center
+        return cy, cx
+
+    def build_network(self, seed: SeedLike = None) -> RoadNetwork:
+        """City-matched road graph in the local planar frame."""
+        if self.morphology == "grid":
+            return grid_city(12, 12, spacing_km=0.55, seed=seed)
+        if self.morphology == "radial":
+            return radial_ring_city(rings=5, spokes=14, ring_spacing_km=0.65, seed=seed)
+        if self.morphology == "geometric":
+            return random_geometric_city(170, extent_km=6.5, k_neighbors=4, seed=seed)
+        raise ValueError(f"unknown morphology: {self.morphology!r}")
+
+
+CITY_PROFILES: dict[str, CityProfile] = {
+    "shanghai": CityProfile(
+        name="shanghai",
+        display_name="Shanghai",
+        lonlat_box=BoundingBox(121.40, 31.17, 121.50, 31.26),
+        fleet_size=4000,
+        paper_trace_count=200,
+        morphology="grid",
+        mean_trip_km=4.5,
+        trip_km_sigma=0.5,
+        mean_speed_kmh=30.0,
+        fix_interval_s=60.0,
+    ),
+    "roma": CityProfile(
+        name="roma",
+        display_name="Roma",
+        lonlat_box=BoundingBox(12.44, 41.86, 12.54, 41.93),
+        fleet_size=320,
+        paper_trace_count=150,
+        morphology="radial",
+        mean_trip_km=3.5,
+        trip_km_sigma=0.55,
+        mean_speed_kmh=25.0,
+        fix_interval_s=15.0,
+    ),
+    "epfl": CityProfile(
+        name="epfl",
+        display_name="Epfl",
+        lonlat_box=BoundingBox(-122.45, 37.74, -122.38, 37.81),
+        fleet_size=500,
+        paper_trace_count=200,
+        morphology="geometric",
+        mean_trip_km=4.0,
+        trip_km_sigma=0.6,
+        mean_speed_kmh=28.0,
+        fix_interval_s=60.0,
+    ),
+}
+
+
+def get_city(name: str) -> CityProfile:
+    """Look up a city profile by (case-insensitive) name."""
+    key = name.lower()
+    if key not in CITY_PROFILES:
+        raise KeyError(f"unknown city {name!r}; known: {sorted(CITY_PROFILES)}")
+    return CITY_PROFILES[key]

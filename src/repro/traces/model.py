@@ -1,0 +1,153 @@
+"""Trace data model: trajectories of timestamped GPS fixes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.geometry.point import BoundingBox
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One vehicle's ordered GPS track.
+
+    Attributes
+    ----------
+    vehicle_id:
+        Stable identifier (taxi id in the real datasets).
+    times:
+        ``(n,)`` POSIX timestamps, non-decreasing.
+    lats, lons:
+        ``(n,)`` WGS-84 coordinates.
+    occupied:
+        ``(n,)`` boolean passenger flag (cabspotting carries it; synthetic
+        traces set it per trip; parsers without the field default to True).
+    """
+
+    vehicle_id: str
+    times: np.ndarray
+    lats: np.ndarray
+    lons: np.ndarray
+    occupied: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.times, dtype=float)
+        la = np.asarray(self.lats, dtype=float)
+        lo = np.asarray(self.lons, dtype=float)
+        require(t.shape == la.shape == lo.shape, "times/lats/lons shape mismatch")
+        require(t.ndim == 1 and t.size >= 1, "trajectory needs >= 1 point")
+        require(bool(np.all(np.diff(t) >= 0)), "timestamps must be non-decreasing")
+        occ = np.asarray(self.occupied, dtype=bool)
+        if occ.size == 0:
+            occ = np.ones(t.size, dtype=bool)
+        require(occ.shape == t.shape, "occupied shape mismatch")
+        object.__setattr__(self, "times", t)
+        object.__setattr__(self, "lats", la)
+        object.__setattr__(self, "lons", lo)
+        object.__setattr__(self, "occupied", occ)
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def origin(self) -> tuple[float, float]:
+        """First fix as ``(lat, lon)``."""
+        return float(self.lats[0]), float(self.lons[0])
+
+    @property
+    def destination(self) -> tuple[float, float]:
+        """Last fix as ``(lat, lon)``."""
+        return float(self.lats[-1]), float(self.lons[-1])
+
+    def bounding_box(self) -> BoundingBox:
+        """Lat/lon bounding box (x = lon, y = lat)."""
+        return BoundingBox(
+            float(self.lons.min()),
+            float(self.lats.min()),
+            float(self.lons.max()),
+            float(self.lats.max()),
+        )
+
+    def trips(self, *, gap_s: float = 600.0) -> list["Trajectory"]:
+        """Split into trips at occupancy drops or large time gaps.
+
+        A new trip starts when the vehicle transitions to occupied or after
+        a silent period longer than ``gap_s``.  Single-point fragments are
+        dropped.
+        """
+        if len(self) < 2:
+            return []
+        breaks = [0]
+        for i in range(1, len(self)):
+            time_gap = self.times[i] - self.times[i - 1] > gap_s
+            pickup = self.occupied[i] and not self.occupied[i - 1]
+            if time_gap or pickup:
+                breaks.append(i)
+        breaks.append(len(self))
+        out: list[Trajectory] = []
+        for a, b in zip(breaks[:-1], breaks[1:]):
+            if b - a >= 2:
+                out.append(
+                    Trajectory(
+                        vehicle_id=f"{self.vehicle_id}#t{len(out)}",
+                        times=self.times[a:b],
+                        lats=self.lats[a:b],
+                        lons=self.lons[a:b],
+                        occupied=self.occupied[a:b],
+                    )
+                )
+        return out
+
+
+class TraceSet:
+    """A named collection of trajectories (one evaluation dataset)."""
+
+    def __init__(self, name: str, trajectories: Iterable[Trajectory]) -> None:
+        self.name = name
+        self._trajs = list(trajectories)
+        require(len(self._trajs) >= 1, f"trace set {name!r} is empty")
+
+    def __len__(self) -> int:
+        return len(self._trajs)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self._trajs)
+
+    def __getitem__(self, idx: int) -> Trajectory:
+        return self._trajs[idx]
+
+    def select(self, n: int, *, seed=None) -> "TraceSet":
+        """Random sub-sample of ``n`` trajectories (paper: "we select 200
+        traces")."""
+        from repro.utils.rng import as_generator
+
+        rng = as_generator(seed)
+        n = min(n, len(self._trajs))
+        idx = rng.choice(len(self._trajs), size=n, replace=False)
+        return TraceSet(self.name, [self._trajs[int(i)] for i in sorted(idx)])
+
+    def bounding_box(self) -> BoundingBox:
+        boxes = [t.bounding_box() for t in self._trajs]
+        return BoundingBox(
+            min(b.min_x for b in boxes),
+            min(b.min_y for b in boxes),
+            max(b.max_x for b in boxes),
+            max(b.max_y for b in boxes),
+        )
+
+    def total_points(self) -> int:
+        return sum(len(t) for t in self._trajs)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceSet({self.name!r}, vehicles={len(self)}, "
+            f"points={self.total_points()})"
+        )

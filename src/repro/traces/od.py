@@ -1,0 +1,93 @@
+"""Origin-destination extraction (Section 5.1: "We extract the origin and
+the destination from the traces").
+
+Trajectories are split into occupied trips; each trip's endpoints form an
+OD pair.  :func:`od_pairs_to_nodes` projects lat/lon pairs into the road
+network's planar frame and snaps them to the nearest nodes, rejecting pairs
+that collapse onto the same node (no route to recommend).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.graph import RoadNetwork
+from repro.traces.model import TraceSet
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require
+
+
+def extract_od_pairs(
+    traces: TraceSet,
+    *,
+    min_trip_km: float = 0.5,
+    gap_s: float = 600.0,
+) -> list[tuple[float, float, float, float]]:
+    """OD pairs as ``(o_lat, o_lon, d_lat, d_lon)``, one per occupied trip.
+
+    Trips shorter (great-circle) than ``min_trip_km`` are discarded — GPS
+    jitter, not journeys.
+    """
+    from repro.geometry.point import haversine_km
+
+    out: list[tuple[float, float, float, float]] = []
+    for traj in traces:
+        for trip in traj.trips(gap_s=gap_s):
+            if not bool(trip.occupied[0]):
+                continue
+            o_lat, o_lon = trip.origin
+            d_lat, d_lon = trip.destination
+            if haversine_km(o_lat, o_lon, d_lat, d_lon) >= min_trip_km:
+                out.append((o_lat, o_lon, d_lat, d_lon))
+    return out
+
+
+def od_pairs_to_nodes(
+    net: RoadNetwork,
+    od_lonlat: list[tuple[float, float, float, float]],
+    *,
+    origin_latlon: tuple[float, float] | None = None,
+    bbox_latlon_width: tuple[float, float] | None = None,
+    projection: "GeoProjection | None" = None,
+    n_pairs: int | None = None,
+    seed: SeedLike = None,
+) -> list[tuple[int, int]]:
+    """Snap geographic OD pairs to network nodes.
+
+    The geographic box is mapped affinely onto the network's planar
+    bounding box via a :class:`~repro.traces.projection.GeoProjection`
+    (pass one directly, or give ``origin_latlon`` + ``bbox_latlon_width``
+    to build it), then endpoints snap to their nearest node.  Degenerate
+    pairs (same node) are dropped.  When ``n_pairs`` is given, a random
+    subset of the surviving pairs of that size is returned (with
+    replacement only if there are too few).
+    """
+    from repro.geometry.point import BoundingBox
+    from repro.traces.projection import GeoProjection
+
+    require(len(od_lonlat) >= 1, "no OD pairs supplied")
+    net.freeze()
+    if projection is None:
+        require(
+            origin_latlon is not None and bbox_latlon_width is not None,
+            "pass either a projection or origin_latlon + bbox_latlon_width",
+        )
+        o_lat0, o_lon0 = origin_latlon
+        lat_w, lon_w = bbox_latlon_width
+        projection = GeoProjection.fit(
+            BoundingBox(o_lon0, o_lat0, o_lon0 + lon_w, o_lat0 + lat_w), net
+        )
+
+    arr = np.asarray(od_lonlat, dtype=float)
+    origins = net.nearest_nodes(projection.to_xy(arr[:, 0], arr[:, 1]))
+    dests = net.nearest_nodes(projection.to_xy(arr[:, 2], arr[:, 3]))
+    pairs = [(int(o), int(d)) for o, d in zip(origins, dests) if o != d]
+    require(len(pairs) >= 1, "all OD pairs collapsed to a single node")
+    if n_pairs is None:
+        return pairs
+    rng = as_generator(seed)
+    if n_pairs <= len(pairs):
+        idx = rng.choice(len(pairs), size=n_pairs, replace=False)
+    else:
+        idx = rng.choice(len(pairs), size=n_pairs, replace=True)
+    return [pairs[int(i)] for i in idx]

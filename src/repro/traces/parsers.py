@@ -1,0 +1,195 @@
+"""Parsers and writers for the three real trace formats.
+
+Real data can therefore be dropped in unchanged; the synthetic generator
+uses the writers so round-trip fidelity is tested end-to-end.
+
+Formats
+-------
+**Roma** (CRAWDAD roma/taxi, one file for all taxis)::
+
+    156;2014-02-01 00:00:00.739166+01;POINT(41.8883 12.4839)
+
+**Epfl** (cabspotting, one file per cab, reverse-chronological)::
+
+    37.75134 -122.39488 0 1213084687     # lat lon occupied unix_time
+
+**Shanghai** (HERO-style CSV, one file for all taxis)::
+
+    taxi_id,unix_time,lon,lat,speed_kmh,heading_deg,occupied
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.model import TraceSet, Trajectory
+
+_ROMA_POINT = re.compile(r"POINT\(\s*(-?\d+(?:\.\d+)?)\s+(-?\d+(?:\.\d+)?)\s*\)")
+
+
+# --------------------------------------------------------------------- Roma
+def parse_roma_file(path: str | Path, *, name: str = "roma") -> TraceSet:
+    """Parse the CRAWDAD roma/taxi semicolon format."""
+    rows: dict[str, list[tuple[float, float, float]]] = defaultdict(list)
+    for line_no, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split(";")
+        if len(parts) != 3:
+            raise ValueError(f"{path}:{line_no}: expected 3 ';'-fields, got {len(parts)}")
+        taxi_id, stamp, point = parts
+        m = _ROMA_POINT.search(point)
+        if m is None:
+            raise ValueError(f"{path}:{line_no}: malformed POINT: {point!r}")
+        lat, lon = float(m.group(1)), float(m.group(2))
+        rows[taxi_id].append((_parse_roma_timestamp(stamp), lat, lon))
+    return _rows_to_traceset(name, rows)
+
+
+def _parse_roma_timestamp(stamp: str) -> float:
+    """Roma timestamps look like ``2014-02-01 00:00:00.739166+01``."""
+    s = stamp.strip()
+    # Normalize "+01" -> "+01:00" for fromisoformat.
+    if re.search(r"[+-]\d{2}$", s):
+        s += ":00"
+    return datetime.fromisoformat(s).timestamp()
+
+
+def write_roma_file(path: str | Path, traces: TraceSet) -> None:
+    """Write trajectories in the Roma format (UTC timestamps)."""
+    lines = []
+    for traj in traces:
+        for t, la, lo in zip(traj.times, traj.lats, traj.lons):
+            stamp = datetime.fromtimestamp(float(t), tz=timezone.utc)
+            text = stamp.strftime("%Y-%m-%d %H:%M:%S.%f") + "+00"
+            lines.append(f"{traj.vehicle_id};{text};POINT({la:.6f} {lo:.6f})")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+# --------------------------------------------------------------------- Epfl
+def parse_epfl_cab_file(
+    path: str | Path, *, vehicle_id: str | None = None
+) -> Trajectory:
+    """Parse one cabspotting per-cab file (``new_<id>.txt``)."""
+    p = Path(path)
+    vid = vehicle_id
+    if vid is None:
+        stem = p.stem
+        vid = stem[4:] if stem.startswith("new_") else stem
+    lats, lons, occs, times = [], [], [], []
+    for line_no, line in enumerate(p.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise ValueError(f"{p}:{line_no}: expected 4 fields, got {len(parts)}")
+        lats.append(float(parts[0]))
+        lons.append(float(parts[1]))
+        occs.append(bool(int(parts[2])))
+        times.append(float(parts[3]))
+    order = np.argsort(times, kind="stable")  # files are reverse-chronological
+    return Trajectory(
+        vehicle_id=vid,
+        times=np.asarray(times)[order],
+        lats=np.asarray(lats)[order],
+        lons=np.asarray(lons)[order],
+        occupied=np.asarray(occs, dtype=bool)[order],
+    )
+
+
+def parse_epfl_directory(directory: str | Path, *, name: str = "epfl") -> TraceSet:
+    """Parse every ``new_*.txt`` cab file in a cabspotting directory."""
+    files = sorted(Path(directory).glob("new_*.txt"))
+    if not files:
+        raise FileNotFoundError(f"no new_*.txt cab files under {directory}")
+    return TraceSet(name, [parse_epfl_cab_file(f) for f in files])
+
+
+def write_epfl_cab_file(path: str | Path, traj: Trajectory) -> None:
+    """Write one trajectory in cabspotting format (reverse-chronological)."""
+    lines = [
+        f"{la:.5f} {lo:.5f} {int(oc)} {int(t)}"
+        for t, la, lo, oc in zip(traj.times, traj.lats, traj.lons, traj.occupied)
+    ]
+    Path(path).write_text("\n".join(reversed(lines)) + "\n")
+
+
+# ----------------------------------------------------------------- Shanghai
+def parse_shanghai_file(path: str | Path, *, name: str = "shanghai") -> TraceSet:
+    """Parse the HERO-style Shanghai CSV (header optional)."""
+    rows: dict[str, list[tuple[float, float, float, bool]]] = defaultdict(list)
+    for line_no, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line or line.lower().startswith("taxi_id"):
+            continue
+        parts = line.split(",")
+        if len(parts) != 7:
+            raise ValueError(f"{path}:{line_no}: expected 7 CSV fields, got {len(parts)}")
+        taxi_id, t, lon, lat, _speed, _heading, occ = parts
+        rows[taxi_id].append((float(t), float(lat), float(lon), bool(int(occ))))
+    trajs = []
+    for vid, pts in rows.items():
+        pts.sort(key=lambda r: r[0])
+        arr = np.asarray(pts, dtype=float)
+        trajs.append(
+            Trajectory(
+                vehicle_id=vid,
+                times=arr[:, 0],
+                lats=arr[:, 1],
+                lons=arr[:, 2],
+                occupied=arr[:, 3].astype(bool),
+            )
+        )
+    return TraceSet(name, trajs)
+
+
+def write_shanghai_file(path: str | Path, traces: TraceSet) -> None:
+    """Write trajectories in the Shanghai CSV format (with header).
+
+    Speed is back-computed from consecutive fixes; heading is the bearing
+    of the displacement (0 for the first fix).
+    """
+    from repro.geometry.point import haversine_km
+
+    lines = ["taxi_id,unix_time,lon,lat,speed_kmh,heading_deg,occupied"]
+    for traj in traces:
+        prev = None
+        for t, la, lo, oc in zip(traj.times, traj.lats, traj.lons, traj.occupied):
+            speed = 0.0
+            heading = 0.0
+            if prev is not None:
+                dt_h = (t - prev[0]) / 3600.0
+                if dt_h > 0:
+                    speed = haversine_km(prev[1], prev[2], la, lo) / dt_h
+                heading = float(
+                    np.degrees(np.arctan2(lo - prev[2], la - prev[1])) % 360.0
+                )
+            lines.append(
+                f"{traj.vehicle_id},{t:.0f},{lo:.6f},{la:.6f},"
+                f"{speed:.2f},{heading:.1f},{int(oc)}"
+            )
+            prev = (t, la, lo)
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+# ------------------------------------------------------------------ helpers
+def _rows_to_traceset(
+    name: str, rows: dict[str, list[tuple[float, float, float]]]
+) -> TraceSet:
+    trajs = []
+    for vid, pts in rows.items():
+        pts.sort(key=lambda r: r[0])
+        arr = np.asarray(pts, dtype=float)
+        trajs.append(
+            Trajectory(
+                vehicle_id=vid, times=arr[:, 0], lats=arr[:, 1], lons=arr[:, 2]
+            )
+        )
+    return TraceSet(name, trajs)

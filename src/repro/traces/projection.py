@@ -1,0 +1,63 @@
+"""Geographic-to-planar mapping shared by OD snapping and congestion
+estimation.
+
+The synthetic road graphs live in a local planar frame; the traces live in
+WGS-84.  Both are city-scale rectangles, so an affine map of the city's
+lat/lon box onto the network's planar bounding box aligns them (DESIGN.md,
+substitution 2: only relative geometry matters to the game layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.point import BoundingBox
+from repro.network.graph import RoadNetwork
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class GeoProjection:
+    """Affine map from a lat/lon box onto a planar box."""
+
+    lon0: float
+    lat0: float
+    lon_width: float
+    lat_height: float
+    planar: BoundingBox
+
+    def __post_init__(self) -> None:
+        require(self.lon_width > 0 and self.lat_height > 0,
+                "degenerate geographic box")
+
+    @staticmethod
+    def fit(lonlat_box: BoundingBox, net: RoadNetwork) -> "GeoProjection":
+        """Map ``lonlat_box`` (x = lon, y = lat) onto the network's extent."""
+        net.freeze()
+        return GeoProjection(
+            lon0=lonlat_box.min_x,
+            lat0=lonlat_box.min_y,
+            lon_width=lonlat_box.width,
+            lat_height=lonlat_box.height,
+            planar=net.bounding_box(),
+        )
+
+    def to_xy(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Project lat/lon arrays to an ``(n, 2)`` planar array (clamped)."""
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        u = np.clip((lons - self.lon0) / self.lon_width, 0.0, 1.0)
+        v = np.clip((lats - self.lat0) / self.lat_height, 0.0, 1.0)
+        x = self.planar.min_x + u * self.planar.width
+        y = self.planar.min_y + v * self.planar.height
+        return np.column_stack([np.atleast_1d(x), np.atleast_1d(y)])
+
+    @property
+    def km_per_deg(self) -> tuple[float, float]:
+        """Planar kilometres represented by one degree of (lon, lat)."""
+        return (
+            self.planar.width / self.lon_width,
+            self.planar.height / self.lat_height,
+        )

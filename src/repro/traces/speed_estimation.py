@@ -1,0 +1,175 @@
+"""Trace-derived congestion: the paper's own recipe.
+
+Section 5.1: "the congestion level is calculated by the velocity of the
+vehicles on the route."  This module implements exactly that pipeline on
+parsed trace sets:
+
+1. per-trajectory segment speeds from consecutive GPS fixes;
+2. snap each segment midpoint to its nearest road edge (simple
+   nearest-midpoint map matching — adequate at city GPS densities);
+3. average observed speed per edge; edges no taxi visited fall back to
+   free flow;
+4. edge congestion = relative slowdown ``1 - observed/free-flow``,
+   aggregated along a route length-weighted (same convention as the
+   synthetic :class:`~repro.network.congestion.BackgroundTraffic`).
+
+:class:`TraceDerivedTraffic` duck-types ``BackgroundTraffic`` (``apply`` /
+``edge_congestion`` / ``route_congestion``), so
+:class:`~repro.network.routing.RoutePlanner` and the scenario builder can
+swap it in via ``ScenarioConfig(congestion_source="traces")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.point import haversine_km
+from repro.network.graph import RoadNetwork
+from repro.traces.model import TraceSet
+from repro.traces.projection import GeoProjection
+from repro.utils.validation import check_positive, require
+
+
+def segment_speeds(
+    traces: TraceSet,
+    *,
+    max_gap_s: float = 300.0,
+    max_speed_kmh: float = 150.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Speeds of consecutive-fix segments across a trace set.
+
+    Returns ``(midpoints_latlon, speeds_kmh)`` where midpoints is
+    ``(n, 2)`` as (lat, lon).  Segments spanning silent gaps longer than
+    ``max_gap_s`` or implying speeds above ``max_speed_kmh`` (GPS glitches)
+    are discarded; zero-duration segments are skipped.
+    """
+    check_positive("max_gap_s", max_gap_s)
+    check_positive("max_speed_kmh", max_speed_kmh)
+    mids: list[tuple[float, float]] = []
+    speeds: list[float] = []
+    for traj in traces:
+        dt = np.diff(traj.times)
+        for i in range(len(traj) - 1):
+            if dt[i] <= 0 or dt[i] > max_gap_s:
+                continue
+            dist = haversine_km(
+                traj.lats[i], traj.lons[i], traj.lats[i + 1], traj.lons[i + 1]
+            )
+            speed = dist / (dt[i] / 3600.0)
+            if speed > max_speed_kmh:
+                continue
+            mids.append(
+                (
+                    float((traj.lats[i] + traj.lats[i + 1]) / 2),
+                    float((traj.lons[i] + traj.lons[i + 1]) / 2),
+                )
+            )
+            speeds.append(float(speed))
+    if not mids:
+        return np.zeros((0, 2)), np.zeros(0)
+    return np.asarray(mids), np.asarray(speeds)
+
+
+def estimate_edge_speeds(
+    net: RoadNetwork,
+    traces: TraceSet,
+    projection: GeoProjection,
+    *,
+    max_snap_km: float = 0.5,
+    min_observations: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average observed speed per directed edge from trace segments.
+
+    Returns ``(observed_kmh, n_observations)``.  Unobserved edges (or
+    edges with fewer than ``min_observations`` snapped segments) keep
+    their free-flow speed.  Observed speeds are capped at free flow —
+    taxis can't certify a road is *faster* than its limit.
+    """
+    check_positive("max_snap_km", max_snap_km)
+    require(min_observations >= 1, "min_observations must be >= 1")
+    net.freeze()
+    mids_latlon, speeds = segment_speeds(traces)
+    sums = np.zeros(net.num_edges)
+    counts = np.zeros(net.num_edges, dtype=np.intp)
+    if len(speeds):
+        xy = projection.to_xy(mids_latlon[:, 0], mids_latlon[:, 1])
+        edge_mid = np.empty((net.num_edges, 2))
+        for e in net.edges():
+            edge_mid[e.edge_id] = 0.5 * (net.coords[e.u] + net.coords[e.v])
+        # (m, E) snap matrix is fine at city scale.
+        d2 = (
+            (xy[:, None, 0] - edge_mid[None, :, 0]) ** 2
+            + (xy[:, None, 1] - edge_mid[None, :, 1]) ** 2
+        )
+        nearest = np.argmin(d2, axis=1)
+        dist = np.sqrt(d2[np.arange(len(nearest)), nearest])
+        ok = dist <= max_snap_km
+        np.add.at(sums, nearest[ok], speeds[ok])
+        np.add.at(counts, nearest[ok], 1)
+    observed = net.free_flow_kmh.copy()
+    seen = counts >= min_observations
+    observed[seen] = np.minimum(
+        sums[seen] / counts[seen], net.free_flow_kmh[seen]
+    )
+    observed = np.maximum(observed, 1e-3)
+    return observed, counts
+
+
+@dataclass
+class TraceDerivedTraffic:
+    """Congestion model estimated from taxi-trace velocities.
+
+    Drop-in replacement for
+    :class:`~repro.network.congestion.BackgroundTraffic` (same trio of
+    methods), with observed speeds measured rather than synthesized.
+    """
+
+    traces: TraceSet
+    projection: GeoProjection
+    scale: float = 20.0
+    max_snap_km: float = 0.5
+    observation_counts: np.ndarray | None = field(default=None, repr=False)
+    _edge_congestion: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("scale", self.scale)
+
+    def apply(self, net: RoadNetwork) -> np.ndarray:
+        """Estimate and install observed speeds; returns per-edge slowdown."""
+        net.freeze()
+        observed, counts = estimate_edge_speeds(
+            net, self.traces, self.projection, max_snap_km=self.max_snap_km
+        )
+        net.observed_kmh = observed
+        self.observation_counts = counts
+        self._edge_congestion = np.clip(
+            1.0 - observed / np.maximum(net.free_flow_kmh, 1e-9), 0.0, 1.0
+        )
+        return self._edge_congestion
+
+    def edge_congestion(self, net: RoadNetwork) -> np.ndarray:
+        if self._edge_congestion is None or len(self._edge_congestion) != net.num_edges:
+            self.apply(net)
+        assert self._edge_congestion is not None
+        return self._edge_congestion
+
+    def route_congestion(self, net: RoadNetwork, nodes: list[int]) -> float:
+        """``c(r)``: scaled length-weighted mean slowdown along the route."""
+        if len(nodes) < 2:
+            return 0.0
+        slow = self.edge_congestion(net)
+        eids = np.asarray(net.path_edge_ids(nodes), dtype=int)
+        lengths = net.edge_lengths[eids]
+        total = lengths.sum()
+        if total <= 0:
+            return 0.0
+        return float(self.scale * np.dot(slow[eids], lengths) / total)
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Fraction of edges with at least one speed observation."""
+        if self.observation_counts is None:
+            return 0.0
+        return float(np.mean(self.observation_counts >= 1))

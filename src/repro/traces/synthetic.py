@@ -1,0 +1,143 @@
+"""Calibrated synthetic taxi traces.
+
+Generates per-city trace sets statistically matched to the real datasets'
+published characteristics: fleet size, GPS fix interval, lognormal trip
+lengths, and hotspot-biased pickups (taxis concentrate around a small number
+of attraction points).  Trips are straight-line interpolations with GPS
+noise — the game layer only consumes origin/destination pairs, so street-
+level realism is unnecessary (see DESIGN.md, substitution 2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.point import BoundingBox
+from repro.traces.cities import CityProfile
+from repro.traces.model import TraceSet, Trajectory
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require
+
+KM_PER_DEG_LAT = 111.32
+
+
+def synthesize_traces(
+    city: CityProfile,
+    *,
+    n_vehicles: int | None = None,
+    trips_per_vehicle: int = 3,
+    n_hotspots: int = 5,
+    start_time: float = 1_155_600_000.0,  # 2006-08-15, the Shanghai epoch
+    gps_noise_deg: float = 2e-4,
+    seed: SeedLike = None,
+) -> TraceSet:
+    """Generate a synthetic trace set for ``city``.
+
+    ``n_vehicles`` defaults to the number of traces the paper selects for
+    that city (200 / 150 / 200).
+    """
+    if n_vehicles is None:
+        n_vehicles = city.paper_trace_count
+    require(n_vehicles >= 1, "need at least one vehicle")
+    require(trips_per_vehicle >= 1, "need at least one trip per vehicle")
+    rng = as_generator(seed)
+    box = city.lonlat_box
+    hotspots = box.sample(rng, max(n_hotspots, 1))
+
+    km_per_deg_lon = KM_PER_DEG_LAT * math.cos(math.radians(box.center[1]))
+    trajs: list[Trajectory] = []
+    for v in range(n_vehicles):
+        times, lats, lons, occs = [], [], [], []
+        clock = start_time + float(rng.uniform(0, 3600.0))
+        pos = _sample_near_hotspot(rng, box, hotspots)
+        for _trip in range(trips_per_vehicle):
+            dest = _sample_destination(rng, box, hotspots, pos, city, km_per_deg_lon)
+            trip_pts = _interpolate_trip(
+                rng, pos, dest, clock, city, km_per_deg_lon, gps_noise_deg
+            )
+            for t, la, lo in trip_pts:
+                times.append(t)
+                lats.append(la)
+                lons.append(lo)
+                occs.append(True)
+            clock = trip_pts[-1][0] + float(rng.uniform(120.0, 900.0))
+            pos = dest
+            # idle fix between trips (vacant cruising)
+            times.append(clock)
+            lats.append(pos[0])
+            lons.append(pos[1])
+            occs.append(False)
+            clock += city.fix_interval_s
+        trajs.append(
+            Trajectory(
+                vehicle_id=f"{city.name}-{v:04d}",
+                times=np.asarray(times),
+                lats=np.asarray(lats),
+                lons=np.asarray(lons),
+                occupied=np.asarray(occs, dtype=bool),
+            )
+        )
+    return TraceSet(city.name, trajs)
+
+
+def _sample_near_hotspot(
+    rng: np.random.Generator, box: BoundingBox, hotspots: np.ndarray
+) -> tuple[float, float]:
+    """A point near a random hotspot, clamped into the box; (lat, lon)."""
+    h = hotspots[int(rng.integers(0, len(hotspots)))]
+    lon = h[0] + rng.normal(0.0, 0.15 * box.width)
+    lat = h[1] + rng.normal(0.0, 0.15 * box.height)
+    lon, lat = box.clamp(lon, lat)
+    return float(lat), float(lon)
+
+
+def _sample_destination(
+    rng: np.random.Generator,
+    box: BoundingBox,
+    hotspots: np.ndarray,
+    origin: tuple[float, float],
+    city: CityProfile,
+    km_per_deg_lon: float,
+) -> tuple[float, float]:
+    """Destination at a lognormal trip distance in a random direction."""
+    mu = math.log(city.mean_trip_km) - city.trip_km_sigma**2 / 2.0
+    for _attempt in range(20):
+        dist_km = float(rng.lognormal(mu, city.trip_km_sigma))
+        angle = float(rng.uniform(0.0, 2.0 * math.pi))
+        dlat = dist_km * math.sin(angle) / KM_PER_DEG_LAT
+        dlon = dist_km * math.cos(angle) / km_per_deg_lon
+        lat, lon = origin[0] + dlat, origin[1] + dlon
+        if box.contains(lon, lat):
+            return lat, lon
+    lon, lat = box.clamp(origin[1] + dlon, origin[0] + dlat)
+    return float(lat), float(lon)
+
+
+def _interpolate_trip(
+    rng: np.random.Generator,
+    origin: tuple[float, float],
+    dest: tuple[float, float],
+    start: float,
+    city: CityProfile,
+    km_per_deg_lon: float,
+    noise_deg: float,
+) -> list[tuple[float, float, float]]:
+    """Fixes along the trip at the city's GPS sampling interval."""
+    d_km = math.hypot(
+        (dest[0] - origin[0]) * KM_PER_DEG_LAT,
+        (dest[1] - origin[1]) * km_per_deg_lon,
+    )
+    speed = max(5.0, city.mean_speed_kmh * float(rng.uniform(0.7, 1.3)))
+    duration_s = max(city.fix_interval_s, d_km / speed * 3600.0)
+    n_fixes = max(2, int(duration_s / city.fix_interval_s) + 1)
+    frac = np.linspace(0.0, 1.0, n_fixes)
+    lats = origin[0] + frac * (dest[0] - origin[0])
+    lons = origin[1] + frac * (dest[1] - origin[1])
+    # Noise on intermediate fixes only: endpoints are the true OD pair.
+    if n_fixes > 2:
+        lats[1:-1] += rng.normal(0.0, noise_deg, size=n_fixes - 2)
+        lons[1:-1] += rng.normal(0.0, noise_deg, size=n_fixes - 2)
+    times = start + frac * duration_s
+    return [(float(t), float(la), float(lo)) for t, la, lo in zip(times, lats, lons)]

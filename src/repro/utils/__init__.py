@@ -1,0 +1,21 @@
+"""Shared utilities: RNG management, validation, timing, logging."""
+
+from repro.utils.rng import RngStream, as_generator, spawn_children
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    require,
+)
+from repro.utils.timer import Timer
+
+__all__ = [
+    "RngStream",
+    "Timer",
+    "as_generator",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "require",
+    "spawn_children",
+]

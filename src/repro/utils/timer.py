@@ -1,0 +1,53 @@
+"""Lightweight wall-clock timing for experiment bookkeeping."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch usable as a context manager.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    @property
+    def mean_lap(self) -> float:
+        """Average duration of completed laps (0.0 when none)."""
+        return sum(self.laps) / len(self.laps) if self.laps else 0.0

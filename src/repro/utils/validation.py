@@ -1,0 +1,66 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is (strictly) positive and finite."""
+    v = float(value)
+    if not np.isfinite(v):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if strict and v <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and v < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate ``low <= value <= high`` (or strict bounds)."""
+    v = float(value)
+    if not np.isfinite(v):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    ok = (low <= v <= high) if inclusive else (low < v < high)
+    if not ok:
+        op = "<=" if inclusive else "<"
+        raise ValueError(f"{name} must satisfy {low} {op} {name} {op} {high}, got {value!r}")
+    return v
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_index(name: str, value: int, size: int) -> int:
+    """Validate that ``value`` is a valid index into a container of ``size``."""
+    i = int(value)
+    if not 0 <= i < size:
+        raise IndexError(f"{name}={value!r} out of range for size {size}")
+    return i
+
+
+def check_type(name: str, value: Any, expected: type) -> Any:
+    """Validate ``isinstance(value, expected)``."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

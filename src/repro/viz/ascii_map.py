@@ -1,0 +1,78 @@
+"""Terminal rendering of a scenario: network, tasks, and chosen routes.
+
+The paper's Fig. 13 shows Google-Maps screenshots with recommended routes
+and the selected one highlighted; this is the text-mode analogue: road
+nodes as dots, tasks as ``*``, each displayed user's selected route as a
+digit trail with ``O``/``D`` endpoints.
+"""
+
+from __future__ import annotations
+
+from repro.core.profile import StrategyProfile
+from repro.geometry.polyline import resample_polyline
+from repro.network.graph import RoadNetwork
+from repro.tasks.task import TaskSet
+from repro.utils.validation import require
+
+
+def render_ascii(
+    net: RoadNetwork,
+    tasks: TaskSet | None = None,
+    profile: StrategyProfile | None = None,
+    *,
+    users: list[int] | None = None,
+    width: int = 72,
+    height: int = 28,
+) -> str:
+    """Render the scenario into a character grid.
+
+    Later layers overwrite earlier ones: network < tasks < routes <
+    endpoints.  ``users`` limits which users' selected routes are drawn
+    (default: the first two, matching Fig. 13's two-user presentation).
+    """
+    require(width >= 10 and height >= 5, "canvas too small")
+    net.freeze()
+    bbox = net.bounding_box()
+    span_x = max(bbox.width, 1e-9)
+    span_y = max(bbox.height, 1e-9)
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        col = int((x - bbox.min_x) / span_x * (width - 1))
+        row = int((bbox.max_y - y) / span_y * (height - 1))
+        return min(max(row, 0), height - 1), min(max(col, 0), width - 1)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    # Layer 1: road nodes.
+    for x, y in net.coords:
+        r, c = to_cell(float(x), float(y))
+        grid[r][c] = "."
+
+    # Layer 2: tasks.
+    if tasks is not None:
+        for t in tasks:
+            r, c = to_cell(t.x, t.y)
+            grid[r][c] = "*"
+
+    # Layer 3: selected routes.
+    if profile is not None:
+        game = profile.game
+        shown = users if users is not None else list(range(min(2, game.num_users)))
+        cell_step = min(span_x / width, span_y / height)
+        for u in shown:
+            route = game.route_sets[u][profile.route_of(u)]
+            poly = route.polyline(net)
+            dense = resample_polyline(poly, max(cell_step, 1e-6))
+            mark = str(u % 10)
+            for x, y in dense:
+                r, c = to_cell(float(x), float(y))
+                grid[r][c] = mark
+            r, c = to_cell(*map(float, poly[0]))
+            grid[r][c] = "O"
+            r, c = to_cell(*map(float, poly[-1]))
+            grid[r][c] = "D"
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = "  . road node   * task   <digit> user route   O origin   D destination"
+    return f"{border}\n{body}\n{border}\n{legend}"

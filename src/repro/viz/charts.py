@@ -1,0 +1,180 @@
+"""Dependency-free SVG line charts for experiment result tables.
+
+The evaluation figures are line/surface plots; this renderer turns a
+:class:`~repro.experiments.results.ResultTable` into a standalone SVG so
+the repository can draw its Figs. 4-12 analogues without matplotlib.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.results import ResultTable
+from repro.utils.validation import require
+
+_SERIES_COLORS = (
+    "#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e",
+    "#e6ab02", "#a6761d", "#666666",
+)
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw_step = (hi - lo) / max(n - 1, 1)
+    mag = 10 ** np.floor(np.log10(raw_step))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw_step:
+            break
+    # Snap the axis to the tick grid so the data range is fully covered.
+    start = np.floor(lo / step) * step
+    end = np.ceil(hi / step) * step
+    ticks = [float(start + i * step) for i in range(int(round((end - start) / step)) + 1)]
+    return ticks if len(ticks) >= 2 else [lo, hi]
+
+
+def line_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 640,
+    height: int = 420,
+    path: str | Path | None = None,
+) -> str:
+    """Render named ``(x, y)`` series as an SVG line chart.
+
+    Returns the document text; optionally writes it to ``path``.
+    """
+    require(bool(series), "no series to plot")
+    require(width >= 200 and height >= 150, "canvas too small")
+    margin_l, margin_r, margin_t, margin_b = 62, 16, 34, 46
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    all_pts = [p for pts in series.values() for p in pts]
+    require(bool(all_pts), "series contain no points")
+    xs = np.array([p[0] for p in all_pts], dtype=float)
+    ys = np.array([p[1] for p in all_pts], dtype=float)
+    x_ticks = _nice_ticks(float(xs.min()), float(xs.max()))
+    y_ticks = _nice_ticks(float(ys.min()), float(ys.max()))
+    x_lo, x_hi = x_ticks[0], x_ticks[-1]
+    y_lo, y_hi = y_ticks[0], y_ticks[-1]
+
+    def sx(x: float) -> float:
+        return margin_l + (x - x_lo) / max(x_hi - x_lo, 1e-12) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_t + plot_h - (y - y_lo) / max(y_hi - y_lo, 1e-12) * plot_h
+
+    def fmt(v: float) -> str:
+        return f"{v:g}"
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    # Grid + axis ticks.
+    for t in x_ticks:
+        x = sx(t)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_t}" x2="{x:.1f}" '
+            f'y2="{margin_t + plot_h}" stroke="#eeeeee"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_t + plot_h + 16}" '
+            f'text-anchor="middle">{fmt(t)}</text>'
+        )
+    for t in y_ticks:
+        y = sy(t)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{margin_l + plot_w}" '
+            f'y2="{y:.1f}" stroke="#eeeeee"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{fmt(t)}</text>'
+        )
+    # Axes frame.
+    parts.append(
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333333"/>'
+    )
+    # Series.
+    for idx, (name, pts) in enumerate(series.items()):
+        color = _SERIES_COLORS[idx % len(_SERIES_COLORS)]
+        ordered = sorted(pts, key=lambda p: p[0])
+        poly = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in ordered)
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="2" '
+            f'points="{poly}"/>'
+        )
+        for x, y in ordered:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+        # Legend entry.
+        lx = margin_l + 10
+        ly = margin_t + 14 + 15 * idx
+        parts.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{lx + 24}" y="{ly}">{name}</text>')
+    # Labels.
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+            f'font-size="14">{title}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{margin_l + plot_w / 2:.0f}" y="{height - 8}" '
+            f'text-anchor="middle">{x_label}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{margin_t + plot_h / 2:.0f}" '
+            f'text-anchor="middle" '
+            f'transform="rotate(-90 14 {margin_t + plot_h / 2:.0f})">'
+            f"{y_label}</text>"
+        )
+    parts.append("</svg>")
+    doc = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(doc)
+    return doc
+
+
+def chart_from_table(
+    table: ResultTable,
+    *,
+    x: str,
+    y: str,
+    series: str | None = None,
+    title: str = "",
+    path: str | Path | None = None,
+    **kwargs,
+) -> str:
+    """Plot column ``y`` against column ``x``, one line per ``series`` value.
+
+    The typical call renders a paper figure from an aggregated experiment
+    table, e.g. ``chart_from_table(fig4_table, x="n_users",
+    y="decision_slots_mean", series="algorithm")``.
+    """
+    require(len(table) > 0, "empty result table")
+    groups: dict[str, list[tuple[float, float]]] = {}
+    for row in table:
+        key = str(row[series]) if series is not None else y
+        groups.setdefault(key, []).append((float(row[x]), float(row[y])))
+    return line_chart(
+        groups, title=title, x_label=x, y_label=y, path=path, **kwargs
+    )

@@ -1,0 +1,107 @@
+"""SVG rendering of a scenario (self-contained, no plotting dependency).
+
+Produces a standalone ``.svg`` document: grey road segments, orange task
+dots scaled by base reward, per-user colored recommended-route bundles
+with the selected route drawn solid and bold (the Fig. 13 presentation).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.profile import StrategyProfile
+from repro.network.graph import RoadNetwork
+from repro.tasks.task import TaskSet
+from repro.utils.validation import require
+
+_USER_COLORS = (
+    "#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e", "#e6ab02",
+)
+
+
+def render_svg(
+    net: RoadNetwork,
+    tasks: TaskSet | None = None,
+    profile: StrategyProfile | None = None,
+    *,
+    users: list[int] | None = None,
+    size_px: int = 720,
+    path: str | Path | None = None,
+) -> str:
+    """Return (and optionally write) the SVG document text."""
+    require(size_px >= 100, "size_px too small")
+    net.freeze()
+    bbox = net.bounding_box()
+    pad = 0.05 * max(bbox.width, bbox.height, 1e-9)
+    span = max(bbox.width, bbox.height, 1e-9) + 2 * pad
+    scale = size_px / span
+
+    def sx(x: float) -> float:
+        return (x - bbox.min_x + pad) * scale
+
+    def sy(y: float) -> float:
+        return size_px - (y - bbox.min_y + pad) * scale
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size_px}" '
+        f'height="{size_px}" viewBox="0 0 {size_px} {size_px}">',
+        f'<rect width="{size_px}" height="{size_px}" fill="#fafaf7"/>',
+        '<g stroke="#c9c9c9" stroke-width="1">',
+    ]
+    seen: set[tuple[int, int]] = set()
+    for e in net.edges():
+        key = (min(e.u, e.v), max(e.u, e.v))
+        if key in seen:
+            continue
+        seen.add(key)
+        x1, y1 = net.node_xy(e.u)
+        x2, y2 = net.node_xy(e.v)
+        parts.append(
+            f'<line x1="{sx(x1):.1f}" y1="{sy(y1):.1f}" '
+            f'x2="{sx(x2):.1f}" y2="{sy(y2):.1f}"/>'
+        )
+    parts.append("</g>")
+
+    if tasks is not None and len(tasks) > 0:
+        max_reward = max(t.base_reward for t in tasks)
+        parts.append('<g fill="#f28e2b" fill-opacity="0.85">')
+        for t in tasks:
+            radius = 2.0 + 3.0 * (t.base_reward / max_reward)
+            parts.append(
+                f'<circle cx="{sx(t.x):.1f}" cy="{sy(t.y):.1f}" r="{radius:.1f}"/>'
+            )
+        parts.append("</g>")
+
+    if profile is not None:
+        game = profile.game
+        shown = users if users is not None else list(range(min(2, game.num_users)))
+        for u in shown:
+            color = _USER_COLORS[u % len(_USER_COLORS)]
+            selected = profile.route_of(u)
+            for j, route in enumerate(game.route_sets[u]):
+                poly = route.polyline(net)
+                points = " ".join(
+                    f"{sx(float(x)):.1f},{sy(float(y)):.1f}" for x, y in poly
+                )
+                if j == selected:
+                    style = f'stroke="{color}" stroke-width="3.5"'
+                else:
+                    style = (
+                        f'stroke="{color}" stroke-width="1.5" '
+                        'stroke-dasharray="6,4" stroke-opacity="0.6"'
+                    )
+                parts.append(f'<polyline fill="none" {style} points="{points}"/>')
+            ox, oy = net.node_xy(game.route_sets[u][0].origin)
+            dx, dy = net.node_xy(game.route_sets[u][0].destination)
+            parts.append(
+                f'<circle cx="{sx(ox):.1f}" cy="{sy(oy):.1f}" r="6" fill="{color}"/>'
+            )
+            parts.append(
+                f'<rect x="{sx(dx) - 5:.1f}" y="{sy(dy) - 5:.1f}" width="10" '
+                f'height="10" fill="{color}"/>'
+            )
+    parts.append("</svg>")
+    doc = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(doc)
+    return doc

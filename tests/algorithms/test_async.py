@@ -1,0 +1,79 @@
+"""Tests for the asynchronous Poisson-clock best-response extension."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AsyncBR
+from repro.core import StrategyProfile, is_nash_equilibrium
+from repro.metrics import convergence_stats
+
+from tests.helpers import random_game
+
+
+class TestAsyncConvergence:
+    def test_reaches_nash_on_fig1(self, fig1_game):
+        result = AsyncBR(seed=0).run(fig1_game)
+        assert result.converged
+        assert list(result.profile.choices) == [0, 0, 0]
+
+    def test_reaches_nash_on_random_games(self, rng):
+        for _ in range(10):
+            g = random_game(rng)
+            result = AsyncBR(seed=rng).run(g)
+            assert result.converged
+            assert is_nash_equilibrium(result.profile)
+
+    def test_reaches_nash_on_scenario(self, shanghai_game):
+        result = AsyncBR(seed=4).run(shanghai_game)
+        assert result.converged
+        assert is_nash_equilibrium(result.profile)
+
+    def test_potential_monotone(self, shanghai_game):
+        result = AsyncBR(seed=4).run(shanghai_game)
+        assert convergence_stats(shanghai_game, result).potential_monotone
+
+    def test_virtual_time_positive(self, shanghai_game):
+        algo = AsyncBR(seed=4)
+        algo.run(shanghai_game)
+        assert algo.virtual_time > 0.0
+
+    def test_moves_strictly_improving(self, shanghai_game):
+        result = AsyncBR(seed=4).run(shanghai_game)
+        assert all(m.gain > 0 for m in result.moves)
+
+
+class TestHeterogeneousRates:
+    def test_fast_user_acts_more(self, shanghai_game):
+        m = shanghai_game.num_users
+        rates = [1.0] * m
+        rates[0] = 50.0  # user 0 ticks ~50x as often
+        result = AsyncBR(seed=1, rates=rates).run(shanghai_game)
+        assert result.converged
+        assert is_nash_equilibrium(result.profile)
+
+    def test_rate_validation(self, fig1_game):
+        with pytest.raises(ValueError):
+            AsyncBR(seed=0, rates=[1.0]).run(fig1_game)  # wrong length
+        with pytest.raises(ValueError):
+            AsyncBR(seed=0, rates=[1.0, 0.0, 1.0]).run(fig1_game)
+
+    def test_quiet_window_validation(self):
+        with pytest.raises(ValueError):
+            AsyncBR(seed=0, quiet_window=0.0)
+
+
+class TestEquivalenceWithSlottedDynamics:
+    def test_same_equilibrium_set_on_small_games(self, rng):
+        from repro.core import enumerate_equilibria
+
+        for trial in range(6):
+            g = random_game(rng, max_users=4)
+            equilibria = set(enumerate_equilibria(g).equilibria)
+            result = AsyncBR(seed=trial).run(g)
+            assert tuple(int(c) for c in result.profile.choices) in equilibria
+
+    def test_from_equilibrium_no_moves(self, fig1_game):
+        initial = StrategyProfile(fig1_game, [0, 0, 0])
+        result = AsyncBR(seed=0).run(fig1_game, initial=initial)
+        assert result.moves == []
+        assert result.converged

@@ -1,0 +1,111 @@
+"""Tests for RRN, GreedyCentralized, BATS specifics, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ALGORITHM_REGISTRY,
+    BATS,
+    CORN,
+    GreedyCentralized,
+    RRN,
+    make_allocator,
+)
+from repro.core import StrategyProfile
+from repro.core.profit import total_profit
+
+from tests.helpers import random_game
+
+
+class TestRRN:
+    def test_zero_slots_no_moves(self, shanghai_game):
+        res = RRN(seed=0).run(shanghai_game)
+        assert res.decision_slots == 0
+        assert res.moves == []
+        assert res.converged
+
+    def test_uses_initial_when_given(self, fig1_game):
+        initial = StrategyProfile(fig1_game, [1, 0, 1])
+        res = RRN(seed=0).run(fig1_game, initial=initial)
+        assert list(res.profile.choices) == [1, 0, 1]
+
+    def test_random_selection_varies(self, shanghai_game):
+        choices = {
+            tuple(RRN(seed=s).run(shanghai_game).profile.choices.tolist())
+            for s in range(8)
+        }
+        assert len(choices) > 1
+
+
+class TestGreedy:
+    def test_between_random_mean_and_optimal(self, rng):
+        # Greedy should never beat CORN and should be a valid profile.
+        for trial in range(8):
+            g = random_game(rng, max_users=5)
+            greedy = GreedyCentralized(seed=trial).run(g)
+            opt = CORN(seed=trial).run(g)
+            assert greedy.total_profit <= opt.total_profit + 1e-9
+            greedy.profile.validate()
+
+    def test_assigns_every_user_once(self, shanghai_game):
+        res = GreedyCentralized(seed=0).run(shanghai_game)
+        assert res.decision_slots == shanghai_game.num_users
+
+    def test_single_user_optimal(self):
+        from repro.core import RouteNavigationGame
+
+        g = RouteNavigationGame.from_coverage(
+            [[[0], [1]]], base_rewards=[3.0, 11.0]
+        )
+        res = GreedyCentralized(seed=0).run(g)
+        assert res.profile.route_of(0) == 1
+
+
+class TestBATS:
+    def test_slots_count_activations(self, fig1_game):
+        # Starting at a NE still costs a full silent round to detect.
+        initial = StrategyProfile(fig1_game, [0, 0, 0])
+        res = BATS(seed=0).run(fig1_game, initial=initial)
+        assert res.decision_slots == fig1_game.num_users
+
+    def test_moves_subset_of_slots(self, shanghai_game):
+        res = BATS(seed=1).run(shanghai_game)
+        assert len(res.moves) <= res.decision_slots
+
+    def test_round_robin_covers_all_users(self, shanghai_game):
+        res = BATS(seed=2).run(shanghai_game)
+        # Every user is activated at least once before termination.
+        assert res.decision_slots >= shanghai_game.num_users
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in ALGORITHM_REGISTRY:
+            algo = make_allocator(name, seed=0)
+            assert algo.name == name
+
+    def test_case_insensitive(self):
+        assert make_allocator("dgrn", seed=0).name == "DGRN"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            make_allocator("SGD")
+
+    def test_registry_complete(self):
+        assert set(ALGORITHM_REGISTRY) == {
+            "DGRN", "MUUN", "BRUN", "BUAU", "BATS", "CORN", "RRN", "GREEDY",
+            "ASYNC",
+        }
+
+
+class TestResultSummary:
+    def test_summary_keys(self, fig1_game):
+        res = RRN(seed=0).run(fig1_game)
+        s = res.summary()
+        assert set(s) == {
+            "algorithm", "decision_slots", "total_profit", "converged", "moves"
+        }
+
+    def test_total_profit_property(self, fig1_game):
+        res = RRN(seed=0).run(fig1_game)
+        assert res.total_profit == pytest.approx(total_profit(res.profile))

@@ -1,0 +1,108 @@
+"""Tests for repro.algorithms.corn (exactness, pruning, budget)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BUAU, CORN, exhaustive_optimum
+from repro.algorithms.corn import CORNBudgetExceeded
+from repro.core import StrategyProfile
+from repro.core.profit import total_profit
+
+from tests.helpers import random_game
+
+
+class TestExactness:
+    def test_fig1_optimum(self, fig1_game):
+        res = CORN(seed=0).run(fig1_game)
+        assert res.total_profit == pytest.approx(12.0)
+        assert list(res.profile.choices) == [0, 0, 1]
+
+    def test_matches_exhaustive_on_random_games(self, rng):
+        for _ in range(40):
+            g = random_game(rng, max_users=5, max_routes=3, max_tasks=7)
+            _, opt = exhaustive_optimum(g)
+            res = CORN(seed=0).run(g)
+            assert res.total_profit == pytest.approx(opt, abs=1e-8)
+
+    def test_dominates_every_nash(self, rng):
+        for trial in range(10):
+            g = random_game(rng, max_users=5)
+            opt = CORN(seed=trial).run(g).total_profit
+            ne = BUAU(seed=trial).run(g).total_profit
+            assert opt >= ne - 1e-9
+
+    def test_user_permutation_mapped_back(self, rng):
+        # Heterogeneous route counts force the internal permutation path.
+        from repro.core import RouteNavigationGame
+
+        g = RouteNavigationGame.from_coverage(
+            [[[0], [1]], [[0]], [[1], [0], []]],
+            base_rewards=[10.0, 6.0],
+        )
+        res = CORN(seed=0).run(g)
+        _, opt = exhaustive_optimum(g)
+        assert res.total_profit == pytest.approx(opt)
+        # Returned profile indexes the caller's game, not the permuted one.
+        assert total_profit(StrategyProfile(g, res.profile.choices)) == pytest.approx(opt)
+
+
+class TestSearchMechanics:
+    def test_node_budget_raises(self, shanghai_game):
+        with pytest.raises(CORNBudgetExceeded):
+            CORN(seed=0, node_budget=1).run(shanghai_game)
+
+    def test_node_counter_reset_between_runs(self, fig1_game):
+        algo = CORN(seed=0)
+        algo.run(fig1_game)
+        first = algo.nodes_expanded
+        algo.run(fig1_game)
+        assert algo.nodes_expanded == first
+
+    def test_scenario_moderate_size(self, shanghai_game):
+        # 15 users: should complete comfortably within the default budget.
+        res = CORN(seed=0).run(shanghai_game)
+        ne = BUAU(seed=0).run(shanghai_game)
+        assert res.total_profit >= ne.total_profit - 1e-9
+
+    def test_result_is_converged_no_moves(self, fig1_game):
+        res = CORN(seed=0).run(fig1_game)
+        assert res.converged
+        assert res.decision_slots == 0
+        assert res.moves == []
+
+    def test_single_user_picks_best_route(self):
+        from repro.core import RouteNavigationGame
+
+        g = RouteNavigationGame.from_coverage(
+            [[[0], [1]]], base_rewards=[5.0, 9.0]
+        )
+        res = CORN(seed=0).run(g)
+        assert res.profile.route_of(0) == 1
+
+    def test_ordering_ablation_same_optimum(self, rng):
+        for trial in range(8):
+            g = random_game(rng, max_users=5)
+            ordered = CORN(seed=trial, order_users=True)
+            natural = CORN(seed=trial, order_users=False)
+            a = ordered.run(g).total_profit
+            b = natural.run(g).total_profit
+            assert a == pytest.approx(b, abs=1e-8)
+
+    def test_ordering_prunes_in_aggregate(self):
+        # The most-constrained-first heuristic can lose on individual
+        # instances; across a batch it prunes by an order of magnitude.
+        from repro.scenario import ScenarioConfig, build_scenario
+
+        ordered_total = natural_total = 0
+        for seed in (11, 23, 42, 7, 99):
+            game = build_scenario(
+                ScenarioConfig(city="shanghai", n_users=12, n_tasks=30,
+                               seed=seed)
+            ).game
+            o = CORN(seed=0, order_users=True)
+            o.run(game)
+            ordered_total += o.nodes_expanded
+            n = CORN(seed=0, order_users=False)
+            n.run(game)
+            natural_total += n.nodes_expanded
+        assert ordered_total < natural_total

@@ -1,0 +1,122 @@
+"""Tests for the response-dynamics allocators (DGRN/MUUN/BRUN/BUAU/BATS)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BATS, BRUN, BUAU, DGRN, MUUN
+from repro.algorithms.base import RunConfig
+from repro.core import StrategyProfile
+from repro.core.equilibrium import is_nash_equilibrium
+from repro.metrics import convergence_stats
+
+from tests.helpers import random_game
+
+DYNAMICS = [DGRN, MUUN, BRUN, BUAU, BATS]
+
+
+@pytest.mark.parametrize("algo_cls", DYNAMICS)
+class TestConvergence:
+    def test_reaches_nash_on_fig1(self, algo_cls, fig1_game):
+        result = algo_cls(seed=0).run(fig1_game)
+        assert result.converged
+        assert is_nash_equilibrium(result.profile)
+
+    def test_reaches_nash_on_random_games(self, algo_cls, rng):
+        for _ in range(10):
+            g = random_game(rng)
+            result = algo_cls(seed=rng).run(g)
+            assert result.converged
+            assert is_nash_equilibrium(result.profile)
+
+    def test_reaches_nash_on_scenario(self, algo_cls, shanghai_game):
+        result = algo_cls(seed=7).run(shanghai_game)
+        assert result.converged
+        assert is_nash_equilibrium(result.profile)
+
+    def test_moves_all_strictly_improving(self, algo_cls, shanghai_game):
+        result = algo_cls(seed=7).run(shanghai_game)
+        assert all(m.gain > 0 for m in result.moves)
+
+    def test_potential_monotone_nondecreasing(self, algo_cls, shanghai_game):
+        result = algo_cls(seed=7).run(shanghai_game)
+        stats = convergence_stats(shanghai_game, result)
+        assert stats.potential_monotone
+
+    def test_within_theorem4_bound(self, algo_cls, shanghai_game):
+        result = algo_cls(seed=7).run(shanghai_game)
+        stats = convergence_stats(shanghai_game, result)
+        assert stats.within_bound
+
+    def test_respects_initial_profile(self, algo_cls, fig1_game):
+        initial = StrategyProfile(fig1_game, [0, 0, 0])  # already a NE
+        result = algo_cls(seed=0).run(fig1_game, initial=initial)
+        assert result.decision_slots <= fig1_game.num_users  # BATS needs a silent round
+        assert list(result.profile.choices) == [0, 0, 0]
+
+    def test_initial_profile_not_mutated(self, algo_cls, shanghai_game):
+        initial = StrategyProfile(shanghai_game, [0] * shanghai_game.num_users)
+        snapshot = initial.choices.copy()
+        algo_cls(seed=1).run(shanghai_game, initial=initial)
+        assert np.array_equal(initial.choices, snapshot)
+
+    def test_history_recording(self, algo_cls, fig1_game):
+        result = algo_cls(
+            seed=0, config=RunConfig(record_history=True)
+        ).run(fig1_game)
+        assert result.potential_history is not None
+        assert result.profit_history.shape[1] == fig1_game.num_users
+
+    def test_history_disabled(self, algo_cls, fig1_game):
+        result = algo_cls(
+            seed=0, config=RunConfig(record_history=False)
+        ).run(fig1_game)
+        assert result.potential_history is None
+
+    def test_wrong_game_initial_rejected(self, algo_cls, fig1_game, rng):
+        other = random_game(rng)
+        initial = StrategyProfile(other, [0] * other.num_users)
+        with pytest.raises(ValueError):
+            algo_cls(seed=0).run(fig1_game, initial=initial)
+
+
+class TestMaxSlots:
+    def test_cap_respected(self, shanghai_game):
+        result = DGRN(seed=3, config=RunConfig(max_slots=2)).run(shanghai_game)
+        assert result.decision_slots <= 2
+
+    def test_not_converged_flag(self, shanghai_game):
+        # With an absurdly small cap the run typically doesn't converge.
+        result = DGRN(seed=3, config=RunConfig(max_slots=1)).run(shanghai_game)
+        if result.decision_slots == 1:
+            assert not result.converged
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("algo_cls", DYNAMICS)
+    def test_same_seed_same_outcome(self, algo_cls, shanghai_game):
+        a = algo_cls(seed=11).run(shanghai_game)
+        b = algo_cls(seed=11).run(shanghai_game)
+        assert np.array_equal(a.profile.choices, b.profile.choices)
+        assert a.decision_slots == b.decision_slots
+
+
+class TestOrdering:
+    """The paper's convergence-speed ordering (Figs. 4-5), on average."""
+
+    def test_muun_not_slower_than_dgrn(self, rng):
+        muun_total = dgrn_total = 0
+        for trial in range(12):
+            g = random_game(rng, max_users=6, max_routes=4, max_tasks=8)
+            initial = StrategyProfile.random(g, rng)
+            muun_total += MUUN(seed=trial).run(g, initial=initial).decision_slots
+            dgrn_total += DGRN(seed=trial).run(g, initial=initial).decision_slots
+        assert muun_total <= dgrn_total
+
+    def test_bats_not_faster_than_dgrn(self, rng):
+        bats_total = dgrn_total = 0
+        for trial in range(12):
+            g = random_game(rng, max_users=6, max_routes=4, max_tasks=8)
+            initial = StrategyProfile.random(g, rng)
+            bats_total += BATS(seed=trial).run(g, initial=initial).decision_slots
+            dgrn_total += DGRN(seed=trial).run(g, initial=initial).decision_slots
+        assert bats_total >= dgrn_total

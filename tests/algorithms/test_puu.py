@@ -1,0 +1,123 @@
+"""Tests for PUU selection (Algorithm 3) and MUUN specifics."""
+
+import pytest
+
+from repro.algorithms import MUUN
+from repro.algorithms.muun import puu_select
+from repro.core.responses import UpdateProposal
+
+
+def prop(user, tau, tasks):
+    return UpdateProposal(
+        user=user, new_route=0, gain=tau, tau=tau, touched_tasks=frozenset(tasks)
+    )
+
+
+class TestPuuSelect:
+    def test_disjoint_sets_all_granted(self):
+        props = [prop(0, 1.0, {0}), prop(1, 2.0, {1}), prop(2, 0.5, {2})]
+        granted = puu_select(props)
+        assert {p.user for p in granted} == {0, 1, 2}
+
+    def test_conflicting_sets_pick_best_delta(self):
+        # user 1: delta = 3/2 = 1.5; user 0: delta = 1.0 -> user 1 wins task 0.
+        props = [prop(0, 1.0, {0}), prop(1, 3.0, {0, 1})]
+        granted = puu_select(props)
+        assert [p.user for p in granted] == [1]
+
+    def test_delta_ordering_not_tau(self):
+        # user 0: tau 2 over 4 tasks (delta 0.5); user 1: tau 1 over 1 task
+        # (delta 1.0).  They conflict on task 0 -> user 1 granted first.
+        props = [prop(0, 2.0, {0, 1, 2, 3}), prop(1, 1.0, {0})]
+        granted = puu_select(props)
+        assert granted[0].user == 1
+
+    def test_granted_sets_pairwise_disjoint(self):
+        props = [
+            prop(0, 1.0, {0, 1}),
+            prop(1, 1.0, {1, 2}),
+            prop(2, 1.0, {2, 3}),
+            prop(3, 1.0, {3, 4}),
+        ]
+        granted = puu_select(props)
+        seen = set()
+        for p in granted:
+            assert not (p.touched_tasks & seen)
+            seen |= p.touched_tasks
+
+    def test_empty_touched_always_granted(self):
+        props = [prop(0, 1.0, {0}), prop(1, 0.1, set()), prop(2, 0.1, set())]
+        granted = puu_select(props)
+        assert {p.user for p in granted} >= {1, 2}
+
+    def test_deterministic_tie_break_by_user(self):
+        props = [prop(2, 1.0, {0}), prop(1, 1.0, {1})]
+        granted = puu_select(props)
+        assert [p.user for p in granted] == [1, 2]
+
+    def test_granted_set_is_maximal(self, rng):
+        # No rejected proposal could be added without a conflict.
+        for _ in range(30):
+            n = int(rng.integers(1, 12))
+            props = [
+                prop(
+                    i,
+                    float(rng.uniform(0.1, 5.0)),
+                    set(int(t) for t in rng.choice(10, size=rng.integers(1, 4),
+                                                   replace=False)),
+                )
+                for i in range(n)
+            ]
+            granted = puu_select(props)
+            occupied = set().union(*(p.touched_tasks for p in granted))
+            for p in props:
+                if p not in granted:
+                    assert p.touched_tasks & occupied
+
+    def test_theorem3_guarantee(self):
+        # tau / tau_opt >= |B_i'| / (|mu_opt| * B_max) on a crafted case.
+        props = [
+            prop(0, 4.0, {0, 1}),  # delta 2.0 (PUU picks first)
+            prop(1, 3.0, {1, 2}),  # conflicts with 0
+            prop(2, 3.0, {0, 3}),  # conflicts with 0
+        ]
+        granted = puu_select(props)
+        tau = sum(p.tau for p in granted)
+        # Optimal disjoint set: users 1 and 2 (tau 6).
+        tau_opt = 6.0
+        b_best = len(granted[0].touched_tasks)
+        b_max = 2
+        mu_opt = 2
+        assert tau / tau_opt >= b_best / (mu_opt * b_max) - 1e-9
+
+
+class TestMuun:
+    def test_parallel_updates_in_one_slot(self, rng):
+        from tests.helpers import random_game
+
+        # At least one run should grant >1 user in some slot.
+        saw_parallel = False
+        for trial in range(20):
+            g = random_game(rng, max_users=6, max_tasks=10)
+            algo = MUUN(seed=trial)
+            algo.run(g)
+            if any(k > 1 for k in algo.granted_per_slot):
+                saw_parallel = True
+                break
+        assert saw_parallel
+
+    def test_sort_key_validation(self):
+        with pytest.raises(ValueError):
+            MUUN(sort_key="random")
+
+    def test_tau_ablation_converges(self, shanghai_game):
+        result = MUUN(seed=0, sort_key="tau").run(shanghai_game)
+        assert result.converged
+        assert result.is_nash
+
+    def test_granted_stats_reset_between_runs(self, fig1_game):
+        # The per-slot grant log must describe only the latest run.
+        algo = MUUN(seed=0)
+        algo.run(fig1_game)
+        res = algo.run(fig1_game)
+        assert len(algo.granted_per_slot) == res.decision_slots

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PlatformWeights, RouteNavigationGame, UserWeights
+from repro.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fig1_game() -> RouteNavigationGame:
+    """The paper's Fig. 1 example.
+
+    Tasks: A (reward 6, shared via r2/r3/r4), B (reward 5, only r1),
+    C (reward 1, only r5).  Users: u1 in {r1:[B], r2:[A]},
+    u2 in {r3:[A]}, u3 in {r4:[A], r5:[C]}.  No costs, mu = 0, alpha = 1.
+    """
+    return RouteNavigationGame.from_coverage(
+        [
+            [[1], [0]],  # u1: r1 covers B, r2 covers A
+            [[0]],  # u2: r3 covers A
+            [[0], [2]],  # u3: r4 covers A, r5 covers C
+        ],
+        base_rewards=[6.0, 5.0, 1.0],  # A, B, C
+        reward_increments=0.0,
+        platform=PlatformWeights(0.0, 0.0),
+    )
+
+
+@pytest.fixture
+def fig2_game() -> RouteNavigationGame:
+    """The paper's Fig. 2 example (with the profit's cost terms subtracted).
+
+    Two users share the route catalogue {r1: h=0, c=3; r2: h=2, c=1}; each
+    route covers its own task of reward 3.  The platform weights phi/theta
+    are swept by the tests.
+    """
+
+    def build(phi: float, theta: float) -> RouteNavigationGame:
+        return RouteNavigationGame.from_coverage(
+            [
+                [[0], [1]],
+                [[0], [1]],
+            ],
+            base_rewards=[3.0, 3.0],
+            reward_increments=0.0,
+            detours=[[0.0, 2.0], [0.0, 2.0]],
+            congestions=[[3.0, 1.0], [3.0, 1.0]],
+            user_weights=[UserWeights(1.0, 1.0, 1.0)] * 2,
+            platform=PlatformWeights(phi, theta),
+        )
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def shanghai_scenario():
+    """One medium scenario shared across read-only tests (expensive build)."""
+    return build_scenario(
+        ScenarioConfig(city="shanghai", n_users=15, n_tasks=40, seed=2024)
+    )
+
+
+@pytest.fixture(scope="session")
+def shanghai_game(shanghai_scenario):
+    return shanghai_scenario.game

@@ -1,0 +1,95 @@
+"""Tests certifying the vectorized batch evaluator against the scalar path."""
+
+import numpy as np
+import pytest
+
+from repro.core import StrategyProfile
+from repro.core.batch import BatchEvaluator, all_choice_matrix, exhaustive_total_profits
+from repro.core.profit import total_profit
+
+from tests.helpers import random_game
+
+
+class TestBatchEvaluator:
+    def test_counts_match_profiles(self, rng):
+        for _ in range(10):
+            g = random_game(rng)
+            ev = BatchEvaluator(g)
+            choices = np.stack(
+                [StrategyProfile.random(g, rng).choices for _ in range(8)]
+            )
+            batch_counts = ev.counts(choices)
+            for row, ch in zip(batch_counts, choices):
+                assert np.array_equal(
+                    row.astype(int), StrategyProfile(g, ch).counts
+                )
+
+    def test_total_profits_match_scalar(self, rng):
+        for _ in range(15):
+            g = random_game(rng)
+            ev = BatchEvaluator(g)
+            choices = np.stack(
+                [StrategyProfile.random(g, rng).choices for _ in range(10)]
+            )
+            batch = ev.total_profits(choices)
+            for value, ch in zip(batch, choices):
+                assert value == pytest.approx(
+                    total_profit(StrategyProfile(g, ch)), abs=1e-9
+                )
+
+    def test_single_profile_1d_input(self, fig1_game):
+        ev = BatchEvaluator(fig1_game)
+        assert ev.total_profits(np.array([0, 0, 0]))[0] == pytest.approx(11.0)
+
+    def test_out_of_range_rejected(self, fig1_game):
+        ev = BatchEvaluator(fig1_game)
+        with pytest.raises(ValueError):
+            ev.total_profits(np.array([[0, 1, 0]]))  # u2 has one route
+
+    def test_wrong_width_rejected(self, fig1_game):
+        ev = BatchEvaluator(fig1_game)
+        with pytest.raises(ValueError):
+            ev.total_profits(np.zeros((2, 2), dtype=int))
+
+
+class TestAllChoiceMatrix:
+    def test_fig1_space(self, fig1_game):
+        mat = all_choice_matrix(fig1_game)
+        assert mat.shape == (4, 3)
+        assert len({tuple(r) for r in mat.tolist()}) == 4
+
+    def test_matches_iterator(self, rng):
+        g = random_game(rng, max_users=4)
+        mat = {tuple(r) for r in all_choice_matrix(g).tolist()}
+        it = {
+            tuple(int(c) for c in p.choices)
+            for p in StrategyProfile.all_profiles(g)
+        }
+        assert mat == it
+
+    def test_limit_guard(self, rng):
+        from repro.core import RouteNavigationGame
+
+        g = RouteNavigationGame.from_coverage(
+            [[[0]] * 4 for _ in range(20)], base_rewards=[1.0]
+        )
+        with pytest.raises(ValueError, match="too large"):
+            all_choice_matrix(g)
+
+
+class TestExhaustive:
+    def test_max_matches_exhaustive_optimum(self, rng):
+        from repro.algorithms import exhaustive_optimum
+
+        for _ in range(10):
+            g = random_game(rng, max_users=4)
+            _, profits = exhaustive_total_profits(g)
+            _, opt = exhaustive_optimum(g)
+            assert float(profits.max()) == pytest.approx(opt, abs=1e-9)
+
+    def test_fig1_values(self, fig1_game):
+        choices, profits = exhaustive_total_profits(fig1_game)
+        table = {tuple(c): float(v) for c, v in zip(choices.tolist(), profits)}
+        assert table[(0, 0, 0)] == pytest.approx(11.0)
+        assert table[(0, 0, 1)] == pytest.approx(12.0)
+        assert table[(1, 0, 0)] == pytest.approx(6.0)

@@ -1,0 +1,84 @@
+"""Tests for repro.core.convergence (Theorem 4)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DGRN
+from repro.core.convergence import (
+    convergence_slot_bound,
+    cost_bounds,
+    potential_range,
+    share_bounds,
+    weight_extremes,
+)
+from repro.core.potential import potential
+from repro.core import StrategyProfile
+
+from tests.helpers import random_game
+
+
+class TestShareBounds:
+    def test_ordering(self, shanghai_game):
+        g_min, g_max = share_bounds(shanghai_game)
+        assert g_min <= g_max
+
+    def test_bounds_cover_all_shares(self, rng):
+        g = random_game(rng)
+        g_min, g_max = share_bounds(g)
+        m = g.num_users
+        for k in range(g.num_tasks):
+            a = float(g.tasks.base_rewards[k])
+            mu = float(g.tasks.reward_increments[k])
+            for q in range(1, m + 1):
+                share = (a + mu * np.log(q)) / q
+                assert g_min - 1e-12 <= share <= g_max + 1e-12
+
+
+class TestCostBounds:
+    def test_dominate_all_routes(self, shanghai_game):
+        d_max, b_max = cost_bounds(shanghai_game)
+        g = shanghai_game
+        for i in g.users:
+            for j in range(g.num_routes(i)):
+                assert g.detour_cost(i, j) <= d_max + 1e-12
+                assert g.congestion_cost(i, j) <= b_max + 1e-12
+
+
+class TestWeightExtremes:
+    def test_covers_all_weights(self, shanghai_game):
+        e_min, e_max = weight_extremes(shanghai_game)
+        for uw in shanghai_game.user_weights:
+            for v in (uw.alpha, uw.beta, uw.gamma):
+                assert e_min <= v <= e_max
+
+
+class TestTheorem4:
+    def test_bound_positive(self, shanghai_game):
+        assert convergence_slot_bound(shanghai_game, 0.01) > 0
+
+    def test_bound_shrinks_with_larger_min_gain(self, shanghai_game):
+        loose = convergence_slot_bound(shanghai_game, 0.01)
+        tight = convergence_slot_bound(shanghai_game, 1.0)
+        assert tight < loose
+
+    def test_invalid_gain(self, shanghai_game):
+        with pytest.raises(ValueError):
+            convergence_slot_bound(shanghai_game, 0.0)
+
+    def test_measured_run_within_bound(self, shanghai_game):
+        result = DGRN(seed=3).run(shanghai_game)
+        assert result.converged
+        if result.moves:
+            min_gain = max(min(m.gain for m in result.moves), 1e-9)
+            bound = convergence_slot_bound(shanghai_game, min_gain)
+            assert result.decision_slots < bound
+
+
+class TestPotentialRange:
+    def test_random_profiles_inside_envelope(self, rng):
+        for _ in range(10):
+            g = random_game(rng)
+            low, high = potential_range(g)
+            for _ in range(5):
+                p = StrategyProfile.random(g, rng)
+                assert low - 1e-9 <= potential(p) <= high + 1e-9

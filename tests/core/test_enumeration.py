@@ -1,0 +1,96 @@
+"""Tests for exhaustive equilibrium enumeration and exact PoA (Eq. 21)."""
+
+import pytest
+
+from repro.algorithms import BATS, BRUN, BUAU, DGRN, MUUN
+from repro.core import enumerate_equilibria
+from repro.core.poa import poa_lower_bound
+
+from tests.helpers import random_game
+
+
+class TestFig1Analysis:
+    def test_unique_equilibrium(self, fig1_game):
+        analysis = enumerate_equilibria(fig1_game)
+        assert analysis.num_equilibria == 1
+        assert analysis.equilibria[0] == (0, 0, 0)
+        assert analysis.equilibrium_profits[0] == pytest.approx(11.0)
+
+    def test_optimum(self, fig1_game):
+        analysis = enumerate_equilibria(fig1_game)
+        assert analysis.optimal_choices == (0, 0, 1)
+        assert analysis.optimal_profit == pytest.approx(12.0)
+
+    def test_exact_poa(self, fig1_game):
+        analysis = enumerate_equilibria(fig1_game)
+        assert analysis.price_of_anarchy == pytest.approx(11.0 / 12.0)
+        assert analysis.price_of_stability == pytest.approx(11.0 / 12.0)
+
+
+class TestFig2Analysis:
+    def test_split_regime_has_two_symmetric_equilibria(self, fig2_game):
+        analysis = enumerate_equilibria(fig2_game(0.1, 0.1))
+        assert set(analysis.equilibria) == {(0, 1), (1, 0)}
+
+    def test_pile_on_regimes_unique(self, fig2_game):
+        for phi, theta, expected in [(0.9, 0.1, (0, 0)), (0.1, 0.9, (1, 1))]:
+            analysis = enumerate_equilibria(fig2_game(phi, theta))
+            assert analysis.equilibria == (expected,)
+
+
+class TestBatchMatchesScalar:
+    def test_identical_analysis(self, rng):
+        from repro.core.enumeration import enumerate_equilibria_slow
+
+        for _ in range(15):
+            g = random_game(rng, max_users=4, max_routes=3, max_tasks=6)
+            fast = enumerate_equilibria(g)
+            slow = enumerate_equilibria_slow(g)
+            assert fast.equilibria == slow.equilibria
+            assert fast.optimal_choices == slow.optimal_choices
+            assert fast.optimal_profit == pytest.approx(slow.optimal_profit)
+            for a, b in zip(fast.equilibrium_profits, slow.equilibrium_profits):
+                assert a == pytest.approx(b, abs=1e-9)
+
+    def test_medium_game_fast(self, rng):
+        # 7 users x 3 routes = 2187 profiles; the batch path is instant.
+        g = random_game(rng, max_users=7, max_routes=3, max_tasks=8)
+        analysis = enumerate_equilibria(g)
+        assert analysis.num_equilibria >= 1
+
+
+class TestRandomGames:
+    def test_at_least_one_equilibrium(self, rng):
+        # Theorem 2: potential games always have a Nash equilibrium.
+        for _ in range(25):
+            g = random_game(rng, max_users=4, max_routes=3, max_tasks=6)
+            analysis = enumerate_equilibria(g)
+            assert analysis.num_equilibria >= 1
+
+    def test_poa_in_unit_interval(self, rng):
+        for _ in range(15):
+            g = random_game(rng, max_users=4)
+            analysis = enumerate_equilibria(g)
+            if analysis.optimal_profit > 0:
+                assert 0.0 < analysis.price_of_anarchy <= 1.0 + 1e-9
+                assert analysis.price_of_anarchy <= analysis.price_of_stability + 1e-12
+
+    def test_dynamics_land_in_the_enumerated_set(self, rng):
+        for trial in range(8):
+            g = random_game(rng, max_users=4)
+            equilibria = set(enumerate_equilibria(g).equilibria)
+            for algo_cls in (DGRN, MUUN, BRUN, BUAU, BATS):
+                result = algo_cls(seed=trial).run(g)
+                assert tuple(int(c) for c in result.profile.choices) in equilibria
+
+    def test_heuristic_bound_below_exact_poa(self, rng):
+        # The Table 4 bound must never exceed the exact PoA.
+        checked = 0
+        for _ in range(20):
+            g = random_game(rng, max_users=4)
+            analysis = enumerate_equilibria(g)
+            if analysis.optimal_profit <= 0:
+                continue
+            checked += 1
+            assert poa_lower_bound(g) <= analysis.price_of_anarchy + 1e-9
+        assert checked >= 5

@@ -1,0 +1,75 @@
+"""Tests for repro.core.equilibrium (Definition 2)."""
+
+import pytest
+
+from repro.core import StrategyProfile, is_nash_equilibrium
+from repro.core.equilibrium import (
+    deviation_report,
+    epsilon_nash_gap,
+    improving_users,
+)
+
+from tests.helpers import random_game
+
+
+class TestIsNash:
+    def test_fig1_equilibrium(self, fig1_game):
+        assert is_nash_equilibrium(StrategyProfile(fig1_game, [0, 0, 0]))
+
+    def test_fig1_optimal_not_equilibrium(self, fig1_game):
+        # The centralized optimum is not a NE (u3 wants to deviate).
+        assert not is_nash_equilibrium(StrategyProfile(fig1_game, [0, 0, 1]))
+
+    def test_fig1_greedy_is_equilibrium(self, fig1_game):
+        # All three on task A: each earns 2; u1's alternative is... r1 = 5!
+        p = StrategyProfile(fig1_game, [1, 0, 0])
+        assert not is_nash_equilibrium(p)  # u1 deviates to r1
+
+
+class TestGap:
+    def test_zero_at_equilibrium(self, fig1_game):
+        assert epsilon_nash_gap(StrategyProfile(fig1_game, [0, 0, 0])) == pytest.approx(0.0)
+
+    def test_gap_value(self, fig1_game):
+        # u3 at r5 earns 1, can earn 3 -> gap 2; u1 fine; u2 single-route.
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        assert epsilon_nash_gap(p) == pytest.approx(2.0)
+
+    def test_gap_nonnegative(self, rng):
+        for _ in range(20):
+            g = random_game(rng)
+            p = StrategyProfile.random(g, rng)
+            assert epsilon_nash_gap(p) >= 0.0
+
+
+class TestImprovingUsers:
+    def test_lists_deviators(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        assert improving_users(p) == [2]
+
+    def test_empty_at_equilibrium(self, fig1_game):
+        assert improving_users(StrategyProfile(fig1_game, [0, 0, 0])) == []
+
+    def test_consistent_with_gap(self, rng):
+        for _ in range(20):
+            g = random_game(rng)
+            p = StrategyProfile.random(g, rng)
+            assert (improving_users(p) == []) == (
+                epsilon_nash_gap(p) <= 1e-9
+            )
+
+
+class TestDeviationReport:
+    def test_sorted_by_gain(self, rng):
+        for _ in range(10):
+            g = random_game(rng)
+            p = StrategyProfile.random(g, rng)
+            report = deviation_report(p)
+            gains = [gain for _, _, gain in report]
+            assert gains == sorted(gains, reverse=True)
+            assert all(gain > 0 for gain in gains)
+
+    def test_fig1(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        report = deviation_report(p)
+        assert report == [(2, 0, pytest.approx(2.0))]

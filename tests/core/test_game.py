@@ -1,0 +1,122 @@
+"""Tests for repro.core.game."""
+
+import numpy as np
+import pytest
+
+from repro.core import PlatformWeights, RouteNavigationGame, UserWeights
+
+
+class TestFromCoverage:
+    def test_sizes(self, fig1_game):
+        assert fig1_game.num_users == 3
+        assert fig1_game.num_tasks == 3
+        assert fig1_game.num_routes(0) == 2
+        assert fig1_game.num_routes(1) == 1
+
+    def test_covered_tasks(self, fig1_game):
+        assert list(fig1_game.covered_tasks(0, 0)) == [1]
+        assert list(fig1_game.covered_tasks(2, 1)) == [2]
+
+    def test_duplicate_task_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RouteNavigationGame.from_coverage([[[0, 0]]], base_rewards=[10.0])
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            RouteNavigationGame.from_coverage([[[5]]], base_rewards=[10.0])
+
+    def test_empty_route_set_rejected(self):
+        with pytest.raises(ValueError, match="empty route set"):
+            RouteNavigationGame.from_coverage([[]], base_rewards=[10.0])
+
+    def test_no_users_rejected(self):
+        with pytest.raises(ValueError):
+            RouteNavigationGame.from_coverage([], base_rewards=[10.0])
+
+
+class TestDerivedCosts:
+    def make(self):
+        return RouteNavigationGame.from_coverage(
+            [[[0], []]],
+            base_rewards=[10.0],
+            detours=[[2.0, 4.0]],
+            congestions=[[1.0, 3.0]],
+            user_weights=[UserWeights(0.5, 0.4, 0.3)],
+            platform=PlatformWeights(0.5, 0.2),
+        )
+
+    def test_detour_cost(self):
+        g = self.make()
+        assert g.detour_cost(0, 0) == pytest.approx(0.5 * 2.0)
+        assert g.detour_cost(0, 1) == pytest.approx(0.5 * 4.0)
+
+    def test_congestion_cost(self):
+        g = self.make()
+        assert g.congestion_cost(0, 1) == pytest.approx(0.2 * 3.0)
+
+    def test_route_cost_combines(self):
+        g = self.make()
+        expected = 0.4 * (0.5 * 2.0) + 0.3 * (0.2 * 1.0)
+        assert g.route_cost[0][0] == pytest.approx(expected)
+
+    def test_pot_cost_divides_alpha(self):
+        g = self.make()
+        assert g.route_pot_cost[0][0] == pytest.approx(g.route_cost[0][0] / 0.5)
+
+    def test_raw_views(self):
+        g = self.make()
+        assert g.detour_h(0, 1) == pytest.approx(4.0)
+        assert g.congestion_level(0, 0) == pytest.approx(1.0)
+
+
+class TestDetourUnit:
+    def test_unit_scales_h(self):
+        g = RouteNavigationGame.from_coverage(
+            [[[0]]], base_rewards=[10.0], detours=[[2.0]],
+        )
+        g2 = RouteNavigationGame(
+            g.tasks, g.route_sets, g.user_weights, g.platform, detour_unit_km=0.5
+        )
+        assert g2.detour_h(0, 0) == pytest.approx(4.0)
+
+    def test_invalid_unit(self):
+        g = RouteNavigationGame.from_coverage([[[0]]], base_rewards=[10.0])
+        with pytest.raises(ValueError):
+            RouteNavigationGame(
+                g.tasks, g.route_sets, g.user_weights, g.platform, detour_unit_km=0.0
+            )
+
+
+class TestRebuilds:
+    def test_with_platform(self, fig1_game):
+        g2 = fig1_game.with_platform(PlatformWeights(0.3, 0.3))
+        assert g2.platform.phi == 0.3
+        assert fig1_game.platform.phi == 0.0  # original unchanged
+        assert g2.num_users == fig1_game.num_users
+
+    def test_with_user_weights(self, fig1_game):
+        new = UserWeights(0.9, 0.1, 0.1)
+        g2 = fig1_game.with_user_weights(1, new)
+        assert g2.user_weights[1] == new
+        assert g2.user_weights[0] == fig1_game.user_weights[0]
+
+    def test_with_platform_keeps_detour_unit(self):
+        g = RouteNavigationGame.from_coverage(
+            [[[0]]], base_rewards=[10.0], detours=[[2.0]],
+        )
+        g = RouteNavigationGame(
+            g.tasks, g.route_sets, g.user_weights, g.platform, detour_unit_km=0.5
+        )
+        g2 = g.with_platform(PlatformWeights(0.4, 0.4))
+        assert g2.detour_unit_km == 0.5
+
+
+class TestScenarioGame:
+    def test_scenario_game_valid(self, shanghai_game):
+        g = shanghai_game
+        assert g.num_users == 15
+        assert g.num_tasks == 40
+        for i in g.users:
+            assert 1 <= g.num_routes(i) <= 5
+            assert np.all(g.route_detour[i] >= 0)
+            assert np.all(g.route_congestion[i] >= 0)

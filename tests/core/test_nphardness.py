@@ -1,0 +1,76 @@
+"""Tests for repro.core.nphardness (Theorem 1 reduction)."""
+
+import pytest
+
+from repro.algorithms import CORN, exhaustive_optimum
+from repro.core import StrategyProfile
+from repro.core.nphardness import (
+    SetCoverInstance,
+    covered_elements,
+    game_from_set_cover,
+    greedy_set_cover_value,
+)
+from repro.core.profit import total_profit
+
+
+@pytest.fixture
+def instance():
+    # 6 elements; subsets engineered so greedy is suboptimal with h = 2:
+    # greedy picks {0,1,2} first, then one of the 2-element leftovers.
+    return SetCoverInstance(
+        n_elements=6,
+        subsets=((0, 1, 2), (0, 3, 4), (1, 2, 5)),
+        h=2,
+    )
+
+
+class TestInstance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance(0, ((0,),), 1)
+        with pytest.raises(ValueError):
+            SetCoverInstance(2, ((5,),), 1)
+
+    def test_covered(self, instance):
+        assert instance.covered([0, 1]) == {0, 1, 2, 3, 4}
+
+
+class TestReduction:
+    def test_profit_equals_base_times_coverage(self, instance):
+        game = game_from_set_cover(instance, base_reward=2.5)
+        for profile in StrategyProfile.all_profiles(game):
+            covered = covered_elements(instance, profile)
+            assert total_profit(profile) == pytest.approx(2.5 * covered)
+
+    def test_optimum_solves_max_cover(self, instance):
+        game = game_from_set_cover(instance)
+        _, opt_value = exhaustive_optimum(game)
+        # Optimal cover: subsets 1 and 2 cover {0,1,2,3,4,5} = 6 elements.
+        assert opt_value == pytest.approx(6.0)
+
+    def test_corn_agrees(self, instance):
+        game = game_from_set_cover(instance)
+        res = CORN(seed=0).run(game)
+        assert res.total_profit == pytest.approx(6.0)
+
+    def test_game_shape(self, instance):
+        game = game_from_set_cover(instance)
+        assert game.num_users == instance.h
+        for i in game.users:
+            assert game.num_routes(i) == len(instance.subsets)
+
+
+class TestGreedy:
+    def test_greedy_value(self, instance):
+        # Greedy picks subset 0 (3 elements), then best marginal = 2 -> 5.
+        assert greedy_set_cover_value(instance) == 5
+
+    def test_greedy_within_factor(self, instance):
+        game = game_from_set_cover(instance)
+        _, opt = exhaustive_optimum(game)
+        greedy = greedy_set_cover_value(instance)
+        assert greedy >= (1 - 1 / 2.718281828) * opt - 1e-9
+
+    def test_greedy_handles_h_larger_than_subsets(self):
+        inst = SetCoverInstance(3, ((0,), (1,)), h=5)
+        assert greedy_set_cover_value(inst) == 2

@@ -1,0 +1,87 @@
+"""Tests for repro.core.poa (Theorem 5)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import BUAU, CORN
+from repro.core.poa import (
+    empirical_poa_ratio,
+    poa_lower_bound,
+    special_case_poa_bounds,
+)
+
+from tests.helpers import random_game
+
+
+class TestSpecialCaseBounds:
+    def test_formula(self):
+        # 3 users, 2 common tasks, a = 5, no private routes worth anything.
+        lower, upper = special_case_poa_bounds(3, 2, 5.0, [0.0, 0.0, 0.0])
+        p = (3 + 2 - 1) / 2
+        p_min = (5.0 + math.log(p)) / p
+        assert lower == pytest.approx((3 * p_min) / (3 * 5.0))
+        assert upper == 1.0
+
+    def test_private_routes_raise_bound(self):
+        no_priv, _ = special_case_poa_bounds(4, 2, 5.0, [0.0] * 4)
+        with_priv, _ = special_case_poa_bounds(4, 2, 5.0, [5.0] * 4)
+        assert with_priv == pytest.approx(1.0)
+        assert no_priv < with_priv
+
+    def test_bound_in_unit_interval(self):
+        for m in (2, 5, 10):
+            for l in (1, 3, 7):
+                lower, upper = special_case_poa_bounds(m, l, 8.0, [1.0] * m)
+                assert 0.0 < lower <= upper == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            special_case_poa_bounds(0, 1, 5.0, [])
+        with pytest.raises(ValueError):
+            special_case_poa_bounds(2, 1, 5.0, [1.0])  # wrong length
+
+
+class TestGeneralBound:
+    def test_in_unit_interval(self, rng):
+        for _ in range(20):
+            g = random_game(rng)
+            b = poa_lower_bound(g)
+            assert 0.0 <= b <= 1.0
+
+    def test_dominated_by_measured_ratio(self, rng):
+        # On small games: NE/OPT ratio should beat the pessimistic bound.
+        for _ in range(10):
+            g = random_game(rng, max_users=4, max_routes=3, max_tasks=5)
+            ne = BUAU(seed=0).run(g)
+            opt = CORN(seed=0).run(g)
+            if opt.total_profit <= 0:
+                continue
+            ratio = empirical_poa_ratio(ne.profile, opt.profile)
+            assert ratio >= poa_lower_bound(g) - 1e-9
+
+    def test_ratio_at_most_one(self, rng):
+        for _ in range(10):
+            g = random_game(rng, max_users=4)
+            ne = BUAU(seed=1).run(g)
+            opt = CORN(seed=1).run(g)
+            if opt.total_profit > 0:
+                assert empirical_poa_ratio(ne.profile, opt.profile) <= 1.0 + 1e-9
+
+
+class TestEmpiricalRatio:
+    def test_rejects_nonpositive_optimum(self):
+        from repro.core import RouteNavigationGame, StrategyProfile
+
+        # A game whose only route covers nothing: total profit is 0.
+        g = RouteNavigationGame.from_coverage([[[]]], base_rewards=[1.0])
+        p = StrategyProfile(g, [0])
+        with pytest.raises(ValueError):
+            empirical_poa_ratio(p, p)
+
+    def test_fig1_ratio(self, fig1_game):
+        from repro.core import StrategyProfile
+
+        ne = StrategyProfile(fig1_game, [0, 0, 0])  # total 11
+        opt = StrategyProfile(fig1_game, [0, 0, 1])  # total 12
+        assert empirical_poa_ratio(ne, opt) == pytest.approx(11 / 12)

@@ -1,0 +1,85 @@
+"""Tests for repro.core.potential (Theorem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import StrategyProfile, potential
+from repro.core.potential import potential_delta, potential_trajectory
+from repro.core.profit import candidate_profits
+
+from tests.helpers import random_game
+
+
+class TestPotentialIdentity:
+    """P_i(s') - P_i(s) = alpha_i (phi(s') - phi(s))  (Eq. 11)."""
+
+    def test_fig1(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        for u in fig1_game.users:
+            cp = candidate_profits(p, u)
+            for j in range(fig1_game.num_routes(u)):
+                d_profit = cp[j] - cp[p.route_of(u)]
+                d_phi = potential_delta(p, u, j)
+                alpha = fig1_game.user_weights[u].alpha
+                assert d_profit == pytest.approx(alpha * d_phi, abs=1e-9)
+
+    def test_random_games(self, rng):
+        for _ in range(25):
+            g = random_game(rng)
+            p = StrategyProfile.random(g, rng)
+            for u in g.users:
+                cp = candidate_profits(p, u)
+                alpha = g.user_weights[u].alpha
+                for j in range(g.num_routes(u)):
+                    d_profit = cp[j] - cp[p.route_of(u)]
+                    assert d_profit == pytest.approx(
+                        alpha * potential_delta(p, u, j), abs=1e-8
+                    )
+
+    def test_scenario_game(self, shanghai_game, rng):
+        p = StrategyProfile.random(shanghai_game, rng)
+        for u in range(shanghai_game.num_users):
+            cp = candidate_profits(p, u)
+            alpha = shanghai_game.user_weights[u].alpha
+            for j in range(shanghai_game.num_routes(u)):
+                d_profit = cp[j] - cp[p.route_of(u)]
+                assert d_profit == pytest.approx(
+                    alpha * potential_delta(p, u, j), abs=1e-8
+                )
+
+
+class TestPotentialDelta:
+    def test_matches_full_evaluation(self, rng):
+        for _ in range(20):
+            g = random_game(rng)
+            p = StrategyProfile.random(g, rng)
+            u = int(rng.integers(0, g.num_users))
+            j = int(rng.integers(0, g.num_routes(u)))
+            before = potential(p)
+            delta = potential_delta(p, u, j)
+            p.move(u, j)
+            assert potential(p) == pytest.approx(before + delta, abs=1e-9)
+
+    def test_noop_zero(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        assert potential_delta(p, 0, 0) == 0.0
+
+
+class TestTrajectory:
+    def test_replays_move_sequence(self, rng):
+        g = random_game(rng, max_users=4)
+        p = StrategyProfile.random(g, rng)
+        init = p.choices.copy()
+        moves = []
+        for _ in range(10):
+            u = int(rng.integers(0, g.num_users))
+            j = int(rng.integers(0, g.num_routes(u)))
+            moves.append((u, j))
+        traj = potential_trajectory(g, init, moves)
+        assert len(traj) == 11
+        # Verify endpoints against full evaluation.
+        q = StrategyProfile(g, init)
+        assert traj[0] == pytest.approx(potential(q))
+        for u, j in moves:
+            q.move(u, j)
+        assert traj[-1] == pytest.approx(potential(q), abs=1e-9)

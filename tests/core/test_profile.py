@@ -1,0 +1,113 @@
+"""Tests for repro.core.profile."""
+
+import numpy as np
+import pytest
+
+from repro.core import StrategyProfile
+
+
+class TestConstruction:
+    def test_counts_computed(self, fig1_game):
+        p = StrategyProfile(fig1_game, [1, 0, 0])  # all on task A
+        assert p.count_of(0) == 3
+        assert p.count_of(1) == 0
+
+    def test_bad_shape(self, fig1_game):
+        with pytest.raises(ValueError):
+            StrategyProfile(fig1_game, [0, 0])
+
+    def test_bad_route_index(self, fig1_game):
+        with pytest.raises(IndexError):
+            StrategyProfile(fig1_game, [0, 1, 0])  # u2 has one route
+
+    def test_choices_copied(self, fig1_game):
+        arr = np.array([0, 0, 0], dtype=np.intp)
+        p = StrategyProfile(fig1_game, arr)
+        arr[0] = 1
+        assert p.route_of(0) == 0
+
+
+class TestMove:
+    def test_incremental_counts(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        assert p.count_of(0) == 2  # u2 + u3 on A
+        old = p.move(0, 1)  # u1 joins A
+        assert old == 0
+        assert p.count_of(0) == 3
+        assert p.count_of(1) == 0
+        p.validate()
+
+    def test_noop_move(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        before = p.counts.copy()
+        p.move(0, 0)
+        assert np.array_equal(p.counts, before)
+
+    def test_move_out_of_range(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        with pytest.raises(IndexError):
+            p.move(1, 1)
+
+    def test_random_moves_keep_invariant(self, shanghai_game, rng):
+        p = StrategyProfile.random(shanghai_game, rng)
+        for _ in range(200):
+            u = int(rng.integers(0, shanghai_game.num_users))
+            j = int(rng.integers(0, shanghai_game.num_routes(u)))
+            p.move(u, j)
+        p.validate()
+
+
+class TestViews:
+    def test_counts_without(self, fig1_game):
+        p = StrategyProfile(fig1_game, [1, 0, 0])
+        wo = p.counts_without(0)
+        assert wo[0] == 2
+        assert p.count_of(0) == 3  # unchanged
+
+    def test_covered_by(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        assert list(p.covered_by(2)) == [2]
+
+    def test_copy_independent(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        q = p.copy()
+        q.move(0, 1)
+        assert p.route_of(0) == 0
+        assert p.count_of(0) == 2 and q.count_of(0) == 3
+
+    def test_equality_and_hash(self, fig1_game):
+        a = StrategyProfile(fig1_game, [0, 0, 1])
+        b = StrategyProfile(fig1_game, [0, 0, 1])
+        c = StrategyProfile(fig1_game, [1, 0, 1])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr(self, fig1_game):
+        assert "StrategyProfile" in repr(StrategyProfile(fig1_game, [0, 0, 0]))
+
+
+class TestEnumeration:
+    def test_all_profiles_count(self, fig1_game):
+        profiles = list(StrategyProfile.all_profiles(fig1_game))
+        assert len(profiles) == 2 * 1 * 2
+
+    def test_all_profiles_distinct_and_valid(self, fig1_game):
+        seen = set()
+        for p in StrategyProfile.all_profiles(fig1_game):
+            p.validate()
+            seen.add(tuple(p.choices.tolist()))
+        assert len(seen) == 4
+
+    def test_random_profile_valid(self, shanghai_game, rng):
+        p = StrategyProfile.random(shanghai_game, rng)
+        p.validate()
+
+    def test_huge_strategy_space_guarded(self):
+        from repro.core import RouteNavigationGame
+
+        # 30 users x 5 routes each: 5^30 profiles — enumeration must refuse.
+        g = RouteNavigationGame.from_coverage(
+            [[[0]] * 5 for _ in range(30)], base_rewards=[10.0]
+        )
+        with pytest.raises(ValueError, match="too large"):
+            next(iter(StrategyProfile.all_profiles(g)))

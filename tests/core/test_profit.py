@@ -1,0 +1,127 @@
+"""Tests for repro.core.profit (Eq. 2 semantics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import PlatformWeights, RouteNavigationGame, StrategyProfile, UserWeights
+from repro.core.profit import (
+    all_profits,
+    candidate_profits,
+    profit_if_moved,
+    profit_of_user,
+    total_profit,
+)
+
+
+class TestFig1Profits:
+    """Exact values of the paper's Fig. 1 table."""
+
+    def test_distributed_equilibrium_profits(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])  # u1:r1, u2:r3, u3:r4
+        profits = all_profits(p)
+        assert profits[0] == pytest.approx(5.0)
+        assert profits[1] == pytest.approx(3.0)  # 6/2
+        assert profits[2] == pytest.approx(3.0)
+        assert total_profit(p) == pytest.approx(11.0)
+
+    def test_maximum_profit_solution(self, fig1_game):
+        p = StrategyProfile(fig1_game, [1, 0, 0])  # all on task A
+        assert np.allclose(all_profits(p), 2.0)  # 6/3 each
+        assert total_profit(p) == pytest.approx(6.0)
+
+    def test_centralized_optimal(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 1])  # u1:r1, u2:r3, u3:r5
+        assert total_profit(p) == pytest.approx(12.0)
+
+
+class TestCostTerms:
+    def make_game(self):
+        return RouteNavigationGame.from_coverage(
+            [[[0], [1]]],
+            base_rewards=[10.0, 8.0],
+            detours=[[1.0, 3.0]],
+            congestions=[[2.0, 0.5]],
+            user_weights=[UserWeights(0.6, 0.4, 0.2)],
+            platform=PlatformWeights(0.5, 0.5),
+        )
+
+    def test_profit_includes_costs(self):
+        g = self.make_game()
+        p = StrategyProfile(g, [0])
+        expected = 0.6 * 10.0 - 0.4 * (0.5 * 1.0) - 0.2 * (0.5 * 2.0)
+        assert profit_of_user(p, 0) == pytest.approx(expected)
+
+    def test_alpha_scales_reward_only(self):
+        g = self.make_game()
+        g2 = g.with_user_weights(0, UserWeights(0.3, 0.4, 0.2))
+        p, p2 = StrategyProfile(g, [0]), StrategyProfile(g2, [0])
+        diff = profit_of_user(p, 0) - profit_of_user(p2, 0)
+        assert diff == pytest.approx((0.6 - 0.3) * 10.0)
+
+
+class TestSharing:
+    def test_log_reward_split(self):
+        g = RouteNavigationGame.from_coverage(
+            [[[0]], [[0]]],
+            base_rewards=[10.0],
+            reward_increments=[0.8],
+            user_weights=[UserWeights(1.0, 0.5, 0.5)] * 2,
+        )
+        p = StrategyProfile(g, [0, 0])
+        share = (10.0 + 0.8 * math.log(2)) / 2
+        assert profit_of_user(p, 0) == pytest.approx(share)
+        assert profit_of_user(p, 1) == pytest.approx(share)
+
+
+class TestCandidateProfits:
+    def test_current_entry_matches_profit(self, fig1_game):
+        p = StrategyProfile(fig1_game, [1, 0, 0])
+        for u in fig1_game.users:
+            cp = candidate_profits(p, u)
+            assert cp[p.route_of(u)] == pytest.approx(profit_of_user(p, u))
+
+    def test_counterfactual_adds_self(self, fig1_game):
+        # u1 on r1; switching to r2 makes three users on task A.
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        cp = candidate_profits(p, 0)
+        assert cp[1] == pytest.approx(2.0)  # 6/3
+
+    def test_matches_actual_move(self, shanghai_game, rng):
+        p = StrategyProfile.random(shanghai_game, rng)
+        for u in range(shanghai_game.num_users):
+            cp = candidate_profits(p, u)
+            for j in range(shanghai_game.num_routes(u)):
+                q = p.copy()
+                q.move(u, j)
+                assert cp[j] == pytest.approx(profit_of_user(q, u)), (u, j)
+
+    def test_profit_if_moved(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        assert profit_if_moved(p, 2, 1) == pytest.approx(1.0)
+
+    def test_empty_route_pure_cost(self):
+        g = RouteNavigationGame.from_coverage(
+            [[[0], []]],
+            base_rewards=[10.0],
+            detours=[[0.0, 1.0]],
+            congestions=[[0.0, 1.0]],
+            user_weights=[UserWeights(0.5, 0.5, 0.5)],
+            platform=PlatformWeights(0.5, 0.5),
+        )
+        p = StrategyProfile(g, [0])
+        cp = candidate_profits(p, 0)
+        assert cp[1] == pytest.approx(-(0.5 * 0.5 + 0.5 * 0.5))
+
+
+class TestAllProfits:
+    def test_matches_per_user(self, shanghai_game, rng):
+        p = StrategyProfile.random(shanghai_game, rng)
+        vec = all_profits(p)
+        for u in range(shanghai_game.num_users):
+            assert vec[u] == pytest.approx(profit_of_user(p, u))
+
+    def test_total_is_sum(self, shanghai_game, rng):
+        p = StrategyProfile.random(shanghai_game, rng)
+        assert total_profit(p) == pytest.approx(float(all_profits(p).sum()))

@@ -1,0 +1,128 @@
+"""Hypothesis property tests on the game core's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import StrategyProfile, potential
+from repro.core.equilibrium import epsilon_nash_gap, is_nash_equilibrium
+from repro.core.potential import potential_delta
+from repro.core.profit import all_profits, candidate_profits, total_profit
+from repro.core.responses import best_response_set, better_responses
+
+from tests.helpers import games
+
+
+@st.composite
+def game_and_profile(draw):
+    game = draw(games())
+    choices = [
+        draw(st.integers(0, game.num_routes(i) - 1)) for i in game.users
+    ]
+    return game, StrategyProfile(game, choices)
+
+
+class TestWeightedPotentialProperty:
+    """The defining identity of the weighted potential game (Theorem 2)."""
+
+    @given(game_and_profile())
+    @settings(max_examples=60, deadline=None)
+    def test_eq11_for_every_unilateral_move(self, gp):
+        game, profile = gp
+        for u in game.users:
+            cp = candidate_profits(profile, u)
+            alpha = game.user_weights[u].alpha
+            cur = cp[profile.route_of(u)]
+            for j in range(game.num_routes(u)):
+                d_phi = potential_delta(profile, u, j)
+                assert cp[j] - cur == pytest.approx(alpha * d_phi, abs=1e-7)
+
+    @given(game_and_profile())
+    @settings(max_examples=40, deadline=None)
+    def test_delta_matches_full_potential(self, gp):
+        game, profile = gp
+        before = potential(profile)
+        for u in game.users:
+            for j in range(game.num_routes(u)):
+                delta = potential_delta(profile, u, j)
+                q = profile.copy()
+                q.move(u, j)
+                assert potential(q) == pytest.approx(before + delta, abs=1e-7)
+
+
+class TestCounterInvariants:
+    @given(game_and_profile(), st.lists(st.integers(0, 10_000), max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_counts_consistent_after_any_move_sequence(self, gp, raw_moves):
+        game, profile = gp
+        for r in raw_moves:
+            u = r % game.num_users
+            j = (r // 7) % game.num_routes(u)
+            profile.move(u, j)
+        profile.validate()
+
+    @given(game_and_profile())
+    @settings(max_examples=40, deadline=None)
+    def test_counts_bounded_by_users(self, gp):
+        game, profile = gp
+        assert np.all(profile.counts >= 0)
+        assert np.all(profile.counts <= game.num_users)
+
+
+class TestResponseProperties:
+    @given(game_and_profile())
+    @settings(max_examples=40, deadline=None)
+    def test_best_subset_of_better(self, gp):
+        game, profile = gp
+        for u in game.users:
+            assert set(best_response_set(profile, u)) <= set(
+                better_responses(profile, u)
+            )
+
+    @given(game_and_profile())
+    @settings(max_examples=40, deadline=None)
+    def test_nash_iff_gap_zero(self, gp):
+        _, profile = gp
+        assert is_nash_equilibrium(profile) == (
+            epsilon_nash_gap(profile) <= 1e-9
+        )
+
+    @given(game_and_profile())
+    @settings(max_examples=40, deadline=None)
+    def test_improving_move_raises_both_profit_and_potential(self, gp):
+        game, profile = gp
+        for u in game.users:
+            options = better_responses(profile, u)
+            if not options:
+                continue
+            j = options[0]
+            before_profit = candidate_profits(profile, u)[profile.route_of(u)]
+            before_phi = potential(profile)
+            q = profile.copy()
+            q.move(u, j)
+            after_profit = candidate_profits(q, u)[q.route_of(u)]
+            assert after_profit > before_profit
+            assert potential(q) > before_phi - 1e-9
+
+
+class TestProfitProperties:
+    @given(game_and_profile())
+    @settings(max_examples=40, deadline=None)
+    def test_total_is_sum_of_users(self, gp):
+        _, profile = gp
+        assert total_profit(profile) == pytest.approx(
+            float(all_profits(profile).sum()), abs=1e-9
+        )
+
+    @given(game_and_profile())
+    @settings(max_examples=40, deadline=None)
+    def test_candidate_profit_matches_committed_move(self, gp):
+        game, profile = gp
+        for u in game.users:
+            cp = candidate_profits(profile, u)
+            for j in range(game.num_routes(u)):
+                q = profile.copy()
+                q.move(u, j)
+                assert cp[j] == pytest.approx(
+                    float(all_profits(q)[u]), abs=1e-9
+                )

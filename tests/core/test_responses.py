@@ -1,0 +1,135 @@
+"""Tests for repro.core.responses (Definition 1, Algorithm 3 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.core import StrategyProfile
+from repro.core.profit import candidate_profits
+from repro.core.responses import (
+    best_response_set,
+    best_update,
+    better_responses,
+    make_proposal,
+)
+
+from tests.helpers import random_game
+
+
+class TestBetterResponses:
+    def test_fig1_u3_prefers_shared_task(self, fig1_game):
+        # Centralized optimal: u3 on r5 earning 1; r4 would earn 6/2 = 3.
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        assert better_responses(p, 2) == [0]
+
+    def test_equilibrium_empty(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        for u in fig1_game.users:
+            assert better_responses(p, u) == []
+
+    def test_subset_relation(self, rng):
+        for _ in range(20):
+            g = random_game(rng)
+            p = StrategyProfile.random(g, rng)
+            for u in g.users:
+                best = set(best_response_set(p, u))
+                better = set(better_responses(p, u))
+                assert best <= better
+
+    def test_strictness(self, rng):
+        # Every listed response strictly improves.
+        for _ in range(20):
+            g = random_game(rng)
+            p = StrategyProfile.random(g, rng)
+            for u in g.users:
+                cp = candidate_profits(p, u)
+                cur = cp[p.route_of(u)]
+                for j in better_responses(p, u):
+                    assert cp[j] > cur
+
+
+class TestBestResponseSet:
+    def test_contains_argmax(self, rng):
+        for _ in range(20):
+            g = random_game(rng)
+            p = StrategyProfile.random(g, rng)
+            for u in g.users:
+                brs = best_response_set(p, u)
+                if brs:
+                    cp = candidate_profits(p, u)
+                    assert cp[brs[0]] == pytest.approx(float(cp.max()))
+
+    def test_empty_iff_at_best(self, rng):
+        for _ in range(20):
+            g = random_game(rng)
+            p = StrategyProfile.random(g, rng)
+            for u in g.users:
+                cp = candidate_profits(p, u)
+                at_best = cp[p.route_of(u)] >= float(cp.max()) - 1e-9
+                assert (best_response_set(p, u) == []) == at_best
+
+
+class TestBestUpdate:
+    def test_none_at_equilibrium(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        for u in fig1_game.users:
+            assert best_update(p, u) is None
+
+    def test_proposal_fields(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        prop = best_update(p, 2)
+        assert prop is not None
+        assert prop.user == 2
+        assert prop.new_route == 0
+        assert prop.gain == pytest.approx(2.0)  # 3 - 1
+        assert prop.tau == pytest.approx(2.0)  # alpha = 1
+        assert prop.touched_tasks == {0, 2}  # task A and task C
+
+    def test_delta_key(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        prop = best_update(p, 2)
+        assert prop.delta == pytest.approx(prop.tau / 2)
+
+    def test_random_pick_needs_rng(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        with pytest.raises(ValueError):
+            best_update(p, 2, pick="random")
+
+    def test_unknown_pick(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        with pytest.raises(ValueError):
+            best_update(p, 2, pick="greedy")
+
+    def test_gain_positive(self, rng):
+        for _ in range(20):
+            g = random_game(rng)
+            p = StrategyProfile.random(g, rng)
+            for u in g.users:
+                prop = best_update(p, u)
+                if prop is not None:
+                    assert prop.gain > 0
+                    assert prop.tau > 0
+
+
+class TestMakeProposal:
+    def test_touched_is_union(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        prop = make_proposal(p, 0, 1)  # u1: r1 (B) -> r2 (A)
+        assert prop.touched_tasks == {0, 1}
+
+    def test_zero_gain_for_noop(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        prop = make_proposal(p, 0, 0)
+        assert prop.gain == pytest.approx(0.0)
+
+    def test_empty_b_delta_uses_one(self):
+        from repro.core import RouteNavigationGame
+
+        g = RouteNavigationGame.from_coverage(
+            [[[], []]],
+            base_rewards=[10.0],
+            detours=[[1.0, 0.0]],
+        )
+        p = StrategyProfile(g, [0])
+        prop = make_proposal(p, 0, 1)
+        assert prop.touched_tasks == frozenset()
+        assert prop.delta == prop.tau  # |B| clamped to 1

@@ -1,0 +1,69 @@
+"""Tests for repro.core.weights."""
+
+import pytest
+
+from repro.core.weights import PlatformWeights, UserWeights
+
+
+class TestUserWeights:
+    def test_valid(self):
+        w = UserWeights(0.3, 0.5, 0.7)
+        assert (w.alpha, w.beta, w.gamma) == (0.3, 0.5, 0.7)
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError, match="alpha"):
+            UserWeights(0.01, 0.5, 0.5)
+        with pytest.raises(ValueError, match="gamma"):
+            UserWeights(0.5, 0.5, 1.5)
+
+    def test_e_min_must_be_positive(self):
+        with pytest.raises(ValueError):
+            UserWeights(0.5, 0.5, 0.5, e_min=0.0)
+
+    def test_custom_bounds(self):
+        w = UserWeights(2.0, 3.0, 4.0, e_min=1.0, e_max=5.0)
+        assert w.alpha == 2.0
+
+    def test_replace(self):
+        w = UserWeights(0.3, 0.5, 0.7)
+        w2 = w.replace(alpha=0.8)
+        assert w2.alpha == 0.8 and w2.beta == 0.5
+        assert w.alpha == 0.3  # frozen original
+
+    def test_replace_validates(self):
+        with pytest.raises(ValueError):
+            UserWeights(0.3, 0.5, 0.7).replace(beta=7.0)
+
+    def test_random_in_range(self, rng):
+        for _ in range(20):
+            w = UserWeights.random(rng, low=0.1, high=0.9)
+            assert 0.1 <= w.alpha <= 0.9
+            assert 0.1 <= w.beta <= 0.9
+            assert 0.1 <= w.gamma <= 0.9
+
+    def test_random_reproducible(self):
+        assert UserWeights.random(5) == UserWeights.random(5)
+
+
+class TestPlatformWeights:
+    def test_valid(self):
+        p = PlatformWeights(0.2, 0.6)
+        assert (p.phi, p.theta) == (0.2, 0.6)
+
+    def test_zero_allowed(self):
+        assert PlatformWeights(0.0, 0.0).phi == 0.0
+
+    def test_one_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformWeights(1.0, 0.5)
+        with pytest.raises(ValueError):
+            PlatformWeights(0.5, 1.0)
+
+    def test_replace(self):
+        p = PlatformWeights(0.2, 0.6).replace(theta=0.1)
+        assert (p.phi, p.theta) == (0.2, 0.1)
+
+    def test_random_in_range(self, rng):
+        for _ in range(20):
+            p = PlatformWeights.random(rng)
+            assert 0.1 <= p.phi <= 0.8 and 0.1 <= p.theta <= 0.8

@@ -1,0 +1,215 @@
+"""Unit tests for UserAgent and PlatformAgent message handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import UserWeights
+from repro.distributed.bus import MessageBus
+from repro.distributed.messages import (
+    DecisionReport,
+    RouteAnnotation,
+    RouteRecommendation,
+    TaskCountUpdate,
+    Termination,
+    UpdateGrant,
+    UpdateRequest,
+)
+from repro.distributed.platform_agent import PLATFORM, PlatformAgent
+from repro.distributed.user_agent import UserAgent
+
+
+def make_agent(bus=None, seed=0):
+    bus = bus if bus is not None else MessageBus()
+    agent = UserAgent(
+        0, UserWeights(1.0, 1.0, 1.0), bus, np.random.default_rng(seed)
+    )
+    return agent, bus
+
+
+def handshake(agent, bus, *, routes, params, detours, congestions):
+    bus.post(agent.name, RouteRecommendation(PLATFORM, routes=routes,
+                                             task_params=params))
+    bus.post(agent.name, RouteAnnotation(PLATFORM, detour_costs=detours,
+                                         congestion_costs=congestions))
+    agent.process_inbox()
+
+
+class TestUserAgent:
+    def test_initial_decision_reported(self):
+        agent, bus = make_agent()
+        handshake(agent, bus, routes=((0,), (1,)),
+                  params={0: (10.0, 0.0), 1: (5.0, 0.0)},
+                  detours=(0.0, 0.0), congestions=(0.0, 0.0))
+        msgs = bus.drain(PLATFORM)
+        assert len(msgs) == 1
+        assert isinstance(msgs[0], DecisionReport)
+        assert msgs[0].route == agent.current_route
+
+    def test_candidate_profits_from_local_view(self):
+        agent, bus = make_agent()
+        handshake(agent, bus, routes=((0,), (1,)),
+                  params={0: (10.0, 0.0), 1: (6.0, 0.0)},
+                  detours=(0.0, 2.0), congestions=(0.0, 0.0))
+        # Counts: the agent alone on its current route's task.
+        counts = {0: 0, 1: 0}
+        counts[agent.current_route] = 1
+        bus.post(agent.name, TaskCountUpdate(PLATFORM, slot=0, counts=counts))
+        agent.process_inbox()
+        profits = agent._candidate_profits()
+        assert profits[0] == pytest.approx(10.0)
+        assert profits[1] == pytest.approx(6.0 - 1.0 * 2.0)
+
+    def test_requests_update_when_better_route_exists(self):
+        agent, bus = make_agent(seed=3)
+        handshake(agent, bus, routes=((0,), (1,)),
+                  params={0: (10.0, 0.0), 1: (1.0, 0.0)},
+                  detours=(0.0, 0.0), congestions=(0.0, 0.0))
+        bus.drain(PLATFORM)
+        counts = {0: 0, 1: 0}
+        counts[agent.current_route] = 1
+        bus.post(agent.name, TaskCountUpdate(PLATFORM, slot=0, counts=counts))
+        agent.process_inbox()
+        agent.begin_slot(1)
+        msgs = bus.drain(PLATFORM)
+        if agent.current_route == 0:
+            assert msgs == []  # already optimal
+        else:
+            assert len(msgs) == 1
+            req = msgs[0]
+            assert isinstance(req, UpdateRequest)
+            assert req.tau == pytest.approx(9.0)
+            assert req.touched_tasks == {0, 1}
+
+    def test_grant_switches_and_reports(self):
+        agent, bus = make_agent(seed=5)
+        handshake(agent, bus, routes=((0,), (1,)),
+                  params={0: (10.0, 0.0), 1: (1.0, 0.0)},
+                  detours=(0.0, 0.0), congestions=(0.0, 0.0))
+        bus.drain(PLATFORM)
+        counts = {0: 0, 1: 0}
+        counts[agent.current_route] = 1
+        bus.post(agent.name, TaskCountUpdate(PLATFORM, slot=0, counts=counts))
+        agent.process_inbox()
+        if agent.current_route == 1:
+            agent.begin_slot(1)
+            bus.drain(PLATFORM)
+            bus.post(agent.name, UpdateGrant(PLATFORM, slot=1))
+            agent.process_inbox()
+            assert agent.current_route == 0
+            reports = bus.drain(PLATFORM)
+            assert len(reports) == 1 and reports[0].route == 0
+
+    def test_termination_stops_requests(self):
+        agent, bus = make_agent()
+        handshake(agent, bus, routes=((0,), (1,)),
+                  params={0: (1.0, 0.0), 1: (10.0, 0.0)},
+                  detours=(0.0, 0.0), congestions=(0.0, 0.0))
+        bus.post(agent.name, Termination(PLATFORM, slot=1))
+        agent.process_inbox()
+        assert agent.terminated
+        agent.begin_slot(2)
+        bus.drain(PLATFORM)  # initial report may be queued
+        agent.begin_slot(3)
+        assert all(
+            not isinstance(m, UpdateRequest) for m in bus.drain(PLATFORM)
+        )
+
+    def test_grant_without_request_is_noop(self):
+        agent, bus = make_agent()
+        handshake(agent, bus, routes=((0,),),
+                  params={0: (10.0, 0.0)},
+                  detours=(0.0,), congestions=(0.0,))
+        before = agent.current_route
+        bus.post(agent.name, UpdateGrant(PLATFORM, slot=1))
+        agent.process_inbox()
+        assert agent.current_route == before
+
+    def test_unexpected_message_raises(self):
+        agent, bus = make_agent()
+        bus.post(agent.name, UpdateRequest("user-9", slot=0, user=9, tau=1.0,
+                                           touched_tasks=frozenset()))
+        with pytest.raises(TypeError):
+            agent.process_inbox()
+
+
+class TestPlatformAgent:
+    def test_recommendations_restricted_to_own_tasks(self, fig1_game):
+        bus = MessageBus()
+        platform = PlatformAgent(fig1_game, bus, np.random.default_rng(0))
+        platform.send_recommendations()
+        msgs = bus.drain("user-1")  # u2 only sees task A (id 0)
+        rec = [m for m in msgs if isinstance(m, RouteRecommendation)][0]
+        assert rec.routes == ((0,),)
+        assert set(rec.task_params) == {0}
+
+    def test_apply_reports_maintains_counts(self, fig1_game):
+        bus = MessageBus()
+        platform = PlatformAgent(fig1_game, bus, np.random.default_rng(0))
+        platform.apply_reports([
+            DecisionReport("user-0", slot=0, user=0, route=1),
+            DecisionReport("user-1", slot=0, user=1, route=0),
+        ])
+        assert platform.counts[0] == 2  # both on task A
+        # user 0 re-decides: moves off A onto B.
+        platform.apply_reports([DecisionReport("user-0", slot=1, user=0, route=0)])
+        assert platform.counts[0] == 1
+        assert platform.counts[1] == 1
+
+    def test_broadcast_counts_restricted(self, fig1_game):
+        bus = MessageBus()
+        platform = PlatformAgent(fig1_game, bus, np.random.default_rng(0))
+        platform.apply_reports(
+            [DecisionReport(f"user-{i}", slot=0, user=i, route=0) for i in range(3)]
+        )
+        platform.broadcast_counts(slot=0)
+        msgs = bus.drain("user-1")
+        update = [m for m in msgs if isinstance(m, TaskCountUpdate)][0]
+        assert set(update.counts) == {0}  # u2 sees only task A
+
+    def test_suu_grants_exactly_one(self, fig1_game):
+        bus = MessageBus()
+        platform = PlatformAgent(
+            fig1_game, bus, np.random.default_rng(0), scheduler="suu"
+        )
+        reqs = [
+            UpdateRequest(f"user-{i}", slot=1, user=i, tau=1.0,
+                          touched_tasks=frozenset({i}))
+            for i in range(3)
+        ]
+        granted = platform.grant(1, reqs)
+        assert len(granted) == 1
+
+    def test_puu_grants_disjoint(self, fig1_game):
+        bus = MessageBus()
+        platform = PlatformAgent(
+            fig1_game, bus, np.random.default_rng(0), scheduler="puu"
+        )
+        reqs = [
+            UpdateRequest("user-0", slot=1, user=0, tau=4.0,
+                          touched_tasks=frozenset({0, 1})),
+            UpdateRequest("user-1", slot=1, user=1, tau=1.0,
+                          touched_tasks=frozenset({2})),
+            UpdateRequest("user-2", slot=1, user=2, tau=3.0,
+                          touched_tasks=frozenset({1, 2})),
+        ]
+        granted = platform.grant(1, reqs)
+        assert set(granted) == {0, 1}  # user-2 conflicts with both
+
+    def test_no_requests_no_grant(self, fig1_game):
+        bus = MessageBus()
+        platform = PlatformAgent(fig1_game, bus, np.random.default_rng(0))
+        assert platform.grant(1, []) == []
+
+    def test_terminate_broadcasts(self, fig1_game):
+        bus = MessageBus()
+        platform = PlatformAgent(fig1_game, bus, np.random.default_rng(0))
+        platform.terminate(slot=4)
+        assert platform.terminated
+        for i in range(3):
+            msgs = bus.drain(f"user-{i}")
+            assert any(isinstance(m, Termination) for m in msgs)
+
+    def test_unknown_scheduler_rejected(self, fig1_game):
+        with pytest.raises(ValueError):
+            PlatformAgent(fig1_game, MessageBus(), np.random.default_rng(0),
+                          scheduler="lottery")

@@ -1,0 +1,57 @@
+"""Tests for the message bus and protocol messages."""
+
+import pytest
+
+from repro.distributed.bus import MessageBus
+from repro.distributed.messages import (
+    DecisionReport,
+    TaskCountUpdate,
+    Termination,
+    UpdateRequest,
+)
+
+
+class TestMessageBus:
+    def test_post_and_drain_fifo(self):
+        bus = MessageBus()
+        bus.post("u", Termination("platform", slot=1))
+        bus.post("u", Termination("platform", slot=2))
+        msgs = bus.drain("u")
+        assert [m.slot for m in msgs] == [1, 2]
+
+    def test_drain_empties(self):
+        bus = MessageBus()
+        bus.post("u", Termination("platform", slot=1))
+        bus.drain("u")
+        assert bus.drain("u") == []
+        assert bus.pending("u") == 0
+
+    def test_mailboxes_isolated(self):
+        bus = MessageBus()
+        bus.post("a", Termination("platform", slot=1))
+        assert bus.drain("b") == []
+        assert bus.pending("a") == 1
+
+    def test_traffic_counters(self):
+        bus = MessageBus()
+        bus.post("a", Termination("p", slot=1))
+        bus.post("a", DecisionReport("a", slot=1, user=0, route=2))
+        bus.post("b", Termination("p", slot=1))
+        assert bus.total_sent == 3
+        assert bus.traffic_summary() == {
+            "Termination": 2,
+            "DecisionReport": 1,
+        }
+
+
+class TestMessages:
+    def test_messages_frozen(self):
+        msg = TaskCountUpdate("p", slot=0, counts={1: 2})
+        with pytest.raises(AttributeError):
+            msg.slot = 5
+
+    def test_update_request_fields(self):
+        req = UpdateRequest("user-3", slot=2, user=3, tau=1.5,
+                            touched_tasks=frozenset({1, 2}))
+        assert req.sender == "user-3"
+        assert req.touched_tasks == {1, 2}

@@ -1,0 +1,156 @@
+"""End-to-end tests of the distributed protocol (Algorithms 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import StrategyProfile, is_nash_equilibrium
+from repro.core.profit import all_profits
+from repro.distributed import DistributedSimulation
+
+from tests.helpers import random_game
+
+
+class TestProtocolConvergence:
+    @pytest.mark.parametrize("scheduler", ["suu", "puu"])
+    def test_reaches_nash(self, scheduler, shanghai_game):
+        sim = DistributedSimulation(
+            shanghai_game, scheduler=scheduler, seed=1,
+            validate_local_views=True,
+        )
+        out = sim.run()
+        assert out.converged
+        assert is_nash_equilibrium(out.profile)
+
+    @pytest.mark.parametrize("scheduler", ["suu", "puu"])
+    def test_random_games(self, scheduler, rng):
+        for _ in range(8):
+            g = random_game(rng)
+            out = DistributedSimulation(
+                g, scheduler=scheduler, seed=int(rng.integers(2**31)),
+                validate_local_views=True,
+            ).run()
+            assert out.converged
+            assert is_nash_equilibrium(out.profile)
+
+    def test_unknown_scheduler(self, fig1_game):
+        with pytest.raises(ValueError):
+            DistributedSimulation(fig1_game, scheduler="fifo")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_shuffled_service_order_still_nash(self, shanghai_game, seed):
+        out = DistributedSimulation(
+            shanghai_game, scheduler="puu", seed=seed,
+            shuffle_service_order=True, record_history=False,
+        ).run()
+        assert out.converged
+        assert is_nash_equilibrium(out.profile)
+
+    def test_fig1_reaches_known_equilibrium(self, fig1_game):
+        # Fig. 1's game has a unique NE: u1:r1, u2:r3, u3:r4.
+        out = DistributedSimulation(fig1_game, seed=5).run()
+        assert list(out.profile.choices) == [0, 0, 0]
+
+
+class TestLocalViews:
+    def test_agent_profits_match_global(self, shanghai_game):
+        sim = DistributedSimulation(shanghai_game, seed=2)
+        out = sim.run()
+        truth = all_profits(out.profile)
+        for agent in sim.users:
+            assert agent.profit() == pytest.approx(truth[agent.user_id], abs=1e-9)
+
+    def test_agents_only_know_own_tasks(self, shanghai_game):
+        sim = DistributedSimulation(shanghai_game, seed=2)
+        sim.run()
+        for agent in sim.users:
+            visible = {
+                int(t)
+                for j in range(shanghai_game.num_routes(agent.user_id))
+                for t in shanghai_game.covered_tasks(agent.user_id, j)
+            }
+            assert set(agent.known_counts) <= visible
+            assert set(agent.task_params) <= visible
+
+    def test_all_agents_terminated(self, shanghai_game):
+        sim = DistributedSimulation(shanghai_game, seed=2)
+        sim.run()
+        assert all(agent.terminated for agent in sim.users)
+
+
+class TestTraffic:
+    def test_handshake_message_counts(self, fig1_game):
+        sim = DistributedSimulation(fig1_game, seed=0)
+        out = sim.run()
+        m = fig1_game.num_users
+        traffic = out.message_traffic
+        assert traffic["RouteRecommendation"] == m
+        assert traffic["RouteAnnotation"] == m
+        assert traffic["Termination"] == m
+        # One initial decision report per user, plus one per granted move.
+        assert traffic["DecisionReport"] >= m
+
+    def test_grants_bounded_by_requests(self, shanghai_game):
+        out = DistributedSimulation(shanghai_game, seed=4).run()
+        assert out.message_traffic.get("UpdateGrant", 0) <= out.message_traffic.get(
+            "UpdateRequest", 0
+        )
+
+    def test_suu_grants_one_per_slot(self, shanghai_game):
+        out = DistributedSimulation(shanghai_game, scheduler="suu", seed=4).run()
+        assert all(g == 1 for g in out.granted_per_slot)
+
+    def test_puu_can_grant_many(self, shanghai_game):
+        out = DistributedSimulation(shanghai_game, scheduler="puu", seed=4).run()
+        assert max(out.granted_per_slot, default=0) >= 1
+
+    def test_puu_usually_fewer_slots_than_suu(self):
+        # Aggregate over seeds: PUU should not be slower on average.
+        from repro.scenario import ScenarioConfig, build_scenario
+
+        game = build_scenario(
+            ScenarioConfig(city="roma", n_users=20, n_tasks=40, seed=77)
+        ).game
+        suu = sum(
+            DistributedSimulation(game, scheduler="suu", seed=s).run().decision_slots
+            for s in range(5)
+        )
+        puu = sum(
+            DistributedSimulation(game, scheduler="puu", seed=s).run().decision_slots
+            for s in range(5)
+        )
+        assert puu <= suu
+
+
+class TestHistories:
+    def test_profit_history_shape(self, fig1_game):
+        out = DistributedSimulation(fig1_game, seed=0).run()
+        assert out.profit_history is not None
+        assert out.profit_history.shape[1] == fig1_game.num_users
+        assert out.profit_history.shape[0] == out.decision_slots + 1
+
+    def test_history_disabled(self, fig1_game):
+        out = DistributedSimulation(fig1_game, seed=0, record_history=False).run()
+        assert out.profit_history is None
+
+    def test_total_profit_property(self, fig1_game):
+        out = DistributedSimulation(fig1_game, seed=0).run()
+        assert out.total_profit == pytest.approx(
+            float(all_profits(out.profile).sum())
+        )
+
+
+class TestEngineAgreement:
+    """The protocol and the in-memory engines sit in the same game: both
+    must land on Nash equilibria of identical quality envelopes."""
+
+    def test_equilibrium_potential_close_to_engine(self, shanghai_game):
+        from repro.algorithms import DGRN
+        from repro.core.potential import potential
+
+        proto = DistributedSimulation(shanghai_game, seed=9).run()
+        engine = DGRN(seed=9).run(shanghai_game)
+        p1 = potential(proto.profile)
+        p2 = potential(engine.profile)
+        # Different equilibria are fine; both are local maxima of phi and
+        # should be within a modest band of each other.
+        assert abs(p1 - p2) / max(abs(p2), 1.0) < 0.25

@@ -1,0 +1,57 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.experiment == "fig7"
+        assert args.seed == 0
+        assert args.repetitions is None
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig4", "--repetitions", "3", "--processes", "2", "--seed", "9"]
+        )
+        assert args.repetitions == 3 and args.processes == 2 and args.seed == 9
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table4" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig3" in capsys.readouterr().out
+
+    def test_runs_tiny_experiment(self, capsys):
+        assert main(["table3", "--repetitions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "overlap_ratio_mean" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["fig99"])
+
+    def test_csv_written(self, tmp_path, capsys):
+        path = tmp_path / "out.csv"
+        assert main(["table3", "--repetitions", "1", "--csv", str(path)]) == 0
+        assert path.exists()
+        assert path.read_text().startswith("n_tasks,")
+
+    def test_svg_written(self, tmp_path, capsys):
+        path = tmp_path / "out.svg"
+        assert main(["table3", "--repetitions", "1", "--svg", str(path)]) == 0
+        assert path.read_text().startswith("<svg")
+
+    def test_svg_skipped_without_chart_spec(self, tmp_path, capsys):
+        path = tmp_path / "out.svg"
+        assert main(["fig13", "--svg", str(path)]) == 0
+        assert "no chart spec" in capsys.readouterr().out
+        assert not path.exists()

@@ -1,0 +1,154 @@
+"""Smoke tests: every registered experiment runs at a tiny scale and its
+output has the paper artifact's columns (and, where cheap to check, the
+paper's qualitative shape)."""
+
+import pytest
+
+from repro.experiments import get_experiment, run_experiment
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestRegistry:
+    def test_all_artifacts_present(self):
+        # 13 paper artifacts (Figs 3-13, Tables 3-5) + 4 extensions.
+        assert len(EXPERIMENTS) == 18
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_case_insensitive(self):
+        assert get_experiment("FIG3").key == "fig3"
+
+
+class TestTinyRuns:
+    def test_fig3(self):
+        t = run_experiment("fig3", repetitions=1, seed=0, cities=("shanghai",))
+        assert {"city", "slot", "user", "profit"} <= set(t.columns)
+        # Trajectories flatten once converged: last two slots identical.
+        last = [r["profit"] for r in t if r["slot"] == 20]
+        prev = [r["profit"] for r in t if r["slot"] == 19]
+        converged_at = t[0]["converged_at"]
+        if converged_at < 19:
+            assert last == prev
+
+    def test_fig4(self):
+        t = run_experiment(
+            "fig4", repetitions=2, seed=0, cities=("roma",),
+            user_counts=(10,), algorithms=("DGRN", "MUUN"),
+        )
+        assert {"city", "n_users", "algorithm", "decision_slots_mean"} <= set(t.columns)
+        assert len(t) == 2
+
+    def test_fig5(self):
+        t = run_experiment(
+            "fig5", repetitions=2, seed=0, cities=("epfl",),
+            task_counts=(20,), algorithms=("DGRN", "BATS"),
+        )
+        assert len(t) == 2
+        by_algo = {r["algorithm"]: r["decision_slots_mean"] for r in t}
+        assert by_algo["BATS"] >= by_algo["DGRN"]
+
+    def test_fig6(self):
+        t = run_experiment("fig6", repetitions=1, seed=0, cities=("shanghai",))
+        pots = [r["potential"] for r in t]
+        # Potential non-decreasing along the trajectory (Theorem 2).
+        assert all(b >= a - 1e-9 for a, b in zip(pots, pots[1:]))
+
+    def test_table3(self):
+        t = run_experiment("table3", repetitions=2, seed=0, task_counts=(50, 60))
+        assert {"n_tasks", "overlap_ratio_mean", "selected_users_mean"} <= set(t.columns)
+
+    def test_fig7(self):
+        t = run_experiment(
+            "fig7", repetitions=2, seed=0, cities=("shanghai",), user_counts=(8,)
+        )
+        by_algo = {r["algorithm"]: r["total_profit_mean"] for r in t}
+        assert by_algo["RRN"] <= by_algo["DGRN"] + 1e-9
+        assert by_algo["DGRN"] <= by_algo["CORN"] + 1e-9
+
+    def test_fig8(self):
+        t = run_experiment(
+            "fig8", repetitions=2, seed=0, cities=("shanghai",), user_counts=(20,)
+        )
+        for r in t:
+            assert 0.0 <= r["coverage_mean"] <= 1.0
+
+    def test_fig9(self):
+        t = run_experiment(
+            "fig9", repetitions=2, seed=0, cities=("shanghai",), task_counts=(30,)
+        )
+        by_algo = {r["algorithm"]: r["average_reward_mean"] for r in t}
+        assert by_algo["DGRN"] >= by_algo["RRN"] - 1e-9
+
+    def test_fig10(self):
+        t = run_experiment(
+            "fig10", repetitions=2, seed=0, cities=("shanghai",), user_counts=(8,)
+        )
+        for r in t:
+            assert 0.0 < r["jain_index_mean"] <= 1.0
+
+    def test_fig11(self):
+        t = run_experiment(
+            "fig11", repetitions=1, seed=0, cities=("shanghai",),
+            task_counts=(20, 60), user_counts=(20,),
+        )
+        assert len(t) == 2
+
+    def test_table4(self):
+        t = run_experiment("table4", repetitions=2, seed=0, user_counts=(8, 9))
+        for r in t:
+            assert r["ratio_mean"] <= 1.0 + 1e-9
+            assert r["ratio_mean"] >= r["poa_bound_mean"] - 1e-9
+
+    def test_fig12(self):
+        t = run_experiment("fig12", repetitions=1, seed=0)
+        assert len(t) == 25  # 5x5 grid
+        assert {"phi", "theta", "average_reward_mean"} <= set(t.columns)
+
+    def test_table5(self):
+        t = run_experiment("table5", repetitions=1, seed=0)
+        assert len(t) == 24  # 3 weights x 8 values
+        weights = {r["weight"] for r in t}
+        assert weights == {"alpha", "beta", "gamma"}
+
+    def test_fig13(self, tmp_path):
+        t = run_experiment("fig13", seed=0, out_dir=tmp_path, cities=("roma",))
+        assert len(t) == 2  # two shown users
+        assert (tmp_path / "fig13_roma.svg").exists()
+
+    def test_fig14(self):
+        t = run_experiment("fig14", repetitions=1, seed=0, mu_values=(0.0, 1.0))
+        assert len(t) == 2
+        assert {"mu", "total_profit_mean"} <= set(t.columns)
+
+    def test_fig15(self):
+        t = run_experiment("fig15", repetitions=1, seed=0)
+        assert len(t) == 6  # six drop probabilities
+        by_p = {r["drop_prob"]: r for r in t}
+        # Reliable delivery always terminates at a true Nash equilibrium.
+        assert by_p[0.0]["is_nash_mean"] == 1.0
+        assert by_p[0.0]["epsilon_gap_mean"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_fig17(self):
+        from repro.experiments.fig17_equilibrium_spread import summarize
+
+        t = run_experiment("fig17", repetitions=2, seed=0)
+        assert len(t) == 2
+        for r in t:
+            assert r["ratio_worst"] <= r["ratio_mean"] <= r["ratio_best"] + 1e-12
+            assert r["ratio_best"] <= 1.0 + 1e-9
+            assert r["distinct_equilibria"] >= 1
+        digest = summarize(t)
+        assert digest[0]["instances"] == 2
+
+    def test_fig16(self):
+        t = run_experiment("fig16", repetitions=1, seed=0)
+        assert len(t) == 3  # DGRN / BATS / RRN
+        by = {r["algorithm"]: r for r in t}
+        assert by["DGRN"]["completions_per_km_mean"] >= by["RRN"][
+            "completions_per_km_mean"
+        ] * 0.8
+        for r in t:
+            assert r["mean_travel_time_s_mean"] > 0
+            assert r["total_distance_km_mean"] > 0

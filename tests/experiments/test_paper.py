@@ -1,0 +1,36 @@
+"""Tests for the one-command reproduction driver."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.paper import main, reproduce_paper
+
+
+class TestReproducePaper:
+    def test_subset_writes_outputs(self, tmp_path):
+        summary = reproduce_paper(
+            tmp_path, repetitions=1, seed=0, processes=None,
+            keys=["table3", "fig14"],
+        )
+        assert summary.exists()
+        text = summary.read_text()
+        assert "table3" in text and "fig14" in text
+        assert (tmp_path / "table3.csv").exists()
+        assert (tmp_path / "table3.svg").exists()  # chartable artifact
+        assert (tmp_path / "fig14.csv").exists()
+
+    def test_fig13_writes_maps(self, tmp_path):
+        reproduce_paper(tmp_path, repetitions=1, keys=["fig13"])
+        assert (tmp_path / "fig13_shanghai.svg").exists()
+
+    def test_cli(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--repetitions", "1",
+                     "--keys", "table3"]) == 0
+        assert "summary written" in capsys.readouterr().out
+
+    def test_repetition_scale_keys_exist(self):
+        from repro.experiments.paper import _REPETITION_SCALE
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert set(_REPETITION_SCALE) <= set(EXPERIMENTS)

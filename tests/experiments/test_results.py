@@ -1,0 +1,101 @@
+"""Tests for repro.experiments.results."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.results import ResultTable
+
+
+@pytest.fixture
+def table():
+    t = ResultTable()
+    t.append(city="a", algo="X", value=1.0)
+    t.append(city="a", algo="X", value=3.0)
+    t.append(city="a", algo="Y", value=10.0)
+    t.append(city="b", algo="X", value=5.0)
+    return t
+
+
+class TestBasics:
+    def test_len_iter_getitem(self, table):
+        assert len(table) == 4
+        assert table[0]["value"] == 1.0
+        assert sum(1 for _ in table) == 4
+
+    def test_columns_in_order(self, table):
+        assert table.columns == ["city", "algo", "value"]
+
+    def test_extend(self, table):
+        table.extend([{"city": "c", "algo": "Z", "value": 0.0}])
+        assert len(table) == 5
+
+    def test_column_array(self, table):
+        assert np.allclose(table.column("value"), [1, 3, 10, 5])
+
+    def test_filter(self, table):
+        sub = table.filter(lambda r: r["algo"] == "X")
+        assert len(sub) == 3
+
+    def test_rows_copied_on_init(self):
+        row = {"x": 1}
+        t = ResultTable([row])
+        row["x"] = 99
+        assert t[0]["x"] == 1
+
+
+class TestAggregate:
+    def test_mean_std(self, table):
+        agg = table.aggregate(by=["city", "algo"], values=["value"])
+        first = agg[0]
+        assert first["city"] == "a" and first["algo"] == "X"
+        assert first["n"] == 2
+        assert first["value_mean"] == pytest.approx(2.0)
+        assert first["value_std"] == pytest.approx(1.0)
+
+    def test_group_count(self, table):
+        agg = table.aggregate(by=["city"], values=["value"], stats=("mean",))
+        assert len(agg) == 2
+
+    def test_order_follows_first_appearance(self, table):
+        agg = table.aggregate(by=["algo"], values=["value"], stats=("mean",))
+        assert [r["algo"] for r in agg] == ["X", "Y"]
+
+    def test_min_max_median(self, table):
+        agg = table.aggregate(
+            by=["city"], values=["value"], stats=("min", "max", "median")
+        )
+        a = agg[0]
+        assert a["value_min"] == 1.0 and a["value_max"] == 10.0
+
+    def test_unknown_stat(self, table):
+        with pytest.raises(ValueError):
+            table.aggregate(by=["city"], values=["value"], stats=("mode",))
+
+
+class TestPivot:
+    def test_matrix(self, table):
+        idx, cols, mat = table.pivot("city", "algo", "value")
+        assert idx == ["a", "b"] and cols == ["X", "Y"]
+        assert mat[1, 0] == 5.0
+        assert np.isnan(mat[1, 1])  # city b has no algo Y
+
+
+class TestRender:
+    def test_markdown(self, table):
+        md = table.to_markdown()
+        assert md.startswith("| city | algo | value |")
+        assert "| a | X | 1.000 |" in md
+
+    def test_markdown_empty(self):
+        assert ResultTable().to_markdown() == "(empty table)"
+
+    def test_csv_round_trip(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        text = table.to_csv(str(path))
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert lines[0] == "city,algo,value"
+        assert len(lines) == 5
+
+    def test_repr(self, table):
+        assert "rows=4" in repr(table)

@@ -1,0 +1,72 @@
+"""Property tests for ResultTable aggregation/rendering invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.results import ResultTable
+
+
+@st.composite
+def tables(draw):
+    n_rows = draw(st.integers(1, 30))
+    groups = draw(st.integers(1, 4))
+    rows = []
+    for _ in range(n_rows):
+        rows.append(
+            {
+                "group": draw(st.integers(0, groups - 1)),
+                "value": draw(
+                    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+                ),
+            }
+        )
+    return ResultTable(rows)
+
+
+class TestAggregateProperties:
+    @given(tables())
+    @settings(max_examples=50, deadline=None)
+    def test_group_sizes_sum_to_total(self, table):
+        agg = table.aggregate(by=["group"], values=["value"], stats=("mean",))
+        assert sum(r["n"] for r in agg) == len(table)
+
+    @given(tables())
+    @settings(max_examples=50, deadline=None)
+    def test_means_match_numpy(self, table):
+        agg = table.aggregate(by=["group"], values=["value"], stats=("mean",))
+        for row in agg:
+            expected = np.mean(
+                [r["value"] for r in table if r["group"] == row["group"]]
+            )
+            assert abs(row["value_mean"] - expected) < 1e-6 * max(
+                1.0, abs(expected)
+            )
+
+    @given(tables())
+    @settings(max_examples=50, deadline=None)
+    def test_min_le_mean_le_max(self, table):
+        agg = table.aggregate(
+            by=["group"], values=["value"], stats=("min", "mean", "max")
+        )
+        for row in agg:
+            assert row["value_min"] <= row["value_mean"] + 1e-9
+            assert row["value_mean"] <= row["value_max"] + 1e-9
+
+    @given(tables())
+    @settings(max_examples=30, deadline=None)
+    def test_csv_row_count(self, table):
+        text = table.to_csv()
+        assert len(text.strip().splitlines()) == len(table) + 1
+
+    @given(tables())
+    @settings(max_examples=30, deadline=None)
+    def test_markdown_row_count(self, table):
+        md = table.to_markdown()
+        assert len(md.splitlines()) == len(table) + 2  # header + separator
+
+    @given(tables())
+    @settings(max_examples=30, deadline=None)
+    def test_filter_partition(self, table):
+        lo = table.filter(lambda r: r["value"] < 0)
+        hi = table.filter(lambda r: r["value"] >= 0)
+        assert len(lo) + len(hi) == len(table)

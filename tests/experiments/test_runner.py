@@ -1,0 +1,44 @@
+"""Tests for the repetition executor."""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import default_processes, repeat_map
+
+
+def _double(spec):
+    return [{"spec": spec, "twice": spec * 2}]
+
+
+def _multi_row(spec):
+    return [{"spec": spec, "i": i} for i in range(3)]
+
+
+class TestRepeatMap:
+    def test_inline_order_preserved(self):
+        table = repeat_map(_double, [3, 1, 2])
+        assert [r["spec"] for r in table] == [3, 1, 2]
+
+    def test_rows_flattened(self):
+        table = repeat_map(_multi_row, [0, 1])
+        assert len(table) == 6
+
+    def test_empty_specs(self):
+        assert len(repeat_map(_double, [])) == 0
+
+    def test_processes_one_runs_inline(self):
+        table = repeat_map(_double, [5], processes=1)
+        assert table[0]["twice"] == 10
+
+    @pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2,
+                        reason="needs >= 2 cores")
+    def test_process_pool_matches_inline(self):
+        inline = repeat_map(_double, list(range(8)))
+        pooled = repeat_map(_double, list(range(8)), processes=2)
+        assert inline.rows == pooled.rows
+
+
+class TestDefaultProcesses:
+    def test_at_least_one(self):
+        assert default_processes() >= 1

@@ -1,0 +1,120 @@
+"""Tests for repro.geometry.point."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.point import (
+    BoundingBox,
+    GeoPoint,
+    euclidean,
+    haversine_km,
+    local_xy_km,
+)
+
+
+class TestGeoPoint:
+    def test_valid(self):
+        p = GeoPoint(31.2, 121.5)
+        assert p.lat == 31.2
+
+    @pytest.mark.parametrize("lat,lon", [(91, 0), (-91, 0), (0, 181), (0, -181)])
+    def test_out_of_range(self, lat, lon):
+        with pytest.raises(ValueError):
+            GeoPoint(lat, lon)
+
+    def test_distance_zero(self):
+        p = GeoPoint(10.0, 20.0)
+        assert p.distance_km(p) == pytest.approx(0.0)
+
+
+class TestHaversine:
+    def test_known_distance_equator_degree(self):
+        # One degree of longitude at the equator is ~111.19 km.
+        d = haversine_km(0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(111.19, rel=0.01)
+
+    def test_symmetry(self):
+        a = haversine_km(31.2, 121.4, 31.3, 121.5)
+        b = haversine_km(31.3, 121.5, 31.2, 121.4)
+        assert a == pytest.approx(b)
+
+    @given(
+        st.floats(-80, 80), st.floats(-170, 170),
+        st.floats(-80, 80), st.floats(-170, 170),
+    )
+    def test_non_negative(self, lat1, lon1, lat2, lon2):
+        assert haversine_km(lat1, lon1, lat2, lon2) >= 0.0
+
+    def test_antipodal_near_half_circumference(self):
+        d = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(np.pi * 6371.0088, rel=0.001)
+
+
+class TestLocalXY:
+    def test_origin_maps_to_zero(self):
+        x, y = local_xy_km(31.2, 121.4, 31.2, 121.4)
+        assert float(x) == pytest.approx(0.0)
+        assert float(y) == pytest.approx(0.0)
+
+    def test_north_positive_y(self):
+        _, y = local_xy_km(31.3, 121.4, 31.2, 121.4)
+        assert float(y) > 0
+
+    def test_east_positive_x(self):
+        x, _ = local_xy_km(31.2, 121.5, 31.2, 121.4)
+        assert float(x) > 0
+
+    def test_matches_haversine_at_city_scale(self):
+        x, y = local_xy_km(31.25, 121.45, 31.2, 121.4)
+        planar = float(np.hypot(x, y))
+        true = haversine_km(31.2, 121.4, 31.25, 121.45)
+        assert planar == pytest.approx(true, rel=0.01)
+
+    def test_vectorized(self):
+        lats = np.array([31.2, 31.3])
+        lons = np.array([121.4, 121.5])
+        x, y = local_xy_km(lats, lons, 31.2, 121.4)
+        assert x.shape == (2,) and y.shape == (2,)
+
+
+class TestEuclidean:
+    def test_pythagoras(self):
+        assert euclidean(0, 0, 3, 4) == pytest.approx(5.0)
+
+
+class TestBoundingBox:
+    def test_properties(self):
+        b = BoundingBox(0, 0, 4, 2)
+        assert b.width == 4 and b.height == 2
+        assert b.center == (2.0, 1.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1, 0, 0, 1)
+
+    def test_contains(self):
+        b = BoundingBox(0, 0, 1, 1)
+        assert b.contains(0.5, 0.5)
+        assert not b.contains(1.5, 0.5)
+
+    def test_clamp(self):
+        b = BoundingBox(0, 0, 1, 1)
+        assert b.clamp(2.0, -1.0) == (1.0, 0.0)
+        assert b.clamp(0.3, 0.7) == (0.3, 0.7)
+
+    def test_sample_inside(self, rng):
+        b = BoundingBox(-1, 2, 3, 5)
+        pts = b.sample(rng, 200)
+        assert pts.shape == (200, 2)
+        assert np.all((pts[:, 0] >= -1) & (pts[:, 0] <= 3))
+        assert np.all((pts[:, 1] >= 2) & (pts[:, 1] <= 5))
+
+    def test_of_points(self):
+        pts = np.array([[0, 1], [2, -1], [1, 0]])
+        b = BoundingBox.of_points(pts)
+        assert (b.min_x, b.min_y, b.max_x, b.max_y) == (0, -1, 2, 1)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of_points(np.zeros((0, 2)))

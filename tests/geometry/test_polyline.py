@@ -1,0 +1,113 @@
+"""Tests for repro.geometry.polyline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.polyline import (
+    point_to_segment_distance,
+    polyline_length,
+    polyline_point_distance,
+    resample_polyline,
+)
+
+L_SHAPE = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0]])
+
+
+class TestPolylineLength:
+    def test_l_shape(self):
+        assert polyline_length(L_SHAPE) == pytest.approx(2.0)
+
+    def test_single_point(self):
+        assert polyline_length(np.array([[1.0, 2.0]])) == 0.0
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            polyline_length(np.array([1.0, 2.0, 3.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            polyline_length(np.zeros((0, 2)))
+
+
+class TestPointToSegment:
+    def test_perpendicular(self):
+        d = point_to_segment_distance(
+            np.array([0.5]), np.array([1.0]), 0.0, 0.0, 1.0, 0.0
+        )
+        assert float(d[0]) == pytest.approx(1.0)
+
+    def test_beyond_endpoint_clamps(self):
+        d = point_to_segment_distance(
+            np.array([2.0]), np.array([0.0]), 0.0, 0.0, 1.0, 0.0
+        )
+        assert float(d[0]) == pytest.approx(1.0)
+
+    def test_degenerate_segment(self):
+        d = point_to_segment_distance(
+            np.array([3.0]), np.array([4.0]), 0.0, 0.0, 0.0, 0.0
+        )
+        assert float(d[0]) == pytest.approx(5.0)
+
+
+class TestPolylinePointDistance:
+    def test_on_line_is_zero(self):
+        d = polyline_point_distance(L_SHAPE, np.array([[0.5, 0.0]]))
+        assert float(d[0]) == pytest.approx(0.0)
+
+    def test_inside_corner(self):
+        d = polyline_point_distance(L_SHAPE, np.array([[0.9, 0.1]]))
+        assert float(d[0]) == pytest.approx(0.1)
+
+    def test_multiple_queries(self):
+        d = polyline_point_distance(
+            L_SHAPE, np.array([[0.0, 1.0], [2.0, 1.0]])
+        )
+        assert d.shape == (2,)
+        assert float(d[0]) == pytest.approx(1.0)
+        assert float(d[1]) == pytest.approx(1.0)
+
+    def test_single_vertex_polyline(self):
+        d = polyline_point_distance(np.array([[1.0, 1.0]]), np.array([[4.0, 5.0]]))
+        assert float(d[0]) == pytest.approx(5.0)
+
+    def test_1d_query_promoted(self):
+        d = polyline_point_distance(L_SHAPE, np.array([0.5, 0.5]))
+        assert d.shape == (1,)
+
+    @given(st.floats(-5, 5), st.floats(-5, 5))
+    def test_vertex_distance_upper_bound(self, px, py):
+        # The distance to the polyline is never more than to its vertices.
+        d = float(polyline_point_distance(L_SHAPE, np.array([[px, py]]))[0])
+        vertex_min = float(np.min(np.hypot(L_SHAPE[:, 0] - px, L_SHAPE[:, 1] - py)))
+        assert d <= vertex_min + 1e-9
+
+
+class TestResample:
+    def test_preserves_endpoints(self):
+        out = resample_polyline(L_SHAPE, 0.1)
+        assert np.allclose(out[0], L_SHAPE[0])
+        assert np.allclose(out[-1], L_SHAPE[-1])
+
+    def test_spacing_roughly_uniform(self):
+        out = resample_polyline(L_SHAPE, 0.1)
+        seg = np.diff(out, axis=0)
+        lens = np.hypot(seg[:, 0], seg[:, 1])
+        assert lens.max() <= 0.2
+
+    def test_length_preserved_approximately(self):
+        out = resample_polyline(L_SHAPE, 0.01)
+        # Resampling cuts the corner slightly, never lengthens.
+        assert polyline_length(out) == pytest.approx(2.0, abs=0.05)
+
+    def test_bad_spacing(self):
+        with pytest.raises(ValueError):
+            resample_polyline(L_SHAPE, 0.0)
+
+    def test_single_point_passthrough(self):
+        out = resample_polyline(np.array([[1.0, 1.0]]), 0.5)
+        assert out.shape == (1, 2)
+
+    def test_zero_length_polyline(self):
+        out = resample_polyline(np.array([[1.0, 1.0], [1.0, 1.0]]), 0.5)
+        assert out.shape[0] >= 1

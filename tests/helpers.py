@@ -1,0 +1,84 @@
+"""Test helpers: random abstract game generation (plain + hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core import PlatformWeights, RouteNavigationGame, UserWeights
+
+
+def random_game(
+    rng: np.random.Generator,
+    *,
+    max_users: int = 6,
+    max_routes: int = 4,
+    max_tasks: int = 8,
+) -> RouteNavigationGame:
+    """Small random abstract game (coverage-level, no road substrate)."""
+    m = int(rng.integers(1, max_users + 1))
+    n = int(rng.integers(1, max_tasks + 1))
+    coverage = []
+    for _ in range(m):
+        n_routes = int(rng.integers(1, max_routes + 1))
+        routes = []
+        for _ in range(n_routes):
+            size = int(rng.integers(0, min(4, n) + 1))
+            routes.append(sorted(int(t) for t in rng.choice(n, size=size, replace=False)))
+        coverage.append(routes)
+    return RouteNavigationGame.from_coverage(
+        coverage,
+        base_rewards=[float(v) for v in rng.uniform(1.0, 20.0, n)],
+        reward_increments=[float(v) for v in rng.uniform(0.0, 1.0, n)],
+        detours=[[float(rng.uniform(0, 10)) for _ in r] for r in coverage],
+        congestions=[[float(rng.uniform(0, 10)) for _ in r] for r in coverage],
+        user_weights=[
+            UserWeights(*(float(v) for v in rng.uniform(0.1, 0.9, 3)))
+            for _ in range(m)
+        ],
+        platform=PlatformWeights(
+            float(rng.uniform(0.0, 0.8)), float(rng.uniform(0.0, 0.8))
+        ),
+    )
+
+
+@st.composite
+def games(draw, max_users: int = 5, max_routes: int = 3, max_tasks: int = 6):
+    """Hypothesis strategy producing small valid games."""
+    m = draw(st.integers(1, max_users))
+    n = draw(st.integers(1, max_tasks))
+    coverage = []
+    for _ in range(m):
+        n_routes = draw(st.integers(1, max_routes))
+        routes = []
+        for _ in range(n_routes):
+            subset = draw(
+                st.sets(st.integers(0, n - 1), min_size=0, max_size=min(3, n))
+            )
+            routes.append(sorted(subset))
+        coverage.append(routes)
+    base = [draw(st.floats(0.5, 20.0, allow_nan=False)) for _ in range(n)]
+    incs = [draw(st.floats(0.0, 1.0, allow_nan=False)) for _ in range(n)]
+    detours = [
+        [draw(st.floats(0.0, 10.0, allow_nan=False)) for _ in r] for r in coverage
+    ]
+    congs = [
+        [draw(st.floats(0.0, 10.0, allow_nan=False)) for _ in r] for r in coverage
+    ]
+    weights = [
+        UserWeights(
+            draw(st.floats(0.1, 0.9)), draw(st.floats(0.1, 0.9)),
+            draw(st.floats(0.1, 0.9)),
+        )
+        for _ in range(m)
+    ]
+    platform = PlatformWeights(draw(st.floats(0.0, 0.8)), draw(st.floats(0.0, 0.8)))
+    return RouteNavigationGame.from_coverage(
+        coverage,
+        base_rewards=base,
+        reward_increments=incs,
+        detours=detours,
+        congestions=congs,
+        user_weights=weights,
+        platform=platform,
+    )

@@ -1,0 +1,49 @@
+"""Smoke-run the example scripts (they are part of the public surface)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "Nash equilibrium reached: True" in out
+        assert "Equilibrium efficiency" in out
+
+    def test_fleet_operations_runs(self, capsys):
+        load_example("fleet_operations").main()
+        out = capsys.readouterr().out
+        assert "Fleet totals" in out
+        assert "completions" in out
+
+    def test_distributed_protocol_runs(self, capsys):
+        load_example("distributed_protocol").main()
+        out = capsys.readouterr().out
+        assert "SUU scheduling" in out and "PUU scheduling" in out
+
+    def test_real_trace_pipeline_runs(self, tmp_path, capsys):
+        load_example("real_trace_pipeline").main(tmp_path)
+        out = capsys.readouterr().out
+        assert "parsed roma" in out
+        assert (tmp_path / "map_roma.svg").exists()
+
+    @pytest.mark.slow
+    def test_shanghai_campaign_runs(self, capsys):
+        load_example("shanghai_campaign").main()
+        out = capsys.readouterr().out
+        assert "PoA check" in out

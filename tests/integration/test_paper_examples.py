@@ -1,0 +1,108 @@
+"""Integration tests reproducing the paper's worked examples exactly.
+
+Fig. 1: three route-selection approaches and their profits/equilibrium
+status.  Fig. 2: the influence of phi and theta on a two-user game.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BUAU, CORN, DGRN, MUUN, exhaustive_optimum
+from repro.core import StrategyProfile, is_nash_equilibrium
+from repro.core.profit import all_profits, total_profit
+from repro.metrics import average_congestion, average_detour, coverage
+
+
+class TestFig1:
+    """The illustrative example of the introduction."""
+
+    def test_maximum_reward_approach_totals_6(self, fig1_game):
+        # Everyone grabs the $6 task -> each earns 2.
+        p = StrategyProfile(fig1_game, [1, 0, 0])
+        assert np.allclose(all_profits(p), [2.0, 2.0, 2.0])
+        assert not is_nash_equilibrium(p)
+
+    def test_distributed_equilibrium_totals_11(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        assert total_profit(p) == pytest.approx(11.0)
+        assert is_nash_equilibrium(p)
+
+    def test_centralized_optimal_totals_12_but_unstable(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        assert total_profit(p) == pytest.approx(12.0)
+        assert not is_nash_equilibrium(p)
+        # u3 can deviate to r4 and earn 3 > 1 — exactly the paper's note.
+        from repro.core.profit import candidate_profits
+
+        cp = candidate_profits(p, 2)
+        assert cp[0] == pytest.approx(3.0)
+        assert cp[1] == pytest.approx(1.0)
+
+    def test_corn_finds_the_12(self, fig1_game):
+        assert CORN(seed=0).run(fig1_game).total_profit == pytest.approx(12.0)
+
+    @pytest.mark.parametrize("algo_cls", [DGRN, MUUN, BUAU])
+    @pytest.mark.parametrize("start", [[0, 0, 0], [1, 0, 0], [1, 0, 1], [0, 0, 1]])
+    def test_dynamics_always_land_on_the_unique_equilibrium(
+        self, algo_cls, start, fig1_game
+    ):
+        initial = StrategyProfile(fig1_game, start)
+        result = algo_cls(seed=0).run(fig1_game, initial=initial)
+        assert list(result.profile.choices) == [0, 0, 0]
+        assert result.total_profit == pytest.approx(11.0)
+
+    def test_equilibrium_unique(self, fig1_game):
+        equilibria = [
+            tuple(p.choices.tolist())
+            for p in StrategyProfile.all_profiles(fig1_game)
+            if is_nash_equilibrium(p)
+        ]
+        assert equilibria == [(0, 0, 0)]
+
+
+class TestFig2:
+    """Platform-weight steering on the two-user, two-route example."""
+
+    def equilibrium(self, fig2_game, phi, theta):
+        game = fig2_game(phi, theta)
+        result = BUAU(seed=0).run(game)
+        assert result.converged
+        return game, result.profile
+
+    def test_low_phi_low_theta_maximizes_tasks(self, fig2_game):
+        game, profile = self.equilibrium(fig2_game, 0.1, 0.1)
+        # Users split across both routes: 2 tasks covered.
+        assert coverage(profile) == pytest.approx(1.0)
+        assert average_detour(profile) == pytest.approx(1.0)  # (0+2)/2
+        assert average_congestion(profile) == pytest.approx(2.0)  # (3+1)/2
+
+    def test_high_phi_minimizes_detour(self, fig2_game):
+        game, profile = self.equilibrium(fig2_game, 0.9, 0.1)
+        # Both users pile onto r1 (no detour).
+        assert [profile.route_of(0), profile.route_of(1)] == [0, 0]
+        assert average_detour(profile) == pytest.approx(0.0)
+        assert coverage(profile) == pytest.approx(0.5)
+
+    def test_high_theta_minimizes_congestion(self, fig2_game):
+        game, profile = self.equilibrium(fig2_game, 0.1, 0.9)
+        # Both users pile onto r2 (low congestion).
+        assert [profile.route_of(0), profile.route_of(1)] == [1, 1]
+        assert average_congestion(profile) == pytest.approx(1.0)
+
+    def test_all_three_regimes_are_nash(self, fig2_game):
+        for phi, theta in [(0.1, 0.1), (0.9, 0.1), (0.1, 0.9)]:
+            _, profile = self.equilibrium(fig2_game, phi, theta)
+            assert is_nash_equilibrium(profile)
+
+
+class TestOptimalityGap:
+    def test_equilibrium_never_beats_optimum(self, shanghai_game):
+        ne = DGRN(seed=0).run(shanghai_game)
+        opt = CORN(seed=0).run(shanghai_game)
+        assert ne.total_profit <= opt.total_profit + 1e-9
+
+    def test_equilibrium_close_to_optimum(self, shanghai_game):
+        # The paper's headline: DGRN's total profit is close to CORN's.
+        ne = DGRN(seed=0).run(shanghai_game)
+        opt = CORN(seed=0).run(shanghai_game)
+        assert ne.total_profit / opt.total_profit > 0.7

@@ -1,0 +1,32 @@
+"""Tests for repro.metrics.convergence."""
+
+import pytest
+
+from repro.algorithms import DGRN, RRN
+from repro.metrics import convergence_stats
+
+
+class TestConvergenceStats:
+    def test_converged_run(self, shanghai_game):
+        result = DGRN(seed=0).run(shanghai_game)
+        stats = convergence_stats(shanghai_game, result)
+        assert stats.decision_slots == result.decision_slots
+        assert stats.total_moves == len(result.moves)
+        if result.moves:
+            assert stats.min_gain > 0
+            assert stats.within_bound
+        assert stats.potential_monotone
+
+    def test_no_moves_infinite_bound(self, fig1_game):
+        result = RRN(seed=0).run(fig1_game)
+        stats = convergence_stats(fig1_game, result)
+        assert stats.theorem4_bound == float("inf")
+        assert stats.within_bound
+
+    def test_min_gain_matches_move_log(self, shanghai_game):
+        result = DGRN(seed=1).run(shanghai_game)
+        if result.moves:
+            stats = convergence_stats(shanghai_game, result)
+            assert stats.min_gain == pytest.approx(
+                max(min(m.gain for m in result.moves), 1e-12)
+            )

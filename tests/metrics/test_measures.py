@@ -1,0 +1,139 @@
+"""Tests for repro.metrics.measures."""
+
+import numpy as np
+import pytest
+
+from repro.core import RouteNavigationGame, StrategyProfile
+from repro.metrics import (
+    average_congestion,
+    average_detour,
+    average_reward,
+    coverage,
+    jain_fairness,
+    overlap_ratio,
+    per_user_rewards,
+)
+
+
+class TestCoverage:
+    def test_fig1_equilibrium(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])  # tasks A, B covered; C not
+        assert coverage(p) == pytest.approx(2 / 3)
+
+    def test_full_coverage(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        assert coverage(p) == pytest.approx(1.0)
+
+    def test_zero_tasks(self):
+        g = RouteNavigationGame.from_coverage([[[]]], base_rewards=[])
+        assert coverage(StrategyProfile(g, [0])) == 0.0
+
+
+class TestRewards:
+    def test_per_user_rewards_fig1(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        rewards = per_user_rewards(p)
+        assert rewards[0] == pytest.approx(5.0)
+        assert rewards[1] == pytest.approx(3.0)
+        assert rewards[2] == pytest.approx(3.0)
+
+    def test_average_reward(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        assert average_reward(p) == pytest.approx(11.0 / 3)
+
+    def test_reward_ignores_alpha_and_costs(self):
+        from repro.core import PlatformWeights, UserWeights
+
+        g = RouteNavigationGame.from_coverage(
+            [[[0]]],
+            base_rewards=[10.0],
+            detours=[[4.0]],
+            congestions=[[4.0]],
+            user_weights=[UserWeights(0.2, 0.9, 0.9)],
+            platform=PlatformWeights(0.8, 0.8),
+        )
+        p = StrategyProfile(g, [0])
+        assert per_user_rewards(p)[0] == pytest.approx(10.0)
+
+
+class TestJain:
+    def test_equal_values_one(self):
+        assert jain_fairness(np.array([3.0, 3.0, 3.0])) == pytest.approx(1.0)
+
+    def test_single_nonzero_is_1_over_n(self):
+        assert jain_fairness(np.array([1.0, 0.0, 0.0, 0.0])) == pytest.approx(0.25)
+
+    def test_range(self, rng):
+        for _ in range(20):
+            vals = rng.uniform(0, 10, size=rng.integers(1, 10))
+            j = jain_fairness(vals)
+            assert 1.0 / len(vals) - 1e-9 <= j <= 1.0 + 1e-9
+
+    def test_profile_overload(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])
+        from repro.core.profit import all_profits
+
+        assert jain_fairness(p) == pytest.approx(jain_fairness(all_profits(p)))
+
+    def test_degenerate_inputs(self):
+        assert jain_fairness(np.array([])) == 1.0
+        assert jain_fairness(np.array([0.0, 0.0])) == 1.0
+
+
+class TestOverlap:
+    def test_fig1(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 0])  # A has 2 users
+        assert overlap_ratio(p) == pytest.approx(1 / 3)
+
+    def test_no_overlap(self, fig1_game):
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        # A has only u2, B only u1, C only u3.
+        assert overlap_ratio(p) == pytest.approx(0.0)
+
+    def test_zero_tasks(self):
+        g = RouteNavigationGame.from_coverage([[[]]], base_rewards=[])
+        assert overlap_ratio(StrategyProfile(g, [0])) == 0.0
+
+
+class TestPlatformUtility:
+    def test_monotone_in_coverage(self, fig1_game):
+        from repro.metrics import platform_utility
+
+        full = StrategyProfile(fig1_game, [0, 0, 1])  # all 3 tasks covered
+        partial = StrategyProfile(fig1_game, [0, 0, 0])  # 2 tasks covered
+        assert platform_utility(full) > platform_utility(partial)
+
+    def test_diminishing_returns(self, fig1_game):
+        from repro.metrics import platform_utility
+
+        # Stacking everyone on one task is worth less than spreading.
+        stacked = StrategyProfile(fig1_game, [1, 0, 0])
+        spread = StrategyProfile(fig1_game, [0, 0, 1])
+        assert platform_utility(spread) > platform_utility(stacked)
+
+    def test_bounds(self, fig1_game):
+        from repro.metrics import platform_utility
+
+        p = StrategyProfile(fig1_game, [0, 0, 1])
+        u = platform_utility(p)
+        assert 0.0 <= u <= fig1_game.num_tasks
+
+    def test_rate_validation(self, fig1_game):
+        from repro.metrics import platform_utility
+
+        with pytest.raises(ValueError):
+            platform_utility(StrategyProfile(fig1_game, [0, 0, 0]),
+                             quality_rate=0.0)
+
+
+class TestDetourCongestion:
+    def test_average_detour(self):
+        g = RouteNavigationGame.from_coverage(
+            [[[0], []], [[0]]],
+            base_rewards=[10.0],
+            detours=[[1.0, 3.0], [5.0]],
+            congestions=[[2.0, 0.0], [4.0]],
+        )
+        p = StrategyProfile(g, [1, 0])
+        assert average_detour(p) == pytest.approx((3.0 + 5.0) / 2)
+        assert average_congestion(p) == pytest.approx((0.0 + 4.0) / 2)

@@ -1,0 +1,113 @@
+"""Tests for the route-execution simulator."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DGRN
+from repro.core import StrategyProfile
+from repro.mobility import execute_profile
+from repro.mobility.execution import _route_timeline, _task_passing_point
+
+
+@pytest.fixture(scope="module")
+def executed(shanghai_scenario):
+    profile = DGRN(seed=0).run(shanghai_scenario.game).profile
+    report = execute_profile(shanghai_scenario.network, profile)
+    return shanghai_scenario, profile, report
+
+
+class TestRouteTimeline:
+    def test_monotone(self, shanghai_scenario):
+        net = shanghai_scenario.network
+        game = shanghai_scenario.game
+        nodes = game.route_sets[0][0].nodes
+        dist, time = _route_timeline(net, nodes)
+        assert np.all(np.diff(dist) > 0)
+        assert np.all(np.diff(time) > 0)
+
+    def test_distance_matches_route_length(self, shanghai_scenario):
+        net = shanghai_scenario.network
+        route = shanghai_scenario.game.route_sets[0][0]
+        dist, _ = _route_timeline(net, route.nodes)
+        assert dist[-1] == pytest.approx(route.length_km)
+
+    def test_time_consistent_with_speeds(self, shanghai_scenario):
+        net = shanghai_scenario.network
+        nodes = shanghai_scenario.game.route_sets[0][0].nodes
+        _, time = _route_timeline(net, nodes)
+        # Travel time must be at least length / max-speed.
+        length = net.path_length_km(list(nodes))
+        v_max = float(net.observed_kmh.max())
+        assert time[-1] >= length / v_max * 3600.0 - 1e-6
+
+    def test_single_node(self, shanghai_scenario):
+        dist, time = _route_timeline(shanghai_scenario.network, (0,))
+        assert dist[-1] == 0.0 and time[-1] == 0.0
+
+
+class TestTaskPassingPoint:
+    def test_midpoint_of_straight_line(self):
+        poly = np.array([[0.0, 0.0], [2.0, 0.0]])
+        cum = np.array([0.0, 2.0])
+        along = _task_passing_point(poly, cum, 1.0, 0.5)
+        assert along == pytest.approx(1.0)
+
+    def test_before_start_clamps(self):
+        poly = np.array([[0.0, 0.0], [2.0, 0.0]])
+        cum = np.array([0.0, 2.0])
+        assert _task_passing_point(poly, cum, -5.0, 0.0) == pytest.approx(0.0)
+
+
+class TestExecuteProfile:
+    def test_one_trip_per_user(self, executed):
+        scenario, profile, report = executed
+        assert len(report.trips) == scenario.game.num_users
+        for trip in report.trips:
+            assert trip.route == profile.route_of(trip.user)
+
+    def test_events_cover_selected_routes_tasks(self, executed):
+        scenario, profile, report = executed
+        game = scenario.game
+        expected = {
+            (i, int(k))
+            for i in game.users
+            for k in game.covered_tasks(i, profile.route_of(i))
+        }
+        assert {(e.user, e.task) for e in report.events} == expected
+
+    def test_events_sorted_and_within_trip(self, executed):
+        _, _, report = executed
+        times = [e.time_s for e in report.events]
+        assert times == sorted(times)
+        by_user = {t.user: t for t in report.trips}
+        for e in report.events:
+            assert 0.0 <= e.time_s <= by_user[e.user].travel_time_s + 1e-6
+            assert 0.0 <= e.along_km <= by_user[e.user].distance_km + 1e-9
+
+    def test_first_completion_is_minimum(self, executed):
+        _, _, report = executed
+        for task, t_first in report.first_completion_s.items():
+            candidates = [e.time_s for e in report.events if e.task == task]
+            assert t_first == pytest.approx(min(candidates))
+
+    def test_aggregates_positive(self, executed):
+        _, _, report = executed
+        assert report.total_distance_km > 0
+        assert report.mean_travel_time_s > 0
+        assert report.completions_per_km > 0
+
+    def test_empty_profile_tasks(self, shanghai_scenario):
+        # Users forced onto their first (possibly taskless) routes still run.
+        game = shanghai_scenario.game
+        profile = StrategyProfile(game, [0] * game.num_users)
+        report = execute_profile(shanghai_scenario.network, profile)
+        assert len(report.trips) == game.num_users
+
+    def test_dgrn_more_efficient_than_forced_shortest(self, shanghai_scenario):
+        game = shanghai_scenario.game
+        dgrn = DGRN(seed=0).run(game).profile
+        shortest = StrategyProfile(game, [0] * game.num_users)
+        r1 = execute_profile(shanghai_scenario.network, dgrn)
+        r2 = execute_profile(shanghai_scenario.network, shortest)
+        # Equilibrium play completes at least as many tasks.
+        assert len(r1.events) >= len(r2.events)

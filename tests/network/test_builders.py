@@ -1,0 +1,87 @@
+"""Tests for repro.network.builders."""
+
+import numpy as np
+import pytest
+
+from repro.network.builders import grid_city, radial_ring_city, random_geometric_city
+from repro.network.shortest_path import dijkstra
+
+
+def assert_strongly_connected(net):
+    res = dijkstra(net, 0)
+    assert np.all(np.isfinite(res.dist)), "graph is not connected from node 0"
+
+
+class TestGridCity:
+    def test_node_count(self):
+        net = grid_city(5, 4, seed=0)
+        assert net.num_nodes == 20
+
+    def test_connected(self):
+        assert_strongly_connected(grid_city(6, 6, seed=1))
+
+    def test_reproducible(self):
+        a = grid_city(5, 5, seed=3)
+        b = grid_city(5, 5, seed=3)
+        assert np.allclose(a.coords, b.coords)
+        assert a.num_edges == b.num_edges
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            grid_city(1, 5)
+
+    def test_arterials_are_faster(self):
+        net = grid_city(8, 8, seed=0, arterial_every=4)
+        speeds = set(net.free_flow_kmh.tolist())
+        assert 70.0 in speeds and 45.0 in speeds
+
+    def test_diagonals_probabilistic(self):
+        none = grid_city(6, 6, seed=0, diagonal_prob=0.0)
+        many = grid_city(6, 6, seed=0, diagonal_prob=1.0)
+        assert many.num_edges > none.num_edges
+
+
+class TestRadialRingCity:
+    def test_node_count(self):
+        net = radial_ring_city(rings=3, spokes=8, seed=0)
+        assert net.num_nodes == 1 + 3 * 8
+
+    def test_connected(self):
+        assert_strongly_connected(radial_ring_city(rings=4, spokes=10, seed=0))
+
+    def test_outer_rings_faster(self):
+        net = radial_ring_city(rings=3, spokes=6, seed=0)
+        speeds = net.free_flow_kmh
+        assert speeds.max() > speeds.min()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            radial_ring_city(rings=0)
+        with pytest.raises(ValueError):
+            radial_ring_city(spokes=2)
+
+
+class TestRandomGeometricCity:
+    def test_node_count(self):
+        net = random_geometric_city(40, seed=0)
+        assert net.num_nodes == 40
+
+    def test_connected_even_when_sparse(self):
+        # Low k tends to fragment; bridging must reconnect.
+        net = random_geometric_city(60, k_neighbors=1, seed=5)
+        assert_strongly_connected(net)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_connected_across_seeds(self, seed):
+        assert_strongly_connected(random_geometric_city(50, seed=seed))
+
+    def test_reproducible(self):
+        a = random_geometric_city(30, seed=9)
+        b = random_geometric_city(30, seed=9)
+        assert np.allclose(a.coords, b.coords)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_geometric_city(1)
+        with pytest.raises(ValueError):
+            random_geometric_city(10, k_neighbors=0)

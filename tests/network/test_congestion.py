@@ -1,0 +1,92 @@
+"""Tests for repro.network.congestion."""
+
+import numpy as np
+import pytest
+
+from repro.network.builders import grid_city
+from repro.network.congestion import BackgroundTraffic, CongestionField
+
+
+class TestCongestionField:
+    def test_zero_field(self):
+        fld = CongestionField(np.zeros((0, 2)), np.zeros(0), np.ones(0))
+        assert np.allclose(fld.slowdown(np.array([[0.0, 0.0]])), 0.0)
+
+    def test_peak_at_center(self):
+        fld = CongestionField(
+            np.array([[0.0, 0.0]]), np.array([0.5]), np.array([1.0])
+        )
+        at_center = float(fld.slowdown(np.array([[0.0, 0.0]]))[0])
+        far = float(fld.slowdown(np.array([[10.0, 10.0]]))[0])
+        assert at_center == pytest.approx(0.5)
+        assert far < 0.01
+
+    def test_slowdown_bounded(self):
+        fld = CongestionField.random((0, 0), (5, 5), n_hotspots=6, seed=0)
+        pts = np.random.default_rng(0).uniform(0, 5, size=(100, 2))
+        s = fld.slowdown(pts)
+        assert np.all((s >= 0) & (s < 1))
+
+    def test_multiple_hotspots_compose(self):
+        one = CongestionField(np.array([[0.0, 0.0]]), np.array([0.5]), np.array([1.0]))
+        two = CongestionField(
+            np.array([[0.0, 0.0], [0.0, 0.0]]),
+            np.array([0.5, 0.5]),
+            np.array([1.0, 1.0]),
+        )
+        s1 = float(one.slowdown(np.array([[0.0, 0.0]]))[0])
+        s2 = float(two.slowdown(np.array([[0.0, 0.0]]))[0])
+        assert s2 == pytest.approx(0.75)  # 1 - 0.5^2
+        assert s2 > s1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionField(np.array([[0.0, 0.0]]), np.array([1.5]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            CongestionField(np.array([[0.0, 0.0]]), np.array([0.5]), np.array([0.0]))
+
+    def test_random_reproducible(self):
+        a = CongestionField.random((0, 0), (1, 1), seed=4)
+        b = CongestionField.random((0, 0), (1, 1), seed=4)
+        assert np.allclose(a.centers, b.centers)
+
+
+class TestBackgroundTraffic:
+    def test_apply_reduces_observed_speed(self):
+        net = grid_city(5, 5, seed=0)
+        traffic = BackgroundTraffic(
+            CongestionField.random((0, 0), (2.5, 2.5), n_hotspots=3, seed=1)
+        )
+        traffic.apply(net)
+        assert np.all(net.observed_kmh <= net.free_flow_kmh + 1e-12)
+        assert np.any(net.observed_kmh < net.free_flow_kmh)
+
+    def test_uniform_zero(self):
+        net = grid_city(4, 4, seed=0)
+        traffic = BackgroundTraffic.uniform()
+        traffic.apply(net)
+        assert np.allclose(net.observed_kmh, net.free_flow_kmh)
+        assert traffic.route_congestion(net, [0, 1]) == pytest.approx(0.0)
+
+    def test_uniform_level(self):
+        net = grid_city(4, 4, seed=0)
+        traffic = BackgroundTraffic.uniform(0.25, scale=20.0)
+        traffic.apply(net)
+        c = traffic.route_congestion(net, [0, 1])
+        assert c == pytest.approx(5.0, rel=1e-3)  # 20 * 0.25
+
+    def test_route_congestion_trivial_route(self):
+        net = grid_city(4, 4, seed=0)
+        traffic = BackgroundTraffic.uniform(0.5)
+        assert traffic.route_congestion(net, [0]) == 0.0
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            BackgroundTraffic(
+                CongestionField(np.zeros((0, 2)), np.zeros(0), np.ones(0)),
+                scale=0.0,
+            )
+
+    def test_uniform_level_validation(self):
+        with pytest.raises(ValueError):
+            BackgroundTraffic.uniform(1.0)

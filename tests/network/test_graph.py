@@ -1,0 +1,124 @@
+"""Tests for repro.network.graph."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import RoadNetwork
+
+
+def square_net() -> RoadNetwork:
+    """Unit square with one diagonal, bidirectional."""
+    net = RoadNetwork()
+    for x, y in [(0, 0), (1, 0), (1, 1), (0, 1)]:
+        net.add_node(x, y)
+    net.add_edge(0, 1)
+    net.add_edge(1, 2)
+    net.add_edge(2, 3)
+    net.add_edge(3, 0)
+    net.add_edge(0, 2)  # diagonal
+    return net
+
+
+class TestBuild:
+    def test_node_ids_sequential(self):
+        net = RoadNetwork()
+        assert net.add_node(0, 0) == 0
+        assert net.add_node(1, 1) == 1
+
+    def test_bidirectional_adds_two_arcs(self):
+        net = square_net()
+        assert net.num_edges == 10  # 5 undirected edges
+
+    def test_unidirectional(self):
+        net = RoadNetwork()
+        net.add_node(0, 0)
+        net.add_node(1, 0)
+        net.add_edge(0, 1, bidirectional=False)
+        assert net.num_edges == 1
+        assert net.neighbors(1) == []
+
+    def test_default_length_euclidean(self):
+        net = square_net().freeze()
+        e = net.edge(net.path_edge_ids([0, 2])[0])
+        assert e.length_km == pytest.approx(np.sqrt(2))
+
+    def test_self_loop_rejected(self):
+        net = RoadNetwork()
+        net.add_node(0, 0)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 0)
+
+    def test_unknown_node_rejected(self):
+        net = RoadNetwork()
+        net.add_node(0, 0)
+        with pytest.raises(IndexError):
+            net.add_edge(0, 3)
+
+    def test_bad_speed_rejected(self):
+        net = RoadNetwork()
+        net.add_node(0, 0)
+        net.add_node(1, 1)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, free_flow_kmh=0.0)
+
+    def test_frozen_rejects_mutation(self):
+        net = square_net().freeze()
+        with pytest.raises(RuntimeError):
+            net.add_node(2, 2)
+
+    def test_attribute_arrays_require_freeze(self):
+        net = square_net()
+        with pytest.raises(RuntimeError):
+            _ = net.coords
+
+
+class TestQuery:
+    def test_neighbors(self):
+        net = square_net()
+        nbrs = [v for v, _ in net.neighbors(0)]
+        assert set(nbrs) == {1, 3, 2}
+
+    def test_path_edge_ids_and_length(self):
+        net = square_net().freeze()
+        assert net.path_length_km([0, 1, 2]) == pytest.approx(2.0)
+
+    def test_path_length_trivial(self):
+        net = square_net().freeze()
+        assert net.path_length_km([0]) == 0.0
+
+    def test_non_adjacent_raises(self):
+        net = square_net()
+        with pytest.raises(ValueError, match="not adjacent"):
+            net.path_edge_ids([1, 3])
+
+    def test_polyline(self):
+        net = square_net()
+        poly = net.path_polyline([0, 1, 2])
+        assert poly.shape == (3, 2)
+        assert np.allclose(poly[-1], [1, 1])
+
+    def test_nearest_node(self):
+        net = square_net().freeze()
+        assert net.nearest_node(0.1, -0.1) == 0
+        assert net.nearest_node(0.9, 1.2) == 2
+
+    def test_nearest_nodes_vectorized(self):
+        net = square_net().freeze()
+        out = net.nearest_nodes(np.array([[0.1, 0.0], [0.0, 0.9]]))
+        assert list(out) == [0, 3]
+
+    def test_bounding_box(self):
+        net = square_net().freeze()
+        b = net.bounding_box()
+        assert (b.min_x, b.min_y, b.max_x, b.max_y) == (0, 0, 1, 1)
+
+    def test_observed_defaults_to_free_flow(self):
+        net = square_net().freeze()
+        assert np.array_equal(net.observed_kmh, net.free_flow_kmh)
+
+    def test_edges_iterator(self):
+        net = square_net()
+        assert len(list(net.edges())) == net.num_edges
+
+    def test_repr(self):
+        assert "nodes=4" in repr(square_net())

@@ -1,0 +1,89 @@
+"""Round-trip tests for road-network serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.network.builders import grid_city, radial_ring_city
+from repro.network.graph import RoadNetwork
+from repro.network.io import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.network.shortest_path import dijkstra
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [
+        lambda: grid_city(5, 5, seed=1),
+        lambda: radial_ring_city(rings=3, spokes=8, seed=1),
+    ])
+    def test_topology_preserved(self, factory, tmp_path):
+        net = factory()
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        assert loaded.num_nodes == net.num_nodes
+        assert loaded.num_edges == net.num_edges
+        assert np.allclose(loaded.coords, net.coords)
+
+    def test_shortest_paths_identical(self, tmp_path):
+        net = grid_city(6, 6, seed=2)
+        loaded = network_from_dict(network_to_dict(net))
+        a = dijkstra(net, 0).dist
+        b = dijkstra(loaded, 0).dist
+        assert np.allclose(a, b)
+
+    def test_one_way_edges_preserved(self):
+        net = RoadNetwork()
+        net.add_node(0, 0)
+        net.add_node(1, 0)
+        net.add_node(1, 1)
+        net.add_edge(0, 1, bidirectional=False, free_flow_kmh=30.0)
+        net.add_edge(1, 2, bidirectional=True)
+        net.freeze()
+        loaded = network_from_dict(network_to_dict(net))
+        assert loaded.num_edges == 3
+        assert loaded.neighbors(1) != []
+        # The one-way arc has no reverse.
+        assert all(v != 0 for v, _ in loaded.neighbors(1))
+
+    def test_speeds_preserved(self):
+        net = grid_city(4, 4, seed=3)
+        loaded = network_from_dict(network_to_dict(net))
+        assert sorted(loaded.free_flow_kmh.tolist()) == sorted(
+            net.free_flow_kmh.tolist()
+        )
+
+    def test_hand_authored_document(self, tmp_path):
+        doc = {
+            "format_version": 1,
+            "nodes": [[0.0, 0.0], [1.0, 0.0]],
+            "edges": [{"u": 0, "v": 1, "length_km": 1.0}],
+        }
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(doc))
+        net = load_network(path)
+        assert net.num_nodes == 2
+        assert net.num_edges == 2  # default bidirectional
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="format_version"):
+            network_from_dict({"format_version": 9, "nodes": [], "edges": []})
+
+    def test_full_pipeline_on_loaded_network(self, tmp_path):
+        from repro.network.routing import RoutePlanner
+        from repro.tasks.generator import generate_tasks
+
+        net = grid_city(6, 6, seed=4)
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        planner = RoutePlanner(loaded)
+        routes = planner.recommend(0, loaded.num_nodes - 1, 3)
+        assert len(routes) >= 1
+        tasks = generate_tasks(loaded, 10, seed=5)
+        assert len(tasks) == 10

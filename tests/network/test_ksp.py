@@ -1,0 +1,84 @@
+"""Tests for repro.network.ksp (Yen's algorithm)."""
+
+import numpy as np
+import pytest
+
+from repro.network.builders import grid_city
+from repro.network.graph import RoadNetwork
+from repro.network.ksp import k_shortest_paths
+from repro.network.shortest_path import dijkstra
+
+
+def diamond() -> RoadNetwork:
+    """Two disjoint 0->3 paths plus a longer third one."""
+    net = RoadNetwork()
+    for xy in [(0, 0), (1, 1), (1, -1), (2, 0), (1, 3)]:
+        net.add_node(*xy)
+    net.add_edge(0, 1, length_km=1.0)
+    net.add_edge(1, 3, length_km=1.0)
+    net.add_edge(0, 2, length_km=1.2)
+    net.add_edge(2, 3, length_km=1.2)
+    net.add_edge(0, 4, length_km=3.0)
+    net.add_edge(4, 3, length_km=3.0)
+    return net.freeze()
+
+
+class TestYen:
+    def test_first_path_is_shortest(self):
+        net = diamond()
+        paths = k_shortest_paths(net, 0, 3, 3)
+        best = dijkstra(net, 0, target=3)
+        assert paths[0][0] == best.path_to(3)
+        assert paths[0][1] == pytest.approx(best.distance_to(3))
+
+    def test_costs_nondecreasing(self):
+        net = diamond()
+        paths = k_shortest_paths(net, 0, 3, 3)
+        costs = [c for _, c in paths]
+        assert costs == sorted(costs)
+
+    def test_expected_costs(self):
+        paths = k_shortest_paths(diamond(), 0, 3, 3)
+        assert [round(c, 3) for _, c in paths] == [2.0, 2.4, 6.0]
+
+    def test_paths_distinct(self):
+        paths = k_shortest_paths(diamond(), 0, 3, 3)
+        assert len({tuple(p) for p, _ in paths}) == 3
+
+    def test_paths_loopless(self):
+        net = grid_city(5, 5, seed=0)
+        for path, _ in k_shortest_paths(net, 0, 24, 5):
+            assert len(path) == len(set(path))
+
+    def test_fewer_paths_than_k(self):
+        net = RoadNetwork()
+        net.add_node(0, 0)
+        net.add_node(1, 0)
+        net.add_edge(0, 1)
+        net.freeze()
+        paths = k_shortest_paths(net, 0, 1, 5)
+        assert len(paths) == 1
+
+    def test_unreachable_gives_empty(self):
+        net = RoadNetwork()
+        net.add_node(0, 0)
+        net.add_node(5, 5)
+        net.freeze()
+        assert k_shortest_paths(net, 0, 1, 3) == []
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            k_shortest_paths(diamond(), 0, 3, 0)
+
+    def test_grid_many_alternatives(self):
+        net = grid_city(6, 6, seed=1)
+        paths = k_shortest_paths(net, 0, 35, 5)
+        assert len(paths) == 5
+        # All connect the same endpoints.
+        for p, _ in paths:
+            assert p[0] == 0 and p[-1] == 35
+
+    def test_costs_match_path_lengths(self):
+        net = grid_city(5, 5, seed=2)
+        for path, cost in k_shortest_paths(net, 0, 24, 4):
+            assert cost == pytest.approx(net.path_length_km(path))

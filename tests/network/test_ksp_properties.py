@@ -1,0 +1,84 @@
+"""Property tests certifying Yen's algorithm against brute-force path
+enumeration on small random graphs."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.network.graph import RoadNetwork
+from repro.network.ksp import k_shortest_paths
+from repro.network.routing import RoutePlanner
+
+
+def random_network(rng, n_nodes=7, p_edge=0.45) -> RoadNetwork:
+    net = RoadNetwork()
+    xy = rng.uniform(0, 5, size=(n_nodes, 2))
+    for x, y in xy:
+        net.add_node(float(x), float(y))
+    for u in range(n_nodes):
+        for v in range(u + 1, n_nodes):
+            if rng.random() < p_edge:
+                net.add_edge(u, v)
+    return net.freeze()
+
+
+def all_simple_paths(net: RoadNetwork, source: int, target: int):
+    """Brute-force loopless path enumeration (tiny graphs only)."""
+    out = []
+
+    def dfs(node, path, visited):
+        if node == target:
+            out.append((list(path), net.path_length_km(path)))
+            return
+        for nbr, _ in net.neighbors(node):
+            if nbr not in visited:
+                visited.add(nbr)
+                path.append(nbr)
+                dfs(nbr, path, visited)
+                path.pop()
+                visited.remove(nbr)
+
+    dfs(source, [source], {source})
+    return out
+
+
+class TestYenAgainstBruteForce:
+    @pytest.mark.parametrize("trial", range(12))
+    def test_top_k_matches_enumeration(self, trial):
+        rng = np.random.default_rng(trial)
+        net = random_network(rng)
+        source, target = 0, net.num_nodes - 1
+        truth = sorted(all_simple_paths(net, source, target), key=lambda pc: pc[1])
+        k = 4
+        yen = k_shortest_paths(net, source, target, k)
+        assert len(yen) == min(k, len(truth))
+        for (got_path, got_cost), (_, want_cost) in zip(yen, truth):
+            # Cost sequence must match exactly (paths may tie).
+            assert got_cost == pytest.approx(want_cost, abs=1e-9)
+            assert len(got_path) == len(set(got_path))  # loopless
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_penalty_routes_are_valid_paths(self, trial):
+        rng = np.random.default_rng(100 + trial)
+        net = random_network(rng)
+        planner = RoutePlanner(net, method="penalty")
+        routes = planner.recommend(0, net.num_nodes - 1, 4)
+        for r in routes:
+            # Connected node path with matching length.
+            assert net.path_length_km(list(r.nodes)) == pytest.approx(
+                r.length_km, abs=1e-9
+            )
+            assert len(r.nodes) == len(set(r.nodes))
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_penalty_first_route_is_optimal(self, trial):
+        rng = np.random.default_rng(200 + trial)
+        net = random_network(rng)
+        truth = all_simple_paths(net, 0, net.num_nodes - 1)
+        if not truth:
+            pytest.skip("disconnected sample")
+        best = min(c for _, c in truth)
+        planner = RoutePlanner(net, method="penalty")
+        routes = planner.recommend(0, net.num_nodes - 1, 3)
+        assert routes[0].length_km == pytest.approx(best, abs=1e-9)

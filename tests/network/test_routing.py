@@ -1,0 +1,98 @@
+"""Tests for repro.network.routing."""
+
+import numpy as np
+import pytest
+
+from repro.network.builders import grid_city
+from repro.network.congestion import BackgroundTraffic
+from repro.network.routing import Route, RoutePlanner
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_city(7, 7, seed=0)
+
+
+class TestRoute:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Route(nodes=(), length_km=1.0, detour_km=0.0, congestion=0.0)
+        with pytest.raises(ValueError):
+            Route(nodes=(0,), length_km=-1.0, detour_km=0.0, congestion=0.0)
+
+    def test_with_tasks(self):
+        r = Route(nodes=(0, 1), length_km=1.0, detour_km=0.0, congestion=0.0)
+        r2 = r.with_tasks((3, 4))
+        assert r2.task_ids == (3, 4)
+        assert r.task_ids == ()  # original unchanged
+
+    def test_endpoints(self):
+        r = Route(nodes=(5, 6, 7), length_km=2.0, detour_km=0.0, congestion=0.0)
+        assert r.origin == 5 and r.destination == 7
+
+
+class TestRoutePlanner:
+    @pytest.mark.parametrize("method", ["penalty", "ksp"])
+    def test_first_route_has_zero_detour(self, net, method):
+        planner = RoutePlanner(net, method=method)
+        routes = planner.recommend(0, 48, 4)
+        assert routes[0].detour_km == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("method", ["penalty", "ksp"])
+    def test_routes_sorted_by_length(self, net, method):
+        planner = RoutePlanner(net, method=method)
+        routes = planner.recommend(0, 48, 5)
+        lengths = [r.length_km for r in routes]
+        assert lengths == sorted(lengths)
+
+    def test_detours_consistent_with_lengths(self, net):
+        planner = RoutePlanner(net)
+        routes = planner.recommend(0, 48, 5)
+        for r in routes:
+            assert r.detour_km == pytest.approx(r.length_km - routes[0].length_km)
+
+    def test_same_endpoints(self, net):
+        planner = RoutePlanner(net)
+        for r in planner.recommend(3, 45, 4):
+            assert r.origin == 3 and r.destination == 45
+
+    def test_penalty_routes_distinct(self, net):
+        planner = RoutePlanner(net, method="penalty")
+        routes = planner.recommend(0, 48, 5)
+        assert len({r.nodes for r in routes}) == len(routes)
+
+    def test_penalty_gives_diverse_detours(self, net):
+        planner = RoutePlanner(net, method="penalty", penalty_factor=2.2)
+        routes = planner.recommend(0, 48, 5)
+        assert len(routes) >= 3
+        assert max(r.detour_km for r in routes) > 0.0
+
+    def test_same_origin_destination_empty(self, net):
+        planner = RoutePlanner(net)
+        assert planner.recommend(5, 5, 3) == []
+
+    def test_k_validation(self, net):
+        planner = RoutePlanner(net)
+        with pytest.raises(ValueError):
+            planner.recommend(0, 1, 0)
+
+    def test_bad_method(self, net):
+        with pytest.raises(ValueError):
+            RoutePlanner(net, method="teleport")
+
+    def test_congestion_attached(self, net):
+        traffic = BackgroundTraffic.uniform(0.3, scale=10.0)
+        planner = RoutePlanner(net, traffic)
+        routes = planner.recommend(0, 48, 2)
+        for r in routes:
+            assert r.congestion == pytest.approx(3.0, rel=1e-3)
+
+    def test_recommend_many(self, net):
+        planner = RoutePlanner(net)
+        out = planner.recommend_many([(0, 48), (6, 42)], 2)
+        assert len(out) == 2 and all(len(rs) >= 1 for rs in out)
+
+    def test_deterministic(self, net):
+        a = RoutePlanner(net).recommend(0, 48, 4)
+        b = RoutePlanner(net).recommend(0, 48, 4)
+        assert [r.nodes for r in a] == [r.nodes for r in b]

@@ -1,0 +1,103 @@
+"""Tests for repro.network.shortest_path."""
+
+import numpy as np
+import pytest
+
+from repro.network.builders import grid_city
+from repro.network.graph import RoadNetwork
+from repro.network.shortest_path import (
+    dijkstra,
+    length_weight,
+    path_cost,
+    shortest_path,
+    travel_time_weight,
+)
+
+
+def line_net(n=5) -> RoadNetwork:
+    net = RoadNetwork()
+    for i in range(n):
+        net.add_node(float(i), 0.0)
+    for i in range(n - 1):
+        net.add_edge(i, i + 1)
+    return net.freeze()
+
+
+def square_with_shortcut() -> RoadNetwork:
+    # 0 -(1)- 1 -(1)- 2 and direct 0 -(1.5)- 2
+    net = RoadNetwork()
+    net.add_node(0, 0)
+    net.add_node(1, 0)
+    net.add_node(2, 0)
+    net.add_edge(0, 1, length_km=1.0)
+    net.add_edge(1, 2, length_km=1.0)
+    net.add_edge(0, 2, length_km=1.5)
+    return net.freeze()
+
+
+class TestDijkstra:
+    def test_line_distances(self):
+        net = line_net()
+        res = dijkstra(net, 0)
+        assert np.allclose(res.dist, [0, 1, 2, 3, 4])
+
+    def test_path_reconstruction(self):
+        net = line_net()
+        res = dijkstra(net, 0)
+        assert res.path_to(4) == [0, 1, 2, 3, 4]
+
+    def test_prefers_shortcut(self):
+        net = square_with_shortcut()
+        path, cost = shortest_path(net, 0, 2)
+        assert path == [0, 2]
+        assert cost == pytest.approx(1.5)
+
+    def test_banned_edge_forces_detour(self):
+        net = square_with_shortcut()
+        eid = net.path_edge_ids([0, 2])[0]
+        res = dijkstra(net, 0, banned_edges={eid})
+        assert res.path_to(2) == [0, 1, 2]
+
+    def test_banned_node_unreachable(self):
+        net = line_net()
+        res = dijkstra(net, 0, banned_nodes={2})
+        assert not res.reachable(4)
+        with pytest.raises(ValueError):
+            res.path_to(4)
+
+    def test_banned_source(self):
+        net = line_net()
+        res = dijkstra(net, 0, banned_nodes={0})
+        assert not res.reachable(1)
+
+    def test_early_exit_target(self):
+        net = line_net(10)
+        res = dijkstra(net, 0, target=3)
+        assert res.distance_to(3) == pytest.approx(3.0)
+
+    def test_source_distance_zero(self):
+        res = dijkstra(line_net(), 2)
+        assert res.distance_to(2) == 0.0
+
+    def test_grid_symmetry(self):
+        net = grid_city(5, 5, jitter=0.0, diagonal_prob=0.0, seed=0)
+        a = dijkstra(net, 0).distance_to(24)
+        b = dijkstra(net, 24).distance_to(0)
+        assert a == pytest.approx(b)
+
+
+class TestWeights:
+    def test_travel_time_uses_observed_speed(self):
+        net = square_with_shortcut()
+        # Slow down the direct edge: the two-hop path wins on time.
+        net.observed_kmh = net.free_flow_kmh.copy()
+        direct = net.path_edge_ids([0, 2])[0]
+        net.observed_kmh[direct] = 1.0
+        path, _ = shortest_path(net, 0, 2, weight=travel_time_weight(net))
+        assert path == [0, 1, 2]
+
+    def test_path_cost_matches_dijkstra(self):
+        net = square_with_shortcut()
+        w = length_weight(net)
+        path, cost = shortest_path(net, 0, 2)
+        assert path_cost(net, path, w) == pytest.approx(cost)

@@ -1,0 +1,88 @@
+"""Tests for repro.scenario.builder (end-to-end instance construction)."""
+
+import numpy as np
+import pytest
+
+from repro.scenario import ScenarioConfig, build_scenario
+from repro.traces.cities import get_city
+from repro.traces.synthetic import synthesize_traces
+
+
+class TestBuildScenario:
+    def test_sizes_match_config(self, shanghai_scenario):
+        sc = shanghai_scenario
+        assert sc.num_users == sc.config.n_users
+        assert sc.num_tasks == sc.config.n_tasks
+        assert len(sc.od_pairs) == sc.config.n_users
+
+    def test_route_counts_in_range(self, shanghai_scenario):
+        lo, hi = shanghai_scenario.config.route_count_range
+        for i in shanghai_scenario.game.users:
+            assert lo <= shanghai_scenario.game.num_routes(i) <= hi
+
+    def test_user_weights_in_table2_range(self, shanghai_scenario):
+        for uw in shanghai_scenario.game.user_weights:
+            for v in (uw.alpha, uw.beta, uw.gamma):
+                assert 0.1 <= v <= 0.9
+
+    def test_platform_weights_in_table2_range(self, shanghai_scenario):
+        p = shanghai_scenario.game.platform
+        assert 0.1 <= p.phi <= 0.8
+        assert 0.1 <= p.theta <= 0.8
+
+    def test_task_rewards_in_table2_range(self, shanghai_scenario):
+        t = shanghai_scenario.tasks
+        assert np.all(t.base_rewards >= 10.0) and np.all(t.base_rewards <= 20.0)
+        assert np.all(t.reward_increments >= 0.0) and np.all(t.reward_increments <= 1.0)
+
+    def test_reproducible(self):
+        cfg = ScenarioConfig(city="roma", n_users=8, n_tasks=20, seed=99)
+        a = build_scenario(cfg)
+        b = build_scenario(cfg)
+        assert a.od_pairs == b.od_pairs
+        for i in a.game.users:
+            assert a.game.route_sets[i] == b.game.route_sets[i]
+        assert a.game.user_weights == b.game.user_weights
+
+    def test_different_seeds_differ(self):
+        a = build_scenario(ScenarioConfig(n_users=8, n_tasks=20, seed=1))
+        b = build_scenario(ScenarioConfig(n_users=8, n_tasks=20, seed=2))
+        assert a.od_pairs != b.od_pairs
+
+    @pytest.mark.parametrize("city", ["shanghai", "roma", "epfl"])
+    def test_all_cities_build(self, city):
+        sc = build_scenario(ScenarioConfig(city=city, n_users=6, n_tasks=15, seed=3))
+        assert sc.game.num_users == 6
+
+    def test_fixed_platform_weights_used(self):
+        sc = build_scenario(
+            ScenarioConfig(n_users=5, n_tasks=10, seed=4, phi=0.25, theta=0.65)
+        )
+        assert sc.game.platform.phi == 0.25
+        assert sc.game.platform.theta == 0.65
+
+    def test_detour_unit_applied(self):
+        sc = build_scenario(ScenarioConfig(n_users=5, n_tasks=10, seed=4))
+        assert sc.game.detour_unit_km == sc.config.detour_unit_km
+
+    def test_real_traces_can_be_injected(self):
+        traces = synthesize_traces(
+            get_city("shanghai"), n_vehicles=30, trips_per_vehicle=2, seed=11
+        )
+        sc = build_scenario(
+            ScenarioConfig(n_users=5, n_tasks=10, seed=4), traces=traces
+        )
+        assert sc.traces is traces
+
+    def test_routes_have_tasks_attached(self, shanghai_scenario):
+        game = shanghai_scenario.game
+        covered = sum(
+            len(game.covered_tasks(i, j))
+            for i in game.users
+            for j in range(game.num_routes(i))
+        )
+        assert covered > 0
+
+    def test_zero_tasks_scenario(self):
+        sc = build_scenario(ScenarioConfig(n_users=4, n_tasks=0, seed=5))
+        assert sc.num_tasks == 0

@@ -1,0 +1,50 @@
+"""Tests for repro.scenario.config."""
+
+import pytest
+
+from repro.scenario import ScenarioConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = ScenarioConfig()
+        assert cfg.city == "shanghai"
+        assert cfg.route_count_range == (1, 5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 0},
+            {"n_tasks": -1},
+            {"route_count_range": (0, 5)},
+            {"route_count_range": (5, 1)},
+            {"coverage_radius_km": 0.0},
+            {"base_reward_range": (0.0, 10.0)},
+            {"user_weight_range": (0.0, 0.9)},
+            {"platform_weight_range": (0.1, 1.0)},
+            {"phi": 1.5},
+            {"theta": -0.1},
+            {"congestion_hotspots": -1},
+            {"congestion_scale": 0.0},
+            {"route_method": "teleport"},
+            {"penalty_factor": 1.0},
+            {"detour_unit_km": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**kwargs)
+
+    def test_with_updates(self):
+        cfg = ScenarioConfig(n_users=10)
+        cfg2 = cfg.with_(n_users=20, city="roma")
+        assert cfg2.n_users == 20 and cfg2.city == "roma"
+        assert cfg.n_users == 10
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig().with_(n_users=-5)
+
+    def test_fixed_platform_weights(self):
+        cfg = ScenarioConfig(phi=0.3, theta=0.7)
+        assert cfg.phi == 0.3 and cfg.theta == 0.7

@@ -1,0 +1,85 @@
+"""Tests for repro.tasks.assignment."""
+
+import numpy as np
+import pytest
+
+from repro.network.builders import grid_city
+from repro.network.routing import RoutePlanner
+from repro.tasks.assignment import assign_tasks_to_routes, coverage_matrix, route_covers
+from repro.tasks.task import Task, TaskSet
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_city(6, 6, jitter=0.0, diagonal_prob=0.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def route(net):
+    return RoutePlanner(net).recommend(0, 35, 1)[0]
+
+
+class TestRouteCovers:
+    def test_task_on_route_covered(self, net, route):
+        x, y = net.node_xy(route.nodes[1])
+        tasks = TaskSet([Task(0, x, y, 10.0, 0.0)])
+        assert route_covers(net, route, tasks, 0.1) == (0,)
+
+    def test_far_task_not_covered(self, net, route):
+        tasks = TaskSet([Task(0, 100.0, 100.0, 10.0, 0.0)])
+        assert route_covers(net, route, tasks, 0.3) == ()
+
+    def test_radius_monotone(self, net, route):
+        rng = np.random.default_rng(0)
+        tasks = TaskSet(
+            [
+                Task(k, float(x), float(y), 10.0, 0.0)
+                for k, (x, y) in enumerate(rng.uniform(0, 2.5, size=(30, 2)))
+            ]
+        )
+        small = set(route_covers(net, route, tasks, 0.2))
+        large = set(route_covers(net, route, tasks, 0.6))
+        assert small <= large
+
+    def test_empty_tasks(self, net, route):
+        from repro.tasks.generator import generate_tasks
+
+        empty = generate_tasks(net, 0, seed=0)
+        assert route_covers(net, route, empty, 0.3) == ()
+
+    def test_bad_radius(self, net, route):
+        tasks = TaskSet([Task(0, 0.0, 0.0, 10.0, 0.0)])
+        with pytest.raises(ValueError):
+            route_covers(net, route, tasks, 0.0)
+
+
+class TestAssign:
+    def test_structure_mirrored(self, net):
+        planner = RoutePlanner(net)
+        route_sets = [planner.recommend(0, 35, 3), planner.recommend(5, 30, 2)]
+        tasks = TaskSet([Task(0, 1.0, 1.0, 10.0, 0.0)])
+        out = assign_tasks_to_routes(net, route_sets, tasks, coverage_radius_km=0.4)
+        assert [len(rs) for rs in out] == [len(rs) for rs in route_sets]
+
+    def test_originals_untouched(self, net):
+        planner = RoutePlanner(net)
+        route_sets = [planner.recommend(0, 35, 2)]
+        tasks = TaskSet([Task(0, 0.0, 0.0, 10.0, 0.0)])
+        assign_tasks_to_routes(net, route_sets, tasks, coverage_radius_km=5.0)
+        assert route_sets[0][0].task_ids == ()
+
+    def test_coverage_matrix_shape(self, net):
+        planner = RoutePlanner(net)
+        route_sets = [planner.recommend(0, 35, 2), planner.recommend(5, 30, 2)]
+        tasks = TaskSet([Task(k, 1.0 + k, 1.0, 10.0, 0.0) for k in range(3)])
+        assigned = assign_tasks_to_routes(net, route_sets, tasks, coverage_radius_km=0.5)
+        mat = coverage_matrix(assigned, 3)
+        n_routes = sum(len(rs) for rs in assigned)
+        assert mat.shape == (n_routes, 3)
+        # Matrix agrees with the attached task ids.
+        flat = [r for rs in assigned for r in rs]
+        for row, r in zip(mat, flat):
+            assert set(np.flatnonzero(row)) == set(r.task_ids)
+
+    def test_coverage_matrix_empty(self):
+        assert coverage_matrix([], 4).shape == (0, 4)

@@ -1,0 +1,59 @@
+"""Tests for repro.tasks.generator."""
+
+import numpy as np
+import pytest
+
+from repro.network.builders import grid_city
+from repro.tasks.generator import generate_tasks
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_city(6, 6, seed=0)
+
+
+class TestGenerateTasks:
+    def test_count_and_ids(self, net):
+        ts = generate_tasks(net, 25, seed=1)
+        assert len(ts) == 25
+        assert [t.task_id for t in ts] == list(range(25))
+
+    def test_reward_ranges_respected(self, net):
+        ts = generate_tasks(
+            net, 100, base_reward_range=(10, 20), reward_increment_range=(0, 1), seed=2
+        )
+        assert np.all(ts.base_rewards >= 10) and np.all(ts.base_rewards <= 20)
+        assert np.all(ts.reward_increments >= 0) and np.all(ts.reward_increments <= 1)
+
+    def test_reproducible(self, net):
+        a = generate_tasks(net, 10, seed=5)
+        b = generate_tasks(net, 10, seed=5)
+        assert np.allclose(a.xy, b.xy)
+        assert np.allclose(a.base_rewards, b.base_rewards)
+
+    def test_zero_tasks(self, net):
+        assert len(generate_tasks(net, 0, seed=0)) == 0
+
+    def test_on_road_tasks_near_network(self, net):
+        ts = generate_tasks(net, 60, on_road_fraction=1.0, road_jitter_km=0.05, seed=3)
+        # Every task should be within a couple of jitter sigmas of some node.
+        d2 = (
+            (ts.xy[:, None, 0] - net.coords[None, :, 0]) ** 2
+            + (ts.xy[:, None, 1] - net.coords[None, :, 1]) ** 2
+        )
+        nearest = np.sqrt(d2.min(axis=1))
+        assert np.median(nearest) < 0.5
+
+    def test_uniform_fraction(self, net):
+        ts = generate_tasks(net, 40, on_road_fraction=0.0, seed=4)
+        box = net.bounding_box()
+        assert np.all(ts.xy[:, 0] >= box.min_x - 1e-9)
+        assert np.all(ts.xy[:, 0] <= box.max_x + 1e-9)
+
+    def test_validation(self, net):
+        with pytest.raises(ValueError):
+            generate_tasks(net, -1)
+        with pytest.raises(ValueError):
+            generate_tasks(net, 5, base_reward_range=(0.0, 10.0))
+        with pytest.raises(ValueError):
+            generate_tasks(net, 5, reward_increment_range=(0.5, 1.5))

@@ -1,0 +1,129 @@
+"""Tests for repro.tasks.task (the Eq. 1 reward law)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tasks.task import (
+    Task,
+    TaskSet,
+    reward,
+    reward_share,
+    shared_reward_prefix_sum,
+)
+
+
+class TestRewardLaw:
+    def test_single_user_gets_base(self):
+        assert reward(10.0, 0.5, 1) == pytest.approx(10.0)
+
+    def test_log_growth(self):
+        assert reward(10.0, 1.0, math.e.__ceil__()) > 10.0
+        assert reward(10.0, 0.7, 4) == pytest.approx(10.0 + 0.7 * math.log(4))
+
+    def test_mu_zero_constant(self):
+        assert reward(12.0, 0.0, 7) == pytest.approx(12.0)
+
+    def test_count_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            reward(10.0, 0.5, 0)
+
+    def test_vectorized(self):
+        out = reward(10.0, 0.5, np.array([1, 2, 4]))
+        assert out.shape == (3,)
+        assert out[0] == pytest.approx(10.0)
+
+    @given(st.floats(5.0, 20.0), st.floats(0.0, 1.0), st.integers(1, 50))
+    def test_share_decreasing_when_base_dominates(self, a, mu, x):
+        # For a >= mu the per-user share w(x)/x is non-increasing in x.
+        s1 = reward_share(a, mu, x)
+        s2 = reward_share(a, mu, x + 1)
+        assert s2 <= s1 + 1e-12
+
+    def test_share_definition(self):
+        assert reward_share(10.0, 0.5, 2) == pytest.approx(
+            (10.0 + 0.5 * math.log(2)) / 2
+        )
+
+
+class TestPrefixSum:
+    def test_zero_participants(self):
+        assert shared_reward_prefix_sum(10.0, 0.5, 0) == 0.0
+
+    def test_one_participant(self):
+        assert shared_reward_prefix_sum(10.0, 0.5, 1) == pytest.approx(10.0)
+
+    @given(st.floats(1.0, 20.0), st.floats(0.0, 1.0), st.integers(1, 30))
+    def test_matches_manual_sum(self, a, mu, n):
+        manual = sum((a + mu * math.log(q)) / q for q in range(1, n + 1))
+        assert shared_reward_prefix_sum(a, mu, n) == pytest.approx(manual)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            shared_reward_prefix_sum(10.0, 0.5, -1)
+
+
+class TestTask:
+    def test_methods_delegate(self):
+        t = Task(0, 1.0, 2.0, 15.0, 0.3)
+        assert t.reward(1) == pytest.approx(15.0)
+        assert t.share(3) == pytest.approx((15.0 + 0.3 * math.log(3)) / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Task(0, 0, 0, -5.0, 0.5)
+        with pytest.raises(ValueError):
+            Task(0, 0, 0, 10.0, 1.5)
+
+
+class TestTaskSet:
+    def make(self, n=4):
+        return TaskSet(
+            [Task(k, float(k), 0.0, 10.0 + k, 0.1 * k) for k in range(n)]
+        )
+
+    def test_requires_dense_ids(self):
+        with pytest.raises(ValueError):
+            TaskSet([Task(1, 0, 0, 10.0, 0.0)])
+
+    def test_len_getitem_iter(self):
+        ts = self.make(3)
+        assert len(ts) == 3
+        assert ts[1].task_id == 1
+        assert [t.task_id for t in ts] == [0, 1, 2]
+
+    def test_attribute_arrays(self):
+        ts = self.make(3)
+        assert np.allclose(ts.base_rewards, [10, 11, 12])
+        assert ts.xy.shape == (3, 2)
+
+    def test_shares_zero_count_is_zero(self):
+        ts = self.make(3)
+        out = ts.shares(np.array([0, 1, 2]))
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(11.0)
+        assert out[2] == pytest.approx((12.0 + 0.2 * math.log(2)) / 2)
+
+    def test_shares_shape_check(self):
+        with pytest.raises(ValueError):
+            self.make(3).shares(np.zeros(2))
+
+    def test_potential_terms_match_prefix_sums(self):
+        ts = self.make(4)
+        counts = np.array([0, 1, 3, 2])
+        out = ts.potential_terms(counts)
+        for k in range(4):
+            expected = shared_reward_prefix_sum(
+                float(ts.base_rewards[k]), float(ts.reward_increments[k]), int(counts[k])
+            )
+            assert out[k] == pytest.approx(expected)
+
+    def test_potential_terms_negative_counts(self):
+        with pytest.raises(ValueError):
+            self.make(2).potential_terms(np.array([-1, 0]))
+
+    def test_empty_counts(self):
+        ts = self.make(2)
+        assert np.allclose(ts.potential_terms(np.zeros(2, dtype=int)), 0.0)

@@ -1,0 +1,70 @@
+"""Round-trip tests for game serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import StrategyProfile
+from repro.core.potential import potential
+from repro.core.profit import all_profits
+from repro.io import game_from_dict, game_to_dict, load_game, save_game
+
+from tests.helpers import random_game
+
+
+class TestRoundTrip:
+    def test_scenario_game(self, shanghai_game, tmp_path):
+        path = tmp_path / "game.json"
+        save_game(shanghai_game, path)
+        loaded = load_game(path)
+        assert loaded.num_users == shanghai_game.num_users
+        assert loaded.num_tasks == shanghai_game.num_tasks
+        assert loaded.platform == shanghai_game.platform
+        assert loaded.detour_unit_km == shanghai_game.detour_unit_km
+        for i in shanghai_game.users:
+            assert loaded.route_sets[i] == shanghai_game.route_sets[i]
+            assert loaded.user_weights[i] == shanghai_game.user_weights[i]
+
+    def test_profits_identical_after_reload(self, shanghai_game, tmp_path):
+        path = tmp_path / "game.json"
+        save_game(shanghai_game, path)
+        loaded = load_game(path)
+        choices = StrategyProfile.random(
+            shanghai_game, np.random.default_rng(3)
+        ).choices
+        a = all_profits(StrategyProfile(shanghai_game, choices))
+        b = all_profits(StrategyProfile(loaded, choices))
+        assert np.allclose(a, b)
+        assert potential(StrategyProfile(loaded, choices)) == pytest.approx(
+            potential(StrategyProfile(shanghai_game, choices))
+        )
+
+    def test_random_games(self, rng, tmp_path):
+        for i in range(10):
+            g = random_game(rng)
+            loaded = game_from_dict(game_to_dict(g))
+            assert loaded.num_users == g.num_users
+            p_orig = StrategyProfile.random(g, np.random.default_rng(i))
+            p_load = StrategyProfile(loaded, p_orig.choices)
+            assert np.allclose(all_profits(p_orig), all_profits(p_load))
+
+    def test_json_is_plain_types(self, fig1_game):
+        text = json.dumps(game_to_dict(fig1_game))
+        assert "task_id" in text
+
+    def test_wrong_version_rejected(self, fig1_game):
+        data = game_to_dict(fig1_game)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format_version"):
+            game_from_dict(data)
+
+    def test_dynamics_equivalent_after_reload(self, fig1_game, tmp_path):
+        from repro.algorithms import BUAU
+
+        path = tmp_path / "fig1.json"
+        save_game(fig1_game, path)
+        loaded = load_game(path)
+        res = BUAU(seed=0).run(loaded, initial=[1, 0, 1])
+        assert list(res.profile.choices) == [0, 0, 0]
+        assert res.total_profit == pytest.approx(11.0)

@@ -1,0 +1,52 @@
+"""Public-API surface tests: every exported name resolves and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.algorithms",
+    "repro.core",
+    "repro.distributed",
+    "repro.experiments",
+    "repro.metrics",
+    "repro.mobility",
+    "repro.network",
+    "repro.scenario",
+    "repro.tasks",
+    "repro.traces",
+    "repro.utils",
+    "repro.viz",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+class TestPublicSurface:
+    def test_all_names_resolve(self, package):
+        mod = importlib.import_module(package)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{package}.{name} missing"
+
+    def test_module_docstring(self, package):
+        mod = importlib.import_module(package)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 10
+
+    def test_exported_callables_documented(self, package):
+        mod = importlib.import_module(package)
+        for name in getattr(mod, "__all__", []):
+            obj = getattr(mod, name)
+            if callable(obj) and not isinstance(obj, type):
+                assert obj.__doc__, f"{package}.{name} lacks a docstring"
+
+
+class TestVersion:
+    def test_version_matches_pyproject(self):
+        import tomllib
+        from pathlib import Path
+
+        import repro
+
+        pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        data = tomllib.loads(pyproject.read_text())
+        assert repro.__version__ == data["project"]["version"]

@@ -1,0 +1,112 @@
+"""Tests for repro.traces.model."""
+
+import numpy as np
+import pytest
+
+from repro.traces.model import TraceSet, Trajectory
+
+
+def make_traj(vid="cab-1", times=None, occ=None):
+    times = times if times is not None else [0.0, 60.0, 120.0, 180.0]
+    n = len(times)
+    lats = np.linspace(31.20, 31.25, n)
+    lons = np.linspace(121.40, 121.44, n)
+    return Trajectory(
+        vehicle_id=vid,
+        times=np.asarray(times, dtype=float),
+        lats=lats,
+        lons=lons,
+        occupied=np.asarray(occ, dtype=bool) if occ is not None else np.zeros(0, bool),
+    )
+
+
+class TestTrajectory:
+    def test_basic_properties(self):
+        t = make_traj()
+        assert len(t) == 4
+        assert t.duration_s == pytest.approx(180.0)
+        assert t.origin == (pytest.approx(31.20), pytest.approx(121.40))
+        assert t.destination == (pytest.approx(31.25), pytest.approx(121.44))
+
+    def test_default_occupied_all_true(self):
+        assert bool(np.all(make_traj().occupied))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Trajectory("x", np.zeros(3), np.zeros(2), np.zeros(3))
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ValueError):
+            make_traj(times=[10.0, 5.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory("x", np.zeros(0), np.zeros(0), np.zeros(0))
+
+    def test_bounding_box(self):
+        b = make_traj().bounding_box()
+        assert b.min_y == pytest.approx(31.20)
+        assert b.max_x == pytest.approx(121.44)
+
+
+class TestTrips:
+    def test_split_on_pickup(self):
+        t = make_traj(occ=[False, True, True, False])
+        trips = t.trips()
+        # Break at index 1 (pickup): fragments [0:1] dropped (<2), [1:4] kept.
+        assert len(trips) == 1
+        assert len(trips[0]) == 3
+
+    def test_split_on_time_gap(self):
+        t = make_traj(times=[0.0, 60.0, 5000.0, 5060.0])
+        trips = t.trips(gap_s=600.0)
+        assert len(trips) == 2
+        assert all(len(tr) == 2 for tr in trips)
+
+    def test_no_breaks_single_trip(self):
+        trips = make_traj().trips()
+        assert len(trips) == 1
+        assert len(trips[0]) == 4
+
+    def test_single_point_no_trips(self):
+        t = make_traj(times=[0.0])
+        assert t.trips() == []
+
+    def test_trip_ids_derived(self):
+        trips = make_traj().trips()
+        assert trips[0].vehicle_id.startswith("cab-1#t")
+
+
+class TestTraceSet:
+    def test_len_iter_getitem(self):
+        ts = TraceSet("demo", [make_traj("a"), make_traj("b")])
+        assert len(ts) == 2
+        assert ts[0].vehicle_id == "a"
+        assert [t.vehicle_id for t in ts] == ["a", "b"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSet("demo", [])
+
+    def test_select_subsample(self):
+        ts = TraceSet("demo", [make_traj(f"v{i}") for i in range(10)])
+        sub = ts.select(4, seed=0)
+        assert len(sub) == 4
+        assert len({t.vehicle_id for t in sub}) == 4
+
+    def test_select_more_than_available(self):
+        ts = TraceSet("demo", [make_traj("a")])
+        assert len(ts.select(5, seed=0)) == 1
+
+    def test_bounding_box_union(self):
+        ts = TraceSet("demo", [make_traj("a"), make_traj("b")])
+        b = ts.bounding_box()
+        assert b.min_y == pytest.approx(31.20)
+
+    def test_total_points(self):
+        ts = TraceSet("demo", [make_traj("a"), make_traj("b")])
+        assert ts.total_points() == 8
+
+    def test_repr(self):
+        ts = TraceSet("demo", [make_traj()])
+        assert "vehicles=1" in repr(ts)

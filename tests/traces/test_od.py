@@ -1,0 +1,91 @@
+"""Tests for OD-pair extraction and node snapping."""
+
+import numpy as np
+import pytest
+
+from repro.network.builders import grid_city
+from repro.traces.cities import get_city
+from repro.traces.od import extract_od_pairs, od_pairs_to_nodes
+from repro.traces.synthetic import synthesize_traces
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return synthesize_traces(
+        get_city("shanghai"), n_vehicles=20, trips_per_vehicle=2, seed=5
+    )
+
+
+class TestExtractOdPairs:
+    def test_yields_pairs(self, traces):
+        pairs = extract_od_pairs(traces)
+        assert len(pairs) >= 10
+
+    def test_min_trip_filter(self, traces):
+        from repro.geometry.point import haversine_km
+
+        pairs = extract_od_pairs(traces, min_trip_km=1.0)
+        for o_lat, o_lon, d_lat, d_lon in pairs:
+            assert haversine_km(o_lat, o_lon, d_lat, d_lon) >= 1.0
+
+    def test_large_min_trip_empties(self, traces):
+        assert extract_od_pairs(traces, min_trip_km=1000.0) == []
+
+    def test_pairs_inside_city(self, traces):
+        box = get_city("shanghai").lonlat_box
+        for o_lat, o_lon, d_lat, d_lon in extract_od_pairs(traces):
+            assert box.contains(o_lon, o_lat)
+            assert box.contains(d_lon, d_lat)
+
+
+class TestOdPairsToNodes:
+    def setup_method(self):
+        self.net = grid_city(6, 6, seed=0)
+        self.city = get_city("shanghai")
+
+    def snap(self, pairs, **kw):
+        return od_pairs_to_nodes(
+            self.net,
+            pairs,
+            origin_latlon=(self.city.lonlat_box.min_y, self.city.lonlat_box.min_x),
+            bbox_latlon_width=(
+                self.city.lonlat_box.height,
+                self.city.lonlat_box.width,
+            ),
+            **kw,
+        )
+
+    def test_snaps_to_valid_nodes(self, traces):
+        pairs = self.snap(extract_od_pairs(traces))
+        for o, d in pairs:
+            assert 0 <= o < self.net.num_nodes
+            assert 0 <= d < self.net.num_nodes
+            assert o != d
+
+    def test_n_pairs_subsample(self, traces):
+        pairs = self.snap(extract_od_pairs(traces), n_pairs=5, seed=1)
+        assert len(pairs) == 5
+
+    def test_n_pairs_oversample_with_replacement(self, traces):
+        geo = extract_od_pairs(traces)
+        pairs = self.snap(geo, n_pairs=len(geo) * 3, seed=1)
+        assert len(pairs) == len(geo) * 3
+
+    def test_corner_mapping(self):
+        # The geographic min-corner maps to the planar min-corner's node.
+        box = self.city.lonlat_box
+        pairs = self.snap([(box.min_y, box.min_x, box.max_y, box.max_x)])
+        (o, d) = pairs[0]
+        assert o == self.net.nearest_node(
+            self.net.bounding_box().min_x, self.net.bounding_box().min_y
+        )
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            self.snap([])
+
+    def test_reproducible_subsample(self, traces):
+        geo = extract_od_pairs(traces)
+        a = self.snap(geo, n_pairs=6, seed=9)
+        b = self.snap(geo, n_pairs=6, seed=9)
+        assert a == b

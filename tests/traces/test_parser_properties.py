@@ -1,0 +1,61 @@
+"""Hypothesis round-trip properties for the trace parsers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traces.model import TraceSet, Trajectory
+from repro.traces.parsers import (
+    parse_epfl_cab_file,
+    parse_roma_file,
+    parse_shanghai_file,
+    write_epfl_cab_file,
+    write_roma_file,
+    write_shanghai_file,
+)
+
+
+@st.composite
+def trajectories(draw):
+    n = draw(st.integers(2, 12))
+    t0 = draw(st.floats(1e9, 2e9))
+    gaps = [draw(st.floats(1.0, 600.0)) for _ in range(n - 1)]
+    times = np.concatenate([[t0], t0 + np.cumsum(gaps)])
+    lats = np.array([draw(st.floats(-60.0, 60.0)) for _ in range(n)])
+    lons = np.array([draw(st.floats(-170.0, 170.0)) for _ in range(n)])
+    occ = np.array([draw(st.booleans()) for _ in range(n)])
+    vid = draw(st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=8))
+    return Trajectory(vehicle_id=vid, times=times, lats=lats, lons=lons,
+                      occupied=occ)
+
+
+class TestRoundTripProperties:
+    @given(traj=trajectories())
+    @settings(max_examples=25, deadline=None)
+    def test_epfl_round_trip(self, traj, tmp_path_factory):
+        path = tmp_path_factory.mktemp("epfl") / "new_cab.txt"
+        write_epfl_cab_file(path, traj)
+        got = parse_epfl_cab_file(path)
+        assert len(got) == len(traj)
+        assert np.allclose(got.lats, traj.lats, atol=1e-4)
+        assert np.allclose(got.lons, traj.lons, atol=1e-4)
+        assert np.array_equal(got.occupied, traj.occupied)
+
+    @given(traj=trajectories())
+    @settings(max_examples=25, deadline=None)
+    def test_roma_round_trip(self, traj, tmp_path_factory):
+        path = tmp_path_factory.mktemp("roma") / "taxi.txt"
+        write_roma_file(path, TraceSet("t", [traj]))
+        got = parse_roma_file(path)[0]
+        assert np.allclose(got.lats, traj.lats, atol=1e-5)
+        assert np.allclose(got.times, traj.times, atol=1e-2)
+
+    @given(traj=trajectories())
+    @settings(max_examples=25, deadline=None)
+    def test_shanghai_round_trip(self, traj, tmp_path_factory):
+        path = tmp_path_factory.mktemp("sh") / "sh.csv"
+        write_shanghai_file(path, TraceSet("t", [traj]))
+        got = parse_shanghai_file(path)[0]
+        assert np.allclose(got.lats, traj.lats, atol=1e-5)
+        assert np.allclose(got.lons, traj.lons, atol=1e-5)
+        assert np.array_equal(got.occupied, traj.occupied)

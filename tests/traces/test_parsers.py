@@ -1,0 +1,142 @@
+"""Round-trip and format tests for the three trace parsers."""
+
+import numpy as np
+import pytest
+
+from repro.traces.cities import get_city
+from repro.traces.parsers import (
+    parse_epfl_cab_file,
+    parse_epfl_directory,
+    parse_roma_file,
+    parse_shanghai_file,
+    write_epfl_cab_file,
+    write_roma_file,
+    write_shanghai_file,
+)
+from repro.traces.synthetic import synthesize_traces
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return synthesize_traces(
+        get_city("roma"), n_vehicles=4, trips_per_vehicle=2, seed=3
+    )
+
+
+class TestRomaRoundTrip:
+    def test_vehicle_count_preserved(self, traces, tmp_path):
+        path = tmp_path / "roma.txt"
+        write_roma_file(path, traces)
+        parsed = parse_roma_file(path)
+        assert len(parsed) == len(traces)
+
+    def test_coordinates_preserved(self, traces, tmp_path):
+        path = tmp_path / "roma.txt"
+        write_roma_file(path, traces)
+        parsed = {t.vehicle_id: t for t in parse_roma_file(path)}
+        for orig in traces:
+            got = parsed[orig.vehicle_id]
+            assert np.allclose(got.lats, orig.lats, atol=1e-6)
+            assert np.allclose(got.lons, orig.lons, atol=1e-6)
+
+    def test_timestamps_preserved(self, traces, tmp_path):
+        path = tmp_path / "roma.txt"
+        write_roma_file(path, traces)
+        parsed = {t.vehicle_id: t for t in parse_roma_file(path)}
+        for orig in traces:
+            assert np.allclose(parsed[orig.vehicle_id].times, orig.times, atol=1e-3)
+
+    def test_real_format_line(self, tmp_path):
+        path = tmp_path / "real.txt"
+        path.write_text("156;2014-02-01 00:00:00.739166+01;POINT(41.88 12.48)\n"
+                        "156;2014-02-01 00:00:05.000000+01;POINT(41.89 12.49)\n")
+        ts = parse_roma_file(path)
+        assert len(ts) == 1
+        assert ts[0].lats[0] == pytest.approx(41.88)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1;2014-02-01 00:00:00+01;NOTAPOINT\n")
+        with pytest.raises(ValueError, match="POINT"):
+            parse_roma_file(path)
+
+    def test_wrong_field_count_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1;2;3;4\n")
+        with pytest.raises(ValueError, match="fields"):
+            parse_roma_file(path)
+
+
+class TestEpflRoundTrip:
+    def test_single_cab(self, traces, tmp_path):
+        orig = traces[0]
+        path = tmp_path / "new_abcd.txt"
+        write_epfl_cab_file(path, orig)
+        got = parse_epfl_cab_file(path)
+        assert got.vehicle_id == "abcd"
+        assert np.allclose(got.lats, orig.lats, atol=1e-5)
+        # Times are integer-truncated by the format.
+        assert np.allclose(got.times, np.floor(orig.times), atol=1.0)
+
+    def test_occupancy_preserved(self, traces, tmp_path):
+        orig = traces[0]
+        path = tmp_path / "new_x.txt"
+        write_epfl_cab_file(path, orig)
+        got = parse_epfl_cab_file(path)
+        assert np.array_equal(got.occupied, orig.occupied)
+
+    def test_file_is_reverse_chronological(self, traces, tmp_path):
+        path = tmp_path / "new_y.txt"
+        write_epfl_cab_file(path, traces[0])
+        raw_times = [float(l.split()[3]) for l in path.read_text().splitlines()]
+        assert raw_times == sorted(raw_times, reverse=True)
+
+    def test_directory_parsing(self, traces, tmp_path):
+        for i, t in enumerate(traces):
+            write_epfl_cab_file(tmp_path / f"new_cab{i}.txt", t)
+        ts = parse_epfl_directory(tmp_path)
+        assert len(ts) == len(traces)
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            parse_epfl_directory(tmp_path)
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "new_z.txt"
+        path.write_text("37.75 -122.39 0\n")
+        with pytest.raises(ValueError, match="4 fields"):
+            parse_epfl_cab_file(path)
+
+
+class TestShanghaiRoundTrip:
+    def test_round_trip(self, traces, tmp_path):
+        path = tmp_path / "sh.csv"
+        write_shanghai_file(path, traces)
+        parsed = {t.vehicle_id: t for t in parse_shanghai_file(path)}
+        assert len(parsed) == len(traces)
+        for orig in traces:
+            got = parsed[orig.vehicle_id]
+            assert np.allclose(got.lats, orig.lats, atol=1e-6)
+            assert np.array_equal(got.occupied, orig.occupied)
+
+    def test_header_written_and_skipped(self, traces, tmp_path):
+        path = tmp_path / "sh.csv"
+        write_shanghai_file(path, traces)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("taxi_id,")
+        assert len(parse_shanghai_file(path)) == len(traces)
+
+    def test_speed_column_plausible(self, traces, tmp_path):
+        path = tmp_path / "sh.csv"
+        write_shanghai_file(path, traces)
+        speeds = [
+            float(l.split(",")[4])
+            for l in path.read_text().splitlines()[1:]
+        ]
+        assert all(0.0 <= s < 200.0 for s in speeds)
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n")
+        with pytest.raises(ValueError, match="7 CSV fields"):
+            parse_shanghai_file(path)

@@ -1,0 +1,163 @@
+"""Tests for trace-derived congestion (projection, speeds, traffic model)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import BoundingBox
+from repro.network.builders import grid_city
+from repro.traces.cities import get_city
+from repro.traces.model import TraceSet, Trajectory
+from repro.traces.projection import GeoProjection
+from repro.traces.speed_estimation import (
+    TraceDerivedTraffic,
+    estimate_edge_speeds,
+    segment_speeds,
+)
+from repro.traces.synthetic import synthesize_traces
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_city(6, 6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def city():
+    return get_city("shanghai")
+
+
+@pytest.fixture(scope="module")
+def projection(net, city):
+    return GeoProjection.fit(city.lonlat_box, net)
+
+
+@pytest.fixture(scope="module")
+def traces(city):
+    return synthesize_traces(city, n_vehicles=40, trips_per_vehicle=3, seed=9)
+
+
+class TestGeoProjection:
+    def test_corners_map_to_planar_corners(self, projection, city, net):
+        box = city.lonlat_box
+        planar = net.bounding_box()
+        lo = projection.to_xy(np.array([box.min_y]), np.array([box.min_x]))[0]
+        hi = projection.to_xy(np.array([box.max_y]), np.array([box.max_x]))[0]
+        assert lo[0] == pytest.approx(planar.min_x)
+        assert lo[1] == pytest.approx(planar.min_y)
+        assert hi[0] == pytest.approx(planar.max_x)
+        assert hi[1] == pytest.approx(planar.max_y)
+
+    def test_out_of_box_clamped(self, projection, net):
+        planar = net.bounding_box()
+        pt = projection.to_xy(np.array([0.0]), np.array([0.0]))[0]
+        assert planar.contains(pt[0], pt[1])
+
+    def test_degenerate_box_rejected(self, net):
+        with pytest.raises(ValueError):
+            GeoProjection.fit(BoundingBox(0, 0, 0, 1), net)
+
+    def test_km_per_deg_positive(self, projection):
+        kx, ky = projection.km_per_deg
+        assert kx > 0 and ky > 0
+
+
+class TestSegmentSpeeds:
+    def test_known_speed(self):
+        # 60 km/h due north: 1 km in 60 s is ~0.008993 degrees of latitude.
+        dlat = 1.0 / 111.19
+        traj = Trajectory(
+            "v", times=np.array([0.0, 60.0]),
+            lats=np.array([31.0, 31.0 + dlat]), lons=np.array([121.0, 121.0]),
+        )
+        mids, speeds = segment_speeds(TraceSet("t", [traj]))
+        assert len(speeds) == 1
+        assert speeds[0] == pytest.approx(60.0, rel=0.01)
+
+    def test_gap_segments_dropped(self):
+        traj = Trajectory(
+            "v", times=np.array([0.0, 10_000.0]),
+            lats=np.array([31.0, 31.1]), lons=np.array([121.0, 121.0]),
+        )
+        _, speeds = segment_speeds(TraceSet("t", [traj]))
+        assert len(speeds) == 0
+
+    def test_glitch_speeds_dropped(self):
+        traj = Trajectory(
+            "v", times=np.array([0.0, 1.0]),
+            lats=np.array([31.0, 31.5]), lons=np.array([121.0, 121.0]),
+        )
+        _, speeds = segment_speeds(TraceSet("t", [traj]))
+        assert len(speeds) == 0
+
+    def test_synthetic_traces_plausible(self, traces, city):
+        _, speeds = segment_speeds(traces)
+        assert len(speeds) > 50
+        # Mean speed near the city's calibrated mean (idle fixes drag it a bit).
+        assert 5.0 < float(np.median(speeds)) < 2.0 * city.mean_speed_kmh
+
+
+class TestEstimateEdgeSpeeds:
+    def test_caps_at_free_flow(self, net, traces, projection):
+        observed, counts = estimate_edge_speeds(net, traces, projection)
+        assert np.all(observed <= net.free_flow_kmh + 1e-9)
+        assert np.all(observed > 0)
+        assert counts.sum() > 0
+
+    def test_unobserved_edges_keep_free_flow(self, net, projection):
+        # A single stationary-ish trace observes almost nothing.
+        traj = Trajectory(
+            "v", times=np.array([0.0, 60.0]),
+            lats=np.array([31.17, 31.171]), lons=np.array([121.40, 121.401]),
+        )
+        observed, counts = estimate_edge_speeds(
+            net, TraceSet("t", [traj]), projection
+        )
+        untouched = counts == 0
+        assert np.allclose(observed[untouched], net.free_flow_kmh[untouched])
+
+    def test_empty_speed_set(self, net, projection):
+        traj = Trajectory(
+            "v", times=np.array([0.0]), lats=np.array([31.2]),
+            lons=np.array([121.45]),
+        )
+        observed, counts = estimate_edge_speeds(
+            net, TraceSet("t", [traj]), projection
+        )
+        assert np.allclose(observed, net.free_flow_kmh)
+        assert counts.sum() == 0
+
+
+class TestTraceDerivedTraffic:
+    def test_applies_to_network(self, net, traces, projection):
+        traffic = TraceDerivedTraffic(traces, projection)
+        slow = traffic.apply(net)
+        assert np.all((slow >= 0) & (slow <= 1))
+        assert traffic.coverage_fraction > 0.2
+
+    def test_route_congestion_bounded_by_scale(self, net, traces, projection):
+        traffic = TraceDerivedTraffic(traces, projection, scale=20.0)
+        traffic.apply(net)
+        c = traffic.route_congestion(net, [0, 1, 2])
+        assert 0.0 <= c <= 20.0
+
+    def test_trivial_route(self, net, traces, projection):
+        traffic = TraceDerivedTraffic(traces, projection)
+        assert traffic.route_congestion(net, [0]) == 0.0
+
+    def test_scenario_integration(self):
+        from repro.algorithms import DGRN
+        from repro.scenario import ScenarioConfig, build_scenario
+
+        sc = build_scenario(
+            ScenarioConfig(city="roma", n_users=8, n_tasks=20, seed=6,
+                           congestion_source="traces")
+        )
+        assert isinstance(sc.planner.traffic, TraceDerivedTraffic)
+        res = DGRN(seed=0).run(sc.game)
+        assert res.is_nash
+
+    def test_config_validation(self):
+        from repro.scenario import ScenarioConfig
+
+        with pytest.raises(ValueError):
+            ScenarioConfig(congestion_source="oracle")

@@ -1,0 +1,92 @@
+"""Tests for the calibrated synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import haversine_km
+from repro.traces.cities import CITY_PROFILES, get_city
+from repro.traces.synthetic import synthesize_traces
+
+
+class TestSynthesizeTraces:
+    @pytest.mark.parametrize("city", sorted(CITY_PROFILES))
+    def test_default_fleet_matches_paper_count(self, city):
+        profile = get_city(city)
+        ts = synthesize_traces(profile, trips_per_vehicle=1, seed=0)
+        assert len(ts) == profile.paper_trace_count
+
+    def test_points_inside_city_box(self):
+        city = get_city("shanghai")
+        ts = synthesize_traces(city, n_vehicles=10, seed=1)
+        box = city.lonlat_box
+        for traj in ts:
+            assert np.all(traj.lons >= box.min_x - 0.01)
+            assert np.all(traj.lons <= box.max_x + 0.01)
+            assert np.all(traj.lats >= box.min_y - 0.01)
+            assert np.all(traj.lats <= box.max_y + 0.01)
+
+    def test_timestamps_increase(self):
+        ts = synthesize_traces(get_city("roma"), n_vehicles=5, seed=2)
+        for traj in ts:
+            assert np.all(np.diff(traj.times) >= 0)
+
+    def test_occupancy_marks_trips(self):
+        ts = synthesize_traces(get_city("epfl"), n_vehicles=5, seed=3)
+        for traj in ts:
+            assert traj.occupied.any()
+            assert not traj.occupied.all()  # idle fixes exist between trips
+
+    def test_reproducible(self):
+        a = synthesize_traces(get_city("roma"), n_vehicles=3, seed=7)
+        b = synthesize_traces(get_city("roma"), n_vehicles=3, seed=7)
+        for x, y in zip(a, b):
+            assert np.allclose(x.lats, y.lats)
+            assert np.allclose(x.times, y.times)
+
+    def test_trip_lengths_plausible(self):
+        city = get_city("shanghai")
+        ts = synthesize_traces(city, n_vehicles=40, trips_per_vehicle=2, seed=4)
+        lengths = []
+        for traj in ts:
+            for trip in traj.trips():
+                if bool(trip.occupied[0]) and len(trip) >= 2:
+                    o, d = trip.origin, trip.destination
+                    lengths.append(haversine_km(o[0], o[1], d[0], d[1]))
+        # Median trip should be within a factor ~3 of the calibrated mean
+        # (box clamping shortens trips that would exit the city).
+        med = float(np.median(lengths))
+        assert 0.3 * city.mean_trip_km < med < 3.0 * city.mean_trip_km
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_traces(get_city("roma"), n_vehicles=0)
+        with pytest.raises(ValueError):
+            synthesize_traces(get_city("roma"), n_vehicles=1, trips_per_vehicle=0)
+
+
+class TestCityProfiles:
+    def test_get_city_case_insensitive(self):
+        assert get_city("Shanghai").name == "shanghai"
+
+    def test_unknown_city(self):
+        with pytest.raises(KeyError):
+            get_city("atlantis")
+
+    @pytest.mark.parametrize("city", sorted(CITY_PROFILES))
+    def test_network_builds_and_connects(self, city):
+        from repro.network.shortest_path import dijkstra
+
+        net = get_city(city).build_network(seed=0)
+        res = dijkstra(net, 0)
+        assert np.all(np.isfinite(res.dist))
+
+    @pytest.mark.parametrize("city", sorted(CITY_PROFILES))
+    def test_center_inside_box(self, city):
+        profile = get_city(city)
+        lat, lon = profile.center
+        assert profile.lonlat_box.contains(lon, lat)
+
+    def test_morphologies_differ(self):
+        assert {p.morphology for p in CITY_PROFILES.values()} == {
+            "grid", "radial", "geometric"
+        }

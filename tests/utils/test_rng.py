@@ -1,0 +1,103 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    RngStream,
+    as_generator,
+    choice_without_replacement,
+    spawn_children,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).integers(0, 1_000_000, size=5)
+        b = as_generator(42).integers(0, 1_000_000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(7)
+        a = as_generator(ss).integers(0, 1000)
+        b = as_generator(np.random.SeedSequence(7)).integers(0, 1000)
+        assert a == b
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        assert len(spawn_children(0, 7)) == 7
+
+    def test_zero(self):
+        assert spawn_children(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)
+
+    def test_children_independent(self):
+        kids = spawn_children(1, 3)
+        draws = [k.integers(0, 2**62) for k in kids]
+        assert len(set(draws)) == 3
+
+    def test_reproducible_across_calls(self):
+        a = [g.integers(0, 2**62) for g in spawn_children(9, 4)]
+        b = [g.integers(0, 2**62) for g in spawn_children(9, 4)]
+        assert a == b
+
+    def test_from_generator(self):
+        g = np.random.default_rng(5)
+        kids = spawn_children(g, 2)
+        assert len(kids) == 2
+
+
+class TestRngStream:
+    def test_same_label_same_stream(self):
+        s = RngStream(3)
+        a = s.child("tasks").integers(0, 2**62)
+        b = s.child("tasks").integers(0, 2**62)
+        assert a == b
+
+    def test_different_labels_differ(self):
+        s = RngStream(3)
+        a = s.child("tasks").integers(0, 2**62)
+        b = s.child("traces").integers(0, 2**62)
+        assert a != b
+
+    def test_multi_part_labels(self):
+        s = RngStream(3)
+        a = s.child("rep", 0).integers(0, 2**62)
+        b = s.child("rep", 1).integers(0, 2**62)
+        assert a != b
+
+    def test_children_batch(self):
+        s = RngStream(3)
+        kids = s.children("reps", 5)
+        assert len(kids) == 5
+        draws = {k.integers(0, 2**62) for k in kids}
+        assert len(draws) == 5
+
+    def test_entropy_stable(self):
+        s = RngStream(77)
+        assert s.entropy == 77
+
+    def test_int_labels(self):
+        s = RngStream(1)
+        assert s.child(4).integers(0, 2**62) == s.child(4).integers(0, 2**62)
+
+
+class TestChoiceWithoutReplacement:
+    def test_k_larger_than_items(self, rng):
+        out = choice_without_replacement(rng, [1, 2, 3], 10)
+        assert sorted(out) == [1, 2, 3]
+
+    def test_distinct(self, rng):
+        out = choice_without_replacement(rng, list(range(100)), 20)
+        assert len(set(out)) == 20

@@ -1,0 +1,45 @@
+"""Tests for repro.utils.timer."""
+
+import pytest
+
+from repro.utils.timer import Timer
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        assert t.elapsed >= 0.0
+        assert len(t.laps) == 1
+
+    def test_multiple_laps(self):
+        t = Timer()
+        for _ in range(3):
+            with t:
+                pass
+        assert len(t.laps) == 3
+        assert t.elapsed == pytest.approx(sum(t.laps))
+
+    def test_mean_lap(self):
+        t = Timer()
+        assert t.mean_lap == 0.0
+        with t:
+            pass
+        assert t.mean_lap == pytest.approx(t.elapsed)
+
+    def test_double_start_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0 and t.laps == [] and t._start is None

@@ -1,0 +1,98 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_index,
+    check_positive,
+    check_probability,
+    check_type,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_nonstrict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative_nonstrict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", math.inf)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 2.0, 0.0, 1.0)
+
+    def test_nan(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", math.nan, 0.0, 1.0)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_accepts(self, v):
+        assert check_probability("p", v) == v
+
+    @pytest.mark.parametrize("v", [-0.01, 1.01])
+    def test_rejects(self, v):
+        with pytest.raises(ValueError):
+            check_probability("p", v)
+
+
+class TestCheckIndex:
+    def test_valid(self):
+        assert check_index("i", 2, 5) == 2
+
+    def test_negative(self):
+        with pytest.raises(IndexError):
+            check_index("i", -1, 5)
+
+    def test_too_large(self):
+        with pytest.raises(IndexError):
+            check_index("i", 5, 5)
+
+
+class TestCheckType:
+    def test_passes(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_fails(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "3", int)

@@ -1,0 +1,112 @@
+"""Tests for the SVG line-chart renderer."""
+
+import pytest
+
+from repro.experiments.results import ResultTable
+from repro.viz.charts import _nice_ticks, chart_from_table, line_chart
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.3, 9.7)
+        assert ticks[0] <= 0.3 and ticks[-1] >= 9.7 - 1e-9
+
+    def test_monotone(self):
+        ticks = _nice_ticks(-5.0, 5.0)
+        assert ticks == sorted(ticks)
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(2.0, 2.0)
+        assert len(ticks) >= 2
+
+    def test_round_steps(self):
+        ticks = _nice_ticks(0, 100)
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+
+
+class TestLineChart:
+    SERIES = {
+        "DGRN": [(20, 13.0), (40, 27.0), (60, 38.0)],
+        "MUUN": [(20, 4.5), (40, 8.1), (60, 10.6)],
+    }
+
+    def test_valid_svg(self):
+        doc = line_chart(self.SERIES, title="Fig 4")
+        assert doc.startswith("<svg") and doc.endswith("</svg>")
+        assert doc.count("<polyline") == 2
+        assert "Fig 4" in doc
+
+    def test_legend_entries(self):
+        doc = line_chart(self.SERIES)
+        assert ">DGRN</text>" in doc and ">MUUN</text>" in doc
+
+    def test_markers_per_point(self):
+        doc = line_chart({"a": [(0, 0), (1, 1)]})
+        assert doc.count("<circle") == 2
+
+    def test_points_sorted_by_x(self):
+        doc = line_chart({"a": [(2, 5.0), (0, 1.0), (1, 3.0)]})
+        poly = doc.split('points="')[1].split('"')[0]
+        xs = [float(p.split(",")[0]) for p in poly.split()]
+        assert xs == sorted(xs)
+
+    def test_file_written(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        doc = line_chart(self.SERIES, path=path)
+        assert path.read_text() == doc
+
+    def test_axis_labels(self):
+        doc = line_chart(self.SERIES, x_label="users", y_label="slots")
+        assert ">users</text>" in doc and "slots</text>" in doc
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_canvas_validation(self):
+        with pytest.raises(ValueError):
+            line_chart(self.SERIES, width=50)
+
+
+class TestChartFromTable:
+    def make_table(self):
+        t = ResultTable()
+        for algo in ("DGRN", "MUUN"):
+            for m in (20, 40):
+                t.append(n_users=m, algorithm=algo,
+                         decision_slots_mean=m / (2 if algo == "MUUN" else 1))
+        return t
+
+    def test_groups_by_series(self):
+        doc = chart_from_table(
+            self.make_table(), x="n_users", y="decision_slots_mean",
+            series="algorithm",
+        )
+        assert doc.count("<polyline") == 2
+
+    def test_single_series(self):
+        doc = chart_from_table(
+            self.make_table().filter(lambda r: r["algorithm"] == "DGRN"),
+            x="n_users", y="decision_slots_mean",
+        )
+        assert doc.count("<polyline") == 1
+
+    def test_empty_table(self):
+        with pytest.raises(ValueError):
+            chart_from_table(ResultTable(), x="a", y="b")
+
+    def test_real_experiment_table(self):
+        from repro.experiments import run_experiment
+
+        table = run_experiment(
+            "fig4", repetitions=1, seed=0, cities=("shanghai",),
+            user_counts=(10, 20), algorithms=("DGRN", "MUUN"),
+        )
+        doc = chart_from_table(
+            table, x="n_users", y="decision_slots_mean", series="algorithm",
+            title="Figure 4 (Shanghai)",
+        )
+        assert doc.count("<polyline") == 2

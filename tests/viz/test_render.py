@@ -1,0 +1,79 @@
+"""Tests for the ASCII and SVG renderers."""
+
+import pytest
+
+from repro.algorithms import DGRN
+from repro.viz import render_ascii, render_svg
+
+
+@pytest.fixture(scope="module")
+def scene():
+    from repro.scenario import ScenarioConfig, build_scenario
+
+    sc = build_scenario(ScenarioConfig(city="roma", n_users=6, n_tasks=15, seed=8))
+    profile = DGRN(seed=0).run(sc.game).profile
+    return sc, profile
+
+
+class TestAscii:
+    def test_renders_grid_with_layers(self, scene):
+        sc, profile = scene
+        out = render_ascii(sc.network, sc.tasks, profile, width=60, height=20)
+        assert "*" in out  # tasks
+        assert "O" in out and "D" in out  # route endpoints
+        assert "legend" not in out  # legend text is plain
+
+    def test_dimensions(self, scene):
+        sc, _ = scene
+        out = render_ascii(sc.network, width=40, height=12)
+        lines = out.splitlines()
+        # border + 12 rows + border + legend
+        assert len(lines) == 15
+        assert all(len(l) == 42 for l in lines[:14])
+
+    def test_network_only(self, scene):
+        sc, _ = scene
+        out = render_ascii(sc.network)
+        assert "." in out
+
+    def test_too_small_canvas(self, scene):
+        sc, _ = scene
+        with pytest.raises(ValueError):
+            render_ascii(sc.network, width=5, height=2)
+
+    def test_user_selection(self, scene):
+        sc, profile = scene
+        out = render_ascii(sc.network, sc.tasks, profile, users=[3])
+        assert "3" in out
+
+
+class TestSvg:
+    def test_valid_document(self, scene):
+        sc, profile = scene
+        doc = render_svg(sc.network, sc.tasks, profile)
+        assert doc.startswith("<svg")
+        assert doc.endswith("</svg>")
+        assert "<polyline" in doc  # routes
+        assert "<circle" in doc  # tasks / origins
+
+    def test_selected_route_bold(self, scene):
+        sc, profile = scene
+        doc = render_svg(sc.network, sc.tasks, profile)
+        assert 'stroke-width="3.5"' in doc  # selected
+        assert "stroke-dasharray" in doc  # alternatives
+
+    def test_file_written(self, scene, tmp_path):
+        sc, profile = scene
+        path = tmp_path / "scene.svg"
+        doc = render_svg(sc.network, sc.tasks, profile, path=path)
+        assert path.read_text() == doc
+
+    def test_network_only(self, scene):
+        sc, _ = scene
+        doc = render_svg(sc.network)
+        assert "<line" in doc
+
+    def test_size_validation(self, scene):
+        sc, _ = scene
+        with pytest.raises(ValueError):
+            render_svg(sc.network, size_px=10)
