@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench experiments examples clean loc
+.PHONY: install test bench bench-json experiments examples clean loc
 
 install:
 	pip install -e . || $(PY) setup.py develop
@@ -12,6 +12,13 @@ test:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Machine-readable perf baseline (medians, stddevs) for PR-over-PR
+# comparison; CI uploads the file as an artifact.
+bench-json:
+	mkdir -p benchmarks/results
+	$(PY) -m pytest benchmarks/test_bench_core.py --benchmark-only \
+		--benchmark-json benchmarks/results/bench.json
 
 # Full-scale experiment sweep (writes CSVs under results/).
 experiments:

@@ -11,6 +11,7 @@ directly.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -22,6 +23,11 @@ from repro.core.equilibrium import is_nash_equilibrium
 from repro.core.potential import potential
 from repro.core.profile import StrategyProfile
 from repro.core.profit import all_profits
+from repro.obs import counter as _obs_counter
+from repro.obs import histogram as _obs_histogram
+from repro.obs.runtime import RUNTIME as _OBS
+from repro.obs.tracing import record as _obs_record
+from repro.obs.tracing import trace
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -101,19 +107,43 @@ class Allocator(ABC):
         moves: list[MoveRecord] = []
         slot = 0
         converged = False
-        while slot < self.config.max_slots:
-            granted = self._slot(profile, slot)
-            if not granted:
-                converged = True
-                break
-            slot += 1
-            for user, new_route, gain in granted:
-                old = profile.move(user, new_route)
-                moves.append(MoveRecord(slot, user, old, new_route, gain))
-                self._note_move(user, old, new_route)
-            if self.config.validate:
-                profile.validate()
-            recorder.snapshot(profile)
+        with trace("allocator.run", algorithm=self.name):
+            while slot < self.config.max_slots:
+                t0 = time.perf_counter() if _OBS.enabled else 0.0
+                granted = self._slot(profile, slot)
+                if _OBS.enabled:
+                    dt = time.perf_counter() - t0
+                    # One stopwatch feeds both views: the span table
+                    # ("allocator.run/allocator.slot") and the quantile
+                    # histogram.
+                    _obs_record("allocator.slot", dt)
+                    _obs_histogram(
+                        "allocator.slot_seconds", algorithm=self.name
+                    ).observe(dt)
+                    _obs_counter(
+                        "allocator.slots_total", algorithm=self.name
+                    ).inc()
+                    if granted:
+                        _obs_counter(
+                            "allocator.grants_total", algorithm=self.name
+                        ).inc(len(granted))
+                        delta = sum(g for _, _, g in granted)
+                        if delta > 0:
+                            _obs_counter(
+                                "allocator.potential_delta_total",
+                                algorithm=self.name,
+                            ).inc(delta)
+                if not granted:
+                    converged = True
+                    break
+                slot += 1
+                for user, new_route, gain in granted:
+                    old = profile.move(user, new_route)
+                    moves.append(MoveRecord(slot, user, old, new_route, gain))
+                    self._note_move(user, old, new_route)
+                if self.config.validate:
+                    profile.validate()
+                recorder.snapshot(profile)
         return AllocationResult(
             algorithm=self.name,
             profile=profile,
@@ -192,6 +222,11 @@ class ProposalCache:
         """Current update proposals of all improving users."""
         from repro.core.responses import best_update
 
+        if _OBS.enabled:
+            _obs_counter("allocator.proposals_generated").inc(len(self._dirty))
+            _obs_counter("allocator.cache_hits").inc(
+                len(self.game.users) - len(self._dirty)
+            )
         for i in sorted(self._dirty):
             self._cache[i] = best_update(
                 profile, i, pick=self.pick, rng=self.rng
@@ -201,10 +236,15 @@ class ProposalCache:
 
     def note_move(self, user: int, old_route: int, new_route: int) -> None:
         """Invalidate the mover and every user sharing a touched task."""
+        before = len(self._dirty) if _OBS.enabled else 0
         self._dirty.add(user)
         for route in (old_route, new_route):
             for k in self.game.covered_tasks(user, route):
                 self._dirty |= self._task_users.get(int(k), set())
+        if _OBS.enabled:
+            _obs_counter("allocator.cache_invalidations").inc(
+                len(self._dirty) - before
+            )
 
 
 class _HistoryRecorder:

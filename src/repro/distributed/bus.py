@@ -11,6 +11,12 @@ the control plane (grants, decisions, termination) rides a reliable
 transport while task-count updates may arrive late or never, leaving users
 to decide on stale counts.  Pass ``drop_prob > 0`` and a ``droppable``
 tuple of message types to enable it.
+
+Accounting: the bus always tracks per-type sent *and dropped* counts plus
+per-recipient mailbox high-water marks; with telemetry enabled
+(:mod:`repro.obs`) it additionally feeds the process-wide counters
+``bus.sent_total`` / ``bus.dropped_total`` / ``bus.delivered_total``
+(labeled by message type).
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from typing import Deque
 import numpy as np
 
 from repro.distributed.messages import Message, TaskCountUpdate
+from repro.obs import counter as _obs_counter
+from repro.obs.runtime import RUNTIME as _OBS
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_probability
 
@@ -37,6 +45,8 @@ class MessageBus:
     ) -> None:
         self._boxes: dict[str, Deque[Message]] = defaultdict(deque)
         self.sent_by_type: dict[str, int] = defaultdict(int)
+        self.dropped_by_type: dict[str, int] = defaultdict(int)
+        self.high_water: dict[str, int] = {}
         self.total_sent = 0
         self.total_dropped = 0
         self.drop_prob = check_probability("drop_prob", drop_prob)
@@ -51,16 +61,27 @@ class MessageBus:
         Droppable message types are lost with probability ``drop_prob``
         (still counted as sent — the sender paid for the transmission).
         """
-        self.sent_by_type[type(message).__name__] += 1
+        tname = type(message).__name__
+        self.sent_by_type[tname] += 1
         self.total_sent += 1
+        if _OBS.enabled:
+            _obs_counter("bus.sent_total", type=tname).inc()
         if (
             self._rng is not None
             and isinstance(message, self.droppable)
             and self._rng.random() < self.drop_prob
         ):
             self.total_dropped += 1
+            self.dropped_by_type[tname] += 1
+            if _OBS.enabled:
+                _obs_counter("bus.dropped_total", type=tname).inc()
             return
-        self._boxes[recipient].append(message)
+        box = self._boxes[recipient]
+        box.append(message)
+        if len(box) > self.high_water.get(recipient, 0):
+            self.high_water[recipient] = len(box)
+        if _OBS.enabled:
+            _obs_counter("bus.delivered_total", type=tname).inc()
 
     def drain(self, recipient: str) -> list[Message]:
         """Remove and return everything in ``recipient``'s mailbox."""
@@ -73,6 +94,15 @@ class MessageBus:
         """Number of undelivered messages for ``recipient``."""
         return len(self._boxes[recipient])
 
+    @property
+    def mailbox_high_water(self) -> int:
+        """Deepest any mailbox has ever been (0 when nothing was posted)."""
+        return max(self.high_water.values(), default=0)
+
     def traffic_summary(self) -> dict[str, int]:
         """Copy of the per-type delivery counters."""
         return dict(self.sent_by_type)
+
+    def drop_summary(self) -> dict[str, int]:
+        """Copy of the per-type drop counters."""
+        return dict(self.dropped_by_type)

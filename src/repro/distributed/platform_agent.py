@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.core.game import RouteNavigationGame
 from repro.distributed.bus import MessageBus
+from repro.obs import counter as _obs_counter
+from repro.obs.runtime import RUNTIME as _OBS
 from repro.distributed.messages import (
     DecisionReport,
     RouteAnnotation,
@@ -100,6 +102,11 @@ class PlatformAgent:
                 reports.append(msg)
             else:  # pragma: no cover - protocol misuse guard
                 raise TypeError(f"platform: unexpected message {type(msg).__name__}")
+        if _OBS.enabled:
+            if requests:
+                _obs_counter("platform.requests_total").inc(len(requests))
+            if reports:
+                _obs_counter("platform.reports_total").inc(len(reports))
         return requests, reports
 
     # ----------------------------------------------------------- bookkeeping
@@ -143,6 +150,10 @@ class PlatformAgent:
         for user in chosen:
             self.bus.post(_user_name(user), UpdateGrant(PLATFORM, slot=slot))
         self.granted_per_slot.append(len(chosen))
+        if _OBS.enabled:
+            _obs_counter("platform.grants_total", scheduler=self.scheduler).inc(
+                len(chosen)
+            )
         return chosen
 
     def _puu(self, requests: list[UpdateRequest]) -> list[int]:

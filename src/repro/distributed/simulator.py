@@ -25,6 +25,11 @@ from repro.core.profit import all_profits
 from repro.distributed.bus import MessageBus
 from repro.distributed.platform_agent import PlatformAgent
 from repro.distributed.user_agent import UserAgent
+from repro.obs import counter as _obs_counter
+from repro.obs import event as _obs_event
+from repro.obs import gauge as _obs_gauge
+from repro.obs.runtime import RUNTIME as _OBS
+from repro.obs.tracing import trace
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import require
 
@@ -40,6 +45,11 @@ class DistributedOutcome:
     total_messages: int
     granted_per_slot: list[int] = field(default_factory=list)
     profit_history: np.ndarray | None = None  # (slots+1, num_users)
+    # Messages actually lost in transit (sent - delivered), total and by
+    # type — ``message_traffic`` counts *sent* messages, dropped included.
+    dropped_messages: int = 0
+    dropped_by_type: dict[str, int] = field(default_factory=dict)
+    mailbox_high_water: int = 0
 
     @property
     def total_profit(self) -> float:
@@ -94,14 +104,15 @@ class DistributedSimulation:
 
     def run(self) -> DistributedOutcome:
         # ---- handshake (Alg. 2 lines 1-4, Alg. 1 lines 1-7)
-        self.platform.send_recommendations()
-        for agent in self._service_order():
-            agent.process_inbox()  # pick + report initial routes
-        _requests, reports = self.platform.process_inbox()
-        self.platform.apply_reports(reports)
-        self.platform.broadcast_counts(slot=0)
-        for agent in self._service_order():
-            agent.process_inbox()  # absorb initial counts
+        with trace("distributed.handshake", users=self.game.num_users):
+            self.platform.send_recommendations()
+            for agent in self._service_order():
+                agent.process_inbox()  # pick + report initial routes
+            _requests, reports = self.platform.process_inbox()
+            self.platform.apply_reports(reports)
+            self.platform.broadcast_counts(slot=0)
+            for agent in self._service_order():
+                agent.process_inbox()  # absorb initial counts
 
         history: list[np.ndarray] = []
         if self.record_history:
@@ -112,24 +123,28 @@ class DistributedSimulation:
         converged = False
         while slot < self.max_slots:
             slot += 1
-            for agent in self._service_order():
-                agent.begin_slot(slot)
-            requests, _ = self.platform.process_inbox()
-            if not requests:
-                self.platform.terminate(slot)
-                for agent in self._service_order():
-                    agent.process_inbox()
-                converged = True
-                slot -= 1  # the empty slot only carries the termination
-                break
-            self.platform.grant(slot, requests)
-            for agent in self._service_order():
-                agent.process_inbox()  # granted agents switch + report
-            _, reports = self.platform.process_inbox()
-            self.platform.apply_reports(reports)
-            self.platform.broadcast_counts(slot)
-            for agent in self._service_order():
-                agent.process_inbox()
+            with trace("distributed.slot"):
+                with trace("distributed.requests"):
+                    for agent in self._service_order():
+                        agent.begin_slot(slot)
+                    requests, _ = self.platform.process_inbox()
+                if not requests:
+                    self.platform.terminate(slot)
+                    for agent in self._service_order():
+                        agent.process_inbox()
+                    converged = True
+                    slot -= 1  # the empty slot only carries the termination
+                    break
+                with trace("distributed.grant"):
+                    self.platform.grant(slot, requests)
+                    for agent in self._service_order():
+                        agent.process_inbox()  # granted agents switch + report
+                with trace("distributed.broadcast"):
+                    _, reports = self.platform.process_inbox()
+                    self.platform.apply_reports(reports)
+                    self.platform.broadcast_counts(slot)
+                    for agent in self._service_order():
+                        agent.process_inbox()
             if self.validate_local_views:
                 self._check_local_views()
             if self.record_history:
@@ -138,6 +153,23 @@ class DistributedSimulation:
         profile = StrategyProfile(
             self.game, [self.platform.decisions[i] for i in self.game.users]
         )
+        if _OBS.enabled:
+            _obs_counter("distributed.runs_total", scheduler=self.scheduler).inc()
+            _obs_counter("distributed.slots_total").inc(slot)
+            _obs_counter("distributed.grants_total").inc(
+                sum(self.platform.granted_per_slot)
+            )
+            _obs_gauge("bus.mailbox_high_water").max_of(
+                self.bus.mailbox_high_water
+            )
+            _obs_event(
+                "distributed.run_done",
+                scheduler=self.scheduler,
+                slots=slot,
+                converged=converged,
+                messages=self.bus.total_sent,
+                dropped=self.bus.total_dropped,
+            )
         return DistributedOutcome(
             profile=profile,
             decision_slots=slot,
@@ -146,6 +178,9 @@ class DistributedSimulation:
             total_messages=self.bus.total_sent,
             granted_per_slot=list(self.platform.granted_per_slot),
             profit_history=np.vstack(history) if history else None,
+            dropped_messages=self.bus.total_dropped,
+            dropped_by_type=self.bus.drop_summary(),
+            mailbox_high_water=self.bus.mailbox_high_water,
         )
 
     # ------------------------------------------------------------ validation

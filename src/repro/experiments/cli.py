@@ -7,6 +7,8 @@ Examples::
     repro-experiments fig7 --repetitions 20 --processes 4
     repro-experiments table4 --csv out/table4.csv
     repro-experiments all --repetitions 5
+    repro-experiments fig3 --repetitions 2 --metrics-out run.json --trace
+    repro-experiments fig15 --log-level INFO --log-json events.jsonl
 """
 
 from __future__ import annotations
@@ -35,6 +37,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--csv", default=None, help="also write CSV here")
     parser.add_argument("--svg", default=None,
                         help="render the figure's series as an SVG chart here")
+    obs_group = parser.add_argument_group(
+        "observability", "telemetry collection (see docs/observability.md)"
+    )
+    obs_group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable telemetry and write a JSON run report (config, span "
+             "timings, metric snapshot) here",
+    )
+    obs_group.add_argument(
+        "--trace", action="store_true",
+        help="enable span tracing and print the hottest spans after each run",
+    )
+    obs_group.add_argument(
+        "--log-level", default=None, metavar="LEVEL", type=str.upper,
+        choices=["DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"],
+        help="enable structured event logging at LEVEL (DEBUG..ERROR)",
+    )
+    obs_group.add_argument(
+        "--log-json", default=None, metavar="PATH",
+        help="append structured events as JSON lines to PATH",
+    )
     return parser
 
 
@@ -48,6 +71,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{key:<{width}}  {exp.paper_artifact:<10} {exp.description}")
         return 0
 
+    telemetry = bool(
+        args.metrics_out or args.trace or args.log_json or args.log_level
+    )
+    if telemetry:
+        import repro.obs as obs
+
+        obs.enable()
+        if args.log_level or args.log_json:
+            obs.configure_logging(
+                args.log_level or "INFO",
+                json_path=args.log_json,
+                stream=sys.stderr if args.log_json is None else None,
+            )
+
     keys = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
     for key in keys:
         exp = get_experiment(key)
@@ -56,6 +93,10 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["repetitions"] = args.repetitions
         if args.processes is not None:
             kwargs["processes"] = args.processes
+        if telemetry:
+            import repro.obs as obs
+
+            obs.reset()
         start = time.perf_counter()
         table = exp.run(**kwargs)
         elapsed = time.perf_counter() - start
@@ -80,6 +121,35 @@ def main(argv: list[str] | None = None) -> int:
                     path=path,
                 )
                 print(f"[svg written to {path}]")
+        if telemetry:
+            from repro.obs.report import (
+                build_run_report,
+                format_span_table,
+                write_run_report,
+            )
+
+            if args.trace:
+                print(f"\n-- hottest spans ({key}) --")
+                print(format_span_table())
+            if args.metrics_out:
+                report = build_run_report(
+                    experiment=key,
+                    config={
+                        "experiment": key,
+                        "seed": args.seed,
+                        "repetitions": args.repetitions,
+                        "processes": args.processes,
+                        "rows": len(table),
+                    },
+                    wall_seconds=elapsed,
+                )
+                path = (
+                    args.metrics_out
+                    if len(keys) == 1
+                    else f"{args.metrics_out}.{key}.json"
+                )
+                write_run_report(path, report)
+                print(f"[run report written to {path}]")
     return 0
 
 

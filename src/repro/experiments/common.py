@@ -11,6 +11,7 @@ from repro.algorithms import make_allocator
 from repro.algorithms.base import AllocationResult, RunConfig
 from repro.core.game import RouteNavigationGame
 from repro.core.profile import StrategyProfile
+from repro.obs.tracing import trace
 from repro.scenario import ScenarioConfig, build_scenario
 from repro.utils.rng import spawn_children
 
@@ -86,7 +87,8 @@ def build_game_for_spec(spec: RepSpec) -> RouteNavigationGame:
         seed=spec.seed,
         **spec.scenario_overrides,
     )
-    return build_scenario(cfg).game
+    with trace("spec.build_game", city=spec.city, users=spec.n_users):
+        return build_scenario(cfg).game
 
 
 def run_algorithms_on_game(
@@ -100,11 +102,12 @@ def run_algorithms_on_game(
     rng = np.random.default_rng(spec.seed ^ 0x5EED)
     initial = StrategyProfile.random(game, rng)
     out: dict[str, AllocationResult] = {}
-    for idx, name in enumerate(spec.algorithms):
-        algo = make_allocator(
-            name,
-            seed=np.random.default_rng((spec.seed + 7919 * idx) & (2**63 - 1)),
-            config=RunConfig(record_history=spec.record_history),
-        )
-        out[name] = algo.run(game, initial=initial)
+    with trace("spec.algorithms"):
+        for idx, name in enumerate(spec.algorithms):
+            algo = make_allocator(
+                name,
+                seed=np.random.default_rng((spec.seed + 7919 * idx) & (2**63 - 1)),
+                config=RunConfig(record_history=spec.record_history),
+            )
+            out[name] = algo.run(game, initial=initial)
     return out

@@ -55,7 +55,10 @@ def _worker(spec: RepSpec) -> list[dict]:
                 "is_nash": float(is_nash_equilibrium(out.profile)),
                 "epsilon_gap": epsilon_nash_gap(out.profile),
                 "total_profit": out.total_profit,
-                "dropped_messages": out.message_traffic.get("TaskCountUpdate", 0),
+                # Messages actually lost in transit — NOT the number of
+                # TaskCountUpdate messages sent (sent counters include
+                # delivered messages; see MessageBus.dropped_by_type).
+                "dropped_messages": out.dropped_messages,
             }
         )
     return rows
@@ -82,6 +85,6 @@ def run(
     return raw.aggregate(
         by=["drop_prob"],
         values=["decision_slots", "terminated", "is_nash", "epsilon_gap",
-                "total_profit"],
+                "total_profit", "dropped_messages"],
         stats=("mean",),
     )

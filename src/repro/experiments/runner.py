@@ -4,20 +4,77 @@ Experiments produce a list of picklable *specs* (one per repetition x
 configuration); :func:`repeat_map` fans them out over a process pool (or
 runs inline) and flattens the per-spec row lists.  Workers must be
 module-level functions so they pickle under the ``spawn`` start method.
+
+With telemetry enabled (:mod:`repro.obs`), every spec's wall-clock
+duration lands in the ``runner.spec_seconds`` histogram, pool workers ship
+their metric/span snapshots back to the driver for merging, and the
+run-level ``runner.wall_seconds`` / ``runner.straggler_seconds`` /
+``runner.utilization`` gauges expose where a sweep's time went and which
+repetition was the straggler.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
 
+import repro.obs as obs
 from repro.experiments.results import ResultTable
 
 
 def default_processes() -> int:
     """Worker count: leave two cores for the driver (min 1)."""
     return max(1, (os.cpu_count() or 2) - 2)
+
+
+class _TelemetryWorker:
+    """Picklable wrapper shipping per-spec telemetry back to the driver.
+
+    Each call enables telemetry in the (possibly freshly spawned) worker
+    process, clears any state left by the previous spec on the same
+    worker, runs the real worker, and returns ``(rows, seconds,
+    snapshot)`` where ``snapshot`` is a plain-data
+    :class:`repro.obs.TelemetrySnapshot`.
+    """
+
+    def __init__(self, worker: Callable[[Any], list[dict]]) -> None:
+        self.worker = worker
+
+    def __call__(self, spec: Any) -> tuple[list[dict], float, obs.TelemetrySnapshot]:
+        obs.enable()
+        obs.reset()
+        t0 = time.perf_counter()
+        rows = self.worker(spec)
+        return rows, time.perf_counter() - t0, obs.snapshot()
+
+
+def _note_spec(index: int, spec: Any, seconds: float) -> None:
+    obs.histogram("runner.spec_seconds").observe(seconds)
+    obs.counter("runner.specs_total").inc()
+    obs.event(
+        "runner.spec_done",
+        index=index,
+        seconds=round(seconds, 6),
+        experiment=getattr(spec, "experiment", None),
+        rep=getattr(spec, "rep", None),
+    )
+
+
+def _note_run(durations: list[float], wall: float, workers: int) -> None:
+    busy = sum(durations)
+    obs.gauge("runner.wall_seconds").set(wall)
+    obs.gauge("runner.straggler_seconds").set(max(durations, default=0.0))
+    if wall > 0.0 and workers > 0:
+        obs.gauge("runner.utilization").set(busy / (wall * workers))
+    obs.event(
+        "runner.run_done",
+        specs=len(durations),
+        workers=workers,
+        wall_seconds=round(wall, 6),
+        busy_seconds=round(busy, 6),
+    )
 
 
 def repeat_map(
@@ -33,11 +90,35 @@ def repeat_map(
     follows spec order regardless of execution order.
     """
     table = ResultTable()
+    telemetry = obs.enabled()
+    wall0 = time.perf_counter()
     if processes is None or processes <= 1 or len(specs) <= 1:
-        for spec in specs:
+        durations: list[float] = []
+        for index, spec in enumerate(specs):
+            t0 = time.perf_counter() if telemetry else 0.0
             table.extend(worker(spec))
+            if telemetry:
+                seconds = time.perf_counter() - t0
+                durations.append(seconds)
+                _note_spec(index, spec, seconds)
+        if telemetry:
+            _note_run(durations, time.perf_counter() - wall0, workers=1)
         return table
-    with ProcessPoolExecutor(max_workers=min(processes, len(specs))) as pool:
-        for rows in pool.map(worker, specs, chunksize=max(1, len(specs) // (processes * 4) or 1)):
+    workers = min(processes, len(specs))
+    chunksize = max(1, len(specs) // (processes * 4) or 1)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        if not telemetry:
+            for rows in pool.map(worker, specs, chunksize=chunksize):
+                table.extend(rows)
+            return table
+        durations = []
+        wrapped = _TelemetryWorker(worker)
+        for index, (rows, seconds, snap) in enumerate(
+            pool.map(wrapped, specs, chunksize=chunksize)
+        ):
             table.extend(rows)
+            durations.append(seconds)
+            obs.merge_snapshot(snap)
+            _note_spec(index, specs[index], seconds)
+    _note_run(durations, time.perf_counter() - wall0, workers=workers)
     return table

@@ -14,6 +14,8 @@ from typing import Callable, Collection, Sequence
 import numpy as np
 
 from repro.network.graph import RoadNetwork
+from repro.obs import counter as _obs_counter
+from repro.obs.runtime import RUNTIME as _OBS
 
 WeightFn = Callable[[int], float]
 
@@ -102,6 +104,13 @@ def dijkstra(
                 parent[v] = u
                 parent_edge[v] = eid
                 heapq.heappush(heap, (nd, v))
+    if _OBS.enabled:
+        _obs_counter("network.dijkstra_calls").inc()
+        # Early exit settles far fewer nodes than a full sweep; the ratio
+        # of these two counters is the effective pruning factor.
+        _obs_counter("network.dijkstra_settled_nodes").inc(
+            int(np.count_nonzero(done))
+        )
     return ShortestPathResult(source, dist, parent, parent_edge)
 
 

@@ -1,0 +1,140 @@
+"""Telemetry subsystem: metrics registry, span tracing, structured events.
+
+Everything here is **off by default** and costs roughly an attribute check
+when disabled, so instrumented hot paths (allocator slots, the message
+bus, path search) stay benchmark-neutral.  Enable per run:
+
+    import repro.obs as obs
+
+    obs.enable()
+    ...                       # run experiments
+    print(obs.REGISTRY.to_dict())
+
+or scoped (tests):
+
+    with obs.session():
+        DistributedSimulation(game).run()
+        sent = obs.REGISTRY.snapshot().counter_values("bus.sent_total", "type")
+
+Process-pool workers ship their telemetry back to the driver as a
+picklable :class:`TelemetrySnapshot`; ``repro.experiments.runner`` merges
+them automatically.  See ``docs/observability.md`` for the metric/event
+catalog and the CLI flags.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.events import configure_logging, event, reset_logging
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.quantiles import Reservoir, quantile
+from repro.obs.runtime import RUNTIME, disable, enable, enabled
+from repro.obs.tracing import (
+    merge_trace_snapshot,
+    raw_spans,
+    record,
+    reset_tracing,
+    span_aggregates,
+    trace,
+    trace_snapshot,
+)
+
+__all__ = [
+    "REGISTRY",
+    "RUNTIME",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Reservoir",
+    "TelemetrySnapshot",
+    "configure_logging",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "gauge",
+    "histogram",
+    "merge_snapshot",
+    "merge_trace_snapshot",
+    "quantile",
+    "raw_spans",
+    "record",
+    "reset",
+    "reset_logging",
+    "reset_tracing",
+    "session",
+    "snapshot",
+    "span_aggregates",
+    "trace",
+    "trace_snapshot",
+]
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    """Counter from the process-wide registry (created on first use)."""
+    return REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    """Gauge from the process-wide registry."""
+    return REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: Any) -> Histogram:
+    """Histogram from the process-wide registry (default buckets)."""
+    return REGISTRY.histogram(name, **labels)
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Combined picklable telemetry state (metrics + span aggregates)."""
+
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    spans: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+def snapshot() -> TelemetrySnapshot:
+    """Picklable copy of the process's telemetry state."""
+    return TelemetrySnapshot(metrics=REGISTRY.snapshot(), spans=trace_snapshot())
+
+
+def merge_snapshot(snap: TelemetrySnapshot) -> None:
+    """Fold a worker's snapshot into this process's registry/span table."""
+    REGISTRY.merge_snapshot(snap.metrics)
+    merge_trace_snapshot(snap.spans)
+
+
+def reset() -> None:
+    """Clear all collected telemetry (registry and spans)."""
+    REGISTRY.reset()
+    reset_tracing()
+
+
+@contextmanager
+def session(*, fresh: bool = True):
+    """Enable telemetry for a scope, restoring the previous state after.
+
+    ``fresh=True`` (default) clears previously collected telemetry on
+    entry so the scope observes only its own activity.
+    """
+    prev = RUNTIME.enabled
+    if fresh:
+        reset()
+    enable()
+    try:
+        yield REGISTRY
+    finally:
+        RUNTIME.enabled = prev

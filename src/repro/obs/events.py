@@ -1,0 +1,85 @@
+"""Structured event log on top of stdlib ``logging``.
+
+Events are name + flat key/value fields; the JSON-lines handler renders
+each record as one JSON object per line so run logs are machine-parsable:
+
+    {"event": "runner.spec_done", "index": 3, "level": "info",
+     "seconds": 0.41, "ts": 1733489183.2}
+
+:func:`event` is a no-op (one attribute check) while telemetry is off, and
+respects the ``repro`` logger's level, so leaving instrumented ``event``
+calls in hot paths is free in production runs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import IO, Any
+
+from repro.obs.runtime import RUNTIME
+
+LOGGER_NAME = "repro"
+
+_logger = logging.getLogger(LOGGER_NAME)
+_handlers: list[logging.Handler] = []
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record; event fields are flattened in."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "event": record.getMessage(),
+        }
+        payload.update(getattr(record, "repro_fields", {}))
+        return json.dumps(payload, default=str, sort_keys=True)
+
+
+def event(name: str, *, level: int = logging.INFO, **fields: Any) -> None:
+    """Emit a structured event (no-op while telemetry is off)."""
+    if not RUNTIME.enabled:
+        return
+    if not _logger.isEnabledFor(level):
+        return
+    _logger.log(level, name, extra={"repro_fields": fields})
+
+
+def configure_logging(
+    level: int | str = "INFO",
+    *,
+    json_path: str | None = None,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Attach JSON-lines handlers to the ``repro`` logger.
+
+    ``json_path`` appends one JSON object per event to that file;
+    ``stream`` (e.g. ``sys.stderr``) mirrors events there.  Calling again
+    replaces the previously configured handlers.
+    """
+    reset_logging()
+    lvl = level if isinstance(level, int) else getattr(logging, str(level).upper())
+    _logger.setLevel(lvl)
+    _logger.propagate = False
+    formatter = JsonLinesFormatter()
+    if json_path is not None:
+        fh = logging.FileHandler(json_path, encoding="utf-8")
+        fh.setFormatter(formatter)
+        _logger.addHandler(fh)
+        _handlers.append(fh)
+    if stream is not None:
+        sh = logging.StreamHandler(stream)
+        sh.setFormatter(formatter)
+        _logger.addHandler(sh)
+        _handlers.append(sh)
+    return _logger
+
+
+def reset_logging() -> None:
+    """Detach and close the handlers installed by :func:`configure_logging`."""
+    for handler in _handlers:
+        _logger.removeHandler(handler)
+        handler.close()
+    _handlers.clear()

@@ -1,0 +1,349 @@
+"""Process-wide metrics registry: counters, gauges, and histograms.
+
+Design goals, in order:
+
+1. **Cheap when off** — instrument sites guard on
+   :data:`repro.obs.runtime.RUNTIME` before touching the registry, so the
+   disabled cost is one attribute load.  Metric objects themselves are
+   always live; gating is the *call site's* job.
+2. **Labeled series** — ``registry.counter("bus.sent_total", type="Grant")``
+   returns the counter for that label set, creating it on first use.
+3. **Picklable snapshots** — :class:`MetricsSnapshot` is plain dicts and
+   lists, so process-pool workers can ship their telemetry back to the
+   driver, which merges it with :meth:`MetricsRegistry.merge_snapshot`.
+4. **Stdlib only** — no numpy in the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.quantiles import Reservoir, quantile
+
+# ((key, value), ...) sorted by key — hashable, picklable label identity.
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default histogram buckets: exponential decades covering microseconds to
+#: minutes — suited to the span/slot durations this repo measures.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 60.0, 600.0,
+)
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+
+class Gauge:
+    """Last-written value with a high-water helper."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def max_of(self, v: float) -> None:
+        """High-water update: keep the maximum ever seen."""
+        if v > self.value:
+            self.value = float(v)
+
+
+class Histogram:
+    """Fixed-bucket histogram plus a reservoir for streaming quantiles.
+
+    ``bucket_counts`` has one overflow slot beyond the last bound, so its
+    length is ``len(buckets) + 1``.  Quantiles interpolate over the
+    reservoir sample via :func:`repro.obs.quantiles.quantile` — the same
+    implementation :class:`repro.utils.timer.Timer` uses for lap
+    percentiles.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max",
+                 "_reservoir")
+
+    def __init__(
+        self,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        *,
+        reservoir_cap: int = 1024,
+    ) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._reservoir = Reservoir(reservoir_cap)
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        idx = 0
+        for bound in self.buckets:
+            if v <= bound:
+                break
+            idx += 1
+        self.bucket_counts[idx] += 1
+        self._reservoir.add(v)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def values(self) -> list[float]:
+        """The reservoir sample (all observations until the cap)."""
+        return list(self._reservoir.values)
+
+    def quantile(self, q: float) -> float:
+        """Streaming quantile estimate; 0.0 before any observation."""
+        return quantile(self._reservoir.values, q) if self.count else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    # ------------------------------------------------------------- snapshot
+    def state(self) -> dict[str, Any]:
+        """Picklable state for snapshot/merge."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+            "values": list(self._reservoir.values),
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold another histogram's state into this one (same buckets)."""
+        if tuple(state["buckets"]) != self.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        self.count += state["count"]
+        self.sum += state["sum"]
+        for bound in ("min", "max"):
+            other = state[bound]
+            if other is None:
+                continue
+            mine = getattr(self, bound)
+            if mine is None:
+                setattr(self, bound, other)
+            else:
+                pick = min if bound == "min" else max
+                setattr(self, bound, pick(mine, other))
+        for i, n in enumerate(state["bucket_counts"]):
+            self.bucket_counts[i] += n
+        self._reservoir.extend(state["values"])
+
+
+@dataclass
+class MetricsSnapshot:
+    """Plain-data copy of a registry — picklable and mergeable.
+
+    Counters merge by addition, gauges by maximum (the registry only uses
+    gauges for high-water marks), histograms by state folding.
+    """
+
+    counters: dict[str, dict[LabelKey, float]] = field(default_factory=dict)
+    gauges: dict[str, dict[LabelKey, float]] = field(default_factory=dict)
+    histograms: dict[str, dict[LabelKey, dict]] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        for name, series in other.counters.items():
+            mine = self.counters.setdefault(name, {})
+            for key, v in series.items():
+                mine[key] = mine.get(key, 0.0) + v
+        for name, series in other.gauges.items():
+            mine = self.gauges.setdefault(name, {})
+            for key, v in series.items():
+                mine[key] = max(mine.get(key, v), v)
+        for name, series in other.histograms.items():
+            mine = self.histograms.setdefault(name, {})
+            for key, state in series.items():
+                if key in mine:
+                    h = Histogram(tuple(mine[key]["buckets"]))
+                    h.merge_state(mine[key])
+                    h.merge_state(state)
+                    mine[key] = h.state()
+                else:
+                    mine[key] = state
+        return self
+
+    def counter_values(self, name: str, label: str | None = None) -> dict:
+        """Counter series as ``{label_value: count}`` (or ``{(): count}``).
+
+        With ``label`` set, keys are that label's values — the common
+        "per-type" view, e.g. ``{"TaskCountUpdate": 40, "Grant": 12}``.
+        """
+        series = self.counters.get(name, {})
+        if label is None:
+            return dict(series)
+        out: dict[str, float] = {}
+        for key, v in series.items():
+            values = dict(key)
+            out[values.get(label, "")] = out.get(values.get(label, ""), 0.0) + v
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (label tuples become dicts)."""
+
+        def rows(series: dict[LabelKey, Any], render) -> list[dict]:
+            return [
+                {"labels": dict(key), **render(v)}
+                for key, v in sorted(series.items())
+            ]
+
+        def hist_row(state: dict) -> dict:
+            values = state["values"]
+            return {
+                "count": state["count"],
+                "sum": state["sum"],
+                "min": state["min"],
+                "max": state["max"],
+                "p50": quantile(values, 0.50) if values else None,
+                "p95": quantile(values, 0.95) if values else None,
+                "bucket_counts": {
+                    f"le_{bound:g}": n
+                    for bound, n in zip(state["buckets"], state["bucket_counts"])
+                }
+                | {"overflow": state["bucket_counts"][-1]},
+                "values": values,
+            }
+
+        return {
+            "counters": {
+                name: rows(series, lambda v: {"value": v})
+                for name, series in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: rows(series, lambda v: {"value": v})
+                for name, series in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: rows(series, hist_row)
+                for name, series in sorted(self.histograms.items())
+            },
+        }
+
+
+class _Family:
+    """All series of one metric name (one per label set)."""
+
+    __slots__ = ("kind", "name", "series", "hist_kwargs")
+
+    def __init__(self, kind: str, name: str, hist_kwargs: dict | None = None):
+        self.kind = kind
+        self.name = name
+        self.series: dict[LabelKey, Any] = {}
+        self.hist_kwargs = hist_kwargs or {}
+
+
+class MetricsRegistry:
+    """Named, labeled metric families with snapshot/reset semantics."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # -------------------------------------------------------------- getters
+    def _series(self, kind: str, name: str, labels: dict, factory) -> Any:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _Family(kind, name)
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}"
+            )
+        key = _label_key(labels)
+        metric = family.series.get(key)
+        if metric is None:
+            metric = family.series[key] = factory()
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._series("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._series("gauge", name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return self._series(
+            "histogram", name, labels, lambda: Histogram(buckets)
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> None:
+        """Drop every family (fresh registry semantics)."""
+        self._families.clear()
+
+    def __iter__(self) -> Iterator[tuple[str, str, LabelKey, Any]]:
+        for name, family in self._families.items():
+            for key, metric in family.series.items():
+                yield family.kind, name, key, metric
+
+    def snapshot(self) -> MetricsSnapshot:
+        snap = MetricsSnapshot()
+        for kind, name, key, metric in self:
+            if kind == "counter":
+                snap.counters.setdefault(name, {})[key] = metric.value
+            elif kind == "gauge":
+                snap.gauges.setdefault(name, {})[key] = metric.value
+            else:
+                snap.histograms.setdefault(name, {})[key] = metric.state()
+        return snap
+
+    def merge_snapshot(self, snap: MetricsSnapshot) -> None:
+        """Fold a worker's snapshot into the live registry."""
+        for name, series in snap.counters.items():
+            for key, v in series.items():
+                self.counter(name, **dict(key)).inc(v)
+        for name, series in snap.gauges.items():
+            for key, v in series.items():
+                self.gauge(name, **dict(key)).max_of(v)
+        for name, series in snap.histograms.items():
+            for key, state in series.items():
+                self.histogram(
+                    name, buckets=tuple(state["buckets"]), **dict(key)
+                ).merge_state(state)
+
+    def to_dict(self) -> dict[str, Any]:
+        return self.snapshot().to_dict()
+
+
+#: The process-wide default registry all instrument sites write to.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,77 @@
+"""Shared quantile estimation for the two timing paths.
+
+:func:`quantile` is the single interpolating-quantile implementation used
+by both :class:`repro.utils.timer.Timer` (lap percentiles) and
+:class:`repro.obs.metrics.Histogram` (streaming quantiles over a bounded
+reservoir), so the numbers they report are directly comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Interpolated quantile ``q`` (in ``[0, 1]``) of ``values``.
+
+    Linear interpolation between closest ranks (numpy's default method),
+    implemented stdlib-only so the obs layer has no heavy imports.
+    Raises ``ValueError`` on an empty sequence.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def percentiles(values: Sequence[float], qs: Iterable[float]) -> list[float]:
+    """Several quantiles of the same sequence (sorted once)."""
+    ordered = sorted(values)
+    return [quantile(ordered, q) for q in qs]
+
+
+class Reservoir:
+    """Bounded uniform sample of a value stream (Vitter's Algorithm R).
+
+    Keeps at most ``cap`` values; once full, each new value replaces a
+    random slot with probability ``cap / seen``.  A private seeded
+    :class:`random.Random` keeps runs reproducible.
+    """
+
+    __slots__ = ("cap", "seen", "values", "_rng")
+
+    def __init__(self, cap: int = 1024, *, seed: int = 0x0B5) -> None:
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.cap = cap
+        self.seen = 0
+        self.values: list[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.seen += 1
+        if len(self.values) < self.cap:
+            self.values.append(float(value))
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.cap:
+            self.values[slot] = float(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    def quantile(self, q: float) -> float:
+        return quantile(self.values, q)
+
+    def __len__(self) -> int:
+        return len(self.values)

@@ -1,0 +1,110 @@
+"""Run reports: one JSON document summarizing a telemetry-enabled run.
+
+The report bundles the run configuration, the span-timing table, the full
+metric snapshot, the per-message-type traffic view, and the runner's
+per-spec durations — everything the CLI's ``--metrics-out`` flag writes
+next to the CSV/SVG outputs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs import tracing
+from repro.obs.metrics import REGISTRY, MetricsRegistry, MetricsSnapshot
+
+SCHEMA = "repro.run_report/v1"
+
+
+def span_table(
+    aggregates: dict[str, dict[str, float]] | None = None,
+) -> list[dict[str, Any]]:
+    """Span aggregates as rows, hottest (total wall time) first."""
+    aggs = tracing.span_aggregates() if aggregates is None else aggregates
+    rows = [
+        {
+            "path": path,
+            "count": int(agg["count"]),
+            "total_seconds": agg["wall_seconds"],
+            "cpu_seconds": agg["cpu_seconds"],
+            "mean_seconds": agg["wall_seconds"] / max(agg["count"], 1),
+            "min_seconds": agg["min_seconds"],
+            "max_seconds": agg["max_seconds"],
+        }
+        for path, agg in aggs.items()
+    ]
+    rows.sort(key=lambda r: -r["total_seconds"])
+    return rows
+
+
+def _runner_section(snap: MetricsSnapshot) -> dict[str, Any]:
+    spec_series = snap.histograms.get("runner.spec_seconds", {})
+    durations: list[float] = []
+    total = 0.0
+    count = 0
+    for state in spec_series.values():
+        durations.extend(state["values"])
+        total += state["sum"]
+        count += state["count"]
+    gauges = {
+        name: next(iter(series.values()))
+        for name, series in snap.gauges.items()
+        if name.startswith("runner.") and series
+    }
+    return {
+        "specs": count,
+        "spec_seconds": durations,
+        "spec_seconds_sum": total,
+        "utilization": gauges.get("runner.utilization"),
+        "straggler_seconds": gauges.get("runner.straggler_seconds"),
+        "wall_seconds": gauges.get("runner.wall_seconds"),
+    }
+
+
+def build_run_report(
+    *,
+    experiment: str,
+    config: dict[str, Any],
+    wall_seconds: float,
+    registry: MetricsRegistry | None = None,
+) -> dict[str, Any]:
+    """Assemble the run report from the live registry and span tables."""
+    snap = (registry if registry is not None else REGISTRY).snapshot()
+    return {
+        "schema": SCHEMA,
+        "experiment": experiment,
+        "config": config,
+        "wall_seconds": wall_seconds,
+        "spans": span_table(),
+        "message_traffic": {
+            "sent_by_type": snap.counter_values("bus.sent_total", "type"),
+            "dropped_by_type": snap.counter_values("bus.dropped_total", "type"),
+            "delivered_by_type": snap.counter_values(
+                "bus.delivered_total", "type"
+            ),
+        },
+        "runner": _runner_section(snap),
+        "metrics": snap.to_dict(),
+    }
+
+
+def write_run_report(path: str, report: dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, default=str)
+        fh.write("\n")
+
+
+def format_span_table(limit: int = 12) -> str:
+    """Human-readable hottest-spans table for the CLI's ``--trace`` flag."""
+    rows = span_table()[:limit]
+    if not rows:
+        return "(no spans recorded)"
+    header = f"{'span':<44} {'count':>8} {'total s':>10} {'mean ms':>10} {'max ms':>10}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['path']:<44} {r['count']:>8} {r['total_seconds']:>10.3f} "
+            f"{r['mean_seconds'] * 1e3:>10.3f} {r['max_seconds'] * 1e3:>10.3f}"
+        )
+    return "\n".join(lines)

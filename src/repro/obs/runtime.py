@@ -1,0 +1,42 @@
+"""Process-wide telemetry switch.
+
+Telemetry is **off** by default.  Every instrumented site in the hot paths
+guards on the single shared ``RUNTIME.enabled`` attribute, so the disabled
+cost is one attribute load plus a branch — cheap enough that the tier-1
+benchmarks are unaffected.
+
+The ``REPRO_TELEMETRY`` environment variable (any value other than empty
+or ``0``) enables telemetry at import time; this is how enablement
+propagates to ``spawn``-started process-pool workers.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class _Runtime:
+    """Mutable holder so instrument sites can cache one reference."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = os.environ.get("REPRO_TELEMETRY", "0") not in ("", "0")
+
+
+RUNTIME = _Runtime()
+
+
+def enabled() -> bool:
+    """Whether telemetry collection is currently on."""
+    return RUNTIME.enabled
+
+
+def enable() -> None:
+    """Turn telemetry collection on (counters, spans, events)."""
+    RUNTIME.enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry collection off (instrument sites become no-ops)."""
+    RUNTIME.enabled = False

@@ -1,0 +1,163 @@
+"""Span tracing: nested wall-clock/CPU timing of named code regions.
+
+``with trace("distributed.slot"):`` opens a span; nesting builds a
+``/``-separated path ("allocator.run/allocator.slot").  Completed spans
+feed two stores:
+
+- **aggregates** — per-path count / total / min / max wall and CPU time
+  (bounded by the number of distinct paths, safe for million-span runs);
+- **raw spans** — the first :data:`MAX_RAW_SPANS` spans verbatim, for
+  detailed inspection of short runs.
+
+When telemetry is off (:mod:`repro.obs.runtime`), :func:`trace` returns a
+shared null context manager — the cost is one attribute check.
+:func:`record` lets call sites that already measured a duration (e.g. the
+allocator's per-slot stopwatch) file it as a span without timing twice.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.obs.runtime import RUNTIME
+
+MAX_RAW_SPANS = 2000
+
+_lock = threading.Lock()
+_aggregates: dict[str, dict[str, float]] = {}
+_raw: list[dict[str, Any]] = []
+
+
+class _Stack(threading.local):
+    def __init__(self) -> None:
+        self.names: list[str] = []
+
+
+_stack = _Stack()
+
+
+def _file_span(
+    path: str, wall: float, cpu: float, attrs: dict[str, Any]
+) -> None:
+    with _lock:
+        agg = _aggregates.get(path)
+        if agg is None:
+            agg = _aggregates[path] = {
+                "count": 0,
+                "wall_seconds": 0.0,
+                "cpu_seconds": 0.0,
+                "min_seconds": wall,
+                "max_seconds": wall,
+            }
+        agg["count"] += 1
+        agg["wall_seconds"] += wall
+        agg["cpu_seconds"] += cpu
+        if wall < agg["min_seconds"]:
+            agg["min_seconds"] = wall
+        if wall > agg["max_seconds"]:
+            agg["max_seconds"] = wall
+        if len(_raw) < MAX_RAW_SPANS:
+            span = {"path": path, "wall_seconds": wall, "cpu_seconds": cpu}
+            if attrs:
+                span["attrs"] = attrs
+            _raw.append(span)
+
+
+class Span:
+    """Live span; use via :func:`trace` as a context manager."""
+
+    __slots__ = ("name", "attrs", "path", "wall_seconds", "cpu_seconds",
+                 "_t0", "_c0")
+
+    def __init__(self, name: str, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.path = ""
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+
+    def __enter__(self) -> "Span":
+        _stack.names.append(self.name)
+        self.path = "/".join(_stack.names)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.wall_seconds = time.perf_counter() - self._t0
+        self.cpu_seconds = time.process_time() - self._c0
+        _stack.names.pop()
+        _file_span(self.path, self.wall_seconds, self.cpu_seconds, self.attrs)
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL = _NullSpan()
+
+
+def trace(name: str, **attrs: Any):
+    """Open a (nested) span named ``name``; no-op when telemetry is off."""
+    if not RUNTIME.enabled:
+        return _NULL
+    return Span(name, attrs)
+
+
+def record(
+    name: str, wall_seconds: float, *, cpu_seconds: float = 0.0, **attrs: Any
+) -> None:
+    """File an already-measured duration as a span under the current path."""
+    if not RUNTIME.enabled:
+        return
+    path = "/".join((*_stack.names, name))
+    _file_span(path, wall_seconds, cpu_seconds, attrs)
+
+
+def span_aggregates() -> dict[str, dict[str, float]]:
+    """Copy of the per-path aggregate table."""
+    with _lock:
+        return {path: dict(agg) for path, agg in _aggregates.items()}
+
+
+def raw_spans() -> list[dict[str, Any]]:
+    """Copy of the retained raw spans (first :data:`MAX_RAW_SPANS`)."""
+    with _lock:
+        return [dict(s) for s in _raw]
+
+
+def reset_tracing() -> None:
+    with _lock:
+        _aggregates.clear()
+        _raw.clear()
+    _stack.names.clear()
+
+
+def trace_snapshot() -> dict[str, dict[str, float]]:
+    """Picklable aggregate snapshot (raw spans stay local)."""
+    return span_aggregates()
+
+
+def merge_trace_snapshot(snap: dict[str, dict[str, float]]) -> None:
+    """Fold a worker's aggregate snapshot into this process's table."""
+    with _lock:
+        for path, other in snap.items():
+            agg = _aggregates.get(path)
+            if agg is None:
+                _aggregates[path] = dict(other)
+                continue
+            agg["count"] += other["count"]
+            agg["wall_seconds"] += other["wall_seconds"]
+            agg["cpu_seconds"] += other["cpu_seconds"]
+            agg["min_seconds"] = min(agg["min_seconds"], other["min_seconds"])
+            agg["max_seconds"] = max(agg["max_seconds"], other["max_seconds"])

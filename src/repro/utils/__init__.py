@@ -1,4 +1,9 @@
-"""Shared utilities: RNG management, validation, timing, logging."""
+"""Shared utilities: RNG management, validation, timing.
+
+Timing percentiles (``Timer.p50``/``p95``) are backed by the telemetry
+layer's quantile helper; see :mod:`repro.obs` for the full observability
+subsystem (metrics registry, span tracing, structured events).
+"""
 
 from repro.utils.rng import RngStream, as_generator, spawn_children
 from repro.utils.validation import (

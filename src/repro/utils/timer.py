@@ -1,9 +1,16 @@
-"""Lightweight wall-clock timing for experiment bookkeeping."""
+"""Lightweight wall-clock timing for experiment bookkeeping.
+
+Lap percentiles share their quantile implementation with the telemetry
+histograms (:mod:`repro.obs.quantiles`), so ``Timer.p95`` and
+``Histogram.p95`` report the same statistic over the same data.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+
+from repro.obs.quantiles import quantile
 
 
 @dataclass
@@ -51,3 +58,20 @@ class Timer:
     def mean_lap(self) -> float:
         """Average duration of completed laps (0.0 when none)."""
         return sum(self.laps) / len(self.laps) if self.laps else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Interpolated lap-duration percentile, ``p`` in [0, 100].
+
+        Returns 0.0 when no laps completed (mirrors :attr:`mean_lap`).
+        """
+        return quantile(self.laps, p / 100.0) if self.laps else 0.0
+
+    @property
+    def p50(self) -> float:
+        """Median lap duration (0.0 when none)."""
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile lap duration (0.0 when none)."""
+        return self.percentile(95.0)

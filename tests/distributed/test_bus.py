@@ -43,6 +43,65 @@ class TestMessageBus:
             "DecisionReport": 1,
         }
 
+    def test_mailbox_high_water(self):
+        bus = MessageBus()
+        assert bus.mailbox_high_water == 0
+        for slot in range(4):
+            bus.post("a", Termination("p", slot=slot))
+        bus.post("b", Termination("p", slot=0))
+        bus.drain("a")
+        bus.post("a", Termination("p", slot=9))
+        # High-water is sticky: draining does not lower it.
+        assert bus.high_water == {"a": 4, "b": 1}
+        assert bus.mailbox_high_water == 4
+
+
+class TestDropAccounting:
+    def test_per_type_send_and_drop_counters(self):
+        bus = MessageBus(drop_prob=1.0, seed=0)
+        for slot in range(5):
+            bus.post("u", TaskCountUpdate("p", slot=slot, counts={}))
+        bus.post("u", Termination("p", slot=0))
+        # Sent counts every transmission, dropped only the lost ones.
+        assert bus.sent_by_type == {"TaskCountUpdate": 5, "Termination": 1}
+        assert bus.drop_summary() == {"TaskCountUpdate": 5}
+        assert bus.total_dropped == 5
+        assert bus.pending("u") == 1
+
+    def test_partial_drop_split_is_consistent(self):
+        bus = MessageBus(drop_prob=0.4, seed=7)
+        for slot in range(500):
+            bus.post("u", TaskCountUpdate("p", slot=slot, counts={}))
+        dropped = bus.dropped_by_type["TaskCountUpdate"]
+        assert dropped == bus.total_dropped > 0
+        assert bus.pending("u") == 500 - dropped
+        assert bus.sent_by_type["TaskCountUpdate"] == 500
+
+    def test_no_drops_means_empty_drop_summary(self):
+        bus = MessageBus()
+        bus.post("u", TaskCountUpdate("p", slot=0, counts={}))
+        assert bus.drop_summary() == {}
+
+    def test_obs_counters_track_bus_accounting(self):
+        import repro.obs as obs
+
+        with obs.session():
+            bus = MessageBus(drop_prob=1.0, seed=0)
+            for slot in range(3):
+                bus.post("u", TaskCountUpdate("p", slot=slot, counts={}))
+            bus.post("u", Termination("p", slot=0))
+            snap = obs.REGISTRY.snapshot()
+        assert snap.counter_values("bus.sent_total", "type") == {
+            "TaskCountUpdate": 3.0,
+            "Termination": 1.0,
+        }
+        assert snap.counter_values("bus.dropped_total", "type") == {
+            "TaskCountUpdate": 3.0,
+        }
+        assert snap.counter_values("bus.delivered_total", "type") == {
+            "Termination": 1.0,
+        }
+
 
 class TestMessages:
     def test_messages_frozen(self):

@@ -84,3 +84,65 @@ class TestLossyProtocol:
             DistributedSimulation(
                 shanghai_game, drop_prob=0.2, validate_local_views=True
             )
+
+
+class TestDroppedMessageAccounting:
+    """Regression tests for the fig15 dropped-vs-sent confusion: the
+    outcome's drop counters must report messages *lost in transit*, not
+    the (much larger) number of TaskCountUpdate messages sent."""
+
+    def test_outcome_reports_actual_drops(self, shanghai_game):
+        sim = DistributedSimulation(
+            shanghai_game, seed=3, drop_prob=0.3, record_history=False,
+            max_slots=2000,
+        )
+        out = sim.run()
+        sent_updates = out.message_traffic["TaskCountUpdate"]
+        assert out.dropped_messages == sim.bus.total_dropped > 0
+        assert out.dropped_by_type == {"TaskCountUpdate": out.dropped_messages}
+        # Sent counts include delivered messages — strictly more than drops.
+        assert out.dropped_messages < sent_updates
+        assert out.mailbox_high_water == sim.bus.mailbox_high_water > 0
+
+    def test_reliable_run_reports_zero_drops(self, shanghai_game):
+        out = DistributedSimulation(
+            shanghai_game, seed=3, record_history=False
+        ).run()
+        assert out.dropped_messages == 0
+        assert out.dropped_by_type == {}
+        assert out.message_traffic["TaskCountUpdate"] > 0
+
+    def test_fig15_worker_uses_drop_counter(self, monkeypatch):
+        from repro.experiments import fig15_lossy
+        from repro.experiments.common import RepSpec
+
+        monkeypatch.setattr(fig15_lossy, "DROP_PROBS", (0.0, 0.4))
+        spec = RepSpec(
+            experiment="fig15", city="shanghai", n_users=8, n_tasks=16,
+            rep=0, seed=11, algorithms=(),
+        )
+        rows = fig15_lossy._worker(spec)
+        by_p = {r["drop_prob"]: r for r in rows}
+        assert by_p[0.0]["dropped_messages"] == 0
+        dropped = by_p[0.4]["dropped_messages"]
+        assert dropped > 0
+        # The old bug reported *sent* TaskCountUpdates; with at least one
+        # delivered broadcast per slot the sent count is strictly larger.
+        assert dropped < 8 * (by_p[0.4]["decision_slots"] + 1)
+
+    def test_accounting_with_shuffled_service_order(self, shanghai_game):
+        sim = DistributedSimulation(
+            shanghai_game, seed=5, drop_prob=0.2, record_history=False,
+            max_slots=2000, shuffle_service_order=True,
+        )
+        out = sim.run()
+        bus = sim.bus
+        assert out.total_messages == bus.total_sent == sum(
+            bus.sent_by_type.values()
+        )
+        assert out.dropped_messages == sum(bus.dropped_by_type.values())
+        # Only the droppable telemetry type may be dropped, regardless of
+        # the shuffled stepping order.
+        assert set(bus.dropped_by_type) <= {"TaskCountUpdate"}
+        # After termination every delivered message has been consumed.
+        assert all(bus.pending(name) == 0 for name in list(bus._boxes))

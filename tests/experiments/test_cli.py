@@ -1,8 +1,18 @@
 """Tests for the repro-experiments CLI."""
 
+import json
+
 import pytest
 
+import repro.obs as obs
 from repro.experiments.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def telemetry_off_after():
+    yield
+    obs.disable()
+    obs.reset_logging()
 
 
 class TestParser:
@@ -55,3 +65,52 @@ class TestMain:
         assert main(["fig13", "--svg", str(path)]) == 0
         assert "no chart spec" in capsys.readouterr().out
         assert not path.exists()
+
+
+class TestTelemetryFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.metrics_out is None and args.log_json is None
+        assert args.log_level is None and args.trace is False
+
+    def test_metrics_out_writes_run_report(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        assert main(["table3", "--repetitions", "1",
+                     "--metrics-out", str(path)]) == 0
+        report = json.loads(path.read_text())
+        assert report["schema"] == "repro.run_report/v1"
+        assert report["experiment"] == "table3"
+        assert report["config"]["repetitions"] == 1
+        assert report["wall_seconds"] > 0
+        # Span table includes the per-spec and per-slot timings.
+        paths = {s["path"] for s in report["spans"]}
+        assert any(p.endswith("allocator.slot") for p in paths)
+        # The traffic section is always present (empty for non-protocol
+        # experiments); metric snapshot carries the full registry.
+        assert set(report["message_traffic"]) == {
+            "sent_by_type", "dropped_by_type", "delivered_by_type"}
+        assert "allocator.slot_seconds" in report["metrics"]["histograms"]
+        # Per-spec durations exist and sum close to the wall clock.
+        runner = report["runner"]
+        assert runner["specs"] == len(runner["spec_seconds"]) > 0
+        assert runner["spec_seconds_sum"] <= report["wall_seconds"]
+        assert runner["spec_seconds_sum"] > 0.5 * report["wall_seconds"]
+
+    def test_trace_prints_hottest_spans(self, capsys):
+        assert main(["table3", "--repetitions", "1", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest spans" in out
+        assert "allocator.run" in out
+
+    def test_log_json_writes_events(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main(["table3", "--repetitions", "1",
+                     "--log-json", str(path)]) == 0
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        names = {e["event"] for e in events}
+        assert "runner.spec_done" in names
+        assert "runner.run_done" in names
+
+    def test_telemetry_disabled_by_default(self, capsys):
+        assert main(["table3", "--repetitions", "1"]) == 0
+        assert not obs.enabled()

@@ -4,6 +4,7 @@ import os
 
 import pytest
 
+import repro.obs as obs
 from repro.experiments.runner import default_processes, repeat_map
 
 
@@ -13,6 +14,12 @@ def _double(spec):
 
 def _multi_row(spec):
     return [{"spec": spec, "i": i} for i in range(3)]
+
+
+def _counting(spec):
+    # Worker that records telemetry of its own (merged back by the pool).
+    obs.counter("test.worker_calls").inc()
+    return [{"spec": spec}]
 
 
 class TestRepeatMap:
@@ -42,3 +49,43 @@ class TestRepeatMap:
 class TestDefaultProcesses:
     def test_at_least_one(self):
         assert default_processes() >= 1
+
+
+class TestRunnerTelemetry:
+    def test_disabled_records_nothing(self):
+        obs.disable()
+        obs.reset()
+        repeat_map(_double, [1, 2, 3])
+        assert obs.REGISTRY.snapshot().histograms == {}
+
+    def test_inline_spec_durations(self):
+        with obs.session():
+            repeat_map(_double, [1, 2, 3])
+            h = obs.histogram("runner.spec_seconds")
+            assert h.count == 3
+            assert len(h.values) == 3
+            assert obs.counter("runner.specs_total").value == 3
+            wall = obs.gauge("runner.wall_seconds").value
+            assert wall >= h.sum > 0.0
+            assert obs.gauge("runner.straggler_seconds").value == max(h.values)
+            assert 0.0 < obs.gauge("runner.utilization").value <= 1.0
+
+    @pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2,
+                        reason="needs >= 2 cores")
+    def test_pool_merges_worker_snapshots(self):
+        with obs.session():
+            table = repeat_map(_counting, list(range(4)), processes=2)
+            assert len(table) == 4
+            # Worker-side counters came back through the snapshot merge.
+            assert obs.counter("test.worker_calls").value == 4
+            h = obs.histogram("runner.spec_seconds")
+            assert h.count == 4
+            assert obs.gauge("runner.straggler_seconds").value == max(h.values)
+
+    @pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2,
+                        reason="needs >= 2 cores")
+    def test_pool_rows_identical_with_telemetry(self):
+        plain = repeat_map(_double, list(range(6)), processes=2)
+        with obs.session():
+            telemetered = repeat_map(_double, list(range(6)), processes=2)
+        assert plain.rows == telemetered.rows

@@ -1,0 +1,70 @@
+"""Tests for the structured event log (JSON lines over stdlib logging)."""
+
+import io
+import json
+import logging
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.events import configure_logging, event, reset_logging
+
+
+@pytest.fixture(autouse=True)
+def clean_logging():
+    yield
+    reset_logging()
+    obs.disable()
+
+
+class TestEvent:
+    def test_json_lines_to_stream(self):
+        obs.enable()
+        stream = io.StringIO()
+        configure_logging("INFO", stream=stream)
+        event("run.start", experiment="fig3", repetitions=2)
+        event("run.done", rows=10)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "run.start"
+        assert first["experiment"] == "fig3"
+        assert first["repetitions"] == 2
+        assert first["level"] == "info"
+        assert "ts" in first
+
+    def test_json_file_one_object_per_line(self, tmp_path):
+        obs.enable()
+        path = tmp_path / "events.jsonl"
+        configure_logging("INFO", json_path=str(path))
+        for i in range(3):
+            event("tick", index=i)
+        reset_logging()
+        parsed = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [p["index"] for p in parsed] == [0, 1, 2]
+
+    def test_disabled_emits_nothing(self):
+        obs.disable()
+        stream = io.StringIO()
+        configure_logging("DEBUG", stream=stream)
+        event("quiet")
+        assert stream.getvalue() == ""
+
+    def test_level_filtering(self):
+        obs.enable()
+        stream = io.StringIO()
+        configure_logging("WARNING", stream=stream)
+        event("info.event")  # default INFO, filtered
+        event("warn.event", level=logging.WARNING)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "warn.event"
+
+    def test_reconfigure_replaces_handlers(self):
+        obs.enable()
+        s1, s2 = io.StringIO(), io.StringIO()
+        configure_logging("INFO", stream=s1)
+        configure_logging("INFO", stream=s2)
+        event("only.second")
+        assert s1.getvalue() == ""
+        assert "only.second" in s2.getvalue()

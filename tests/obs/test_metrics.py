@@ -1,0 +1,203 @@
+"""Tests for the metrics registry: counters, gauges, histograms, snapshots."""
+
+import pickle
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.quantiles import Reservoir, quantile
+
+
+class TestQuantile:
+    def test_single_value(self):
+        assert quantile([3.0], 0.5) == 3.0
+
+    def test_median_interpolates(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        vals = [5.0, 1.0, 3.0]
+        assert quantile(vals, 0.0) == 1.0
+        assert quantile(vals, 1.0) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+class TestReservoir:
+    def test_keeps_everything_under_cap(self):
+        r = Reservoir(10)
+        r.extend(range(5))
+        assert sorted(r.values) == [0, 1, 2, 3, 4]
+
+    def test_bounded_above_cap(self):
+        r = Reservoir(16)
+        r.extend(range(1000))
+        assert len(r) == 16 and r.seen == 1000
+
+    def test_deterministic(self):
+        a, b = Reservoir(8), Reservoir(8)
+        a.extend(range(100))
+        b.extend(range(100))
+        assert a.values == b.values
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_set_and_high_water(self):
+        g = Gauge()
+        g.set(4.0)
+        g.max_of(2.0)
+        assert g.value == 4.0
+        g.max_of(9.0)
+        assert g.value == 9.0
+
+
+class TestHistogram:
+    def test_stats(self):
+        h = Histogram()
+        for v in (0.002, 0.004, 0.006, 0.2):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(0.212)
+        assert h.min == 0.002 and h.max == 0.2
+        assert h.mean == pytest.approx(0.053)
+        assert h.p50 == pytest.approx(0.005)
+
+    def test_bucket_counts(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1]  # <=1, <=10, overflow
+
+    def test_shares_quantile_impl_with_timer(self):
+        from repro.utils.timer import Timer
+
+        laps = [0.01, 0.02, 0.03, 0.04, 0.05]
+        h = Histogram()
+        t = Timer()
+        for v in laps:
+            h.observe(v)
+        t.laps.extend(laps)
+        assert h.p95 == pytest.approx(t.p95)
+        assert h.p50 == pytest.approx(t.p50)
+
+    def test_merge_state(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        b.observe(3.0)
+        a.merge_state(b.state())
+        assert a.count == 2 and a.sum == 4.0 and a.max == 3.0
+
+    def test_merge_rejects_different_buckets(self):
+        a = Histogram(buckets=(1.0,))
+        b = Histogram(buckets=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge_state(b.state())
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_labeled_series_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("x", type="a").inc()
+        reg.counter("x", type="b").inc(2)
+        snap = reg.snapshot()
+        assert snap.counter_values("x", "type") == {"a": 1.0, "b": 2.0}
+
+    def test_same_labels_same_series(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a=1, b=2).inc()
+        reg.counter("x", b=2, a=1).inc()  # order-insensitive
+        assert reg.counter("x", a=1, b=2).value == 2.0
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_reset_clears(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot().counters == {}
+
+    def test_snapshot_is_picklable_and_merges(self):
+        reg = MetricsRegistry()
+        reg.counter("c", type="t").inc(3)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(0.5)
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+        other = MetricsRegistry()
+        other.merge_snapshot(snap)
+        other.merge_snapshot(snap)
+        assert other.counter("c", type="t").value == 6.0
+        assert other.gauge("g").value == 5.0
+        assert other.histogram("h").count == 2
+
+    def test_snapshot_merge(self):
+        a = MetricsRegistry()
+        a.counter("c").inc()
+        b = MetricsRegistry()
+        b.counter("c").inc(2)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.counters["c"][()] == 3.0
+
+    def test_to_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", type="t").inc()
+        reg.histogram("h").observe(2.0)
+        d = reg.to_dict()
+        assert d["counters"]["c"] == [{"labels": {"type": "t"}, "value": 1.0}]
+        hist = d["histograms"]["h"][0]
+        assert hist["count"] == 1 and hist["p50"] == 2.0
+        assert "overflow" in hist["bucket_counts"]
+        assert len(hist["bucket_counts"]) == len(DEFAULT_BUCKETS) + 1
+
+
+class TestDisabledIsNoop:
+    def test_instrumented_run_records_nothing_when_disabled(self, fig1_game):
+        from repro.algorithms import DGRN
+
+        obs.disable()
+        obs.reset()
+        DGRN(seed=0).run(fig1_game)
+        snap = obs.REGISTRY.snapshot()
+        assert snap.counters == {} and snap.histograms == {}
+        assert obs.span_aggregates() == {}
+
+    def test_session_restores_disabled_state(self, fig1_game):
+        from repro.algorithms import DGRN
+
+        assert not obs.enabled()
+        with obs.session():
+            assert obs.enabled()
+            DGRN(seed=0).run(fig1_game)
+            assert obs.REGISTRY.counter("allocator.slots_total",
+                                        algorithm="DGRN").value > 0
+        assert not obs.enabled()

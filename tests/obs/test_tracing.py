@@ -1,0 +1,102 @@
+"""Tests for span tracing: nesting, aggregation, record(), merging."""
+
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.tracing import (
+    merge_trace_snapshot,
+    raw_spans,
+    record,
+    reset_tracing,
+    span_aggregates,
+    trace,
+    trace_snapshot,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing():
+    reset_tracing()
+    yield
+    obs.disable()
+    reset_tracing()
+
+
+class TestTrace:
+    def test_disabled_returns_null_span(self):
+        obs.disable()
+        with trace("outer"):
+            pass
+        assert span_aggregates() == {}
+
+    def test_nested_paths(self):
+        obs.enable()
+        with trace("outer"):
+            with trace("inner"):
+                pass
+            with trace("inner"):
+                pass
+        aggs = span_aggregates()
+        assert set(aggs) == {"outer", "outer/inner"}
+        assert aggs["outer/inner"]["count"] == 2
+        assert aggs["outer"]["count"] == 1
+
+    def test_durations_accumulate(self):
+        obs.enable()
+        with trace("t"):
+            time.sleep(0.01)
+        agg = span_aggregates()["t"]
+        assert agg["wall_seconds"] >= 0.01
+        assert agg["min_seconds"] <= agg["max_seconds"]
+
+    def test_span_exposes_duration(self):
+        obs.enable()
+        with trace("t") as sp:
+            pass
+        assert sp.wall_seconds >= 0.0 and sp.path == "t"
+
+    def test_stack_unwinds_on_exception(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with trace("outer"):
+                raise RuntimeError("boom")
+        with trace("after"):
+            pass
+        assert "after" in span_aggregates()  # not "outer/after"
+
+    def test_raw_spans_capture_attrs(self):
+        obs.enable()
+        with trace("t", city="roma"):
+            pass
+        spans = raw_spans()
+        assert spans[0]["path"] == "t"
+        assert spans[0]["attrs"] == {"city": "roma"}
+
+
+class TestRecord:
+    def test_record_under_current_path(self):
+        obs.enable()
+        with trace("outer"):
+            record("manual", 0.5)
+        agg = span_aggregates()["outer/manual"]
+        assert agg["count"] == 1
+        assert agg["wall_seconds"] == pytest.approx(0.5)
+
+    def test_record_disabled_is_noop(self):
+        obs.disable()
+        record("manual", 0.5)
+        assert span_aggregates() == {}
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counts(self):
+        obs.enable()
+        with trace("t"):
+            pass
+        snap = trace_snapshot()
+        reset_tracing()
+        merge_trace_snapshot(snap)
+        merge_trace_snapshot(snap)
+        assert span_aggregates()["t"]["count"] == 2

@@ -43,3 +43,27 @@ class TestTimer:
             pass
         t.reset()
         assert t.elapsed == 0.0 and t.laps == [] and t._start is None
+
+    def test_percentiles_empty(self):
+        t = Timer()
+        assert t.p50 == 0.0 and t.p95 == 0.0 and t.percentile(10) == 0.0
+
+    def test_percentiles_of_laps(self):
+        t = Timer()
+        t.laps.extend([0.1, 0.2, 0.3, 0.4, 0.5])
+        assert t.p50 == pytest.approx(0.3)
+        assert t.percentile(100) == pytest.approx(0.5)
+        assert t.percentile(0) == pytest.approx(0.1)
+        assert t.p95 == pytest.approx(0.48)
+
+    def test_percentiles_match_obs_histogram(self):
+        from repro.obs.metrics import Histogram
+
+        laps = [0.05, 0.01, 0.2, 0.11, 0.07, 0.31]
+        t = Timer()
+        t.laps.extend(laps)
+        h = Histogram()
+        for v in laps:
+            h.observe(v)
+        assert t.p50 == pytest.approx(h.p50)
+        assert t.p95 == pytest.approx(h.p95)
