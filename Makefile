@@ -17,7 +17,8 @@ bench:
 # comparison; CI uploads the file as an artifact.
 bench-json:
 	mkdir -p benchmarks/results
-	$(PY) -m pytest benchmarks/test_bench_core.py --benchmark-only \
+	$(PY) -m pytest benchmarks/test_bench_core.py \
+		benchmarks/test_bench_kernels.py --benchmark-only \
 		--benchmark-json benchmarks/results/bench.json
 
 # Full-scale experiment sweep (writes CSVs under results/).

@@ -1,0 +1,146 @@
+"""Micro-benchmarks for the flat CSR game kernels (perf trajectory).
+
+One dense synthetic instance (500 users, 12 routes each, 400 tasks) drives
+four benchmark groups that land in ``benchmarks/results/bench.json`` via
+``make bench-json``:
+
+- ``candidate_profits`` — vectorized CSR kernel vs. the retained scalar
+  reference (:mod:`repro.core.reference`);
+- ``potential_delta`` — sorted-segment ``setdiff1d`` vs. Python sets;
+- ``all_profits`` — one gather + segmented reduction vs. the per-user loop;
+- a full DGRN run to Nash equilibrium on the same instance.
+
+``test_speedup_floor`` asserts the >=3x kernel speedup the refactor
+promises, using min-of-repeats wall timing (robust to scheduler noise).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DGRN
+from repro.algorithms.base import RunConfig
+from repro.core import (
+    PlatformWeights,
+    RouteNavigationGame,
+    StrategyProfile,
+    UserWeights,
+)
+from repro.core.potential import potential_delta
+from repro.core.profit import all_profits, candidate_profits
+from repro.core.reference import (
+    all_profits_reference,
+    candidate_profits_reference,
+    potential_delta_reference,
+)
+
+N_USERS = 500
+N_TASKS = 400
+N_ROUTES = 12
+ROUTE_LEN = 15
+
+
+@pytest.fixture(scope="module")
+def dense_game() -> RouteNavigationGame:
+    """Dense synthetic instance: 500 users x 12 routes x 15 tasks/route."""
+    rng = np.random.default_rng(7)
+    cov = [
+        [
+            sorted(rng.choice(N_TASKS, size=ROUTE_LEN, replace=False).tolist())
+            for _ in range(N_ROUTES)
+        ]
+        for _ in range(N_USERS)
+    ]
+    return RouteNavigationGame.from_coverage(
+        cov,
+        base_rewards=rng.uniform(10, 20, N_TASKS).tolist(),
+        reward_increments=rng.uniform(0, 1, N_TASKS).tolist(),
+        detours=[[float(rng.uniform(0, 5)) for _ in r] for r in cov],
+        congestions=[[float(rng.uniform(0, 5)) for _ in r] for r in cov],
+        user_weights=[
+            UserWeights(*(float(v) for v in rng.uniform(0.2, 0.9, 3)))
+            for _ in range(N_USERS)
+        ],
+        platform=PlatformWeights(0.5, 0.5),
+    )
+
+
+@pytest.fixture(scope="module")
+def dense_profile(dense_game):
+    return StrategyProfile.random(dense_game, np.random.default_rng(1))
+
+
+class TestKernels:
+    def test_candidate_profits_csr(self, benchmark, dense_profile):
+        benchmark(candidate_profits, dense_profile, 0)
+
+    def test_candidate_profits_scalar_reference(self, benchmark, dense_profile):
+        benchmark(candidate_profits_reference, dense_profile, 0)
+
+    def test_potential_delta_csr(self, benchmark, dense_profile):
+        benchmark(potential_delta, dense_profile, 0, 1)
+
+    def test_potential_delta_scalar_reference(self, benchmark, dense_profile):
+        benchmark(potential_delta_reference, dense_profile, 0, 1)
+
+    def test_all_profits_csr(self, benchmark, dense_profile):
+        benchmark(all_profits, dense_profile)
+
+    def test_all_profits_scalar_reference(self, benchmark, dense_profile):
+        benchmark(all_profits_reference, dense_profile)
+
+    def test_profile_recount(self, benchmark, dense_profile):
+        benchmark(dense_profile._recount)
+
+
+class TestFullRun:
+    def test_dgrn_dense_500_users(self, benchmark, dense_game):
+        """Full best-response dynamics to Nash on the dense instance."""
+
+        def run():
+            return DGRN(
+                seed=0, config=RunConfig(record_history=False)
+            ).run(dense_game)
+
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert result.converged
+        assert result.profile.game is dense_game
+
+
+def _best_of(f, *args, reps: int = 100, passes: int = 5) -> float:
+    best = float("inf")
+    for _ in range(passes):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            f(*args)
+        best = min(best, (time.perf_counter() - t0) / reps)
+    return best
+
+
+def test_speedup_floor(dense_profile):
+    """The CSR kernels must beat the scalar references by >=3x (dense case)."""
+    pairs = {
+        "candidate_profits": (
+            _best_of(candidate_profits_reference, dense_profile, 0),
+            _best_of(candidate_profits, dense_profile, 0),
+        ),
+        "potential_delta": (
+            _best_of(potential_delta_reference, dense_profile, 0, 1),
+            _best_of(potential_delta, dense_profile, 0, 1),
+        ),
+        "all_profits": (
+            _best_of(all_profits_reference, dense_profile, reps=20),
+            _best_of(all_profits, dense_profile, reps=20),
+        ),
+    }
+    print()
+    for name, (scalar, csr) in pairs.items():
+        print(
+            f"{name}: {scalar * 1e6:8.1f}us scalar -> {csr * 1e6:8.1f}us csr "
+            f"({scalar / csr:4.1f}x)"
+        )
+    for name, (scalar, csr) in pairs.items():
+        assert scalar / csr >= 3.0, f"{name} speedup below 3x"

@@ -194,9 +194,16 @@ class ProposalCache:
     A user's best response depends only on (a) its own current route and
     (b) the participant counts of tasks its routes cover.  After a slot's
     moves execute, only the movers and the users whose route tasks
-    intersect the moved tasks can have changed proposals — everyone
-    else's cached proposal stays exact.  On dense instances this cuts the
-    per-slot best-response sweep from O(M) to O(conflict neighbourhood).
+    intersect the tasks with *changed counts* — the symmetric difference
+    of the old and new route, not the union — can have changed proposals;
+    everyone else's cached proposal stays exact.  On dense instances this
+    cuts the per-slot best-response sweep from O(M) to O(conflict
+    neighbourhood).
+
+    The ``task -> users`` incidence is the game's shared CSR
+    (:meth:`~repro.core.arrays.GameArrays.task_user_csr`); dirtiness is a
+    boolean mask, so invalidation is a gather + scatter with no Python
+    set algebra.
     """
 
     def __init__(
@@ -209,41 +216,48 @@ class ProposalCache:
         self.game = game
         self.pick = pick
         self.rng = rng
-        # task id -> users with any route covering it.
-        self._task_users: dict[int, set[int]] = {}
-        for i in game.users:
-            for j in range(game.num_routes(i)):
-                for k in game.covered_tasks(i, j):
-                    self._task_users.setdefault(int(k), set()).add(i)
-        self._cache: dict[int, object] = {}
-        self._dirty: set[int] = set(game.users)
+        self._arrays = game.arrays
+        self._tu_indptr, self._tu_users = game.arrays.task_user_csr()
+        self._cache: list[object | None] = [None] * game.num_users
+        self._dirty = np.ones(game.num_users, dtype=bool)
 
     def proposals(self, profile: StrategyProfile) -> list:
         """Current update proposals of all improving users."""
         from repro.core.responses import best_update
 
+        dirty_ids = np.flatnonzero(self._dirty)
         if _OBS.enabled:
-            _obs_counter("allocator.proposals_generated").inc(len(self._dirty))
+            _obs_counter("allocator.proposals_generated").inc(len(dirty_ids))
             _obs_counter("allocator.cache_hits").inc(
-                len(self.game.users) - len(self._dirty)
+                self.game.num_users - len(dirty_ids)
             )
-        for i in sorted(self._dirty):
+        for i in dirty_ids:
             self._cache[i] = best_update(
-                profile, i, pick=self.pick, rng=self.rng
+                profile, int(i), pick=self.pick, rng=self.rng
             )
-        self._dirty.clear()
-        return [p for p in (self._cache[i] for i in self.game.users) if p is not None]
+        self._dirty[:] = False
+        return [p for p in self._cache if p is not None]
 
     def note_move(self, user: int, old_route: int, new_route: int) -> None:
-        """Invalidate the mover and every user sharing a touched task."""
-        before = len(self._dirty) if _OBS.enabled else 0
-        self._dirty.add(user)
-        for route in (old_route, new_route):
-            for k in self.game.covered_tasks(user, route):
-                self._dirty |= self._task_users.get(int(k), set())
+        """Invalidate the mover and every user sharing a changed-count task.
+
+        Only the symmetric difference of the two routes' task sets changes
+        counters; tasks covered by both routes keep ``n_k`` and cannot
+        perturb anyone's cached proposal.
+        """
+        ga = self._arrays
+        before = int(np.count_nonzero(self._dirty)) if _OBS.enabled else 0
+        self._dirty[user] = True
+        gained, lost = ga.changed_tasks(
+            ga.route_id(user, old_route), ga.route_id(user, new_route)
+        )
+        changed = np.concatenate([gained, lost])
+        if changed.size:
+            users = ga.gather_rows(self._tu_indptr, self._tu_users, changed)
+            self._dirty[users] = True
         if _OBS.enabled:
             _obs_counter("allocator.cache_invalidations").inc(
-                len(self._dirty) - before
+                int(np.count_nonzero(self._dirty)) - before
             )
 
 

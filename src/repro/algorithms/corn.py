@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.arrays import segment_sums
 from repro.core.game import RouteNavigationGame
 from repro.core.profile import StrategyProfile
 from repro.core.profit import total_profit
@@ -115,25 +116,11 @@ class CORN(Allocator):
         else:
             suf = np.zeros((0, m + 2))
 
-        # Global flattened route structure: one reduceat scores every route
-        # of every user at once (the per-node bound is the hot path).
-        alphas = np.array([uw.alpha for uw in game.user_weights])
-        all_ids: list[np.ndarray] = []
-        route_alpha: list[float] = []
-        route_cost: list[float] = []
-        user_route_start = np.zeros(m + 1, dtype=np.intp)
-        for i in game.users:
-            user_route_start[i + 1] = user_route_start[i] + game.num_routes(i)
-            for j in range(game.num_routes(i)):
-                all_ids.append(game.covered_tasks(i, j))
-                route_alpha.append(float(alphas[i]))
-                route_cost.append(float(game.route_cost[i][j]))
-        lens = np.array([len(a) for a in all_ids], dtype=np.intp)
-        big_flat = (
-            np.concatenate(all_ids).astype(np.intp)
-            if lens.sum() else np.zeros(0, dtype=np.intp)
-        )
-        big_offsets = np.concatenate([[0], np.cumsum(lens)[:-1]]).astype(np.intp)
+        # Global flattened route structure: the game's compiled CSR layout
+        # scores every route of every user in one segmented reduction (the
+        # per-node bound is the hot path).
+        ga = game.arrays
+        alphas = ga.alpha
 
         # Incumbent: a Nash profile from steepest-ascent dynamics.
         seed_result = BUAU(
@@ -148,22 +135,19 @@ class CORN(Allocator):
         self._alphas = alphas
         self._base = base
         self._incs = incs
-        self._big_flat = big_flat
-        self._big_offsets_clipped = (
-            np.minimum(big_offsets, max(big_flat.size - 1, 0))
-            if big_flat.size else big_offsets
-        )
-        self._route_lens = lens
-        self._route_alpha = np.asarray(route_alpha)
-        self._route_cost_flat = np.asarray(route_cost)
-        self._user_route_start = user_route_start
+        self._big_flat = ga.task_ids
+        self._big_offsets = ga.indptr[:-1]
+        self._route_lens = ga.route_len
+        self._route_alpha = alphas[ga.route_user]
+        self._route_cost_flat = ga.route_cost
+        self._user_route_start = ga.user_route_offset
         self._counts = np.zeros(n, dtype=np.intp)
         self._alpha_mass = np.zeros(n)
         self._running_reward = 0.0
         self._running_cost = 0.0
         self._choices = np.zeros(m, dtype=np.intp)
         # chosen_global[i] = global route index of user i's current choice.
-        self._chosen_global = user_route_start[:-1].copy()
+        self._chosen_global = ga.user_route_offset[:-1].copy()
         self.nodes_expanded = 0
 
         if m > 0:
@@ -190,15 +174,11 @@ class CORN(Allocator):
     def _all_route_caps(self, v: np.ndarray) -> np.ndarray:
         """``alpha_r * sum v[ids_r] - cost_r`` for every route of every user.
 
-        One vectorized reduceat over the global flat-id array.  reduceat
-        quirks (index == len raises; zero-length segments copy the next
-        element) are handled by clipped offsets and an explicit empty mask.
+        One vectorized segmented reduction over the game's CSR layout
+        (:func:`repro.core.arrays.segment_sums` absorbs the empty-segment
+        reduceat quirks).
         """
-        if self._big_flat.size:
-            sums = np.add.reduceat(v[self._big_flat], self._big_offsets_clipped)
-            sums = np.where(self._route_lens > 0, sums, 0.0)
-        else:
-            sums = np.zeros(len(self._route_cost_flat))
+        sums = segment_sums(v[self._big_flat], self._big_offsets, self._route_lens)
         return self._route_alpha * sums - self._route_cost_flat
 
     # ------------------------------------------------------------------- DFS

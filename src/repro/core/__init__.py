@@ -7,6 +7,7 @@ Multi-user route-navigation game (Section 3), weighted potential function
 """
 
 from repro.core.weights import PlatformWeights, UserWeights, E_MAX_DEFAULT, E_MIN_DEFAULT
+from repro.core.arrays import GameArrays
 from repro.core.game import RouteNavigationGame
 from repro.core.profile import StrategyProfile
 from repro.core.profit import (
@@ -44,6 +45,7 @@ __all__ = [
     "E_MAX_DEFAULT",
     "E_MIN_DEFAULT",
     "EquilibriumAnalysis",
+    "GameArrays",
     "PlatformWeights",
     "RouteNavigationGame",
     "SetCoverInstance",

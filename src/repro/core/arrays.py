@@ -1,0 +1,328 @@
+"""Flat CSR representation of the game — the compiled array core.
+
+Every hot kernel of the response dynamics (Alg. 1-3) reduces to gathers
+and segment reductions over one shared layout, built once per
+:class:`~repro.core.game.RouteNavigationGame`:
+
+- Routes are numbered **globally**: user ``i``'s route ``j`` has the flat
+  id ``g = user_route_offset[i] + j``; ``user_route_offset`` has ``M + 1``
+  entries so ``user_route_offset[i]:user_route_offset[i+1]`` slices user
+  ``i``'s routes out of any per-route vector.
+- Route→task incidence is CSR: global route ``g`` covers
+  ``task_ids[indptr[g]:indptr[g+1]]``.  ``task_ids_sorted`` holds the same
+  segments with each segment sorted (symmetric differences via
+  :func:`numpy.setdiff1d` with ``assume_unique=True``).
+- Per-route scalars are flat ``(R,)`` vectors: ``route_cost`` (the
+  ``beta_i d + gamma_i b`` part of Eq. 2), ``route_pot_cost``
+  (``route_cost / alpha_i``, Eq. 8), ``route_detour`` (``h(r)``),
+  ``route_congestion`` (``c(r)``), ``route_len`` (segment lengths) and
+  ``route_user`` (owning user).
+
+The legacy ragged accessors on the game (``covered_tasks``,
+``route_cost[i]``) are *views* into these arrays, so there is exactly one
+source of truth for coverage/cost data.  See ``docs/architecture.md`` for
+the layout diagram and invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["GameArrays", "gather_segments", "segment_sums"]
+
+
+def gather_segments(
+    data: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``data[starts[k] : starts[k] + lengths[k]]`` for all ``k``.
+
+    Fully vectorized multi-segment gather: one ``arange`` shifted per
+    segment by ``repeat``; zero-length segments contribute nothing.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=data.dtype)
+    ends = np.cumsum(lengths)
+    idx = np.arange(total) + np.repeat(starts - (ends - lengths), lengths)
+    return data[idx]
+
+
+def segment_sums(
+    values: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Per-segment sums of consecutive ``values`` runs, tolerating empties.
+
+    ``values`` must be the in-order concatenation of the segments.
+    ``np.add.reduceat`` has two edge quirks this wraps away: an offset
+    equal to ``len(values)`` raises, and a zero-length segment copies the
+    element at its offset instead of summing nothing.  Empty segments are
+    dropped before the reduction (their starts would also corrupt the
+    neighbouring ranges) and come back as exact ``0.0``.
+    """
+    out = np.zeros(len(lengths))
+    if values.size == 0:
+        return out
+    nonempty = np.flatnonzero(lengths > 0)
+    if nonempty.size:
+        out[nonempty] = np.add.reduceat(values, starts[nonempty])
+    return out
+
+
+class GameArrays:
+    """Compiled flat-array layout shared by every coverage/cost consumer.
+
+    Construction happens once, inside ``RouteNavigationGame.__post_init__``;
+    all inputs are already validated there.  Kernels never loop over routes
+    or tasks in Python.
+    """
+
+    __slots__ = (
+        "num_users",
+        "num_tasks",
+        "num_routes_total",
+        "user_route_offset",
+        "task_ids",
+        "task_ids_sorted",
+        "indptr",
+        "route_len",
+        "route_user",
+        "route_cost",
+        "route_pot_cost",
+        "route_detour",
+        "route_congestion",
+        "alpha",
+        "base_rewards",
+        "reward_increments",
+        "_task_user_csr",
+        "_user_task_csr",
+    )
+
+    def __init__(
+        self,
+        *,
+        route_counts: Sequence[int],
+        flat_task_ids: np.ndarray,
+        indptr: np.ndarray,
+        route_detour: np.ndarray,
+        route_congestion: np.ndarray,
+        route_cost: np.ndarray,
+        route_pot_cost: np.ndarray,
+        alpha: np.ndarray,
+        base_rewards: np.ndarray,
+        reward_increments: np.ndarray,
+    ) -> None:
+        counts = np.asarray(route_counts, dtype=np.intp)
+        self.num_users = int(len(counts))
+        self.num_tasks = int(len(base_rewards))
+        self.num_routes_total = int(counts.sum())
+        self.user_route_offset = np.concatenate(
+            [[0], np.cumsum(counts)]
+        ).astype(np.intp)
+        self.task_ids = np.ascontiguousarray(flat_task_ids, dtype=np.intp)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.intp)
+        self.route_len = np.diff(self.indptr)
+        self.route_user = np.repeat(
+            np.arange(self.num_users, dtype=np.intp), counts
+        )
+        self.route_cost = np.ascontiguousarray(route_cost, dtype=float)
+        self.route_pot_cost = np.ascontiguousarray(route_pot_cost, dtype=float)
+        self.route_detour = np.ascontiguousarray(route_detour, dtype=float)
+        self.route_congestion = np.ascontiguousarray(
+            route_congestion, dtype=float
+        )
+        self.alpha = np.ascontiguousarray(alpha, dtype=float)
+        self.base_rewards = base_rewards
+        self.reward_increments = reward_increments
+        # Per-segment sorted copy (the CSR segments keep route order):
+        # lexsort by (value within segment, segment id) sorts each segment
+        # in place without a Python loop over routes.
+        if self.task_ids.size:
+            seg_of = np.repeat(
+                np.arange(self.num_routes_total, dtype=np.intp), self.route_len
+            )
+            order = np.lexsort((self.task_ids, seg_of))
+            self.task_ids_sorted = self.task_ids[order]
+        else:
+            self.task_ids_sorted = self.task_ids.copy()
+        self._task_user_csr: tuple[np.ndarray, np.ndarray] | None = None
+        self._user_task_csr: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------- addressing
+    def route_id(self, user: int, route: int) -> int:
+        """Global route id of ``(user, route)``."""
+        return int(self.user_route_offset[user]) + int(route)
+
+    def user_slice(self, user: int) -> slice:
+        """Slice of user ``user``'s routes in any per-route vector."""
+        return slice(
+            int(self.user_route_offset[user]),
+            int(self.user_route_offset[user + 1]),
+        )
+
+    def route_tasks(self, g: int) -> np.ndarray:
+        """Task-id view of global route ``g`` (route order)."""
+        return self.task_ids[self.indptr[g] : self.indptr[g + 1]]
+
+    def route_tasks_sorted(self, g: int) -> np.ndarray:
+        """Sorted task-id view of global route ``g``."""
+        return self.task_ids_sorted[self.indptr[g] : self.indptr[g + 1]]
+
+    def chosen_route_ids(self, choices: np.ndarray) -> np.ndarray:
+        """Global route ids of a full choice vector ``s``."""
+        return self.user_route_offset[:-1] + np.asarray(choices, dtype=np.intp)
+
+    # ---------------------------------------------------------------- kernels
+    def counts_from_choices(self, choices: np.ndarray) -> np.ndarray:
+        """Participant counts ``n_k(s)``: one gather + one ``bincount``."""
+        g = self.chosen_route_ids(choices)
+        flat = gather_segments(self.task_ids, self.indptr[g], self.route_len[g])
+        return np.bincount(flat, minlength=self.num_tasks).astype(np.intp)
+
+    def candidate_profits(self, user: int, counts_wo: np.ndarray) -> np.ndarray:
+        """``P_i(r_j, s_{-i})`` for every route ``j`` of ``user`` at once.
+
+        ``counts_wo`` are the counts with the user's own contribution
+        removed; each candidate is evaluated at ``n_k(s_{-i}) + 1`` on its
+        tasks.  One gather over the user's whole CSR slice, one segmented
+        reduction — no per-route Python loop.
+        """
+        sl = self.user_slice(user)
+        lo, hi = int(self.indptr[sl.start]), int(self.indptr[sl.stop])
+        seg = self.task_ids[lo:hi]
+        if seg.size:
+            n = counts_wo[seg].astype(float) + 1.0
+            terms = (
+                self.base_rewards[seg] + self.reward_increments[seg] * np.log(n)
+            ) / n
+            rewards = segment_sums(
+                terms, self.indptr[sl.start : sl.stop] - lo, self.route_len[sl]
+            )
+        else:
+            rewards = np.zeros(sl.stop - sl.start)
+        return self.alpha[user] * rewards - self.route_cost[sl]
+
+    def chosen_segment_sums(
+        self, choices: np.ndarray, per_task_values: np.ndarray
+    ) -> np.ndarray:
+        """Per-user sum of ``per_task_values`` over the chosen route's tasks.
+
+        The reward-gather primitive behind ``all_profits`` and
+        ``per_user_rewards``: one multi-segment gather + one reduction.
+        """
+        g = self.chosen_route_ids(choices)
+        lengths = self.route_len[g]
+        flat = gather_segments(self.task_ids, self.indptr[g], lengths)
+        ends = np.cumsum(lengths)
+        return segment_sums(per_task_values[flat], ends - lengths, lengths)
+
+    def changed_tasks(self, old_g: int, new_g: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(gained, lost)`` task ids of a route switch — the symmetric
+        difference of the two segments, each part sorted."""
+        old_ids = self.route_tasks_sorted(old_g)
+        new_ids = self.route_tasks_sorted(new_g)
+        gained = np.setdiff1d(new_ids, old_ids, assume_unique=True)
+        lost = np.setdiff1d(old_ids, new_ids, assume_unique=True)
+        return gained, lost
+
+    def potential_delta(
+        self, counts: np.ndarray, old_g: int, new_g: int
+    ) -> float:
+        """``phi(new, s_{-i}) - phi(s)`` from current counts (Eq. 8 telescoped).
+
+        A task gained at count ``n`` adds ``w_k(n+1)/(n+1)``; a task lost at
+        count ``n`` removes ``w_k(n)/n``; only the symmetric difference
+        contributes.
+        """
+        if old_g == new_g:
+            return 0.0
+        gained, lost = self.changed_tasks(old_g, new_g)
+        delta = 0.0
+        if gained.size:
+            n_after = counts[gained].astype(float) + 1.0
+            delta += float(
+                (
+                    (
+                        self.base_rewards[gained]
+                        + self.reward_increments[gained] * np.log(n_after)
+                    )
+                    / n_after
+                ).sum()
+            )
+        if lost.size:
+            n_before = counts[lost].astype(float)
+            delta -= float(
+                (
+                    (
+                        self.base_rewards[lost]
+                        + self.reward_increments[lost] * np.log(n_before)
+                    )
+                    / n_before
+                ).sum()
+            )
+        return delta + float(self.route_pot_cost[old_g] - self.route_pot_cost[new_g])
+
+    def user_coverage_matrix(self, user: int) -> np.ndarray:
+        """Dense one-hot ``(num_routes(user), num_tasks)`` coverage matrix.
+
+        Derived from the CSR segments; used by the batch evaluator for
+        profile-axis vectorization.
+        """
+        sl = self.user_slice(user)
+        rows = sl.stop - sl.start
+        cov = np.zeros((rows, self.num_tasks))
+        lo, hi = int(self.indptr[sl.start]), int(self.indptr[sl.stop])
+        if hi > lo:
+            r = np.repeat(np.arange(rows), self.route_len[sl])
+            cov[r, self.task_ids[lo:hi]] = 1.0
+        return cov
+
+    # --------------------------------------------------------- derived CSRs
+    def task_user_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR ``task -> users with any route covering it`` (built lazily).
+
+        Returns ``(indptr, users)`` with ``len(indptr) == num_tasks + 1``;
+        task ``k``'s users are ``users[indptr[k]:indptr[k+1]]``, sorted and
+        unique.  Drives :class:`~repro.algorithms.base.ProposalCache`
+        invalidation.
+        """
+        if self._task_user_csr is None:
+            self._task_user_csr = self._incidence_csr(by_task=True)
+        return self._task_user_csr
+
+    def user_task_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR ``user -> tasks covered by any of its routes`` (built lazily).
+
+        The platform's per-user visibility restriction (Alg. 2 line 4).
+        """
+        if self._user_task_csr is None:
+            self._user_task_csr = self._incidence_csr(by_task=False)
+        return self._user_task_csr
+
+    def _incidence_csr(self, *, by_task: bool) -> tuple[np.ndarray, np.ndarray]:
+        t = self.task_ids
+        u = np.repeat(self.route_user, self.route_len)
+        n_rows = self.num_tasks if by_task else self.num_users
+        if t.size == 0:
+            return np.zeros(n_rows + 1, dtype=np.intp), np.zeros(0, dtype=np.intp)
+        if by_task:
+            key = t.astype(np.int64) * max(self.num_users, 1) + u
+            modulus = max(self.num_users, 1)
+        else:
+            key = u.astype(np.int64) * max(self.num_tasks, 1) + t
+            modulus = max(self.num_tasks, 1)
+        uniq = np.unique(key)
+        row_of = (uniq // modulus).astype(np.intp)
+        col_of = (uniq % modulus).astype(np.intp)
+        indptr = np.zeros(n_rows + 1, dtype=np.intp)
+        np.cumsum(np.bincount(row_of, minlength=n_rows), out=indptr[1:])
+        return indptr, col_of
+
+    def gather_rows(
+        self, indptr: np.ndarray, data: np.ndarray, row_ids: np.ndarray
+    ) -> np.ndarray:
+        """Concatenated ``data`` segments of ``row_ids`` from a derived CSR."""
+        starts = indptr[row_ids]
+        lengths = indptr[np.asarray(row_ids) + 1] - starts
+        return gather_segments(data, starts, lengths)

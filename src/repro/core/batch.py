@@ -29,20 +29,18 @@ class BatchEvaluator:
 
     def __init__(self, game: RouteNavigationGame) -> None:
         self.game = game
+        ga = game.arrays
         m, n = game.num_users, game.num_tasks
-        # coverage[i]: (routes_i, N) float; alpha-weighted variant too.
+        # coverage[i]: (routes_i, N) float one-hot rows scattered straight
+        # from the shared CSR segments; alpha-weighted variant too.
         self._cov: list[np.ndarray] = []
         self._cov_alpha: list[np.ndarray] = []
         self._costs: list[np.ndarray] = []
         for i in game.users:
-            cov = np.zeros((game.num_routes(i), n))
-            for j in range(game.num_routes(i)):
-                ids = game.covered_tasks(i, j)
-                if ids.size:
-                    cov[j, ids] = 1.0
+            cov = ga.user_coverage_matrix(i)
             self._cov.append(cov)
-            self._cov_alpha.append(cov * game.user_weights[i].alpha)
-            self._costs.append(np.asarray(game.route_cost[i], dtype=float))
+            self._cov_alpha.append(cov * ga.alpha[i])
+            self._costs.append(ga.route_cost[ga.user_slice(i)])
         # share_table[k, q-1] = w_k(q)/q for q = 1..M; column 0 reused for
         # count 0 via masking.
         if n and m:

@@ -71,23 +71,28 @@ def enumerate_equilibria(game: RouteNavigationGame) -> EquilibriumAnalysis:
     totals = ev.total_profits(choices)
     counts = ev.counts(choices)
     p = choices.shape[0]
+    ga = game.arrays
     base = game.tasks.base_rewards
     incs = game.tasks.reward_increments
     ne_mask = np.ones(p, dtype=bool)
     for i in game.users:
-        alpha = game.user_weights[i].alpha
         cov_i = ev._cov[i]
         counts_wo = counts - cov_i[choices[:, i]]
-        vals = np.empty((p, game.num_routes(i)))
-        for j in range(game.num_routes(i)):
-            ids = game.covered_tasks(i, j)
-            if ids.size:
-                nj = counts_wo[:, ids] + 1.0
-                share = (base[ids][None, :] + incs[ids][None, :] * np.log(nj)) / nj
-                reward = share.sum(axis=1)
-            else:
-                reward = np.zeros(p)
-            vals[:, j] = alpha * reward - float(game.route_cost[i][j])
+        # All of user i's routes at once: one (P, nnz_i) share table reduced
+        # per CSR segment along the task axis.
+        sl = ga.user_slice(i)
+        lo, hi = int(ga.indptr[sl.start]), int(ga.indptr[sl.stop])
+        seg = ga.task_ids[lo:hi]
+        rewards = np.zeros((p, game.num_routes(i)))
+        if seg.size:
+            nj = counts_wo[:, seg] + 1.0
+            share = (base[seg][None, :] + incs[seg][None, :] * np.log(nj)) / nj
+            starts = ga.indptr[sl.start : sl.stop] - lo
+            nonempty = np.flatnonzero(ga.route_len[sl] > 0)
+            rewards[:, nonempty] = np.add.reduceat(
+                share, starts[nonempty], axis=1
+            )
+        vals = ga.alpha[i] * rewards - ga.route_cost[sl][None, :]
         chosen = vals[np.arange(p), choices[:, i]]
         ne_mask &= chosen >= vals.max(axis=1) - IMPROVEMENT_EPS
     best_idx = int(np.argmax(totals))

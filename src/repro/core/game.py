@@ -7,7 +7,9 @@ weights ``(alpha_i, beta_i, gamma_i)`` and the platform weights
 ``(phi, theta)``.  Strategy state lives in
 :class:`~repro.core.profile.StrategyProfile`.
 
-Derived per-route arrays are precomputed once:
+Derived per-route data is compiled once into a flat CSR layout
+(:class:`~repro.core.arrays.GameArrays`, the ``arrays`` attribute) shared
+by every hot kernel; the ragged accessors below are *views* into it:
 
 - ``route_cost[i][j]   = beta_i * phi * h + gamma_i * theta * c`` — the cost
   part of the profit function (Eq. 2 with Eqs. 3-4 substituted);
@@ -22,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.arrays import GameArrays
 from repro.core.weights import PlatformWeights, UserWeights
 from repro.network.routing import Route
 from repro.tasks.task import Task, TaskSet
@@ -54,7 +57,9 @@ class RouteNavigationGame:
     # comparable to task rewards, so scenario builders pass 0.1 (h counted
     # in 100 m blocks).  1.0 keeps h in km.
     detour_unit_km: float = 1.0
-    # Derived, filled in __post_init__ (kept out of __init__/__eq__):
+    # Derived, filled in __post_init__ (kept out of __init__/__eq__).
+    # ``arrays`` is the single source of truth; everything below is a view.
+    arrays: GameArrays = field(init=False, repr=False, compare=False)
     route_task_ids: tuple[tuple[np.ndarray, ...], ...] = field(
         init=False, repr=False, compare=False
     )
@@ -73,43 +78,121 @@ class RouteNavigationGame:
         require(len(self.route_sets) >= 1, "game needs at least one user")
         require(self.detour_unit_km > 0, "detour_unit_km must be > 0")
         n_tasks = len(self.tasks)
-        task_ids: list[tuple[np.ndarray, ...]] = []
-        costs: list[np.ndarray] = []
-        pot_costs: list[np.ndarray] = []
-        detours: list[np.ndarray] = []
-        congestions: list[np.ndarray] = []
+        route_counts: list[int] = []
+        id_chunks: list[np.ndarray] = []
+        h_flat: list[float] = []
+        c_flat: list[float] = []
         for i, routes in enumerate(self.route_sets):
             require(len(routes) >= 1, f"user {i} has an empty route set")
-            uw = self.user_weights[i]
-            ids_i: list[np.ndarray] = []
-            h = np.empty(len(routes))
-            c = np.empty(len(routes))
-            for j, r in enumerate(routes):
-                ids = np.asarray(r.task_ids, dtype=np.intp)
-                require(
-                    bool(np.all((ids >= 0) & (ids < n_tasks))) if ids.size else True,
-                    f"route ({i},{j}) references unknown task ids",
+            route_counts.append(len(routes))
+            for r in routes:
+                id_chunks.append(np.asarray(r.task_ids, dtype=np.intp))
+                h_flat.append(r.detour_km / self.detour_unit_km)
+                c_flat.append(r.congestion)
+        lens = np.array([a.size for a in id_chunks], dtype=np.intp)
+        indptr = np.concatenate([[0], np.cumsum(lens)]).astype(np.intp)
+        flat_ids = (
+            np.concatenate(id_chunks).astype(np.intp)
+            if int(indptr[-1])
+            else np.zeros(0, dtype=np.intp)
+        )
+        self._validate_task_ids(flat_ids, indptr, n_tasks, route_counts)
+        h = np.asarray(h_flat, dtype=float)
+        c = np.asarray(c_flat, dtype=float)
+        alpha = np.array([uw.alpha for uw in self.user_weights], dtype=float)
+        beta = np.array([uw.beta for uw in self.user_weights], dtype=float)
+        gamma = np.array([uw.gamma for uw in self.user_weights], dtype=float)
+        route_user = np.repeat(
+            np.arange(len(route_counts), dtype=np.intp), route_counts
+        )
+        d = self.platform.phi * h  # d(r) = phi * h(r), Eq. 3
+        b = self.platform.theta * c  # b(r) = theta * c(r), Eq. 4
+        cost = beta[route_user] * d + gamma[route_user] * b
+        arrays = GameArrays(
+            route_counts=route_counts,
+            flat_task_ids=flat_ids,
+            indptr=indptr,
+            route_detour=h,
+            route_congestion=c,
+            route_cost=cost,
+            route_pot_cost=cost / alpha[route_user],
+            alpha=alpha,
+            base_rewards=self.tasks.base_rewards,
+            reward_increments=self.tasks.reward_increments,
+        )
+        self._check_duplicates(arrays)
+        object.__setattr__(self, "arrays", arrays)
+        # Legacy ragged accessors: per-user tuples of numpy *views* into the
+        # flat arrays — same memory, one source of truth.
+        off = arrays.user_route_offset
+        object.__setattr__(
+            self,
+            "route_task_ids",
+            tuple(
+                tuple(
+                    arrays.route_tasks(g) for g in range(int(off[i]), int(off[i + 1]))
                 )
-                require(
-                    len(set(r.task_ids)) == len(r.task_ids),
-                    f"route ({i},{j}) has duplicate task ids",
-                )
-                ids_i.append(ids)
-                h[j] = r.detour_km / self.detour_unit_km
-                c[j] = r.congestion
-            d = self.platform.phi * h  # d(r) = phi * h(r), Eq. 3
-            b = self.platform.theta * c  # b(r) = theta * c(r), Eq. 4
-            cost = uw.beta * d + uw.gamma * b
-            task_ids.append(tuple(ids_i))
-            costs.append(cost)
-            pot_costs.append(cost / uw.alpha)
-            detours.append(h)
-            congestions.append(c)
-        object.__setattr__(self, "route_task_ids", tuple(task_ids))
-        object.__setattr__(self, "route_cost", tuple(costs))
-        object.__setattr__(self, "route_pot_cost", tuple(pot_costs))
-        object.__setattr__(self, "route_detour", tuple(detours))
-        object.__setattr__(self, "route_congestion", tuple(congestions))
+                for i in range(len(route_counts))
+            ),
+        )
+        for name, vec in (
+            ("route_cost", arrays.route_cost),
+            ("route_pot_cost", arrays.route_pot_cost),
+            ("route_detour", arrays.route_detour),
+            ("route_congestion", arrays.route_congestion),
+        ):
+            object.__setattr__(
+                self,
+                name,
+                tuple(
+                    vec[int(off[i]) : int(off[i + 1])]
+                    for i in range(len(route_counts))
+                ),
+            )
+
+    def _validate_task_ids(
+        self,
+        flat_ids: np.ndarray,
+        indptr: np.ndarray,
+        n_tasks: int,
+        route_counts: list[int],
+    ) -> None:
+        if flat_ids.size == 0:
+            return
+        bad = np.flatnonzero((flat_ids < 0) | (flat_ids >= n_tasks))
+        if bad.size:
+            i, j = self._locate_route(int(bad[0]), indptr, route_counts)
+            require(False, f"route ({i},{j}) references unknown task ids")
+
+    def _check_duplicates(self, arrays: GameArrays) -> None:
+        srt = arrays.task_ids_sorted
+        if srt.size < 2:
+            return
+        dup = np.flatnonzero(srt[1:] == srt[:-1])
+        if dup.size == 0:
+            return
+        # A duplicate pair straddling a segment boundary is fine; one inside
+        # a segment is an invalid route.
+        is_start = np.zeros(srt.size + 1, dtype=bool)
+        is_start[arrays.indptr] = True
+        inside = dup[~is_start[dup + 1]]
+        if inside.size:
+            i, j = self._locate_route(
+                int(inside[0]),
+                arrays.indptr,
+                np.diff(arrays.user_route_offset).tolist(),
+            )
+            require(False, f"route ({i},{j}) has duplicate task ids")
+
+    @staticmethod
+    def _locate_route(
+        flat_pos: int, indptr: np.ndarray, route_counts: list[int]
+    ) -> tuple[int, int]:
+        """Map a position in the flat task-id array back to ``(user, route)``."""
+        g = int(np.searchsorted(indptr, flat_pos, side="right")) - 1
+        offsets = np.concatenate([[0], np.cumsum(route_counts)])
+        i = int(np.searchsorted(offsets, g, side="right")) - 1
+        return i, g - int(offsets[i])
 
     # ------------------------------------------------------------------ sizes
     @property

@@ -10,19 +10,23 @@ for any unilateral move of user ``i``; tests verify this identity exactly
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.game import RouteNavigationGame
 from repro.core.profile import StrategyProfile
-from repro.tasks.task import reward_share
+from repro.obs import histogram as _obs_histogram
+from repro.obs.runtime import RUNTIME as _OBS
 
 
 def potential(profile: StrategyProfile) -> float:
     """Full evaluation of ``phi(s)``."""
     game = profile.game
+    ga = game.arrays
     task_part = float(game.tasks.potential_terms(profile.counts).sum())
-    cost_part = sum(
-        float(game.route_pot_cost[i][profile.route_of(i)]) for i in game.users
+    cost_part = float(
+        ga.route_pot_cost[ga.chosen_route_ids(profile.choices)].sum()
     )
     return task_part - cost_part
 
@@ -33,26 +37,21 @@ def potential_delta(profile: StrategyProfile, user: int, new_route: int) -> floa
     Only the tasks in the symmetric difference of the old and new routes
     contribute: a task gained at count ``n`` adds ``w_k(n+1)/(n+1)``, a task
     dropped at count ``n`` removes ``w_k(n)/n`` (telescoping of the prefix
-    sums in Eq. 8).
+    sums in Eq. 8).  The symmetric difference comes from the game's sorted
+    CSR segments (``setdiff1d`` with ``assume_unique``) — no Python sets or
+    per-task loops on the hot path.
     """
-    game = profile.game
-    old_route = profile.route_of(user)
-    if new_route == old_route:
-        return 0.0
-    old_ids = set(int(t) for t in game.covered_tasks(user, old_route))
-    new_ids = set(int(t) for t in game.covered_tasks(user, new_route))
-    base = game.tasks.base_rewards
-    incs = game.tasks.reward_increments
-    delta = 0.0
-    for k in new_ids - old_ids:
-        n_after = profile.count_of(k) + 1
-        delta += reward_share(float(base[k]), float(incs[k]), n_after)
-    for k in old_ids - new_ids:
-        n_before = profile.count_of(k)
-        delta -= reward_share(float(base[k]), float(incs[k]), n_before)
-    delta -= float(game.route_pot_cost[user][new_route])
-    delta += float(game.route_pot_cost[user][old_route])
-    return delta
+    ga = profile.game.arrays
+    old_g = ga.route_id(user, profile.route_of(user))
+    new_g = ga.route_id(user, new_route)
+    if _OBS.enabled:
+        t0 = time.perf_counter()
+        out = ga.potential_delta(profile.counts, old_g, new_g)
+        _obs_histogram("core.kernel_seconds", kernel="potential_delta").observe(
+            time.perf_counter() - t0
+        )
+        return out
+    return ga.potential_delta(profile.counts, old_g, new_g)
 
 
 def potential_trajectory(

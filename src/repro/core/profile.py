@@ -40,12 +40,9 @@ class StrategyProfile:
         self.counts = self._recount()
 
     def _recount(self) -> np.ndarray:
-        counts = np.zeros(self.game.num_tasks, dtype=np.intp)
-        for i, j in enumerate(self.choices):
-            ids = self.game.covered_tasks(i, int(j))
-            if ids.size:
-                np.add.at(counts, ids, 1)
-        return counts
+        # One multi-segment gather over the chosen routes' CSR slices plus
+        # one bincount — no per-user Python loop.
+        return self.game.arrays.counts_from_choices(self.choices)
 
     # ------------------------------------------------------------------ reads
     def route_of(self, user: int) -> int:

@@ -3,17 +3,25 @@
 ``P_i(s) = alpha_i * sum_{k in L_{s_i}} w_k(n_k(s)) / n_k(s)
          - beta_i * d(s_i) - gamma_i * b(s_i)``
 
-The cost part ``beta_i d + gamma_i b`` is precomputed per route in
-:class:`~repro.core.game.RouteNavigationGame` (``route_cost``); this module
-supplies the sharing-aware reward part.
+All kernels run on the game's compiled flat CSR layout
+(:class:`~repro.core.arrays.GameArrays`): the cost part
+``beta_i d + gamma_i b`` is a flat per-route vector, and the sharing-aware
+reward part is a gather + segmented reduction — no per-route or per-task
+Python loops on the hot path.  Scalar reference implementations live in
+:mod:`repro.core.reference` and are used only by tests and benchmarks.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
 from repro.core.game import RouteNavigationGame
 from repro.core.profile import StrategyProfile
+from repro.obs import counter as _obs_counter
+from repro.obs import histogram as _obs_histogram
+from repro.obs.runtime import RUNTIME as _OBS
 
 
 def _route_reward(
@@ -51,19 +59,16 @@ def all_profits(profile: StrategyProfile) -> np.ndarray:
     """Vector of ``P_i(s)`` for every user.
 
     The per-task shares ``w_k(n_k)/n_k`` are computed once for the whole
-    task set and gathered per user, so the cost is O(|L| + sum |L_{s_i}|).
+    task set, then every user's chosen-route segment is gathered and
+    reduced in one pass over the CSR layout — O(|L| + sum |L_{s_i}|) with
+    no per-user Python loop.
     """
     game = profile.game
+    ga = game.arrays
     shares = game.tasks.shares(profile.counts)
-    out = np.empty(game.num_users)
-    for i in game.users:
-        route = profile.route_of(i)
-        ids = game.covered_tasks(i, route)
-        reward = float(shares[ids].sum()) if ids.size else 0.0
-        out[i] = game.user_weights[i].alpha * reward - float(
-            game.route_cost[i][route]
-        )
-    return out
+    rewards = ga.chosen_segment_sums(profile.choices, shares)
+    g = ga.chosen_route_ids(profile.choices)
+    return ga.alpha * rewards - ga.route_cost[g]
 
 
 def total_profit(profile: StrategyProfile) -> float:
@@ -75,26 +80,22 @@ def candidate_profits(profile: StrategyProfile, user: int) -> np.ndarray:
     """Profit ``user`` would get from each of its routes, others fixed.
 
     Entry ``j`` is ``P_i(r_j, s_{-i})``.  The user's own contribution is
-    removed from the counters once, then each candidate route is evaluated
-    against ``n_k(s_{-i}) + 1`` on its own tasks — including the current
-    route, whose entry therefore equals :func:`profit_of_user`.
+    removed from the counters once, then every candidate route is evaluated
+    against ``n_k(s_{-i}) + 1`` in a single gather + segmented reduction
+    over the user's CSR slice — including the current route, whose entry
+    therefore equals :func:`profit_of_user`.
     """
-    game = profile.game
-    counts_wo = profile.counts_without(user)
-    alpha = game.user_weights[user].alpha
-    costs = game.route_cost[user]
-    out = np.empty(game.num_routes(user))
-    base = game.tasks.base_rewards
-    incs = game.tasks.reward_increments
-    for j in range(game.num_routes(user)):
-        ids = game.covered_tasks(user, j)
-        if ids.size == 0:
-            out[j] = -float(costs[j])
-            continue
-        n = counts_wo[ids].astype(float) + 1.0
-        reward = float(np.sum((base[ids] + incs[ids] * np.log(n)) / n))
-        out[j] = alpha * reward - float(costs[j])
-    return out
+    if _OBS.enabled:
+        t0 = time.perf_counter()
+        out = profile.game.arrays.candidate_profits(
+            user, profile.counts_without(user)
+        )
+        _obs_counter("core.candidate_eval_total").inc(out.size)
+        _obs_histogram("core.kernel_seconds", kernel="candidate_profits").observe(
+            time.perf_counter() - t0
+        )
+        return out
+    return profile.game.arrays.candidate_profits(user, profile.counts_without(user))
 
 
 def profit_if_moved(profile: StrategyProfile, user: int, route: int) -> float:

@@ -1,0 +1,87 @@
+"""Scalar reference kernels — certification oracles for the CSR fast paths.
+
+These are the pre-refactor per-route/per-task implementations of the hot
+kernels, kept verbatim so tests and benchmarks can cross-check (and
+speed-ratio) the vectorized :class:`~repro.core.arrays.GameArrays` paths
+against a known-good baseline.  **Nothing in the library imports this
+module**; production code must go through :mod:`repro.core.profit`,
+:mod:`repro.core.potential`, and :class:`~repro.core.profile.StrategyProfile`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+from repro.tasks.task import reward_share
+
+
+def candidate_profits_reference(
+    profile: StrategyProfile, user: int
+) -> np.ndarray:
+    """Per-route Python-loop evaluation of ``P_i(r_j, s_{-i})`` (Eq. 2)."""
+    game = profile.game
+    counts_wo = profile.counts_without(user)
+    alpha = game.user_weights[user].alpha
+    costs = game.route_cost[user]
+    out = np.empty(game.num_routes(user))
+    base = game.tasks.base_rewards
+    incs = game.tasks.reward_increments
+    for j in range(game.num_routes(user)):
+        ids = game.covered_tasks(user, j)
+        if ids.size == 0:
+            out[j] = -float(costs[j])
+            continue
+        n = counts_wo[ids].astype(float) + 1.0
+        reward = float(np.sum((base[ids] + incs[ids] * np.log(n)) / n))
+        out[j] = alpha * reward - float(costs[j])
+    return out
+
+
+def potential_delta_reference(
+    profile: StrategyProfile, user: int, new_route: int
+) -> float:
+    """Python-set evaluation of ``phi(new, s_{-i}) - phi(s)`` (Eq. 8)."""
+    game = profile.game
+    old_route = profile.route_of(user)
+    if new_route == old_route:
+        return 0.0
+    old_ids = set(int(t) for t in game.covered_tasks(user, old_route))
+    new_ids = set(int(t) for t in game.covered_tasks(user, new_route))
+    base = game.tasks.base_rewards
+    incs = game.tasks.reward_increments
+    delta = 0.0
+    for k in new_ids - old_ids:
+        n_after = profile.count_of(k) + 1
+        delta += reward_share(float(base[k]), float(incs[k]), n_after)
+    for k in old_ids - new_ids:
+        n_before = profile.count_of(k)
+        delta -= reward_share(float(base[k]), float(incs[k]), n_before)
+    delta -= float(game.route_pot_cost[user][new_route])
+    delta += float(game.route_pot_cost[user][old_route])
+    return delta
+
+
+def all_profits_reference(profile: StrategyProfile) -> np.ndarray:
+    """Per-user Python-loop evaluation of the profit vector ``P(s)``."""
+    game = profile.game
+    shares = game.tasks.shares(profile.counts)
+    out = np.empty(game.num_users)
+    for i in game.users:
+        route = profile.route_of(i)
+        ids = game.covered_tasks(i, route)
+        reward = float(shares[ids].sum()) if ids.size else 0.0
+        out[i] = game.user_weights[i].alpha * reward - float(
+            game.route_cost[i][route]
+        )
+    return out
+
+
+def recount_reference(profile: StrategyProfile) -> np.ndarray:
+    """Per-user loop recomputation of the participant counts ``n_k(s)``."""
+    counts = np.zeros(profile.game.num_tasks, dtype=np.intp)
+    for i, j in enumerate(profile.choices):
+        ids = profile.game.covered_tasks(i, int(j))
+        if ids.size:
+            np.add.at(counts, ids, 1)
+    return counts

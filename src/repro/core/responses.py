@@ -120,9 +120,13 @@ def make_proposal(
         profits = candidate_profits(profile, user)
     gain = float(profits[new_route] - profits[profile.route_of(user)])
     alpha = game.user_weights[user].alpha
-    old_ids = game.covered_tasks(user, profile.route_of(user))
-    new_ids = game.covered_tasks(user, new_route)
-    touched = frozenset(int(t) for t in old_ids) | frozenset(int(t) for t in new_ids)
+    ga = game.arrays
+    touched = frozenset(
+        np.union1d(
+            ga.route_tasks_sorted(ga.route_id(user, profile.route_of(user))),
+            ga.route_tasks_sorted(ga.route_id(user, new_route)),
+        ).tolist()
+    )
     return UpdateProposal(
         user=user,
         new_route=int(new_route),

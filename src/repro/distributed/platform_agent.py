@@ -55,23 +55,30 @@ class PlatformAgent:
         self.decisions: dict[int, int] = {}
         self.granted_per_slot: list[int] = []
         self.terminated = False
+        # Per-user visibility restriction (Alg. 2 line 4): the tasks any of
+        # the user's routes cover, straight from the game's shared CSR.
+        vt_indptr, vt_tasks = game.arrays.user_task_csr()
+        self._visible_tasks = [
+            vt_tasks[vt_indptr[i] : vt_indptr[i + 1]] for i in game.users
+        ]
 
     # ------------------------------------------------------------- handshake
     def send_recommendations(self) -> None:
         """Alg. 2 line 1: recommended routes + reward adverts + costs."""
         game = self.game
+        ga = game.arrays
         for i in game.users:
+            sl = ga.user_slice(i)
             routes = tuple(
-                tuple(int(t) for t in game.covered_tasks(i, j))
-                for j in range(game.num_routes(i))
+                tuple(int(t) for t in ga.route_tasks(g))
+                for g in range(sl.start, sl.stop)
             )
-            involved = sorted({t for r in routes for t in r})
             params = {
-                k: (
+                int(k): (
                     float(game.tasks.base_rewards[k]),
                     float(game.tasks.reward_increments[k]),
                 )
-                for k in involved
+                for k in self._visible_tasks[i]
             }
             self.bus.post(
                 _user_name(i),
@@ -82,11 +89,10 @@ class PlatformAgent:
                 RouteAnnotation(
                     PLATFORM,
                     detour_costs=tuple(
-                        game.detour_cost(i, j) for j in range(game.num_routes(i))
+                        (game.platform.phi * ga.route_detour[sl]).tolist()
                     ),
                     congestion_costs=tuple(
-                        game.congestion_cost(i, j)
-                        for j in range(game.num_routes(i))
+                        (game.platform.theta * ga.route_congestion[sl]).tolist()
                     ),
                 ),
             )
@@ -111,29 +117,36 @@ class PlatformAgent:
 
     # ----------------------------------------------------------- bookkeeping
     def apply_reports(self, reports: list[DecisionReport]) -> None:
-        """Alg. 2 lines 2-3, 10: fold decisions into the task counters."""
+        """Alg. 2 lines 2-3, 10: fold decisions into the task counters.
+
+        Re-reports only touch the symmetric difference of the two routes'
+        CSR segments (tasks covered by both keep their counter).
+        """
+        ga = self.game.arrays
         for rep in reports:
             old = self.decisions.get(rep.user)
-            if old is not None:
-                ids = self.game.covered_tasks(rep.user, old)
+            new_g = ga.route_id(rep.user, rep.route)
+            if old is None:
+                ids = ga.route_tasks(new_g)
                 if ids.size:
-                    self.counts[ids] -= 1
-            ids = self.game.covered_tasks(rep.user, rep.route)
-            if ids.size:
-                self.counts[ids] += 1
+                    self.counts[ids] += 1
+            else:
+                gained, lost = ga.changed_tasks(
+                    ga.route_id(rep.user, old), new_g
+                )
+                if gained.size:
+                    self.counts[gained] += 1
+                if lost.size:
+                    self.counts[lost] -= 1
             self.decisions[rep.user] = rep.route
 
     def broadcast_counts(self, slot: int) -> None:
         """Alg. 2 line 4 / line 10: per-user restricted count updates."""
         for i in self.game.users:
-            visible = sorted(
-                {
-                    int(t)
-                    for j in range(self.game.num_routes(i))
-                    for t in self.game.covered_tasks(i, j)
-                }
+            visible = self._visible_tasks[i]
+            payload = dict(
+                zip(visible.tolist(), self.counts[visible].tolist())
             )
-            payload = {k: int(self.counts[k]) for k in visible}
             self.bus.post(
                 _user_name(i), TaskCountUpdate(PLATFORM, slot=slot, counts=payload)
             )

@@ -26,14 +26,13 @@ def coverage(profile: StrategyProfile) -> float:
 
 
 def per_user_rewards(profile: StrategyProfile) -> np.ndarray:
-    """Raw reward income ``sum_{k in L_{s_i}} w_k(n_k)/n_k`` per user."""
+    """Raw reward income ``sum_{k in L_{s_i}} w_k(n_k)/n_k`` per user.
+
+    One gather + segmented reduction over the game's CSR layout.
+    """
     game = profile.game
     shares = game.tasks.shares(profile.counts)
-    out = np.empty(game.num_users)
-    for i in game.users:
-        ids = game.covered_tasks(i, profile.route_of(i))
-        out[i] = float(shares[ids].sum()) if ids.size else 0.0
-    return out
+    return game.arrays.chosen_segment_sums(profile.choices, shares)
 
 
 def average_reward(profile: StrategyProfile) -> float:
@@ -71,20 +70,14 @@ def overlap_ratio(profile: StrategyProfile) -> float:
 
 def average_detour(profile: StrategyProfile) -> float:
     """Mean selected-route detour ``h(s_i)`` over users (game units)."""
-    game = profile.game
-    return float(
-        np.mean([game.detour_h(i, profile.route_of(i)) for i in game.users])
-    )
+    ga = profile.game.arrays
+    return float(ga.route_detour[ga.chosen_route_ids(profile.choices)].mean())
 
 
 def average_congestion(profile: StrategyProfile) -> float:
     """Mean selected-route congestion level ``c(s_i)`` over users."""
-    game = profile.game
-    return float(
-        np.mean(
-            [game.congestion_level(i, profile.route_of(i)) for i in game.users]
-        )
-    )
+    ga = profile.game.arrays
+    return float(ga.route_congestion[ga.chosen_route_ids(profile.choices)].mean())
 
 
 def platform_utility(

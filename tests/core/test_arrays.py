@@ -1,0 +1,163 @@
+"""Unit tests for the compiled flat CSR layout (:mod:`repro.core.arrays`)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PlatformWeights, RouteNavigationGame, StrategyProfile
+from repro.core.arrays import gather_segments, segment_sums
+
+from tests.helpers import random_game
+
+
+def _simple_game() -> RouteNavigationGame:
+    return RouteNavigationGame.from_coverage(
+        [
+            [[0, 2], [1]],        # user 0
+            [[2, 1, 0], [], [0]], # user 1 (one empty-coverage route)
+        ],
+        base_rewards=[10.0, 12.0, 14.0],
+        reward_increments=0.3,
+        detours=[[1.0, 2.0], [0.5, 0.0, 3.0]],
+        congestions=[[0.0, 1.0], [2.0, 0.0, 1.0]],
+        platform=PlatformWeights(0.5, 0.5),
+    )
+
+
+class TestLayout:
+    def test_csr_shapes_and_offsets(self):
+        ga = _simple_game().arrays
+        assert ga.num_users == 2
+        assert ga.num_tasks == 3
+        assert ga.num_routes_total == 5
+        assert ga.user_route_offset.tolist() == [0, 2, 5]
+        assert ga.indptr.tolist() == [0, 2, 3, 6, 6, 7]
+        assert ga.task_ids.tolist() == [0, 2, 1, 2, 1, 0, 0]
+        assert ga.route_len.tolist() == [2, 1, 3, 0, 1]
+        assert ga.route_user.tolist() == [0, 0, 1, 1, 1]
+
+    def test_sorted_segments_preserve_membership(self):
+        ga = _simple_game().arrays
+        for g in range(ga.num_routes_total):
+            srt = ga.route_tasks_sorted(g)
+            assert np.array_equal(np.sort(ga.route_tasks(g)), srt)
+            assert np.all(np.diff(srt) > 0)  # strictly sorted, no duplicates
+
+    def test_legacy_accessors_are_views_into_flat_arrays(self):
+        game = _simple_game()
+        ga = game.arrays
+        # covered_tasks and route_cost share memory with the flat layout —
+        # one source of truth, not copies.
+        view = game.covered_tasks(1, 0)
+        assert view.base is ga.task_ids or view.base is ga.task_ids.base
+        assert np.shares_memory(view, ga.task_ids)
+        assert np.shares_memory(game.route_cost[0], ga.route_cost)
+        assert np.shares_memory(game.route_detour[1], ga.route_detour)
+
+    def test_route_id_round_trip(self):
+        game = _simple_game()
+        ga = game.arrays
+        for i in game.users:
+            for j in range(game.num_routes(i)):
+                g = ga.route_id(i, j)
+                assert np.array_equal(
+                    ga.route_tasks(g), game.covered_tasks(i, j)
+                )
+
+
+class TestSegmentPrimitives:
+    def test_gather_segments_with_empties(self):
+        data = np.arange(10)
+        starts = np.array([0, 3, 3, 7])
+        lengths = np.array([3, 0, 4, 3])
+        out = gather_segments(data, starts, lengths)
+        assert out.tolist() == [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
+
+    def test_segment_sums_empty_segment_is_exact_zero(self):
+        values = np.array([1.0, 2.0, 4.0])
+        starts = np.array([0, 2, 2, 3])
+        lengths = np.array([2, 0, 1, 0])
+        out = segment_sums(values, starts, lengths)
+        assert out.tolist() == [3.0, 0.0, 4.0, 0.0]
+
+    def test_segment_sums_all_empty(self):
+        out = segment_sums(np.zeros(0), np.zeros(3, dtype=int), np.zeros(3, dtype=int))
+        assert out.tolist() == [0.0, 0.0, 0.0]
+
+    def test_middle_empty_does_not_corrupt_neighbours(self):
+        # Regression: a clipped empty-segment offset must not truncate the
+        # preceding segment's reduction range.
+        values = np.array([1.0, 1.0, 1.0, 5.0])
+        starts = np.array([0, 4, 4])
+        lengths = np.array([4, 0, 0])
+        assert segment_sums(values, starts, lengths).tolist() == [8.0, 0.0, 0.0]
+
+
+class TestDerivedCsrs:
+    def test_task_user_csr_matches_bruteforce(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            game = random_game(rng)
+            ga = game.arrays
+            indptr, users = ga.task_user_csr()
+            for k in range(game.num_tasks):
+                expect = sorted(
+                    {
+                        i
+                        for i in game.users
+                        for j in range(game.num_routes(i))
+                        if k in game.covered_tasks(i, j)
+                    }
+                )
+                got = users[indptr[k] : indptr[k + 1]].tolist()
+                assert got == expect
+
+    def test_user_task_csr_matches_bruteforce(self):
+        rng = np.random.default_rng(8)
+        for _ in range(20):
+            game = random_game(rng)
+            ga = game.arrays
+            indptr, tasks = ga.user_task_csr()
+            for i in game.users:
+                expect = sorted(
+                    {
+                        int(t)
+                        for j in range(game.num_routes(i))
+                        for t in game.covered_tasks(i, j)
+                    }
+                )
+                assert tasks[indptr[i] : indptr[i + 1]].tolist() == expect
+
+    def test_counts_from_choices_matches_recount(self):
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            game = random_game(rng)
+            profile = StrategyProfile.random(game, rng)
+            from repro.core.reference import recount_reference
+
+            assert np.array_equal(
+                game.arrays.counts_from_choices(profile.choices),
+                recount_reference(profile),
+            )
+
+    def test_coverage_matrix_matches_segments(self):
+        game = _simple_game()
+        ga = game.arrays
+        cov = ga.user_coverage_matrix(1)
+        assert cov.shape == (3, 3)
+        assert cov[0].tolist() == [1.0, 1.0, 1.0]
+        assert cov[1].tolist() == [0.0, 0.0, 0.0]
+        assert cov[2].tolist() == [1.0, 0.0, 0.0]
+
+
+class TestValidationStillExact:
+    def test_duplicate_ids_rejected_with_route_location(self):
+        with pytest.raises(ValueError, match=r"route \(1,0\) has duplicate"):
+            RouteNavigationGame.from_coverage(
+                [[[0]], [[1, 1]]], base_rewards=[5.0, 5.0]
+            )
+
+    def test_unknown_ids_rejected_with_route_location(self):
+        with pytest.raises(ValueError, match=r"route \(0,1\) references unknown"):
+            RouteNavigationGame.from_coverage(
+                [[[0], [7]], [[1]]], base_rewards=[5.0, 5.0]
+            )

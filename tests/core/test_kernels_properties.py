@@ -1,0 +1,162 @@
+"""Property tests: vectorized CSR kernels vs. retained scalar references.
+
+The refactored hot paths (:func:`repro.core.profit.candidate_profits`,
+:func:`repro.core.potential.potential_delta`,
+:func:`repro.core.profit.all_profits`, profile recounts) must agree with
+the pre-refactor scalar implementations kept in
+:mod:`repro.core.reference` on arbitrary instances — including routes with
+empty coverage and single-task games — and must satisfy the weighted
+potential identity of Eq. 11 exactly (up to float tolerance).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    PlatformWeights,
+    RouteNavigationGame,
+    StrategyProfile,
+    UserWeights,
+)
+from repro.core.potential import potential_delta
+from repro.core.profit import all_profits, candidate_profits
+from repro.core.reference import (
+    all_profits_reference,
+    candidate_profits_reference,
+    potential_delta_reference,
+    recount_reference,
+)
+
+from tests.helpers import games
+
+
+@st.composite
+def game_and_profile(draw):
+    game = draw(games())
+    choices = [
+        draw(st.integers(0, game.num_routes(i) - 1)) for i in game.users
+    ]
+    return game, StrategyProfile(game, choices)
+
+
+class TestVectorizedVsScalar:
+    @given(game_and_profile())
+    @settings(max_examples=60, deadline=None)
+    def test_candidate_profits_match_reference(self, gp):
+        game, profile = gp
+        for u in game.users:
+            np.testing.assert_allclose(
+                candidate_profits(profile, u),
+                candidate_profits_reference(profile, u),
+                rtol=0,
+                atol=1e-10,
+            )
+
+    @given(game_and_profile())
+    @settings(max_examples=60, deadline=None)
+    def test_potential_delta_matches_reference(self, gp):
+        game, profile = gp
+        for u in game.users:
+            for j in range(game.num_routes(u)):
+                assert potential_delta(profile, u, j) == pytest.approx(
+                    potential_delta_reference(profile, u, j), abs=1e-10
+                )
+
+    @given(game_and_profile())
+    @settings(max_examples=60, deadline=None)
+    def test_all_profits_match_reference(self, gp):
+        _, profile = gp
+        np.testing.assert_allclose(
+            all_profits(profile), all_profits_reference(profile),
+            rtol=0, atol=1e-10,
+        )
+
+    @given(game_and_profile())
+    @settings(max_examples=40, deadline=None)
+    def test_recount_matches_reference(self, gp):
+        _, profile = gp
+        assert np.array_equal(profile._recount(), recount_reference(profile))
+
+    @given(game_and_profile())
+    @settings(max_examples=40, deadline=None)
+    def test_eq11_identity_on_vectorized_kernels(self, gp):
+        # P_i(s') - P_i(s) = alpha_i * (phi(s') - phi(s)) for unilateral
+        # moves (Eq. 11) — both sides computed by the CSR kernels.
+        game, profile = gp
+        for u in game.users:
+            cp = candidate_profits(profile, u)
+            cur = cp[profile.route_of(u)]
+            alpha = game.user_weights[u].alpha
+            for j in range(game.num_routes(u)):
+                assert cp[j] - cur == pytest.approx(
+                    alpha * potential_delta(profile, u, j), abs=1e-7
+                )
+
+
+class TestEdgeShapes:
+    """Deterministic corners the random generator rarely hits."""
+
+    def _empty_heavy_game(self) -> RouteNavigationGame:
+        # Every user has at least one empty-coverage route; one route is a
+        # pure cost trade-off.
+        return RouteNavigationGame.from_coverage(
+            [
+                [[], [0]],
+                [[0], [], []],
+                [[], []],
+            ],
+            base_rewards=[15.0],
+            reward_increments=0.7,
+            detours=[[0.5, 2.0], [1.0, 0.0, 4.0], [0.1, 0.2]],
+            congestions=[[1.0, 0.0], [0.0, 2.0, 1.0], [3.0, 0.0]],
+            user_weights=[UserWeights(0.8, 0.3, 0.4)] * 3,
+            platform=PlatformWeights(0.6, 0.4),
+        )
+
+    def test_single_task_game_with_empty_routes(self):
+        game = self._empty_heavy_game()
+        for choices in [(0, 0, 0), (1, 0, 1), (0, 1, 0), (1, 2, 1)]:
+            profile = StrategyProfile(game, list(choices))
+            np.testing.assert_allclose(
+                all_profits(profile), all_profits_reference(profile),
+                rtol=0, atol=1e-12,
+            )
+            for u in game.users:
+                np.testing.assert_allclose(
+                    candidate_profits(profile, u),
+                    candidate_profits_reference(profile, u),
+                    rtol=0, atol=1e-12,
+                )
+                for j in range(game.num_routes(u)):
+                    assert potential_delta(profile, u, j) == pytest.approx(
+                        potential_delta_reference(profile, u, j), abs=1e-12
+                    )
+
+    def test_all_empty_coverage(self):
+        game = RouteNavigationGame.from_coverage(
+            [[[], []], [[]]],
+            base_rewards=[10.0],
+            detours=[[1.0, 2.0], [0.5]],
+            congestions=[[0.0, 1.0], [2.0]],
+        )
+        profile = StrategyProfile(game, [0, 0])
+        assert profile.counts.tolist() == [0]
+        np.testing.assert_allclose(
+            all_profits(profile), all_profits_reference(profile)
+        )
+        cp = candidate_profits(profile, 0)
+        np.testing.assert_allclose(cp, candidate_profits_reference(profile, 0))
+        assert potential_delta(profile, 0, 1) == pytest.approx(
+            potential_delta_reference(profile, 0, 1)
+        )
+
+    def test_move_then_kernels_stay_consistent(self):
+        game = self._empty_heavy_game()
+        profile = StrategyProfile(game, [0, 0, 0])
+        profile.move(1, 2)
+        profile.move(0, 1)
+        profile.validate()
+        np.testing.assert_allclose(
+            all_profits(profile), all_profits_reference(profile)
+        )

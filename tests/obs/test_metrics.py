@@ -201,3 +201,34 @@ class TestDisabledIsNoop:
             assert obs.REGISTRY.counter("allocator.slots_total",
                                         algorithm="DGRN").value > 0
         assert not obs.enabled()
+
+
+class TestCoreKernelMetrics:
+    """The CSR kernels report evaluations and wall time when enabled."""
+
+    def test_candidate_eval_counter_and_kernel_histogram(self, fig1_game):
+        from repro.core import StrategyProfile
+        from repro.core.potential import potential_delta
+        from repro.core.profit import candidate_profits
+
+        with obs.session():
+            profile = StrategyProfile(fig1_game, [0, 0, 0])
+            candidate_profits(profile, 0)
+            candidate_profits(profile, 2)
+            potential_delta(profile, 0, 1)
+            snap = obs.REGISTRY.snapshot()
+            # User 0 and user 2 both have 2 routes: 4 evaluations.
+            assert snap.counter_values("core.candidate_eval_total")[()] == 4
+            hists = snap.histograms["core.kernel_seconds"]
+            assert hists[(("kernel", "candidate_profits"),)]["count"] == 2
+            assert hists[(("kernel", "potential_delta"),)]["count"] == 1
+
+    def test_kernels_record_nothing_when_disabled(self, fig1_game):
+        from repro.core import StrategyProfile
+        from repro.core.profit import candidate_profits
+
+        obs.disable()
+        obs.reset()
+        candidate_profits(StrategyProfile(fig1_game, [0, 0, 0]), 0)
+        snap = obs.REGISTRY.snapshot()
+        assert snap.counters == {} and snap.histograms == {}
