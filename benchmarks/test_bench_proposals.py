@@ -1,0 +1,151 @@
+"""Benchmarks for the batched proposal engine (perf trajectory).
+
+The same dense synthetic instance as ``test_bench_kernels.py`` (500 users,
+12 routes each, 400 tasks) drives the *slot-level* pipeline the allocators
+run per decision slot: one full best-response sweep over every user plus
+PUU conflict resolution (Algorithm 3).  Two implementations race:
+
+- **scalar** — the pre-batch loop: one :func:`repro.core.responses.best_update`
+  call per user (object proposals, ``frozenset`` touched-task sets) +
+  :func:`repro.algorithms.muun.puu_select`'s Python-set scan;
+- **batched** — :func:`repro.core.responses.batch_best_updates` (one gather
+  + segmented reductions for all 500 users) +
+  :func:`repro.algorithms.muun.puu_select_batch`'s occupancy-mask scan.
+
+``test_speedup_floor`` asserts the >=3x end-to-end speedup this PR
+promises, with min-of-repeats wall timing.  Results land in
+``benchmarks/results/bench.json`` via ``make bench-json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.muun import puu_select, puu_select_batch
+from repro.core import (
+    PlatformWeights,
+    RouteNavigationGame,
+    StrategyProfile,
+    UserWeights,
+)
+from repro.core.responses import batch_best_updates, best_update
+
+N_USERS = 500
+N_TASKS = 400
+N_ROUTES = 12
+ROUTE_LEN = 15
+
+
+@pytest.fixture(scope="module")
+def dense_game() -> RouteNavigationGame:
+    """Dense synthetic instance: 500 users x 12 routes x 15 tasks/route."""
+    rng = np.random.default_rng(7)
+    cov = [
+        [
+            sorted(rng.choice(N_TASKS, size=ROUTE_LEN, replace=False).tolist())
+            for _ in range(N_ROUTES)
+        ]
+        for _ in range(N_USERS)
+    ]
+    return RouteNavigationGame.from_coverage(
+        cov,
+        base_rewards=rng.uniform(10, 20, N_TASKS).tolist(),
+        reward_increments=rng.uniform(0, 1, N_TASKS).tolist(),
+        detours=[[float(rng.uniform(0, 5)) for _ in r] for r in cov],
+        congestions=[[float(rng.uniform(0, 5)) for _ in r] for r in cov],
+        user_weights=[
+            UserWeights(*(float(v) for v in rng.uniform(0.2, 0.9, 3)))
+            for _ in range(N_USERS)
+        ],
+        platform=PlatformWeights(0.5, 0.5),
+    )
+
+
+@pytest.fixture(scope="module")
+def dense_profile(dense_game):
+    return StrategyProfile.random(dense_game, np.random.default_rng(1))
+
+
+@pytest.fixture(scope="module")
+def all_users(dense_game):
+    return np.arange(dense_game.num_users, dtype=np.intp)
+
+
+def _scalar_sweep(profile, users):
+    """The pre-batch per-user loop (object proposals, frozenset B_i)."""
+    out = []
+    for u in users:
+        prop = best_update(profile, int(u), pick="first")
+        if prop is not None:
+            out.append(prop)
+    return out
+
+
+def _scalar_slot(profile, users):
+    """Scalar sweep + Python-set PUU: one pre-batch MUUN slot."""
+    return puu_select(_scalar_sweep(profile, users))
+
+
+def _batched_slot(profile, users):
+    """Batched sweep + occupancy-mask PUU: one current MUUN slot."""
+    batch = batch_best_updates(profile, users, pick="first")
+    return puu_select_batch(batch, profile.game.num_tasks)
+
+
+class TestProposalSweep:
+    def test_sweep_batched(self, benchmark, dense_profile, all_users):
+        benchmark(batch_best_updates, dense_profile, all_users, pick="first")
+
+    def test_sweep_scalar_loop(self, benchmark, dense_profile, all_users):
+        benchmark(_scalar_sweep, dense_profile, all_users)
+
+
+class TestPUUSelection:
+    def test_puu_batched(self, benchmark, dense_profile, all_users):
+        batch = batch_best_updates(dense_profile, all_users, pick="first")
+        n = dense_profile.game.num_tasks
+        benchmark(puu_select_batch, batch, n)
+
+    def test_puu_scalar_sets(self, benchmark, dense_profile, all_users):
+        proposals = batch_best_updates(
+            dense_profile, all_users, pick="first"
+        ).as_list()
+        benchmark(puu_select, proposals)
+
+
+class TestFullSlot:
+    def test_slot_batched(self, benchmark, dense_profile, all_users):
+        benchmark(_batched_slot, dense_profile, all_users)
+
+    def test_slot_scalar(self, benchmark, dense_profile, all_users):
+        benchmark(_scalar_slot, dense_profile, all_users)
+
+
+def _best_of(f, *args, reps: int = 3, passes: int = 5) -> float:
+    best = float("inf")
+    for _ in range(passes):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            f(*args)
+        best = min(best, (time.perf_counter() - t0) / reps)
+    return best
+
+
+def test_speedup_floor(dense_profile, all_users):
+    """Batched sweep + PUU must beat the scalar slot loop by >=3x."""
+    # Same granted set first — a fast wrong answer is no speedup.
+    batch = batch_best_updates(dense_profile, all_users, pick="first")
+    granted = puu_select_batch(batch, dense_profile.game.num_tasks)
+    oracle = _scalar_slot(dense_profile, all_users)
+    assert [int(batch.users[k]) for k in granted] == [p.user for p in oracle]
+
+    scalar = _best_of(_scalar_slot, dense_profile, all_users)
+    batched = _best_of(_batched_slot, dense_profile, all_users)
+    print(
+        f"\nproposal slot: {scalar * 1e3:8.2f}ms scalar -> "
+        f"{batched * 1e3:8.2f}ms batched ({scalar / batched:4.1f}x)"
+    )
+    assert scalar / batched >= 3.0, "batched proposal slot speedup below 3x"

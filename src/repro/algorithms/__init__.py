@@ -18,7 +18,7 @@
 from repro.algorithms.base import AllocationResult, Allocator, MoveRecord, RunConfig
 from repro.algorithms.async_br import AsyncBR
 from repro.algorithms.dgrn import DGRN
-from repro.algorithms.muun import MUUN, puu_select
+from repro.algorithms.muun import MUUN, puu_select, puu_select_batch
 from repro.algorithms.brun import BRUN
 from repro.algorithms.buau import BUAU
 from repro.algorithms.bats import BATS
@@ -67,4 +67,5 @@ __all__ = [
     "exhaustive_optimum",
     "make_allocator",
     "puu_select",
+    "puu_select_batch",
 ]

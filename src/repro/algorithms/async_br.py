@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.game import RouteNavigationGame
 from repro.core.profile import StrategyProfile
-from repro.core.responses import best_update
+from repro.core.responses import single_best_update
 from repro.algorithms.base import AllocationResult, Allocator, MoveRecord, _HistoryRecorder
 from repro.utils.validation import require
 
@@ -56,7 +56,12 @@ class AsyncBR(Allocator):
         require(bool(np.all(rates > 0)), "rates must be positive")
 
         profile = self._initial_profile(game, initial)
-        recorder = _HistoryRecorder(profile, enabled=self.config.record_history)
+        recorder = _HistoryRecorder(
+            profile,
+            enabled=self.config.record_history,
+            validate=self.config.validate,
+        )
+        ga = game.arrays
         moves: list[MoveRecord] = []
         # Next tick per user: exponential inter-arrival times.
         next_tick = self.rng.exponential(1.0 / rates)
@@ -76,7 +81,7 @@ class AsyncBR(Allocator):
             now = float(next_tick[user])
             next_tick[user] += float(self.rng.exponential(1.0 / rates[user]))
             activations += 1
-            prop = best_update(profile, user, pick="random", rng=self.rng)
+            prop = single_best_update(profile, user, pick="random", rng=self.rng)
             if prop is None:
                 ticked_since_change[user] = True
                 continue
@@ -89,7 +94,15 @@ class AsyncBR(Allocator):
             ticked_since_change[user] = True
             if self.config.validate:
                 profile.validate()
-            recorder.snapshot(profile)
+            gained, lost = ga.changed_tasks(
+                ga.route_id(user, old), ga.route_id(user, prop.new_route)
+            )
+            recorder.advance(
+                profile,
+                tau_sum=prop.tau,
+                changed_tasks=np.concatenate([gained, lost]),
+                movers=np.asarray([user], dtype=np.intp),
+            )
         self.virtual_time = now
         return AllocationResult(
             algorithm=self.name,

@@ -18,17 +18,21 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.arrays import gather_segments, segment_sums
 from repro.core.game import RouteNavigationGame
 from repro.core.equilibrium import is_nash_equilibrium
 from repro.core.potential import potential
 from repro.core.profile import StrategyProfile
 from repro.core.profit import all_profits
+from repro.core.responses import ProposalBatch, batch_best_updates
 from repro.obs import counter as _obs_counter
 from repro.obs import histogram as _obs_histogram
 from repro.obs.runtime import RUNTIME as _OBS
 from repro.obs.tracing import record as _obs_record
 from repro.obs.tracing import trace
 from repro.utils.rng import SeedLike, as_generator
+
+_EMPTY_TASKS = np.zeros(0, dtype=np.intp)
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,14 +68,27 @@ class AllocationResult:
     potential_history: np.ndarray | None = None
     total_profit_history: np.ndarray | None = None
     profit_history: np.ndarray | None = None  # (slots+1, num_users)
+    # Lazily cached derived scalars: summary() and the experiment tables
+    # read them repeatedly per repetition, and the profile is final once
+    # the run returns.
+    _total_profit: float | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _is_nash: bool | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def total_profit(self) -> float:
-        return float(all_profits(self.profile).sum())
+        if self._total_profit is None:
+            self._total_profit = float(all_profits(self.profile).sum())
+        return self._total_profit
 
     @property
     def is_nash(self) -> bool:
-        return is_nash_equilibrium(self.profile)
+        if self._is_nash is None:
+            self._is_nash = is_nash_equilibrium(self.profile)
+        return self._is_nash
 
     def summary(self) -> dict[str, float]:
         """Scalar summary used by the experiment result tables."""
@@ -103,7 +120,12 @@ class Allocator(ABC):
         """Run decision-slot dynamics from a (random by default) profile."""
         profile = self._initial_profile(game, initial)
         self._begin_run(game)
-        recorder = _HistoryRecorder(profile, enabled=self.config.record_history)
+        recorder = _HistoryRecorder(
+            profile,
+            enabled=self.config.record_history,
+            validate=self.config.validate,
+        )
+        ga = game.arrays
         moves: list[MoveRecord] = []
         slot = 0
         converged = False
@@ -137,13 +159,30 @@ class Allocator(ABC):
                     converged = True
                     break
                 slot += 1
+                tau_sum = 0.0
+                changed: list[np.ndarray] = []
                 for user, new_route, gain in granted:
                     old = profile.move(user, new_route)
                     moves.append(MoveRecord(slot, user, old, new_route, gain))
                     self._note_move(user, old, new_route)
+                    if recorder.enabled:
+                        tau_sum += gain / float(ga.alpha[user])
+                        gained, lost = ga.changed_tasks(
+                            ga.route_id(user, old), ga.route_id(user, new_route)
+                        )
+                        changed.append(gained)
+                        changed.append(lost)
                 if self.config.validate:
                     profile.validate()
-                recorder.snapshot(profile)
+                recorder.advance(
+                    profile,
+                    tau_sum=tau_sum,
+                    changed_tasks=(
+                        np.concatenate(changed) if changed else
+                        np.zeros(0, dtype=np.intp)
+                    ),
+                    movers=np.asarray([m[0] for m in granted], dtype=np.intp),
+                )
         return AllocationResult(
             algorithm=self.name,
             profile=profile,
@@ -200,6 +239,16 @@ class ProposalCache:
     cuts the per-slot best-response sweep from O(M) to O(conflict
     neighbourhood).
 
+    The sweep itself is batched: every dirty user goes through
+    :func:`~repro.core.responses.batch_best_updates` in **one** NumPy
+    pipeline per slot (bit-for-bit equal to the old per-user
+    ``best_update`` loop, RNG stream included), and the cache keeps the
+    surviving proposals as struct-of-arrays state rather than objects.
+    :meth:`proposals` returns a
+    :class:`~repro.core.responses.ProposalBatch` over all currently
+    improving users; its touched-task CSR is assembled lazily so
+    single-grant schedulers (SUU) never pay for it.
+
     The ``task -> users`` incidence is the game's shared CSR
     (:meth:`~repro.core.arrays.GameArrays.task_user_csr`); dirtiness is a
     boolean mask, so invalidation is a gather + scatter with no Python
@@ -218,25 +267,53 @@ class ProposalCache:
         self.rng = rng
         self._arrays = game.arrays
         self._tu_indptr, self._tu_users = game.arrays.task_user_csr()
-        self._cache: list[object | None] = [None] * game.num_users
-        self._dirty = np.ones(game.num_users, dtype=bool)
+        m = game.num_users
+        self._has = np.zeros(m, dtype=bool)
+        self._route = np.zeros(m, dtype=np.intp)
+        self._gain = np.zeros(m)
+        self._tau = np.zeros(m)
+        self._touched: list[np.ndarray] = [_EMPTY_TASKS] * m
+        self._dirty = np.ones(m, dtype=bool)
 
-    def proposals(self, profile: StrategyProfile) -> list:
-        """Current update proposals of all improving users."""
-        from repro.core.responses import best_update
-
+    def proposals(self, profile: StrategyProfile) -> ProposalBatch:
+        """Current update proposals of all improving users, as a batch."""
         dirty_ids = np.flatnonzero(self._dirty)
         if _OBS.enabled:
             _obs_counter("allocator.proposals_generated").inc(len(dirty_ids))
             _obs_counter("allocator.cache_hits").inc(
                 self.game.num_users - len(dirty_ids)
             )
-        for i in dirty_ids:
-            self._cache[i] = best_update(
-                profile, int(i), pick=self.pick, rng=self.rng
+            _obs_histogram("allocator.batch_size").observe(float(len(dirty_ids)))
+        if dirty_ids.size:
+            t0 = time.perf_counter() if _OBS.enabled else 0.0
+            fresh = batch_best_updates(
+                profile, dirty_ids, pick=self.pick, rng=self.rng
             )
-        self._dirty[:] = False
-        return [p for p in self._cache if p is not None]
+            self._has[dirty_ids] = False
+            if len(fresh):
+                u = fresh.users
+                self._has[u] = True
+                self._route[u] = fresh.new_routes
+                self._gain[u] = fresh.gains
+                self._tau[u] = fresh.taus
+                b_indptr, b_tasks = fresh.b_indptr, fresh.b_tasks
+                for j, ui in enumerate(u):
+                    self._touched[ui] = b_tasks[b_indptr[j] : b_indptr[j + 1]]
+            self._dirty[:] = False
+            if _OBS.enabled:
+                _obs_histogram("allocator.sweep_seconds").observe(
+                    time.perf_counter() - t0
+                )
+        users = np.flatnonzero(self._has)
+        return ProposalBatch(
+            users,
+            self._route[users],
+            self._gain[users],
+            self._tau[users],
+            touched_builder=lambda: _assemble_csr(
+                [self._touched[ui] for ui in users]
+            ),
+        )
 
     def note_move(self, user: int, old_route: int, new_route: int) -> None:
         """Invalidate the mover and every user sharing a changed-count task.
@@ -261,24 +338,103 @@ class ProposalCache:
             )
 
 
-class _HistoryRecorder:
-    """Accumulates per-slot potential / profit trajectories."""
+def _assemble_csr(segments: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """CSR ``(indptr, data)`` from a list of per-row id arrays."""
+    if not segments:
+        return np.zeros(1, dtype=np.intp), _EMPTY_TASKS
+    lengths = np.asarray([seg.size for seg in segments], dtype=np.intp)
+    indptr = np.concatenate([[0], np.cumsum(lengths)]).astype(np.intp)
+    data = np.concatenate(segments) if indptr[-1] else _EMPTY_TASKS
+    return indptr, data
 
-    def __init__(self, profile: StrategyProfile, *, enabled: bool) -> None:
+
+class _HistoryRecorder:
+    """Accumulates per-slot potential / profit trajectories incrementally.
+
+    Per slot the recorder does **not** re-evaluate the whole game:
+
+    - the potential advances by the summed granted ``tau_i`` — exactly
+      the per-move potential increase of Eq. 11 (moves granted together
+      have pairwise-disjoint ``B_i``, so their deltas add);
+    - per-user profits are recomputed only for the movers and the users
+      whose route tasks intersect a *changed-count* task (everyone
+      else's reward shares are untouched, so their cached profit is
+      bitwise identical to a full re-evaluation);
+    - the total-profit entry is the sum of the maintained profit vector.
+
+    ``validate=True`` (``RunConfig.validate``) cross-checks every slot
+    against an exact full recompute — asserting the incremental profits
+    match bitwise and the potential drift stays within float tolerance —
+    and then records the exact values.
+    """
+
+    #: Allowed |incremental - exact| potential drift per trajectory in
+    #: validate mode (pure float-summation noise; any real bookkeeping
+    #: bug shows up orders of magnitude above this).
+    _DRIFT_TOL = 1e-6
+
+    def __init__(
+        self, profile: StrategyProfile, *, enabled: bool, validate: bool = False
+    ) -> None:
         self.enabled = enabled
+        self.validate = validate
         self._potential: list[float] = []
         self._total: list[float] = []
-        self._profits: list[np.ndarray] = []
+        self._profit_rows: list[np.ndarray] = []
         if enabled:
-            self.snapshot(profile)
+            ga = profile.game.arrays
+            self._tu_indptr, self._tu_users = ga.task_user_csr()
+            self._profits = all_profits(profile)
+            self._potential.append(potential(profile))
+            self._total.append(float(self._profits.sum()))
+            self._profit_rows.append(self._profits.copy())
 
-    def snapshot(self, profile: StrategyProfile) -> None:
+    def advance(
+        self,
+        profile: StrategyProfile,
+        *,
+        tau_sum: float,
+        changed_tasks: np.ndarray,
+        movers: np.ndarray,
+    ) -> None:
+        """Record the state after one slot's granted moves executed."""
         if not self.enabled:
             return
-        profits = all_profits(profile)
+        ga = profile.game.arrays
+        if changed_tasks.size:
+            neighbours = ga.gather_rows(
+                self._tu_indptr, self._tu_users, np.unique(changed_tasks)
+            )
+            affected = np.union1d(neighbours, movers)
+        else:
+            affected = np.unique(movers)
+        if affected.size:
+            self._profits[affected] = _profits_of_users(profile, affected)
+        phi = self._potential[-1] + tau_sum
+        if self.validate:
+            exact_phi = potential(profile)
+            exact_profits = all_profits(profile)
+            if not np.array_equal(exact_profits, self._profits):
+                raise AssertionError(
+                    "incremental profit history diverged from full recompute"
+                )
+            if abs(phi - exact_phi) > self._DRIFT_TOL * max(1.0, abs(exact_phi)):
+                raise AssertionError(
+                    f"incremental potential drifted: {phi} vs exact {exact_phi}"
+                )
+            phi = exact_phi
+        self._potential.append(phi)
+        self._total.append(float(self._profits.sum()))
+        self._profit_rows.append(self._profits.copy())
+
+    def snapshot(self, profile: StrategyProfile) -> None:
+        """Exact full-recompute snapshot (non-incremental entry point)."""
+        if not self.enabled:
+            return
+        self._profits = all_profits(profile)
         self._potential.append(potential(profile))
-        self._total.append(float(profits.sum()))
-        self._profits.append(profits)
+        self._total.append(float(self._profits.sum()))
+        self._profit_rows.append(self._profits.copy())
 
     def as_arrays(self) -> dict[str, np.ndarray | None]:
         if not self.enabled:
@@ -290,5 +446,20 @@ class _HistoryRecorder:
         return {
             "potential_history": np.asarray(self._potential),
             "total_profit_history": np.asarray(self._total),
-            "profit_history": np.vstack(self._profits),
+            "profit_history": np.vstack(self._profit_rows),
         }
+
+
+def _profits_of_users(profile: StrategyProfile, users: np.ndarray) -> np.ndarray:
+    """``P_i(s)`` for a subset of users, bitwise equal to the matching
+    entries of :func:`~repro.core.profit.all_profits`."""
+    game = profile.game
+    ga = game.arrays
+    shares = game.tasks.shares(profile.counts)
+    g = ga.chosen_route_ids(profile.choices)[users]
+    lengths = ga.route_len[g]
+    flat = gather_segments(ga.task_ids, ga.indptr[g], lengths)
+    rewards = segment_sums(
+        shares[flat], np.cumsum(lengths) - lengths, lengths
+    )
+    return ga.alpha[users] * rewards - ga.route_cost[g]

@@ -16,10 +16,15 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.game import RouteNavigationGame
 from repro.core.profile import StrategyProfile
-from repro.core.responses import best_update
+from repro.core.responses import single_best_update
 from repro.algorithms.base import AllocationResult, Allocator, MoveRecord, _HistoryRecorder
+
+_NO_TASKS = np.zeros(0, dtype=np.intp)
+_NO_USERS = np.zeros(0, dtype=np.intp)
 
 
 class BATS(Allocator):
@@ -34,7 +39,12 @@ class BATS(Allocator):
         initial: Sequence[int] | StrategyProfile | None = None,
     ) -> AllocationResult:
         profile = self._initial_profile(game, initial)
-        recorder = _HistoryRecorder(profile, enabled=self.config.record_history)
+        recorder = _HistoryRecorder(
+            profile,
+            enabled=self.config.record_history,
+            validate=self.config.validate,
+        )
+        ga = game.arrays
         moves: list[MoveRecord] = []
         order = list(game.users)
         self.rng.shuffle(order)
@@ -47,18 +57,27 @@ class BATS(Allocator):
                 break
             user = order[slot % game.num_users]
             slot += 1
-            prop = best_update(profile, user, pick="random", rng=self.rng)
+            prop = single_best_update(profile, user, pick="random", rng=self.rng)
             if prop is None:
                 idle_streak += 1
+                tau_sum, changed, movers = 0.0, _NO_TASKS, _NO_USERS
             else:
                 idle_streak = 0
                 old = profile.move(prop.user, prop.new_route)
                 moves.append(
                     MoveRecord(slot, prop.user, old, prop.new_route, prop.gain)
                 )
+                gained, lost = ga.changed_tasks(
+                    ga.route_id(user, old), ga.route_id(user, prop.new_route)
+                )
+                tau_sum = prop.tau
+                changed = np.concatenate([gained, lost])
+                movers = np.asarray([user], dtype=np.intp)
             if self.config.validate:
                 profile.validate()
-            recorder.snapshot(profile)
+            recorder.advance(
+                profile, tau_sum=tau_sum, changed_tasks=changed, movers=movers
+            )
         return AllocationResult(
             algorithm=self.name,
             profile=profile,

@@ -4,12 +4,23 @@ Like DGRN's SUU scheduling, but the granted user switches to a *uniformly
 random strictly-better* route rather than a best one — the better-response
 update of Definition 1.  Still converges (finite improvement property) but
 typically needs more decision slots than best response.
+
+The per-slot requester sweep runs through the batched candidate-profit
+kernel (:func:`~repro.core.responses.batch_candidate_profits`): one flat
+evaluation of every user's every route, then a segmented comparison
+against each user's current profit — no per-user Python calls.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.profile import StrategyProfile
-from repro.core.responses import better_responses, make_proposal
+from repro.core.responses import (
+    IMPROVEMENT_EPS,
+    batch_candidate_profits,
+    make_proposal,
+)
 from repro.algorithms.base import Allocator
 
 
@@ -19,13 +30,20 @@ class BRUN(Allocator):
     name = "BRUN"
 
     def _slot(self, profile: StrategyProfile, slot: int):
-        requesters = [
-            i for i in profile.game.users if better_responses(profile, i)
-        ]
-        if not requesters:
+        game = profile.game
+        users = np.arange(game.num_users, dtype=np.intp)
+        profits, _, r_indptr = batch_candidate_profits(profile, users)
+        starts = r_indptr[:-1]
+        cur = profits[starts + profile.choices]
+        better = profits > np.repeat(cur + IMPROVEMENT_EPS, np.diff(r_indptr))
+        requesters = np.flatnonzero(
+            np.bitwise_or.reduceat(better, starts)
+        )
+        if requesters.size == 0:
             return []
-        user = requesters[int(self.rng.integers(0, len(requesters)))]
-        options = better_responses(profile, user)
-        new_route = options[int(self.rng.integers(0, len(options)))]
+        user = int(requesters[int(self.rng.integers(0, requesters.size))])
+        seg = slice(int(r_indptr[user]), int(r_indptr[user + 1]))
+        options = np.flatnonzero(better[seg])
+        new_route = int(options[int(self.rng.integers(0, options.size))])
         prop = make_proposal(profile, user, new_route)
         return [(prop.user, prop.new_route, prop.gain)]

@@ -8,6 +8,8 @@ Greedy steepest ascent on the potential.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.profile import StrategyProfile
 from repro.algorithms.base import Allocator, ProposalCache
 
@@ -24,10 +26,9 @@ class BUAU(Allocator):
         self._cache.note_move(user, old_route, new_route)
 
     def _slot(self, profile: StrategyProfile, slot: int):
-        best = None
-        for prop in self._cache.proposals(profile):
-            if best is None or prop.tau > best.tau:
-                best = prop
-        if best is None:
+        batch = self._cache.proposals(profile)
+        if not len(batch):
             return []
-        return [(best.user, best.new_route, best.gain)]
+        # argmax returns the first maximum; rows are user-ascending, so
+        # this matches the scalar scan's strict-> tie-break by user id.
+        return [batch.triple(int(np.argmax(batch.taus)))]

@@ -8,7 +8,9 @@ granted user switches to a route drawn from its best route set.
 Proposals are cached between slots and invalidated by touched tasks
 (:class:`~repro.algorithms.base.ProposalCache`): a user whose route tasks
 did not change keeps the same best route set, so only the conflict
-neighbourhood of the last move is recomputed.
+neighbourhood of the last move is recomputed — in one batched
+best-response sweep (:func:`~repro.core.responses.batch_best_updates`)
+rather than a per-user Python loop.
 """
 
 from __future__ import annotations
@@ -29,8 +31,7 @@ class DGRN(Allocator):
         self._cache.note_move(user, old_route, new_route)
 
     def _slot(self, profile: StrategyProfile, slot: int):
-        proposals = self._cache.proposals(profile)
-        if not proposals:
+        batch = self._cache.proposals(profile)
+        if not len(batch):
             return []
-        chosen = proposals[int(self.rng.integers(0, len(proposals)))]
-        return [(chosen.user, chosen.new_route, chosen.gain)]
+        return [batch.triple(int(self.rng.integers(0, len(batch))))]

@@ -6,12 +6,23 @@ requests by ``delta_i = tau_i / |B_i|`` (non-ascending) and greedily grants
 a set with pairwise-disjoint ``B_i``; the granted users update concurrently.
 Disjointness guarantees each granted move's gain remains exact when applied
 together, so the potential rises by ``sum tau_i`` in one slot.
+
+The production path is vectorized: the proposal batch arrives as
+struct-of-arrays (:class:`~repro.core.responses.ProposalBatch`), the sort
+is one stable ``argsort`` on ``delta_i``, and disjointness is resolved by
+:func:`~repro.core.responses.greedy_disjoint`'s task-occupancy mask over
+the touched-task CSR.  The Python-set implementations (:func:`puu_select`,
+:func:`_select_by_tau`) survive as certification oracles — the vectorized
+selection grants the same set on every input (``tests/algorithms/test_puu.py``,
+``tests/core/test_proposal_batch.py``).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.profile import StrategyProfile
-from repro.core.responses import UpdateProposal
+from repro.core.responses import ProposalBatch, UpdateProposal, greedy_disjoint
 from repro.algorithms.base import Allocator, ProposalCache
 
 
@@ -20,6 +31,8 @@ def puu_select(proposals: list[UpdateProposal]) -> list[UpdateProposal]:
 
     Users whose move touches no task at all (``B_i`` empty — a pure
     detour/congestion improvement) never conflict and are always granted.
+
+    Scalar oracle; the allocator itself runs :func:`puu_select_batch`.
     """
     order = sorted(
         proposals, key=lambda p: (-p.delta, p.user)
@@ -32,6 +45,22 @@ def puu_select(proposals: list[UpdateProposal]) -> list[UpdateProposal]:
         granted.append(prop)
         occupied |= prop.touched_tasks
     return granted
+
+
+def puu_select_batch(
+    batch: ProposalBatch, num_tasks: int, *, sort_key: str = "delta"
+) -> list[int]:
+    """Vectorized Algorithm 3 over a proposal batch.
+
+    Returns granted row indices in grant (priority) order — the same
+    grant set and order as :func:`puu_select` (or the ``tau`` ablation's
+    :func:`_select_by_tau`) applied to ``batch.as_list()``.  Batch rows
+    are user-ascending, so a *stable* descending argsort on the priority
+    key reproduces the scalar path's ``(-key, user)`` tie-break.
+    """
+    key = batch.deltas if sort_key == "delta" else batch.taus
+    order = np.argsort(-key, kind="stable")
+    return greedy_disjoint(order, batch.b_indptr, batch.b_tasks, num_tasks)
 
 
 class MUUN(Allocator):
@@ -60,19 +89,18 @@ class MUUN(Allocator):
         self._cache.note_move(user, old_route, new_route)
 
     def _slot(self, profile: StrategyProfile, slot: int):
-        proposals = self._cache.proposals(profile)
-        if not proposals:
+        batch = self._cache.proposals(profile)
+        if not len(batch):
             return []
-        if self.sort_key == "delta":
-            granted = puu_select(proposals)
-        else:
-            granted = _select_by_tau(proposals)
+        granted = puu_select_batch(
+            batch, profile.game.num_tasks, sort_key=self.sort_key
+        )
         self.granted_per_slot.append(len(granted))
-        return [(p.user, p.new_route, p.gain) for p in granted]
+        return [batch.triple(k) for k in granted]
 
 
 def _select_by_tau(proposals: list[UpdateProposal]) -> list[UpdateProposal]:
-    """Ablation variant: greedy disjoint selection by raw ``tau_i``."""
+    """Ablation oracle: greedy disjoint selection by raw ``tau_i``."""
     order = sorted(proposals, key=lambda p: (-p.tau, p.user))
     granted: list[UpdateProposal] = []
     occupied: set[int] = set()

@@ -21,6 +21,11 @@ from repro.core.responses import (
     best_response_set,
     best_update,
     better_responses,
+    batch_best_updates,
+    batch_candidate_profits,
+    greedy_disjoint,
+    single_best_update,
+    ProposalBatch,
     UpdateProposal,
 )
 from repro.core.equilibrium import (
@@ -47,16 +52,20 @@ __all__ = [
     "EquilibriumAnalysis",
     "GameArrays",
     "PlatformWeights",
+    "ProposalBatch",
     "RouteNavigationGame",
     "SetCoverInstance",
     "StrategyProfile",
     "UpdateProposal",
     "UserWeights",
     "all_profits",
+    "batch_best_updates",
+    "batch_candidate_profits",
     "best_response_set",
     "best_update",
     "better_responses",
     "candidate_profits",
+    "greedy_disjoint",
     "convergence_slot_bound",
     "empirical_poa_ratio",
     "enumerate_equilibria",
@@ -67,6 +76,7 @@ __all__ = [
     "is_nash_equilibrium",
     "poa_lower_bound",
     "potential",
+    "single_best_update",
     "potential_delta",
     "profit_of_user",
     "special_case_poa_bounds",

@@ -173,6 +173,24 @@ class GameArrays:
         """Global route ids of a full choice vector ``s``."""
         return self.user_route_offset[:-1] + np.asarray(choices, dtype=np.intp)
 
+    def routes_of_users(self, users: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All global route ids of ``users``, concatenated, with a CSR indptr.
+
+        ``flat_g[r_indptr[k] : r_indptr[k+1]]`` are user ``users[k]``'s
+        routes in order — the row-expansion primitive of the batched
+        proposal engine (:func:`repro.core.responses.batch_candidate_profits`).
+        """
+        off = self.user_route_offset
+        r_counts = off[users + 1] - off[users]
+        r_indptr = np.concatenate(([0], np.cumsum(r_counts))).astype(np.intp)
+        total = int(r_indptr[-1])
+        if total == 0:
+            return np.zeros(0, dtype=np.intp), r_indptr
+        flat_g = np.arange(total, dtype=np.intp) + np.repeat(
+            off[users] - r_indptr[:-1], r_counts
+        )
+        return flat_g, r_indptr
+
     # ---------------------------------------------------------------- kernels
     def counts_from_choices(self, choices: np.ndarray) -> np.ndarray:
         """Participant counts ``n_k(s)``: one gather + one ``bincount``."""

@@ -41,6 +41,11 @@ class BatchEvaluator:
             self._cov.append(cov)
             self._cov_alpha.append(cov * ga.alpha[i])
             self._costs.append(ga.route_cost[ga.user_slice(i)])
+        # Per-user route counts, broadcast against whole choice matrices in
+        # _validate so bounds checking is one comparison, not a column loop.
+        self._route_counts = np.asarray(
+            [game.num_routes(i) for i in game.users], dtype=np.intp
+        )
         # share_table[k, q-1] = w_k(q)/q for q = 1..M; column 0 reused for
         # count 0 via masking.
         if n and m:
@@ -58,12 +63,10 @@ class BatchEvaluator:
             arr = arr[None, :]
         require(arr.ndim == 2 and arr.shape[1] == self.game.num_users,
                 f"choices must be (P, {self.game.num_users})")
-        for i in self.game.users:
-            col = arr[:, i]
-            require(
-                bool(((col >= 0) & (col < self.game.num_routes(i))).all()),
-                f"route index out of range for user {i}",
-            )
+        ok = (arr >= 0) & (arr < self._route_counts[None, :])
+        if not ok.all():
+            bad = int(np.flatnonzero(~ok.all(axis=0))[0])
+            require(False, f"route index out of range for user {bad}")
         return arr
 
     def counts(self, choices: np.ndarray) -> np.ndarray:

@@ -84,6 +84,14 @@ def candidate_profits(profile: StrategyProfile, user: int) -> np.ndarray:
     against ``n_k(s_{-i}) + 1`` in a single gather + segmented reduction
     over the user's CSR slice — including the current route, whose entry
     therefore equals :func:`profit_of_user`.
+
+    This is the *single-user* entry point (distributed agents, ad-hoc
+    what-ifs); allocator sweeps evaluate all dirty users at once through
+    :func:`repro.core.responses.batch_candidate_profits`, which produces
+    bitwise-identical entries.  The ``core.candidate_eval_total`` counter
+    below therefore only accounts single-user calls — the batched sweep
+    reports ``allocator.sweep_seconds`` / ``allocator.batch_size`` instead
+    (see ``docs/observability.md``).
     """
     if _OBS.enabled:
         t0 = time.perf_counter()

@@ -1,4 +1,4 @@
-"""Better/best response updates (Definition 1) and update proposals.
+"""Better/best response updates (Definition 1) and the proposal engine.
 
 The *best route set* ``Delta_i(t)`` of Algorithm 1 (line 10) is the set of
 routes that both maximize the user's profit given ``s_{-i}`` and strictly
@@ -6,20 +6,42 @@ improve on the current route.  An :class:`UpdateProposal` packages what a
 user sends to the platform when requesting an update (Algorithm 3's inputs):
 the profit gain scaled by ``1/alpha_i`` (``tau_i``) and the set of tasks
 jointly touched by the old and new routes (``B_i``).
+
+Two layers live here:
+
+- the **scalar path** (:func:`best_update`, :func:`make_proposal`,
+  :class:`UpdateProposal`) — one user at a time, retained as the
+  certification oracle for the batched engine and as the legacy object
+  view used by the distributed agents and tests;
+- the **batched engine** (:func:`batch_best_updates`,
+  :class:`ProposalBatch`, :func:`greedy_disjoint`) — evaluates the best
+  responses of *many* users in one NumPy pipeline over the game's flat
+  CSR layout and resolves PUU conflicts with a task-occupancy mask.  The
+  batched path is bit-for-bit equivalent to looping the scalar path
+  (including ``first``/``random`` tie-breaking and RNG consumption
+  order); ``tests/core/test_proposal_batch.py`` certifies this.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.arrays import gather_segments, segment_sums
 from repro.core.profile import StrategyProfile
 from repro.core.profit import candidate_profits
 
 # Strict-improvement tolerance: float noise below this is not an incentive
 # to move, which also guarantees termination of response dynamics.
 IMPROVEMENT_EPS = 1e-9
+
+# Membership in batch_candidate_profits uses a dense (user, task) boolean
+# table up to this many cells (16M = 16 MB transient); beyond that it falls
+# back to a binary search over merged keys.  Both paths produce identical
+# bits.
+_DENSE_MEMBER_CELLS = 1 << 24
 
 
 def better_responses(profile: StrategyProfile, user: int) -> list[int]:
@@ -134,3 +156,353 @@ def make_proposal(
         tau=gain / alpha,
         touched_tasks=touched,
     )
+
+
+# --------------------------------------------------------------------------
+# Batched proposal engine
+# --------------------------------------------------------------------------
+
+_EMPTY_INTP = np.zeros(0, dtype=np.intp)
+_EMPTY_F64 = np.zeros(0, dtype=float)
+
+
+class ProposalBatch:
+    """Struct-of-arrays batch of update proposals (one row per user).
+
+    Rows are sorted by ``users`` (strictly ascending); every row is an
+    *improving* proposal — non-improving users simply have no row.  The
+    touched-task sets ``B_i`` are a CSR (``b_indptr``/``b_tasks``, each
+    segment sorted unique) materialized lazily: SUU-style consumers
+    (DGRN, BUAU) never pay for it, PUU consumers (MUUN) build it once
+    per slot.
+
+    :meth:`as_list` renders the batch as legacy :class:`UpdateProposal`
+    objects — the thin view kept for the distributed agents and tests.
+    """
+
+    __slots__ = ("users", "new_routes", "gains", "taus", "_b_indptr",
+                 "_b_tasks", "_touched_builder")
+
+    def __init__(
+        self,
+        users: np.ndarray,
+        new_routes: np.ndarray,
+        gains: np.ndarray,
+        taus: np.ndarray,
+        b_indptr: np.ndarray | None = None,
+        b_tasks: np.ndarray | None = None,
+        touched_builder: Callable[[], tuple[np.ndarray, np.ndarray]] | None = None,
+    ) -> None:
+        self.users = users
+        self.new_routes = new_routes
+        self.gains = gains
+        self.taus = taus
+        self._b_indptr = b_indptr
+        self._b_tasks = b_tasks
+        self._touched_builder = touched_builder
+
+    @staticmethod
+    def empty() -> "ProposalBatch":
+        return ProposalBatch(
+            _EMPTY_INTP, _EMPTY_INTP, _EMPTY_F64, _EMPTY_F64,
+            np.zeros(1, dtype=np.intp), _EMPTY_INTP,
+        )
+
+    def __len__(self) -> int:
+        return int(self.users.size)
+
+    # ------------------------------------------------------- touched tasks
+    def _materialize(self) -> None:
+        if self._b_indptr is None:
+            assert self._touched_builder is not None
+            self._b_indptr, self._b_tasks = self._touched_builder()
+
+    @property
+    def b_indptr(self) -> np.ndarray:
+        """CSR offsets of the per-proposal touched-task segments."""
+        self._materialize()
+        return self._b_indptr  # type: ignore[return-value]
+
+    @property
+    def b_tasks(self) -> np.ndarray:
+        """Concatenated sorted-unique touched-task ids (``B_i`` per row)."""
+        self._materialize()
+        return self._b_tasks  # type: ignore[return-value]
+
+    @property
+    def b_sizes(self) -> np.ndarray:
+        """``|B_i|`` per proposal."""
+        return np.diff(self.b_indptr)
+
+    @property
+    def deltas(self) -> np.ndarray:
+        """PUU's sort key ``delta_i = tau_i / max(|B_i|, 1)`` per proposal."""
+        return self.taus / np.maximum(self.b_sizes, 1)
+
+    def tasks_of(self, k: int) -> np.ndarray:
+        """Sorted-unique touched-task ids of proposal row ``k``."""
+        return self.b_tasks[self.b_indptr[k] : self.b_indptr[k + 1]]
+
+    # ------------------------------------------------------------ consumers
+    def triple(self, k: int) -> tuple[int, int, float]:
+        """``(user, new_route, gain)`` of row ``k`` — the grant tuple."""
+        return (int(self.users[k]), int(self.new_routes[k]),
+                float(self.gains[k]))
+
+    def as_list(self) -> list[UpdateProposal]:
+        """Legacy :class:`UpdateProposal` objects (one per row)."""
+        return [
+            UpdateProposal(
+                user=int(self.users[k]),
+                new_route=int(self.new_routes[k]),
+                gain=float(self.gains[k]),
+                tau=float(self.taus[k]),
+                touched_tasks=frozenset(self.tasks_of(k).tolist()),
+            )
+            for k in range(len(self))
+        ]
+
+
+def batch_candidate_profits(
+    profile: StrategyProfile, users: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Candidate profits of *all* routes of many users in one pass.
+
+    Returns ``(profits, flat_g, r_indptr)``: ``profits[r_indptr[k] :
+    r_indptr[k+1]]`` are ``P_i(r_j, s_{-i})`` for ``users[k]``'s routes
+    (entries bitwise identical to :func:`~repro.core.profit.candidate_profits`),
+    and ``flat_g`` holds the matching global route ids.
+
+    ``users`` must be strictly ascending (unique).  One gather over the
+    concatenated CSR slices + one ``np.add.reduceat``; the per-user
+    "remove my own contribution" step of ``counts_without`` becomes a
+    vectorized membership test of each gathered task against its user's
+    *current* route via a merged ``(user, task)`` key search.
+    """
+    ga = profile.game.arrays
+    users = np.asarray(users, dtype=np.intp)
+    if users.size and np.any(np.diff(users) <= 0):
+        raise ValueError("users must be strictly ascending")
+    flat_g, r_indptr = ga.routes_of_users(users)
+    if flat_g.size == 0:
+        return _EMPTY_F64, _EMPTY_INTP, r_indptr
+    lengths = ga.route_len[flat_g]
+    if flat_g.size == ga.num_routes_total:
+        # Full sweep (every user dirty): the concatenated segments are the
+        # whole CSR data array — skip the gather.
+        flat_tasks = ga.task_ids
+    else:
+        flat_tasks = gather_segments(ga.task_ids, ga.indptr[flat_g], lengths)
+    route_starts = np.cumsum(lengths) - lengths
+    if flat_tasks.size:
+        # member[e] = True iff element e's task is covered by its user's
+        # current route (exactly what counts_without subtracts).
+        nt = np.int64(max(ga.num_tasks, 1))
+        elem_user = np.repeat(ga.route_user[flat_g], lengths)
+        keys = elem_user.astype(np.int64) * nt + flat_tasks
+        chosen_g = ga.chosen_route_ids(profile.choices)[users]
+        chosen_len = ga.route_len[chosen_g]
+        chosen_tasks = gather_segments(
+            ga.task_ids_sorted, ga.indptr[chosen_g], chosen_len
+        )
+        # users ascending + tasks sorted within each segment -> keys sorted.
+        chosen_keys = (
+            np.repeat(users, chosen_len).astype(np.int64) * nt + chosen_tasks
+        )
+        total_cells = int(nt) * max(ga.num_users, 1)
+        if total_cells <= _DENSE_MEMBER_CELLS:
+            # Dense (user, task) membership table: one scatter + one
+            # gather beats a binary search per element by a wide margin.
+            table = np.zeros(total_cells, dtype=bool)
+            table[chosen_keys] = True
+            member = table[keys]
+        else:
+            pos = np.searchsorted(chosen_keys, keys)
+            member = np.zeros(keys.size, dtype=bool)
+            if chosen_keys.size:
+                hit = pos < chosen_keys.size
+                member[hit] = chosen_keys[pos[hit]] == keys[hit]
+        # Any element sees exactly one of two counts: n_k + 1 (its user is
+        # not on task k) or n_k (it is, and then n_k >= 1).  Evaluating the
+        # share term once per task and gathering is bitwise identical to
+        # evaluating it per element — same doubles through the same ops —
+        # and runs log/divide over N tasks instead of all route elements.
+        n_out = (profile.counts + 1).astype(float)
+        t_out = (ga.base_rewards + ga.reward_increments * np.log(n_out)) / n_out
+        n_in = np.maximum(profile.counts, 1).astype(float)
+        t_in = (ga.base_rewards + ga.reward_increments * np.log(n_in)) / n_in
+        terms = np.where(member, t_in[flat_tasks], t_out[flat_tasks])
+        rewards = segment_sums(terms, route_starts, lengths)
+    else:
+        rewards = np.zeros(flat_g.size)
+    profits = ga.alpha[ga.route_user[flat_g]] * rewards - ga.route_cost[flat_g]
+    return profits, flat_g, r_indptr
+
+
+def _union_csr(ga, old_g: np.ndarray, new_g: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row sorted-unique union of two route task segments, as a CSR.
+
+    Row ``k`` is ``B_k = L_{old_g[k]} | L_{new_g[k]}`` — one interleaved
+    gather of the sorted segments, one lexsort, one adjacent-duplicate
+    drop; no per-row Python loop.
+    """
+    k = old_g.size
+    starts = np.empty(2 * k, dtype=np.intp)
+    lens = np.empty(2 * k, dtype=np.intp)
+    starts[0::2] = ga.indptr[old_g]
+    starts[1::2] = ga.indptr[new_g]
+    lens[0::2] = ga.route_len[old_g]
+    lens[1::2] = ga.route_len[new_g]
+    flat = gather_segments(ga.task_ids_sorted, starts, lens)
+    owner = np.repeat(np.arange(k, dtype=np.intp), lens[0::2] + lens[1::2])
+    order = np.lexsort((flat, owner))
+    tasks = flat[order]
+    rows = owner[order]
+    if tasks.size:
+        keep = np.ones(tasks.size, dtype=bool)
+        keep[1:] = (rows[1:] != rows[:-1]) | (tasks[1:] != tasks[:-1])
+        tasks = tasks[keep]
+        rows = rows[keep]
+    indptr = np.concatenate(
+        [[0], np.cumsum(np.bincount(rows, minlength=k))]
+    ).astype(np.intp)
+    return indptr, tasks
+
+
+def batch_best_updates(
+    profile: StrategyProfile,
+    users: np.ndarray | Sequence[int],
+    *,
+    pick: str = "first",
+    rng: np.random.Generator | None = None,
+) -> ProposalBatch:
+    """Best-update proposals of many users in one vectorized sweep.
+
+    Equivalent to ``[best_update(profile, u, pick=pick, rng=rng) for u in
+    users]`` with the ``None`` results dropped — bit-for-bit, including
+    the strict-improvement filter, tie-breaking, and (for
+    ``pick="random"``) the RNG draw sequence: one ``rng.integers(0,
+    n_candidates)`` per improving user in ascending user order, exactly
+    like the scalar loop.
+
+    ``users`` must be strictly ascending.  The heavy lifting (candidate
+    profits) is one gather + ``reduceat`` over the concatenated CSR
+    slices; per-user argmax/max are segmented ``reduceat`` calls; the
+    touched-task CSR is built by :func:`_union_csr`.
+    """
+    users = np.asarray(users, dtype=np.intp)
+    if users.size == 0:
+        return ProposalBatch.empty()
+    profits, flat_g, r_indptr = batch_candidate_profits(profile, users)
+    ga = profile.game.arrays
+    starts = r_indptr[:-1]
+    best = np.maximum.reduceat(profits, starts)
+    cur = profits[starts + profile.choices[users]]
+    improving = best > cur + IMPROVEMENT_EPS
+    sel = np.flatnonzero(improving)
+    if sel.size == 0:
+        return ProposalBatch.empty()
+    # Tie set: routes within IMPROVEMENT_EPS of the per-user maximum.
+    cand = profits >= np.repeat(best - IMPROVEMENT_EPS, np.diff(r_indptr))
+    if pick == "first":
+        idx = np.where(cand, np.arange(profits.size), profits.size)
+        chosen_flat = np.minimum.reduceat(idx, starts)[sel]
+    elif pick == "random":
+        if rng is None:
+            raise ValueError("pick='random' requires an rng")
+        n_cand = np.add.reduceat(cand.astype(np.intp), starts)
+        true_pos = np.flatnonzero(cand)
+        true_indptr = np.cumsum(n_cand) - n_cand
+        chosen_flat = np.empty(sel.size, dtype=np.intp)
+        # The draws themselves must stay a loop to replay the scalar
+        # RNG stream; everything costly around them is vectorized.
+        for j, k in enumerate(sel):
+            draw = int(rng.integers(0, int(n_cand[k])))
+            chosen_flat[j] = true_pos[true_indptr[k] + draw]
+    else:
+        raise ValueError(f"unknown pick mode: {pick!r}")
+    sel_users = users[sel]
+    new_g = flat_g[chosen_flat]
+    new_routes = new_g - ga.user_route_offset[sel_users]
+    gains = profits[chosen_flat] - cur[sel]
+    taus = gains / ga.alpha[sel_users]
+    old_g = ga.chosen_route_ids(profile.choices)[sel_users]
+    b_indptr, b_tasks = _union_csr(ga, old_g, new_g)
+    return ProposalBatch(sel_users, new_routes, gains, taus, b_indptr, b_tasks)
+
+
+def single_best_update(
+    profile: StrategyProfile,
+    user: int,
+    *,
+    pick: str = "first",
+    rng: np.random.Generator | None = None,
+) -> UpdateProposal | None:
+    """One user's best update via the batched engine (legacy object view).
+
+    Drop-in for :func:`best_update` on the production path (BATS, the
+    asynchronous dynamics): same result, same RNG consumption, but served
+    by :func:`batch_best_updates` so every allocator exercises one code
+    path.
+    """
+    batch = batch_best_updates(
+        profile, np.asarray([user], dtype=np.intp), pick=pick, rng=rng
+    )
+    if not len(batch):
+        return None
+    return batch.as_list()[0]
+
+
+def greedy_disjoint(
+    order: np.ndarray | Sequence[int],
+    b_indptr: np.ndarray,
+    b_tasks: np.ndarray,
+    num_tasks: int,
+) -> list[int]:
+    """Algorithm 3's greedy disjoint scan over a touched-task CSR.
+
+    Walks proposal rows in ``order`` (already sorted by the scheduler's
+    priority), granting each row whose ``B_i`` hits no occupied task and
+    marking its tasks in a task-occupancy mask — the vectorized
+    replacement for Python-set intersection/union.  Rows with empty
+    ``B_i`` never conflict and are always granted.  Returns granted row
+    indices in grant (priority) order.
+
+    The occupancy mask is bit-packed: every row's ``B_i`` is compiled
+    (vectorized) into a ``num_tasks``-bit integer, so the inherently
+    sequential greedy scan costs one AND + one OR per row instead of a
+    NumPy slice + compare.
+    """
+    n_rows = len(b_indptr) - 1
+    if n_rows <= 0:
+        return []
+    words = (num_tasks >> 6) + 1
+    masks = np.zeros(n_rows * words, dtype=np.uint64)
+    if b_tasks.size:
+        rows = np.repeat(
+            np.arange(n_rows, dtype=np.intp), np.diff(b_indptr)
+        )
+        cell = rows * words + (b_tasks >> 6)
+        bit = np.uint64(1) << (b_tasks & 63).astype(np.uint64)
+        if np.any(cell[1:] < cell[:-1]):  # callers may pass unsorted B_i
+            sort = np.argsort(cell, kind="stable")
+            cell, bit = cell[sort], bit[sort]
+        starts = np.flatnonzero(
+            np.concatenate(([True], cell[1:] != cell[:-1]))
+        )
+        masks[cell[starts]] = np.bitwise_or.reduceat(bit, starts)
+    nb = words * 8
+    buf = masks.astype("<u8", copy=False).tobytes()
+    row_bits = [
+        int.from_bytes(buf[k * nb : (k + 1) * nb], "little")
+        for k in range(n_rows)
+    ]
+    occupied = 0
+    granted: list[int] = []
+    for k in order:
+        m = row_bits[k]
+        if m & occupied:
+            continue
+        occupied |= m
+        granted.append(int(k))
+    return granted

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.game import RouteNavigationGame
+from repro.core.responses import greedy_disjoint
 from repro.distributed.bus import MessageBus
 from repro.obs import counter as _obs_counter
 from repro.obs.runtime import RUNTIME as _OBS
@@ -170,19 +171,32 @@ class PlatformAgent:
         return chosen
 
     def _puu(self, requests: list[UpdateRequest]) -> list[int]:
-        """Algorithm 3 on the received ``(tau_i, B_i)`` pairs."""
-        order = sorted(
-            requests,
-            key=lambda r: (-(r.tau / max(len(r.touched_tasks), 1)), r.user),
+        """Algorithm 3 on the received ``(tau_i, B_i)`` pairs.
+
+        Same grant set as the old Python-set scan: ``np.lexsort`` on
+        ``(-delta_i, user)`` replaces ``sorted``, and disjointness is the
+        shared occupancy-mask scan
+        (:func:`~repro.core.responses.greedy_disjoint`) over a CSR built
+        from the requests' touched-task sets.
+        """
+        users = np.asarray([r.user for r in requests], dtype=np.intp)
+        taus = np.asarray([r.tau for r in requests])
+        segments = [
+            np.fromiter(r.touched_tasks, dtype=np.intp, count=len(r.touched_tasks))
+            for r in requests
+        ]
+        sizes = np.asarray([seg.size for seg in segments], dtype=np.intp)
+        deltas = taus / np.maximum(sizes, 1)
+        order = np.lexsort((users, -deltas))
+        b_indptr = np.concatenate([[0], np.cumsum(sizes)]).astype(np.intp)
+        b_tasks = (
+            np.concatenate(segments) if b_indptr[-1]
+            else np.zeros(0, dtype=np.intp)
         )
-        granted: list[int] = []
-        occupied: set[int] = set()
-        for req in order:
-            if req.touched_tasks & occupied:
-                continue
-            granted.append(req.user)
-            occupied |= req.touched_tasks
-        return granted
+        granted = greedy_disjoint(
+            order, b_indptr, b_tasks, self.game.num_tasks
+        )
+        return [int(users[k]) for k in granted]
 
     def terminate(self, slot: int) -> None:
         """Alg. 2 lines 11-12: broadcast termination."""

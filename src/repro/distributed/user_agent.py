@@ -9,9 +9,9 @@ set — the privacy property motivating the paper.
 
 from __future__ import annotations
 
-import math
 import numpy as np
 
+from repro.core.arrays import segment_sums
 from repro.core.weights import UserWeights
 from repro.distributed.bus import MessageBus
 from repro.distributed.messages import (
@@ -57,6 +57,9 @@ class UserAgent:
         self.terminated = False
         # The best route set Delta_i(t) computed for the current slot.
         self._pending_best: list[int] = []
+        # Compiled local view (mini flat-CSR over this agent's own routes),
+        # rebuilt lazily whenever recommendation/annotation state changes.
+        self._local_ready = False
 
     # ----------------------------------------------------------------- inbox
     def process_inbox(self) -> None:
@@ -68,6 +71,7 @@ class UserAgent:
         if isinstance(msg, RouteRecommendation):
             self.routes = msg.routes
             self.task_params = dict(msg.task_params)
+            self._local_ready = False
             # Alg. 1 line 3: random initial route; line 4: report it.
             self.current_route = int(self.rng.integers(0, len(self.routes)))
             self.bus.post(
@@ -78,8 +82,18 @@ class UserAgent:
         elif isinstance(msg, RouteAnnotation):
             self.detour_costs = msg.detour_costs
             self.congestion_costs = msg.congestion_costs
+            self._local_ready = False
         elif isinstance(msg, TaskCountUpdate):
             self.known_counts.update(msg.counts)
+            if self._local_ready and msg.counts:
+                self._scatter_counts(
+                    np.fromiter(
+                        msg.counts.keys(), dtype=np.intp, count=len(msg.counts)
+                    ),
+                    np.fromiter(
+                        msg.counts.values(), dtype=np.intp, count=len(msg.counts)
+                    ),
+                )
         elif isinstance(msg, UpdateGrant):
             self._apply_grant(msg.slot)
         elif isinstance(msg, Termination):
@@ -133,34 +147,89 @@ class UserAgent:
         assert self.current_route is not None
         return float(profits[self.current_route])
 
+    def _ensure_local(self) -> None:
+        """Compile the agent's routes into a mini flat-CSR.
+
+        ``_uniq_tasks`` is the sorted unique task-id universe of this
+        agent's routes; ``_counts_vec`` mirrors ``known_counts`` on it
+        (0 where no count was ever delivered, matching the dict default);
+        ``_flat_pos`` maps each flat route element into that universe so a
+        candidate sweep is one gather + one segmented sum.
+        """
+        if self._local_ready:
+            return
+        assert self.routes is not None
+        assert self.detour_costs is not None and self.congestion_costs is not None
+        lens = np.asarray([len(r) for r in self.routes], dtype=np.intp)
+        indptr = np.concatenate(([0], np.cumsum(lens))).astype(np.intp)
+        flat = (
+            np.concatenate(
+                [np.asarray(r, dtype=np.intp) for r in self.routes]
+            )
+            if indptr[-1]
+            else np.zeros(0, dtype=np.intp)
+        )
+        uniq = np.unique(flat)
+        self._uniq_tasks = uniq
+        self._flat_pos = np.searchsorted(uniq, flat)
+        self._indptr = indptr
+        self._lens = lens
+        self._a = np.asarray([self.task_params[int(k)][0] for k in flat])
+        self._mu = np.asarray([self.task_params[int(k)][1] for k in flat])
+        # Same per-route cost scaling the scalar loop applied element-wise;
+        # kept as two separate vectors so the subtraction order (and hence
+        # rounding) of the scalar expression is preserved exactly.
+        self._det = self.weights.beta * np.asarray(self.detour_costs)
+        self._cong = self.weights.gamma * np.asarray(self.congestion_costs)
+        self._counts_vec = np.zeros(uniq.size, dtype=np.intp)
+        self._local_ready = True
+        if self.known_counts:
+            self._scatter_counts(
+                np.fromiter(
+                    self.known_counts.keys(),
+                    dtype=np.intp,
+                    count=len(self.known_counts),
+                ),
+                np.fromiter(
+                    self.known_counts.values(),
+                    dtype=np.intp,
+                    count=len(self.known_counts),
+                ),
+            )
+
+    def _scatter_counts(self, tasks: np.ndarray, values: np.ndarray) -> None:
+        """Write delivered counts into ``_counts_vec``, dropping ids outside
+        the agent's own task universe (they cannot affect its profits)."""
+        uniq = self._uniq_tasks
+        if uniq.size == 0:
+            return
+        pos = np.searchsorted(uniq, tasks)
+        clamped = np.minimum(pos, uniq.size - 1)
+        ok = uniq[clamped] == tasks
+        self._counts_vec[pos[ok]] = values[ok]
+
     def _candidate_profits(self) -> np.ndarray:
         """Profit of each route given the latest known counts.
 
         The platform's counts include this agent's current participation,
         so the agent first removes itself, then evaluates every route with
         itself added — identical semantics to
-        :func:`repro.core.profit.candidate_profits`.
+        :func:`repro.core.profit.candidate_profits`, computed as one flat
+        gather + ``(a + mu*log(n))/n`` + segmented sum over the compiled
+        local CSR instead of a per-route Python loop.
         """
         assert self.routes is not None and self.current_route is not None
         assert self.detour_costs is not None and self.congestion_costs is not None
-        counts = dict(self.known_counts)
-        for k in self.routes[self.current_route]:
-            counts[k] = counts.get(k, 1) - 1
-        out = np.empty(len(self.routes))
-        for j, task_ids in enumerate(self.routes):
-            reward = 0.0
-            for k in task_ids:
-                a, mu = self.task_params[k]
-                # max(..., 0): under lossy delivery the stale count may not
-                # include this agent itself; never evaluate below n = 1.
-                n = max(counts.get(k, 0), 0) + 1
-                reward += (a + mu * math.log(n)) / n
-            out[j] = (
-                self.weights.alpha * reward
-                - self.weights.beta * self.detour_costs[j]
-                - self.weights.gamma * self.congestion_costs[j]
-            )
-        return out
+        self._ensure_local()
+        counts = self._counts_vec.copy()
+        cur = self.current_route
+        counts[self._flat_pos[self._indptr[cur] : self._indptr[cur + 1]]] -= 1
+        # max(..., 0): under lossy delivery the stale count may not include
+        # this agent itself; never evaluate below n = 1.
+        n = (np.maximum(counts[self._flat_pos], 0) + 1).astype(float)
+        terms = (self._a + self._mu * np.log(n)) / n
+        rewards = segment_sums(terms, self._indptr[:-1], self._lens)
+        return self.weights.alpha * rewards - self._det - self._cong
 
     def _best_route_set(self) -> list[int]:
         """Delta_i(t): profit-maximizing routes strictly better than current."""

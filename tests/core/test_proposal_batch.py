@@ -1,0 +1,256 @@
+"""Certification of the batched proposal engine against the scalar oracles.
+
+The batched path must be *bit-for-bit* equivalent to looping the retained
+scalar implementations:
+
+- :func:`repro.core.responses.batch_best_updates` vs a per-user
+  :func:`repro.core.responses.best_update` loop — same proposals, same
+  gains/taus to the last bit, and (for ``pick="random"``) the exact same
+  RNG stream consumption;
+- :func:`repro.algorithms.muun.puu_select_batch` vs the Python-set
+  :func:`~repro.algorithms.muun.puu_select` /
+  :func:`~repro.algorithms.muun._select_by_tau` oracles — same granted
+  set in the same priority order, including the ``tau`` ablation;
+- full DGRN / MUUN runs vs a scalar "shadow" replaying the pre-batch
+  per-user slot loop with the same seed — identical move sequences,
+  bitwise-identical profit / total-profit histories, and potential
+  histories equal up to incremental summation drift.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import DGRN, MUUN
+from repro.algorithms.base import RunConfig
+from repro.algorithms.muun import _select_by_tau, puu_select, puu_select_batch
+from repro.core import StrategyProfile
+from repro.core.potential import potential
+from repro.core.profit import all_profits
+from repro.core.responses import batch_best_updates, best_update
+
+from tests.helpers import games, random_game
+
+
+@st.composite
+def game_and_profile(draw):
+    game = draw(games())
+    choices = [
+        draw(st.integers(0, game.num_routes(i) - 1)) for i in game.users
+    ]
+    return game, StrategyProfile(game, choices)
+
+
+def _scalar_sweep(profile, users, *, pick, rng=None):
+    """The pre-batch per-user loop: one best_update call per user."""
+    out = []
+    for u in users:
+        prop = best_update(profile, int(u), pick=pick, rng=rng)
+        if prop is not None:
+            out.append(prop)
+    return out
+
+
+class TestBatchVsScalarOracle:
+    @given(game_and_profile())
+    @settings(max_examples=60, deadline=None)
+    def test_pick_first_matches_scalar_loop(self, gp):
+        game, profile = gp
+        users = np.arange(game.num_users, dtype=np.intp)
+        batch = batch_best_updates(profile, users, pick="first")
+        oracle = _scalar_sweep(profile, users, pick="first")
+        self._assert_batch_equals(batch, oracle)
+
+    @given(game_and_profile(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_pick_random_matches_scalar_loop_and_rng_stream(self, gp, seed):
+        game, profile = gp
+        users = np.arange(game.num_users, dtype=np.intp)
+        rng_b = np.random.default_rng(seed)
+        rng_s = np.random.default_rng(seed)
+        batch = batch_best_updates(profile, users, pick="random", rng=rng_b)
+        oracle = _scalar_sweep(profile, users, pick="random", rng=rng_s)
+        self._assert_batch_equals(batch, oracle)
+        # Same draws in the same order: the generators end in the same state.
+        assert rng_b.bit_generator.state == rng_s.bit_generator.state
+
+    @given(game_and_profile(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_user_subset_matches_scalar_loop(self, gp, data):
+        game, profile = gp
+        subset = sorted(
+            data.draw(
+                st.sets(st.integers(0, game.num_users - 1), min_size=0)
+            )
+        )
+        users = np.asarray(subset, dtype=np.intp)
+        batch = batch_best_updates(profile, users, pick="first")
+        oracle = _scalar_sweep(profile, users, pick="first")
+        self._assert_batch_equals(batch, oracle)
+
+    @staticmethod
+    def _assert_batch_equals(batch, oracle):
+        assert len(batch) == len(oracle)
+        for k, prop in enumerate(oracle):
+            assert int(batch.users[k]) == prop.user
+            assert int(batch.new_routes[k]) == prop.new_route
+            # Bitwise, not approximate: same gather + same reduction.
+            assert float(batch.gains[k]) == prop.gain
+            assert float(batch.taus[k]) == prop.tau
+            assert frozenset(int(t) for t in batch.tasks_of(k)) == (
+                prop.touched_tasks
+            )
+            assert float(batch.deltas[k]) == prop.delta
+        # The object view round-trips.
+        assert batch.as_list() == list(oracle)
+
+    def test_rejects_non_ascending_users(self):
+        game = random_game(np.random.default_rng(0))
+        profile = StrategyProfile.random(game, np.random.default_rng(1))
+        with pytest.raises(ValueError, match="ascending"):
+            batch_best_updates(
+                profile, np.asarray([0, 0], dtype=np.intp), pick="first"
+            )
+
+
+class TestPUUBatchVsOracle:
+    @given(game_and_profile(), st.sampled_from(["delta", "tau"]))
+    @settings(max_examples=60, deadline=None)
+    def test_granted_set_matches_scalar_selection(self, gp, sort_key):
+        game, profile = gp
+        users = np.arange(game.num_users, dtype=np.intp)
+        batch = batch_best_updates(profile, users, pick="first")
+        select = puu_select if sort_key == "delta" else _select_by_tau
+        oracle = select(batch.as_list())
+        granted = puu_select_batch(batch, game.num_tasks, sort_key=sort_key)
+        assert [batch.triple(k) for k in granted] == [
+            (p.user, p.new_route, p.gain) for p in oracle
+        ]
+
+
+# --------------------------------------------------------------- trajectories
+class _ScalarCache:
+    """The pre-batch ProposalCache: per-user best_update calls, Python sets."""
+
+    def __init__(self, game, *, pick, rng=None):
+        self.game = game
+        self.pick = pick
+        self.rng = rng
+        self._tu_indptr, self._tu_users = game.arrays.task_user_csr()
+        self._cached = {}
+        self._dirty = set(int(u) for u in game.users)
+
+    def proposals(self, profile):
+        for u in sorted(self._dirty):
+            self._cached[u] = best_update(
+                profile, u, pick=self.pick, rng=self.rng
+            )
+        self._dirty.clear()
+        return [
+            p for _, p in sorted(self._cached.items()) if p is not None
+        ]
+
+    def note_move(self, user, old_route, new_route):
+        ga = self.game.arrays
+        self._dirty.add(int(user))
+        gained, lost = ga.changed_tasks(
+            ga.route_id(user, old_route), ga.route_id(user, new_route)
+        )
+        for t in np.concatenate([gained, lost]):
+            seg = self._tu_users[
+                self._tu_indptr[t] : self._tu_indptr[t + 1]
+            ]
+            self._dirty.update(int(u) for u in seg)
+
+
+def _shadow_run(kind, game, seed, *, sort_key="delta", max_slots=400):
+    """Replay of the pre-batch slot loop with full per-slot recomputes."""
+    rng = np.random.default_rng(seed)
+    profile = StrategyProfile.random(game, rng)
+    cache = _ScalarCache(game, pick="random", rng=rng)
+    moves = []
+    phis = [potential(profile)]
+    profit_rows = [all_profits(profile)]
+    slot = 0
+    converged = False
+    while slot < max_slots:
+        props = cache.proposals(profile)
+        if not props:
+            converged = True
+            break
+        if kind == "dgrn":
+            granted = [props[int(rng.integers(0, len(props)))]]
+        else:
+            select = puu_select if sort_key == "delta" else _select_by_tau
+            granted = select(props)
+        slot += 1
+        for p in granted:
+            old = profile.move(p.user, p.new_route)
+            moves.append((slot, p.user, old, p.new_route, p.gain))
+            cache.note_move(p.user, old, p.new_route)
+        phis.append(potential(profile))
+        profit_rows.append(all_profits(profile))
+    return {
+        "moves": moves,
+        "choices": np.array(profile.choices),
+        "phis": np.asarray(phis),
+        "profits": np.vstack(profit_rows),
+        "converged": converged,
+    }
+
+
+class TestTrajectoryIdentity:
+    """Fixed-seed DGRN/MUUN runs reproduce the scalar shadow exactly."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize(
+        "kind,sort_key",
+        [("dgrn", "delta"), ("muun", "delta"), ("muun", "tau")],
+    )
+    def test_runs_match_shadow(self, kind, sort_key, seed):
+        game = random_game(
+            np.random.default_rng(300 + seed),
+            max_users=8,
+            max_tasks=12,
+            max_routes=5,
+        )
+        config = RunConfig(max_slots=400)
+        if kind == "dgrn":
+            alloc = DGRN(seed=seed, config=config)
+        else:
+            alloc = MUUN(seed=seed, config=config, sort_key=sort_key)
+        result = alloc.run(game)
+        shadow = _shadow_run(kind, game, seed, sort_key=sort_key)
+
+        assert [
+            (m.slot, m.user, m.old_route, m.new_route, m.gain)
+            for m in result.moves
+        ] == shadow["moves"]
+        assert np.array_equal(result.profile.choices, shadow["choices"])
+        assert result.converged == shadow["converged"]
+        # Profit histories are maintained incrementally but must stay
+        # bitwise identical to the full per-slot recompute.
+        assert np.array_equal(result.profit_history, shadow["profits"])
+        assert np.array_equal(
+            result.total_profit_history, shadow["profits"].sum(axis=1)
+        )
+        # Potential advances by summed tau per slot; only float summation
+        # drift vs the exact per-slot recompute is tolerated.
+        np.testing.assert_allclose(
+            result.potential_history, shadow["phis"], rtol=0, atol=1e-9
+        )
+
+    @pytest.mark.parametrize("kind", ["dgrn", "muun"])
+    def test_validate_mode_accepts_incremental_histories(self, kind):
+        game = random_game(
+            np.random.default_rng(42), max_users=8, max_tasks=12, max_routes=5
+        )
+        config = RunConfig(max_slots=400, validate=True)
+        alloc = DGRN(seed=7, config=config) if kind == "dgrn" else MUUN(
+            seed=7, config=config
+        )
+        result = alloc.run(game)
+        assert result.converged
+        # Validate mode substitutes exact values, so the recorded potential
+        # equals the full recompute exactly.
+        assert result.potential_history[-1] == potential(result.profile)

@@ -232,3 +232,21 @@ class TestCoreKernelMetrics:
         candidate_profits(StrategyProfile(fig1_game, [0, 0, 0]), 0)
         snap = obs.REGISTRY.snapshot()
         assert snap.counters == {} and snap.histograms == {}
+
+
+class TestProposalSweepMetrics:
+    """The batched sweep reports wall time and dirty-set size."""
+
+    def test_sweep_histograms_recorded(self, fig1_game):
+        from repro.algorithms import DGRN
+
+        with obs.session():
+            DGRN(seed=0).run(fig1_game)
+            snap = obs.REGISTRY.snapshot()
+            sweeps = snap.histograms["allocator.sweep_seconds"][()]
+            batches = snap.histograms["allocator.batch_size"][()]
+            # batch_size is observed every slot; sweep_seconds only when
+            # the dirty set is non-empty (at least slot 0: everyone).
+            assert 1 <= sweeps["count"] <= batches["count"]
+            assert batches["max"] == fig1_game.num_users
+            assert sweeps["sum"] >= 0.0
