@@ -12,29 +12,38 @@ fast in-memory engines in the test suite.
 """
 
 from repro.distributed.messages import (
+    Ack,
     DecisionReport,
     Message,
+    RejoinRequest,
     RouteAnnotation,
     RouteRecommendation,
+    StateSnapshot,
     TaskCountUpdate,
     Termination,
     UpdateGrant,
     UpdateRequest,
 )
 from repro.distributed.bus import MessageBus
+from repro.distributed.resilience import ReliableChannel, ResilienceConfig
 from repro.distributed.user_agent import UserAgent
 from repro.distributed.platform_agent import PlatformAgent
 from repro.distributed.simulator import DistributedOutcome, DistributedSimulation
 
 __all__ = [
+    "Ack",
     "DecisionReport",
     "DistributedOutcome",
     "DistributedSimulation",
     "Message",
     "MessageBus",
     "PlatformAgent",
+    "RejoinRequest",
+    "ReliableChannel",
+    "ResilienceConfig",
     "RouteAnnotation",
     "RouteRecommendation",
+    "StateSnapshot",
     "TaskCountUpdate",
     "Termination",
     "UpdateGrant",

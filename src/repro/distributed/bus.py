@@ -5,24 +5,32 @@ substitution 3).  Delivery is reliable and ordered by default; the
 simulator controls when each agent drains its mailbox, which makes slot
 boundaries explicit and runs reproducible.
 
-For the robustness extension (not in the paper), the bus can drop
-*telemetry* messages with a configurable probability: in a real deployment
-the control plane (grants, decisions, termination) rides a reliable
-transport while task-count updates may arrive late or never, leaving users
-to decide on stale counts.  Pass ``drop_prob > 0`` and a ``droppable``
-tuple of message types to enable it.
+Two unreliability extensions (not in the paper):
+
+- *Lossy telemetry* (fig15): drop *droppable* message types with
+  probability ``drop_prob`` — in a real deployment the control plane rides
+  a reliable transport while task-count updates may arrive late or never.
+- *Fault injection* (``docs/robustness.md``): attach a
+  :class:`~repro.faults.injector.FaultInjector` and the bus consults it on
+  every post — loss, duplication, and delay/reorder via a delivery-time
+  priority queue keyed on the simulator's logical slot clock
+  (:meth:`advance`).  Crashed recipients lose queued and arriving
+  messages until they restart.
 
 Accounting: the bus always tracks per-type sent *and dropped* counts plus
 per-recipient mailbox high-water marks; with telemetry enabled
 (:mod:`repro.obs`) it additionally feeds the process-wide counters
-``bus.sent_total`` / ``bus.dropped_total`` / ``bus.delivered_total``
-(labeled by message type).
+``bus.sent_total`` / ``bus.dropped_total`` / ``bus.delivered_total`` /
+``bus.redelivered_total`` / ``bus.duplicated_total`` (labeled by message
+type).
 """
 
 from __future__ import annotations
 
+import heapq
+import warnings
 from collections import defaultdict, deque
-from typing import Deque
+from typing import TYPE_CHECKING, Deque
 
 import numpy as np
 
@@ -31,6 +39,9 @@ from repro.obs import counter as _obs_counter
 from repro.obs.runtime import RUNTIME as _OBS
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_probability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 
 class MessageBus:
@@ -42,6 +53,7 @@ class MessageBus:
         drop_prob: float = 0.0,
         droppable: tuple[type, ...] = (TaskCountUpdate,),
         seed: SeedLike = None,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         self._boxes: dict[str, Deque[Message]] = defaultdict(deque)
         self.sent_by_type: dict[str, int] = defaultdict(int)
@@ -49,17 +61,63 @@ class MessageBus:
         self.high_water: dict[str, int] = {}
         self.total_sent = 0
         self.total_dropped = 0
+        self.total_redelivered = 0
+        self.total_duplicated = 0
         self.drop_prob = check_probability("drop_prob", drop_prob)
         self.droppable = droppable
+        if drop_prob > 0.0 and not droppable:
+            raise ValueError(
+                "drop_prob > 0 with an empty droppable tuple is inert: "
+                "no message type can ever be dropped — pass the types to "
+                "drop (e.g. droppable=(TaskCountUpdate,)) or drop_prob=0"
+            )
+        if drop_prob == 0.0 and seed is not None:
+            warnings.warn(
+                "MessageBus seed is unused when drop_prob == 0 — the lossy "
+                "path never draws from it; pass drop_prob > 0 or omit the "
+                "seed",
+                UserWarning,
+                stacklevel=2,
+            )
         self._rng: np.random.Generator | None = (
             as_generator(seed) if drop_prob > 0.0 else None
         )
+        # Fault-injection state (inactive unless an injector is attached):
+        # a logical slot clock and a delivery-time priority queue for
+        # delayed messages.  ``_heap_seq`` breaks ties FIFO.
+        self._injector = injector
+        self.now = 0
+        self._in_flight: list[tuple[int, int, str, Message]] = []
+        self._heap_seq = 0
+        self._crashed: set[str] = set()
 
+    # ---------------------------------------------------------------- crash
+    def set_crashed(self, recipient: str, crashed: bool = True) -> None:
+        """Mark a recipient down (messages to it are lost) or back up.
+
+        Crashing also purges the mailbox — a dead phone loses its queue.
+        """
+        if crashed:
+            self._crashed.add(recipient)
+            purged = self._boxes[recipient]
+            if purged:
+                for msg in purged:
+                    self._count_drop(type(msg).__name__, reason="crash")
+                purged.clear()
+        else:
+            self._crashed.discard(recipient)
+
+    def is_crashed(self, recipient: str) -> bool:
+        return recipient in self._crashed
+
+    # ----------------------------------------------------------------- post
     def post(self, recipient: str, message: Message) -> None:
         """Append ``message`` to ``recipient``'s mailbox.
 
         Droppable message types are lost with probability ``drop_prob``
         (still counted as sent — the sender paid for the transmission).
+        With a fault injector attached, the injector decides per post
+        whether the message is lost, duplicated, or delayed.
         """
         tname = type(message).__name__
         self.sent_by_type[tname] += 1
@@ -71,10 +129,60 @@ class MessageBus:
             and isinstance(message, self.droppable)
             and self._rng.random() < self.drop_prob
         ):
-            self.total_dropped += 1
-            self.dropped_by_type[tname] += 1
-            if _OBS.enabled:
-                _obs_counter("bus.dropped_total", type=tname).inc()
+            self._count_drop(tname, reason="lossy")
+            return
+        if self._injector is None:
+            self._deliver(recipient, message, tname)
+            return
+        fate = self._injector.fate(message)
+        if fate.dropped:
+            self._count_drop(tname, reason="fault")
+            return
+        for k, extra in enumerate(fate.delays):
+            if k > 0:
+                self.total_duplicated += 1
+                if _OBS.enabled:
+                    _obs_counter("bus.duplicated_total", type=tname).inc()
+            if extra <= 0:
+                self._deliver(recipient, message, tname)
+            else:
+                heapq.heappush(
+                    self._in_flight,
+                    (self.now + extra, self._heap_seq, recipient, message),
+                )
+                self._heap_seq += 1
+
+    def post_reliable(self, recipient: str, message: Message) -> None:
+        """Post outside the unreliable data plane (session-setup traffic).
+
+        Skips both the lossy-telemetry draw and fault injection: the
+        handshake rides the connection that established the session.  A
+        crashed recipient still loses the message — reliability is a
+        transport property, not a resurrection.
+        """
+        tname = type(message).__name__
+        self.sent_by_type[tname] += 1
+        self.total_sent += 1
+        if _OBS.enabled:
+            _obs_counter("bus.sent_total", type=tname).inc()
+        self._deliver(recipient, message, tname)
+
+    def repost(self, recipient: str, message: Message) -> None:
+        """Retry transmission of a control message (reliability layer).
+
+        Counted separately as a redelivery; the retried copy is subject to
+        fault injection again — retries can be lost too.
+        """
+        self.total_redelivered += 1
+        if _OBS.enabled:
+            _obs_counter(
+                "bus.redelivered_total", type=type(message).__name__
+            ).inc()
+        self.post(recipient, message)
+
+    def _deliver(self, recipient: str, message: Message, tname: str) -> None:
+        if recipient in self._crashed:
+            self._count_drop(tname, reason="crash")
             return
         box = self._boxes[recipient]
         box.append(message)
@@ -82,6 +190,31 @@ class MessageBus:
             self.high_water[recipient] = len(box)
         if _OBS.enabled:
             _obs_counter("bus.delivered_total", type=tname).inc()
+
+    def _count_drop(self, tname: str, *, reason: str) -> None:
+        self.total_dropped += 1
+        self.dropped_by_type[tname] += 1
+        if _OBS.enabled:
+            _obs_counter("bus.dropped_total", type=tname, reason=reason).inc()
+
+    # ------------------------------------------------------------- delivery
+    def advance(self, slot: int) -> int:
+        """Move the logical clock to ``slot``; release due delayed messages.
+
+        Returns the number of messages released.  Messages due for a
+        crashed recipient are lost (the phone is off when they arrive).
+        """
+        self.now = slot
+        released = 0
+        while self._in_flight and self._in_flight[0][0] <= slot:
+            _, _, recipient, message = heapq.heappop(self._in_flight)
+            self._deliver(recipient, message, type(message).__name__)
+            released += 1
+        return released
+
+    def in_flight(self) -> int:
+        """Delayed messages still waiting in the delivery queue."""
+        return len(self._in_flight)
 
     def drain(self, recipient: str) -> list[Message]:
         """Remove and return everything in ``recipient``'s mailbox."""

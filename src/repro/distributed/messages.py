@@ -18,6 +18,22 @@ Termination                 Alg. 2 line 12 / Alg. 1 line 18          P -> U
 Task counts are sent *only for the tasks covered by the recipient's own
 recommended routes* — the platform never shares other users' identities or
 full strategy information (the privacy point of Section 1).
+
+Robustness extension (not in the paper; ``docs/robustness.md``): the
+control-plane messages carry optional reliability metadata so the hardened
+protocol survives loss, duplication, reordering, and agent crashes:
+
+- ``msg_id`` — sender-scoped monotone id used for ack/retry and receiver
+  dedup.  ``-1`` (the default) marks a fire-and-forget message; every
+  paper-faithful code path leaves it untouched.
+- ``DecisionReport.seq`` — per-user monotone report number; the platform
+  ignores duplicates and stale reorders.  ``-1`` means *unsequenced*
+  (always applied), preserving the paper's semantics for hand-built
+  streams.
+- ``Ack`` / ``RejoinRequest`` / ``StateSnapshot`` — new message types for
+  the retry channel and crashed-agent rejoin (the platform snapshot
+  carries everything a restarted phone needs to re-sync, including the
+  last report sequence number it had accepted from that user).
 """
 
 from __future__ import annotations
@@ -55,10 +71,17 @@ class RouteAnnotation(Message):
 
 @dataclass(frozen=True, slots=True)
 class TaskCountUpdate(Message):
-    """P -> U: participant counts for the tasks the user's routes cover."""
+    """P -> U: participant counts for the tasks the user's routes cover.
+
+    Counts are absolute, so duplicates are naturally idempotent; the
+    ``slot`` doubles as a version — receivers discard updates older than
+    the newest one they applied.  ``msg_id >= 0`` only during the hardened
+    protocol's reliable pre-termination sync round.
+    """
 
     slot: int
     counts: dict[int, int] = field(default_factory=dict)
+    msg_id: int = -1
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,22 +92,39 @@ class UpdateRequest(Message):
     user: int
     tau: float
     touched_tasks: frozenset[int]
+    msg_id: int = -1
 
 
 @dataclass(frozen=True, slots=True)
 class UpdateGrant(Message):
-    """P -> U: the user won this slot's update opportunity."""
+    """P -> U: the user won this slot's update opportunity.
+
+    Under the hardened protocol the grant also carries the platform's
+    authoritative ``counts`` for the user's visible tasks (grant-time
+    refresh: the user revalidates its move on fresh counts before
+    switching) and the grant's ``lease_slots`` so late deliveries are
+    declined deterministically.
+    """
 
     slot: int
+    counts: dict[int, int] | None = None
+    lease_slots: int = 0
+    msg_id: int = -1
 
 
 @dataclass(frozen=True, slots=True)
 class DecisionReport(Message):
-    """U -> P: the user's (initial or updated) route decision."""
+    """U -> P: the user's (initial or updated) route decision.
+
+    ``seq`` is the user's monotone report counter (``-1`` = unsequenced,
+    always applied); the platform drops duplicates and stale reorders.
+    """
 
     slot: int
     user: int
     route: int
+    seq: int = -1
+    msg_id: int = -1
 
 
 @dataclass(frozen=True, slots=True)
@@ -92,3 +132,49 @@ class Termination(Message):
     """P -> U: equilibrium reached; stop updating."""
 
     slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class Ack(Message):
+    """Receiver -> sender: confirms delivery of control message ``msg_id``.
+
+    Robustness extension: stops the sender's retry timer.  Receivers
+    re-ack duplicates (the previous ack may itself have been lost) but
+    process the payload only once.
+    """
+
+    msg_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class RejoinRequest(Message):
+    """U -> P: a restarted (previously crashed) agent asks to re-sync.
+
+    Robustness extension: the agent lost its local state and must not
+    trust anything it remembers; the platform answers with a
+    :class:`StateSnapshot`.
+    """
+
+    user: int
+
+
+@dataclass(frozen=True, slots=True)
+class StateSnapshot(Message):
+    """P -> U: full re-sync payload for a rejoining agent.
+
+    Robustness extension: recommendation + annotation + authoritative
+    visible counts + the platform's decision on record for this user +
+    the last report ``seq`` the platform accepted (the agent resumes its
+    counter from there so post-rejoin reports are not mistaken for stale
+    duplicates).
+    """
+
+    user: int
+    slot: int
+    routes: tuple[tuple[int, ...], ...]
+    task_params: dict[int, tuple[float, float]]
+    detour_costs: tuple[float, ...]
+    congestion_costs: tuple[float, ...]
+    counts: dict[int, int]
+    decision: int
+    last_seq: int

@@ -7,21 +7,47 @@ collects update requests, grants one (SUU) or a disjoint set (PUU,
 Algorithm 3), applies the reported decisions to its task counters, and
 pushes refreshed counts to each user — restricted to the tasks that user's
 routes cover.
+
+Robustness extension (``docs/robustness.md``): with a
+:class:`~repro.distributed.resilience.ResilienceConfig` attached the
+platform additionally
+
+- dedups and acks control messages (``msg_id``), and applies decision
+  reports idempotently by per-user sequence number (always on — a
+  duplicated or reordered report stream is a no-op),
+- leases every grant: a grantee silent for ``lease_slots`` is revoked and
+  its touched tasks are freed (no stalled slots),
+- excludes requests conflicting with outstanding (unreported) grants so
+  in-flight moves stay pairwise task-disjoint — the Eq. 11 potential
+  argument survives delayed reports,
+- ships authoritative counts inside each grant (grant-time refresh),
+- rejects *stale* moves (a revoked grantee reporting after its lease on
+  counts that have since changed, making the move harmful) and forces the
+  user to re-sync from a :class:`~repro.distributed.messages.StateSnapshot`,
+- answers :class:`~repro.distributed.messages.RejoinRequest` from
+  restarted agents with that same snapshot.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.game import RouteNavigationGame
 from repro.core.responses import greedy_disjoint
 from repro.distributed.bus import MessageBus
+from repro.distributed.resilience import ReliableChannel, ResilienceConfig
 from repro.obs import counter as _obs_counter
+from repro.obs import event as _obs_event
 from repro.obs.runtime import RUNTIME as _OBS
 from repro.distributed.messages import (
+    Ack,
     DecisionReport,
+    RejoinRequest,
     RouteAnnotation,
     RouteRecommendation,
+    StateSnapshot,
     TaskCountUpdate,
     Termination,
     UpdateGrant,
@@ -30,9 +56,23 @@ from repro.distributed.messages import (
 
 PLATFORM = "platform"
 
+# Tolerance for the stale-move (zombie report) potential guard.
+_POT_EPS = 1e-9
+
 
 def _user_name(user: int) -> str:
     return f"user-{user}"
+
+
+@dataclass
+class _GrantLease:
+    """One outstanding grant: who, when, what it may touch, until when."""
+
+    slot: int
+    expiry: int
+    touched: frozenset[int]
+    tau: float
+    msg_id: int
 
 
 class PlatformAgent:
@@ -45,6 +85,7 @@ class PlatformAgent:
         rng: np.random.Generator,
         *,
         scheduler: str = "suu",
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if scheduler not in ("suu", "puu"):
             raise ValueError(f"unknown scheduler {scheduler!r}")
@@ -56,6 +97,24 @@ class PlatformAgent:
         self.decisions: dict[int, int] = {}
         self.granted_per_slot: list[int] = []
         self.terminated = False
+        # Idempotency (always on): last accepted report seq per user, and
+        # the log of accepted *moves* for invariant checking/replay.
+        self.last_seq: dict[int, int] = {}
+        self.move_log: list[tuple[int, int, int, int]] = []  # slot, user, old, new
+        # Hardened-protocol state (inactive without a resilience config).
+        self.resilience = resilience
+        self.outstanding: dict[int, _GrantLease] = {}
+        self.lease_revocations = 0
+        self.rejoins = 0
+        self.stale_moves_rejected = 0
+        self._channel = (
+            ReliableChannel(bus, PLATFORM, resilience)
+            if resilience is not None
+            else None
+        )
+        self._seen_ids: set[tuple[str, int]] = set()
+        self._confirm_exhausted_mark = 0
+        self._confirm_sent = False
         # Per-user visibility restriction (Alg. 2 line 4): the tasks any of
         # the user's routes cover, straight from the game's shared CSR.
         vt_indptr, vt_tasks = game.arrays.user_task_csr()
@@ -69,22 +128,12 @@ class PlatformAgent:
         game = self.game
         ga = game.arrays
         for i in game.users:
-            sl = ga.user_slice(i)
-            routes = tuple(
-                tuple(int(t) for t in ga.route_tasks(g))
-                for g in range(sl.start, sl.stop)
-            )
-            params = {
-                int(k): (
-                    float(game.tasks.base_rewards[k]),
-                    float(game.tasks.reward_increments[k]),
-                )
-                for k in self._visible_tasks[i]
-            }
+            routes, params = self._catalogue(i)
             self.bus.post(
                 _user_name(i),
                 RouteRecommendation(PLATFORM, routes=routes, task_params=params),
             )
+            sl = ga.user_slice(i)
             self.bus.post(
                 _user_name(i),
                 RouteAnnotation(
@@ -98,15 +147,56 @@ class PlatformAgent:
                 ),
             )
 
+    def _catalogue(
+        self, user: int
+    ) -> tuple[tuple[tuple[int, ...], ...], dict[int, tuple[float, float]]]:
+        """The user's recommended routes and the reward adverts they cover."""
+        game = self.game
+        ga = game.arrays
+        sl = ga.user_slice(user)
+        routes = tuple(
+            tuple(int(t) for t in ga.route_tasks(g))
+            for g in range(sl.start, sl.stop)
+        )
+        params = {
+            int(k): (
+                float(game.tasks.base_rewards[k]),
+                float(game.tasks.reward_increments[k]),
+            )
+            for k in self._visible_tasks[user]
+        }
+        return routes, params
+
     def process_inbox(self) -> tuple[list[UpdateRequest], list[DecisionReport]]:
-        """Split queued messages into requests and decision reports."""
+        """Split queued messages into requests and decision reports.
+
+        Hardened extras handled inline: acks feed the retry channel,
+        rejoin requests are answered with a state snapshot, and control
+        messages carrying a ``msg_id`` are acked and deduplicated (a
+        duplicate is re-acked — the previous ack may have been lost — but
+        its payload is dropped).
+        """
         requests: list[UpdateRequest] = []
         reports: list[DecisionReport] = []
         for msg in self.bus.drain(PLATFORM):
-            if isinstance(msg, UpdateRequest):
-                requests.append(msg)
-            elif isinstance(msg, DecisionReport):
-                reports.append(msg)
+            if isinstance(msg, Ack):
+                if self._channel is not None:
+                    self._channel.on_ack(msg.msg_id)
+                continue
+            if isinstance(msg, RejoinRequest):
+                self._handle_rejoin(msg)
+                continue
+            if isinstance(msg, (UpdateRequest, DecisionReport)):
+                if msg.msg_id >= 0:
+                    self.bus.post(msg.sender, Ack(PLATFORM, msg_id=msg.msg_id))
+                    key = (msg.sender, msg.msg_id)
+                    if key in self._seen_ids:
+                        continue
+                    self._seen_ids.add(key)
+                if isinstance(msg, UpdateRequest):
+                    requests.append(msg)
+                else:
+                    reports.append(msg)
             else:  # pragma: no cover - protocol misuse guard
                 raise TypeError(f"platform: unexpected message {type(msg).__name__}")
         if _OBS.enabled:
@@ -122,47 +212,125 @@ class PlatformAgent:
 
         Re-reports only touch the symmetric difference of the two routes'
         CSR segments (tasks covered by both keep their counter).
+
+        Idempotency (always on): a report carrying ``seq >= 0`` is applied
+        at most once per user and only if newer than the last accepted one
+        — duplicated or reordered report streams leave the counters
+        unchanged.  Unsequenced reports (``seq == -1``, hand-built
+        streams) keep the paper's apply-everything semantics.
         """
         ga = self.game.arrays
         for rep in reports:
+            if rep.seq >= 0:
+                if rep.seq <= self.last_seq.get(rep.user, -1):
+                    continue  # duplicate or stale reorder: no-op
+                self.last_seq[rep.user] = rep.seq
             old = self.decisions.get(rep.user)
-            new_g = ga.route_id(rep.user, rep.route)
+            lease = self.outstanding.pop(rep.user, None)
+            if lease is not None and self._channel is not None:
+                self._channel.cancel(lease.msg_id)
+            if old is not None and rep.route == old:
+                continue  # decline / no-op re-report
+            if (
+                self.resilience is not None
+                and old is not None
+                and lease is None
+                and not self._move_is_safe(rep.user, old, rep.route)
+            ):
+                # Zombie move: the lease was revoked, counts moved on, and
+                # applying it now would hurt the potential.  Reject and
+                # force the user to re-sync from an authoritative snapshot.
+                self.stale_moves_rejected += 1
+                self._send_snapshot(rep.user)
+                if _OBS.enabled:
+                    _obs_counter("platform.stale_moves_rejected_total").inc()
+                    _obs_event(
+                        "platform.stale_move_rejected",
+                        user=rep.user,
+                        slot=rep.slot,
+                    )
+                continue
             if old is None:
-                ids = ga.route_tasks(new_g)
+                ids = ga.route_tasks(ga.route_id(rep.user, rep.route))
                 if ids.size:
                     self.counts[ids] += 1
             else:
                 gained, lost = ga.changed_tasks(
-                    ga.route_id(rep.user, old), new_g
+                    ga.route_id(rep.user, old), ga.route_id(rep.user, rep.route)
                 )
                 if gained.size:
                     self.counts[gained] += 1
                 if lost.size:
                     self.counts[lost] -= 1
+                self.move_log.append((rep.slot, rep.user, old, rep.route))
             self.decisions[rep.user] = rep.route
+
+    def _move_is_safe(self, user: int, old: int, new: int) -> bool:
+        """Eq. 11 guard: does the move still improve the potential now?"""
+        ga = self.game.arrays
+        delta = ga.potential_delta(
+            self.counts, ga.route_id(user, old), ga.route_id(user, new)
+        )
+        return delta > -_POT_EPS
 
     def broadcast_counts(self, slot: int) -> None:
         """Alg. 2 line 4 / line 10: per-user restricted count updates."""
         for i in self.game.users:
-            visible = self._visible_tasks[i]
-            payload = dict(
-                zip(visible.tolist(), self.counts[visible].tolist())
-            )
             self.bus.post(
-                _user_name(i), TaskCountUpdate(PLATFORM, slot=slot, counts=payload)
+                _user_name(i),
+                TaskCountUpdate(PLATFORM, slot=slot, counts=self._counts_for(i)),
             )
+
+    def _counts_for(self, user: int) -> dict[int, int]:
+        visible = self._visible_tasks[user]
+        return dict(zip(visible.tolist(), self.counts[visible].tolist()))
 
     # -------------------------------------------------------------- schedule
     def grant(self, slot: int, requests: list[UpdateRequest]) -> list[int]:
-        """Alg. 2 lines 6-9: pick the update set via SUU or PUU."""
+        """Alg. 2 lines 6-9: pick the update set via SUU or PUU.
+
+        Hardened: keep only the newest request per user, skip users with
+        an outstanding (leased, unreported) grant, and skip requests whose
+        ``B_i`` intersects any outstanding grant's — in-flight moves stay
+        pairwise task-disjoint, so every applied move realises exactly the
+        potential gain it was granted for.  Grants carry the platform's
+        authoritative counts and are sent through the retry channel.
+        """
+        if self.resilience is not None:
+            requests = self._filter_requests(requests)
         if not requests:
             return []
         if self.scheduler == "suu":
-            chosen = [requests[int(self.rng.integers(0, len(requests)))].user]
+            chosen_reqs = [requests[int(self.rng.integers(0, len(requests)))]]
         else:
-            chosen = self._puu(requests)
-        for user in chosen:
-            self.bus.post(_user_name(user), UpdateGrant(PLATFORM, slot=slot))
+            chosen_reqs = self._puu(requests)
+        if self.resilience is None:
+            for req in chosen_reqs:
+                self.bus.post(_user_name(req.user), UpdateGrant(PLATFORM, slot=slot))
+        else:
+            assert self._channel is not None
+            cfg = self.resilience
+            for req in chosen_reqs:
+                mid = self._channel.next_id()
+                self.outstanding[req.user] = _GrantLease(
+                    slot=slot,
+                    expiry=slot + cfg.lease_slots,
+                    touched=frozenset(req.touched_tasks),
+                    tau=req.tau,
+                    msg_id=mid,
+                )
+                self._channel.send(
+                    _user_name(req.user),
+                    UpdateGrant(
+                        PLATFORM,
+                        slot=slot,
+                        counts=self._counts_for(req.user),
+                        lease_slots=cfg.lease_slots,
+                        msg_id=mid,
+                    ),
+                    slot,
+                )
+        chosen = [req.user for req in chosen_reqs]
         self.granted_per_slot.append(len(chosen))
         if _OBS.enabled:
             _obs_counter("platform.grants_total", scheduler=self.scheduler).inc(
@@ -170,7 +338,32 @@ class PlatformAgent:
             )
         return chosen
 
-    def _puu(self, requests: list[UpdateRequest]) -> list[int]:
+    def _filter_requests(
+        self, requests: list[UpdateRequest]
+    ) -> list[UpdateRequest]:
+        """Newest request per user; no conflicts with outstanding grants."""
+        newest: dict[int, UpdateRequest] = {}
+        order: list[int] = []
+        for req in requests:
+            if req.user not in newest:
+                order.append(req.user)
+                newest[req.user] = req
+            elif req.slot > newest[req.user].slot:
+                newest[req.user] = req
+        held = frozenset().union(
+            *(lease.touched for lease in self.outstanding.values())
+        ) if self.outstanding else frozenset()
+        out = []
+        for user in order:
+            req = newest[user]
+            if user in self.outstanding:
+                continue
+            if held and not held.isdisjoint(req.touched_tasks):
+                continue
+            out.append(req)
+        return out
+
+    def _puu(self, requests: list[UpdateRequest]) -> list[UpdateRequest]:
         """Algorithm 3 on the received ``(tau_i, B_i)`` pairs.
 
         Same grant set as the old Python-set scan: ``np.lexsort`` on
@@ -196,7 +389,101 @@ class PlatformAgent:
         granted = greedy_disjoint(
             order, b_indptr, b_tasks, self.game.num_tasks
         )
-        return [int(users[k]) for k in granted]
+        return [requests[int(k)] for k in granted]
+
+    # ------------------------------------------------------------ resilience
+    def tick(self, slot: int) -> None:
+        """Per-slot reliability housekeeping: lease expiry, then retries."""
+        if self.resilience is None:
+            return
+        assert self._channel is not None
+        for user, lease in list(self.outstanding.items()):
+            if slot >= lease.expiry:
+                del self.outstanding[user]
+                self._channel.cancel(lease.msg_id)
+                self.lease_revocations += 1
+                if _OBS.enabled:
+                    _obs_counter("platform.lease_revocations_total").inc()
+                    _obs_event(
+                        "platform.lease_revoked",
+                        user=user,
+                        granted_slot=lease.slot,
+                        slot=slot,
+                    )
+        self._channel.tick(slot)
+
+    def _handle_rejoin(self, msg: RejoinRequest) -> None:
+        """Answer a restarted agent with a full re-sync snapshot.
+
+        Any outstanding grant the user held is revoked on the spot — the
+        crash wiped its memory of the grant.
+        """
+        lease = self.outstanding.pop(msg.user, None)
+        if lease is not None and self._channel is not None:
+            self._channel.cancel(lease.msg_id)
+        self.rejoins += 1
+        self._send_snapshot(msg.user)
+        if _OBS.enabled:
+            _obs_counter("platform.rejoins_total").inc()
+            _obs_event("platform.rejoin", user=msg.user)
+
+    def _send_snapshot(self, user: int) -> None:
+        routes, params = self._catalogue(user)
+        game = self.game
+        ga = game.arrays
+        sl = ga.user_slice(user)
+        self.bus.post(
+            _user_name(user),
+            StateSnapshot(
+                PLATFORM,
+                user=user,
+                slot=self.bus.now,
+                routes=routes,
+                task_params=params,
+                detour_costs=tuple(
+                    (game.platform.phi * ga.route_detour[sl]).tolist()
+                ),
+                congestion_costs=tuple(
+                    (game.platform.theta * ga.route_congestion[sl]).tolist()
+                ),
+                counts=self._counts_for(user),
+                decision=self.decisions[user],
+                last_seq=self.last_seq.get(user, -1),
+            ),
+        )
+
+    def broadcast_counts_reliable(self, slot: int, users: list[int]) -> None:
+        """Pre-termination sync: counts via the retry channel (acked).
+
+        The run only terminates once every alive user has *confirmed*
+        deciding on fresh counts and still declined to request — without
+        this, a lost final :class:`TaskCountUpdate` could freeze a user on
+        a stale view and quiesce the run short of a Nash equilibrium.
+        """
+        assert self._channel is not None
+        self._confirm_exhausted_mark = self._channel.exhausted
+        self._confirm_sent = True
+        for i in users:
+            mid = self._channel.next_id()
+            self._channel.send(
+                _user_name(i),
+                TaskCountUpdate(
+                    PLATFORM, slot=slot, counts=self._counts_for(i), msg_id=mid
+                ),
+                slot,
+            )
+
+    def confirm_ok(self) -> bool:
+        """All confirm syncs acked, none abandoned by retry exhaustion."""
+        assert self._channel is not None
+        return (
+            self._confirm_sent
+            and self._channel.pending() == 0
+            and self._channel.exhausted == self._confirm_exhausted_mark
+        )
+
+    def channel_pending(self) -> int:
+        return 0 if self._channel is None else self._channel.pending()
 
     def terminate(self, slot: int) -> None:
         """Alg. 2 lines 11-12: broadcast termination."""

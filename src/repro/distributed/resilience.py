@@ -1,0 +1,152 @@
+"""Reliability layer for the hardened protocol: acks, retries, leases.
+
+Robustness extension (not in the paper; ``docs/robustness.md``).  Control
+messages (``UpdateRequest`` / ``UpdateGrant`` / ``DecisionReport`` and the
+pre-termination count sync) are sent through a :class:`ReliableChannel`:
+the sender stamps a monotone ``msg_id``, the receiver acks it (re-acking
+duplicates, processing payloads once), and unacked messages are re-posted
+with capped exponential backoff until ``max_retries`` is exhausted.
+Retried copies go back through fault injection — a retry can be lost too.
+
+:class:`ResilienceConfig` also carries the platform's grant *lease*: a
+granted user that has not reported within ``lease_slots`` decision slots
+is revoked and its touched tasks are freed, so a crashed or silent
+grantee can never stall the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.distributed.bus import MessageBus
+from repro.distributed.messages import Message
+from repro.obs import counter as _obs_counter
+from repro.obs.runtime import RUNTIME as _OBS
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the hardened protocol (defaults match the CI chaos matrix).
+
+    ``lease_slots`` must exceed the fault plan's reorder window or grants
+    delivered near the lease boundary are revoked before the (in-flight)
+    report lands; :meth:`for_plan` picks a safe value automatically.
+    """
+
+    lease_slots: int = 4
+    max_retries: int = 6
+    backoff_base: int = 1
+    backoff_cap: int = 8
+    stall_window: int = 25
+
+    def __post_init__(self) -> None:
+        require(self.lease_slots >= 1, "lease_slots must be >= 1")
+        require(self.max_retries >= 0, "max_retries must be >= 0")
+        require(self.backoff_base >= 1, "backoff_base must be >= 1")
+        require(self.backoff_cap >= self.backoff_base,
+                "backoff_cap must be >= backoff_base")
+        require(self.stall_window >= 1, "stall_window must be >= 1")
+
+    @classmethod
+    def for_plan(cls, plan, **overrides) -> "ResilienceConfig":
+        """Config with the lease sized to the plan's reorder window."""
+        cfg = cls(**overrides)
+        floor = plan.max_delay_slots + 2
+        if cfg.lease_slots < floor:
+            cfg = replace(cfg, lease_slots=floor)
+        return cfg
+
+
+@dataclass
+class _Outstanding:
+    recipient: str
+    message: Message
+    sent_slot: int
+    next_retry: int
+    attempt: int = 0
+
+
+class ReliableChannel:
+    """At-least-once sender: msg-id stamping, ack tracking, backed-off retry."""
+
+    def __init__(self, bus: MessageBus, owner: str, config: ResilienceConfig) -> None:
+        self.bus = bus
+        self.owner = owner
+        self.config = config
+        self._next_id = 0
+        self._unacked: dict[int, _Outstanding] = {}
+        self.retries_sent = 0
+        self.exhausted = 0
+
+    def next_id(self) -> int:
+        """Reserve the next msg_id (the caller builds the message with it)."""
+        mid = self._next_id
+        self._next_id += 1
+        return mid
+
+    def send(self, recipient: str, message: Message, slot: int) -> None:
+        """Post ``message`` and track it until acked or retries exhaust.
+
+        ``message.msg_id`` must have been reserved via :meth:`next_id`.
+        """
+        mid = message.msg_id  # type: ignore[attr-defined]
+        require(mid >= 0, "reliable sends need a reserved msg_id")
+        self._unacked[mid] = _Outstanding(
+            recipient=recipient,
+            message=message,
+            sent_slot=slot,
+            next_retry=slot + self.config.backoff_base,
+        )
+        self.bus.post(recipient, message)
+
+    def on_ack(self, msg_id: int) -> None:
+        """Delivery confirmed: stop retrying (idempotent)."""
+        self._unacked.pop(msg_id, None)
+
+    def cancel(self, msg_id: int) -> None:
+        """Stop retrying without an ack (e.g. the platform revoked a lease)."""
+        self._unacked.pop(msg_id, None)
+
+    def tick(self, slot: int) -> list[Message]:
+        """Re-post every unacked message whose backoff timer expired.
+
+        Returns the messages *abandoned* this tick — entries that
+        exhausted ``max_retries`` (also counted in ``exhausted``).  The
+        caller decides whether abandonment is benign (a lease or the
+        slot-level request refresh covers it) or demands a resync (a
+        decision report is the only record of a move).
+        """
+        abandoned: list[Message] = []
+        for mid in list(self._unacked):
+            entry = self._unacked.get(mid)
+            if entry is None or entry.next_retry > slot:
+                continue
+            if entry.attempt >= self.config.max_retries:
+                del self._unacked[mid]
+                self.exhausted += 1
+                abandoned.append(entry.message)
+                if _OBS.enabled:
+                    _obs_counter(
+                        "channel.retry_exhausted_total", owner=self.owner
+                    ).inc()
+                continue
+            entry.attempt += 1
+            backoff = min(
+                self.config.backoff_base * (2 ** entry.attempt),
+                self.config.backoff_cap,
+            )
+            entry.next_retry = slot + backoff
+            self.retries_sent += 1
+            self.bus.repost(entry.recipient, entry.message)
+        return abandoned
+
+    def pending(self) -> int:
+        """Messages still awaiting an ack."""
+        return len(self._unacked)
+
+    def pending_for(self, recipient: str) -> list[int]:
+        """Unacked msg_ids addressed to ``recipient``."""
+        return [
+            mid for mid, e in self._unacked.items() if e.recipient == recipient
+        ]

@@ -11,6 +11,20 @@ Orchestrates the message phases of one run:
 
 The driver only moves messages and steps agents; all decisions are made
 inside the agents from their local state.
+
+Two drivers share the construction above (``docs/robustness.md``):
+
+- the *paper-faithful* loop (``fault_plan=None``) — exactly the three
+  phases, reliable in-order delivery (optionally the fig15 lossy
+  telemetry), and
+- the *hardened* loop (``fault_plan=...``) — the bus runs a
+  :class:`~repro.faults.injector.FaultInjector`, agents carry a
+  :class:`~repro.distributed.resilience.ResilienceConfig` (acks, retries,
+  leases), crash/restart events fire between slots, and termination goes
+  through a reliably-acked count-sync round so the run only quiesces on
+  confirmed-fresh views.  With the *null* plan the hardened loop
+  reproduces the paper-faithful trajectories bit-for-bit (asserted by
+  ``tests/distributed/test_zero_fault_identity.py``).
 """
 
 from __future__ import annotations
@@ -24,6 +38,7 @@ from repro.core.profile import StrategyProfile
 from repro.core.profit import all_profits
 from repro.distributed.bus import MessageBus
 from repro.distributed.platform_agent import PlatformAgent
+from repro.distributed.resilience import ResilienceConfig
 from repro.distributed.user_agent import UserAgent
 from repro.obs import counter as _obs_counter
 from repro.obs import event as _obs_event
@@ -50,6 +65,19 @@ class DistributedOutcome:
     dropped_messages: int = 0
     dropped_by_type: dict[str, int] = field(default_factory=dict)
     mailbox_high_water: int = 0
+    # Why the run stopped: "converged" (quiescent Nash, confirmed under
+    # the hardened protocol), "max_slots" (slot budget exhausted while
+    # still making progress), or "stalled" (hardened only: no protocol
+    # progress for a full stall window).
+    stop_reason: str = "converged"
+    # Hardened-protocol accounting (zeros on the paper-faithful path).
+    lease_revocations: int = 0
+    redelivered_messages: int = 0
+    duplicated_messages: int = 0
+    crashes: int = 0
+    rejoins: int = 0
+    permanently_crashed: tuple[int, ...] = ()
+    faults_injected: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_profit(self) -> float:
@@ -70,30 +98,89 @@ class DistributedSimulation:
         validate_local_views: bool = False,
         drop_prob: float = 0.0,
         shuffle_service_order: bool = False,
+        fault_plan=None,
+        resilience: ResilienceConfig | None = None,
+        check_invariants: bool = False,
     ) -> None:
         """``shuffle_service_order=True`` randomizes the order agents are
         stepped within each phase — modelling arbitrary message-arrival
-        interleavings; outcomes must still converge to Nash equilibria."""
+        interleavings; outcomes must still converge to Nash equilibria.
+
+        ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) switches
+        to the hardened protocol; ``resilience`` tunes it (default:
+        :meth:`ResilienceConfig.for_plan`); ``check_invariants`` attaches
+        an :class:`~repro.faults.invariants.InvariantChecker` (available
+        afterwards as ``self.invariants``).
+        """
         require(max_slots >= 1, "max_slots must be >= 1")
         if drop_prob > 0.0 and validate_local_views:
             raise ValueError(
                 "validate_local_views requires reliable delivery: with "
                 "drop_prob > 0 agents act on deliberately stale counts"
             )
+        if fault_plan is not None and drop_prob > 0.0:
+            raise ValueError(
+                "fault_plan and drop_prob are mutually exclusive: model "
+                "telemetry loss inside the plan (loss={'TaskCountUpdate': p})"
+            )
+        if fault_plan is not None and validate_local_views:
+            raise ValueError(
+                "validate_local_views requires reliable delivery; use "
+                "check_invariants for fault runs"
+            )
+        if fault_plan is None and resilience is not None:
+            raise ValueError(
+                "resilience config without a fault_plan has no effect; pass "
+                "fault_plan=FaultPlan() to harden a fault-free run"
+            )
+        if fault_plan is None and check_invariants:
+            raise ValueError("check_invariants requires a fault_plan")
         self.game = game
         self.scheduler = scheduler
         self.max_slots = max_slots
         self.record_history = record_history
         self.validate_local_views = validate_local_views
+        self.fault_plan = fault_plan
+        self.injector = None
+        self.invariants = None
         root = as_generator(seed)
-        self.bus = MessageBus(drop_prob=drop_prob, seed=root.integers(2**63))
-        self.platform = PlatformAgent(game, self.bus, root, scheduler=scheduler)
+        # The bus seed is drawn unconditionally so enabling/disabling the
+        # lossy extension never shifts the root RNG stream, but only
+        # passed through when the lossy path will actually use it.
+        bus_seed = root.integers(2**63)
+        if fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(fault_plan.compile(game.num_users))
+            if resilience is None:
+                resilience = ResilienceConfig.for_plan(fault_plan)
+            self.resilience = resilience
+            self.bus = MessageBus(injector=self.injector)
+        else:
+            self.resilience = None
+            self.bus = MessageBus(
+                drop_prob=drop_prob,
+                seed=bus_seed if drop_prob > 0.0 else None,
+            )
+        self.platform = PlatformAgent(
+            game, self.bus, root, scheduler=scheduler, resilience=self.resilience
+        )
         self.users = [
-            UserAgent(i, game.user_weights[i], self.bus, as_generator(root.integers(2**63)))
+            UserAgent(
+                i,
+                game.user_weights[i],
+                self.bus,
+                as_generator(root.integers(2**63)),
+                resilience=self.resilience,
+            )
             for i in game.users
         ]
         self._shuffle = shuffle_service_order
         self._order_rng = as_generator(root.integers(2**63))
+        if check_invariants:
+            from repro.faults.invariants import InvariantChecker
+
+            self.invariants = InvariantChecker(game)
 
     def _service_order(self) -> list[UserAgent]:
         if not self._shuffle:
@@ -103,17 +190,13 @@ class DistributedSimulation:
         return order
 
     def run(self) -> DistributedOutcome:
-        # ---- handshake (Alg. 2 lines 1-4, Alg. 1 lines 1-7)
-        with trace("distributed.handshake", users=self.game.num_users):
-            self.platform.send_recommendations()
-            for agent in self._service_order():
-                agent.process_inbox()  # pick + report initial routes
-            _requests, reports = self.platform.process_inbox()
-            self.platform.apply_reports(reports)
-            self.platform.broadcast_counts(slot=0)
-            for agent in self._service_order():
-                agent.process_inbox()  # absorb initial counts
+        if self.fault_plan is not None:
+            return self._run_hardened()
+        return self._run_legacy()
 
+    # ---------------------------------------------------- paper-faithful loop
+    def _run_legacy(self) -> DistributedOutcome:
+        self._handshake()
         history: list[np.ndarray] = []
         if self.record_history:
             history.append(self._profits_snapshot())
@@ -150,9 +233,187 @@ class DistributedSimulation:
             if self.record_history:
                 history.append(self._profits_snapshot())
 
+        stop_reason = "converged" if converged else "max_slots"
+        return self._build_outcome(slot, converged, stop_reason, history)
+
+    # ---------------------------------------------------------- hardened loop
+    def _run_hardened(self) -> DistributedOutcome:
+        assert self.injector is not None and self.resilience is not None
+        self._handshake()
+        if self.invariants is not None:
+            self.invariants.start(dict(self.platform.decisions))
+        history: list[np.ndarray] = []
+        if self.record_history:
+            history.append(self._profits_snapshot())
+
+        injector = self.injector
+        slot = 0
+        converged = False
+        stop_reason = "max_slots"
+        last_active = 0
+        last_progress = 0
+        confirming = False
+        while slot < self.max_slots:
+            slot += 1
+            moves_before = len(self.platform.move_log)
+            with trace("distributed.slot"):
+                self.bus.advance(slot)
+                for u in injector.crashes_at(slot):
+                    self.users[u].crash()
+                    self.bus.set_crashed(self.users[u].name)
+                for u in injector.restarts_at(slot):
+                    self.bus.set_crashed(self.users[u].name, crashed=False)
+                    self.users[u].restart()
+                with trace("distributed.requests"):
+                    for agent in self._service_order():
+                        agent.process_inbox()  # late grants/counts/snapshots
+                    for agent in self._service_order():
+                        agent.begin_slot(slot)
+                    requests, early_reports = self.platform.process_inbox()
+                    # Delayed or retried reports land here: fold them in
+                    # before granting so grant-time counts are fresh.
+                    self.platform.apply_reports(early_reports)
+                if requests:
+                    confirming = False
+                    with trace("distributed.grant"):
+                        self.platform.grant(slot, requests)
+                        for agent in self._service_order():
+                            agent.process_inbox()
+                    with trace("distributed.broadcast"):
+                        _, reports = self.platform.process_inbox()
+                        self.platform.apply_reports(reports)
+                        self.platform.broadcast_counts(slot)
+                        for agent in self._service_order():
+                            agent.process_inbox()
+                elif self._quiet():
+                    # Two-phase termination: first a reliably-acked count
+                    # sync, then — once every alive user confirmed it and
+                    # still stayed silent for a slot — the termination.
+                    if confirming and self.platform.confirm_ok():
+                        self.platform.terminate(slot)
+                        for agent in self._service_order():
+                            agent.process_inbox()
+                        converged = True
+                        stop_reason = "converged"
+                        break
+                    if not confirming or (
+                        self.platform.channel_pending() == 0
+                        and not self.platform.confirm_ok()
+                    ):
+                        # First quiet slot — or a confirm round abandoned
+                        # by retry exhaustion: start a fresh one.
+                        self.platform.broadcast_counts_reliable(
+                            slot, self._alive_users()
+                        )
+                        confirming = True
+                        for agent in self._service_order():
+                            agent.process_inbox()  # absorb + ack the sync
+                        self.platform.process_inbox()  # collect the acks
+                # end-of-slot housekeeping: lease expiry, then retries —
+                # after inbox processing so fresh acks cancel retries first.
+                self.platform.tick(slot)
+                for agent in self._service_order():
+                    agent.tick(slot)
+            moved = len(self.platform.move_log) > moves_before
+            if requests or early_reports or moved:
+                last_active = slot
+            # Reliability machinery still draining (retries backing off,
+            # leases running, delayed messages in flight, snapshots due)
+            # counts as progress: each of those resolves in bounded time,
+            # so only a genuine livelock trips the stall window.
+            busy = (
+                bool(self.platform.outstanding)
+                or self.platform.channel_pending() > 0
+                or self.bus.in_flight() > 0
+                or injector.restart_pending()
+                or any(
+                    not a.crashed
+                    and (a.channel_pending() > 0 or a.awaiting_snapshot)
+                    for a in self.users
+                )
+            )
+            if requests or early_reports or moved or confirming or busy:
+                last_progress = slot
+            if self.invariants is not None:
+                rejoined = [
+                    a
+                    for a in self.users
+                    if a.rejoined_at == slot and not a.awaiting_snapshot
+                ]
+                self.invariants.on_slot_end(slot, self.platform, rejoined)
+            if self.record_history:
+                history.append(self._profits_snapshot())
+            if slot - last_progress >= self.resilience.stall_window:
+                stop_reason = "stalled"
+                break
+
+        if converged:
+            slot = last_active  # trailing quiet slots only carried the sync
+        if self.record_history and history:
+            history = history[: slot + 1]
+        if self.invariants is not None:
+            self.invariants.at_end(
+                stop_reason, self.platform, self.users, self._alive_users()
+            )
+        return self._build_outcome(slot, converged, stop_reason, history)
+
+    # ------------------------------------------------------------ run pieces
+    def _handshake(self) -> None:
+        """Alg. 2 lines 1-4, Alg. 1 lines 1-7 (shared by both loops)."""
+        with trace("distributed.handshake", users=self.game.num_users):
+            self.platform.send_recommendations()
+            for agent in self._service_order():
+                agent.process_inbox()  # pick + report initial routes
+            _requests, reports = self.platform.process_inbox()
+            self.platform.apply_reports(reports)
+            self.platform.broadcast_counts(slot=0)
+            for agent in self._service_order():
+                agent.process_inbox()  # absorb initial counts
+        require(
+            len(self.platform.decisions) == self.game.num_users,
+            "handshake incomplete: missing initial decision reports",
+        )
+
+    def _alive_users(self) -> list[int]:
+        return [a.user_id for a in self.users if not a.crashed]
+
+    def _quiet(self) -> bool:
+        """No requests arrived, and nothing is still in flight anywhere.
+
+        Crashed users are excluded — a scheduled restart blocks quiescence
+        via ``restart_pending`` instead, and a permanent departure must
+        not hold the run hostage.
+        """
+        assert self.injector is not None
+        if self.injector.restart_pending():
+            return False
+        if self.platform.outstanding or self.bus.in_flight() > 0:
+            return False
+        for agent in self.users:
+            if agent.crashed:
+                continue
+            if agent.awaiting_snapshot or agent.channel_pending() > 0:
+                return False
+        return True
+
+    def _build_outcome(
+        self,
+        slot: int,
+        converged: bool,
+        stop_reason: str,
+        history: list[np.ndarray],
+    ) -> DistributedOutcome:
         profile = StrategyProfile(
             self.game, [self.platform.decisions[i] for i in self.game.users]
         )
+        crashes = 0
+        rejoins = self.platform.rejoins
+        permanent: tuple[int, ...] = ()
+        faults: dict[str, int] = {}
+        if self.injector is not None:
+            crashes = len(self.injector.compiled.events)
+            permanent = self.injector.compiled.permanent_crashes
+            faults = self.injector.summary()
         if _OBS.enabled:
             _obs_counter("distributed.runs_total", scheduler=self.scheduler).inc()
             _obs_counter("distributed.slots_total").inc(slot)
@@ -167,6 +428,7 @@ class DistributedSimulation:
                 scheduler=self.scheduler,
                 slots=slot,
                 converged=converged,
+                stop_reason=stop_reason,
                 messages=self.bus.total_sent,
                 dropped=self.bus.total_dropped,
             )
@@ -181,6 +443,14 @@ class DistributedSimulation:
             dropped_messages=self.bus.total_dropped,
             dropped_by_type=self.bus.drop_summary(),
             mailbox_high_water=self.bus.mailbox_high_water,
+            stop_reason=stop_reason,
+            lease_revocations=self.platform.lease_revocations,
+            redelivered_messages=self.bus.total_redelivered,
+            duplicated_messages=self.bus.total_duplicated,
+            crashes=crashes,
+            rejoins=rejoins,
+            permanently_crashed=permanent,
+            faults_injected=faults,
         )
 
     # ------------------------------------------------------------ validation

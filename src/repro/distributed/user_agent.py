@@ -5,6 +5,20 @@ with their covered-task ids and published reward parameters, the per-route
 costs the platform annotated, and the latest participant counts for *its
 own* tasks.  It never sees other users, the road network, or the full task
 set — the privacy property motivating the paper.
+
+Robustness extension (``docs/robustness.md``): decision reports always
+carry a monotone ``seq`` (the platform applies duplicated/reordered
+streams idempotently) and count updates older than the newest applied one
+are discarded.  With a :class:`~repro.distributed.resilience
+.ResilienceConfig` attached the agent additionally acks and dedups
+control messages, retries its requests/reports through a
+:class:`~repro.distributed.resilience.ReliableChannel`, *revalidates*
+every grant against the authoritative counts it carries (declining when
+the move is no longer profitable, would leave the requested ``B_i``, or
+the grant arrived past its lease), and can crash — wiping all local state
+— and rejoin by re-syncing from the platform's
+:class:`~repro.distributed.messages.StateSnapshot` instead of trusting
+anything it remembers.
 """
 
 from __future__ import annotations
@@ -14,11 +28,15 @@ import numpy as np
 from repro.core.arrays import segment_sums
 from repro.core.weights import UserWeights
 from repro.distributed.bus import MessageBus
+from repro.distributed.resilience import ReliableChannel, ResilienceConfig
 from repro.distributed.messages import (
+    Ack,
     DecisionReport,
     Message,
+    RejoinRequest,
     RouteAnnotation,
     RouteRecommendation,
+    StateSnapshot,
     TaskCountUpdate,
     Termination,
     UpdateGrant,
@@ -41,13 +59,28 @@ class UserAgent:
         weights: UserWeights,
         bus: MessageBus,
         rng: np.random.Generator,
+        *,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.user_id = user_id
         self.name = f"user-{user_id}"
         self.weights = weights
         self.bus = bus
         self.rng = rng
-        # Populated by protocol messages:
+        self.resilience = resilience
+        self._channel = (
+            ReliableChannel(bus, self.name, resilience)
+            if resilience is not None
+            else None
+        )
+        # Lifecycle (crash/restart — robustness extension).
+        self.crashed = False
+        self.rejoined_at: int | None = None
+        self._awaiting_snapshot = False
+        self._reset_protocol_state()
+
+    def _reset_protocol_state(self) -> None:
+        """Everything a crash wipes (kept in one place so restart == init)."""
         self.routes: tuple[tuple[int, ...], ...] | None = None
         self.task_params: dict[int, tuple[float, float]] = {}
         self.detour_costs: tuple[float, ...] | None = None
@@ -60,51 +93,116 @@ class UserAgent:
         # Compiled local view (mini flat-CSR over this agent's own routes),
         # rebuilt lazily whenever recommendation/annotation state changes.
         self._local_ready = False
+        # Report sequencing + staleness guards (always on).
+        self._seq = 0
+        self._last_count_slot = -1
+        # Hardened-protocol scratch state.  ``_request_allowed`` is wider
+        # than the wire ``B_i``: the legacy draw may land on any profit-tie
+        # route of Delta_i(t), not just the one ``B_i`` advertised, so
+        # grant revalidation checks against the union of all tie routes —
+        # matching legacy acceptance exactly in the zero-fault case.
+        self._slot = 0
+        self._request_allowed: frozenset[int] | None = None
+        self._seen_ids: set[tuple[str, int]] = set()
+        self.declines = 0
 
     # ----------------------------------------------------------------- inbox
     def process_inbox(self) -> None:
         """Handle every queued message (Algorithm 1 lines 2-7, 13-17)."""
+        if self.crashed:  # a dead phone processes nothing
+            return
         for msg in self.bus.drain(self.name):
             self._handle(msg)
 
     def _handle(self, msg: Message) -> None:
+        if isinstance(msg, Ack):
+            if self._channel is not None:
+                self._channel.on_ack(msg.msg_id)
+            return
+        if isinstance(msg, (UpdateGrant, TaskCountUpdate)):
+            mid = msg.msg_id
+            if mid >= 0:
+                self.bus.post(msg.sender, Ack(self.name, msg_id=mid))
+                key = (msg.sender, mid)
+                if key in self._seen_ids:
+                    return  # duplicate: re-acked above, payload already done
+                self._seen_ids.add(key)
         if isinstance(msg, RouteRecommendation):
             self.routes = msg.routes
             self.task_params = dict(msg.task_params)
             self._local_ready = False
             # Alg. 1 line 3: random initial route; line 4: report it.
             self.current_route = int(self.rng.integers(0, len(self.routes)))
-            self.bus.post(
-                PLATFORM,
-                DecisionReport(self.name, slot=0, user=self.user_id,
-                               route=self.current_route),
-            )
+            self._post_report(slot=0, handshake=True)
         elif isinstance(msg, RouteAnnotation):
             self.detour_costs = msg.detour_costs
             self.congestion_costs = msg.congestion_costs
             self._local_ready = False
         elif isinstance(msg, TaskCountUpdate):
-            self.known_counts.update(msg.counts)
-            if self._local_ready and msg.counts:
-                self._scatter_counts(
-                    np.fromiter(
-                        msg.counts.keys(), dtype=np.intp, count=len(msg.counts)
-                    ),
-                    np.fromiter(
-                        msg.counts.values(), dtype=np.intp, count=len(msg.counts)
-                    ),
-                )
+            self._absorb_counts(msg.slot, msg.counts)
         elif isinstance(msg, UpdateGrant):
-            self._apply_grant(msg.slot)
+            self._apply_grant(msg)
+        elif isinstance(msg, StateSnapshot):
+            self._apply_snapshot(msg)
         elif isinstance(msg, Termination):
             self.terminated = True
         else:  # pragma: no cover - protocol misuse guard
             raise TypeError(f"{self.name}: unexpected message {type(msg).__name__}")
 
+    def _absorb_counts(self, slot: int, counts: dict[int, int]) -> None:
+        """Apply a count update unless it is older than one already applied.
+
+        Counts are absolute, so duplicates are idempotent; the slot guard
+        makes reordered streams converge to the newest view.
+        """
+        if slot < self._last_count_slot:
+            return
+        self._last_count_slot = slot
+        self.known_counts.update(counts)
+        if self._local_ready and counts:
+            self._scatter_counts(
+                np.fromiter(counts.keys(), dtype=np.intp, count=len(counts)),
+                np.fromiter(counts.values(), dtype=np.intp, count=len(counts)),
+            )
+
+    def _post_report(self, slot: int, *, handshake: bool = False) -> None:
+        """Report the current decision with the next sequence number.
+
+        Handshake reports ride the session-setup transport (never
+        injected); steady-state reports go through the retry channel when
+        the hardened protocol is on.
+        """
+        assert self.current_route is not None
+        seq = self._seq
+        self._seq += 1
+        if self._channel is not None and not handshake:
+            mid = self._channel.next_id()
+            self._channel.send(
+                PLATFORM,
+                DecisionReport(
+                    self.name, slot=slot, user=self.user_id,
+                    route=self.current_route, seq=seq, msg_id=mid,
+                ),
+                slot,
+            )
+        else:
+            report = DecisionReport(self.name, slot=slot, user=self.user_id,
+                                    route=self.current_route, seq=seq)
+            if handshake:
+                self.bus.post_reliable(PLATFORM, report)
+            else:
+                self.bus.post(PLATFORM, report)
+
     # ------------------------------------------------------------ slot logic
     def begin_slot(self, slot: int) -> None:
         """Alg. 1 lines 9-12: recompute Delta_i(t); request update if useful."""
-        if self.terminated or self.routes is None:
+        self._slot = slot
+        if (
+            self.terminated
+            or self.crashed
+            or self.routes is None
+            or self._awaiting_snapshot
+        ):
             return
         self._pending_best = self._best_route_set()
         if not self._pending_best:
@@ -115,30 +213,152 @@ class UserAgent:
         touched = frozenset(self.routes[self.current_route]) | frozenset(
             self.routes[best]
         )
-        self.bus.post(
-            PLATFORM,
-            UpdateRequest(
-                self.name,
-                slot=slot,
-                user=self.user_id,
-                tau=gain / self.weights.alpha,
-                touched_tasks=touched,
-            ),
+        self._request_allowed = frozenset(self.routes[self.current_route]).union(
+            *(frozenset(self.routes[j]) for j in self._pending_best)
+        )
+        if self._channel is not None:
+            mid = self._channel.next_id()
+            self._channel.send(
+                PLATFORM,
+                UpdateRequest(
+                    self.name, slot=slot, user=self.user_id,
+                    tau=gain / self.weights.alpha, touched_tasks=touched,
+                    msg_id=mid,
+                ),
+                slot,
+            )
+        else:
+            self.bus.post(
+                PLATFORM,
+                UpdateRequest(
+                    self.name,
+                    slot=slot,
+                    user=self.user_id,
+                    tau=gain / self.weights.alpha,
+                    touched_tasks=touched,
+                ),
+            )
+
+    def tick(self, slot: int) -> None:
+        """Retry unacked control messages (hardened protocol only).
+
+        An *abandoned* decision report (retries exhausted) means the
+        platform may never learn this agent's move — the local view and
+        the platform's are now irreconcilable from here.  The agent
+        treats it as fatal desync and re-syncs from an authoritative
+        snapshot, adopting whatever decision the platform has on record;
+        if the improvement still exists it will simply be requested again.
+        """
+        if self._channel is None or self.crashed:
+            return
+        abandoned = self._channel.tick(slot)
+        if any(isinstance(m, DecisionReport) for m in abandoned):
+            self._request_resync()
+
+    def _request_resync(self) -> None:
+        """Ask the platform for a snapshot without wiping local state."""
+        if self._awaiting_snapshot:
+            return
+        self._awaiting_snapshot = True
+        self.bus.post_reliable(
+            PLATFORM, RejoinRequest(self.name, user=self.user_id)
         )
 
-    def _apply_grant(self, slot: int) -> None:
-        """Alg. 1 lines 13-15: granted — pick from Delta_i(t) and report."""
-        if not self._pending_best:  # defensive: grant without request
+    def _apply_grant(self, msg: UpdateGrant) -> None:
+        """Alg. 1 lines 13-15: granted — pick from Delta_i(t) and report.
+
+        Hardened grants are *revalidated*: refresh counts from the grant's
+        authoritative payload, recompute the best-response set, and decline
+        (report the unchanged route, freeing the platform's lease) when the
+        grant is expired, the move no longer improves, or the recomputed
+        choice would leave the requested ``B_i`` (which would break PUU's
+        disjointness).  Legacy grants keep the paper's exact behavior.
+        """
+        if self.resilience is None:
+            if not self._pending_best:  # defensive: grant without request
+                return
+            choice = self._pending_best[
+                int(self.rng.integers(0, len(self._pending_best)))
+            ]
+            self.current_route = int(choice)
+            self._post_report(msg.slot)
             return
-        choice = self._pending_best[
-            int(self.rng.integers(0, len(self._pending_best)))
-        ]
-        self.current_route = int(choice)
-        self.bus.post(
-            PLATFORM,
-            DecisionReport(self.name, slot=slot, user=self.user_id,
-                           route=self.current_route),
-        )
+        if (
+            self.routes is None
+            or self.current_route is None
+            or self._awaiting_snapshot
+        ):
+            return  # not (re-)synced yet: stay silent, the lease will expire
+        if msg.lease_slots > 0 and self._slot >= msg.slot + msg.lease_slots:
+            self._decline(msg.slot)  # expired in transit: platform revoked it
+            return
+        if msg.counts is not None:
+            self._absorb_counts(msg.slot, msg.counts)
+        best_set = self._best_route_set()
+        if not best_set:
+            self._decline(msg.slot)  # fresh counts killed the improvement
+            return
+        choice = int(best_set[int(self.rng.integers(0, len(best_set)))])
+        allowed = self._request_allowed
+        if allowed is None or not frozenset(self.routes[choice]) <= allowed:
+            self._decline(msg.slot)  # revalidated move left the requested set
+            return
+        self.current_route = choice
+        self._post_report(msg.slot)
+
+    def _decline(self, slot: int) -> None:
+        """Report the unchanged route so the platform clears the lease."""
+        self.declines += 1
+        self._post_report(slot)
+
+    # ------------------------------------------------------- crash / restart
+    def crash(self) -> None:
+        """The phone dies: all local protocol state is lost."""
+        self.crashed = True
+        self._pending_best = []
+
+    def restart(self) -> None:
+        """The phone comes back with a blank slate and asks to re-sync.
+
+        Nothing survives the crash — not the route catalogue, not the
+        counts, not the seen-message dedup sets, not the retry buffers.
+        The platform's :class:`StateSnapshot` is the only source of truth.
+        """
+        self.crashed = False
+        self._reset_protocol_state()
+        if self._channel is not None:
+            self._channel = ReliableChannel(
+                self.bus, self.name, self.resilience
+            )
+        self._awaiting_snapshot = True
+        self.bus.post_reliable(PLATFORM, RejoinRequest(self.name, user=self.user_id))
+
+    def _apply_snapshot(self, msg: StateSnapshot) -> None:
+        """Rebuild every local structure from the platform's snapshot."""
+        self.routes = msg.routes
+        self.task_params = dict(msg.task_params)
+        self.detour_costs = msg.detour_costs
+        self.congestion_costs = msg.congestion_costs
+        self.known_counts = dict(msg.counts)
+        self.current_route = int(msg.decision)
+        self._local_ready = False
+        self._pending_best = []
+        self._request_allowed = None
+        # Resume the report sequence where the platform left off, and
+        # refuse count updates older than the snapshot — pre-crash
+        # stragglers must not resurrect stale state.
+        self._seq = msg.last_seq + 1
+        self._last_count_slot = msg.slot
+        self._awaiting_snapshot = False
+        self.rejoined_at = msg.slot
+
+    @property
+    def awaiting_snapshot(self) -> bool:
+        """True between restart and the snapshot's arrival."""
+        return self._awaiting_snapshot
+
+    def channel_pending(self) -> int:
+        return 0 if self._channel is None else self._channel.pending()
 
     # -------------------------------------------------------- local profits
     def profit(self) -> float:

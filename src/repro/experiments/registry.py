@@ -21,6 +21,7 @@ from repro.experiments import (
     fig15_lossy,
     fig16_execution,
     fig17_equilibrium_spread,
+    fig18_faults,
     table3_overlap,
     table4_poa,
     table5_user_params,
@@ -93,6 +94,8 @@ EXPERIMENTS: dict[str, Experiment] = {
                    fig16_execution.run),
         Experiment("fig17", "Extension", "equilibrium-selection quality spread",
                    fig17_equilibrium_spread.run),
+        Experiment("fig18", "Extension", "resilient protocol under injected faults",
+                   fig18_faults.run, chart=("scenario", "is_nash_mean", None)),
     ]
 }
 

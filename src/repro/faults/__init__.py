@@ -1,0 +1,42 @@
+"""Deterministic, seed-driven fault injection for the distributed protocol.
+
+Robustness extension (not in the paper; see ``docs/robustness.md``).  The
+package has four pieces:
+
+- :mod:`repro.faults.plan` — the declarative :class:`FaultPlan` (message
+  loss / delay / duplication per type, crash-restart schedules) compiled
+  to per-slot injections from one RNG stream, so every chaos run replays
+  bit-identically from its seed.
+- :mod:`repro.faults.injector` — the runtime :class:`FaultInjector` the
+  message bus consults on every post.
+- :mod:`repro.faults.invariants` — the :class:`InvariantChecker` asserting
+  the potential-game guarantees (Eq. 11 over granted moves), platform/user
+  reconciliation after rejoin, and Nash quiescence.
+- :mod:`repro.faults.chaos` — the :class:`ChaosRunner` sweeping fault
+  plans over seeded scenarios, plus the CI ``bounded_fault_matrix``.
+"""
+
+from repro.faults.plan import CompiledFaults, CrashEvent, FaultPlan
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.chaos import (
+    ChaosCase,
+    ChaosCaseResult,
+    ChaosReport,
+    ChaosRunner,
+    bounded_fault_matrix,
+)
+
+__all__ = [
+    "ChaosCase",
+    "ChaosCaseResult",
+    "ChaosReport",
+    "ChaosRunner",
+    "CompiledFaults",
+    "CrashEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantChecker",
+    "InvariantViolation",
+    "bounded_fault_matrix",
+]

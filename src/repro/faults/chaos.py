@@ -1,0 +1,210 @@
+"""Chaos harness: run fault scenarios and assert the protocol invariants.
+
+One :class:`ChaosCase` names a :class:`~repro.faults.plan.FaultPlan` plus
+the scheduler and seed to run it under; :class:`ChaosRunner` executes
+cases against a game through the hardened
+:class:`~repro.distributed.simulator.DistributedSimulation` with the
+:class:`~repro.faults.invariants.InvariantChecker` attached, and folds the
+results into a :class:`ChaosReport`.  A case *passes* when the run
+terminates with ``stop_reason == "converged"`` and no invariant was
+violated — i.e. despite the injected faults the protocol still reached a
+confirmed Nash equilibrium through potential-improving moves only.
+
+:func:`bounded_fault_matrix` is the CI envelope (the ``chaos-smoke`` job):
+message loss up to 0.3, reordering up to 3 slots, duplication, and up to
+20% of agents crashing once, alone and combined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.game import RouteNavigationGame
+from repro.distributed.resilience import ResilienceConfig
+from repro.distributed.simulator import DistributedOutcome, DistributedSimulation
+from repro.faults.invariants import InvariantViolation
+from repro.faults.plan import FaultPlan
+
+#: The bounded-fault envelope the resilient protocol is promised to
+#: survive (acceptance criteria in docs/robustness.md).
+MAX_LOSS = 0.3
+MAX_REORDER_SLOTS = 3
+MAX_CRASH_RATE = 0.2
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One scenario: a fault plan under a scheduler with a protocol seed."""
+
+    name: str
+    plan: FaultPlan
+    scheduler: str = "suu"
+    seed: int = 0
+    max_slots: int = 2_000
+
+
+@dataclass
+class ChaosCaseResult:
+    """Outcome + invariant verdicts of one executed case."""
+
+    case: ChaosCase
+    outcome: DistributedOutcome
+    violations: list[InvariantViolation]
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome.stop_reason == "converged" and not self.violations
+
+    def describe(self) -> str:
+        o = self.outcome
+        status = "ok" if self.ok else "FAIL"
+        extra = "" if not self.violations else f", {len(self.violations)} violation(s)"
+        return (
+            f"{status:4s} {self.case.name} [{self.case.scheduler}, seed "
+            f"{self.case.seed}]: {o.stop_reason} in {o.decision_slots} slots, "
+            f"{o.crashes} crash(es), {o.lease_revocations} revocation(s), "
+            f"{o.redelivered_messages} redeliveries{extra}"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """All case results of one matrix run."""
+
+    results: list[ChaosCaseResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[ChaosCaseResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [r.describe() for r in self.results]
+        lines.append(
+            f"{len(self.results) - len(self.failures)}/{len(self.results)} "
+            "cases passed"
+        )
+        return "\n".join(lines)
+
+    def raise_if_failures(self) -> None:
+        if self.failures:
+            details = "\n".join(
+                [r.describe() for r in self.failures]
+                + [
+                    f"    {v}"
+                    for r in self.failures
+                    for v in r.violations
+                ]
+            )
+            raise AssertionError(
+                f"{len(self.failures)} chaos case(s) failed:\n{details}"
+            )
+
+
+class ChaosRunner:
+    """Execute fault scenarios against one game instance."""
+
+    def __init__(
+        self,
+        game: RouteNavigationGame,
+        *,
+        resilience: ResilienceConfig | None = None,
+    ) -> None:
+        self.game = game
+        self.resilience = resilience
+
+    def run_case(self, case: ChaosCase) -> ChaosCaseResult:
+        sim = DistributedSimulation(
+            self.game,
+            scheduler=case.scheduler,
+            seed=case.seed,
+            max_slots=case.max_slots,
+            record_history=False,
+            fault_plan=case.plan,
+            resilience=self.resilience,
+            check_invariants=True,
+        )
+        outcome = sim.run()
+        assert sim.invariants is not None
+        return ChaosCaseResult(
+            case=case,
+            outcome=outcome,
+            violations=list(sim.invariants.violations),
+        )
+
+    def run(self, cases: list[ChaosCase]) -> ChaosReport:
+        return ChaosReport(results=[self.run_case(c) for c in cases])
+
+
+def bounded_fault_matrix(
+    *,
+    seeds: tuple[int, ...] = (0, 1),
+    schedulers: tuple[str, ...] = ("suu", "puu"),
+    plan_seed: int = 0,
+) -> list[ChaosCase]:
+    """The CI chaos envelope: loss, reorder, duplication, crashes, mixed.
+
+    Every scenario stays inside the bounded-fault promise (loss
+    <= ``MAX_LOSS``, reordering <= ``MAX_REORDER_SLOTS`` slots, at most
+    ``MAX_CRASH_RATE`` of agents crashing once); the resilient protocol
+    must converge to a confirmed Nash equilibrium on all of them.
+    """
+    data_types = ("TaskCountUpdate", "DecisionReport")
+    control_types = ("UpdateRequest", "UpdateGrant", "DecisionReport", "Ack")
+    scenarios: list[tuple[str, FaultPlan]] = [
+        (
+            "loss-light",
+            FaultPlan(seed=plan_seed, loss={t: 0.1 for t in data_types}),
+        ),
+        (
+            "loss-heavy",
+            FaultPlan(
+                seed=plan_seed,
+                loss={t: MAX_LOSS for t in data_types + control_types},
+            ),
+        ),
+        (
+            "reorder",
+            FaultPlan(
+                seed=plan_seed,
+                delay={
+                    t: (0.5, MAX_REORDER_SLOTS)
+                    for t in ("UpdateGrant", "DecisionReport", "TaskCountUpdate")
+                },
+            ),
+        ),
+        (
+            "duplicate",
+            FaultPlan(
+                seed=plan_seed, duplicate={t: 0.3 for t in data_types}
+            ),
+        ),
+        (
+            "crash-restart",
+            FaultPlan(seed=plan_seed, crash_rate=MAX_CRASH_RATE),
+        ),
+        (
+            "mixed",
+            FaultPlan(
+                seed=plan_seed,
+                loss={t: 0.2 for t in data_types},
+                delay={"UpdateGrant": (0.3, MAX_REORDER_SLOTS)},
+                duplicate={"DecisionReport": 0.2},
+                crash_rate=MAX_CRASH_RATE,
+            ),
+        ),
+    ]
+    return [
+        ChaosCase(
+            name=name,
+            plan=plan,
+            scheduler=sched,
+            seed=seed,
+        )
+        for name, plan in scenarios
+        for sched in schedulers
+        for seed in seeds
+    ]

@@ -1,0 +1,113 @@
+"""Runtime fault injector: the bus asks it what to do with each post.
+
+One injector wraps one :class:`~repro.faults.plan.CompiledFaults`.  All
+randomness comes from the compiled plan's single RNG stream, consumed in
+bus-post order — deterministic given the scenario, so chaos runs replay
+bit-identically.  Draws only happen for message types the plan actually
+targets: the null plan consumes zero randomness and perturbs nothing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.distributed.messages import Message
+from repro.faults.plan import CompiledFaults
+from repro.obs import counter as _obs_counter
+from repro.obs.runtime import RUNTIME as _OBS
+
+
+@dataclass(frozen=True)
+class Fate:
+    """What the bus should do with one posted message.
+
+    ``delays[k]`` is the extra delivery delay (in slots) of copy ``k``;
+    a dropped message has no copies.
+    """
+
+    delays: tuple[int, ...]
+
+    @property
+    def dropped(self) -> bool:
+        return not self.delays
+
+
+_DELIVER = Fate(delays=(0,))
+
+
+class FaultInjector:
+    """Per-post fault decisions plus crash-schedule queries."""
+
+    def __init__(self, compiled: CompiledFaults) -> None:
+        self.compiled = compiled
+        self.injected: Counter[str] = Counter()
+        self._crashed: set[int] = set()
+        self._restart_due: dict[int, int] = {
+            u: ev.restart_slot
+            for u, ev in compiled.events.items()
+            if ev.restart_slot is not None
+        }
+
+    # ------------------------------------------------------------- messages
+    def fate(self, message: Message) -> Fate:
+        """Decide loss / duplication / delay for one posted message."""
+        plan = self.compiled.plan
+        rng = self.compiled.rng
+        tname = type(message).__name__
+        p_loss = plan.loss.get(tname, 0.0)
+        if p_loss > 0.0 and rng.random() < p_loss:
+            self._count("loss", tname)
+            return Fate(delays=())
+        copies = 1
+        p_dup = plan.duplicate.get(tname, 0.0)
+        if p_dup > 0.0 and rng.random() < p_dup:
+            copies = 2
+            self._count("duplicate", tname)
+        delays = []
+        d_spec = plan.delay.get(tname)
+        for _ in range(copies):
+            extra = 0
+            if d_spec is not None and d_spec[0] > 0.0 and rng.random() < d_spec[0]:
+                extra = int(rng.integers(1, int(d_spec[1]) + 1))
+                self._count("delay", tname)
+            delays.append(extra)
+        if copies == 1 and delays[0] == 0:
+            return _DELIVER
+        return Fate(delays=tuple(delays))
+
+    def _count(self, kind: str, tname: str) -> None:
+        self.injected[kind] += 1
+        if _OBS.enabled:
+            _obs_counter("faults.injected_total", kind=kind, type=tname).inc()
+
+    # ---------------------------------------------------------------- crash
+    def crashes_at(self, slot: int) -> list[int]:
+        """Users whose crash is scheduled for ``slot`` (marks them down)."""
+        users = self.compiled.crashes_at.get(slot, [])
+        for u in users:
+            self._crashed.add(u)
+            self._count("crash", f"user-{u}")
+        return list(users)
+
+    def restarts_at(self, slot: int) -> list[int]:
+        """Users whose restart is scheduled for ``slot`` (marks them up)."""
+        users = self.compiled.restarts_at.get(slot, [])
+        for u in users:
+            self._crashed.discard(u)
+            self._restart_due.pop(u, None)
+            self._count("restart", f"user-{u}")
+        return list(users)
+
+    def restart_pending(self) -> bool:
+        """True while any crashed user still has a restart scheduled —
+        the run must not declare quiescence before they rejoin."""
+        return bool(self._restart_due)
+
+    @property
+    def crashed_users(self) -> frozenset[int]:
+        return frozenset(self._crashed)
+
+    def summary(self) -> dict[str, int]:
+        """Copy of the per-kind injection counters."""
+        return dict(self.injected)

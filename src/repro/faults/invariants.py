@@ -1,0 +1,203 @@
+"""Protocol invariants checked after every decision slot of a chaos run.
+
+The potential-game structure (Eq. 8/11) guarantees convergence survives
+bounded faults *provided the protocol recovers cleanly*; these checks are
+that provision, executable:
+
+- **potential_non_decreasing** — every *applied granted move* must not
+  decrease the potential ``phi`` (Eq. 11: a granted move realises its
+  ``tau > 0``; the hardened protocol's grant-time refresh, in-flight
+  disjointness, and stale-move rejection exist exactly to keep this true
+  under loss, delay, duplication, and crashes).
+- **count_consistency** — the platform's incremental task counters must
+  equal a recount of its decision view (symmetric-difference bookkeeping
+  never drifts).
+- **rejoin_reconciliation** — a rejoined agent's decision must match the
+  platform's record (it re-synced from the snapshot, not from stale
+  pre-crash state).
+- **nash_at_quiescence** — a run that terminates via the confirmed sync
+  round must sit at a Nash equilibrium of the alive users.
+- **view_reconciliation** — at such a termination every alive user's
+  local counts must equal the platform's (the reliable sync actually
+  synchronised).
+
+Violations are collected (not raised) so the
+:class:`~repro.faults.chaos.ChaosRunner` can report every broken case of
+a matrix; ``raise_if_violations`` turns them into one assertion for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.game import RouteNavigationGame
+from repro.core.profile import StrategyProfile
+from repro.core.profit import candidate_profits
+from repro.core.responses import IMPROVEMENT_EPS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.distributed.platform_agent import PlatformAgent
+    from repro.distributed.user_agent import UserAgent
+
+#: Float-drift allowance on per-move potential deltas (granted moves are
+#: strict improvements > IMPROVEMENT_EPS in exact arithmetic).
+POTENTIAL_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, with enough context to reproduce it."""
+
+    invariant: str
+    slot: int
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[slot {self.slot}] {self.invariant}: {self.detail}"
+
+
+class InvariantChecker:
+    """Replays the platform's accepted moves on a mirror profile."""
+
+    def __init__(self, game: RouteNavigationGame, *, tol: float = POTENTIAL_TOL) -> None:
+        self.game = game
+        self.tol = tol
+        self.violations: list[InvariantViolation] = []
+        self.potential_history: list[float] = []
+        self._profile: StrategyProfile | None = None
+        self._log_pos = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self, decisions: dict[int, int]) -> None:
+        """Mirror the platform's decision view right after the handshake."""
+        from repro.core.potential import potential
+
+        self._profile = StrategyProfile(
+            self.game, [decisions[i] for i in self.game.users]
+        )
+        self.potential_history.append(potential(self._profile))
+
+    def on_slot_end(
+        self,
+        slot: int,
+        platform: "PlatformAgent",
+        rejoined: list["UserAgent"] = (),
+    ) -> None:
+        """Consume newly accepted moves; check Eq. 11, counts, rejoins."""
+        from repro.core.potential import potential, potential_delta
+
+        assert self._profile is not None, "call start() after the handshake"
+        log = platform.move_log
+        for mslot, user, _old, new in log[self._log_pos:]:
+            delta = potential_delta(self._profile, user, new)
+            if delta < -self.tol:
+                self.violations.append(
+                    InvariantViolation(
+                        "potential_non_decreasing",
+                        mslot,
+                        f"user {user} move -> route {new} changed phi by "
+                        f"{delta:.3e}",
+                    )
+                )
+            self._profile.move(user, new)
+        self._log_pos = len(log)
+        if not np.array_equal(self._profile.counts, platform.counts):
+            self.violations.append(
+                InvariantViolation(
+                    "count_consistency",
+                    slot,
+                    "platform incremental counters diverged from a recount "
+                    "of its decision view",
+                )
+            )
+        for agent in rejoined:
+            if agent.awaiting_snapshot:
+                continue  # snapshot still in transit; checked when applied
+            recorded = platform.decisions.get(agent.user_id)
+            if agent.current_route != recorded:
+                self.violations.append(
+                    InvariantViolation(
+                        "rejoin_reconciliation",
+                        slot,
+                        f"user {agent.user_id} rejoined on route "
+                        f"{agent.current_route} but the platform records "
+                        f"{recorded}",
+                    )
+                )
+        self.potential_history.append(potential(self._profile))
+
+    def at_end(
+        self,
+        stop_reason: str,
+        platform: "PlatformAgent",
+        agents: list["UserAgent"],
+        alive_users: list[int],
+    ) -> None:
+        """Termination-time invariants (only binding when converged)."""
+        assert self._profile is not None
+        if stop_reason != "converged":
+            return
+        alive = set(alive_users)
+        for i in alive_users:
+            profits = candidate_profits(self._profile, i)
+            gap = float(profits.max() - profits[self._profile.route_of(i)])
+            if gap > IMPROVEMENT_EPS * 10:
+                self.violations.append(
+                    InvariantViolation(
+                        "nash_at_quiescence",
+                        -1,
+                        f"user {i} still improves by {gap:.3e} at termination",
+                    )
+                )
+        for agent in agents:
+            if agent.user_id not in alive:
+                continue
+            recorded = platform.decisions.get(agent.user_id)
+            if agent.current_route != recorded:
+                self.violations.append(
+                    InvariantViolation(
+                        "view_reconciliation",
+                        -1,
+                        f"user {agent.user_id} ended on route "
+                        f"{agent.current_route}, platform records {recorded}",
+                    )
+                )
+                continue
+            visible = {
+                int(t): int(c)
+                for t, c in zip(
+                    platform._visible_tasks[agent.user_id].tolist(),
+                    platform.counts[
+                        platform._visible_tasks[agent.user_id]
+                    ].tolist(),
+                )
+            }
+            stale = {
+                k: (agent.known_counts.get(k), v)
+                for k, v in visible.items()
+                if agent.known_counts.get(k) != v
+            }
+            if stale:
+                self.violations.append(
+                    InvariantViolation(
+                        "view_reconciliation",
+                        -1,
+                        f"user {agent.user_id} terminated on stale counts "
+                        f"{stale}",
+                    )
+                )
+
+    # -------------------------------------------------------------- results
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_violations(self) -> None:
+        if self.violations:
+            lines = "\n".join(f"  - {v}" for v in self.violations)
+            raise AssertionError(
+                f"{len(self.violations)} protocol invariant violation(s):\n{lines}"
+            )

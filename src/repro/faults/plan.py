@@ -1,0 +1,183 @@
+"""Declarative fault plans compiled to deterministic per-slot injections.
+
+A :class:`FaultPlan` is pure data: per-message-type loss / delay /
+duplication probabilities plus a crash-restart schedule (explicit events
+and/or a sampled crash rate).  ``compile()`` turns it into a
+:class:`CompiledFaults` — crash/restart events bucketed by slot and one
+:class:`numpy.random.Generator` seeded from ``plan.seed`` that drives every
+message-level draw.  Because the protocol consumes that stream in a
+deterministic order, a chaos run replays bit-identically from
+``(plan, scenario seed)`` alone.
+
+The *null* plan (all tables empty, no crashes) arms the hardened protocol
+machinery without injecting anything; trajectories are bit-identical to
+the paper-faithful simulator (asserted by
+``tests/distributed/test_zero_fault_identity.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability, require
+
+#: Message types the injector may touch.  The handshake and the rejoin
+#: path (recommendations, annotations, termination, rejoin/snapshot) ride
+#: a reliable transport — a deployment would not start a session over a
+#: link that cannot even deliver the route catalogue.
+INJECTABLE_TYPES = frozenset(
+    {"TaskCountUpdate", "UpdateRequest", "UpdateGrant", "DecisionReport", "Ack"}
+)
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One user-agent crash: dies at ``at_slot``, restarts at ``restart_slot``.
+
+    ``restart_slot=None`` models a permanent departure: the platform's
+    lease machinery eventually counts the user out and the run quiesces
+    without it.
+    """
+
+    user: int
+    at_slot: int
+    restart_slot: int | None = None
+
+    def __post_init__(self) -> None:
+        require(self.at_slot >= 1, "crashes must happen at slot >= 1 (post-handshake)")
+        if self.restart_slot is not None:
+            require(
+                self.restart_slot > self.at_slot,
+                "restart_slot must come strictly after at_slot",
+            )
+
+
+def _check_prob_table(name: str, table: Mapping[str, float]) -> None:
+    for tname, p in table.items():
+        require(
+            tname in INJECTABLE_TYPES,
+            f"{name}[{tname!r}]: not an injectable message type "
+            f"(allowed: {sorted(INJECTABLE_TYPES)})",
+        )
+        check_probability(f"{name}[{tname!r}]", p)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative fault specification for one chaos run.
+
+    ``loss`` / ``duplicate`` map message-type names to probabilities;
+    ``delay`` maps them to ``(probability, max_extra_slots)`` — a delayed
+    message is held in the bus's delivery-time priority queue for a
+    uniform 1..max extra slots, which also reorders it against later
+    traffic.  Crashes come from explicit ``crashes`` events and/or a
+    sampled ``crash_rate`` (each user crashes at most once, at a uniform
+    slot in ``crash_window``, down for a uniform 1..``max_downtime``
+    slots).  ``seed`` feeds the single RNG stream behind all sampling.
+    """
+
+    seed: int = 0
+    loss: Mapping[str, float] = field(default_factory=dict)
+    delay: Mapping[str, tuple[float, int]] = field(default_factory=dict)
+    duplicate: Mapping[str, float] = field(default_factory=dict)
+    crashes: tuple[CrashEvent, ...] = ()
+    crash_rate: float = 0.0
+    crash_window: tuple[int, int] = (1, 30)
+    max_downtime: int = 8
+
+    def __post_init__(self) -> None:
+        _check_prob_table("loss", self.loss)
+        _check_prob_table("duplicate", self.duplicate)
+        for tname, spec in self.delay.items():
+            require(
+                tname in INJECTABLE_TYPES,
+                f"delay[{tname!r}]: not an injectable message type "
+                f"(allowed: {sorted(INJECTABLE_TYPES)})",
+            )
+            prob, max_extra = spec
+            check_probability(f"delay[{tname!r}].prob", prob)
+            require(
+                int(max_extra) >= 1 or prob == 0.0,
+                f"delay[{tname!r}]: max_extra_slots must be >= 1 when prob > 0",
+            )
+        check_probability("crash_rate", self.crash_rate)
+        lo, hi = self.crash_window
+        require(1 <= lo <= hi, "crash_window must satisfy 1 <= lo <= hi")
+        require(self.max_downtime >= 1, "max_downtime must be >= 1")
+        seen = set()
+        for ev in self.crashes:
+            require(ev.user not in seen, f"user {ev.user} crashes more than once")
+            seen.add(ev.user)
+
+    def is_null(self) -> bool:
+        """True when the plan injects nothing (the identity plan)."""
+        return (
+            not any(p > 0.0 for p in self.loss.values())
+            and not any(p > 0.0 for p, _ in self.delay.values())
+            and not any(p > 0.0 for p in self.duplicate.values())
+            and not self.crashes
+            and self.crash_rate == 0.0
+        )
+
+    @property
+    def max_delay_slots(self) -> int:
+        """Largest configured extra delay (the reorder window)."""
+        return max((int(m) for p, m in self.delay.values() if p > 0.0), default=0)
+
+    def compile(self, num_users: int) -> "CompiledFaults":
+        """Sample the crash schedule and freeze the per-slot injections."""
+        rng = as_generator(int(self.seed))
+        events: dict[int, CrashEvent] = {ev.user: ev for ev in self.crashes}
+        if self.crash_rate > 0.0:
+            lo, hi = self.crash_window
+            for u in range(num_users):
+                if u in events:
+                    continue  # explicit events win over sampling
+                if rng.random() < self.crash_rate:
+                    at = int(rng.integers(lo, hi + 1))
+                    down = int(rng.integers(1, self.max_downtime + 1))
+                    events[u] = CrashEvent(user=u, at_slot=at, restart_slot=at + down)
+        for ev in events.values():
+            require(
+                0 <= ev.user < num_users,
+                f"crash event user {ev.user} outside 0..{num_users - 1}",
+            )
+        crashes_at: dict[int, list[int]] = {}
+        restarts_at: dict[int, list[int]] = {}
+        for ev in sorted(events.values(), key=lambda e: e.user):
+            crashes_at.setdefault(ev.at_slot, []).append(ev.user)
+            if ev.restart_slot is not None:
+                restarts_at.setdefault(ev.restart_slot, []).append(ev.user)
+        return CompiledFaults(
+            plan=self,
+            rng=rng,
+            events={u: e for u, e in sorted(events.items())},
+            crashes_at=crashes_at,
+            restarts_at=restarts_at,
+        )
+
+
+@dataclass
+class CompiledFaults:
+    """A :class:`FaultPlan` bound to a crash schedule and one RNG stream."""
+
+    plan: FaultPlan
+    rng: np.random.Generator
+    events: dict[int, CrashEvent]
+    crashes_at: dict[int, list[int]]
+    restarts_at: dict[int, list[int]]
+
+    @property
+    def permanent_crashes(self) -> tuple[int, ...]:
+        """Users that crash and never restart (modelled departures)."""
+        return tuple(
+            u for u, ev in self.events.items() if ev.restart_slot is None
+        )
+
+    def last_restart_slot(self) -> int:
+        """Largest scheduled restart slot (0 when none)."""
+        return max(self.restarts_at, default=0)

@@ -103,6 +103,68 @@ class TestDropAccounting:
         }
 
 
+class TestConstructorFootGuns:
+    def test_drop_prob_with_empty_droppable_raises(self):
+        # Regression: this configuration used to construct silently and
+        # never drop anything — fig15-style sweeps read as "lossless".
+        with pytest.raises(ValueError, match="inert"):
+            MessageBus(drop_prob=0.5, droppable=())
+
+    def test_seed_without_drop_prob_warns(self):
+        with pytest.warns(UserWarning, match="seed is unused"):
+            MessageBus(seed=42)
+
+    def test_valid_configs_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            MessageBus()
+            MessageBus(drop_prob=0.3, seed=1)
+            MessageBus(drop_prob=0.0, seed=None)
+
+
+class TestCrashDelivery:
+    def test_crash_purges_mailbox_and_blackholes_arrivals(self):
+        bus = MessageBus()
+        bus.post("u", Termination("p", slot=0))
+        bus.set_crashed("u")
+        assert bus.pending("u") == 0
+        bus.post("u", Termination("p", slot=1))
+        bus.post_reliable("u", Termination("p", slot=2))
+        assert bus.pending("u") == 0
+        assert bus.dropped_by_type["Termination"] == 3
+        bus.set_crashed("u", crashed=False)
+        bus.post("u", Termination("p", slot=3))
+        assert bus.pending("u") == 1
+
+
+class TestDelayedDelivery:
+    def _delayed_bus(self, extra=2):
+        from repro.faults import FaultInjector, FaultPlan
+
+        plan = FaultPlan(seed=0, delay={"TaskCountUpdate": (1.0, extra)})
+        return MessageBus(injector=FaultInjector(plan.compile(num_users=1)))
+
+    def test_delayed_message_released_at_due_slot(self):
+        bus = self._delayed_bus(extra=1)  # window [1, 1]: due exactly +1
+        bus.advance(3)
+        bus.post("u", TaskCountUpdate("p", slot=3, counts={}))
+        assert bus.pending("u") == 0
+        assert bus.in_flight() == 1
+        bus.advance(4)
+        assert bus.pending("u") == 1
+        assert bus.in_flight() == 0
+
+    def test_delayed_message_to_crashed_recipient_is_lost(self):
+        bus = self._delayed_bus(extra=1)
+        bus.post("u", TaskCountUpdate("p", slot=0, counts={}))
+        bus.set_crashed("u")
+        bus.advance(1)
+        assert bus.pending("u") == 0
+        assert bus.dropped_by_type["TaskCountUpdate"] == 1
+
+
 class TestMessages:
     def test_messages_frozen(self):
         msg = TaskCountUpdate("p", slot=0, counts={1: 2})

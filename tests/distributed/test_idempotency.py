@@ -1,0 +1,144 @@
+"""Property tests: the protocol's always-on idempotency layer.
+
+Sequence numbers on :class:`DecisionReport` and the slot-staleness guard
+on :class:`TaskCountUpdate` make both endpoints insensitive to message
+duplication and reordering — the network may mangle the stream, the
+derived state may not change.  Hypothesis drives the mangling.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weights import UserWeights
+from repro.distributed.bus import MessageBus
+from repro.distributed.messages import (
+    DecisionReport,
+    RouteAnnotation,
+    RouteRecommendation,
+    TaskCountUpdate,
+)
+from repro.distributed.platform_agent import PLATFORM, PlatformAgent
+from repro.distributed.user_agent import UserAgent
+from tests.helpers import random_game
+
+GAME = random_game(
+    np.random.default_rng(1234), max_users=6, max_routes=4, max_tasks=8
+)
+
+
+def _fresh_platform():
+    return PlatformAgent(GAME, MessageBus(), np.random.default_rng(0))
+
+
+def _report_streams(data):
+    """One monotone seq'd report stream per user (what agents emit)."""
+    streams = {}
+    for i in GAME.users:
+        n = data.draw(
+            st.integers(min_value=1, max_value=5), label=f"len user {i}"
+        )
+        routes = data.draw(
+            st.lists(
+                st.integers(0, GAME.num_routes(i) - 1),
+                min_size=n,
+                max_size=n,
+            ),
+            label=f"routes user {i}",
+        )
+        streams[i] = [
+            DecisionReport(f"user-{i}", slot=k, user=i, route=r, seq=k)
+            for k, r in enumerate(routes)
+        ]
+    return streams
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_mangled_report_stream_leaves_platform_state_unchanged(data):
+    streams = _report_streams(data)
+    clean = [rep for i in sorted(streams) for rep in streams[i]]
+
+    reference = _fresh_platform()
+    reference.apply_reports(clean)
+
+    # Mangle: duplicate a random subset, then deliver in arbitrary order,
+    # split across arbitrarily many apply_reports batches.
+    dupes = data.draw(
+        st.lists(st.sampled_from(clean), max_size=2 * len(clean)),
+        label="duplicates",
+    )
+    mangled = data.draw(st.permutations(clean + dupes), label="order")
+    platform = _fresh_platform()
+    while mangled:
+        cut = data.draw(
+            st.integers(1, len(mangled)), label="batch"
+        )
+        platform.apply_reports(list(mangled[:cut]))
+        mangled = mangled[cut:]
+
+    assert platform.decisions == reference.decisions
+    assert np.array_equal(platform.counts, reference.counts)
+    assert platform.last_seq == reference.last_seq
+    # Counters must equal a recount of the decision view (no drift).
+    from repro.core.profile import StrategyProfile
+
+    recount = StrategyProfile(
+        GAME, [platform.decisions[i] for i in GAME.users]
+    ).counts
+    assert np.array_equal(platform.counts, recount)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_mangled_count_updates_converge_to_newest_view(data):
+    bus = MessageBus()
+    agent = UserAgent(0, UserWeights(1.0, 1.0, 1.0), bus, np.random.default_rng(1))
+    bus.post(
+        agent.name,
+        RouteRecommendation(
+            PLATFORM,
+            routes=((0,), (1,)),
+            task_params={0: (10.0, 0.0), 1: (5.0, 0.0)},
+        ),
+    )
+    bus.post(
+        agent.name,
+        RouteAnnotation(PLATFORM, detour_costs=(0.0, 0.0),
+                        congestion_costs=(0.0, 0.0)),
+    )
+    agent.process_inbox()
+    bus.drain(PLATFORM)  # discard the handshake report
+
+    # One update per slot over the full (fixed) key set — exactly what
+    # the platform broadcasts.  The newest slot must win regardless of
+    # arrival order or duplication.
+    n_slots = data.draw(st.integers(1, 6), label="slots")
+    updates = [
+        TaskCountUpdate(
+            PLATFORM,
+            slot=s,
+            counts={
+                0: data.draw(st.integers(0, 5), label=f"c0@{s}"),
+                1: data.draw(st.integers(0, 5), label=f"c1@{s}"),
+            },
+        )
+        for s in range(n_slots)
+    ]
+    dupes = data.draw(
+        st.lists(st.sampled_from(updates), max_size=2 * n_slots),
+        label="duplicates",
+    )
+    mangled = data.draw(st.permutations(updates + dupes), label="order")
+    for msg in mangled:
+        bus.post(agent.name, msg)
+        agent.process_inbox()
+
+    newest = updates[-1]
+    assert agent.known_counts == dict(newest.counts)
+    assert agent._last_count_slot == newest.slot
+    # The compiled local view agrees with the dict view.
+    agent._ensure_local()
+    for k, v in newest.counts.items():
+        pos = int(np.searchsorted(agent._uniq_tasks, k))
+        assert agent._counts_vec[pos] == v

@@ -1,0 +1,234 @@
+"""Tests for the hardened-protocol building blocks: config, retry channel,
+leases, crash/rejoin, and the confirmed termination round."""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.distributed.bus import MessageBus
+from repro.distributed.messages import DecisionReport
+from repro.distributed.resilience import ReliableChannel, ResilienceConfig
+from repro.distributed.simulator import DistributedSimulation
+from repro.faults import CrashEvent, FaultPlan
+from tests.helpers import random_game
+
+
+def game(seed=7, users=10, tasks=12):
+    return random_game(
+        np.random.default_rng(seed), max_users=users, max_routes=4,
+        max_tasks=tasks,
+    )
+
+
+class TestResilienceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(lease_slots=0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ResilienceConfig(backoff_base=2, backoff_cap=1)
+        with pytest.raises(ValueError):
+            ResilienceConfig(stall_window=0)
+
+    def test_for_plan_raises_lease_to_reorder_window(self):
+        plan = FaultPlan(delay={"UpdateGrant": (0.5, 6)})
+        cfg = ResilienceConfig.for_plan(plan)
+        assert cfg.lease_slots >= plan.max_delay_slots + 2
+
+    def test_for_plan_keeps_wider_lease(self):
+        cfg = ResilienceConfig.for_plan(FaultPlan(), lease_slots=9)
+        assert cfg.lease_slots == 9
+
+
+class TestReliableChannel:
+    def _channel(self, **cfg):
+        bus = MessageBus()
+        config = ResilienceConfig(**cfg)
+        return ReliableChannel(bus, "user-0", config), bus
+
+    def _msg(self, mid):
+        return DecisionReport("user-0", slot=1, user=0, route=0, seq=0, msg_id=mid)
+
+    def test_send_requires_reserved_msg_id(self):
+        ch, _ = self._channel()
+        with pytest.raises(ValueError, match="msg_id"):
+            ch.send("platform", self._msg(-1), slot=1)
+
+    def test_ack_stops_retries(self):
+        ch, bus = self._channel()
+        ch.send("platform", self._msg(ch.next_id()), slot=1)
+        assert ch.pending() == 1
+        ch.on_ack(0)
+        assert ch.pending() == 0
+        assert ch.tick(10) == []
+        assert bus.total_redelivered == 0
+
+    def test_retry_uses_capped_exponential_backoff(self):
+        ch, bus = self._channel(max_retries=5, backoff_base=1, backoff_cap=4)
+        ch.send("platform", self._msg(ch.next_id()), slot=0)
+        retry_slots = []
+        for slot in range(1, 30):
+            before = bus.total_redelivered
+            ch.tick(slot)
+            if bus.total_redelivered > before:
+                retry_slots.append(slot)
+            if ch.pending() == 0:
+                break
+        # next_retry starts at base; gaps then follow min(base*2^k, cap).
+        gaps = [b - a for a, b in zip(retry_slots, retry_slots[1:])]
+        assert retry_slots[0] == 1
+        assert gaps == [2, 4, 4, 4]
+        assert ch.retries_sent == 5
+
+    def test_exhaustion_returns_abandoned_message(self):
+        ch, _ = self._channel(max_retries=1, backoff_base=1, backoff_cap=1)
+        msg = self._msg(ch.next_id())
+        ch.send("platform", msg, slot=0)
+        abandoned = []
+        for slot in range(1, 10):
+            abandoned += ch.tick(slot)
+        assert abandoned == [msg]
+        assert ch.exhausted == 1
+        assert ch.pending() == 0
+
+    def test_cancel_drops_without_exhaustion(self):
+        ch, _ = self._channel()
+        ch.send("platform", self._msg(ch.next_id()), slot=0)
+        ch.cancel(0)
+        assert ch.pending() == 0
+        assert ch.exhausted == 0
+
+    def test_pending_for_filters_by_recipient(self):
+        ch, _ = self._channel()
+        ch.send("platform", self._msg(ch.next_id()), slot=0)
+        assert ch.pending_for("platform") == [0]
+        assert ch.pending_for("user-9") == []
+
+
+class TestLeases:
+    def test_lost_grants_revoke_and_do_not_stall(self):
+        # Every grant (and its retries) is lost: leases must expire and be
+        # revoked, the run keeps cycling requests instead of deadlocking.
+        plan = FaultPlan(seed=0, loss={"UpdateGrant": 1.0})
+        sim = DistributedSimulation(
+            game(), seed=0, fault_plan=plan, max_slots=30,
+            record_history=False,
+        )
+        out = sim.run()
+        if out.converged:  # already at equilibrium: nothing was granted
+            pytest.skip("game needed no updates")
+        assert out.lease_revocations > 0
+        # Any lease still outstanding at cutoff must be unexpired — an
+        # expired one surviving tick() would be a leak.
+        last_slot = 30 - 1
+        assert all(
+            lease.expiry > last_slot
+            for lease in sim.platform.outstanding.values()
+        )
+
+    def test_lease_revocation_emits_telemetry(self):
+        plan = FaultPlan(seed=0, loss={"UpdateGrant": 1.0})
+        with obs.session():
+            out = DistributedSimulation(
+                game(), seed=0, fault_plan=plan, max_slots=20,
+                record_history=False,
+            ).run()
+            if out.lease_revocations == 0:
+                pytest.skip("no revocations under this seed")
+            counted = sum(
+                obs.REGISTRY.snapshot()
+                .counter_values("platform.lease_revocations_total")
+                .values()
+            )
+            assert counted == out.lease_revocations
+
+
+class TestCrashRejoin:
+    def test_crashed_user_rejoins_consistent(self):
+        g = game(seed=3)
+        plan = FaultPlan(crashes=(CrashEvent(user=0, at_slot=2, restart_slot=4),))
+        sim = DistributedSimulation(
+            g, seed=1, fault_plan=plan, check_invariants=True,
+            record_history=False,
+        )
+        out = sim.run()
+        assert out.stop_reason == "converged"
+        assert out.crashes == 1 and out.rejoins >= 1
+        agent = sim.users[0]
+        assert not agent.crashed and not agent.awaiting_snapshot
+        assert agent.rejoined_at is not None
+        assert agent.current_route == sim.platform.decisions[0]
+        assert sim.invariants.ok, sim.invariants.violations
+
+    def test_crash_wipes_and_snapshot_restores_local_state(self):
+        g = game(seed=4)
+        sim = DistributedSimulation(g, seed=2, fault_plan=FaultPlan())
+        sim.run()
+        agent = sim.users[0]
+        route_before = agent.current_route
+        agent.crash()
+        sim.bus.set_crashed(agent.name)
+        assert agent.crashed
+        sim.bus.set_crashed(agent.name, crashed=False)
+        agent.restart()
+        assert agent.routes is None and agent.awaiting_snapshot
+        # The platform answers the (reliable) rejoin with a snapshot.
+        sim.platform.process_inbox()
+        agent.process_inbox()
+        assert not agent.awaiting_snapshot
+        assert agent.current_route == sim.platform.decisions[0] == route_before
+        assert agent.known_counts  # counts restored from the snapshot
+        assert agent._seq == sim.platform.last_seq.get(0, -1) + 1
+
+    def test_permanent_departure_reported_on_outcome(self):
+        g = game(seed=5)
+        plan = FaultPlan(crashes=(CrashEvent(user=0, at_slot=2),))
+        out = DistributedSimulation(
+            g, seed=3, fault_plan=plan, record_history=False
+        ).run()
+        assert out.permanently_crashed == (0,)
+        assert out.stop_reason == "converged"
+
+
+class TestSimulatorValidation:
+    def test_fault_plan_excludes_drop_prob(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            DistributedSimulation(game(), fault_plan=FaultPlan(), drop_prob=0.5)
+
+    def test_fault_plan_excludes_validate_local_views(self):
+        with pytest.raises(ValueError, match="check_invariants"):
+            DistributedSimulation(
+                game(), fault_plan=FaultPlan(), validate_local_views=True
+            )
+
+    def test_resilience_requires_fault_plan(self):
+        with pytest.raises(ValueError, match="fault_plan"):
+            DistributedSimulation(game(), resilience=ResilienceConfig())
+
+    def test_check_invariants_requires_fault_plan(self):
+        with pytest.raises(ValueError, match="fault_plan"):
+            DistributedSimulation(game(), check_invariants=True)
+
+
+class TestStopReasonTelemetry:
+    def test_run_done_event_carries_stop_reason(self):
+        import repro.distributed.simulator as sim_mod
+
+        captured = {}
+        g = game(seed=6)
+        with obs.session():
+            orig = sim_mod._obs_event
+
+            def spy(name, **fields):
+                if name == "distributed.run_done":
+                    captured.update(fields)
+                return orig(name, **fields)
+
+            sim_mod._obs_event = spy
+            try:
+                out = DistributedSimulation(g, seed=0).run()
+            finally:
+                sim_mod._obs_event = orig
+        assert captured["stop_reason"] == out.stop_reason
+        assert captured["converged"] == out.converged

@@ -1,0 +1,85 @@
+"""The hardened protocol with a *null* fault plan must be trajectory-
+identical to the paper-faithful simulator.
+
+The resilient machinery (sequence numbers, acks, leases, the confirmed
+termination round) is allowed to change *message traffic* but not a
+single decision: same RNG draws in the same order, same grant sets, same
+final routes, same per-slot profit history.  This pins the robustness
+extension as a strict superset of the paper's protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed.simulator import DistributedSimulation
+from repro.faults import FaultPlan
+from tests.helpers import random_game
+
+N_SEEDS = 34
+
+
+def _run(game, scheduler, seed, plan):
+    return DistributedSimulation(
+        game,
+        scheduler=scheduler,
+        seed=seed,
+        fault_plan=plan,
+        max_slots=5000,
+    ).run()
+
+
+@pytest.mark.parametrize("scheduler", ["suu", "puu"])
+def test_null_plan_bit_identical_across_seeds(scheduler):
+    mismatches = []
+    for seed in range(N_SEEDS):
+        game = random_game(
+            np.random.default_rng(seed), max_users=10, max_routes=4, max_tasks=12
+        )
+        legacy = _run(game, scheduler, seed, None)
+        hardened = _run(game, scheduler, seed, FaultPlan())
+        same = (
+            np.array_equal(legacy.profile.choices, hardened.profile.choices)
+            and legacy.decision_slots == hardened.decision_slots
+            and legacy.granted_per_slot == hardened.granted_per_slot
+            and legacy.converged == hardened.converged
+            and legacy.stop_reason == hardened.stop_reason
+            and np.array_equal(legacy.profit_history, hardened.profit_history)
+        )
+        if not same:
+            mismatches.append(seed)
+    assert not mismatches, f"trajectory diverged for seeds {mismatches}"
+
+
+def test_null_plan_converges_with_shuffled_service_order():
+    # Shuffled stepping draws from the order RNG a different number of
+    # times per slot in the two loops, so bit-identity is not promised —
+    # but the hardened run must still quiesce at a Nash equilibrium.
+    from repro.core.equilibrium import is_nash_equilibrium
+
+    game = random_game(np.random.default_rng(100), max_users=8, max_tasks=10)
+    out = DistributedSimulation(
+        game, seed=1, shuffle_service_order=True, fault_plan=FaultPlan()
+    ).run()
+    assert out.converged and out.stop_reason == "converged"
+    assert is_nash_equilibrium(out.profile)
+
+
+def test_hardened_run_reports_zero_fault_accounting():
+    game = random_game(np.random.default_rng(5), max_users=6, max_tasks=8)
+    out = DistributedSimulation(game, seed=2, fault_plan=FaultPlan()).run()
+    assert out.faults_injected == {}
+    assert out.crashes == 0
+    assert out.rejoins == 0
+    assert out.lease_revocations == 0
+    assert out.duplicated_messages == 0
+    # The reliability layer never needs a retry on a fault-free bus.
+    assert out.redelivered_messages == 0
+
+
+def test_legacy_outcome_stop_reason_fields():
+    game = random_game(np.random.default_rng(6), max_users=6, max_tasks=8)
+    out = DistributedSimulation(game, seed=3).run()
+    assert out.converged and out.stop_reason == "converged"
+    capped = DistributedSimulation(game, seed=3, max_slots=1).run()
+    if not capped.converged:
+        assert capped.stop_reason == "max_slots"

@@ -10,8 +10,8 @@ from repro.experiments.registry import EXPERIMENTS
 
 class TestRegistry:
     def test_all_artifacts_present(self):
-        # 13 paper artifacts (Figs 3-13, Tables 3-5) + 4 extensions.
-        assert len(EXPERIMENTS) == 18
+        # 13 paper artifacts (Figs 3-13, Tables 3-5) + 5 extensions.
+        assert len(EXPERIMENTS) == 19
 
     def test_get_unknown_raises(self):
         with pytest.raises(KeyError):
@@ -141,6 +141,19 @@ class TestTinyRuns:
             assert r["distinct_equilibria"] >= 1
         digest = summarize(t)
         assert digest[0]["instances"] == 2
+
+    def test_fig18(self):
+        t = run_experiment("fig18", repetitions=1, seed=0)
+        assert len(t) == 6  # six fault scenarios
+        by = {r["scenario"]: r for r in t}
+        # The hardened protocol's promise: every in-envelope scenario
+        # still terminates converged at Nash with invariants intact.
+        for r in t:
+            assert r["converged_mean"] == 1.0
+            assert r["is_nash_mean"] == 1.0
+            assert r["invariant_ok_mean"] == 1.0
+        # The zero-fault baseline pays no redelivery overhead.
+        assert by["none"]["overhead_mean"] == pytest.approx(0.0)
 
     def test_fig16(self):
         t = run_experiment("fig16", repetitions=1, seed=0)

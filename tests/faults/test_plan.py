@@ -1,0 +1,171 @@
+"""Tests for fault plans, compilation, and the deterministic injector."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.messages import (
+    DecisionReport,
+    RouteRecommendation,
+    TaskCountUpdate,
+    UpdateGrant,
+)
+from repro.faults import CrashEvent, FaultInjector, FaultPlan
+
+
+class TestFaultPlanValidation:
+    def test_null_plan_is_null(self):
+        assert FaultPlan().is_null()
+        assert FaultPlan(loss={"TaskCountUpdate": 0.0}).is_null()
+
+    def test_non_null_variants(self):
+        assert not FaultPlan(loss={"TaskCountUpdate": 0.1}).is_null()
+        assert not FaultPlan(delay={"UpdateGrant": (0.5, 2)}).is_null()
+        assert not FaultPlan(duplicate={"DecisionReport": 0.2}).is_null()
+        assert not FaultPlan(crashes=(CrashEvent(0, 3, 5),)).is_null()
+        assert not FaultPlan(crash_rate=0.1).is_null()
+
+    def test_rejects_non_injectable_type(self):
+        with pytest.raises(ValueError, match="not an injectable"):
+            FaultPlan(loss={"RouteRecommendation": 0.5})
+        with pytest.raises(ValueError, match="not an injectable"):
+            FaultPlan(delay={"Termination": (0.5, 2)})
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultPlan(loss={"TaskCountUpdate": 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(crash_rate=-0.1)
+
+    def test_rejects_zero_delay_window_with_positive_prob(self):
+        with pytest.raises(ValueError, match="max_extra_slots"):
+            FaultPlan(delay={"UpdateGrant": (0.5, 0)})
+
+    def test_rejects_double_crash(self):
+        with pytest.raises(ValueError, match="more than once"):
+            FaultPlan(crashes=(CrashEvent(1, 2, 4), CrashEvent(1, 6, 8)))
+
+    def test_crash_event_ordering(self):
+        with pytest.raises(ValueError, match="strictly after"):
+            CrashEvent(0, at_slot=5, restart_slot=5)
+        with pytest.raises(ValueError, match="slot >= 1"):
+            CrashEvent(0, at_slot=0)
+
+    def test_max_delay_slots(self):
+        assert FaultPlan().max_delay_slots == 0
+        plan = FaultPlan(
+            delay={"UpdateGrant": (0.5, 3), "DecisionReport": (0.2, 5)}
+        )
+        assert plan.max_delay_slots == 5
+        # Zero-probability entries do not widen the reorder window.
+        assert FaultPlan(delay={"UpdateGrant": (0.0, 9)}).max_delay_slots == 0
+
+
+class TestCompile:
+    def test_explicit_events_bucketed_by_slot(self):
+        plan = FaultPlan(
+            crashes=(CrashEvent(0, 2, 5), CrashEvent(3, 2, 7), CrashEvent(1, 4))
+        )
+        compiled = plan.compile(num_users=5)
+        assert compiled.crashes_at[2] == [0, 3]
+        assert compiled.crashes_at[4] == [1]
+        assert compiled.restarts_at == {5: [0], 7: [3]}
+        assert compiled.permanent_crashes == (1,)
+        assert compiled.last_restart_slot() == 7
+
+    def test_rejects_out_of_range_user(self):
+        plan = FaultPlan(crashes=(CrashEvent(9, 2, 3),))
+        with pytest.raises(ValueError, match="outside"):
+            plan.compile(num_users=3)
+
+    def test_sampled_schedule_is_deterministic(self):
+        plan = FaultPlan(seed=5, crash_rate=0.5, crash_window=(2, 10))
+        a = plan.compile(num_users=20)
+        b = plan.compile(num_users=20)
+        assert a.events == b.events
+
+    def test_sampled_crashes_stay_in_window(self):
+        plan = FaultPlan(seed=1, crash_rate=1.0, crash_window=(3, 6), max_downtime=2)
+        compiled = plan.compile(num_users=10)
+        assert len(compiled.events) == 10
+        for ev in compiled.events.values():
+            assert 3 <= ev.at_slot <= 6
+            assert ev.at_slot < ev.restart_slot <= ev.at_slot + 2
+
+    def test_explicit_event_wins_over_sampling(self):
+        plan = FaultPlan(
+            seed=0, crash_rate=1.0, crashes=(CrashEvent(0, 9, 11),)
+        )
+        compiled = plan.compile(num_users=4)
+        assert compiled.events[0].at_slot == 9
+
+
+class TestFaultInjector:
+    def test_null_plan_consumes_no_randomness(self):
+        compiled = FaultPlan(seed=3).compile(num_users=2)
+        injector = FaultInjector(compiled)
+        before = compiled.rng.bit_generator.state["state"]["state"]
+        for _ in range(50):
+            fate = injector.fate(TaskCountUpdate("p", slot=1, counts={}))
+            assert not fate.dropped and fate.delays == (0,)
+        after = compiled.rng.bit_generator.state["state"]["state"]
+        assert before == after
+        assert injector.summary() == {}
+
+    def test_untargeted_types_pass_through(self):
+        plan = FaultPlan(seed=0, loss={"TaskCountUpdate": 1.0})
+        injector = FaultInjector(plan.compile(num_users=1))
+        fate = injector.fate(
+            RouteRecommendation("p", routes=((0,),), task_params={})
+        )
+        assert fate.delays == (0,)
+
+    def test_certain_loss(self):
+        plan = FaultPlan(seed=0, loss={"TaskCountUpdate": 1.0})
+        injector = FaultInjector(plan.compile(num_users=1))
+        fate = injector.fate(TaskCountUpdate("p", slot=1, counts={}))
+        assert fate.dropped
+        assert injector.summary() == {"loss": 1}
+
+    def test_certain_duplicate_and_delay(self):
+        plan = FaultPlan(
+            seed=0,
+            duplicate={"DecisionReport": 1.0},
+            delay={"DecisionReport": (1.0, 3)},
+        )
+        injector = FaultInjector(plan.compile(num_users=1))
+        fate = injector.fate(DecisionReport("u", slot=1, user=0, route=0))
+        assert len(fate.delays) == 2
+        assert all(1 <= d <= 3 for d in fate.delays)
+
+    def test_fates_replay_bit_identically(self):
+        plan = FaultPlan(
+            seed=11,
+            loss={"UpdateGrant": 0.4},
+            delay={"UpdateGrant": (0.5, 4)},
+            duplicate={"UpdateGrant": 0.3},
+        )
+        msgs = [UpdateGrant("p", slot=s) for s in range(200)]
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(plan.compile(num_users=1))
+            runs.append([injector.fate(m).delays for m in msgs])
+        assert runs[0] == runs[1]
+
+    def test_crash_schedule_queries(self):
+        plan = FaultPlan(crashes=(CrashEvent(2, at_slot=3, restart_slot=6),))
+        injector = FaultInjector(plan.compile(num_users=4))
+        assert injector.crashes_at(1) == []
+        assert injector.restart_pending()
+        assert injector.crashes_at(3) == [2]
+        assert injector.crashed_users == frozenset({2})
+        assert injector.restarts_at(6) == [2]
+        assert injector.crashed_users == frozenset()
+        assert not injector.restart_pending()
+
+    def test_permanent_crash_never_restart_pending(self):
+        plan = FaultPlan(crashes=(CrashEvent(0, at_slot=2),))
+        injector = FaultInjector(plan.compile(num_users=1))
+        assert not injector.restart_pending()
+        injector.crashes_at(2)
+        assert not injector.restart_pending()
+        assert injector.crashed_users == frozenset({0})
