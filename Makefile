@@ -19,7 +19,8 @@ bench-json:
 	mkdir -p benchmarks/results
 	$(PY) -m pytest benchmarks/test_bench_core.py \
 		benchmarks/test_bench_kernels.py \
-		benchmarks/test_bench_proposals.py --benchmark-only \
+		benchmarks/test_bench_proposals.py \
+		benchmarks/test_bench_serve.py --benchmark-only \
 		--benchmark-json benchmarks/results/bench.json
 
 # Full-scale experiment sweep (writes CSVs under results/).

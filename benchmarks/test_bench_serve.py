@@ -1,0 +1,124 @@
+"""Capacity benchmark for the sharded serving layer (docs/serving.md).
+
+The dense 500-user spatially-local instance
+(:func:`repro.serve.churn.synthetic_serve_instance`) absorbs an identical
+churn script — same tasks, same initial users, same join/leave sequence —
+through :class:`~repro.serve.ServeSession`s at K = 1, 2, 4 shards.  The
+headline metric is **users per second**: churn events (joins + leaves,
+each including the shard rebuild, sync, and incremental re-convergence)
+absorbed per wall second.
+
+Sharding pays here because churn work is shard-local: a join rebuilds and
+re-converges one region's sub-game (O(n/K) users) instead of the whole
+instance, and spatial locality keeps the sequential boundary pass short.
+
+``test_capacity_floor`` asserts the >=2x sustained users-per-second at
+K=4 vs K=1 this PR promises, with min-of-repeats wall timing.  Results
+land in ``benchmarks/results/bench.json`` via ``make bench-json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve.churn import ChurnSchedule, synthetic_serve_instance
+from repro.serve.session import ServeSession
+
+N_USERS = 500
+N_TASKS = 120
+CHURN_ROUNDS = 10
+CHURN_RATE = 8.0
+LOCALITY = 0.95
+SEED = 7
+
+
+def _make_session(num_shards: int):
+    """A converged session over the dense localized instance + its churn feed."""
+    tasks, platform, records, partition, factory = synthetic_serve_instance(
+        N_USERS, N_TASKS, num_shards, locality=LOCALITY, seed=SEED
+    )
+    sess = ServeSession(
+        tasks=tasks,
+        platform=platform,
+        records=records,
+        partition=partition,
+        scheduler="puu",
+        seed=SEED,
+    )
+    sess.run_to_convergence()
+    return sess, factory
+
+
+def _churn_phase(sess: ServeSession, factory, schedule: ChurnSchedule) -> int:
+    """Drive CHURN_ROUNDS of joins/leaves + rounds; returns events absorbed."""
+    events = 0
+    for _ in range(CHURN_ROUNDS):
+        joins, leaves = schedule.next_round(sorted(sess.records))
+        for uid in leaves:
+            sess.leave(uid)
+        for _ in range(joins):
+            sess.join(factory(sess.next_user_id()))
+        events += joins + len(leaves)
+        sess.run_round()
+    return events
+
+
+def _sustained_users_per_second(num_shards: int, passes: int = 3) -> float:
+    """Best-of-passes churn throughput; fresh session per pass."""
+    best = 0.0
+    for p in range(passes):
+        sess, factory = _make_session(num_shards)
+        schedule = ChurnSchedule(rate=CHURN_RATE, seed=SEED + 1)
+        t0 = time.perf_counter()
+        events = _churn_phase(sess, factory, schedule)
+        seconds = time.perf_counter() - t0
+        sess.close()
+        best = max(best, events / seconds)
+    return best
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_churn_round(benchmark, num_shards):
+    """One churn-driven serving round at each shard count."""
+    sess, factory = _make_session(num_shards)
+    schedule = ChurnSchedule(rate=CHURN_RATE, seed=SEED + 1)
+
+    def one_round():
+        joins, leaves = schedule.next_round(sorted(sess.records))
+        for uid in leaves:
+            sess.leave(uid)
+        for _ in range(joins):
+            sess.join(factory(sess.next_user_id()))
+        sess.run_round()
+
+    benchmark(one_round)
+    sess.close()
+
+
+def test_capacity_floor():
+    """K=4 must sustain >=2x the churn throughput of the monolithic K=1."""
+    base = _sustained_users_per_second(1)
+    sharded = _sustained_users_per_second(4)
+    speedup = sharded / base
+    print(
+        f"\nserve capacity: K=1 {base:.1f} users/s, K=4 {sharded:.1f} "
+        f"users/s, speedup {speedup:.2f}x"
+    )
+    assert speedup >= 2.0, (
+        f"sharded serving speedup {speedup:.2f}x below the 2x floor "
+        f"(K=1: {base:.1f} users/s, K=4: {sharded:.1f} users/s)"
+    )
+
+
+def test_sharded_equilibrium_quality():
+    """Sharded convergence must still land on a global Nash equilibrium."""
+    sess, factory = _make_session(4)
+    schedule = ChurnSchedule(rate=CHURN_RATE, seed=SEED + 1)
+    _churn_phase(sess, factory, schedule)
+    sess.run_to_convergence()
+    sess.check_quiescence()
+    assert sess.is_nash()
+    assert sess.ok, [str(v) for v in sess.violations]
+    sess.close()

@@ -337,6 +337,45 @@ class ProposalCache:
                 int(np.count_nonzero(self._dirty)) - before
             )
 
+    def invalidate_tasks(self, tasks: np.ndarray) -> None:
+        """Invalidate every user covering any of ``tasks``.
+
+        The external-change entry point: the serving layer calls this when
+        a task's count moved for a reason outside this cache's game — a
+        foreign shard's grant or a churn event folded in as an ``ext``
+        count offset — so the affected users' proposals are re-swept.
+        """
+        tasks = np.asarray(tasks, dtype=np.intp)
+        if tasks.size == 0:
+            return
+        users = self._arrays.gather_rows(self._tu_indptr, self._tu_users, tasks)
+        self._dirty[users] = True
+
+    # ------------------------------------------------------ snapshot support
+    def export_state(self) -> dict[str, object]:
+        """Picklable cache state (proposals + dirtiness), for the serving
+        layer's shard snapshots — restoring it skips the full re-sweep a
+        fresh cache would need and preserves the RNG-consumption sequence."""
+        return {
+            "has": self._has.copy(),
+            "route": self._route.copy(),
+            "gain": self._gain.copy(),
+            "tau": self._tau.copy(),
+            "touched": [t.copy() for t in self._touched],
+            "dirty": self._dirty.copy(),
+        }
+
+    def import_state(self, state: dict[str, object]) -> None:
+        """Restore :meth:`export_state` output into this cache."""
+        self._has = np.asarray(state["has"], dtype=bool).copy()
+        self._route = np.asarray(state["route"], dtype=np.intp).copy()
+        self._gain = np.asarray(state["gain"], dtype=float).copy()
+        self._tau = np.asarray(state["tau"], dtype=float).copy()
+        self._touched = [
+            np.asarray(t, dtype=np.intp) for t in state["touched"]  # type: ignore[union-attr]
+        ]
+        self._dirty = np.asarray(state["dirty"], dtype=bool).copy()
+
 
 def _assemble_csr(segments: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
     """CSR ``(indptr, data)`` from a list of per-row id arrays."""

@@ -26,7 +26,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment key (fig3..fig14, table3..table5) or 'all'",
+        help="experiment key (fig3..fig14, table3..table5), 'all', or "
+             "'serve' (online sharded serving session)",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--repetitions", type=int, default=None,
@@ -37,6 +38,38 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--csv", default=None, help="also write CSV here")
     parser.add_argument("--svg", default=None,
                         help="render the figure's series as an SVG chart here")
+    serve_group = parser.add_argument_group(
+        "serving", "options for the 'serve' session (see docs/serving.md)"
+    )
+    serve_group.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="number of region shards (default: 1, the monolithic engine)",
+    )
+    serve_group.add_argument(
+        "--churn-rate", type=float, default=0.0, metavar="R",
+        help="expected user join/leave events per serving round",
+    )
+    serve_group.add_argument(
+        "--duration", type=int, default=20, metavar="S",
+        help="number of churn-driven serving rounds before final convergence",
+    )
+    serve_group.add_argument(
+        "--users", type=int, default=100,
+        help="initial number of users in the serving instance",
+    )
+    serve_group.add_argument(
+        "--tasks", type=int, default=60,
+        help="number of sensing tasks in the serving instance",
+    )
+    serve_group.add_argument(
+        "--scheduler", default="suu", choices=["suu", "puu"],
+        help="per-shard update scheduler (default: suu)",
+    )
+    serve_group.add_argument(
+        "--validate", action="store_true",
+        help="check cross-shard invariants and the ledger identity at "
+             "every sync point",
+    )
     obs_group = parser.add_argument_group(
         "observability", "telemetry collection (see docs/observability.md)"
     )
@@ -84,6 +117,9 @@ def main(argv: list[str] | None = None) -> int:
                 json_path=args.log_json,
                 stream=sys.stderr if args.log_json is None else None,
             )
+
+    if args.experiment.lower() == "serve":
+        return _run_serve(args, telemetry)
 
     keys = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
     for key in keys:
@@ -150,6 +186,73 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 write_run_report(path, report)
                 print(f"[run report written to {path}]")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace, telemetry: bool) -> int:
+    """Drive one churn-driven sharded serving session (docs/serving.md)."""
+    from repro.serve.churn import ChurnSchedule, synthetic_serve_instance
+    from repro.serve.session import ServeSession
+
+    tasks, platform, records, partition, factory = synthetic_serve_instance(
+        args.users, args.tasks, max(args.shards, 1), seed=args.seed
+    )
+    churn = ChurnSchedule(rate=args.churn_rate, seed=args.seed + 1)
+    start = time.perf_counter()
+    with ServeSession(
+        tasks=tasks,
+        platform=platform,
+        records=records,
+        partition=partition,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        validate=args.validate,
+        processes=args.processes,
+    ) as sess:
+        for _ in range(args.duration):
+            joins, leaves = churn.next_round(sorted(sess.records))
+            for uid in leaves:
+                sess.leave(uid)
+            for _ in range(joins):
+                sess.join(factory(sess.next_user_id()))
+            sess.run_round()
+        reports = sess.run_to_convergence()
+        sess.check_quiescence()
+        elapsed = time.perf_counter() - start
+        stats = sess.stats.as_dict()
+        summary = {
+            "shards": sess.num_shards,
+            "users": sess.num_users,
+            "tasks": len(tasks),
+            "scheduler": args.scheduler,
+            "churn_rate": args.churn_rate,
+            "duration": args.duration,
+            "convergence_rounds": len(reports),
+            "is_nash": sess.is_nash(),
+            "violations": len(sess.violations),
+            "total_profit": sess.total_profit(),
+            "potential": sess.global_potential(),
+            "wall_seconds": elapsed,
+            **stats,
+        }
+        print(f"\n== serve: K={sess.num_shards} shards, "
+              f"{sess.num_users} users, {len(tasks)} tasks "
+              f"({elapsed:.1f}s) ==")
+        width = max(len(k) for k in summary)
+        for k, v in summary.items():
+            print(f"  {k:<{width}}  {v}")
+        if args.validate:
+            sess.raise_if_violations()
+        if telemetry and args.metrics_out:
+            from repro.obs.report import build_run_report, write_run_report
+
+            report = build_run_report(
+                experiment="serve",
+                config=summary,
+                wall_seconds=elapsed,
+            )
+            write_run_report(args.metrics_out, report)
+            print(f"[run report written to {args.metrics_out}]")
     return 0
 
 

@@ -1,0 +1,127 @@
+"""Extension experiment (not in the paper): serving-layer capacity scaling.
+
+The sharded serving layer (``docs/serving.md``) promises that region
+partitioning buys online capacity: under churn, a join or leave rebuilds
+and re-converges *one shard's* sub-game instead of the whole instance.
+This experiment drives an identical churn workload — same tasks, same
+initial users, same join/leave script — through sessions at increasing
+shard counts and measures:
+
+- ``users_per_second``: churn events (joins + leaves) absorbed per wall
+  second, the serving-capacity headline;
+- ``speedup``: users-per-second relative to the K=1 monolithic engine of
+  the same repetition;
+- ``profit_delta_pct``: total-profit gap of the sharded equilibrium
+  against a monolithic DGRN run on the *final* user population — the
+  equilibrium-quality price of sharding (both states are Nash equilibria
+  of the same game, so this measures equilibrium *selection*, not error);
+- ``convergence_rounds`` and ``boundary_moves``: how much work leaks to
+  the sequential boundary pass.
+
+The workload is spatially local (:func:`repro.serve.churn.
+synthetic_serve_instance`): users mostly cover tasks of one region, the
+shape the partitioner monetizes.  The capacity *floor* (>= 2x at K=4 on
+the dense 500-user instance) is enforced by ``benchmarks/
+test_bench_serve.py``; this figure records the whole curve.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms.dgrn import DGRN
+from repro.experiments.common import RepSpec, make_specs
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import repeat_map
+from repro.serve.churn import ChurnSchedule, synthetic_serve_instance
+from repro.serve.session import ServeSession
+
+N_USERS = 200
+N_TASKS = 80
+SHARD_COUNTS = (1, 2, 4)
+CHURN_RATE = 4.0
+CHURN_ROUNDS = 12
+LOCALITY = 0.9
+
+
+def _serve_once(spec: RepSpec, num_shards: int) -> dict:
+    """One serving run: fixed churn script, measured wall time."""
+    tasks, platform, records, partition, factory = synthetic_serve_instance(
+        spec.n_users, spec.n_tasks, num_shards,
+        locality=LOCALITY, seed=spec.seed,
+    )
+    churn = ChurnSchedule(rate=CHURN_RATE, seed=spec.seed + 1)
+    events = 0
+    t0 = time.perf_counter()
+    with ServeSession(
+        tasks=tasks,
+        platform=platform,
+        records=records,
+        partition=partition,
+        scheduler="puu",
+        seed=spec.seed,
+    ) as sess:
+        for _ in range(CHURN_ROUNDS):
+            joins, leaves = churn.next_round(sorted(sess.records))
+            for uid in leaves:
+                sess.leave(uid)
+            for _ in range(joins):
+                sess.join(factory(sess.next_user_id()))
+            events += joins + len(leaves)
+            sess.run_round()
+        reports = sess.run_to_convergence()
+        seconds = time.perf_counter() - t0
+        game, profile = sess.global_profile()
+        mono = DGRN(seed=spec.seed).run(game)
+        served_profit = sess.total_profit()
+        mono_profit = mono.total_profit
+        return {
+            "shards": num_shards,
+            "rep": spec.rep,
+            "events": events,
+            "seconds": seconds,
+            "users_per_second": events / seconds if seconds > 0 else 0.0,
+            "is_nash": float(sess.is_nash()),
+            "convergence_rounds": len(reports),
+            "boundary_moves": sess.stats.boundary_moves,
+            "total_profit": served_profit,
+            "profit_delta_pct": (
+                100.0 * (served_profit - mono_profit) / abs(mono_profit)
+                if mono_profit else 0.0
+            ),
+        }
+
+
+def _worker(spec: RepSpec) -> list[dict]:
+    rows = [_serve_once(spec, k) for k in SHARD_COUNTS]
+    base = next(r["users_per_second"] for r in rows if r["shards"] == 1)
+    for r in rows:
+        r["speedup"] = r["users_per_second"] / base if base > 0 else 0.0
+    return rows
+
+
+def run(
+    *,
+    repetitions: int = 5,
+    seed: int | None = 0,
+    processes: int | None = None,
+    city: str = "shanghai",
+) -> ResultTable:
+    """Serving capacity vs. shard count on an identical churn workload."""
+    specs = make_specs(
+        "fig19",
+        cities=[city],
+        user_counts=[N_USERS],
+        task_counts=[N_TASKS],
+        algorithms=(),
+        repetitions=repetitions,
+        seed=seed,
+    )
+    raw = repeat_map(_worker, specs, processes=processes)
+    return raw.aggregate(
+        by=["shards"],
+        values=["users_per_second", "speedup", "is_nash",
+                "convergence_rounds", "boundary_moves", "total_profit",
+                "profit_delta_pct"],
+        stats=("mean",),
+    )

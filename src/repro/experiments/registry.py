@@ -22,6 +22,7 @@ from repro.experiments import (
     fig16_execution,
     fig17_equilibrium_spread,
     fig18_faults,
+    fig19_scale,
     table3_overlap,
     table4_poa,
     table5_user_params,
@@ -96,6 +97,8 @@ EXPERIMENTS: dict[str, Experiment] = {
                    fig17_equilibrium_spread.run),
         Experiment("fig18", "Extension", "resilient protocol under injected faults",
                    fig18_faults.run, chart=("scenario", "is_nash_mean", None)),
+        Experiment("fig19", "Extension", "serving capacity vs. shard count",
+                   fig19_scale.run, chart=("shards", "users_per_second_mean", None)),
     ]
 }
 

@@ -104,6 +104,53 @@ class ChaosReport:
             )
 
 
+@dataclass(frozen=True)
+class ShardCrashCase:
+    """One serving-layer scenario: crash shard workers mid-session.
+
+    The session runs ``crash_round`` rounds normally, then loses the
+    named shards' epoch work (they resume from their last-sync snapshot)
+    and must still reach global quiescence.  A case passes when the
+    session converges, the state is a Nash equilibrium of the monolithic
+    game, and no serving invariant (cross-shard counts, ledger potential
+    identity, Nash-at-quiescence) was violated.
+    """
+
+    name: str
+    num_shards: int
+    crash_shards: tuple[int, ...]
+    crash_round: int = 1
+    scheduler: str = "suu"
+    seed: int = 0
+    max_rounds: int = 200
+
+
+@dataclass
+class ShardCrashResult:
+    """Outcome + invariant verdicts of one executed shard-crash case."""
+
+    case: ShardCrashCase
+    converged: bool
+    is_nash: bool
+    rounds: int
+    violations: list[InvariantViolation]
+
+    @property
+    def ok(self) -> bool:
+        return self.converged and self.is_nash and not self.violations
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        extra = "" if not self.violations else f", {len(self.violations)} violation(s)"
+        return (
+            f"{status:4s} {self.case.name} [{self.case.scheduler}, seed "
+            f"{self.case.seed}]: K={self.case.num_shards}, crashed "
+            f"{list(self.case.crash_shards)} at round {self.case.crash_round}, "
+            f"{'converged' if self.converged else 'DID NOT CONVERGE'} in "
+            f"{self.rounds} round(s), nash={self.is_nash}{extra}"
+        )
+
+
 class ChaosRunner:
     """Execute fault scenarios against one game instance."""
 
@@ -137,6 +184,41 @@ class ChaosRunner:
 
     def run(self, cases: list[ChaosCase]) -> ChaosReport:
         return ChaosReport(results=[self.run_case(c) for c in cases])
+
+    def run_shard_case(self, case: ShardCrashCase) -> ShardCrashResult:
+        """Crash shard workers of a serving session and demand Nash anyway.
+
+        Imported lazily: :mod:`repro.serve` sits above the fault layer and
+        a module-level import would be cyclic.
+        """
+        from repro.serve.session import ServeSession
+
+        with ServeSession.from_game(
+            self.game,
+            num_shards=case.num_shards,
+            scheduler=case.scheduler,
+            seed=case.seed,
+            validate=True,
+        ) as sess:
+            converged = False
+            rounds = 0
+            for r in range(case.max_rounds):
+                crash = (
+                    case.crash_shards if r == case.crash_round else ()
+                )
+                rep = sess.run_round(crash_shards=crash)
+                rounds = r + 1
+                if rep.converged:
+                    converged = True
+                    break
+            sess.check_quiescence()
+            return ShardCrashResult(
+                case=case,
+                converged=converged,
+                is_nash=sess.is_nash(),
+                rounds=rounds,
+                violations=list(sess.violations),
+            )
 
 
 def bounded_fault_matrix(

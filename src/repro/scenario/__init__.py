@@ -1,6 +1,15 @@
 """Instance construction: city substrate + traces + tasks -> game (Table 2)."""
 
 from repro.scenario.config import ScenarioConfig
-from repro.scenario.builder import Scenario, build_scenario
+from repro.scenario.builder import (
+    NoCandidateRoutesError,
+    Scenario,
+    build_scenario,
+)
 
-__all__ = ["Scenario", "ScenarioConfig", "build_scenario"]
+__all__ = [
+    "NoCandidateRoutesError",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+]

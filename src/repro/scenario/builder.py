@@ -29,6 +29,15 @@ from repro.utils.rng import RngStream
 from repro.utils.validation import require
 
 
+class NoCandidateRoutesError(RuntimeError):
+    """Raised when a user cannot be given any candidate route.
+
+    Surfaced by the scenario builder (routing retry budget exhausted) and
+    by the online serving layer's user factories instead of letting an
+    empty route set become an opaque index error deep in the game core.
+    """
+
+
 @dataclass(frozen=True)
 class Scenario:
     """A fully-materialized instance plus its substrate provenance."""
@@ -110,7 +119,13 @@ def build_scenario(
     all_pairs = list(od_nodes)
     while len(route_sets) < config.n_users:
         attempts += 1
-        require(attempts <= 20 * config.n_users, "could not route enough OD pairs")
+        if attempts > 20 * config.n_users:
+            raise NoCandidateRoutesError(
+                f"could not route enough OD pairs: {len(route_sets)} of "
+                f"{config.n_users} users have candidate routes after "
+                f"{attempts - 1} routing attempts — the network may be too "
+                "disconnected or route_count_range too narrow"
+            )
         if idx >= len(all_pairs):
             # Recycle pairs (with different k draws) if routing failed often.
             idx = 0

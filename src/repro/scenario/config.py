@@ -83,6 +83,11 @@ class ScenarioConfig:
                 f"bad congestion_source: {self.congestion_source!r}")
         require(self.congestion_hotspots >= 0, "congestion_hotspots must be >= 0")
         check_positive("congestion_scale", self.congestion_scale)
+        if self.n_vehicles is not None:
+            require(self.n_vehicles >= 1,
+                    f"n_vehicles must be >= 1, got {self.n_vehicles}")
+        require(self.trips_per_vehicle >= 1,
+                f"trips_per_vehicle must be >= 1, got {self.trips_per_vehicle}")
 
     def with_(self, **kwargs) -> "ScenarioConfig":
         """Functional update (frozen dataclass)."""

@@ -1,0 +1,49 @@
+"""Sharded online serving layer (see ``docs/serving.md``).
+
+Region-partitioned game shards running the array-native engine
+concurrently, reconciled through a versioned boundary ledger, with
+churn-driven sessions (join/leave mid-game) and a crash/resume snapshot
+protocol.  ``K=1`` sessions are bit-identical to the monolithic
+DGRN/MUUN allocators.
+"""
+
+from repro.serve.churn import (
+    ChurnSchedule,
+    ScenarioUserFactory,
+    SyntheticUserFactory,
+)
+from repro.serve.ledger import BoundaryLedger
+from repro.serve.partition import (
+    RegionPartition,
+    cut_size,
+    partition_game,
+    refine_regions,
+    tile_tasks,
+)
+from repro.serve.session import RoundReport, ServeSession
+from repro.serve.shard import (
+    EpochResult,
+    ShardEngine,
+    ShardSpec,
+    UserRecord,
+    build_shard_spec,
+)
+
+__all__ = [
+    "BoundaryLedger",
+    "ChurnSchedule",
+    "EpochResult",
+    "RegionPartition",
+    "RoundReport",
+    "ScenarioUserFactory",
+    "ServeSession",
+    "ShardEngine",
+    "ShardSpec",
+    "SyntheticUserFactory",
+    "UserRecord",
+    "build_shard_spec",
+    "cut_size",
+    "partition_game",
+    "refine_regions",
+    "tile_tasks",
+]

@@ -1,0 +1,245 @@
+"""Online churn: seeded arrival/departure schedules and user factories.
+
+The serving workload of the related literature is *online* — users arrive
+and depart mid-game, and recommendations must adapt per request.  A
+:class:`ChurnSchedule` draws a reproducible stream of join/leave counts
+per round; a user factory turns "a user joined" into a concrete
+:class:`~repro.serve.shard.UserRecord`:
+
+- :class:`SyntheticUserFactory` — coverage-level users with a *home
+  region* (spatial locality): most covered tasks come from one region,
+  an adjustable fraction crosses borders.  Drives tests and the capacity
+  benchmark, where locality is what sharding monetizes.
+- :class:`ScenarioUserFactory` — road-network users: a sampled OD pair is
+  routed through the scenario's :class:`~repro.network.routing.RoutePlanner`
+  (Yen's k-shortest paths or penalty alternatives over ``network.graph``)
+  and covered tasks are attached by the coverage-radius rule, exactly
+  like the offline scenario builder.  Raises the builder's
+  :class:`~repro.scenario.builder.NoCandidateRoutesError` when an OD pair
+  admits no route, instead of surfacing an opaque index error downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.weights import PlatformWeights, UserWeights
+from repro.network.routing import Route
+from repro.serve.partition import RegionPartition, tile_tasks
+from repro.serve.shard import UserRecord
+from repro.tasks.task import Task, TaskSet
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require
+
+__all__ = [
+    "ChurnSchedule",
+    "ScenarioUserFactory",
+    "SyntheticUserFactory",
+    "synthetic_serve_instance",
+]
+
+
+@dataclass
+class ChurnSchedule:
+    """Reproducible Poisson joins/leaves per serving round.
+
+    ``rate`` is the expected number of churn events per round; each event
+    is a leave with probability ``leave_fraction`` (leaves are skipped
+    while the session would drop below ``min_users``).
+    """
+
+    rate: float
+    leave_fraction: float = 0.5
+    min_users: int = 1
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        require(self.rate >= 0, "churn rate must be >= 0")
+        require(
+            0.0 <= self.leave_fraction <= 1.0,
+            "leave_fraction must be in [0, 1]",
+        )
+        self._rng = as_generator(self.seed)
+
+    def next_round(
+        self, active_ids: list[int]
+    ) -> tuple[int, list[int]]:
+        """Draw ``(n_joins, leave_ids)`` for the next round."""
+        events = int(self._rng.poisson(self.rate))
+        joins = 0
+        leaves: list[int] = []
+        pool = list(active_ids)
+        for _ in range(events):
+            if (
+                pool
+                and len(pool) > self.min_users
+                and self._rng.random() < self.leave_fraction
+            ):
+                victim = pool.pop(int(self._rng.integers(0, len(pool))))
+                leaves.append(int(victim))
+            else:
+                joins += 1
+        return joins, leaves
+
+
+class SyntheticUserFactory:
+    """Coverage-level users with spatial locality over a task partition.
+
+    Each user gets a home region; every route samples ``route_len``
+    distinct tasks, each drawn from the home region with probability
+    ``locality`` and from the whole task set otherwise — so a fraction of
+    users genuinely straddles region borders, exercising the boundary
+    pass.
+    """
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        partition: RegionPartition,
+        *,
+        routes_per_user: tuple[int, int] = (2, 4),
+        route_len: tuple[int, int] = (2, 6),
+        locality: float = 0.9,
+        seed: SeedLike = 0,
+    ) -> None:
+        require(0.0 <= locality <= 1.0, "locality must be in [0, 1]")
+        require(
+            1 <= routes_per_user[0] <= routes_per_user[1],
+            "routes_per_user must be a nonempty ascending range",
+        )
+        self.tasks = tasks
+        self.partition = partition
+        self.routes_per_user = routes_per_user
+        self.route_len = route_len
+        self.locality = locality
+        self.rng = as_generator(seed)
+        self._region_tasks = [
+            partition.region_tasks(s) for s in range(partition.num_shards)
+        ]
+        self._occupied = [
+            s for s, t in enumerate(self._region_tasks) if t.size
+        ]
+        require(
+            len(self._occupied) >= 1,
+            "cannot synthesize users over a partition with no tasks",
+        )
+
+    def __call__(self, user_id: int) -> UserRecord:
+        rng = self.rng
+        home = self._region_tasks[
+            self._occupied[int(rng.integers(0, len(self._occupied)))]
+        ]
+        n_routes = int(
+            rng.integers(self.routes_per_user[0], self.routes_per_user[1] + 1)
+        )
+        n_tasks_total = len(self.tasks)
+        routes = []
+        for _ in range(n_routes):
+            length = int(
+                rng.integers(self.route_len[0], self.route_len[1] + 1)
+            )
+            picked: set[int] = set()
+            for _ in range(length):
+                if rng.random() < self.locality:
+                    t = int(home[int(rng.integers(0, home.size))])
+                else:
+                    t = int(rng.integers(0, n_tasks_total))
+                picked.add(t)
+            h = float(rng.uniform(0.0, 3.0))
+            c = float(rng.uniform(0.0, 1.0))
+            routes.append(
+                Route(
+                    nodes=(0,),
+                    length_km=h,
+                    detour_km=h,
+                    congestion=c,
+                    task_ids=tuple(sorted(picked)),
+                )
+            )
+        return UserRecord(
+            user_id=user_id,
+            routes=tuple(routes),
+            weights=UserWeights.random(rng),
+        )
+
+
+def synthetic_serve_instance(
+    n_users: int,
+    n_tasks: int,
+    num_shards: int,
+    *,
+    locality: float = 0.9,
+    seed: SeedLike = 0,
+) -> tuple[TaskSet, PlatformWeights, list[UserRecord], RegionPartition, "SyntheticUserFactory"]:
+    """A dense, spatially-local serving workload (CLI / fig19 / bench).
+
+    Tasks are scattered uniformly in a unit square and tiled into
+    ``num_shards`` regions from positions alone; users come from a
+    :class:`SyntheticUserFactory` over that partition, so most of each
+    user's coverage stays inside one region — the workload shape sharding
+    is built for.  Returns ``(tasks, platform, records, partition,
+    factory)``; the factory keeps minting users for churn.
+    """
+    rng = as_generator(seed)
+    tasks = TaskSet(
+        [
+            Task(
+                task_id=k,
+                x=float(rng.uniform(0.0, 10.0)),
+                y=float(rng.uniform(0.0, 10.0)),
+                base_reward=float(rng.uniform(10.0, 20.0)),
+                reward_increment=float(rng.uniform(0.0, 1.0)),
+            )
+            for k in range(n_tasks)
+        ]
+    )
+    partition = RegionPartition(
+        num_shards=num_shards, task_region=tile_tasks(tasks.xy, num_shards)
+    )
+    platform = PlatformWeights.random(rng)
+    factory = SyntheticUserFactory(
+        tasks, partition, locality=locality,
+        seed=rng.integers(0, 2**63 - 1),
+    )
+    records = [factory(i) for i in range(n_users)]
+    return tasks, platform, records, partition, factory
+
+
+class ScenarioUserFactory:
+    """Road-network users: OD sampling -> planner -> coverage assignment."""
+
+    def __init__(self, scenario, *, seed: SeedLike = 0) -> None:
+        self.scenario = scenario
+        self.rng = as_generator(seed)
+        self.config = scenario.config
+
+    def __call__(self, user_id: int) -> UserRecord:
+        from repro.scenario.builder import NoCandidateRoutesError
+        from repro.tasks.assignment import assign_tasks_to_routes
+
+        sc = self.scenario
+        rng = self.rng
+        lo, hi = self.config.route_count_range
+        n_nodes = sc.network.num_nodes
+        for _ in range(20):
+            o = int(rng.integers(0, n_nodes))
+            d = int(rng.integers(0, n_nodes))
+            if o == d:
+                continue
+            k = int(rng.integers(lo, hi + 1))
+            routes = sc.planner.recommend(o, d, k)
+            if routes:
+                covered = assign_tasks_to_routes(
+                    sc.network, [routes], sc.tasks,
+                    coverage_radius_km=self.config.coverage_radius_km,
+                )[0]
+                return UserRecord(
+                    user_id=user_id,
+                    routes=tuple(covered),
+                    weights=UserWeights.random(rng),
+                )
+        raise NoCandidateRoutesError(
+            f"could not generate candidate routes for joining user "
+            f"{user_id}: 20 sampled OD pairs were unreachable or trivial — "
+            "check the network's connectivity or widen route_count_range"
+        )

@@ -1,0 +1,94 @@
+"""Versioned boundary ledger: exact cross-shard potential reconciliation.
+
+Each shard evaluates the potential (Eq. 8) over its *visible* tasks using
+its *local* participant counts — the contributions of its own users only.
+A task visible to exactly one shard is fully accounted for; a **boundary
+task** (visible to two or more shards, because users of different shards
+can cover it) is prefix-summed once per shard over a partial count.  The
+prefix sum ``F_k(n) = sum_{q<=n} w_k(q)/q`` is not additive in ``n``, so
+the sum of shard potentials misses, per boundary task::
+
+    correction_k = F_k(sum_s c_ks) - sum_s F_k(c_ks)
+
+The ledger tracks the per-shard contribution vectors ``c_ks`` with a
+version number bumped at every sync, and exposes the correction so that::
+
+    global potential  ==  sum_s shard_potential_s  +  ledger.correction()
+
+holds *exactly* (up to float summation order) at every sync point — the
+serving layer asserts this against the monolithic
+:func:`~repro.core.potential.potential` in validate mode and in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tasks.task import TaskSet
+from repro.utils.validation import require
+
+__all__ = ["BoundaryLedger"]
+
+
+class BoundaryLedger:
+    """Per-shard task-count contributions with a sync version counter."""
+
+    def __init__(self, tasks: TaskSet, num_shards: int) -> None:
+        require(num_shards >= 1, "num_shards must be >= 1")
+        self.tasks = tasks
+        self.num_shards = num_shards
+        self.version = 0
+        n = len(tasks)
+        # contributions[s] is shard s's local counts scattered to global
+        # task ids; zero where the task is not visible to the shard.
+        self.contributions = np.zeros((num_shards, n), dtype=np.intp)
+        # visibility[k] = number of shards whose visible set contains k.
+        self.visibility = np.zeros(n, dtype=np.intp)
+
+    def sync(
+        self,
+        shard_counts: list[tuple[np.ndarray, np.ndarray] | None],
+    ) -> None:
+        """Record one sync point.
+
+        ``shard_counts[s]`` is ``(task_map, local_counts)`` for shard ``s``
+        (``local_counts[k]`` users of shard ``s`` on global task
+        ``task_map[k]``), or ``None`` for a dormant shard.
+        """
+        require(
+            len(shard_counts) == self.num_shards,
+            "one contribution entry per shard required",
+        )
+        self.contributions[:] = 0
+        self.visibility[:] = 0
+        for s, entry in enumerate(shard_counts):
+            if entry is None:
+                continue
+            task_map, local = entry
+            self.contributions[s, task_map] = local
+            self.visibility[task_map] += 1
+        self.version += 1
+
+    # ---------------------------------------------------------------- reads
+    def global_counts(self) -> np.ndarray:
+        """``n_k = sum_s c_ks`` — the reconciled global participant counts."""
+        return self.contributions.sum(axis=0)
+
+    def boundary_tasks(self) -> np.ndarray:
+        """Tasks visible to two or more shards (ids, ascending)."""
+        return np.flatnonzero(self.visibility >= 2)
+
+    def per_task_corrections(self) -> np.ndarray:
+        """``F_k(n_k) - sum_s F_k(c_ks)`` per task.
+
+        Exactly zero for every task visible to at most one shard (its
+        global count *is* its single contribution); tests assert this.
+        """
+        out = self.tasks.potential_terms(self.global_counts())
+        for s in range(self.num_shards):
+            out = out - self.tasks.potential_terms(self.contributions[s])
+        return out
+
+    def correction(self) -> float:
+        """The total additive correction to the sum of shard potentials."""
+        return float(self.per_task_corrections().sum())

@@ -1,0 +1,253 @@
+"""Region partitioner: geometric tiling plus greedy boundary refinement.
+
+The serving layer (``docs/serving.md``) scales the PUU disjointness
+argument (Algorithm 3 / Eq. 11) from per-slot grants to whole shards: if
+every move granted inside shard ``s`` touches only tasks of region ``s``,
+then moves granted concurrently by *different* shards automatically have
+pairwise-disjoint ``B_i`` and the global potential rises by the sum of
+their ``tau_i`` exactly.  The quality of that guarantee is a partitioning
+problem — the fewer routes straddle a region border, the fewer best
+responses must be deferred to the sequential boundary pass.
+
+Two stages:
+
+1. **Geometric tiling** (:func:`tile_tasks`): recursive balanced median
+   splits of the task positions along the wider axis — a k-d tiling that
+   yields exactly ``k`` count-balanced cells even when coordinates
+   collide (abstract games place every task at the origin; the split
+   then degrades gracefully to an index split).
+2. **Greedy boundary refinement** (:func:`refine_regions`): reassign one
+   task at a time to the region that most reduces the *cut size* — the
+   number of extra ``(route, region)`` incidences beyond one per route —
+   subject to a balance cap.  This is the move-based local search of
+   classic graph partitioners, run on the route->task incidence of the
+   compiled :class:`~repro.core.arrays.GameArrays`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.game import RouteNavigationGame
+from repro.utils.validation import require
+
+__all__ = [
+    "RegionPartition",
+    "tile_tasks",
+    "refine_regions",
+    "partition_game",
+    "cut_size",
+]
+
+
+@dataclass(frozen=True)
+class RegionPartition:
+    """Assignment of every task to one of ``num_shards`` regions.
+
+    Region ``s`` is owned by shard ``s``; a task's owner shard is the
+    single writer allowed to grant moves touching it during a parallel
+    epoch.  Regions may be empty (``num_shards`` larger than the number
+    of occupied tiles is legal; the extra shards simply stay dormant).
+    """
+
+    num_shards: int
+    task_region: np.ndarray  # (num_tasks,) intp in [0, num_shards)
+
+    def __post_init__(self) -> None:
+        require(self.num_shards >= 1, "num_shards must be >= 1")
+        region = np.asarray(self.task_region, dtype=np.intp)
+        object.__setattr__(self, "task_region", region)
+        if region.size:
+            require(
+                int(region.min()) >= 0 and int(region.max()) < self.num_shards,
+                "task_region entries must lie in [0, num_shards)",
+            )
+
+    @property
+    def num_tasks(self) -> int:
+        return int(self.task_region.size)
+
+    def region_tasks(self, shard: int) -> np.ndarray:
+        """Global task ids of region ``shard`` (ascending)."""
+        return np.flatnonzero(self.task_region == shard)
+
+    def region_sizes(self) -> np.ndarray:
+        """Task count per region."""
+        return np.bincount(self.task_region, minlength=self.num_shards)
+
+    def owner_shard(self, task_ids: np.ndarray, *, fallback: int = 0) -> int:
+        """Deterministic owner shard of a user covering ``task_ids``.
+
+        Majority region over the covered tasks, ties broken by the lowest
+        region id; a user covering no task at all lands on ``fallback``
+        (the session passes ``user_id % num_shards`` to spread such users).
+        """
+        ids = np.asarray(task_ids, dtype=np.intp)
+        if ids.size == 0:
+            return int(fallback) % self.num_shards
+        votes = np.bincount(
+            self.task_region[np.unique(ids)], minlength=self.num_shards
+        )
+        return int(np.argmax(votes))
+
+
+def tile_tasks(xy: np.ndarray, k: int) -> np.ndarray:
+    """Balanced k-d tiling of task positions into exactly ``k`` regions.
+
+    Recursively splits the cell with the proportional share of regions at
+    the count median along the wider coordinate axis.  Ties (identical
+    coordinates) are broken by task index, so the split stays balanced
+    even when every task sits at the same point.
+    """
+    require(k >= 1, "k must be >= 1")
+    pts = np.asarray(xy, dtype=float).reshape(-1, 2)
+    region = np.zeros(len(pts), dtype=np.intp)
+    next_region = [0]
+
+    def split(indices: np.ndarray, parts: int) -> None:
+        if parts == 1 or indices.size <= 1:
+            region[indices] = next_region[0]
+            next_region[0] += 1
+            return
+        spread = pts[indices].max(axis=0) - pts[indices].min(axis=0)
+        axis = int(np.argmax(spread))
+        order = indices[np.lexsort((indices, pts[indices, axis]))]
+        left_parts = parts // 2
+        cut = int(round(indices.size * left_parts / parts))
+        cut = min(max(cut, 1), indices.size - 1)
+        split(order[:cut], left_parts)
+        split(order[cut:], parts - left_parts)
+
+    if len(pts):
+        split(np.arange(len(pts), dtype=np.intp), k)
+    # Unused region labels (cells that ran out of points) stay legal: the
+    # label counter never exceeds k because each split consumes its parts.
+    require(next_region[0] <= k, "tiling produced too many regions")
+    return region
+
+
+def _route_region_counts(
+    game: RouteNavigationGame, task_region: np.ndarray, k: int
+) -> np.ndarray:
+    """``cnt[g, r]`` = number of tasks of global route ``g`` in region ``r``."""
+    ga = game.arrays
+    cnt = np.zeros((ga.num_routes_total, k), dtype=np.intp)
+    if ga.task_ids.size:
+        route_of_elem = np.repeat(
+            np.arange(ga.num_routes_total, dtype=np.intp), ga.route_len
+        )
+        np.add.at(cnt, (route_of_elem, task_region[ga.task_ids]), 1)
+    return cnt
+
+
+def cut_size(game: RouteNavigationGame, task_region: np.ndarray) -> int:
+    """Extra ``(route, region)`` incidences beyond one per non-empty route.
+
+    Zero iff every route lies entirely inside one region — then *no* best
+    response ever needs the sequential boundary pass.
+    """
+    k = int(task_region.max()) + 1 if task_region.size else 1
+    cnt = _route_region_counts(game, task_region, k)
+    spans = (cnt > 0).sum(axis=1)
+    return int(np.maximum(spans - 1, 0).sum())
+
+
+def refine_regions(
+    game: RouteNavigationGame,
+    task_region: np.ndarray,
+    num_shards: int,
+    *,
+    passes: int = 2,
+    balance_factor: float = 2.0,
+) -> np.ndarray:
+    """Greedy cut-minimizing refinement of a region assignment.
+
+    One pass visits every covered task and moves it to the region that
+    most reduces the cut size (strict improvement only), never growing a
+    region beyond ``balance_factor * num_tasks / num_shards`` tasks.
+    Stops early when a pass moves nothing.  The returned array is a new
+    assignment; the input is not mutated.
+    """
+    region = np.asarray(task_region, dtype=np.intp).copy()
+    n = region.size
+    if n == 0 or num_shards == 1:
+        return region
+    ga = game.arrays
+    if ga.task_ids.size == 0:
+        return region
+    max_size = max(1, int(np.ceil(balance_factor * n / num_shards)))
+    cnt = _route_region_counts(game, region, num_shards)
+    sizes = np.bincount(region, minlength=num_shards)
+    # task -> covering routes CSR (an element per (route, task) incidence).
+    route_of_elem = np.repeat(
+        np.arange(ga.num_routes_total, dtype=np.intp), ga.route_len
+    )
+    order = np.argsort(ga.task_ids, kind="stable")
+    routes_by_task = route_of_elem[order]
+    t_indptr = np.zeros(n + 1, dtype=np.intp)
+    np.cumsum(np.bincount(ga.task_ids, minlength=n), out=t_indptr[1:])
+    for _ in range(max(passes, 0)):
+        moved = 0
+        for t in range(n):
+            rts = routes_by_task[t_indptr[t] : t_indptr[t + 1]]
+            if rts.size == 0:
+                continue
+            a = int(region[t])
+            col = cnt[rts]  # (m, num_shards)
+            # Moving t from a to b: routes where region a empties lose an
+            # incidence; routes where region b was absent gain one.
+            removes = int((col[:, a] == 1).sum())
+            delta = (col == 0).sum(axis=0) - removes
+            delta[a] = 0
+            delta[sizes >= max_size] = np.iinfo(np.intp).max
+            delta[a] = 0  # moving nowhere is always admissible
+            b = int(np.argmin(delta))
+            if delta[b] < 0 and b != a:
+                cnt[rts, a] -= 1
+                cnt[rts, b] += 1
+                sizes[a] -= 1
+                sizes[b] += 1
+                region[t] = b
+                moved += 1
+        if moved == 0:
+            break
+    return region
+
+
+def partition_game(
+    game: RouteNavigationGame,
+    num_shards: int,
+    *,
+    refine_passes: int = 2,
+    balance_factor: float = 2.0,
+) -> RegionPartition:
+    """Tile the game's tasks into ``num_shards`` regions and refine.
+
+    The tiling uses the tasks' planar positions (``game.tasks.xy``);
+    abstract coverage-level games collapse to an index split, after which
+    the refinement stage does all the work on the coverage structure.
+    """
+    require(num_shards >= 1, "num_shards must be >= 1")
+    tiled = tile_tasks(game.tasks.xy, num_shards)
+    if num_shards > 1 and refine_passes > 0:
+        tiled = refine_regions(
+            game, tiled, num_shards,
+            passes=refine_passes, balance_factor=balance_factor,
+        )
+    return RegionPartition(num_shards=num_shards, task_region=tiled)
+
+
+def assign_users(
+    game: RouteNavigationGame, partition: RegionPartition
+) -> np.ndarray:
+    """Owner shard of every user: majority region of its covered tasks."""
+    indptr, tasks = game.arrays.user_task_csr()
+    out = np.empty(game.num_users, dtype=np.intp)
+    for i in range(game.num_users):
+        out[i] = partition.owner_shard(
+            tasks[indptr[i] : indptr[i + 1]],
+            fallback=i % partition.num_shards,
+        )
+    return out

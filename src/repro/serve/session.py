@@ -1,0 +1,637 @@
+"""The serving session: dispatcher, sync protocol, churn admission.
+
+A :class:`ServeSession` owns K region shards and drives them in *rounds*:
+
+1. **Parallel epochs** — every shard runs its allocator loop over its
+   sub-game, granting only region-eligible moves (``B_i`` inside its own
+   region).  Region counts change only through their owner shard, so all
+   gains are exact and cross-shard grant sets have pairwise-disjoint
+   ``B_i``: each epoch is a valid PUU super-slot of the global game
+   (Eq. 11) and the global potential strictly increases.
+2. **Sync** — the dispatcher recomputes global counts as the sum of shard
+   contributions, refreshes every shard's ``ext`` offsets (invalidating
+   exactly the users whose visible counts moved), records the state in
+   the :class:`~repro.serve.ledger.BoundaryLedger`, and (in validate
+   mode) asserts cross-shard count consistency plus the ledger identity
+   ``sum of shard potentials + correction == monolithic potential``.
+3. **Boundary reconciliation** — users whose best response crossed a
+   region border are re-evaluated *sequentially* with exact counts, their
+   moves applied one at a time with immediate count propagation — plain
+   better-response steps of the global game, so the potential argument is
+   untouched.
+4. **Churn admission** — joins/leaves are folded in at round boundaries
+   (micro-batching): the affected shard's sub-game is rebuilt, retained
+   users keep their strategies, and a joiner is admitted on its exact
+   best response.
+
+A round that grants nothing in either phase proves global quiescence:
+every improving user would have appeared in some shard's proposal batch
+(caches are exact — they saw every count change), eligible rows would
+have been granted, and deferred rows were re-checked exactly in the
+boundary pass.  Hence "no grants anywhere" ⇔ Nash equilibrium.
+
+For ``K=1`` the single shard sees everything, no move is ever deferred,
+and the session is bit-for-bit the monolithic DGRN/MUUN trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.game import RouteNavigationGame
+from repro.core.profile import StrategyProfile
+from repro.core.potential import potential
+from repro.core.profit import all_profits
+from repro.core.weights import PlatformWeights
+from repro.faults.invariants import InvariantViolation
+from repro.serve.ledger import BoundaryLedger
+from repro.serve.partition import RegionPartition, partition_game
+from repro.serve.shard import (
+    EpochResult,
+    ShardEngine,
+    UserRecord,
+    build_shard_spec,
+)
+from repro.tasks.task import TaskSet
+from repro.utils.rng import RngStream, as_generator
+from repro.utils.validation import require
+
+__all__ = ["ServeSession", "RoundReport"]
+
+_EMPTY_INTP = np.zeros(0, dtype=np.intp)
+
+#: Relative tolerance for the ledger reconciliation identity.  The two
+#: sides sum the same float terms in different association orders; any
+#: real bookkeeping bug lands orders of magnitude above this.
+LEDGER_RTOL = 1e-9
+
+
+@dataclass
+class RoundReport:
+    """Outcome of one serving round."""
+
+    round: int
+    epoch_moves: int
+    boundary_moves: int
+    slots: int
+    converged: bool
+    crashed_shards: tuple[int, ...] = ()
+    joins: int = 0
+    leaves: int = 0
+
+
+@dataclass
+class ServeStats:
+    """Cumulative session counters (CLI/report surface)."""
+
+    rounds: int = 0
+    epoch_moves: int = 0
+    boundary_moves: int = 0
+    joins: int = 0
+    leaves: int = 0
+    shard_rebuilds: int = 0
+    shard_crashes: int = 0
+    sync_points: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+class ServeSession:
+    """K region shards of one crowdsensing game, served online."""
+
+    def __init__(
+        self,
+        *,
+        tasks: TaskSet,
+        platform: PlatformWeights,
+        records: list[UserRecord],
+        num_shards: int = 1,
+        partition: RegionPartition | None = None,
+        scheduler: str = "suu",
+        seed: int = 0,
+        detour_unit_km: float = 1.0,
+        record_history: bool = False,
+        validate: bool = False,
+        epoch_slots: int | None = None,
+        processes: int | None = None,
+        sort_key: str = "delta",
+        refine_passes: int = 2,
+        compact_shards: bool = False,
+    ) -> None:
+        require(len(records) >= 1, "a session needs at least one user")
+        ids = [r.user_id for r in records]
+        require(len(set(ids)) == len(ids), "duplicate user ids in records")
+        self.tasks = tasks
+        self.platform = platform
+        self.detour_unit_km = detour_unit_km
+        self.scheduler = scheduler
+        self.sort_key = sort_key
+        self.validate = validate
+        self.epoch_slots = epoch_slots
+        self.compact_shards = compact_shards
+        self.records: dict[int, UserRecord] = {
+            r.user_id: r for r in sorted(records, key=lambda r: r.user_id)
+        }
+        self._next_user_id = max(ids) + 1
+        if partition is None:
+            partition = partition_game(
+                self._build_global_game(), num_shards,
+                refine_passes=refine_passes,
+            )
+        else:
+            require(
+                partition.num_tasks == len(tasks),
+                "partition does not match the task set",
+            )
+        self.partition = partition
+        self.num_shards = partition.num_shards
+        require(
+            not record_history or self.num_shards == 1,
+            "history recording is only defined for K=1 sessions",
+        )
+        self.record_history = record_history
+        # K=1 reuses the monolithic allocator's stream verbatim (the
+        # bit-identity contract); K>1 shards get independent children.
+        if self.num_shards == 1:
+            self._shard_rngs = [as_generator(seed)]
+        else:
+            self._shard_rngs = RngStream(seed).children("shard", self.num_shards)
+        self._user_shard: dict[int, int] = {}
+        for rec in self.records.values():
+            self._user_shard[rec.user_id] = partition.owner_shard(
+                rec.covered_tasks(), fallback=rec.user_id
+            )
+        self._spec_versions = [0] * self.num_shards
+        self.engines: list[ShardEngine | None] = [None] * self.num_shards
+        for s in range(self.num_shards):
+            recs = self._shard_records(s)
+            if recs:
+                self.engines[s] = self._new_engine(s, recs, choices=None)
+        self.counts = np.zeros(len(tasks), dtype=np.intp)
+        self.ledger = BoundaryLedger(tasks, self.num_shards)
+        self.violations: list[InvariantViolation] = []
+        self.stats = ServeStats()
+        self.round_idx = 0
+        self._global_cache: tuple[RouteNavigationGame, np.ndarray] | None = None
+        self._pool = None
+        if processes is not None and processes > 1 and self.num_shards > 1:
+            from repro.serve.workers import ShardPool
+
+            self._pool = ShardPool(min(processes, self.num_shards))
+        self._sync()
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_game(
+        cls, game: RouteNavigationGame, *, num_shards: int = 1, **kwargs
+    ) -> "ServeSession":
+        """Serve an existing monolithic game instance."""
+        records = [
+            UserRecord(
+                user_id=i,
+                routes=game.route_sets[i],
+                weights=game.user_weights[i],
+            )
+            for i in range(game.num_users)
+        ]
+        kwargs.setdefault("detour_unit_km", game.detour_unit_km)
+        return cls(
+            tasks=game.tasks,
+            platform=game.platform,
+            records=records,
+            num_shards=num_shards,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_scenario(
+        cls, scenario, *, num_shards: int = 1, **kwargs
+    ) -> "ServeSession":
+        """Serve a road-network scenario (see :mod:`repro.scenario.builder`)."""
+        kwargs.setdefault("detour_unit_km", scenario.game.detour_unit_km)
+        return cls.from_game(scenario.game, num_shards=num_shards, **kwargs)
+
+    # ----------------------------------------------------------------- rounds
+    def run_round(
+        self,
+        *,
+        crash_shards: tuple[int, ...] = (),
+        epoch_slots: int | None = None,
+    ) -> RoundReport:
+        """One parallel-epoch + sync + boundary-reconciliation round.
+
+        ``crash_shards`` simulates shard-worker crashes: the shard does its
+        epoch work, loses it before the sync, and is resumed from its
+        last-sync snapshot — the chaos hook's entry point.
+        """
+        t0 = time.perf_counter()
+        self.round_idx += 1
+        slots_cap = epoch_slots if epoch_slots is not None else self.epoch_slots
+        crashed = tuple(sorted(set(crash_shards)))
+        results = self._run_epochs(slots_cap, crashed)
+        epoch_moves = sum(len(r.moves) for r in results)
+        all_quiet = all(r.converged for r in results)
+        self._sync()
+        boundary_users = sorted(
+            {int(u) for r in results for u in r.boundary_users}
+        )
+        boundary_moves = self._boundary_pass(boundary_users)
+        if boundary_moves:
+            self._sync()
+        self.stats.rounds += 1
+        self.stats.epoch_moves += epoch_moves
+        self.stats.boundary_moves += boundary_moves
+        self.stats.shard_crashes += len(crashed)
+        converged = (
+            epoch_moves == 0 and boundary_moves == 0 and all_quiet
+            and not crashed
+        )
+        if obs.enabled():
+            obs.counter("serve.rounds_total").inc()
+            obs.counter("serve.epoch_moves_total").inc(epoch_moves)
+            obs.counter("serve.boundary_moves_total").inc(boundary_moves)
+            if crashed:
+                obs.counter("serve.shard_crashes_total").inc(len(crashed))
+            obs.histogram("serve.round_seconds").observe(
+                time.perf_counter() - t0
+            )
+            obs.gauge("serve.active_users").set(float(len(self.records)))
+        return RoundReport(
+            round=self.round_idx,
+            epoch_moves=epoch_moves,
+            boundary_moves=boundary_moves,
+            slots=sum(r.slots for r in results),
+            converged=converged,
+            crashed_shards=crashed,
+        )
+
+    def run_to_convergence(
+        self, *, max_rounds: int = 10_000, epoch_slots: int | None = None
+    ) -> list[RoundReport]:
+        """Rounds until one grants nothing anywhere (global Nash)."""
+        reports: list[RoundReport] = []
+        for _ in range(max_rounds):
+            rep = self.run_round(epoch_slots=epoch_slots)
+            reports.append(rep)
+            if rep.converged:
+                return reports
+        raise RuntimeError(
+            f"no quiescence within {max_rounds} rounds — the potential "
+            "argument guarantees termination, so this indicates a bug"
+        )
+
+    def _run_epochs(
+        self, slots_cap: int | None, crashed: tuple[int, ...]
+    ) -> list[EpochResult]:
+        live = [s for s in range(self.num_shards) if self.engines[s] is not None]
+        results: list[EpochResult] = []
+        # Crashed shards: snapshot at sync state, do the epoch, lose it.
+        for s in live:
+            if s in crashed:
+                engine = self.engines[s]
+                assert engine is not None
+                snap = engine.export_state()
+                engine.run_epoch(slots_cap)  # work the crash destroys
+                self.engines[s] = ShardEngine.from_state(
+                    engine.spec, snap,
+                    scheduler=self.scheduler, sort_key=self.sort_key,
+                )
+        healthy = [s for s in live if s not in crashed]
+        if self._pool is not None and len(healthy) > 1:
+            specs = [self.engines[s].spec for s in healthy]  # type: ignore[union-attr]
+            states = [self.engines[s].export_state() for s in healthy]  # type: ignore[union-attr]
+            outcomes = self._pool.run_epochs(
+                specs, states, scheduler=self.scheduler,
+                sort_key=self.sort_key, max_slots=slots_cap,
+            )
+            for s, (result, state) in zip(healthy, outcomes):
+                self.engines[s] = ShardEngine.from_state(
+                    self.engines[s].spec, state,  # type: ignore[union-attr]
+                    scheduler=self.scheduler, sort_key=self.sort_key,
+                )
+                results.append(result)
+        else:
+            for s in healthy:
+                engine = self.engines[s]
+                assert engine is not None
+                results.append(engine.run_epoch(slots_cap))
+        return results
+
+    # ------------------------------------------------------------------- sync
+    def _sync(self) -> None:
+        """Reconcile global counts, refresh ext offsets, feed the ledger."""
+        new_global = np.zeros(len(self.tasks), dtype=np.intp)
+        contribs: list[tuple[np.ndarray, np.ndarray] | None] = []
+        for engine in self.engines:
+            if engine is None:
+                contribs.append(None)
+                continue
+            local = engine.local_counts()
+            new_global[engine.spec.task_map] += local
+            contribs.append((engine.spec.task_map, local))
+        self.counts = new_global
+        for engine in self.engines:
+            if engine is None:
+                continue
+            new_ext = new_global[engine.spec.task_map] - engine.local_counts()
+            delta = new_ext - engine.ext
+            nz = np.flatnonzero(delta)
+            engine.apply_external(nz, delta[nz])
+        self.ledger.sync(contribs)
+        self.stats.sync_points += 1
+        if self.validate:
+            self._check_sync()
+
+    def _check_sync(self) -> None:
+        """Cross-shard count consistency + the ledger potential identity."""
+        total = self.ledger.global_counts()
+        if not np.array_equal(total, self.counts):
+            self.violations.append(
+                InvariantViolation(
+                    "cross_shard_counts",
+                    self.round_idx,
+                    "dispatcher global counts diverged from the sum of "
+                    "shard contributions",
+                )
+            )
+        for engine in self.engines:
+            if engine is None:
+                continue
+            seen = self.counts[engine.spec.task_map]
+            if not np.array_equal(np.asarray(engine.profile.counts), seen):
+                self.violations.append(
+                    InvariantViolation(
+                        "cross_shard_counts",
+                        self.round_idx,
+                        f"shard {engine.spec.shard_id} visible counts are "
+                        "stale after sync",
+                    )
+                )
+        sharded = (
+            sum(
+                e.shard_potential()
+                for e in self.engines
+                if e is not None
+            )
+            + self.ledger.correction()
+        )
+        exact = self.global_potential()
+        if not np.isclose(sharded, exact, rtol=LEDGER_RTOL, atol=1e-9):
+            self.violations.append(
+                InvariantViolation(
+                    "potential_reconciliation",
+                    self.round_idx,
+                    f"shard-sum potential + ledger correction {sharded!r} "
+                    f"!= monolithic potential {exact!r}",
+                )
+            )
+
+    def _boundary_pass(self, boundary_users: list[int]) -> int:
+        """Sequentially re-evaluate deferred users with exact counts."""
+        moves = 0
+        for uid in boundary_users:
+            if uid not in self.records:
+                continue  # left between epoch and sync
+            shard = self._user_shard[uid]
+            engine = self.engines[shard]
+            assert engine is not None
+            li = engine.local_user_index(uid)
+            prop = engine.best_move(li)
+            if prop is None:
+                continue
+            self._apply_cross_move(shard, li, prop.new_route)
+            moves += 1
+        return moves
+
+    def _apply_cross_move(
+        self, shard: int, local_user: int, new_route: int
+    ) -> None:
+        """Apply one sequential global move and propagate count deltas."""
+        engine = self.engines[shard]
+        assert engine is not None
+        _, gained, lost = engine.apply_move(local_user, new_route)
+        if gained.size:
+            self.counts[gained] += 1
+        if lost.size:
+            self.counts[lost] -= 1
+        for other in self.engines:
+            if other is None or other is engine:
+                continue
+            tm = other.spec.task_map
+            for tasks, delta in ((gained, 1), (lost, -1)):
+                if tasks.size == 0:
+                    continue
+                pos = np.searchsorted(tm, tasks)
+                ok = pos < tm.size
+                ok[ok] = tm[pos[ok]] == tasks[ok]
+                visible = pos[ok]
+                if visible.size:
+                    other.apply_external(
+                        visible,
+                        np.full(visible.size, delta, dtype=np.intp),
+                    )
+
+    # ------------------------------------------------------------------ churn
+    def next_user_id(self) -> int:
+        """A fresh, never-used user id for a join."""
+        uid = self._next_user_id
+        self._next_user_id += 1
+        return uid
+
+    def join(self, record: UserRecord) -> int:
+        """Admit one user: rebuild its owner shard, best-respond, sync."""
+        require(
+            record.user_id not in self.records,
+            f"user id {record.user_id} is already active",
+        )
+        self._next_user_id = max(self._next_user_id, record.user_id + 1)
+        shard = self.partition.owner_shard(
+            record.covered_tasks(), fallback=record.user_id
+        )
+        self.records[record.user_id] = record
+        self._user_shard[record.user_id] = shard
+        self._rebuild_shard(shard)
+        self._sync()
+        engine = self.engines[shard]
+        assert engine is not None
+        li = engine.local_user_index(record.user_id)
+        prop = engine.best_move(li)
+        if prop is not None:
+            self._apply_cross_move(shard, li, prop.new_route)
+        self.stats.joins += 1
+        if obs.enabled():
+            obs.counter("serve.joins_total").inc()
+        return record.user_id
+
+    def leave(self, user_id: int) -> None:
+        """Retire one user; its coverage counts decrement at the rebuild."""
+        require(user_id in self.records, f"unknown user id {user_id}")
+        shard = self._user_shard.pop(user_id)
+        del self.records[user_id]
+        self._rebuild_shard(shard)
+        self._sync()
+        self.stats.leaves += 1
+        if obs.enabled():
+            obs.counter("serve.leaves_total").inc()
+
+    def _shard_records(self, shard: int) -> list[UserRecord]:
+        return [
+            self.records[uid]
+            for uid in sorted(self.records)
+            if self._user_shard[uid] == shard
+        ]
+
+    def _new_engine(
+        self, shard: int, recs: list[UserRecord], choices: np.ndarray | None
+    ) -> ShardEngine:
+        spec = build_shard_spec(
+            shard, recs, self.tasks, self.partition, self.platform,
+            detour_unit_km=self.detour_unit_km,
+            version=self._spec_versions[shard],
+            compact=self.compact_shards,
+        )
+        return ShardEngine(
+            spec,
+            scheduler=self.scheduler,
+            rng=self._shard_rngs[shard],
+            choices=choices,
+            record_history=self.record_history,
+            sort_key=self.sort_key,
+        )
+
+    def _rebuild_shard(self, shard: int) -> None:
+        """Re-compile a shard's sub-game after a membership change.
+
+        Retained users keep their current routes; a joiner starts on route
+        0 and is best-responded immediately after the sync.  The engine's
+        RNG object is shared through ``self._shard_rngs``, so its stream
+        continues across rebuilds.
+        """
+        self._global_cache = None
+        recs = self._shard_records(shard)
+        old = self.engines[shard]
+        if not recs:
+            self.engines[shard] = None
+            return
+        kept: dict[int, int] = {}
+        if old is not None:
+            for li, uid in enumerate(old.spec.users.tolist()):
+                kept[uid] = int(old.profile.choices[li])
+        choices = np.asarray(
+            [kept.get(r.user_id, 0) for r in recs], dtype=np.intp
+        )
+        self._spec_versions[shard] += 1
+        self.engines[shard] = self._new_engine(shard, recs, choices)
+        self.stats.shard_rebuilds += 1
+        if obs.enabled():
+            obs.counter("serve.shard_rebuilds_total").inc()
+
+    # ------------------------------------------------------------ global views
+    def _build_global_game(self) -> RouteNavigationGame:
+        recs = [self.records[uid] for uid in sorted(self.records)]
+        return RouteNavigationGame.build(
+            self.tasks,
+            [r.routes for r in recs],
+            [r.weights for r in recs],
+            self.platform,
+            detour_unit_km=self.detour_unit_km,
+        )
+
+    def global_profile(self) -> tuple[RouteNavigationGame, StrategyProfile]:
+        """The monolithic game + profile equivalent to the current state.
+
+        Rebuilt on demand (cached until churn changes membership); the
+        serving hot path never touches it — it exists for validation,
+        tests, and equilibrium-quality comparisons.
+        """
+        if self._global_cache is None:
+            game = self._build_global_game()
+            ids = np.asarray(sorted(self.records), dtype=np.intp)
+            self._global_cache = (game, ids)
+        game, ids = self._global_cache
+        choices = np.empty(ids.size, dtype=np.intp)
+        for engine in self.engines:
+            if engine is None:
+                continue
+            pos = np.searchsorted(ids, engine.spec.users)
+            choices[pos] = engine.profile.choices
+        return game, StrategyProfile(game, choices)
+
+    def global_potential(self) -> float:
+        """Monolithic Eq. 8 potential of the current global state."""
+        _, profile = self.global_profile()
+        return potential(profile)
+
+    def total_profit(self) -> float:
+        """Sum of all users' exact profits (counts are exact at syncs)."""
+        return float(
+            sum(
+                float(all_profits(e.profile).sum())
+                for e in self.engines
+                if e is not None
+            )
+        )
+
+    def is_nash(self) -> bool:
+        """No user anywhere has an improving move (exact at syncs)."""
+        return all(
+            e.improving_users().size == 0
+            for e in self.engines
+            if e is not None
+        )
+
+    def check_quiescence(self) -> None:
+        """Record a Nash-at-quiescence violation if any user still improves."""
+        for engine in self.engines:
+            if engine is None:
+                continue
+            improving = engine.improving_users()
+            if improving.size:
+                ids = engine.spec.users[improving].tolist()
+                self.violations.append(
+                    InvariantViolation(
+                        "nash_at_quiescence",
+                        self.round_idx,
+                        f"users {ids} still improve at quiescence",
+                    )
+                )
+
+    # --------------------------------------------------------------- plumbing
+    @property
+    def num_users(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_violations(self) -> None:
+        if self.violations:
+            lines = "\n".join(f"  - {v}" for v in self.violations)
+            raise AssertionError(
+                f"{len(self.violations)} serving invariant violation(s):\n{lines}"
+            )
+
+    def history(self) -> dict[str, np.ndarray | None]:
+        """K=1 trajectory histories (bitwise the monolithic allocator's)."""
+        require(
+            self.num_shards == 1 and self.engines[0] is not None,
+            "histories are only recorded for K=1 sessions",
+        )
+        return self.engines[0].recorder.as_arrays()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ServeSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

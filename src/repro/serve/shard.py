@@ -1,0 +1,454 @@
+"""Shard specs and the per-shard best-response engine.
+
+A shard owns one region of the task partition and the users assigned to
+it.  Its :class:`ShardSpec` is a picklable, versioned description — the
+sub-:class:`~repro.core.game.RouteNavigationGame` over the shard's
+*visible* tasks (its own region plus every task its users' routes cover),
+the local→global task map, and the ``own_mask`` marking which visible
+tasks belong to the shard's region.
+
+:class:`ShardEngine` replays the monolithic allocator loop
+(:class:`~repro.algorithms.base.Allocator` + DGRN/MUUN ``_slot``) over the
+sub-game with one extra rule — **region eligibility**: a proposal is
+granted inside a parallel epoch only if its touched-task set ``B_i`` lies
+entirely inside the shard's own region.  Region task counts then change
+only through their owner shard during an epoch, so every granted gain is
+exact, and grants of different shards have pairwise-disjoint ``B_i`` —
+each parallel epoch is a valid PUU super-slot of the global game (Eq. 11)
+and the global potential strictly increases.  Proposals that cross the
+boundary are *deferred*: the engine reports their users and the session
+re-evaluates them sequentially at the next sync.
+
+Foreign contributions to visible task counts arrive as an additive ``ext``
+offset folded straight into the profile's count vector, so every profit /
+best-response kernel sees exact global counts without knowing about
+sharding.  For ``K=1`` the own-region mask covers everything, ``ext`` is
+identically zero, and the engine's RNG/kernel sequence is bit-for-bit the
+monolithic DGRN/MUUN trajectory (asserted over the 34-seed suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms.base import ProposalCache, _HistoryRecorder
+from repro.algorithms.muun import puu_select_batch
+from repro.core.arrays import gather_segments
+from repro.core.game import RouteNavigationGame
+from repro.core.profile import StrategyProfile
+from repro.core.responses import ProposalBatch, single_best_update
+from repro.core.weights import PlatformWeights, UserWeights
+from repro.network.routing import Route
+from repro.serve.partition import RegionPartition
+from repro.tasks.task import Task, TaskSet
+from repro.utils.validation import require
+
+__all__ = ["UserRecord", "ShardSpec", "ShardEngine", "EpochResult",
+           "build_shard_spec"]
+
+_EMPTY_INTP = np.zeros(0, dtype=np.intp)
+
+#: Epoch slot budget when the caller does not cap it ("run to local
+#: convergence"); a backstop, not a tuning knob — FIP terminates far below.
+DEFAULT_EPOCH_SLOTS = 100_000
+
+
+@dataclass(frozen=True)
+class UserRecord:
+    """One served user: identity, candidate routes, and preferences.
+
+    The serving layer's unit of churn — joins add a record, leaves retire
+    one.  Routes must already carry their covered ``task_ids`` in *global*
+    task numbering; shard builds remap them.
+    """
+
+    user_id: int
+    routes: tuple[Route, ...]
+    weights: UserWeights
+
+    def __post_init__(self) -> None:
+        require(
+            len(self.routes) >= 1,
+            f"user {self.user_id} has no candidate routes — a served user "
+            "needs at least one route to hold a strategy",
+        )
+        # Coverage is immutable and read on every shard rebuild / owner
+        # routing decision — compute it once (frozen dataclass, hence the
+        # object.__setattr__).
+        ids = [np.asarray(r.task_ids, dtype=np.intp) for r in self.routes]
+        flat = np.concatenate(ids) if ids else _EMPTY_INTP
+        object.__setattr__(self, "_covered", np.unique(flat))
+
+    def covered_tasks(self) -> np.ndarray:
+        """Sorted-unique global task ids covered by any candidate route."""
+        return self._covered
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Picklable description of one shard's sub-game (versioned).
+
+    ``users`` are global user ids, strictly ascending — local user ``u``
+    of the sub-game is global user ``users[u]``.  ``task_map`` maps local
+    task ids to global ids (ascending); ``own_mask[t]`` is True iff local
+    task ``t``'s region is this shard.  ``version`` increments on every
+    membership rebuild (churn), letting pooled workers cache the spec.
+    """
+
+    shard_id: int
+    users: np.ndarray
+    game: RouteNavigationGame
+    task_map: np.ndarray
+    own_mask: np.ndarray
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.users.size >= 1, "a shard spec needs at least one user")
+        if self.users.size > 1:
+            require(
+                bool(np.all(np.diff(self.users) > 0)),
+                "shard users must be strictly ascending global ids",
+            )
+        require(
+            self.task_map.size == self.game.num_tasks
+            and self.own_mask.size == self.game.num_tasks,
+            "task_map/own_mask must cover the sub-game's tasks",
+        )
+
+
+def build_shard_spec(
+    shard_id: int,
+    records: list[UserRecord],
+    tasks: TaskSet,
+    partition: RegionPartition,
+    platform: PlatformWeights,
+    *,
+    detour_unit_km: float = 1.0,
+    version: int = 0,
+    compact: bool = False,
+) -> ShardSpec:
+    """Compile a shard's sub-game over its visible tasks.
+
+    By default every shard sees the full task set (``task_map`` is the
+    identity): the global :class:`TaskSet` and the records' route objects
+    are reused verbatim, so the sub-game's compiled arrays are
+    bit-identical to the monolithic game's and churn rebuilds skip route
+    remapping entirely — foreign counts are handled by the engine's
+    ``ext`` offsets either way.  With ``compact=True`` the sub-game
+    shrinks to the *visible* tasks (own-region tasks ∪ tasks covered by
+    the shard's users) and routes are remapped to local task ids — worth
+    it only when the task set dwarfs a shard's footprint.
+    """
+    require(len(records) >= 1, "cannot build a spec for a dormant shard")
+    records = sorted(records, key=lambda r: r.user_id)
+    users = np.asarray([r.user_id for r in records], dtype=np.intp)
+    if compact:
+        covered = [r.covered_tasks() for r in records]
+        own = partition.region_tasks(shard_id)
+        task_map = np.unique(np.concatenate([own] + covered))
+    else:
+        task_map = np.arange(len(tasks), dtype=np.intp)
+    identity = task_map.size == len(tasks)
+    if identity:
+        sub_tasks: TaskSet = tasks
+        route_sets = [r.routes for r in records]
+    else:
+        sub_tasks = TaskSet(
+            [
+                Task(k, tasks[g].x, tasks[g].y, tasks[g].base_reward,
+                     tasks[g].reward_increment)
+                for k, g in enumerate(task_map.tolist())
+            ]
+        )
+        route_sets = [
+            tuple(
+                dc_replace(
+                    r,
+                    task_ids=tuple(
+                        np.searchsorted(
+                            task_map, np.asarray(r.task_ids, dtype=np.intp)
+                        ).tolist()
+                    ),
+                )
+                for r in rec.routes
+            )
+            for rec in records
+        ]
+    game = RouteNavigationGame.build(
+        sub_tasks,
+        route_sets,
+        [r.weights for r in records],
+        platform,
+        detour_unit_km=detour_unit_km,
+    )
+    own_mask = partition.task_region[task_map] == shard_id
+    return ShardSpec(
+        shard_id=shard_id,
+        users=users,
+        game=game,
+        task_map=task_map,
+        own_mask=own_mask,
+        version=version,
+    )
+
+
+@dataclass
+class EpochResult:
+    """What one parallel epoch produced on one shard."""
+
+    shard_id: int
+    #: granted moves as (global_user, old_route, new_route, gain), in
+    #: grant order — a valid better-response sequence of the global game.
+    moves: list[tuple[int, int, int, float]]
+    #: global ids of users whose best response crossed the region boundary
+    #: and was deferred to the session's sequential reconciliation pass.
+    boundary_users: np.ndarray
+    slots: int
+    #: True iff the epoch stopped because no eligible proposal remained
+    #: (deferred boundary proposals may still exist).
+    converged: bool
+
+
+class ShardEngine:
+    """The allocator loop of one shard, with region eligibility and ext counts."""
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        *,
+        scheduler: str = "suu",
+        rng: np.random.Generator,
+        choices: np.ndarray | None = None,
+        record_history: bool = False,
+        sort_key: str = "delta",
+    ) -> None:
+        require(scheduler in ("suu", "puu"), f"unknown scheduler: {scheduler!r}")
+        self.spec = spec
+        self.scheduler = scheduler
+        self.sort_key = sort_key
+        self.rng = rng
+        # Matches Allocator.run's setup order exactly: the initial profile
+        # consumes the RNG first, then the cache binds the same stream for
+        # tie-breaking — the K=1 bit-identity contract.
+        if choices is None:
+            self.profile = StrategyProfile.random(spec.game, self.rng)
+        else:
+            self.profile = StrategyProfile(spec.game, choices)
+        self.ext = np.zeros(spec.game.num_tasks, dtype=np.intp)
+        self._cache = ProposalCache(spec.game, pick="random", rng=self.rng)
+        self._own_all = bool(spec.own_mask.all())
+        require(
+            not record_history or self._own_all,
+            "history recording requires full visibility (K=1): shard-local "
+            "potentials are reconciled by the BoundaryLedger instead",
+        )
+        self.recorder = _HistoryRecorder(self.profile, enabled=record_history)
+        self.granted_per_slot: list[int] = []
+        self.total_slots = 0
+
+    # ------------------------------------------------------------ epoch loop
+    def run_epoch(self, max_slots: int | None = None) -> EpochResult:
+        """Grant region-eligible best responses until quiet or slot-capped."""
+        limit = DEFAULT_EPOCH_SLOTS if max_slots is None else max_slots
+        ga = self.spec.game.arrays
+        moves: list[tuple[int, int, int, float]] = []
+        boundary: set[int] = set()
+        slots = 0
+        converged = False
+        while slots < limit:
+            batch = self._cache.proposals(self.profile)
+            if self._own_all:
+                eligible = batch
+            else:
+                eligible, deferred = self._split(batch)
+                if deferred.size:
+                    boundary.update(
+                        int(g) for g in self.spec.users[deferred]
+                    )
+            if not len(eligible):
+                converged = True
+                break
+            if self.scheduler == "suu":
+                rows = [int(self.rng.integers(0, len(eligible)))]
+            else:
+                rows = puu_select_batch(
+                    eligible, self.spec.game.num_tasks, sort_key=self.sort_key
+                )
+                self.granted_per_slot.append(len(rows))
+            granted = [eligible.triple(k) for k in rows]
+            slots += 1
+            tau_sum = 0.0
+            changed: list[np.ndarray] = []
+            for user, new_route, gain in granted:
+                old = self.profile.move(user, new_route)
+                self._cache.note_move(user, old, new_route)
+                moves.append(
+                    (int(self.spec.users[user]), old, new_route, gain)
+                )
+                if self.recorder.enabled:
+                    tau_sum += gain / float(ga.alpha[user])
+                    gained, lost = ga.changed_tasks(
+                        ga.route_id(user, old), ga.route_id(user, new_route)
+                    )
+                    changed.append(gained)
+                    changed.append(lost)
+            self.recorder.advance(
+                self.profile,
+                tau_sum=tau_sum,
+                changed_tasks=(
+                    np.concatenate(changed) if changed else _EMPTY_INTP
+                ),
+                movers=np.asarray([m[0] for m in granted], dtype=np.intp),
+            )
+        self.total_slots += slots
+        return EpochResult(
+            shard_id=self.spec.shard_id,
+            moves=moves,
+            boundary_users=np.asarray(sorted(boundary), dtype=np.intp),
+            slots=slots,
+            converged=converged,
+        )
+
+    def _split(self, batch: ProposalBatch) -> tuple[ProposalBatch, np.ndarray]:
+        """Partition a batch into (region-eligible rows, deferred local users)."""
+        if not len(batch):
+            return batch, _EMPTY_INTP
+        b_indptr, b_tasks = batch.b_indptr, batch.b_tasks
+        lengths = np.diff(b_indptr)
+        foreign = ~self.spec.own_mask[b_tasks]
+        if not foreign.any():
+            return batch, _EMPTY_INTP
+        # Per-row count of foreign touched tasks; rows with any are deferred.
+        owner = np.repeat(np.arange(len(batch), dtype=np.intp), lengths)
+        crosses = np.bincount(
+            owner, weights=foreign, minlength=len(batch)
+        ) > 0
+        keep = np.flatnonzero(~crosses)
+        deferred = batch.users[crosses]
+        if keep.size == len(batch):
+            return batch, _EMPTY_INTP
+        kept_lens = lengths[keep]
+        kept_tasks = gather_segments(b_tasks, b_indptr[:-1][keep], kept_lens)
+        kept_indptr = np.concatenate(
+            [[0], np.cumsum(kept_lens)]
+        ).astype(np.intp)
+        eligible = ProposalBatch(
+            batch.users[keep],
+            batch.new_routes[keep],
+            batch.gains[keep],
+            batch.taus[keep],
+            kept_indptr,
+            kept_tasks,
+        )
+        return eligible, deferred
+
+    # -------------------------------------------------- cross-shard plumbing
+    def apply_external(self, local_tasks: np.ndarray, deltas: np.ndarray) -> None:
+        """Fold foreign count changes into the profile and invalidate caches."""
+        if local_tasks.size == 0:
+            return
+        self.ext[local_tasks] += deltas
+        self.profile.counts[local_tasks] += deltas
+        self._cache.invalidate_tasks(local_tasks)
+
+    def local_counts(self) -> np.ndarray:
+        """This shard's own contribution to its visible tasks' counts."""
+        return self.profile.counts - self.ext
+
+    def local_user_index(self, global_user: int) -> int:
+        """Local index of a global user id (must belong to this shard)."""
+        pos = int(np.searchsorted(self.spec.users, global_user))
+        require(
+            pos < self.spec.users.size
+            and int(self.spec.users[pos]) == global_user,
+            f"user {global_user} is not on shard {self.spec.shard_id}",
+        )
+        return pos
+
+    def best_move(self, local_user: int):
+        """Exact unrestricted best response of one local user (sync pass)."""
+        return single_best_update(
+            self.profile, local_user, pick="random", rng=self.rng
+        )
+
+    def apply_move(
+        self, local_user: int, new_route: int
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """Apply a reconciliation move; returns (old_route, gained, lost)
+        with the changed tasks in *global* ids."""
+        ga = self.spec.game.arrays
+        old = self.profile.move(local_user, new_route)
+        self._cache.note_move(local_user, old, new_route)
+        gained, lost = ga.changed_tasks(
+            ga.route_id(local_user, old), ga.route_id(local_user, new_route)
+        )
+        return old, self.spec.task_map[gained], self.spec.task_map[lost]
+
+    # ------------------------------------------------------------ diagnostics
+    def shard_potential(self) -> float:
+        """Eq. 8 over visible tasks with *local* counts, minus route costs.
+
+        The quantity the :class:`~repro.serve.ledger.BoundaryLedger`
+        reconciles: summed over shards and corrected, it equals the
+        monolithic potential.
+        """
+        game = self.spec.game
+        ga = game.arrays
+        terms = game.tasks.potential_terms(self.local_counts())
+        chosen = ga.chosen_route_ids(self.profile.choices)
+        return float(terms.sum() - ga.route_pot_cost[chosen].sum())
+
+    def improving_users(self) -> np.ndarray:
+        """Local users with a strictly improving move (exact counts assumed).
+
+        Uses the deterministic ``pick="first"`` path so the engine's RNG
+        stream is not consumed by equilibrium checks.
+        """
+        from repro.core.responses import batch_best_updates
+
+        all_users = np.arange(self.spec.game.num_users, dtype=np.intp)
+        return batch_best_updates(self.profile, all_users, pick="first").users
+
+    # ------------------------------------------------------ snapshot / resume
+    def export_state(self) -> dict[str, Any]:
+        """Picklable mutable state (spec travels separately, it is static
+        between membership rebuilds)."""
+        return {
+            "choices": self.profile.choices.copy(),
+            "ext": self.ext.copy(),
+            "rng_state": self.rng.bit_generator.state,
+            "cache": self._cache.export_state(),
+            "granted_per_slot": list(self.granted_per_slot),
+            "total_slots": self.total_slots,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        spec: ShardSpec,
+        state: dict[str, Any],
+        *,
+        scheduler: str = "suu",
+        sort_key: str = "delta",
+    ) -> "ShardEngine":
+        """Rebuild a live engine from :meth:`export_state` output — the
+        crash/resume and process-pool transport path."""
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state["rng_state"]
+        eng = cls(
+            spec,
+            scheduler=scheduler,
+            rng=rng,
+            choices=np.asarray(state["choices"], dtype=np.intp),
+            sort_key=sort_key,
+        )
+        ext = np.asarray(state["ext"], dtype=np.intp)
+        eng.ext = ext.copy()
+        eng.profile.counts += ext
+        eng._cache.import_state(state["cache"])
+        eng.granted_per_slot = list(state["granted_per_slot"])
+        eng.total_slots = int(state["total_slots"])
+        return eng

@@ -1,0 +1,96 @@
+"""Shard worker pool: process-parallel epochs over picklable snapshots.
+
+A :class:`ShardPool` ships ``(ShardSpec, engine state)`` pairs to a
+:class:`~concurrent.futures.ProcessPoolExecutor`, rebuilds each engine in
+the worker via :meth:`~repro.serve.shard.ShardEngine.from_state`, runs one
+epoch, and ships the :class:`~repro.serve.shard.EpochResult` plus the
+post-epoch state back.  Both directions are plain data (numpy arrays,
+dataclasses, the RNG's ``bit_generator.state`` dict), mirroring the
+snapshot protocol the crash/resume chaos hook already relies on.
+
+Telemetry follows :mod:`repro.experiments.runner`'s pattern: when the
+driver has telemetry enabled, each job enables + resets it in the worker
+process and returns an :class:`repro.obs.TelemetrySnapshot` that the
+driver merges, so ``serve.*`` metrics survive the process boundary.
+
+Shipping the full spec every epoch is deliberate for now — specs change
+under churn (rebuilds bump ``spec.version``) and correctness beats the
+copy cost at current scales.  Caching specs worker-side keyed on
+``(shard_id, version)`` is the "async shard transport" follow-up in
+ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import repro.obs as obs
+from repro.serve.shard import EpochResult, ShardEngine, ShardSpec
+from repro.utils.validation import require
+
+__all__ = ["ShardPool"]
+
+
+def _run_epoch_job(
+    spec: ShardSpec,
+    state: dict,
+    scheduler: str,
+    sort_key: str,
+    max_slots: int | None,
+    telemetry: bool,
+) -> tuple[EpochResult, dict, "obs.TelemetrySnapshot | None"]:
+    """Rebuild one shard engine in the worker, run an epoch, snapshot."""
+    if telemetry:
+        obs.enable()
+        obs.reset()
+    engine = ShardEngine.from_state(
+        spec, state, scheduler=scheduler, sort_key=sort_key
+    )
+    result = engine.run_epoch(max_slots)
+    snap = obs.snapshot() if telemetry else None
+    return result, engine.export_state(), snap
+
+
+class ShardPool:
+    """A persistent process pool running shard epochs concurrently."""
+
+    def __init__(self, processes: int) -> None:
+        require(processes >= 1, "processes must be >= 1")
+        self.processes = processes
+        self._pool = ProcessPoolExecutor(max_workers=processes)
+
+    def run_epochs(
+        self,
+        specs: list[ShardSpec],
+        states: list[dict],
+        *,
+        scheduler: str,
+        sort_key: str,
+        max_slots: int | None = None,
+    ) -> list[tuple[EpochResult, dict]]:
+        """Run one epoch per shard; results align with the input order."""
+        require(len(specs) == len(states), "one state per spec required")
+        telemetry = obs.enabled()
+        futures = [
+            self._pool.submit(
+                _run_epoch_job, spec, state, scheduler, sort_key,
+                max_slots, telemetry,
+            )
+            for spec, state in zip(specs, states)
+        ]
+        out: list[tuple[EpochResult, dict]] = []
+        for fut in futures:
+            result, state, snap = fut.result()
+            if snap is not None:
+                obs.merge_snapshot(snap)
+            out.append((result, state))
+        return out
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

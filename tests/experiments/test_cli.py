@@ -114,3 +114,37 @@ class TestTelemetryFlags:
     def test_telemetry_disabled_by_default(self, capsys):
         assert main(["table3", "--repetitions", "1"]) == 0
         assert not obs.enabled()
+
+
+class TestServeCommand:
+    def test_parser_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.shards == 1 and args.churn_rate == 0.0
+        assert args.duration == 20 and args.scheduler == "suu"
+
+    def test_serve_session_runs(self, capsys):
+        assert main([
+            "serve", "--shards", "2", "--churn-rate", "1.0",
+            "--duration", "3", "--users", "30", "--tasks", "20",
+            "--validate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "K=2 shards" in out
+        assert "is_nash             True" in out
+
+    def test_serve_metrics_out(self, tmp_path, capsys):
+        path = tmp_path / "serve.json"
+        assert main([
+            "serve", "--shards", "2", "--churn-rate", "1.0",
+            "--duration", "3", "--users", "30", "--tasks", "20",
+            "--metrics-out", str(path),
+        ]) == 0
+        report = json.loads(path.read_text())
+        assert report["experiment"] == "serve"
+        assert report["config"]["shards"] == 2
+        assert report["config"]["is_nash"] is True
+        assert "serve.rounds_total" in report["metrics"]["counters"]
+
+    def test_fig19_registered(self, capsys):
+        assert main(["--list"]) == 0
+        assert "fig19" in capsys.readouterr().out

@@ -10,8 +10,8 @@ from repro.experiments.registry import EXPERIMENTS
 
 class TestRegistry:
     def test_all_artifacts_present(self):
-        # 13 paper artifacts (Figs 3-13, Tables 3-5) + 5 extensions.
-        assert len(EXPERIMENTS) == 19
+        # 13 paper artifacts (Figs 3-13, Tables 3-5) + 6 extensions.
+        assert len(EXPERIMENTS) == 20
 
     def test_get_unknown_raises(self):
         with pytest.raises(KeyError):
@@ -154,6 +154,17 @@ class TestTinyRuns:
             assert r["invariant_ok_mean"] == 1.0
         # The zero-fault baseline pays no redelivery overhead.
         assert by["none"]["overhead_mean"] == pytest.approx(0.0)
+
+    def test_fig19(self):
+        t = run_experiment("fig19", repetitions=1, seed=0)
+        by = {r["shards"]: r for r in t}
+        assert set(by) == {1, 2, 4}
+        # Every shard count serves to a verified global Nash; speedup is
+        # measured relative to K=1.
+        for r in t:
+            assert r["is_nash_mean"] == 1.0
+            assert r["users_per_second_mean"] > 0
+        assert by[1]["speedup_mean"] == pytest.approx(1.0)
 
     def test_fig16(self):
         t = run_experiment("fig16", repetitions=1, seed=0)

@@ -86,3 +86,36 @@ class TestBuildScenario:
     def test_zero_tasks_scenario(self):
         sc = build_scenario(ScenarioConfig(n_users=4, n_tasks=0, seed=5))
         assert sc.num_tasks == 0
+
+
+class TestNoCandidateRoutesError:
+    def test_exported_and_a_runtime_error(self):
+        from repro.scenario import NoCandidateRoutesError
+
+        assert issubclass(NoCandidateRoutesError, RuntimeError)
+
+    def test_scenario_user_factory_raises_clearly(self, shanghai_scenario):
+        """A planner that never finds a route surfaces the typed error with
+        the user id in the message, not an opaque index error."""
+        from repro.scenario import NoCandidateRoutesError
+        from repro.serve.churn import ScenarioUserFactory
+
+        factory = ScenarioUserFactory(shanghai_scenario, seed=0)
+        factory.scenario = _NoRouteScenario(shanghai_scenario)
+        with pytest.raises(NoCandidateRoutesError, match="user 99"):
+            factory(99)
+
+
+class _NoRoutePlanner:
+    def recommend(self, o, d, k):
+        return []
+
+
+class _NoRouteScenario:
+    """Scenario proxy whose planner never finds any route."""
+
+    def __init__(self, scenario):
+        self.network = scenario.network
+        self.tasks = scenario.tasks
+        self.config = scenario.config
+        self.planner = _NoRoutePlanner()

@@ -29,6 +29,8 @@ class TestValidation:
             {"route_method": "teleport"},
             {"penalty_factor": 1.0},
             {"detour_unit_km": 0.0},
+            {"n_vehicles": 0},
+            {"trips_per_vehicle": 0},
         ],
     )
     def test_rejects_bad_values(self, kwargs):

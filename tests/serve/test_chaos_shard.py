@@ -1,0 +1,59 @@
+"""Chaos hook: shard-worker crashes must not cost global Nash."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.chaos import ChaosRunner, ShardCrashCase
+from tests.helpers import random_game
+
+
+@pytest.mark.parametrize("scheduler", ["suu", "puu"])
+def test_single_shard_crash_still_reaches_nash(scheduler):
+    for seed in range(4):
+        game = random_game(
+            np.random.default_rng(seed + 500), max_users=14, max_routes=4,
+            max_tasks=16,
+        )
+        runner = ChaosRunner(game)
+        result = runner.run_shard_case(
+            ShardCrashCase(
+                name="one-shard-crash",
+                num_shards=3,
+                crash_shards=(1,),
+                crash_round=0,
+                scheduler=scheduler,
+                seed=seed,
+            )
+        )
+        assert result.ok, result.describe()
+        assert result.converged and result.is_nash
+        assert not result.violations
+
+
+def test_multi_shard_crash_still_reaches_nash():
+    game = random_game(np.random.default_rng(77), max_users=16, max_tasks=18)
+    runner = ChaosRunner(game)
+    result = runner.run_shard_case(
+        ShardCrashCase(
+            name="two-shards-crash",
+            num_shards=4,
+            crash_shards=(0, 2),
+            crash_round=1,
+            scheduler="puu",
+            seed=3,
+        )
+    )
+    assert result.ok, result.describe()
+
+
+def test_describe_mentions_crash_details():
+    game = random_game(np.random.default_rng(78), max_users=8, max_tasks=10)
+    result = ChaosRunner(game).run_shard_case(
+        ShardCrashCase(
+            name="probe", num_shards=2, crash_shards=(0,), seed=0
+        )
+    )
+    text = result.describe()
+    assert "probe" in text and "K=2" in text and "[0]" in text

@@ -1,0 +1,86 @@
+"""Churn schedules and user factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.churn import (
+    ChurnSchedule,
+    ScenarioUserFactory,
+    SyntheticUserFactory,
+    synthetic_serve_instance,
+)
+from repro.serve.partition import RegionPartition
+
+
+def test_schedule_reproducible():
+    a = ChurnSchedule(rate=3.0, seed=5)
+    b = ChurnSchedule(rate=3.0, seed=5)
+    ids = list(range(10))
+    for _ in range(5):
+        assert a.next_round(ids) == b.next_round(ids)
+
+
+def test_schedule_zero_rate_is_quiet():
+    sched = ChurnSchedule(rate=0.0, seed=1)
+    for _ in range(10):
+        assert sched.next_round([1, 2, 3]) == (0, [])
+
+
+def test_schedule_validates():
+    with pytest.raises(ValueError):
+        ChurnSchedule(rate=-1.0)
+    with pytest.raises(ValueError):
+        ChurnSchedule(rate=1.0, leave_fraction=1.5)
+
+
+def test_synthetic_factory_locality():
+    """With locality=1 every covered task stays in the home region."""
+    tasks, _, _, partition, _ = synthetic_serve_instance(1, 40, 4, seed=0)
+    factory = SyntheticUserFactory(tasks, partition, locality=1.0, seed=3)
+    for uid in range(20):
+        rec = factory(uid)
+        regions = set(partition.task_region[rec.covered_tasks()].tolist())
+        assert len(regions) == 1
+        assert rec.user_id == uid
+        assert len(rec.routes) >= 1
+
+
+def test_synthetic_factory_needs_occupied_region():
+    tasks, _, _, _, _ = synthetic_serve_instance(1, 5, 2, seed=0)
+    empty = RegionPartition(
+        num_shards=2, task_region=np.zeros(len(tasks), dtype=np.intp)
+    )
+    # Region 1 is empty but region 0 is occupied — fine.
+    SyntheticUserFactory(tasks, empty, seed=0)
+
+
+def test_synthetic_serve_instance_shape():
+    tasks, platform, records, partition, factory = synthetic_serve_instance(
+        25, 30, 3, seed=9
+    )
+    assert len(tasks) == 30
+    assert len(records) == 25
+    assert partition.num_shards == 3
+    assert sorted(r.user_id for r in records) == list(range(25))
+    # Deterministic for the same seed.
+    _, _, records2, _, _ = synthetic_serve_instance(25, 30, 3, seed=9)
+    assert [r.user_id for r in records2] == [r.user_id for r in records]
+    assert all(
+        a.routes[0].task_ids == b.routes[0].task_ids
+        for a, b in zip(records, records2)
+    )
+
+
+def test_scenario_factory_builds_road_users(shanghai_scenario):
+    factory = ScenarioUserFactory(shanghai_scenario, seed=1)
+    rec = factory(0)
+    assert rec.user_id == 0
+    assert len(rec.routes) >= 1
+    lo, hi = shanghai_scenario.config.route_count_range
+    assert len(rec.routes) <= hi
+    # Covered task ids are valid global ids of the scenario's task set.
+    cov = rec.covered_tasks()
+    if cov.size:
+        assert cov.max() < len(shanghai_scenario.tasks)

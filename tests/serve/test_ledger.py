@@ -1,0 +1,80 @@
+"""BoundaryLedger: contributions, visibility, and the correction identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.ledger import BoundaryLedger
+from repro.tasks.task import Task, TaskSet
+
+
+def _tasks(n: int, seed: int = 0) -> TaskSet:
+    rng = np.random.default_rng(seed)
+    return TaskSet(
+        [
+            Task(k, float(rng.uniform(0, 5)), float(rng.uniform(0, 5)),
+                 float(rng.uniform(10, 20)), float(rng.uniform(0, 1)))
+            for k in range(n)
+        ]
+    )
+
+
+def test_sync_and_global_counts():
+    tasks = _tasks(6)
+    ledger = BoundaryLedger(tasks, 2)
+    assert ledger.version == 0
+    ledger.sync([
+        (np.array([0, 1, 2]), np.array([2, 0, 1])),
+        (np.array([2, 3, 4]), np.array([1, 3, 0])),
+    ])
+    assert ledger.version == 1
+    assert ledger.global_counts().tolist() == [2, 0, 2, 3, 0, 0]
+    # Only task 2 is visible to both shards.
+    assert ledger.boundary_tasks().tolist() == [2]
+
+
+def test_dormant_shard_entry():
+    tasks = _tasks(3)
+    ledger = BoundaryLedger(tasks, 2)
+    ledger.sync([(np.array([0, 1, 2]), np.array([1, 1, 0])), None])
+    assert ledger.global_counts().tolist() == [1, 1, 0]
+    assert ledger.boundary_tasks().size == 0
+
+
+def test_corrections_zero_off_boundary():
+    """A task with at most one contributing shard needs no correction."""
+    tasks = _tasks(5)
+    ledger = BoundaryLedger(tasks, 3)
+    ledger.sync([
+        (np.array([0, 1]), np.array([3, 1])),
+        (np.array([2, 3]), np.array([2, 0])),
+        (np.array([4]), np.array([5])),
+    ])
+    assert np.all(ledger.per_task_corrections() == 0.0)
+    assert ledger.correction() == 0.0
+
+
+def test_correction_identity_on_boundary():
+    """F_k(sum c) - sum F_k(c) per boundary task, against a direct compute."""
+    tasks = _tasks(4, seed=3)
+    ledger = BoundaryLedger(tasks, 2)
+    tm = np.array([0, 1, 2, 3])
+    a = np.array([2, 1, 0, 3])
+    b = np.array([1, 2, 0, 1])
+    ledger.sync([(tm, a), (tm, b)])
+    expected = (
+        tasks.potential_terms(a + b)
+        - tasks.potential_terms(a)
+        - tasks.potential_terms(b)
+    )
+    np.testing.assert_allclose(ledger.per_task_corrections(), expected)
+    np.testing.assert_allclose(ledger.correction(), expected.sum())
+    # With overlapping nonzero counts the correction is genuinely nonzero.
+    assert abs(ledger.correction()) > 0
+
+
+def test_sync_requires_one_entry_per_shard():
+    ledger = BoundaryLedger(_tasks(3), 2)
+    with pytest.raises(Exception):
+        ledger.sync([(np.array([0]), np.array([1]))])

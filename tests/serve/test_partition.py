@@ -1,0 +1,107 @@
+"""Partitioner: tiling, refinement, owner routing, and the edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.partition import (
+    RegionPartition,
+    cut_size,
+    partition_game,
+    refine_regions,
+    tile_tasks,
+)
+from tests.helpers import random_game
+
+
+def test_tile_tasks_balanced():
+    rng = np.random.default_rng(0)
+    xy = rng.uniform(0, 10, size=(40, 2))
+    region = tile_tasks(xy, 4)
+    sizes = np.bincount(region, minlength=4)
+    assert region.shape == (40,)
+    assert region.min() >= 0 and region.max() < 4
+    assert sizes.min() >= 8  # balanced median splits: 40/4 +- rounding
+
+
+def test_tile_tasks_all_same_point():
+    """Coincident coordinates degrade to a balanced index split."""
+    xy = np.zeros((12, 2))
+    region = tile_tasks(xy, 3)
+    sizes = np.bincount(region, minlength=3)
+    assert sizes.tolist() == [4, 4, 4]
+
+
+def test_tile_tasks_fewer_points_than_regions():
+    xy = np.array([[0.0, 0.0], [1.0, 1.0]])
+    region = tile_tasks(xy, 5)
+    assert region.size == 2
+    assert region.min() >= 0 and region.max() < 5
+    # The two points land in distinct regions.
+    assert region[0] != region[1]
+
+
+def test_tile_tasks_empty():
+    assert tile_tasks(np.zeros((0, 2)), 3).size == 0
+
+
+def test_partition_k1_trivial():
+    game = random_game(np.random.default_rng(1), max_users=8, max_tasks=10)
+    part = partition_game(game, 1)
+    assert part.num_shards == 1
+    assert np.array_equal(part.task_region, np.zeros(game.num_tasks, dtype=np.intp))
+    assert cut_size(game, part.task_region) == 0
+
+
+def test_refinement_never_increases_cut():
+    for seed in range(10):
+        game = random_game(
+            np.random.default_rng(seed), max_users=12, max_routes=4, max_tasks=14
+        )
+        k = 3
+        tiled = tile_tasks(game.tasks.xy, k)
+        refined = refine_regions(game, tiled, k)
+        assert cut_size(game, refined) <= cut_size(game, tiled)
+        # Refinement returns a new array; the input is untouched.
+        assert refined is not tiled
+
+
+def test_refinement_respects_balance_cap():
+    game = random_game(np.random.default_rng(3), max_users=12, max_tasks=12)
+    k = 2
+    part = partition_game(game, k, balance_factor=1.5)
+    sizes = part.region_sizes()
+    cap = int(np.ceil(1.5 * game.num_tasks / k))
+    assert sizes.max() <= cap
+
+
+def test_owner_shard_majority_and_ties():
+    part = RegionPartition(
+        num_shards=2, task_region=np.array([0, 0, 1, 1, 1], dtype=np.intp)
+    )
+    assert part.owner_shard(np.array([2, 3, 0])) == 1
+    # Tie (one task each side) -> lowest region id.
+    assert part.owner_shard(np.array([0, 2])) == 0
+    # Duplicate coverage does not double-vote.
+    assert part.owner_shard(np.array([0, 2, 2])) == 0
+    # Empty coverage -> fallback mod K.
+    assert part.owner_shard(np.array([], dtype=np.intp), fallback=5) == 1
+
+
+def test_region_partition_validates():
+    with pytest.raises(Exception):
+        RegionPartition(num_shards=2, task_region=np.array([0, 2], dtype=np.intp))
+    with pytest.raises(Exception):
+        RegionPartition(num_shards=0, task_region=np.zeros(3, dtype=np.intp))
+
+
+def test_more_shards_than_occupied_regions():
+    """K larger than the number of tasks leaves dormant regions, legally."""
+    game = random_game(np.random.default_rng(7), max_users=4, max_tasks=3)
+    k = 8
+    part = partition_game(game, k)
+    assert part.num_shards == k
+    assert part.region_sizes().sum() == game.num_tasks
+    # Some regions must be empty; they are simply never owned.
+    assert (part.region_sizes() == 0).any()

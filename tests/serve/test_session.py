@@ -1,0 +1,170 @@
+"""ServeSession: sharded convergence, sync invariants, churn, crash/resume."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import is_nash_equilibrium
+from repro.serve.churn import ChurnSchedule, SyntheticUserFactory
+from repro.serve.session import ServeSession
+from tests.helpers import random_game
+
+
+@pytest.mark.parametrize("scheduler", ["suu", "puu"])
+@pytest.mark.parametrize("num_shards", [2, 3, 4])
+def test_sharded_convergence_reaches_global_nash(scheduler, num_shards):
+    for seed in range(8):
+        game = random_game(
+            np.random.default_rng(seed + 200), max_users=14, max_routes=4,
+            max_tasks=16,
+        )
+        sess = ServeSession.from_game(
+            game, num_shards=num_shards, scheduler=scheduler, seed=seed,
+            validate=True,
+        )
+        sess.run_to_convergence()
+        sess.check_quiescence()
+        assert sess.ok, [str(v) for v in sess.violations]
+        assert sess.is_nash()
+        # The sharded equilibrium is a Nash equilibrium of the monolithic
+        # game, verified with the core equilibrium checker.
+        _, profile = sess.global_profile()
+        assert is_nash_equilibrium(profile)
+
+
+def test_ledger_identity_holds_at_every_sync():
+    """Shard-sum potential + ledger correction == monolithic potential,
+    checked by validate mode at every sync point."""
+    for seed in range(6):
+        game = random_game(
+            np.random.default_rng(seed + 300), max_users=12, max_tasks=14
+        )
+        sess = ServeSession.from_game(
+            game, num_shards=3, scheduler="puu", seed=seed, validate=True
+        )
+        sess.run_to_convergence()
+        assert sess.stats.sync_points >= 2
+        assert not [
+            v for v in sess.violations
+            if v.invariant == "potential_reconciliation"
+        ]
+
+
+def test_compact_shards_mode_converges():
+    game = random_game(np.random.default_rng(17), max_users=12, max_tasks=14)
+    sess = ServeSession.from_game(
+        game, num_shards=3, scheduler="puu", seed=1, validate=True,
+        compact_shards=True,
+    )
+    sess.run_to_convergence()
+    sess.check_quiescence()
+    assert sess.ok and sess.is_nash()
+
+
+def test_join_and_leave_update_counts_and_reconverge():
+    game = random_game(np.random.default_rng(21), max_users=10, max_tasks=12)
+    sess = ServeSession.from_game(
+        game, num_shards=2, scheduler="suu", seed=3, validate=True
+    )
+    sess.run_to_convergence()
+    n0 = sess.num_users
+    fac = SyntheticUserFactory(game.tasks, sess.partition, seed=5)
+    uid = sess.join(fac(sess.next_user_id()))
+    assert sess.num_users == n0 + 1
+    assert uid in sess.records
+    sess.run_to_convergence()
+    assert sess.is_nash()
+    sess.leave(uid)
+    assert sess.num_users == n0
+    assert uid not in sess.records
+    # Counts reconcile after the departure: global counts equal the
+    # ledger's shard-contribution sum (validate mode asserts it too).
+    np.testing.assert_array_equal(sess.counts, sess.ledger.global_counts())
+    sess.run_to_convergence()
+    sess.check_quiescence()
+    assert sess.ok, [str(v) for v in sess.violations]
+
+
+def test_leave_can_empty_a_shard():
+    game = random_game(np.random.default_rng(23), max_users=6, max_tasks=8)
+    sess = ServeSession.from_game(game, num_shards=2, seed=0, validate=True)
+    sess.run_to_convergence()
+    # Retire every user of shard 0 (but never the last user overall).
+    for uid in [u for u, s in sess._user_shard.items() if s == 0]:
+        if sess.num_users > 1:
+            sess.leave(uid)
+    sess.run_to_convergence()
+    sess.check_quiescence()
+    assert sess.ok
+
+
+def test_churn_schedule_respects_min_users():
+    sched = ChurnSchedule(rate=50.0, leave_fraction=1.0, min_users=3, seed=0)
+    active = list(range(5))
+    joins, leaves = sched.next_round(active)
+    assert len(active) - len(leaves) >= 3
+
+
+def test_churned_session_full_loop():
+    game = random_game(np.random.default_rng(29), max_users=12, max_tasks=14)
+    sess = ServeSession.from_game(
+        game, num_shards=3, scheduler="puu", seed=2, validate=True
+    )
+    fac = SyntheticUserFactory(game.tasks, sess.partition, seed=4)
+    sched = ChurnSchedule(rate=2.0, seed=6)
+    for _ in range(6):
+        joins, leaves = sched.next_round(sorted(sess.records))
+        for uid in leaves:
+            sess.leave(uid)
+        for _ in range(joins):
+            sess.join(fac(sess.next_user_id()))
+        sess.run_round()
+    sess.run_to_convergence()
+    sess.check_quiescence()
+    assert sess.ok, [str(v) for v in sess.violations]
+    assert sess.is_nash()
+    assert sess.stats.joins + sess.stats.leaves > 0
+    assert sess.stats.shard_rebuilds >= sess.stats.joins + sess.stats.leaves
+
+
+def test_crash_resume_loses_work_but_still_converges():
+    for seed in range(4):
+        game = random_game(
+            np.random.default_rng(seed + 400), max_users=14, max_tasks=16
+        )
+        sess = ServeSession.from_game(
+            game, num_shards=3, scheduler="suu", seed=seed, validate=True
+        )
+        rep = sess.run_round(crash_shards=(1,))
+        assert rep.crashed_shards == (1,)
+        assert not rep.converged  # a crashed round never counts as quiet
+        sess.run_to_convergence()
+        sess.check_quiescence()
+        assert sess.ok and sess.is_nash()
+        assert sess.stats.shard_crashes == 1
+
+
+def test_duplicate_user_ids_rejected():
+    game = random_game(np.random.default_rng(31), max_users=5, max_tasks=6)
+    sess = ServeSession.from_game(game, num_shards=1, seed=0)
+    with pytest.raises(Exception, match="already active"):
+        sess.join(list(sess.records.values())[0])
+
+
+def test_history_requires_single_shard():
+    game = random_game(np.random.default_rng(33), max_users=6, max_tasks=8)
+    with pytest.raises(Exception, match="K=1"):
+        ServeSession.from_game(game, num_shards=2, record_history=True)
+
+
+def test_total_profit_matches_monolithic_at_sync():
+    from repro.core.profit import all_profits
+
+    game = random_game(np.random.default_rng(35), max_users=12, max_tasks=14)
+    sess = ServeSession.from_game(game, num_shards=3, scheduler="puu", seed=1)
+    sess.run_to_convergence()
+    _, profile = sess.global_profile()
+    assert np.isclose(
+        sess.total_profit(), float(all_profits(profile).sum()), rtol=1e-12
+    )

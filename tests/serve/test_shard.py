@@ -1,0 +1,151 @@
+"""Shard specs + engine: eligibility split, ext counts, snapshot/resume."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.game import RouteNavigationGame
+from repro.serve.partition import RegionPartition, partition_game
+from repro.serve.shard import ShardEngine, UserRecord, build_shard_spec
+from repro.serve.session import ServeSession
+from tests.helpers import random_game
+
+
+def _records(game: RouteNavigationGame) -> list[UserRecord]:
+    return [
+        UserRecord(
+            user_id=i, routes=game.route_sets[i], weights=game.user_weights[i]
+        )
+        for i in range(game.num_users)
+    ]
+
+
+def test_user_record_requires_routes():
+    game = random_game(np.random.default_rng(0), max_users=3)
+    with pytest.raises(Exception, match="no candidate routes"):
+        UserRecord(user_id=0, routes=(), weights=game.user_weights[0])
+
+
+def test_covered_tasks_cached_and_sorted():
+    game = random_game(np.random.default_rng(1), max_users=5, max_tasks=8)
+    rec = _records(game)[0]
+    cov = rec.covered_tasks()
+    assert np.all(np.diff(cov) > 0) or cov.size <= 1
+    assert rec.covered_tasks() is cov  # computed once at construction
+
+
+def test_full_visibility_spec_reuses_global_objects():
+    game = random_game(np.random.default_rng(2), max_users=6, max_tasks=10)
+    part = partition_game(game, 2)
+    recs = _records(game)
+    spec = build_shard_spec(0, recs, game.tasks, part, game.platform)
+    assert spec.game.tasks is game.tasks
+    assert np.array_equal(spec.task_map, np.arange(game.num_tasks))
+    assert spec.own_mask.sum() == part.region_tasks(0).size
+
+
+def test_compact_spec_remaps_routes():
+    game = random_game(np.random.default_rng(3), max_users=8, max_tasks=12)
+    part = partition_game(game, 3)
+    recs = [r for r in _records(game)]
+    own = [r for r in recs if part.owner_shard(r.covered_tasks(), fallback=r.user_id) == 0]
+    if not own:
+        own = recs[:1]
+    spec = build_shard_spec(
+        0, own, game.tasks, part, game.platform, compact=True
+    )
+    # Local ids are dense and map back to the right global tasks.
+    assert np.all(np.diff(spec.task_map) > 0) or spec.task_map.size <= 1
+    for li, rec in enumerate(sorted(own, key=lambda r: r.user_id)):
+        for lr, gr in zip(spec.game.route_sets[li], rec.routes):
+            assert [int(spec.task_map[t]) for t in lr.task_ids] == list(gr.task_ids)
+
+
+def test_engine_defers_boundary_crossing_user():
+    """A user whose every candidate route crosses the boundary never moves
+    inside a parallel epoch — it is always deferred to the boundary pass."""
+    game = RouteNavigationGame.from_coverage(
+        # User 0's routes all touch both task 0 (region 0) and task 1
+        # (region 1); users 1/2 are single-region fillers.
+        [[[0, 1], [0, 1]], [[0]], [[1]]],
+        base_rewards=[15.0, 12.0],
+        reward_increments=[0.5, 0.5],
+    )
+    part = RegionPartition(
+        num_shards=2, task_region=np.array([0, 1], dtype=np.intp)
+    )
+    recs = _records(game)
+    spec = build_shard_spec(0, [recs[0], recs[1]], game.tasks, part, game.platform)
+    eng = ShardEngine(spec, scheduler="suu", rng=np.random.default_rng(0))
+    result = eng.run_epoch()
+    moved = {u for u, *_ in result.moves}
+    assert 0 not in moved  # the cross-boundary user never moves in-epoch
+    # If it had an improving cross-region response, it was reported.
+    for u in result.boundary_users:
+        assert u == 0
+    # The session-level boundary pass still gets everyone to Nash.
+    sess = ServeSession.from_game(
+        game, num_shards=2, partition=part, seed=0, validate=True
+    )
+    sess.run_to_convergence()
+    sess.check_quiescence()
+    assert sess.is_nash() and sess.ok
+
+
+def test_apply_external_folds_counts():
+    game = random_game(np.random.default_rng(5), max_users=6, max_tasks=8)
+    part = partition_game(game, 2)
+    recs = _records(game)
+    spec = build_shard_spec(0, recs, game.tasks, part, game.platform)
+    eng = ShardEngine(spec, scheduler="suu", rng=np.random.default_rng(1))
+    before = eng.profile.counts.copy()
+    local = eng.local_counts().copy()
+    t = np.array([0], dtype=np.intp)
+    eng.apply_external(t, np.array([2], dtype=np.intp))
+    assert eng.profile.counts[0] == before[0] + 2
+    assert eng.ext[0] == 2
+    # Local contribution is unchanged by foreign counts.
+    np.testing.assert_array_equal(eng.local_counts(), local)
+
+
+def test_snapshot_roundtrip_resumes_identically():
+    """export_state -> pickle -> from_state reproduces the exact trajectory."""
+    for seed in range(6):
+        game = random_game(
+            np.random.default_rng(seed + 40), max_users=10, max_routes=4, max_tasks=12
+        )
+        part = partition_game(game, 1)
+        recs = _records(game)
+        spec = build_shard_spec(0, recs, game.tasks, part, game.platform)
+        for sched in ("suu", "puu"):
+            a = ShardEngine(spec, scheduler=sched, rng=np.random.default_rng(seed))
+            a.run_epoch(max_slots=3)
+            state = pickle.loads(pickle.dumps(a.export_state()))
+            b = ShardEngine.from_state(spec, state, scheduler=sched)
+            ra = a.run_epoch()
+            rb = b.run_epoch()
+            assert ra.moves == rb.moves
+            assert np.array_equal(a.profile.choices, b.profile.choices)
+
+
+def test_spec_is_picklable():
+    game = random_game(np.random.default_rng(9), max_users=6, max_tasks=8)
+    part = partition_game(game, 2)
+    spec = build_shard_spec(0, _records(game), game.tasks, part, game.platform)
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone.shard_id == spec.shard_id
+    assert np.array_equal(clone.users, spec.users)
+    assert np.array_equal(clone.task_map, spec.task_map)
+
+
+def test_shard_potential_matches_monolithic_for_k1():
+    from repro.core.potential import potential
+
+    game = random_game(np.random.default_rng(11), max_users=8, max_tasks=10)
+    part = partition_game(game, 1)
+    spec = build_shard_spec(0, _records(game), game.tasks, part, game.platform)
+    eng = ShardEngine(spec, scheduler="suu", rng=np.random.default_rng(2))
+    assert eng.shard_potential() == potential(eng.profile)

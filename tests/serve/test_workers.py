@@ -1,0 +1,82 @@
+"""Process-pool shard workers: transport round-trip and pooled sessions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.partition import partition_game
+from repro.serve.session import ServeSession
+from repro.serve.shard import ShardEngine, UserRecord, build_shard_spec
+from repro.serve.workers import ShardPool
+from tests.helpers import random_game
+
+
+def _specs_and_states(seed: int, k: int = 2):
+    game = random_game(
+        np.random.default_rng(seed), max_users=14, max_routes=4, max_tasks=16
+    )
+    part = partition_game(game, k)
+    records = [
+        UserRecord(
+            user_id=i, routes=game.route_sets[i], weights=game.user_weights[i]
+        )
+        for i in range(game.num_users)
+    ]
+    by_shard: dict[int, list[UserRecord]] = {}
+    for r in records:
+        s = part.owner_shard(r.covered_tasks(), fallback=r.user_id)
+        by_shard.setdefault(s, []).append(r)
+    specs, engines = [], []
+    for s, recs in sorted(by_shard.items()):
+        spec = build_shard_spec(s, recs, game.tasks, part, game.platform)
+        specs.append(spec)
+        engines.append(
+            ShardEngine(spec, scheduler="puu", rng=np.random.default_rng(seed + s))
+        )
+    return specs, engines
+
+
+def test_pool_matches_inline_execution():
+    """Workers must produce exactly what the same engines produce inline."""
+    specs, engines = _specs_and_states(50)
+    states = [e.export_state() for e in engines]
+    inline = [
+        ShardEngine.from_state(spec, st, scheduler="puu").run_epoch()
+        for spec, st in zip(specs, states)
+    ]
+    with ShardPool(2) as pool:
+        outcomes = pool.run_epochs(specs, states, scheduler="puu", sort_key="delta")
+    assert len(outcomes) == len(inline)
+    for (res, state), ref in zip(outcomes, inline):
+        assert res.shard_id == ref.shard_id
+        assert res.moves == ref.moves
+        assert res.converged == ref.converged
+        assert np.array_equal(res.boundary_users, ref.boundary_users)
+        # Returned state resumes on the driver side.
+        eng = ShardEngine.from_state(
+            specs[outcomes.index((res, state))], state, scheduler="puu"
+        )
+        assert eng.run_epoch().converged
+
+
+def test_pooled_session_converges_to_nash():
+    game = random_game(
+        np.random.default_rng(60), max_users=16, max_routes=4, max_tasks=18
+    )
+    with ServeSession.from_game(
+        game, num_shards=3, scheduler="puu", seed=2, validate=True, processes=2
+    ) as sess:
+        assert sess._pool is not None
+        sess.run_to_convergence()
+        sess.check_quiescence()
+        assert sess.ok, [str(v) for v in sess.violations]
+        assert sess.is_nash()
+
+
+def test_single_shard_session_skips_pool():
+    game = random_game(np.random.default_rng(61), max_users=8, max_tasks=10)
+    with ServeSession.from_game(
+        game, num_shards=1, seed=0, processes=4
+    ) as sess:
+        assert sess._pool is None
+        sess.run_to_convergence()
