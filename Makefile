@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-json experiments examples clean loc
+.PHONY: install test bench bench-json bench-record bench-gate experiments examples clean loc
 
 install:
 	pip install -e . || $(PY) setup.py develop
@@ -22,6 +22,15 @@ bench-json:
 		benchmarks/test_bench_proposals.py \
 		benchmarks/test_bench_serve.py --benchmark-only \
 		--benchmark-json benchmarks/results/bench.json
+
+# Perf-regression ledger (docs/observability.md): record a bench-json
+# run into BENCH_history.json / gate the current run against the rolling
+# baseline (fails on >20% regression).
+bench-record: bench-json
+	$(PY) benchmarks/bench_history.py append
+
+bench-gate: bench-json
+	$(PY) benchmarks/bench_history.py check
 
 # Full-scale experiment sweep (writes CSVs under results/).
 experiments:

@@ -1,0 +1,265 @@
+"""Perf-regression ledger: append/check pytest-benchmark results.
+
+``make bench-json`` produces ``benchmarks/results/bench.json`` (the raw
+pytest-benchmark document).  This script distils it into one compact,
+schema-versioned record per run and maintains a committed rolling
+baseline in ``BENCH_history.json`` at the repo root:
+
+    python benchmarks/bench_history.py append            # record a run
+    python benchmarks/bench_history.py check             # regression gate
+
+Two kinds of quantities are tracked, with different gating rules:
+
+- **Absolute medians** (seconds) of the tracked benchmarks.  Wall time is
+  machine-dependent, so the gate only compares against prior records
+  whose machine fingerprint (node/machine/processor) matches; with no
+  same-machine history the absolute gate passes with a note — a fresh CI
+  runner never fails spuriously.
+- **Derived speedup ratios** (scalar-vs-batched, K=1-vs-K=4 churn).
+  Ratios of two medians from the *same* run cancel machine speed, so
+  they are gated across all records regardless of machine.
+
+The gate fails (exit 1) when a median regresses more than ``--threshold``
+(default 20%) beyond its rolling baseline, taken over the last
+``--window`` (default 5) comparable records.  The baseline is
+deliberately conservative — the *slowest* recent median / the *weakest*
+recent speedup — so run-to-run timer noise (easily ±20% on sub-ms
+kernels on shared hardware) doesn't flake the build, while a genuinely
+broken fast path (batched sweep falling back to the scalar loop, a
+sharding speedup collapsing to 1x) still trips it immediately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+SCHEMA = "repro.bench_history/v1"
+DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "BENCH_history.json"
+DEFAULT_BENCH = Path(__file__).resolve().parent / "results" / "bench.json"
+
+#: Benchmarks whose absolute medians are tracked (matched by fullname
+#: suffix so rootdir differences between local runs and CI don't matter).
+TRACKED = (
+    "test_bench_kernels.py::TestKernels::test_candidate_profits_csr",
+    "test_bench_kernels.py::TestKernels::test_candidate_profits_scalar_reference",
+    "test_bench_kernels.py::TestKernels::test_all_profits_csr",
+    "test_bench_kernels.py::TestKernels::test_all_profits_scalar_reference",
+    "test_bench_proposals.py::TestProposalSweep::test_sweep_batched",
+    "test_bench_proposals.py::TestProposalSweep::test_sweep_scalar_loop",
+    "test_bench_proposals.py::TestFullSlot::test_slot_batched",
+    "test_bench_proposals.py::TestFullSlot::test_slot_scalar",
+    "test_bench_serve.py::test_churn_round[1]",
+    "test_bench_serve.py::test_churn_round[2]",
+    "test_bench_serve.py::test_churn_round[4]",
+)
+
+#: Machine-independent speedup ratios: name -> (numerator, denominator),
+#: both fullname suffixes from TRACKED.  Regression = ratio shrinks.
+RATIOS = {
+    "kernels.candidate_profits_speedup": (
+        "test_bench_kernels.py::TestKernels::test_candidate_profits_scalar_reference",
+        "test_bench_kernels.py::TestKernels::test_candidate_profits_csr",
+    ),
+    "kernels.all_profits_speedup": (
+        "test_bench_kernels.py::TestKernels::test_all_profits_scalar_reference",
+        "test_bench_kernels.py::TestKernels::test_all_profits_csr",
+    ),
+    "proposals.sweep_speedup": (
+        "test_bench_proposals.py::TestProposalSweep::test_sweep_scalar_loop",
+        "test_bench_proposals.py::TestProposalSweep::test_sweep_batched",
+    ),
+    "proposals.slot_speedup": (
+        "test_bench_proposals.py::TestFullSlot::test_slot_scalar",
+        "test_bench_proposals.py::TestFullSlot::test_slot_batched",
+    ),
+    "serve.churn_capacity_k4": (
+        "test_bench_serve.py::test_churn_round[1]",
+        "test_bench_serve.py::test_churn_round[4]",
+    ),
+}
+
+
+def _short_name(fullname: str) -> str:
+    """Stable short key for a tracked benchmark (strip the .py path)."""
+    module, _, rest = fullname.partition("::")
+    return f"{Path(module).stem.removeprefix('test_bench_')}::{rest}"
+
+
+def load_record(bench_path: Path) -> dict[str, Any]:
+    """Distil one pytest-benchmark JSON document into a ledger record."""
+    doc = json.loads(bench_path.read_text(encoding="utf-8"))
+    by_suffix: dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        fullname = bench.get("fullname", "")
+        median = bench.get("stats", {}).get("median")
+        if median is None:
+            continue
+        for suffix in TRACKED:
+            if fullname.endswith(suffix):
+                by_suffix[suffix] = float(median)
+    medians = {_short_name(s): m for s, m in sorted(by_suffix.items())}
+    ratios = {}
+    for name, (num, den) in sorted(RATIOS.items()):
+        if num in by_suffix and den in by_suffix and by_suffix[den] > 0:
+            ratios[name] = by_suffix[num] / by_suffix[den]
+    machine = doc.get("machine_info", {}) or {}
+    commit = (doc.get("commit_info", {}) or {}).get("id")
+    return {
+        "schema": SCHEMA,
+        "created": doc.get("datetime"),
+        "commit": commit,
+        "machine": {
+            "node": machine.get("node"),
+            "machine": machine.get("machine"),
+            "processor": machine.get("processor"),
+            "python": machine.get("python_version"),
+        },
+        "medians": medians,
+        "ratios": ratios,
+    }
+
+
+def load_history(path: Path) -> list[dict[str, Any]]:
+    if not path.exists():
+        return []
+    records = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(records, list):
+        raise SystemExit(f"{path}: expected a JSON array of records")
+    for rec in records:
+        if rec.get("schema") != SCHEMA:
+            raise SystemExit(
+                f"{path}: unknown record schema {rec.get('schema')!r} "
+                f"(expected {SCHEMA})"
+            )
+    return records
+
+
+def _same_machine(a: dict[str, Any], b: dict[str, Any]) -> bool:
+    am, bm = a.get("machine", {}), b.get("machine", {})
+    return all(am.get(k) == bm.get(k) for k in ("node", "machine", "processor"))
+
+
+def _baseline(
+    values: list[float], window: int, pick=max
+) -> float | None:
+    """Conservative rolling baseline over the last ``window`` records.
+
+    ``pick=max`` for wall times (gate against the slowest recent run),
+    ``pick=min`` for speedup ratios (gate against the weakest recent
+    speedup) — either way, only a regression beyond every recent record
+    plus the threshold fails the gate.
+    """
+    tail = values[-window:]
+    return pick(tail) if tail else None
+
+
+def check(
+    record: dict[str, Any],
+    history: list[dict[str, Any]],
+    *,
+    threshold: float,
+    window: int,
+) -> list[str]:
+    """Gate ``record`` against the rolling baseline; return failure lines."""
+    failures: list[str] = []
+    local = [r for r in history if _same_machine(r, record)]
+    if not local:
+        print("note: no same-machine history — absolute medians not gated")
+    for name, median in record["medians"].items():
+        prior = [r["medians"][name] for r in local if name in r.get("medians", {})]
+        base = _baseline(prior, window, pick=max)
+        if base is None:
+            continue
+        limit = base * (1.0 + threshold)
+        status = "FAIL" if median > limit else "ok"
+        print(
+            f"  [{status}] {name}: {median * 1e3:.3f} ms "
+            f"(baseline {base * 1e3:.3f} ms, limit {limit * 1e3:.3f} ms)"
+        )
+        if median > limit:
+            failures.append(
+                f"{name}: median {median:.6f}s exceeds baseline "
+                f"{base:.6f}s by more than {threshold:.0%}"
+            )
+    for name, ratio in record["ratios"].items():
+        prior = [r["ratios"][name] for r in history if name in r.get("ratios", {})]
+        base = _baseline(prior, window, pick=min)
+        if base is None:
+            continue
+        floor = base * (1.0 - threshold)
+        status = "FAIL" if ratio < floor else "ok"
+        print(
+            f"  [{status}] {name}: {ratio:.2f}x "
+            f"(baseline {base:.2f}x, floor {floor:.2f}x)"
+        )
+        if ratio < floor:
+            failures.append(
+                f"{name}: speedup {ratio:.2f}x fell more than "
+                f"{threshold:.0%} below baseline {base:.2f}x"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("command", choices=["append", "check"])
+    parser.add_argument(
+        "--bench", type=Path, default=DEFAULT_BENCH,
+        help="pytest-benchmark JSON input (default: benchmarks/results/bench.json)",
+    )
+    parser.add_argument(
+        "--history", type=Path, default=DEFAULT_HISTORY,
+        help="ledger path (default: BENCH_history.json at the repo root)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="allowed fractional regression before the gate fails (default 0.20)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=5,
+        help="rolling-baseline window: last N comparable records (default 5)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.bench.exists():
+        raise SystemExit(f"{args.bench}: not found — run `make bench-json` first")
+    record = load_record(args.bench)
+    if not record["medians"]:
+        raise SystemExit(f"{args.bench}: no tracked benchmarks found")
+    history = load_history(args.history)
+
+    if args.command == "append":
+        history.append(record)
+        args.history.write_text(
+            json.dumps(history, indent=2) + "\n", encoding="utf-8"
+        )
+        print(
+            f"appended record #{len(history)} "
+            f"({len(record['medians'])} medians, {len(record['ratios'])} "
+            f"ratios) to {args.history}"
+        )
+        return 0
+
+    print(
+        f"bench gate: {len(record['medians'])} medians / "
+        f"{len(record['ratios'])} ratios vs {len(history)} ledger record(s), "
+        f"threshold {args.threshold:.0%}"
+    )
+    failures = check(
+        record, history, threshold=args.threshold, window=args.window
+    )
+    if failures:
+        print(f"\nbench gate FAILED ({len(failures)} regression(s)):")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

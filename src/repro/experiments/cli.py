@@ -26,8 +26,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment key (fig3..fig14, table3..table5), 'all', or "
-             "'serve' (online sharded serving session)",
+        help="experiment key (fig3..fig14, table3..table5), 'all', "
+             "'serve' (online sharded serving session), or "
+             "'dash' (render a --metrics-out run report as HTML)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        help="for 'dash': path to the run-report JSON to render",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--repetitions", type=int, default=None,
@@ -70,6 +76,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="check cross-shard invariants and the ledger identity at "
              "every sync point",
     )
+    serve_group.add_argument(
+        "--health-out", default=None, metavar="PATH",
+        help="attach a HealthMonitor and write its schema-validated "
+             "repro.health_report/v1 JSON here (see docs/serving.md)",
+    )
+    serve_group.add_argument(
+        "--scrape-port", type=int, default=None, metavar="PORT",
+        help="serve live Prometheus metrics at "
+             "http://127.0.0.1:PORT/metrics while the session runs "
+             "(0 = ephemeral port; implies telemetry)",
+    )
     obs_group = parser.add_argument_group(
         "observability", "telemetry collection (see docs/observability.md)"
     )
@@ -91,6 +108,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-json", default=None, metavar="PATH",
         help="append structured events as JSON lines to PATH",
     )
+    dash_group = parser.add_argument_group(
+        "dashboard", "options for the 'dash' renderer"
+    )
+    dash_group.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="dashboard HTML output path (default: <report>.html)",
+    )
+    dash_group.add_argument(
+        "--health-report", default=None, metavar="PATH",
+        help="also render this repro.health_report/v1 JSON in the dashboard",
+    )
     return parser
 
 
@@ -104,8 +132,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{key:<{width}}  {exp.paper_artifact:<10} {exp.description}")
         return 0
 
+    if args.experiment.lower() == "dash":
+        return _run_dash(args)
+
     telemetry = bool(
         args.metrics_out or args.trace or args.log_json or args.log_level
+        or args.scrape_port is not None
     )
     if telemetry:
         import repro.obs as obs
@@ -191,15 +223,26 @@ def main(argv: list[str] | None = None) -> int:
 
 def _run_serve(args: argparse.Namespace, telemetry: bool) -> int:
     """Drive one churn-driven sharded serving session (docs/serving.md)."""
+    import contextlib
+    import json
+
     from repro.serve.churn import ChurnSchedule, synthetic_serve_instance
+    from repro.serve.health import HealthMonitor, validate_health_report
     from repro.serve.session import ServeSession
 
     tasks, platform, records, partition, factory = synthetic_serve_instance(
         args.users, args.tasks, max(args.shards, 1), seed=args.seed
     )
     churn = ChurnSchedule(rate=args.churn_rate, seed=args.seed + 1)
+    monitor = HealthMonitor() if args.health_out else None
+    scrape = contextlib.nullcontext()
+    if args.scrape_port is not None:
+        from repro.obs.exporters import ScrapeServer
+
+        scrape = ScrapeServer(port=args.scrape_port).start()
+        print(f"[scrape endpoint live at {scrape.url}]")
     start = time.perf_counter()
-    with ServeSession(
+    with scrape, ServeSession(
         tasks=tasks,
         platform=platform,
         records=records,
@@ -208,6 +251,7 @@ def _run_serve(args: argparse.Namespace, telemetry: bool) -> int:
         seed=args.seed,
         validate=args.validate,
         processes=args.processes,
+        health=monitor,
     ) as sess:
         for _ in range(args.duration):
             joins, leaves = churn.next_round(sorted(sess.records))
@@ -229,6 +273,7 @@ def _run_serve(args: argparse.Namespace, telemetry: bool) -> int:
             "duration": args.duration,
             "convergence_rounds": len(reports),
             "is_nash": sess.is_nash(),
+            "nash_residual": sess.nash_residual(),
             "violations": len(sess.violations),
             "total_profit": sess.total_profit(),
             "potential": sess.global_potential(),
@@ -243,6 +288,14 @@ def _run_serve(args: argparse.Namespace, telemetry: bool) -> int:
             print(f"  {k:<{width}}  {v}")
         if args.validate:
             sess.raise_if_violations()
+        if monitor is not None:
+            health = validate_health_report(monitor.report(sess))
+            with open(args.health_out, "w", encoding="utf-8") as fh:
+                json.dump(health, fh, indent=2, default=str)
+                fh.write("\n")
+            status = "healthy" if health["healthy"] else (
+                f"{len(health['alerts'])} alert(s)")
+            print(f"[health report ({status}) written to {args.health_out}]")
         if telemetry and args.metrics_out:
             from repro.obs.report import build_run_report, write_run_report
 
@@ -253,6 +306,30 @@ def _run_serve(args: argparse.Namespace, telemetry: bool) -> int:
             )
             write_run_report(args.metrics_out, report)
             print(f"[run report written to {args.metrics_out}]")
+    return 0
+
+
+def _run_dash(args: argparse.Namespace) -> int:
+    """Render a run report (and optional health report) as static HTML."""
+    import json
+    from pathlib import Path
+
+    from repro.viz.dashboard import render_dashboard
+
+    if not args.target:
+        print("usage: repro-experiments dash <run_report.json> [--out PATH]",
+              file=sys.stderr)
+        return 2
+    report_path = Path(args.target)
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    health = None
+    if args.health_report:
+        health = json.loads(
+            Path(args.health_report).read_text(encoding="utf-8")
+        )
+    out = Path(args.out) if args.out else report_path.with_suffix(".html")
+    render_dashboard(report, health=health, path=out)
+    print(f"[dashboard written to {out}]")
     return 0
 
 

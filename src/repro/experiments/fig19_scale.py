@@ -82,6 +82,7 @@ def _serve_once(spec: RepSpec, num_shards: int) -> dict:
             "seconds": seconds,
             "users_per_second": events / seconds if seconds > 0 else 0.0,
             "is_nash": float(sess.is_nash()),
+            "nash_residual": sess.nash_residual(),
             "convergence_rounds": len(reports),
             "boundary_moves": sess.stats.boundary_moves,
             "total_profit": served_profit,
@@ -120,7 +121,7 @@ def run(
     raw = repeat_map(_worker, specs, processes=processes)
     return raw.aggregate(
         by=["shards"],
-        values=["users_per_second", "speedup", "is_nash",
+        values=["users_per_second", "speedup", "is_nash", "nash_residual",
                 "convergence_rounds", "boundary_moves", "total_profit",
                 "profit_delta_pct"],
         stats=("mean",),

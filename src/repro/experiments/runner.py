@@ -53,6 +53,7 @@ class _TelemetryWorker:
 def _note_spec(index: int, spec: Any, seconds: float) -> None:
     obs.histogram("runner.spec_seconds").observe(seconds)
     obs.counter("runner.specs_total").inc()
+    obs.sample("runner.spec_seconds", index, seconds)
     obs.event(
         "runner.spec_done",
         index=index,
@@ -63,11 +64,21 @@ def _note_spec(index: int, spec: Any, seconds: float) -> None:
 
 
 def _note_run(durations: list[float], wall: float, workers: int) -> None:
+    """File run-level telemetry: registry gauges (the Prometheus/export
+    surface) plus one time-series sample per ``repeat_map`` call, so
+    multi-sweep sessions keep a utilization/straggler trajectory."""
     busy = sum(durations)
+    straggler = max(durations, default=0.0)
+    run_index = obs.TIMESERIES.series("runner.wall_seconds")
+    t = len(run_index)
     obs.gauge("runner.wall_seconds").set(wall)
-    obs.gauge("runner.straggler_seconds").set(max(durations, default=0.0))
+    obs.gauge("runner.straggler_seconds").set(straggler)
+    obs.sample("runner.wall_seconds", t, wall)
+    obs.sample("runner.straggler_seconds", t, straggler)
     if wall > 0.0 and workers > 0:
-        obs.gauge("runner.utilization").set(busy / (wall * workers))
+        utilization = busy / (wall * workers)
+        obs.gauge("runner.utilization").set(utilization)
+        obs.sample("runner.utilization", t, utilization)
     obs.event(
         "runner.run_done",
         specs=len(durations),

@@ -39,6 +39,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.quantiles import Reservoir, quantile
 from repro.obs.runtime import RUNTIME, disable, enable, enabled
+from repro.obs.timeseries import TIMESERIES, Series, TimeSeriesStore
 from repro.obs.tracing import (
     merge_trace_snapshot,
     raw_spans,
@@ -52,13 +53,16 @@ from repro.obs.tracing import (
 __all__ = [
     "REGISTRY",
     "RUNTIME",
+    "TIMESERIES",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Reservoir",
+    "Series",
     "TelemetrySnapshot",
+    "TimeSeriesStore",
     "configure_logging",
     "counter",
     "disable",
@@ -67,6 +71,7 @@ __all__ = [
     "event",
     "gauge",
     "histogram",
+    "label_snapshot",
     "merge_snapshot",
     "merge_trace_snapshot",
     "quantile",
@@ -75,6 +80,7 @@ __all__ = [
     "reset",
     "reset_logging",
     "reset_tracing",
+    "sample",
     "session",
     "snapshot",
     "span_aggregates",
@@ -98,29 +104,79 @@ def histogram(name: str, **labels: Any) -> Histogram:
     return REGISTRY.histogram(name, **labels)
 
 
+def sample(name: str, t: float, value: float, **labels: Any) -> None:
+    """Append one ``(t, value)`` sample to the process-wide time series.
+
+    No-op while telemetry is off — safe to leave on hot paths.
+    """
+    if RUNTIME.enabled:
+        TIMESERIES.record(name, t, value, **labels)
+
+
 @dataclass
 class TelemetrySnapshot:
-    """Combined picklable telemetry state (metrics + span aggregates)."""
+    """Combined picklable telemetry state (metrics, spans, time series)."""
 
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
     spans: dict[str, dict[str, float]] = field(default_factory=dict)
+    timeseries: dict[str, dict] = field(default_factory=dict)
 
 
 def snapshot() -> TelemetrySnapshot:
     """Picklable copy of the process's telemetry state."""
-    return TelemetrySnapshot(metrics=REGISTRY.snapshot(), spans=trace_snapshot())
+    return TelemetrySnapshot(
+        metrics=REGISTRY.snapshot(),
+        spans=trace_snapshot(),
+        timeseries=TIMESERIES.snapshot(),
+    )
 
 
 def merge_snapshot(snap: TelemetrySnapshot) -> None:
     """Fold a worker's snapshot into this process's registry/span table."""
     REGISTRY.merge_snapshot(snap.metrics)
     merge_trace_snapshot(snap.spans)
+    # Snapshots from before the time-series store default to empty.
+    TIMESERIES.merge_snapshot(getattr(snap, "timeseries", {}) or {})
+
+
+def label_snapshot(snap: TelemetrySnapshot, **labels: Any) -> TelemetrySnapshot:
+    """Copy of a snapshot with ``labels`` stamped onto every series.
+
+    Metric and time-series label sets gain the given labels (existing
+    labels win on conflict — stamping never overwrites); span paths gain
+    a ``" [k=v]"`` suffix so hotspot tables attribute time per source
+    (e.g. per shard) instead of silently merging identical paths.
+    """
+    from repro.obs.metrics import _label_key
+
+    stamp = {k: str(v) for k, v in labels.items()}
+    suffix = " [" + ",".join(f"{k}={v}" for k, v in sorted(stamp.items())) + "]"
+
+    def relabel(series: dict) -> dict:
+        out: dict = {}
+        for key, value in series.items():
+            merged = {**stamp, **dict(key)}
+            out[_label_key(merged)] = value
+        return out
+
+    metrics = MetricsSnapshot(
+        counters={n: relabel(s) for n, s in snap.metrics.counters.items()},
+        gauges={n: relabel(s) for n, s in snap.metrics.gauges.items()},
+        histograms={n: relabel(s) for n, s in snap.metrics.histograms.items()},
+    )
+    spans = {f"{path}{suffix}": dict(agg) for path, agg in snap.spans.items()}
+    timeseries = {
+        n: relabel(family)
+        for n, family in (getattr(snap, "timeseries", {}) or {}).items()
+    }
+    return TelemetrySnapshot(metrics=metrics, spans=spans, timeseries=timeseries)
 
 
 def reset() -> None:
-    """Clear all collected telemetry (registry and spans)."""
+    """Clear all collected telemetry (registry, spans, time series)."""
     REGISTRY.reset()
     reset_tracing()
+    TIMESERIES.reset()
 
 
 @contextmanager

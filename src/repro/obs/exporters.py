@@ -1,0 +1,199 @@
+"""Prometheus text exposition and an optional HTTP scrape endpoint.
+
+Stdlib only.  :func:`prometheus_exposition` renders a
+:class:`~repro.obs.metrics.MetricsSnapshot` (plus, optionally, the latest
+value of every time series) in the Prometheus text exposition format
+(version 0.0.4): dotted repo metric names become underscore names
+(``serve.rounds_total`` → ``serve_rounds_total``), label sets render as
+``{k="v"}`` pairs, and histograms expand to cumulative ``_bucket`` /
+``_sum`` / ``_count`` families.
+
+:class:`ScrapeServer` serves that text from a daemon thread at
+``/metrics`` so a live serve session can be scraped while it runs:
+
+    with obs.session(), ScrapeServer() as srv:
+        print(srv.url)          # http://127.0.0.1:<port>/metrics
+        session.run_round()
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import REGISTRY, LabelKey, MetricsSnapshot
+from repro.obs.timeseries import TIMESERIES
+
+__all__ = ["prometheus_exposition", "ScrapeServer"]
+
+_NAME_SUB = re.compile(r"[^a-zA-Z0-9_:]").sub
+_LABEL_ESCAPES = str.maketrans({"\\": r"\\", '"': r"\"", "\n": r"\n"})
+
+
+def _metric_name(name: str) -> str:
+    sanitized = _NAME_SUB("_", name)
+    return sanitized if not sanitized[:1].isdigit() else f"_{sanitized}"
+
+
+def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(key) + extra
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{_metric_name(k)}="{str(v).translate(_LABEL_ESCAPES)}"'
+        for k, v in pairs
+    )
+    return f"{{{body}}}"
+
+
+def _fmt(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    return repr(float(v))
+
+
+def prometheus_exposition(
+    snapshot: MetricsSnapshot | None = None,
+    *,
+    timeseries: dict[str, dict[LabelKey, dict]] | None = None,
+    include_timeseries: bool = True,
+) -> str:
+    """Render metrics (and latest time-series values) as Prometheus text.
+
+    With no arguments, exports the live process-wide registry and store.
+    Time series export their most recent sample as a gauge — the natural
+    scrape view of a curve that the store keeps in full.
+    """
+    snap = REGISTRY.snapshot() if snapshot is None else snapshot
+    if timeseries is None and include_timeseries:
+        timeseries = TIMESERIES.snapshot()
+    lines: list[str] = []
+
+    for name, series in sorted(snap.counters.items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        for key, value in sorted(series.items()):
+            lines.append(f"{metric}{_render_labels(key)} {_fmt(value)}")
+
+    for name, series in sorted(snap.gauges.items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        for key, value in sorted(series.items()):
+            lines.append(f"{metric}{_render_labels(key)} {_fmt(value)}")
+
+    for name, series in sorted(snap.histograms.items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for key, state in sorted(series.items()):
+            cumulative = 0
+            for bound, count in zip(state["buckets"], state["bucket_counts"]):
+                cumulative += count
+                le = _render_labels(key, (("le", _fmt(bound)),))
+                lines.append(f"{metric}_bucket{le} {cumulative}")
+            cumulative += state["bucket_counts"][-1]
+            inf = _render_labels(key, (("le", "+Inf"),))
+            lines.append(f"{metric}_bucket{inf} {cumulative}")
+            lines.append(f"{metric}_sum{_render_labels(key)} {_fmt(state['sum'])}")
+            lines.append(f"{metric}_count{_render_labels(key)} {state['count']}")
+
+    if include_timeseries and timeseries:
+        for name, family in sorted(timeseries.items()):
+            metric = _metric_name(name)
+            rows = [
+                (key, state["samples"][-1][1])
+                for key, state in sorted(family.items())
+                if state["samples"]
+            ]
+            if not rows:
+                continue
+            lines.append(f"# TYPE {metric} gauge")
+            for key, value in rows:
+                lines.append(f"{metric}{_render_labels(key)} {_fmt(value)}")
+
+    return "\n".join(lines) + "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """GET /metrics → live exposition; anything else → 404.  Silent log."""
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404)
+            return
+        body = None
+        for _ in range(3):
+            # The serving thread mutates the registry concurrently; a dict
+            # grown mid-snapshot raises RuntimeError — retry, don't crash.
+            try:
+                body = prometheus_exposition().encode("utf-8")
+                break
+            except RuntimeError:
+                continue
+        if body is None:
+            self.send_error(503, "registry busy")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # pragma: no cover
+        return
+
+
+class ScrapeServer:
+    """Background HTTP endpoint exposing the live registry at ``/metrics``.
+
+    ``port=0`` (default) binds an ephemeral port; read :attr:`port` /
+    :attr:`url` after :meth:`start`.  The serving thread is a daemon, so a
+    forgotten server never blocks interpreter exit — but prefer the
+    context-manager form, which stops it deterministically.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "ScrapeServer":
+        if self._server is not None:
+            return self
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), _MetricsHandler
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-scrape",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("scrape server is not running")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "ScrapeServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -13,6 +13,7 @@ from typing import Any
 
 from repro.obs import tracing
 from repro.obs.metrics import REGISTRY, MetricsRegistry, MetricsSnapshot
+from repro.obs.timeseries import TIMESERIES
 
 SCHEMA = "repro.run_report/v1"
 
@@ -86,6 +87,7 @@ def build_run_report(
         },
         "runner": _runner_section(snap),
         "metrics": snap.to_dict(),
+        "timeseries": TIMESERIES.to_dict(),
     }
 
 

@@ -1,0 +1,180 @@
+"""Bounded time-series store: metric × labels → ``(t, value)`` samples.
+
+Counters and gauges (:mod:`repro.obs.metrics`) answer "how much, in
+total"; the serving layer's health questions are about *trajectories* —
+is the potential still climbing, is the Nash residual shrinking, is one
+shard's epoch time drifting away from the others.  This module stores
+those curves with the same contracts the registry already honours:
+
+1. **Cheap when off** — call sites guard on ``repro.obs.runtime.RUNTIME``
+   (via :func:`repro.obs.sample`), so the disabled cost stays one
+   attribute check.
+2. **Bounded** — every series is a ring buffer (default
+   :data:`DEFAULT_CAP` samples); long serve sessions evict their oldest
+   samples instead of growing without bound, and the eviction count is
+   kept so consumers know the window is clipped.
+3. **Labeled** — ``store.record("serve.epoch_seconds", t, v, shard=3)``
+   keeps per-shard curves attributable after cross-process merges.
+4. **Picklable snapshot/merge** — :meth:`TimeSeriesStore.snapshot` is
+   plain dicts/lists; the driver folds worker snapshots with
+   :meth:`TimeSeriesStore.merge_snapshot`, merging samples in time order
+   and re-applying the ring bound.
+
+Timestamps are caller-defined — serving code uses round/sync indices so
+curves from different processes align; wall-clock seconds work too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator
+
+from repro.obs.metrics import LabelKey, _label_key
+
+__all__ = ["DEFAULT_CAP", "Series", "TimeSeriesStore", "TIMESERIES"]
+
+#: Default ring capacity per series — generous for per-round serving
+#: curves (thousands of rounds) while bounding week-long sessions.
+DEFAULT_CAP = 4096
+
+
+class Series:
+    """One ring-buffered ``(t, value)`` sample sequence."""
+
+    __slots__ = ("cap", "evicted", "_ring")
+
+    def __init__(self, cap: int = DEFAULT_CAP) -> None:
+        if cap < 1:
+            raise ValueError(f"series capacity must be >= 1, got {cap}")
+        self.cap = int(cap)
+        self.evicted = 0
+        self._ring: deque[tuple[float, float]] = deque(maxlen=self.cap)
+
+    def append(self, t: float, value: float) -> None:
+        if len(self._ring) == self.cap:
+            self.evicted += 1
+        self._ring.append((float(t), float(value)))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def samples(self) -> list[tuple[float, float]]:
+        """The retained ``(t, value)`` samples, oldest first."""
+        return list(self._ring)
+
+    def values(self) -> list[float]:
+        return [v for _, v in self._ring]
+
+    @property
+    def last(self) -> float | None:
+        """Most recent value (None while empty)."""
+        return self._ring[-1][1] if self._ring else None
+
+    # ------------------------------------------------------------- snapshot
+    def state(self) -> dict[str, Any]:
+        """Picklable state for snapshot/merge."""
+        return {
+            "cap": self.cap,
+            "evicted": self.evicted,
+            "samples": [[t, v] for t, v in self._ring],
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold another series' samples in, keeping time order.
+
+        The merged sequence is sorted by ``t`` (stable: existing samples
+        win ties) and re-clipped to this series' capacity, evicting from
+        the oldest end; eviction counts add up so the clipped-window
+        signal survives merges.
+        """
+        merged = sorted(
+            list(self._ring) + [(float(t), float(v)) for t, v in state["samples"]],
+            key=lambda s: s[0],
+        )
+        self.evicted += int(state["evicted"])
+        if len(merged) > self.cap:
+            self.evicted += len(merged) - self.cap
+            merged = merged[-self.cap:]
+        self._ring = deque(merged, maxlen=self.cap)
+
+
+class TimeSeriesStore:
+    """Named, labeled ring-buffer series with snapshot/merge semantics."""
+
+    def __init__(self, default_cap: int = DEFAULT_CAP) -> None:
+        self.default_cap = default_cap
+        self._series: dict[str, dict[LabelKey, Series]] = {}
+
+    def series(
+        self, name: str, *, cap: int | None = None, **labels: Any
+    ) -> Series:
+        """The series for ``(name, labels)``, created on first use.
+
+        ``cap`` only applies at creation; an existing series keeps its
+        original capacity.
+        """
+        family = self._series.get(name)
+        if family is None:
+            family = self._series[name] = {}
+        key = _label_key(labels)
+        series = family.get(key)
+        if series is None:
+            series = family[key] = Series(
+                self.default_cap if cap is None else cap
+            )
+        return series
+
+    def record(
+        self, name: str, t: float, value: float, **labels: Any
+    ) -> None:
+        """Append one ``(t, value)`` sample to the named series."""
+        self.series(name, **labels).append(t, value)
+
+    def get(self, name: str, **labels: Any) -> list[tuple[float, float]]:
+        """Samples of one series ([] if it does not exist)."""
+        family = self._series.get(name, {})
+        series = family.get(_label_key(labels))
+        return series.samples() if series is not None else []
+
+    def __iter__(self) -> Iterator[tuple[str, LabelKey, Series]]:
+        for name, family in self._series.items():
+            for key, series in family.items():
+                yield name, key, series
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> None:
+        self._series.clear()
+
+    def snapshot(self) -> dict[str, dict[LabelKey, dict]]:
+        """Plain-data copy — picklable, mergeable."""
+        return {
+            name: {key: series.state() for key, series in family.items()}
+            for name, family in self._series.items()
+        }
+
+    def merge_snapshot(self, snap: dict[str, dict[LabelKey, dict]]) -> None:
+        """Fold a worker's snapshot into the live store."""
+        for name, family in snap.items():
+            for key, state in family.items():
+                self.series(
+                    name, cap=state["cap"], **dict(key)
+                ).merge_state(state)
+
+    def to_dict(self) -> dict[str, list[dict]]:
+        """JSON-ready form (label tuples become dicts), sorted by name."""
+        return {
+            name: [
+                {
+                    "labels": dict(key),
+                    "cap": series.cap,
+                    "evicted": series.evicted,
+                    "samples": [[t, v] for t, v in series.samples()],
+                }
+                for key, series in sorted(family.items())
+            ]
+            for name, family in sorted(self._series.items())
+        }
+
+
+#: The process-wide default store all instrument sites write to.
+TIMESERIES = TimeSeriesStore()

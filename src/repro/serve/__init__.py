@@ -12,6 +12,13 @@ from repro.serve.churn import (
     ScenarioUserFactory,
     SyntheticUserFactory,
 )
+from repro.serve.health import (
+    HEALTH_SCHEMA,
+    Alert,
+    HealthMonitor,
+    HealthThresholds,
+    validate_health_report,
+)
 from repro.serve.ledger import BoundaryLedger
 from repro.serve.partition import (
     RegionPartition,
@@ -30,9 +37,13 @@ from repro.serve.shard import (
 )
 
 __all__ = [
+    "HEALTH_SCHEMA",
+    "Alert",
     "BoundaryLedger",
     "ChurnSchedule",
     "EpochResult",
+    "HealthMonitor",
+    "HealthThresholds",
     "RegionPartition",
     "RoundReport",
     "ScenarioUserFactory",
@@ -46,4 +57,5 @@ __all__ = [
     "partition_game",
     "refine_regions",
     "tile_tasks",
+    "validate_health_report",
 ]

@@ -1,0 +1,368 @@
+"""Runtime health monitoring for serving sessions (docs/serving.md).
+
+A :class:`HealthMonitor` rides inside a
+:class:`~repro.serve.session.ServeSession` and turns the session's
+per-round state into the *trigger signals* the drift-hardening roadmap
+item needs before any migration policy can act:
+
+- **load imbalance** — max/mean user share across live shards; a drifting
+  partition shows up here long before throughput collapses;
+- **boundary-pass fraction** — the share of all granted moves that leaked
+  to the sequential boundary pass; when this dominates, tiling locality
+  is broken and re-tiling from live coverage is due;
+- **churn backlog** — join/leave events absorbed since the last converged
+  round; a growing backlog means churn outruns re-convergence;
+- **epoch stragglers** — slowest/median epoch wall time per round across
+  shards (only meaningful for K >= 2);
+- **potential monotonicity** — between churn events the global potential
+  (cheap sharded form: shard sum + ledger correction) must never drop;
+  a drop is a correctness alarm, not a tuning signal;
+- **Nash residual** — the max candidate profit gain across all users
+  (:meth:`~repro.serve.shard.ShardEngine.nash_residual`), i.e. the
+  distance to equilibrium.  The raw per-round series is not monotone
+  (other users' moves can open new gains), so the monitor also keeps the
+  running-minimum **envelope**, which is non-increasing by construction
+  and ends at 0 exactly when the session verifies Nash.
+
+Alerts are structured: appended to :attr:`HealthMonitor.alerts`, counted
+in ``health.alerts_total{kind=...}``, and emitted as ``health.alert``
+events.  :meth:`HealthMonitor.report` renders the machine-readable
+``repro.health_report/v1`` document; :func:`validate_health_report`
+checks it.  With telemetry enabled, every observation also lands in the
+``health.*`` / ``serve.nash_residual`` time series
+(:mod:`repro.obs.timeseries`), keyed by round index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import TYPE_CHECKING, Any
+
+import repro.obs as obs
+from repro.utils.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.serve.session import RoundReport, ServeSession
+    from repro.serve.shard import EpochResult
+
+__all__ = [
+    "HEALTH_SCHEMA",
+    "Alert",
+    "HealthMonitor",
+    "HealthThresholds",
+    "validate_health_report",
+]
+
+HEALTH_SCHEMA = "repro.health_report/v1"
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Alert trigger levels; ``None`` disables the corresponding check."""
+
+    #: max/mean user share across live shards.
+    load_imbalance: float | None = 2.0
+    #: boundary moves / all granted moves, cumulative (needs K >= 2).
+    boundary_fraction: float | None = 0.5
+    #: churn events absorbed since the last converged round.
+    churn_backlog: int | None = 50
+    #: slowest / median epoch seconds within one round (needs K >= 2).
+    straggler_ratio: float | None = 4.0
+    #: tolerated potential drop between churn-free rounds (float noise).
+    potential_drop_tol: float = 1e-9
+
+    def __post_init__(self) -> None:
+        for name in ("load_imbalance", "boundary_fraction", "straggler_ratio"):
+            value = getattr(self, name)
+            require(
+                value is None or value > 0, f"{name} threshold must be > 0"
+            )
+        require(self.potential_drop_tol >= 0, "potential_drop_tol must be >= 0")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One threshold crossing (or monotonicity violation)."""
+
+    kind: str
+    round: int
+    value: float
+    threshold: float
+    message: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(vars(self))
+
+
+class HealthMonitor:
+    """Consumes a session's round telemetry; emits alerts and reports.
+
+    Attach via ``ServeSession(..., health=HealthMonitor())`` — the session
+    calls :meth:`on_round` after every round's final sync, where counts
+    (and hence residuals and potentials) are exact.  ``residual_every``
+    thins the Nash-residual sweep (one batched best-response pass over
+    all users) to every N-th round; converged rounds are always sampled
+    so the series provably ends at the verified equilibrium.
+    """
+
+    def __init__(
+        self,
+        thresholds: HealthThresholds | None = None,
+        *,
+        residual_every: int = 1,
+    ) -> None:
+        require(residual_every >= 1, "residual_every must be >= 1")
+        self.thresholds = thresholds or HealthThresholds()
+        self.residual_every = residual_every
+        self.alerts: list[Alert] = []
+        self.rounds_seen = 0
+        self._residual: list[tuple[int, float]] = []
+        self._residual_envelope: list[tuple[int, float]] = []
+        self._potential: list[tuple[int, float]] = []
+        self._potential_prev: float | None = None
+        self._potential_violations = 0
+        self._churn_prev = 0
+        self._events_since_converged = 0
+        self._last_imbalance: float | None = None
+        self._last_boundary_fraction: float | None = None
+        self._last_straggler_ratio: float | None = None
+        self._last_per_shard: dict[int, dict[str, float]] = {}
+
+    # -------------------------------------------------------------- ingest
+    def on_round(
+        self,
+        session: "ServeSession",
+        results: list["EpochResult"],
+        report: "RoundReport",
+    ) -> None:
+        """Observe one completed round (counts exact: post-final-sync)."""
+        self.rounds_seen += 1
+        t = report.round
+        telemetry = obs.enabled()
+
+        # --- per-shard shares + stragglers -----------------------------
+        per_shard: dict[int, dict[str, float]] = {}
+        shares: list[int] = []
+        for shard_id, engine in enumerate(session.engines):
+            if engine is None:
+                continue
+            users = int(engine.spec.users.size)
+            shares.append(users)
+            per_shard[shard_id] = {"users": users}
+        for res in results:
+            row = per_shard.setdefault(res.shard_id, {})
+            row["epoch_seconds"] = res.seconds
+            row["epoch_moves"] = float(len(res.moves))
+            if telemetry:
+                obs.sample(
+                    "health.epoch_seconds", t, res.seconds, shard=res.shard_id
+                )
+        self._last_per_shard = per_shard
+
+        imbalance = (
+            max(shares) / (sum(shares) / len(shares)) if shares else 0.0
+        )
+        self._last_imbalance = imbalance
+        self._check(
+            "load_imbalance", t, imbalance, self.thresholds.load_imbalance,
+            f"max/mean shard load {imbalance:.2f}",
+        )
+
+        epoch_secs = [res.seconds for res in results]
+        if len(epoch_secs) >= 2:
+            mid = median(epoch_secs)
+            ratio = max(epoch_secs) / mid if mid > 0 else 1.0
+            self._last_straggler_ratio = ratio
+            self._check(
+                "epoch_straggler", t, ratio, self.thresholds.straggler_ratio,
+                f"slowest epoch {max(epoch_secs):.4f}s vs median {mid:.4f}s",
+            )
+        else:
+            self._last_straggler_ratio = None
+
+        # --- boundary-pass dominance (cumulative) ----------------------
+        stats = session.stats
+        total_moves = stats.epoch_moves + stats.boundary_moves
+        fraction = stats.boundary_moves / total_moves if total_moves else 0.0
+        self._last_boundary_fraction = fraction
+        if session.num_shards > 1:
+            self._check(
+                "boundary_dominance", t, fraction,
+                self.thresholds.boundary_fraction,
+                f"{stats.boundary_moves}/{total_moves} moves crossed regions",
+            )
+
+        # --- churn backlog ---------------------------------------------
+        churn_now = stats.joins + stats.leaves
+        self._events_since_converged += churn_now - self._churn_prev
+        churned = churn_now != self._churn_prev
+        self._churn_prev = churn_now
+        if report.converged:
+            self._events_since_converged = 0
+        backlog = self._events_since_converged
+        if self.thresholds.churn_backlog is not None:
+            self._check(
+                "churn_backlog", t, float(backlog),
+                float(self.thresholds.churn_backlog),
+                f"{backlog} churn events since last converged round",
+            )
+
+        # --- potential monotonicity watch ------------------------------
+        pot = session.sharded_potential()
+        self._potential.append((t, pot))
+        if (
+            self._potential_prev is not None
+            and not churned
+            and pot < self._potential_prev - self.thresholds.potential_drop_tol
+        ):
+            self._potential_violations += 1
+            self._alert(
+                "potential_drop", t, pot - self._potential_prev, 0.0,
+                f"potential fell {self._potential_prev!r} -> {pot!r} "
+                "without churn",
+            )
+        self._potential_prev = pot
+
+        # --- Nash residual ---------------------------------------------
+        if report.converged or self.rounds_seen % self.residual_every == 0:
+            residual = session.nash_residual()
+            self._residual.append((t, residual))
+            prev_env = (
+                self._residual_envelope[-1][1]
+                if self._residual_envelope
+                else float("inf")
+            )
+            self._residual_envelope.append((t, min(residual, prev_env)))
+            if telemetry:
+                obs.sample("serve.nash_residual", t, residual)
+
+        if telemetry:
+            obs.sample("health.load_imbalance", t, imbalance)
+            obs.sample("health.boundary_fraction", t, fraction)
+            obs.sample("health.churn_backlog", t, float(backlog))
+            obs.sample("serve.potential", t, pot)
+
+    # -------------------------------------------------------------- alerts
+    def _check(
+        self,
+        kind: str,
+        t: int,
+        value: float,
+        threshold: float | None,
+        detail: str,
+    ) -> None:
+        if threshold is not None and value > threshold:
+            self._alert(kind, t, value, threshold, detail)
+
+    def _alert(
+        self, kind: str, t: int, value: float, threshold: float, detail: str
+    ) -> None:
+        alert = Alert(
+            kind=kind, round=t, value=float(value),
+            threshold=float(threshold),
+            message=f"{kind} at round {t}: {detail}",
+        )
+        self.alerts.append(alert)
+        if obs.enabled():
+            obs.counter("health.alerts_total", kind=kind).inc()
+            obs.event(
+                "health.alert", kind=kind, round=t,
+                value=round(float(value), 6),
+                threshold=float(threshold), detail=detail,
+            )
+
+    @property
+    def healthy(self) -> bool:
+        return not self.alerts
+
+    # -------------------------------------------------------------- report
+    def nash_residual_series(self) -> list[tuple[int, float]]:
+        """Raw sampled ``(round, residual)`` points."""
+        return list(self._residual)
+
+    def nash_residual_envelope(self) -> list[tuple[int, float]]:
+        """Running-minimum residual — non-increasing by construction."""
+        return list(self._residual_envelope)
+
+    def report(self, session: "ServeSession | None" = None) -> dict[str, Any]:
+        """The machine-readable ``repro.health_report/v1`` document."""
+        final_residual = self._residual[-1][1] if self._residual else None
+        return {
+            "schema": HEALTH_SCHEMA,
+            "rounds_observed": self.rounds_seen,
+            "shards": session.num_shards if session is not None else None,
+            "active_users": session.num_users if session is not None else None,
+            "per_shard": {
+                str(shard): row
+                for shard, row in sorted(self._last_per_shard.items())
+            },
+            "load_imbalance": self._last_imbalance,
+            "boundary_fraction": self._last_boundary_fraction,
+            "straggler_ratio": self._last_straggler_ratio,
+            "churn_backlog": self._events_since_converged,
+            "potential": {
+                "series": [[t, v] for t, v in self._potential],
+                "last": self._potential_prev,
+                "monotonic": self._potential_violations == 0,
+                "violations": self._potential_violations,
+            },
+            "nash_residual": {
+                "series": [[t, v] for t, v in self._residual],
+                "envelope": [[t, v] for t, v in self._residual_envelope],
+                "final": final_residual,
+                "at_equilibrium": final_residual == 0.0,
+            },
+            "alerts": [a.as_dict() for a in self.alerts],
+            "healthy": self.healthy,
+        }
+
+
+_REPORT_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "rounds_observed": int,
+    "per_shard": dict,
+    "potential": dict,
+    "nash_residual": dict,
+    "alerts": list,
+    "healthy": bool,
+}
+
+
+def validate_health_report(report: dict[str, Any]) -> dict[str, Any]:
+    """Check a health report against ``repro.health_report/v1``.
+
+    Raises ``ValueError`` on schema mismatch, missing keys, or
+    wrong-typed fields; returns the report unchanged for chaining.
+    """
+    if not isinstance(report, dict):
+        raise ValueError(f"health report must be a dict, got {type(report)}")
+    schema = report.get("schema")
+    if schema != HEALTH_SCHEMA:
+        raise ValueError(f"expected schema {HEALTH_SCHEMA!r}, got {schema!r}")
+    missing = [
+        key
+        for key in (
+            "load_imbalance", "boundary_fraction", "churn_backlog",
+            *_REPORT_FIELDS,
+        )
+        if key not in report
+    ]
+    if missing:
+        raise ValueError(f"health report is missing fields: {missing}")
+    for key, types in _REPORT_FIELDS.items():
+        if not isinstance(report[key], types):
+            raise ValueError(
+                f"health report field {key!r} must be {types}, "
+                f"got {type(report[key])}"
+            )
+    residual = report["nash_residual"]
+    for key in ("series", "envelope", "final", "at_equilibrium"):
+        if key not in residual:
+            raise ValueError(f"nash_residual section is missing {key!r}")
+    env = [v for _, v in residual["envelope"]]
+    if any(b > a for a, b in zip(env, env[1:])):
+        raise ValueError("nash_residual envelope must be non-increasing")
+    for alert in report["alerts"]:
+        if not {"kind", "round", "value", "threshold", "message"} <= set(alert):
+            raise ValueError(f"malformed alert entry: {alert!r}")
+    return report

@@ -48,6 +48,7 @@ from repro.core.potential import potential
 from repro.core.profit import all_profits
 from repro.core.weights import PlatformWeights
 from repro.faults.invariants import InvariantViolation
+from repro.serve.health import HealthMonitor
 from repro.serve.ledger import BoundaryLedger
 from repro.serve.partition import RegionPartition, partition_game
 from repro.serve.shard import (
@@ -122,6 +123,7 @@ class ServeSession:
         sort_key: str = "delta",
         refine_passes: int = 2,
         compact_shards: bool = False,
+        health: "HealthMonitor | None" = None,
     ) -> None:
         require(len(records) >= 1, "a session needs at least one user")
         ids = [r.user_id for r in records]
@@ -176,6 +178,7 @@ class ServeSession:
         self.ledger = BoundaryLedger(tasks, self.num_shards)
         self.violations: list[InvariantViolation] = []
         self.stats = ServeStats()
+        self.health = health
         self.round_idx = 0
         self._global_cache: tuple[RouteNavigationGame, np.ndarray] | None = None
         self._pool = None
@@ -251,17 +254,7 @@ class ServeSession:
             epoch_moves == 0 and boundary_moves == 0 and all_quiet
             and not crashed
         )
-        if obs.enabled():
-            obs.counter("serve.rounds_total").inc()
-            obs.counter("serve.epoch_moves_total").inc(epoch_moves)
-            obs.counter("serve.boundary_moves_total").inc(boundary_moves)
-            if crashed:
-                obs.counter("serve.shard_crashes_total").inc(len(crashed))
-            obs.histogram("serve.round_seconds").observe(
-                time.perf_counter() - t0
-            )
-            obs.gauge("serve.active_users").set(float(len(self.records)))
-        return RoundReport(
+        report = RoundReport(
             round=self.round_idx,
             epoch_moves=epoch_moves,
             boundary_moves=boundary_moves,
@@ -269,6 +262,29 @@ class ServeSession:
             converged=converged,
             crashed_shards=crashed,
         )
+        if obs.enabled():
+            round_seconds = time.perf_counter() - t0
+            obs.counter("serve.rounds_total").inc()
+            obs.counter("serve.epoch_moves_total").inc(epoch_moves)
+            obs.counter("serve.boundary_moves_total").inc(boundary_moves)
+            if crashed:
+                obs.counter("serve.shard_crashes_total").inc(len(crashed))
+            obs.histogram("serve.round_seconds").observe(round_seconds)
+            obs.gauge("serve.active_users").set(float(len(self.records)))
+            obs.sample("serve.round_seconds", self.round_idx, round_seconds)
+            obs.sample(
+                "serve.active_users", self.round_idx, float(len(self.records))
+            )
+            for res in results:
+                obs.sample(
+                    "serve.epoch_moves", self.round_idx, float(len(res.moves)),
+                    shard=res.shard_id,
+                )
+        if self.health is not None:
+            # Counts are exact here (post-final-sync), so the monitor's
+            # potential/residual observations are exact too.
+            self.health.on_round(self, results, report)
+        return report
 
     def run_to_convergence(
         self, *, max_rounds: int = 10_000, epoch_slots: int | None = None
@@ -566,6 +582,31 @@ class ServeSession:
         """Monolithic Eq. 8 potential of the current global state."""
         _, profile = self.global_profile()
         return potential(profile)
+
+    def sharded_potential(self) -> float:
+        """Global potential from shard sums + the ledger correction.
+
+        Equal to :meth:`global_potential` up to float association order
+        (the ledger identity, asserted at rtol 1e-9 in validate mode) but
+        computed without rebuilding the monolithic game — the cheap form
+        the :class:`~repro.serve.health.HealthMonitor` samples per round.
+        """
+        return float(
+            sum(e.shard_potential() for e in self.engines if e is not None)
+            + self.ledger.correction()
+        )
+
+    def nash_residual(self) -> float:
+        """Max candidate profit gain across all users (0.0 iff at Nash).
+
+        Exact at sync points; one batched best-response sweep per shard,
+        RNG-neutral (``pick="first"``) — the distance-to-equilibrium
+        gauge behind ``serve.nash_residual``.
+        """
+        return max(
+            (e.nash_residual() for e in self.engines if e is not None),
+            default=0.0,
+        )
 
     def total_profit(self) -> float:
         """Sum of all users' exact profits (counts are exact at syncs)."""

@@ -29,6 +29,7 @@ monolithic DGRN/MUUN trajectory (asserted over the 34-seed suite).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace as dc_replace
 from typing import Any
 
@@ -210,6 +211,8 @@ class EpochResult:
     #: True iff the epoch stopped because no eligible proposal remained
     #: (deferred boundary proposals may still exist).
     converged: bool
+    #: wall-clock duration of the epoch (straggler detection input).
+    seconds: float = 0.0
 
 
 class ShardEngine:
@@ -252,6 +255,7 @@ class ShardEngine:
     # ------------------------------------------------------------ epoch loop
     def run_epoch(self, max_slots: int | None = None) -> EpochResult:
         """Grant region-eligible best responses until quiet or slot-capped."""
+        t0 = time.perf_counter()
         limit = DEFAULT_EPOCH_SLOTS if max_slots is None else max_slots
         ga = self.spec.game.arrays
         moves: list[tuple[int, int, int, float]] = []
@@ -310,6 +314,7 @@ class ShardEngine:
             boundary_users=np.asarray(sorted(boundary), dtype=np.intp),
             slots=slots,
             converged=converged,
+            seconds=time.perf_counter() - t0,
         )
 
     def _split(self, batch: ProposalBatch) -> tuple[ProposalBatch, np.ndarray]:
@@ -411,6 +416,20 @@ class ShardEngine:
 
         all_users = np.arange(self.spec.game.num_users, dtype=np.intp)
         return batch_best_updates(self.profile, all_users, pick="first").users
+
+    def nash_residual(self) -> float:
+        """Max candidate profit gain across this shard's users (Nash gap).
+
+        Zero exactly at a local Nash profile; one batched best-response
+        sweep (the same kernel the allocator loop uses), ``pick="first"``
+        so the RNG stream is untouched.  Exact whenever counts are exact,
+        i.e. at sync points.
+        """
+        from repro.core.responses import batch_best_updates
+
+        all_users = np.arange(self.spec.game.num_users, dtype=np.intp)
+        batch = batch_best_updates(self.profile, all_users, pick="first")
+        return float(batch.gains.max()) if len(batch) else 0.0
 
     # ------------------------------------------------------ snapshot / resume
     def export_state(self) -> dict[str, Any]:

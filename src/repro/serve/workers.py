@@ -47,7 +47,14 @@ def _run_epoch_job(
         spec, state, scheduler=scheduler, sort_key=sort_key
     )
     result = engine.run_epoch(max_slots)
-    snap = obs.snapshot() if telemetry else None
+    # Stamp the shard id onto everything the worker collected so merged
+    # metric series and `--trace` hotspot tables stay attributable per
+    # shard instead of silently folding identical paths together.
+    snap = (
+        obs.label_snapshot(obs.snapshot(), shard=spec.shard_id)
+        if telemetry
+        else None
+    )
     return result, engine.export_state(), snap
 
 

@@ -1,8 +1,16 @@
-"""Rendering: route maps (Fig. 13 analogue) and SVG line charts for the
-experiment series (Figs. 4-12 analogues) — no plotting dependency."""
+"""Rendering: route maps (Fig. 13 analogue), SVG line charts for the
+experiment series (Figs. 4-12 analogues), and the static HTML run
+dashboard — no plotting dependency."""
 
 from repro.viz.ascii_map import render_ascii
 from repro.viz.charts import chart_from_table, line_chart
+from repro.viz.dashboard import render_dashboard
 from repro.viz.svg import render_svg
 
-__all__ = ["chart_from_table", "line_chart", "render_ascii", "render_svg"]
+__all__ = [
+    "chart_from_table",
+    "line_chart",
+    "render_ascii",
+    "render_dashboard",
+    "render_svg",
+]

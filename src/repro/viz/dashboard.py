@@ -1,0 +1,191 @@
+"""Self-contained HTML dashboard for run reports (no JS, no deps).
+
+``repro-experiments dash run.json`` turns a ``repro.run_report/v1``
+document (the CLI's ``--metrics-out`` output) into one static HTML page:
+a config header, per-series sparkline charts (every time series in the
+report — potential, Nash residual, per-shard epoch curves, runner
+utilization), the hottest-spans table, and — when a
+``repro.health_report/v1`` document is supplied alongside — the health
+summary with its alert list.  Charts are the existing SVG line renderer
+(:func:`repro.viz.charts.line_chart`) inlined into the page, so the file
+is fully self-contained and mailable.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Any
+
+from repro.utils.validation import require
+from repro.viz.charts import line_chart
+
+__all__ = ["render_dashboard"]
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #222; max-width: 1200px; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; font-size: 0.85em; }
+th, td { border: 1px solid #ddd; padding: 4px 10px; text-align: left; }
+th { background: #f5f5f2; }
+.charts { display: flex; flex-wrap: wrap; gap: 12px; }
+.chart { border: 1px solid #eee; padding: 6px; }
+.chart p { margin: 2px 4px; font-size: 0.8em; color: #555; }
+.alert { color: #b00020; }
+.ok { color: #1b7e3c; }
+""".strip()
+
+
+def _config_table(config: dict[str, Any]) -> str:
+    rows = "".join(
+        f"<tr><th>{html.escape(str(k))}</th>"
+        f"<td>{html.escape(str(v))}</td></tr>"
+        for k, v in config.items()
+    )
+    return f"<table>{rows}</table>"
+
+
+def _series_label(labels: dict[str, str]) -> str:
+    if not labels:
+        return "value"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def _timeseries_charts(timeseries: dict[str, list[dict]]) -> list[str]:
+    """One sparkline chart per series family, one line per label set."""
+    charts: list[str] = []
+    for name, rows in sorted(timeseries.items()):
+        series = {
+            _series_label(row.get("labels", {})): [
+                (float(t), float(v)) for t, v in row["samples"]
+            ]
+            for row in rows
+            if row["samples"]
+        }
+        if not series:
+            continue
+        svg = line_chart(
+            series, title=name, x_label="t", width=420, height=220
+        )
+        evicted = sum(int(row.get("evicted", 0)) for row in rows)
+        note = (
+            f"<p>window clipped: {evicted} samples evicted</p>"
+            if evicted
+            else ""
+        )
+        charts.append(f'<div class="chart">{svg}{note}</div>')
+    return charts
+
+
+def _span_table(spans: list[dict[str, Any]], limit: int = 12) -> str:
+    header = (
+        "<tr><th>span</th><th>count</th><th>total s</th>"
+        "<th>mean ms</th><th>max ms</th></tr>"
+    )
+    rows = []
+    for span in spans[:limit]:
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(span['path'])}</td>"
+            f"<td>{span['count']}</td>"
+            f"<td>{span['total_seconds']:.3f}</td>"
+            f"<td>{span['mean_seconds'] * 1e3:.3f}</td>"
+            f"<td>{span['max_seconds'] * 1e3:.3f}</td>"
+            "</tr>"
+        )
+    return f"<table>{header}{''.join(rows)}</table>"
+
+
+def _health_section(health: dict[str, Any]) -> str:
+    status = (
+        '<span class="ok">healthy</span>'
+        if health.get("healthy")
+        else f'<span class="alert">{len(health.get("alerts", []))} alert(s)</span>'
+    )
+    residual = health.get("nash_residual", {})
+    summary = {
+        "status": status,
+        "rounds observed": health.get("rounds_observed"),
+        "shards": health.get("shards"),
+        "load imbalance": health.get("load_imbalance"),
+        "boundary fraction": health.get("boundary_fraction"),
+        "churn backlog": health.get("churn_backlog"),
+        "final Nash residual": residual.get("final"),
+        "at equilibrium": residual.get("at_equilibrium"),
+        "potential monotonic": health.get("potential", {}).get("monotonic"),
+    }
+    rows = "".join(
+        f"<tr><th>{html.escape(str(k))}</th><td>{v if k == 'status' else html.escape(str(v))}</td></tr>"
+        for k, v in summary.items()
+    )
+    parts = [f"<h2>Health</h2><table>{rows}</table>"]
+    alerts = health.get("alerts", [])
+    if alerts:
+        alert_rows = "".join(
+            f'<tr><td>{html.escape(a["kind"])}</td><td>{a["round"]}</td>'
+            f'<td>{a["value"]:.4g}</td><td>{a["threshold"]:.4g}</td>'
+            f'<td>{html.escape(a["message"])}</td></tr>'
+            for a in alerts
+        )
+        parts.append(
+            "<table><tr><th>kind</th><th>round</th><th>value</th>"
+            f"<th>threshold</th><th>message</th></tr>{alert_rows}</table>"
+        )
+    charts: dict[str, list[tuple[float, float]]] = {}
+    if residual.get("series"):
+        charts["residual"] = [(float(t), float(v)) for t, v in residual["series"]]
+    if residual.get("envelope"):
+        charts["envelope"] = [
+            (float(t), float(v)) for t, v in residual["envelope"]
+        ]
+    if charts:
+        svg = line_chart(
+            charts, title="Nash residual", x_label="round",
+            width=420, height=220,
+        )
+        parts.append(f'<div class="charts"><div class="chart">{svg}</div></div>')
+    return "".join(parts)
+
+
+def render_dashboard(
+    report: dict[str, Any],
+    *,
+    health: dict[str, Any] | None = None,
+    path: str | Path | None = None,
+) -> str:
+    """Render a run report (and optional health report) as one HTML page.
+
+    Returns the document text; optionally writes it to ``path``.
+    """
+    require(isinstance(report, dict), "run report must be a dict")
+    experiment = report.get("experiment", "run")
+    title = f"repro dashboard — {experiment}"
+    parts = [
+        "<!DOCTYPE html>",
+        f'<html lang="en"><head><meta charset="utf-8"><title>{html.escape(title)}</title>',
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p>schema {html.escape(str(report.get('schema')))} · "
+        f"wall {report.get('wall_seconds', 0.0):.2f}s</p>",
+    ]
+    config = report.get("config") or {}
+    if config:
+        parts.append("<h2>Configuration</h2>")
+        parts.append(_config_table(config))
+    if health is not None:
+        parts.append(_health_section(health))
+    timeseries = report.get("timeseries") or {}
+    charts = _timeseries_charts(timeseries)
+    if charts:
+        parts.append("<h2>Time series</h2>")
+        parts.append(f'<div class="charts">{"".join(charts)}</div>')
+    spans = report.get("spans") or []
+    if spans:
+        parts.append("<h2>Hottest spans</h2>")
+        parts.append(_span_table(spans))
+    parts.append("</body></html>")
+    doc = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(doc, encoding="utf-8")
+    return doc

@@ -148,3 +148,79 @@ class TestServeCommand:
     def test_fig19_registered(self, capsys):
         assert main(["--list"]) == 0
         assert "fig19" in capsys.readouterr().out
+
+    def test_serve_health_out(self, tmp_path, capsys):
+        path = tmp_path / "health.json"
+        assert main([
+            "serve", "--shards", "2", "--churn-rate", "1.0",
+            "--duration", "3", "--users", "30", "--tasks", "20",
+            "--health-out", str(path),
+        ]) == 0
+        report = json.loads(path.read_text())
+        assert report["schema"] == "repro.health_report/v1"
+        assert len(report["per_shard"]) == 2
+        assert report["nash_residual"]["at_equilibrium"] is True
+        out = capsys.readouterr().out
+        assert "nash_residual" in out
+        assert "health report" in out
+
+    def test_serve_scrape_port_live_endpoint(self, capsys):
+        import re
+        import urllib.request
+        from unittest.mock import patch
+
+        from repro.obs.exporters import ScrapeServer
+
+        probed: dict[str, str] = {}
+        orig = ScrapeServer.start
+
+        def start_and_probe(self):
+            orig(self)
+            with urllib.request.urlopen(self.url, timeout=5) as resp:
+                probed["body"] = resp.read().decode("utf-8")
+            return self
+
+        with patch.object(ScrapeServer, "start", start_and_probe):
+            assert main([
+                "serve", "--duration", "2", "--users", "20", "--tasks", "15",
+                "--scrape-port", "0",
+            ]) == 0
+        assert re.search(r"scrape endpoint live at http://127\.0\.0\.1:\d+",
+                         capsys.readouterr().out)
+        assert "body" in probed  # endpoint answered the scrape
+
+
+class TestDashCommand:
+    def _run_report(self, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(["serve", "--shards", "2", "--duration", "2",
+                     "--users", "30", "--tasks", "20",
+                     "--metrics-out", str(path),
+                     "--health-out", str(tmp_path / "health.json")]) == 0
+        return path
+
+    def test_dash_renders_html(self, tmp_path, capsys):
+        report = self._run_report(tmp_path)
+        out = tmp_path / "dash.html"
+        assert main(["dash", str(report), "--out", str(out)]) == 0
+        doc = out.read_text()
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "serve.rounds" in doc or "Time series" in doc
+
+    def test_dash_default_output_path(self, tmp_path, capsys):
+        report = self._run_report(tmp_path)
+        assert main(["dash", str(report)]) == 0
+        assert (tmp_path / "run.html").exists()
+
+    def test_dash_with_health_report(self, tmp_path, capsys):
+        report = self._run_report(tmp_path)
+        out = tmp_path / "dash.html"
+        assert main(["dash", str(report), "--out", str(out),
+                     "--health-report", str(tmp_path / "health.json")]) == 0
+        doc = out.read_text()
+        assert "<h2>Health</h2>" in doc
+        assert "Nash residual" in doc
+
+    def test_dash_without_target_errors(self, capsys):
+        assert main(["dash"]) == 2
+        assert "usage" in capsys.readouterr().err

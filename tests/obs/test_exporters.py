@@ -1,0 +1,108 @@
+"""Tests for the Prometheus exporters: text exposition (golden file) and
+the background scrape endpoint."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.exporters import ScrapeServer, prometheus_exposition
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesStore
+
+GOLDEN = Path(__file__).parent / "data" / "prometheus_golden.txt"
+
+
+def _fixture_exposition() -> str:
+    """Deterministic registry + store covering every exposition branch."""
+    reg = MetricsRegistry()
+    reg.counter("serve.rounds_total").inc(7)
+    reg.counter("bus.sent_total", type="proposal").inc(3)
+    reg.counter("bus.sent_total", type="ack").inc(2)
+    reg.gauge("runner.utilization").set(0.75)
+    reg.gauge("serve.shard_users", shard=0).set(12)
+    reg.gauge("serve.shard_users", shard=1).set(9)
+    h = reg.histogram("epoch.seconds", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    store = TimeSeriesStore()
+    store.record("serve.nash_residual", 0, 2.5)
+    store.record("serve.nash_residual", 1, 0.0)
+    store.record("health.epoch_seconds", 3, 0.25, shard=2)
+    return prometheus_exposition(reg.snapshot(), timeseries=store.snapshot())
+
+
+class TestExposition:
+    def test_matches_golden_file(self):
+        assert _fixture_exposition() == GOLDEN.read_text(encoding="utf-8")
+
+    def test_dotted_names_become_underscores(self):
+        text = _fixture_exposition()
+        assert "serve_rounds_total 7" in text
+        assert "serve.rounds_total" not in text
+
+    def test_labels_render(self):
+        text = _fixture_exposition()
+        assert 'bus_sent_total{type="proposal"} 3' in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = _fixture_exposition()
+        assert 'epoch_seconds_bucket{le="0.1"} 1' in text
+        assert 'epoch_seconds_bucket{le="1.0"} 2' in text
+        assert 'epoch_seconds_bucket{le="+Inf"} 3' in text
+        assert "epoch_seconds_count 3" in text
+
+    def test_timeseries_export_latest_value(self):
+        text = _fixture_exposition()
+        # Latest sample only, as a gauge.
+        assert "serve_nash_residual 0.0" in text
+        assert "serve_nash_residual 2.5" not in text
+        assert 'health_epoch_seconds{shard="2"} 0.25' in text
+
+    def test_timeseries_can_be_excluded(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        text = prometheus_exposition(reg.snapshot(), include_timeseries=False)
+        assert text == "# TYPE a counter\na 1.0\n"
+
+    def test_digit_prefix_guarded(self):
+        reg = MetricsRegistry()
+        reg.counter("2fast").inc()
+        assert "_2fast 1" in prometheus_exposition(
+            reg.snapshot(), include_timeseries=False
+        )
+
+
+class TestScrapeServer:
+    def test_serves_live_registry(self):
+        with obs.session(), ScrapeServer() as srv:
+            obs.counter("scrape.test_total").inc(4)
+            obs.sample("scrape.curve", 0, 1.5)
+            with urllib.request.urlopen(srv.url, timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                body = resp.read().decode("utf-8")
+            assert "scrape_test_total 4" in body
+            assert "scrape_curve 1.5" in body
+
+    def test_unknown_path_404(self):
+        with ScrapeServer() as srv:
+            url = srv.url.replace("/metrics", "/nope")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(url, timeout=5)
+            assert err.value.code == 404
+
+    def test_port_requires_running_server(self):
+        srv = ScrapeServer()
+        with pytest.raises(RuntimeError):
+            srv.port
+
+    def test_stop_is_idempotent(self):
+        srv = ScrapeServer().start()
+        srv.stop()
+        srv.stop()

@@ -1,0 +1,193 @@
+"""Tests for the bounded time-series store: ring eviction, labeled
+series, picklable snapshot/merge (including across spawn-pool workers)."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+import repro.obs as obs
+from repro.experiments.runner import repeat_map
+from repro.obs.timeseries import DEFAULT_CAP, Series, TimeSeriesStore
+
+
+class TestSeries:
+    def test_append_and_read(self):
+        s = Series(cap=8)
+        s.append(0, 1.5)
+        s.append(1, 2.5)
+        assert len(s) == 2
+        assert s.samples() == [(0.0, 1.5), (1.0, 2.5)]
+        assert s.values() == [1.5, 2.5]
+        assert s.last == 2.5
+
+    def test_empty_last_is_none(self):
+        assert Series().last is None
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Series(cap=0)
+
+    def test_ring_evicts_oldest_and_counts(self):
+        s = Series(cap=3)
+        for t in range(5):
+            s.append(t, float(t))
+        assert len(s) == 3
+        assert s.evicted == 2
+        assert s.samples() == [(2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]
+
+    def test_merge_sorts_by_time(self):
+        a, b = Series(cap=10), Series(cap=10)
+        a.append(0, 1.0)
+        a.append(2, 3.0)
+        b.append(1, 2.0)
+        a.merge_state(b.state())
+        assert a.samples() == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+
+    def test_merge_is_stable_on_ties(self):
+        a, b = Series(cap=10), Series(cap=10)
+        a.append(5, 1.0)
+        b.append(5, 2.0)
+        a.merge_state(b.state())
+        # Existing sample wins the tie (comes first).
+        assert a.samples() == [(5.0, 1.0), (5.0, 2.0)]
+
+    def test_merge_reclips_to_cap_and_adds_evictions(self):
+        a, b = Series(cap=3), Series(cap=3)
+        for t in range(4):
+            a.append(t, float(t))      # evicts 1
+        for t in range(4, 9):
+            b.append(t, float(t))      # evicts 2
+        a.merge_state(b.state())
+        assert len(a) == 3
+        # 1 (a) + 2 (b) + 3 dropped by the re-clip of 6 merged samples.
+        assert a.evicted == 6
+        assert a.samples() == [(6.0, 6.0), (7.0, 7.0), (8.0, 8.0)]
+
+    def test_state_is_picklable_plain_data(self):
+        s = Series(cap=4)
+        s.append(1, 2.0)
+        state = pickle.loads(pickle.dumps(s.state()))
+        assert state == {"cap": 4, "evicted": 0, "samples": [[1.0, 2.0]]}
+
+
+class TestTimeSeriesStore:
+    def test_record_and_get(self):
+        store = TimeSeriesStore()
+        store.record("m", 0, 1.0)
+        store.record("m", 1, 2.0)
+        assert store.get("m") == [(0.0, 1.0), (1.0, 2.0)]
+        assert store.get("missing") == []
+
+    def test_labels_separate_series(self):
+        store = TimeSeriesStore()
+        store.record("epoch", 0, 1.0, shard=0)
+        store.record("epoch", 0, 9.0, shard=1)
+        assert store.get("epoch", shard=0) == [(0.0, 1.0)]
+        assert store.get("epoch", shard=1) == [(0.0, 9.0)]
+
+    def test_default_cap(self):
+        assert TimeSeriesStore().series("x").cap == DEFAULT_CAP
+
+    def test_cap_fixed_at_creation(self):
+        store = TimeSeriesStore()
+        store.series("x", cap=7)
+        assert store.series("x", cap=99).cap == 7
+
+    def test_iter_yields_every_series(self):
+        store = TimeSeriesStore()
+        store.record("a", 0, 1.0)
+        store.record("b", 0, 1.0, shard=2)
+        names = sorted(name for name, _, _ in store)
+        assert names == ["a", "b"]
+
+    def test_reset(self):
+        store = TimeSeriesStore()
+        store.record("a", 0, 1.0)
+        store.reset()
+        assert store.get("a") == []
+
+    def test_snapshot_merge_between_stores(self):
+        a, b = TimeSeriesStore(), TimeSeriesStore()
+        a.record("m", 0, 1.0, shard=0)
+        b.record("m", 1, 2.0, shard=0)
+        b.record("m", 0, 5.0, shard=1)
+        a.merge_snapshot(pickle.loads(pickle.dumps(b.snapshot())))
+        assert a.get("m", shard=0) == [(0.0, 1.0), (1.0, 2.0)]
+        assert a.get("m", shard=1) == [(0.0, 5.0)]
+
+    def test_merge_preserves_worker_cap(self):
+        a, b = TimeSeriesStore(), TimeSeriesStore()
+        b.series("m", cap=2)
+        for t in range(5):
+            b.record("m", t, float(t))
+        a.merge_snapshot(b.snapshot())
+        assert a.series("m").cap == 2
+        assert len(a.series("m")) == 2
+
+    def test_to_dict_shape(self):
+        store = TimeSeriesStore()
+        store.record("m", 0, 1.0, shard=3)
+        doc = store.to_dict()
+        assert doc == {
+            "m": [
+                {
+                    "labels": {"shard": "3"},
+                    "cap": DEFAULT_CAP,
+                    "evicted": 0,
+                    "samples": [[0.0, 1.0]],
+                }
+            ]
+        }
+
+
+class TestSampleGating:
+    def test_disabled_is_noop(self):
+        obs.disable()
+        obs.TIMESERIES.reset()
+        obs.sample("gate.check", 0, 1.0)
+        assert obs.TIMESERIES.get("gate.check") == []
+
+    def test_enabled_records(self):
+        with obs.session():
+            obs.sample("gate.check", 0, 1.0, shard=1)
+            assert obs.TIMESERIES.get("gate.check", shard=1) == [(0.0, 1.0)]
+        assert not obs.enabled()
+
+    def test_reset_clears_timeseries(self):
+        with obs.session():
+            obs.sample("gate.check", 0, 1.0)
+            obs.reset()
+            assert obs.TIMESERIES.get("gate.check") == []
+
+
+def _sampling_worker(spec):
+    """Module-level so it pickles under the spawn start method."""
+    obs.sample("worker.signal", spec, float(spec * 10), source="pool")
+    return [{"spec": spec}]
+
+
+class TestCrossProcessMerge:
+    def test_label_snapshot_relabels_timeseries(self):
+        with obs.session():
+            obs.sample("m", 0, 1.0)
+            obs.sample("m", 1, 2.0, shard=7)   # existing label wins
+            snap = obs.label_snapshot(obs.snapshot(), shard=3)
+            obs.reset()
+            obs.merge_snapshot(snap)
+            assert obs.TIMESERIES.get("m", shard=3) == [(0.0, 1.0)]
+            assert obs.TIMESERIES.get("m", shard=7) == [(1.0, 2.0)]
+
+    @pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2,
+                        reason="needs >= 2 cores")
+    def test_pool_workers_merge_samples(self):
+        with obs.session():
+            repeat_map(_sampling_worker, list(range(4)), processes=2)
+            merged = obs.TIMESERIES.get("worker.signal", source="pool")
+            # All four worker samples arrive, merged in time order.
+            assert merged == [(0.0, 0.0), (1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]
+            # Runner time-series gauges rode along (satellite telemetry).
+            assert len(obs.TIMESERIES.get("runner.wall_seconds")) == 1
+            assert len(obs.TIMESERIES.get("runner.utilization")) == 1

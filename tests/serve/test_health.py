@@ -1,0 +1,240 @@
+"""Tests for the serving-layer HealthMonitor: threshold alerts, the
+Nash-residual envelope, potential watch, and the report schema."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.serve.churn import ChurnSchedule, synthetic_serve_instance
+from repro.serve.health import (
+    HEALTH_SCHEMA,
+    Alert,
+    HealthMonitor,
+    HealthThresholds,
+    validate_health_report,
+)
+from repro.serve.session import ServeSession
+from tests.helpers import random_game
+
+
+def _session(seed: int = 21, k: int = 2, **kwargs) -> ServeSession:
+    game = random_game(
+        np.random.default_rng(seed), max_users=14, max_routes=4, max_tasks=16
+    )
+    return ServeSession.from_game(game, num_shards=k, seed=seed, **kwargs)
+
+
+class TestThresholds:
+    def test_defaults_valid(self):
+        HealthThresholds()
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ValueError):
+            HealthThresholds(load_imbalance=0.0)
+        with pytest.raises(ValueError):
+            HealthThresholds(straggler_ratio=-1.0)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            HealthThresholds(potential_drop_tol=-1e-9)
+
+    def test_none_disables_check(self):
+        monitor = HealthMonitor(HealthThresholds(
+            load_imbalance=None, boundary_fraction=None,
+            churn_backlog=None, straggler_ratio=None,
+        ))
+        sess = _session(health=None)
+        monitor.on_round(sess, [], sess.run_round())
+        kinds = {a.kind for a in monitor.alerts}
+        assert "load_imbalance" not in kinds
+        assert "churn_backlog" not in kinds
+
+
+class TestAlerts:
+    def test_tight_thresholds_fire(self):
+        # Any real multi-shard round violates near-zero trigger levels
+        # (max/median epoch seconds is >= 1 by construction).
+        monitor = HealthMonitor(HealthThresholds(
+            straggler_ratio=1.0 - 1e-9,
+        ))
+        tasks, platform, records, partition, _ = (
+            synthetic_serve_instance(40, 24, 2, seed=22))
+        with ServeSession(
+            tasks=tasks, platform=platform, records=records,
+            partition=partition, seed=22, health=monitor,
+        ) as sess:
+            sess.run_to_convergence()
+        kinds = {a.kind for a in monitor.alerts}
+        assert "epoch_straggler" in kinds
+        assert not monitor.healthy
+
+    def test_churn_backlog_fires_and_resets(self):
+        monitor = HealthMonitor(HealthThresholds(churn_backlog=0))
+        tasks, platform, records, partition, factory = (
+            synthetic_serve_instance(30, 20, 2, seed=7))
+        with ServeSession(
+            tasks=tasks, platform=platform, records=records,
+            partition=partition, seed=7, health=monitor,
+        ) as sess:
+            sess.join(factory(sess.next_user_id()))
+            sess.run_round()
+            assert any(a.kind == "churn_backlog" for a in monitor.alerts)
+            sess.run_to_convergence()
+            # Converged round resets the backlog window.
+            assert monitor.report(sess)["churn_backlog"] == 0
+
+    def test_alert_counter_and_structure(self):
+        monitor = HealthMonitor(HealthThresholds(load_imbalance=1e-6))
+        with obs.session():
+            sess = _session(seed=23, health=monitor)
+            sess.run_round()
+            snap = obs.REGISTRY.snapshot()
+            counts = snap.counter_values("health.alerts_total", "kind")
+            assert counts.get("load_imbalance", 0) >= 1
+        alert = monitor.alerts[0]
+        assert isinstance(alert, Alert)
+        doc = alert.as_dict()
+        assert set(doc) == {"kind", "round", "value", "threshold", "message"}
+
+    def test_healthy_session_no_alerts(self):
+        # Generous thresholds: a small quiet session stays healthy.
+        monitor = HealthMonitor(HealthThresholds(
+            load_imbalance=100.0, boundary_fraction=None,
+            churn_backlog=1000, straggler_ratio=None,
+        ))
+        sess = _session(seed=24, health=monitor)
+        sess.run_to_convergence()
+        assert monitor.healthy
+        assert monitor.report(sess)["healthy"]
+
+
+class TestResidualAndPotential:
+    def test_envelope_non_increasing_ends_at_zero(self):
+        monitor = HealthMonitor()
+        sess = _session(seed=25, health=monitor)
+        sess.run_to_convergence()
+        assert sess.is_nash()
+        env = [v for _, v in monitor.nash_residual_envelope()]
+        assert env, "residual must be sampled"
+        assert all(b <= a for a, b in zip(env, env[1:]))
+        assert env[-1] == 0.0
+
+    def test_residual_thinning_still_samples_converged_round(self):
+        monitor = HealthMonitor(residual_every=1000)
+        sess = _session(seed=26, health=monitor)
+        sess.run_to_convergence()
+        series = monitor.nash_residual_series()
+        assert series and series[-1][1] == 0.0
+
+    def test_residual_every_validated(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(residual_every=0)
+
+    def test_potential_monotone_without_churn(self):
+        monitor = HealthMonitor()
+        sess = _session(seed=27, health=monitor)
+        sess.run_to_convergence()
+        doc = monitor.report(sess)["potential"]
+        assert doc["monotonic"]
+        assert doc["violations"] == 0
+        values = [v for _, v in doc["series"]]
+        assert values == sorted(values)
+
+    def test_sharded_potential_matches_global(self):
+        sess = _session(seed=28, k=3)
+        sess.run_to_convergence()
+        assert sess.sharded_potential() == pytest.approx(
+            sess.global_potential(), rel=1e-9
+        )
+
+    def test_nash_residual_zero_at_equilibrium(self):
+        sess = _session(seed=29, k=3)
+        sess.run_to_convergence()
+        assert sess.is_nash()
+        assert sess.nash_residual() == 0.0
+
+
+class TestEndToEndChurnK4:
+    def test_health_report_k4(self):
+        """Acceptance: K=4 churn session yields a valid health report."""
+        monitor = HealthMonitor()
+        tasks, platform, records, partition, factory = (
+            synthetic_serve_instance(120, 50, 4, seed=31))
+        churn = ChurnSchedule(rate=3.0, seed=32)
+        with obs.session(), ServeSession(
+            tasks=tasks, platform=platform, records=records,
+            partition=partition, seed=31, validate=True, health=monitor,
+        ) as sess:
+            for _ in range(6):
+                joins, leaves = churn.next_round(sorted(sess.records))
+                for uid in leaves:
+                    sess.leave(uid)
+                for _ in range(joins):
+                    sess.join(factory(sess.next_user_id()))
+                sess.run_round()
+            sess.run_to_convergence()
+            sess.check_quiescence()
+            report = validate_health_report(monitor.report(sess))
+
+            assert report["schema"] == HEALTH_SCHEMA
+            assert report["shards"] == 4
+            assert len(report["per_shard"]) == 4
+            for row in report["per_shard"].values():
+                assert "users" in row and "epoch_seconds" in row
+            assert report["load_imbalance"] >= 1.0
+            assert 0.0 <= report["boundary_fraction"] <= 1.0
+            env = [v for _, v in report["nash_residual"]["envelope"]]
+            assert all(b <= a for a, b in zip(env, env[1:]))
+            assert report["nash_residual"]["final"] == 0.0
+            assert report["nash_residual"]["at_equilibrium"]
+            # Residual/potential curves landed in the time series too.
+            assert obs.TIMESERIES.get("serve.nash_residual")
+            assert obs.TIMESERIES.get("serve.potential")
+
+
+class TestValidateReport:
+    def _valid(self) -> dict:
+        monitor = HealthMonitor()
+        sess = _session(seed=33, health=monitor)
+        sess.run_to_convergence()
+        return monitor.report(sess)
+
+    def test_round_trips(self):
+        report = self._valid()
+        assert validate_health_report(report) is report
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            validate_health_report([])
+
+    def test_rejects_wrong_schema(self):
+        report = self._valid()
+        report["schema"] = "something/v0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_health_report(report)
+
+    def test_rejects_missing_field(self):
+        report = self._valid()
+        del report["per_shard"]
+        with pytest.raises(ValueError, match="missing fields"):
+            validate_health_report(report)
+
+    def test_rejects_wrong_type(self):
+        report = self._valid()
+        report["alerts"] = "none"
+        with pytest.raises(ValueError, match="alerts"):
+            validate_health_report(report)
+
+    def test_rejects_increasing_envelope(self):
+        report = self._valid()
+        report["nash_residual"]["envelope"] = [[0, 0.0], [1, 2.0]]
+        with pytest.raises(ValueError, match="non-increasing"):
+            validate_health_report(report)
+
+    def test_rejects_malformed_alert(self):
+        report = self._valid()
+        report["alerts"] = [{"kind": "x"}]
+        with pytest.raises(ValueError, match="malformed alert"):
+            validate_health_report(report)

@@ -80,3 +80,21 @@ def test_single_shard_session_skips_pool():
     ) as sess:
         assert sess._pool is None
         sess.run_to_convergence()
+
+
+def test_pool_snapshots_labeled_per_shard():
+    """Worker telemetry comes back stamped with the shard id."""
+    import repro.obs as obs
+
+    specs, engines = _specs_and_states(52)   # two populated shards
+    states = [e.export_state() for e in engines]
+    shard_ids = [spec.shard_id for spec in specs]
+    assert len(shard_ids) == 2
+    with obs.session(), ShardPool(2) as pool:
+        pool.run_epochs(specs, states, scheduler="puu", sort_key="delta")
+        snap = obs.REGISTRY.snapshot()
+        # The proposal-engine counters each worker emitted come back as
+        # one labeled series per shard instead of folding together.
+        sweeps = snap.counter_values("allocator.proposals_generated", "shard")
+        assert set(sweeps) == {str(s) for s in shard_ids}
+        assert all(count > 0 for count in sweeps.values())

@@ -1,0 +1,132 @@
+"""Tests for the perf-regression ledger (benchmarks/bench_history.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_history",
+    Path(__file__).parent.parent / "benchmarks" / "bench_history.py",
+)
+bench_history = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_history)
+
+
+def _bench_doc(scale: float = 1.0, node: str = "ci-1") -> dict:
+    """Synthetic pytest-benchmark document: batched 10x faster than scalar."""
+    names = {
+        "test_bench_proposals.py::TestProposalSweep::test_sweep_batched": 0.004,
+        "test_bench_proposals.py::TestProposalSweep::test_sweep_scalar_loop": 0.040,
+        "test_bench_serve.py::test_churn_round[1]": 0.060,
+        "test_bench_serve.py::test_churn_round[4]": 0.030,
+    }
+    return {
+        "datetime": "2026-08-09T00:00:00",
+        "machine_info": {
+            "node": node, "machine": "x86_64", "processor": "x86_64",
+            "python_version": "3.12.0",
+        },
+        "commit_info": {"id": "abc123"},
+        "benchmarks": [
+            {"fullname": f"benchmarks/{name}", "stats": {"median": m * scale}}
+            for name, m in names.items()
+        ],
+    }
+
+
+def _write(tmp_path: Path, doc: dict, name: str = "bench.json") -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return path
+
+
+class TestLoadRecord:
+    def test_extracts_medians_and_ratios(self, tmp_path):
+        record = bench_history.load_record(_write(tmp_path, _bench_doc()))
+        assert record["schema"] == bench_history.SCHEMA
+        assert record["commit"] == "abc123"
+        assert record["medians"][
+            "proposals::TestProposalSweep::test_sweep_batched"
+        ] == pytest.approx(0.004)
+        assert record["ratios"]["proposals.sweep_speedup"] == pytest.approx(10.0)
+        assert record["ratios"]["serve.churn_capacity_k4"] == pytest.approx(2.0)
+
+    def test_untracked_benchmarks_ignored(self, tmp_path):
+        doc = _bench_doc()
+        doc["benchmarks"].append(
+            {"fullname": "benchmarks/test_other.py::test_x",
+             "stats": {"median": 1.0}}
+        )
+        record = bench_history.load_record(_write(tmp_path, doc))
+        assert not any("test_x" in k for k in record["medians"])
+
+
+class TestAppendAndCheck:
+    def _run(self, tmp_path, argv):
+        return bench_history.main(
+            argv + ["--history", str(tmp_path / "hist.json")]
+        )
+
+    def test_append_creates_ledger(self, tmp_path):
+        bench = _write(tmp_path, _bench_doc())
+        assert self._run(tmp_path, ["append", "--bench", str(bench)]) == 0
+        records = json.loads((tmp_path / "hist.json").read_text())
+        assert len(records) == 1
+        assert records[0]["schema"] == bench_history.SCHEMA
+
+    def test_check_passes_within_threshold(self, tmp_path):
+        self._run(tmp_path, ["append", "--bench", str(_write(tmp_path, _bench_doc()))])
+        bench = _write(tmp_path, _bench_doc(scale=1.1), "b2.json")
+        assert self._run(tmp_path, ["check", "--bench", str(bench)]) == 0
+
+    def test_check_fails_on_median_regression(self, tmp_path):
+        self._run(tmp_path, ["append", "--bench", str(_write(tmp_path, _bench_doc()))])
+        bench = _write(tmp_path, _bench_doc(scale=1.5), "b2.json")
+        assert self._run(tmp_path, ["check", "--bench", str(bench)]) == 1
+
+    def test_other_machine_skips_absolute_gate(self, tmp_path):
+        self._run(tmp_path, ["append", "--bench", str(_write(tmp_path, _bench_doc()))])
+        # 2x slower wall times but same ratios, on a different machine:
+        # the absolute gate must not fire.
+        bench = _write(tmp_path, _bench_doc(scale=2.0, node="ci-2"), "b2.json")
+        assert self._run(tmp_path, ["check", "--bench", str(bench)]) == 0
+
+    def test_ratio_gate_is_cross_machine(self, tmp_path):
+        self._run(tmp_path, ["append", "--bench", str(_write(tmp_path, _bench_doc()))])
+        doc = _bench_doc(node="ci-2")
+        # Batched path lost its edge: 10x -> 5x speedup.
+        for bench in doc["benchmarks"]:
+            if bench["fullname"].endswith("test_sweep_batched"):
+                bench["stats"]["median"] = 0.008
+        path = _write(tmp_path, doc, "b2.json")
+        assert self._run(tmp_path, ["check", "--bench", str(path)]) == 1
+
+    def test_check_with_empty_history_passes(self, tmp_path):
+        bench = _write(tmp_path, _bench_doc())
+        assert self._run(tmp_path, ["check", "--bench", str(bench)]) == 0
+
+    def test_rolling_window_uses_recent_records(self, tmp_path):
+        # Old slow records age out of the --window baseline.
+        for scale in (4.0, 1.0, 1.0, 1.0):
+            self._run(tmp_path, [
+                "append", "--bench",
+                str(_write(tmp_path, _bench_doc(scale=scale), f"b{scale}.json")),
+            ])
+        bench = _write(tmp_path, _bench_doc(scale=1.6), "probe.json")
+        assert self._run(
+            tmp_path, ["check", "--bench", str(bench), "--window", "3"]
+        ) == 1
+
+    def test_missing_bench_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            self._run(tmp_path, ["check", "--bench", str(tmp_path / "no.json")])
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        (tmp_path / "hist.json").write_text('[{"schema": "other/v9"}]')
+        bench = _write(tmp_path, _bench_doc())
+        with pytest.raises(SystemExit):
+            self._run(tmp_path, ["check", "--bench", str(bench)])
