@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-json bench-record bench-gate experiments examples clean loc
+.PHONY: install test bench bench-json bench-record bench-gate bench-capacity experiments examples clean loc
 
 install:
 	pip install -e . || $(PY) setup.py develop
@@ -31,6 +31,12 @@ bench-record: bench-json
 
 bench-gate: bench-json
 	$(PY) benchmarks/bench_history.py check
+
+# Serving-capacity curve (users/s + peak RSS across instance sizes and
+# shard counts); `--record` appends the points to BENCH_history.json.
+# Use `$(PY) benchmarks/capacity.py --full` for the 1M-user point.
+bench-capacity:
+	PYTHONPATH=src $(PY) benchmarks/capacity.py --record
 
 # Full-scale experiment sweep (writes CSVs under results/).
 experiments:

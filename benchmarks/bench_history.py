@@ -55,7 +55,19 @@ TRACKED = (
     "test_bench_serve.py::test_churn_round[1]",
     "test_bench_serve.py::test_churn_round[2]",
     "test_bench_serve.py::test_churn_round[4]",
+    "test_bench_serve.py::test_pooled_churn_round[plain]",
+    "test_bench_serve.py::test_pooled_churn_round[pipelined]",
 )
+
+#: Machine-independent quantities read from a benchmark's ``extra_info``
+#: (name -> (fullname suffix, extra_info key)).  These are deterministic
+#: byte/count ratios, so — like RATIOS — they gate across all records.
+EXTRAS = {
+    "serve.payload_shrink": (
+        "test_bench_serve.py::test_epoch_payload_shrink",
+        "payload_shrink",
+    ),
+}
 
 #: Machine-independent speedup ratios: name -> (numerator, denominator),
 #: both fullname suffixes from TRACKED.  Regression = ratio shrinks.
@@ -93,19 +105,26 @@ def load_record(bench_path: Path) -> dict[str, Any]:
     """Distil one pytest-benchmark JSON document into a ledger record."""
     doc = json.loads(bench_path.read_text(encoding="utf-8"))
     by_suffix: dict[str, float] = {}
+    extras: dict[str, float] = {}
     for bench in doc.get("benchmarks", []):
         fullname = bench.get("fullname", "")
         median = bench.get("stats", {}).get("median")
-        if median is None:
-            continue
-        for suffix in TRACKED:
-            if fullname.endswith(suffix):
-                by_suffix[suffix] = float(median)
+        if median is not None:
+            for suffix in TRACKED:
+                if fullname.endswith(suffix):
+                    by_suffix[suffix] = float(median)
+        info = bench.get("extra_info", {}) or {}
+        for name, (suffix, key) in EXTRAS.items():
+            if fullname.endswith(suffix) and key in info:
+                extras[name] = float(info[key])
     medians = {_short_name(s): m for s, m in sorted(by_suffix.items())}
     ratios = {}
     for name, (num, den) in sorted(RATIOS.items()):
         if num in by_suffix and den in by_suffix and by_suffix[den] > 0:
             ratios[name] = by_suffix[num] / by_suffix[den]
+    # Extras gate exactly like derived ratios: machine-independent,
+    # regression = the quantity shrinking.
+    ratios.update(sorted(extras.items()))
     machine = doc.get("machine_info", {}) or {}
     commit = (doc.get("commit_info", {}) or {}).get("id")
     return {

@@ -1,0 +1,206 @@
+"""Serving-capacity curve: users/s and peak RSS across instance sizes.
+
+Drives the sharded serving layer over synthetic spatially-local instances
+of increasing population (10k -> 100k -> 1M users; the million-user point
+is opt-in via ``--full``) and a sweep of shard counts, and reports
+
+- **build seconds** — compiling the instance + session,
+- **converge seconds / rounds** — initial convergence to global Nash,
+- **users/s** — churn events absorbed per wall second during a scripted
+  churn phase (joins + leaves, each including the shard rebuild, sync,
+  and incremental re-convergence),
+- **peak RSS** — ``ru_maxrss`` after the run (monotonic across the
+  process, so sweep sizes ascending),
+- **payload bytes/epoch** — per-epoch pipe traffic when a worker pool is
+  attached (``--processes``), the quantity the zero-copy spec transport
+  collapses.
+
+Modes:
+
+    python benchmarks/capacity.py                    # default curve
+    python benchmarks/capacity.py --smoke            # CI: 10k users, K=8,
+                                                     #   validate, to Nash
+    python benchmarks/capacity.py --record           # append the curve to
+                                                     #   BENCH_history.json
+    python benchmarks/capacity.py --full             # include 1M users
+
+Records appended by ``--record`` reuse the ``repro.bench_history/v1``
+schema with an extra ``capacity`` payload (empty ``medians``/``ratios``),
+so ``bench_history.py check`` keeps working against the same ledger.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+from bench_history import DEFAULT_HISTORY, SCHEMA, load_history
+
+SEED = 7
+LOCALITY = 0.95
+CHURN_RATE = 16.0
+CHURN_ROUNDS = 5
+#: tasks scale sublinearly with users, mirroring a city's fixed sensing grid.
+TASKS_PER_SIZE = {10_000: 600, 100_000: 2_000, 1_000_000: 6_000}
+
+
+def _rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def run_point(
+    users: int,
+    shards: int,
+    *,
+    validate: bool = False,
+    processes: int | None = None,
+    pipeline: bool = False,
+    churn_rounds: int = CHURN_ROUNDS,
+) -> dict:
+    """One (size, K) measurement: build, converge, churn, account."""
+    from repro.serve.churn import ChurnSchedule, synthetic_serve_instance
+    from repro.serve.session import ServeSession
+
+    n_tasks = TASKS_PER_SIZE.get(users, max(600, users // 160))
+    t0 = time.perf_counter()
+    tasks, platform, records, partition, factory = synthetic_serve_instance(
+        users, n_tasks, shards, locality=LOCALITY, seed=SEED
+    )
+    sess = ServeSession(
+        tasks=tasks, platform=platform, records=records, partition=partition,
+        scheduler="puu", seed=SEED, validate=validate,
+        processes=processes, pipeline=pipeline,
+    )
+    t1 = time.perf_counter()
+    reports = sess.run_to_convergence(max_rounds=1000)
+    t2 = time.perf_counter()
+    nash_at_convergence = sess.is_nash()
+
+    schedule = ChurnSchedule(rate=CHURN_RATE, seed=SEED + 1)
+    events = 0
+    for _ in range(churn_rounds):
+        joins, leaves = schedule.next_round(sorted(sess.records))
+        for uid in leaves:
+            sess.leave(uid)
+        for _ in range(joins):
+            sess.join(factory(sess.next_user_id()))
+        events += joins + len(leaves)
+        sess.run_round()
+    t3 = time.perf_counter()
+
+    point = {
+        "users": users,
+        "tasks": n_tasks,
+        "shards": shards,
+        "processes": processes,
+        "pipeline": bool(pipeline and sess.pipeline),
+        "build_seconds": round(t1 - t0, 3),
+        "converge_seconds": round(t2 - t1, 3),
+        "converge_rounds": len(reports),
+        "is_nash": nash_at_convergence,
+        "churn_events": events,
+        "churn_seconds": round(t3 - t2, 3),
+        "users_per_second": round(events / (t3 - t2), 1) if t3 > t2 else None,
+        "rss_mb": round(_rss_mb(), 1),
+        "violations": len(sess.violations),
+    }
+    if sess._pool is not None:
+        epochs = sess._pool.cache_hits + sess._pool.cache_misses
+        point["payload_bytes_total"] = sess._pool.payload_bytes
+        point["payload_bytes_per_epoch"] = (
+            round(sess._pool.payload_bytes / epochs) if epochs else None
+        )
+        point["spec_bytes_shipped"] = sess._pool.spec_bytes_shipped
+        point["worker_cache_hits"] = sess._pool.cache_hits
+        point["worker_cache_misses"] = sess._pool.cache_misses
+    if validate:
+        sess.raise_if_violations()
+    sess.close()
+    return point
+
+
+def smoke() -> int:
+    """CI gate: 10k users, K=8, full validation, must reach global Nash."""
+    point = run_point(10_000, 8, validate=True)
+    print(json.dumps(point, indent=2))
+    ok = point["is_nash"] and point["violations"] == 0
+    print(f"capacity smoke: {'ok' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: 10k users, K=8, validate, to Nash")
+    parser.add_argument("--full", action="store_true",
+                        help="include the 1M-user point (minutes + GBs)")
+    parser.add_argument("--sizes", default=None,
+                        help="comma-separated user counts (overrides defaults)")
+    parser.add_argument("--shards", default="1,4,8",
+                        help="comma-separated shard counts (default 1,4,8)")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="attach a worker pool of this size")
+    parser.add_argument("--pipeline", action="store_true",
+                        help="overlap worker epochs with the boundary pass")
+    parser.add_argument("--validate", action="store_true",
+                        help="check cross-shard invariants at every sync")
+    parser.add_argument("--churn-rounds", type=int, default=CHURN_ROUNDS)
+    parser.add_argument("--record", action="store_true",
+                        help="append the curve to BENCH_history.json")
+    parser.add_argument("--history", type=Path, default=DEFAULT_HISTORY)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return smoke()
+
+    if args.sizes:
+        sizes = [int(s) for s in args.sizes.split(",")]
+    else:
+        sizes = [10_000, 100_000] + ([1_000_000] if args.full else [])
+    shard_counts = [int(k) for k in args.shards.split(",")]
+
+    points = []
+    for users in sorted(sizes):  # ascending: ru_maxrss is monotonic
+        for k in shard_counts:
+            point = run_point(
+                users, k, validate=args.validate, processes=args.processes,
+                pipeline=args.pipeline, churn_rounds=args.churn_rounds,
+            )
+            points.append(point)
+            print(
+                f"  users={users:>9,} K={k:<2} "
+                f"{point['users_per_second'] or 0:>8.1f} users/s  "
+                f"converge {point['converge_seconds']:>7.1f}s "
+                f"({point['converge_rounds']} rounds)  "
+                f"rss {point['rss_mb']:>8.1f} MB"
+            )
+
+    if args.record:
+        import platform
+
+        history = load_history(args.history)
+        history.append({
+            "schema": SCHEMA,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "kind": "capacity",
+            "machine": {"node": platform.node(),
+                        "machine": platform.machine(),
+                        "processor": platform.processor(),
+                        "python": platform.python_version()},
+            "medians": {},
+            "ratios": {},
+            "capacity": points,
+        })
+        args.history.write_text(
+            json.dumps(history, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"appended capacity record ({len(points)} points) to {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

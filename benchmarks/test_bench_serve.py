@@ -34,7 +34,7 @@ LOCALITY = 0.95
 SEED = 7
 
 
-def _make_session(num_shards: int):
+def _make_session(num_shards: int, **kwargs):
     """A converged session over the dense localized instance + its churn feed."""
     tasks, platform, records, partition, factory = synthetic_serve_instance(
         N_USERS, N_TASKS, num_shards, locality=LOCALITY, seed=SEED
@@ -46,6 +46,7 @@ def _make_session(num_shards: int):
         partition=partition,
         scheduler="puu",
         seed=SEED,
+        **kwargs,
     )
     sess.run_to_convergence()
     return sess, factory
@@ -95,6 +96,70 @@ def test_churn_round(benchmark, num_shards):
 
     benchmark(one_round)
     sess.close()
+
+
+@pytest.mark.parametrize(
+    "pipeline", [False, True], ids=["plain", "pipelined"]
+)
+def test_pooled_churn_round(benchmark, pipeline):
+    """One pooled churn round at K=4 over the zero-copy spec transport.
+
+    The pipelined variant overlaps worker epochs with the dispatcher's
+    boundary pass; on multi-core hosts it should run at or below the
+    plain pooled time (tracked in the bench ledger, not hard-gated here —
+    single-core CI runners cannot show the overlap win).
+    """
+    sess, factory = _make_session(4, processes=4, pipeline=pipeline)
+    schedule = ChurnSchedule(rate=CHURN_RATE, seed=SEED + 1)
+
+    def one_round():
+        joins, leaves = schedule.next_round(sorted(sess.records))
+        for uid in leaves:
+            sess.leave(uid)
+        for _ in range(joins):
+            sess.join(factory(sess.next_user_id()))
+        sess.run_round()
+
+    benchmark(one_round)
+    assert sess.pipeline is pipeline
+    sess.close()
+
+
+def test_epoch_payload_shrink(benchmark):
+    """Steady-state epochs must ship state only — no GameArrays buffers.
+
+    Compares the legacy transport (full spec pickled per epoch) against
+    the zero-copy path's actual pipe traffic on the dense K=4 instance.
+    The >=10x floor is this PR's acceptance criterion; the measured ratio
+    also lands in the bench ledger (``serve.payload_shrink``) where the
+    history gate tracks it machine-independently — byte counts don't
+    depend on clock speed.
+    """
+    import pickle
+
+    sess, _ = _make_session(4, processes=4)
+    assert sess._pool is not None and sess._pool._store is not None
+    sess.run_round()  # warm the worker spec caches
+    legacy = sum(
+        len(pickle.dumps((e.spec, e.export_state()),
+                         protocol=pickle.HIGHEST_PROTOCOL))
+        for e in sess.engines
+        if e is not None
+    )
+    before = sess._pool.payload_bytes
+    sess.run_round()
+    per_round = sess._pool.payload_bytes - before
+    shrink = legacy / per_round
+    benchmark.extra_info["legacy_bytes_per_round"] = legacy
+    benchmark.extra_info["payload_bytes_per_round"] = per_round
+    benchmark.extra_info["payload_shrink"] = round(shrink, 2)
+    benchmark(sess.run_round)
+    sess.close()
+    assert shrink >= 10.0, (
+        f"steady-state epoch payload only shrank {shrink:.1f}x "
+        f"({legacy} -> {per_round} bytes/round); the zero-copy spec "
+        f"transport promises >=10x on this instance"
+    )
 
 
 def test_capacity_floor():

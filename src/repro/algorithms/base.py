@@ -356,12 +356,19 @@ class ProposalCache:
         """Picklable cache state (proposals + dirtiness), for the serving
         layer's shard snapshots — restoring it skips the full re-sweep a
         fresh cache would need and preserves the RNG-consumption sequence."""
+        # The touched-task lists travel as one CSR pair instead of a list
+        # of per-user ndarrays: pickling N tiny arrays costs ~150 bytes of
+        # header each, which dominated shard snapshot payloads.
+        from repro.core.shm import compact_ints
+
+        touched_indptr, touched_ids = _assemble_csr(self._touched)
         return {
             "has": self._has.copy(),
-            "route": self._route.copy(),
+            "route": compact_ints(self._route),
             "gain": self._gain.copy(),
             "tau": self._tau.copy(),
-            "touched": [t.copy() for t in self._touched],
+            "touched_indptr": compact_ints(touched_indptr),
+            "touched_ids": compact_ints(touched_ids),
             "dirty": self._dirty.copy(),
         }
 
@@ -371,9 +378,17 @@ class ProposalCache:
         self._route = np.asarray(state["route"], dtype=np.intp).copy()
         self._gain = np.asarray(state["gain"], dtype=float).copy()
         self._tau = np.asarray(state["tau"], dtype=float).copy()
-        self._touched = [
-            np.asarray(t, dtype=np.intp) for t in state["touched"]  # type: ignore[union-attr]
-        ]
+        if "touched_indptr" in state:
+            indptr = np.asarray(state["touched_indptr"], dtype=np.intp)
+            ids = np.asarray(state["touched_ids"], dtype=np.intp)
+            self._touched = [
+                ids[indptr[i] : indptr[i + 1]].copy()
+                for i in range(indptr.size - 1)
+            ]
+        else:  # legacy list-of-arrays form
+            self._touched = [
+                np.asarray(t, dtype=np.intp) for t in state["touched"]  # type: ignore[union-attr]
+            ]
         self._dirty = np.asarray(state["dirty"], dtype=bool).copy()
 
 

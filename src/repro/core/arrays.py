@@ -30,6 +30,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.shm import BufferTable, SharedBlock
+
 __all__ = ["GameArrays", "gather_segments", "segment_sums"]
 
 
@@ -97,6 +99,26 @@ class GameArrays:
         "reward_increments",
         "_task_user_csr",
         "_user_task_csr",
+        "_shm",
+    )
+
+    #: The immutable buffers of the layout, in manifest order — everything
+    #: a :meth:`from_table` reconstruction needs (the three scalar sizes
+    #: are derived from buffer shapes).
+    BUFFER_FIELDS = (
+        "user_route_offset",
+        "task_ids",
+        "task_ids_sorted",
+        "indptr",
+        "route_len",
+        "route_user",
+        "route_cost",
+        "route_pot_cost",
+        "route_detour",
+        "route_congestion",
+        "alpha",
+        "base_rewards",
+        "reward_increments",
     )
 
     def __init__(
@@ -148,6 +170,81 @@ class GameArrays:
             self.task_ids_sorted = self.task_ids.copy()
         self._task_user_csr: tuple[np.ndarray, np.ndarray] | None = None
         self._user_task_csr: tuple[np.ndarray, np.ndarray] | None = None
+        self._shm: SharedBlock | None = None
+
+    # -------------------------------------------------------- buffer protocol
+    def buffer_table(self) -> BufferTable:
+        """Manifest of this instance's immutable buffers (dtype/shape/offset)."""
+        return BufferTable.build(
+            {name: getattr(self, name) for name in self.BUFFER_FIELDS}
+        )
+
+    def to_shared(
+        self, *, name: str | None = None
+    ) -> tuple[SharedBlock, BufferTable]:
+        """Copy every buffer into one shared-memory segment.
+
+        Returns the owning :class:`SharedBlock` (caller manages its
+        lifetime — closing it unlinks the segment) plus the picklable
+        :class:`BufferTable` any process needs to map it back with
+        :meth:`from_shared`.
+        """
+        table = self.buffer_table()
+        block = SharedBlock.create(table.total_bytes, name=name)
+        table.pack_into(
+            block.buf, {f: getattr(self, f) for f in self.BUFFER_FIELDS}
+        )
+        return block, table
+
+    @classmethod
+    def from_table(
+        cls,
+        table: BufferTable,
+        buf,
+        *,
+        base: int = 0,
+        shm: SharedBlock | None = None,
+    ) -> "GameArrays":
+        """Reconstruct an instance as zero-copy read-only views over ``buf``.
+
+        ``shm`` (if given) is pinned on the instance so the mapping cannot
+        be reclaimed while the views are alive.  The three scalar sizes are
+        derived from buffer shapes; the lazy inverted CSRs start empty.
+        """
+        views = table.views(buf, base=base)
+        self = object.__new__(cls)
+        for field in cls.BUFFER_FIELDS:
+            setattr(self, field, views[field])
+        self.num_users = int(self.user_route_offset.size) - 1
+        self.num_tasks = int(self.base_rewards.size)
+        self.num_routes_total = int(self.route_cost.size)
+        self._task_user_csr = None
+        self._user_task_csr = None
+        self._shm = shm
+        return self
+
+    @classmethod
+    def from_shared(cls, name: str, table: BufferTable) -> "GameArrays":
+        """Attach to a segment published by :meth:`to_shared` (zero-copy)."""
+        block = SharedBlock.attach(name)
+        return cls.from_table(table, block.buf, shm=block)
+
+    def __getstate__(self) -> dict:
+        # Buffers pickle by value (a shm-backed instance round-trips to a
+        # plain in-process one); the segment handle and the lazy inverted
+        # CSRs are process-local and rebuilt on demand.
+        state = {f: np.ascontiguousarray(getattr(self, f)) for f in self.BUFFER_FIELDS}
+        state["num_users"] = self.num_users
+        state["num_tasks"] = self.num_tasks
+        state["num_routes_total"] = self.num_routes_total
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._task_user_csr = None
+        self._user_task_csr = None
+        self._shm = None
 
     # ------------------------------------------------------------- addressing
     def route_id(self, user: int, route: int) -> int:

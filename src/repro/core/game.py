@@ -122,33 +122,81 @@ class RouteNavigationGame:
         )
         self._check_duplicates(arrays)
         object.__setattr__(self, "arrays", arrays)
-        # Legacy ragged accessors: per-user tuples of numpy *views* into the
-        # flat arrays — same memory, one source of truth.
-        off = arrays.user_route_offset
-        object.__setattr__(
-            self,
+
+    # Legacy ragged accessors: per-user tuples of numpy *views* into the
+    # flat arrays — same memory, one source of truth.  Materialized lazily
+    # (most consumers only touch ``arrays``) and dropped from pickles: a
+    # pickled view copies its whole base buffer, which doubled the wire
+    # size of every shipped sub-game.
+    _LAZY_VIEWS = frozenset(
+        {
             "route_task_ids",
-            tuple(
+            "route_cost",
+            "route_pot_cost",
+            "route_detour",
+            "route_congestion",
+        }
+    )
+
+    def __getattr__(self, name: str):
+        if name not in RouteNavigationGame._LAZY_VIEWS:
+            raise AttributeError(name)
+        arrays = self.__dict__.get("arrays")
+        if arrays is None:  # mid-(un)pickle: derived state not ready yet
+            raise AttributeError(name)
+        off = arrays.user_route_offset
+        n_users = arrays.num_users
+        if name == "route_task_ids":
+            value: tuple = tuple(
                 tuple(
                     arrays.route_tasks(g) for g in range(int(off[i]), int(off[i + 1]))
                 )
-                for i in range(len(route_counts))
-            ),
-        )
-        for name, vec in (
-            ("route_cost", arrays.route_cost),
-            ("route_pot_cost", arrays.route_pot_cost),
-            ("route_detour", arrays.route_detour),
-            ("route_congestion", arrays.route_congestion),
-        ):
-            object.__setattr__(
-                self,
-                name,
-                tuple(
-                    vec[int(off[i]) : int(off[i + 1])]
-                    for i in range(len(route_counts))
-                ),
+                for i in range(n_users)
             )
+        else:
+            vec = getattr(arrays, name)
+            value = tuple(
+                vec[int(off[i]) : int(off[i + 1])] for i in range(n_users)
+            )
+        object.__setattr__(self, name, value)
+        return value
+
+    def __getstate__(self) -> dict:
+        return {
+            k: v for k, v in self.__dict__.items() if k not in self._LAZY_VIEWS
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    @classmethod
+    def from_parts(
+        cls,
+        *,
+        tasks: TaskSet,
+        route_sets: tuple[tuple[Route, ...], ...],
+        user_weights: tuple[UserWeights, ...],
+        platform: PlatformWeights,
+        detour_unit_km: float,
+        arrays: GameArrays,
+    ) -> "RouteNavigationGame":
+        """Reassemble an instance around pre-compiled ``arrays``.
+
+        The zero-copy transport path: the caller ships the cheap metadata
+        by pickle and the compiled arrays by shared memory, then stitches
+        them back together here — no ``__post_init__`` recompilation, no
+        re-validation (the parts were validated when first compiled).
+        """
+        self = object.__new__(cls)
+        self.__dict__.update(
+            tasks=tasks,
+            route_sets=route_sets,
+            user_weights=user_weights,
+            platform=platform,
+            detour_unit_km=detour_unit_km,
+            arrays=arrays,
+        )
+        return self
 
     def _validate_task_ids(
         self,

@@ -1,0 +1,301 @@
+"""Buffer-table protocol and shared-memory transport for compiled arrays.
+
+The serving layer ships :class:`~repro.core.arrays.GameArrays` across
+process boundaries.  Pickling copies every buffer on every send; this
+module makes the immutable array state cross **exactly once** instead:
+
+- A :class:`BufferTable` is an explicit manifest of named ndarray views —
+  ``(name, dtype, shape, offset)`` per buffer — over one contiguous block,
+  with every offset 64-byte aligned.  The table itself is tiny and
+  picklable; the block is raw bytes.
+- A :class:`SharedBlock` wraps :class:`multiprocessing.shared_memory.SharedMemory`
+  with explicit ownership: the *creator* owns the segment (its cleanup
+  unlinks), an *attacher* only maps it (its cleanup just closes).  Both
+  register a :func:`weakref.finalize` callback, so segments are reclaimed
+  on garbage collection, interpreter exit, **and** — via the stdlib
+  resource tracker, which stays registered on the creator side — when the
+  creating process dies without running Python cleanup at all.
+
+Reading a buffer back is ``np.frombuffer`` over the mapped block: zero
+copies, and the views are marked read-only so a worker cannot silently
+mutate state it shares with every sibling.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+import weakref
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = [
+    "ALIGN",
+    "BufferSpec",
+    "BufferTable",
+    "SharedBlock",
+    "SEGMENT_PREFIX",
+    "active_segments",
+    "compact_ints",
+    "os_segments",
+]
+
+
+def compact_ints(arr: np.ndarray) -> np.ndarray:
+    """Lossless wire form of an integer array: int32 when the values fit.
+
+    Snapshot payloads are dominated by ``intp`` index/count vectors whose
+    values are tiny (route indices, task ids, counts); halving their width
+    on the wire is free — consumers restore ``intp`` on import, so
+    in-memory semantics (and trajectories) are untouched.  Always returns
+    a fresh array (snapshots must not alias live state).
+    """
+    if arr.dtype.kind not in "iu" or arr.itemsize <= 4 or arr.size == 0:
+        return arr.copy()
+    lo, hi = int(arr.min()), int(arr.max())
+    if np.iinfo(np.int32).min < lo and hi < np.iinfo(np.int32).max:
+        return arr.astype(np.int32)
+    return arr.copy()
+
+
+#: Every buffer offset is a multiple of this (cache-line / SIMD friendly,
+#: and satisfies any numpy dtype's alignment requirement).
+ALIGN = 64
+
+#: All segments this package creates carry this name prefix, so leaked
+#: segments are attributable (and leak checks can scan for them).
+SEGMENT_PREFIX = "repro-shm-"
+
+
+def _align(n: int) -> int:
+    return (n + ALIGN - 1) // ALIGN * ALIGN
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """One named ndarray inside a contiguous block."""
+
+    name: str
+    dtype: str  # numpy dtype string, e.g. "<i8" / "<f8" (byte-order explicit)
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+@dataclass(frozen=True)
+class BufferTable:
+    """Manifest of named ndarrays laid out in one contiguous block.
+
+    The table is the *schema*; the block is the *data*.  Ship the table by
+    pickle (a few hundred bytes), ship the block by shared memory (once),
+    and every consumer reconstructs zero-copy views.
+    """
+
+    buffers: tuple[BufferSpec, ...]
+    total_bytes: int
+
+    @classmethod
+    def build(cls, named: Mapping[str, np.ndarray]) -> "BufferTable":
+        """Lay out ``named`` arrays (insertion order) with aligned offsets."""
+        specs: list[BufferSpec] = []
+        cursor = 0
+        for name, arr in named.items():
+            a = np.ascontiguousarray(arr)
+            spec = BufferSpec(
+                name=name,
+                dtype=a.dtype.str,
+                shape=tuple(int(d) for d in a.shape),
+                offset=cursor,
+            )
+            specs.append(spec)
+            cursor = _align(cursor + spec.nbytes)
+        return cls(buffers=tuple(specs), total_bytes=cursor)
+
+    def __iter__(self) -> Iterator[BufferSpec]:
+        return iter(self.buffers)
+
+    def spec(self, name: str) -> BufferSpec:
+        for s in self.buffers:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    # -------------------------------------------------------------- transport
+    def pack_into(
+        self, buf, named: Mapping[str, np.ndarray], *, base: int = 0
+    ) -> None:
+        """Copy every named array into ``buf`` at its manifest offset."""
+        for spec in self.buffers:
+            src = np.ascontiguousarray(named[spec.name], dtype=np.dtype(spec.dtype))
+            require(
+                tuple(src.shape) == spec.shape,
+                f"buffer {spec.name!r} shape {src.shape} != manifest {spec.shape}",
+            )
+            n = int(np.prod(spec.shape, dtype=np.int64))
+            dst = np.frombuffer(
+                buf, dtype=np.dtype(spec.dtype), count=n, offset=base + spec.offset
+            )
+            dst[:] = src.reshape(-1)
+
+    def views(
+        self, buf, *, base: int = 0, writable: bool = False
+    ) -> dict[str, np.ndarray]:
+        """Zero-copy ndarray views over ``buf`` (read-only by default)."""
+        out: dict[str, np.ndarray] = {}
+        for spec in self.buffers:
+            n = int(np.prod(spec.shape, dtype=np.int64))
+            v = np.frombuffer(
+                buf, dtype=np.dtype(spec.dtype), count=n, offset=base + spec.offset
+            ).reshape(spec.shape)
+            if not writable:
+                v.flags.writeable = False
+            out[spec.name] = v
+        return out
+
+
+# --------------------------------------------------------------------- blocks
+
+# Names of segments created (and not yet unlinked) by this process — the
+# in-process source of truth for leak checks.
+_LIVE_OWNED: set[str] = set()
+
+
+def _quiet_close(shm) -> None:
+    try:
+        shm.close()
+    except BufferError:
+        # Numpy views still hold exported pointers into the mapping.  The
+        # exported-buffer chain keeps the mmap object alive, so the memory
+        # is reclaimed exactly when the last view dies — detach this
+        # handle (closing its fd) so ``SharedMemory.__del__`` does not
+        # retry the close and spam "Exception ignored" at GC time.
+        fd = getattr(shm, "_fd", -1)
+        if fd >= 0:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+            shm._fd = -1
+        shm._mmap = None
+        shm._buf = None
+
+
+def _cleanup_owner(shm, name: str) -> None:
+    # Unlink must happen even if close() fails because numpy views are
+    # still alive: on POSIX unlinking only removes the name, existing
+    # mappings stay valid until their holders drop them.
+    _quiet_close(shm)
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    _LIVE_OWNED.discard(name)
+
+
+def _cleanup_attached(shm) -> None:
+    _quiet_close(shm)
+
+
+class SharedBlock:
+    """One shared-memory segment with explicit create/attach ownership."""
+
+    def __init__(self, shm, *, owner: bool) -> None:
+        self._shm = shm
+        self.owner = owner
+        self.name: str = shm.name
+        if owner:
+            _LIVE_OWNED.add(self.name)
+            self._finalizer = weakref.finalize(self, _cleanup_owner, shm, self.name)
+        else:
+            self._finalizer = weakref.finalize(self, _cleanup_attached, shm)
+
+    # ------------------------------------------------------------- lifecycle
+    @classmethod
+    def create(cls, nbytes: int, *, name: str | None = None) -> "SharedBlock":
+        """Create (and own) a fresh segment of at least ``nbytes`` bytes."""
+        from multiprocessing import shared_memory
+
+        if name is None:
+            name = f"{SEGMENT_PREFIX}{os.getpid():x}-{uuid.uuid4().hex[:12]}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, int(nbytes))
+        )
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedBlock":
+        """Map an existing segment without taking ownership.
+
+        The stdlib resource tracker registers *every* ``SharedMemory``
+        construction for unlink-at-exit (bpo-38119).  The popular
+        workaround — unregister on attach — is **wrong** here: pool
+        workers are forked, so they inherit the creator's tracker daemon,
+        their duplicate registration is a set-add no-op, and an
+        unregister would erase the *creator's* entry (losing crash
+        cleanup, and making the owner's eventual unlink a double
+        unregister that the tracker logs as a KeyError).  So attachers
+        leave the registration alone.  On spawn platforms a worker's own
+        tracker may then unlink the segment when the worker exits — in
+        this architecture segment lifetime is bounded by pool lifetime
+        anyway, and the owner's unlink tolerates ``FileNotFoundError``.
+        (Python 3.13+ has ``track=False`` for a precise fix.)
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, owner=False)
+
+    @property
+    def buf(self):
+        return self._shm.buf
+
+    @property
+    def size(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        """Release this handle (idempotent; owners also unlink)."""
+        if self._finalizer.alive:
+            self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "SharedBlock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "owner" if self.owner else "attached"
+        return f"SharedBlock({self.name!r}, {role}, {self.size}B)"
+
+
+# ---------------------------------------------------------------- leak checks
+def active_segments() -> list[str]:
+    """Segments created by this process and not yet unlinked."""
+    return sorted(_LIVE_OWNED)
+
+
+def os_segments() -> list[str]:
+    """This package's segments currently visible to the OS (Linux only).
+
+    Scans ``/dev/shm`` for :data:`SEGMENT_PREFIX` names — the assertion
+    surface for leak checks.  Returns ``[]`` where the filesystem view of
+    POSIX shared memory is unavailable.
+    """
+    try:
+        return sorted(
+            n for n in os.listdir("/dev/shm") if n.startswith(SEGMENT_PREFIX)
+        )
+    except OSError:
+        return []

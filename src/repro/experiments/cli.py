@@ -72,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-shard update scheduler (default: suu)",
     )
     serve_group.add_argument(
+        "--pipeline", action="store_true",
+        help="overlap worker epochs with the dispatcher's boundary pass "
+             "(needs --processes > 1 and K > 1; see docs/serving.md)",
+    )
+    serve_group.add_argument(
+        "--auto-retile", action="store_true",
+        help="re-partition regions online when the health monitor flags "
+             "load imbalance (implies a HealthMonitor)",
+    )
+    serve_group.add_argument(
         "--validate", action="store_true",
         help="check cross-shard invariants and the ledger identity at "
              "every sync point",
@@ -234,7 +244,9 @@ def _run_serve(args: argparse.Namespace, telemetry: bool) -> int:
         args.users, args.tasks, max(args.shards, 1), seed=args.seed
     )
     churn = ChurnSchedule(rate=args.churn_rate, seed=args.seed + 1)
-    monitor = HealthMonitor() if args.health_out else None
+    monitor = (
+        HealthMonitor() if (args.health_out or args.auto_retile) else None
+    )
     scrape = contextlib.nullcontext()
     if args.scrape_port is not None:
         from repro.obs.exporters import ScrapeServer
@@ -252,6 +264,8 @@ def _run_serve(args: argparse.Namespace, telemetry: bool) -> int:
         validate=args.validate,
         processes=args.processes,
         health=monitor,
+        pipeline=args.pipeline,
+        auto_retile=args.auto_retile,
     ) as sess:
         for _ in range(args.duration):
             joins, leaves = churn.next_round(sorted(sess.records))

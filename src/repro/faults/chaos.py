@@ -123,6 +123,12 @@ class ShardCrashCase:
     scheduler: str = "suu"
     seed: int = 0
     max_rounds: int = 200
+    #: worker-pool size (None = inline dispatch, the default); a pooled
+    #: case additionally asserts that every shared-memory spec segment
+    #: the session published was unlinked by the time it closed.
+    processes: int | None = None
+    #: overlap worker epochs with the dispatcher's boundary pass.
+    pipeline: bool = False
 
 
 @dataclass
@@ -191,14 +197,18 @@ class ChaosRunner:
         Imported lazily: :mod:`repro.serve` sits above the fault layer and
         a module-level import would be cyclic.
         """
+        from repro.core.shm import os_segments
         from repro.serve.session import ServeSession
 
+        segments_before = set(os_segments())
         with ServeSession.from_game(
             self.game,
             num_shards=case.num_shards,
             scheduler=case.scheduler,
             seed=case.seed,
             validate=True,
+            processes=case.processes,
+            pipeline=case.pipeline,
         ) as sess:
             converged = False
             rounds = 0
@@ -212,13 +222,26 @@ class ChaosRunner:
                     converged = True
                     break
             sess.check_quiescence()
-            return ShardCrashResult(
-                case=case,
-                converged=converged,
-                is_nash=sess.is_nash(),
-                rounds=rounds,
-                violations=list(sess.violations),
+            violations = list(sess.violations)
+        # Leak check: the session (and its spec store) just shut down, so
+        # every segment it published must be gone from the OS by now —
+        # crashed-shard rounds included.
+        leaked = sorted(set(os_segments()) - segments_before)
+        if leaked:
+            violations.append(
+                InvariantViolation(
+                    "shm_leak",
+                    rounds,
+                    f"shared-memory segments outlived the session: {leaked}",
+                )
             )
+        return ShardCrashResult(
+            case=case,
+            converged=converged,
+            is_nash=sess.is_nash(),
+            rounds=rounds,
+            violations=violations,
+        )
 
 
 def bounded_fault_matrix(

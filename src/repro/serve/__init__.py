@@ -35,6 +35,13 @@ from repro.serve.shard import (
     UserRecord,
     build_shard_spec,
 )
+from repro.serve.specstore import (
+    SpecStore,
+    SpecTicket,
+    load_spec,
+    publish_spec,
+)
+from repro.serve.workers import ShardPool
 
 __all__ = [
     "HEALTH_SCHEMA",
@@ -49,12 +56,17 @@ __all__ = [
     "ScenarioUserFactory",
     "ServeSession",
     "ShardEngine",
+    "ShardPool",
     "ShardSpec",
+    "SpecStore",
+    "SpecTicket",
     "SyntheticUserFactory",
     "UserRecord",
     "build_shard_spec",
     "cut_size",
+    "load_spec",
     "partition_game",
+    "publish_spec",
     "refine_regions",
     "tile_tasks",
     "validate_health_report",

@@ -50,7 +50,7 @@ from repro.core.weights import PlatformWeights
 from repro.faults.invariants import InvariantViolation
 from repro.serve.health import HealthMonitor
 from repro.serve.ledger import BoundaryLedger
-from repro.serve.partition import RegionPartition, partition_game
+from repro.serve.partition import RegionPartition, partition_game, refine_regions
 from repro.serve.shard import (
     EpochResult,
     ShardEngine,
@@ -83,6 +83,8 @@ class RoundReport:
     crashed_shards: tuple[int, ...] = ()
     joins: int = 0
     leaves: int = 0
+    #: epochs dispatched ahead for the *next* round (pipeline mode).
+    prefetched: int = 0
 
 
 @dataclass
@@ -97,6 +99,8 @@ class ServeStats:
     shard_rebuilds: int = 0
     shard_crashes: int = 0
     sync_points: int = 0
+    prefetched_epochs: int = 0
+    retiles: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(vars(self))
@@ -124,6 +128,9 @@ class ServeSession:
         refine_passes: int = 2,
         compact_shards: bool = False,
         health: "HealthMonitor | None" = None,
+        pipeline: bool = False,
+        auto_retile: bool = False,
+        retile_cooldown: int = 10,
     ) -> None:
         require(len(records) >= 1, "a session needs at least one user")
         ids = [r.user_id for r in records]
@@ -181,11 +188,24 @@ class ServeSession:
         self.health = health
         self.round_idx = 0
         self._global_cache: tuple[RouteNavigationGame, np.ndarray] | None = None
+        self._refine_passes = refine_passes
+        self.auto_retile = auto_retile
+        require(retile_cooldown >= 1, "retile_cooldown must be >= 1")
+        self._retile_cooldown = retile_cooldown
+        self._last_retile_round = -retile_cooldown
+        self._alerts_seen = 0
         self._pool = None
         if processes is not None and processes > 1 and self.num_shards > 1:
             from repro.serve.workers import ShardPool
 
             self._pool = ShardPool(min(processes, self.num_shards))
+        # Pipeline mode overlaps worker epochs with the dispatcher's
+        # boundary pass; it needs the pool (and K=1 never creates one, so
+        # the bit-identity contract is untouched by construction).
+        self.pipeline = bool(pipeline) and self._pool is not None
+        self._inflight: dict[int, object] = {}
+        self._banked: list[EpochResult] = []
+        self._sync_dirty = False
         self._sync()
 
     # ------------------------------------------------------------ constructors
@@ -237,12 +257,25 @@ class ServeSession:
         slots_cap = epoch_slots if epoch_slots is not None else self.epoch_slots
         crashed = tuple(sorted(set(crash_shards)))
         results = self._run_epochs(slots_cap, crashed)
+        if self._banked:
+            # Epochs harvested early by a churn-time flush: their moves are
+            # already in the engine states, but they still count against
+            # this round's quiescence claim (and their deferred boundary
+            # users still need the sequential pass below).
+            results = self._banked + results
+            self._banked = []
         epoch_moves = sum(len(r.moves) for r in results)
         all_quiet = all(r.converged for r in results)
         self._sync()
+        # A pipelined epoch runs against a snapshot taken *before* the
+        # previous round's boundary pass; if this sync had to repair any
+        # ext offset, some epoch's foreign view was stale and its
+        # "converged" verdict is not trusted this round.
+        sync_dirty = self._sync_dirty
         boundary_users = sorted(
             {int(u) for r in results for u in r.boundary_users}
         )
+        prefetched = self._prefetch(slots_cap, crashed, boundary_users, all_quiet)
         boundary_moves = self._boundary_pass(boundary_users)
         if boundary_moves:
             self._sync()
@@ -252,7 +285,7 @@ class ServeSession:
         self.stats.shard_crashes += len(crashed)
         converged = (
             epoch_moves == 0 and boundary_moves == 0 and all_quiet
-            and not crashed
+            and not crashed and not sync_dirty
         )
         report = RoundReport(
             round=self.round_idx,
@@ -261,6 +294,7 @@ class ServeSession:
             slots=sum(r.slots for r in results),
             converged=converged,
             crashed_shards=crashed,
+            prefetched=prefetched,
         )
         if obs.enabled():
             round_seconds = time.perf_counter() - t0
@@ -284,6 +318,8 @@ class ServeSession:
             # Counts are exact here (post-final-sync), so the monitor's
             # potential/residual observations are exact too.
             self.health.on_round(self, results, report)
+            if self.auto_retile:
+                self._maybe_auto_retile()
         return report
 
     def run_to_convergence(
@@ -309,6 +345,14 @@ class ServeSession:
         # Crashed shards: snapshot at sync state, do the epoch, lose it.
         for s in live:
             if s in crashed:
+                fut = self._inflight.pop(s, None)
+                if fut is not None:
+                    # The prefetched epoch *is* the work the crash
+                    # destroys: drain the worker (keeping its telemetry
+                    # attributable) and discard the outcome — the
+                    # dispatcher engine is still at its last-sync state.
+                    self._pool.harvest(fut)  # type: ignore[union-attr]
+                    continue
                 engine = self.engines[s]
                 assert engine is not None
                 snap = engine.export_state()
@@ -318,14 +362,21 @@ class ServeSession:
                     scheduler=self.scheduler, sort_key=self.sort_key,
                 )
         healthy = [s for s in live if s not in crashed]
-        if self._pool is not None and len(healthy) > 1:
-            specs = [self.engines[s].spec for s in healthy]  # type: ignore[union-attr]
-            states = [self.engines[s].export_state() for s in healthy]  # type: ignore[union-attr]
-            outcomes = self._pool.run_epochs(
-                specs, states, scheduler=self.scheduler,
-                sort_key=self.sort_key, max_slots=slots_cap,
-            )
-            for s, (result, state) in zip(healthy, outcomes):
+        if self._pool is not None and (len(healthy) > 1 or self._inflight):
+            futures: dict[int, object] = {}
+            for s in healthy:
+                fut = self._inflight.pop(s, None)
+                if fut is None:
+                    engine = self.engines[s]
+                    assert engine is not None
+                    fut = self._pool.submit_epoch(
+                        engine.spec, engine.export_state(),
+                        scheduler=self.scheduler, sort_key=self.sort_key,
+                        max_slots=slots_cap,
+                    )
+                futures[s] = fut
+            for s, fut in futures.items():
+                result, state = self._pool.harvest(fut)
                 self.engines[s] = ShardEngine.from_state(
                     self.engines[s].spec, state,  # type: ignore[union-attr]
                     scheduler=self.scheduler, sort_key=self.sort_key,
@@ -337,6 +388,79 @@ class ServeSession:
                 assert engine is not None
                 results.append(engine.run_epoch(slots_cap))
         return results
+
+    def _prefetch(
+        self,
+        slots_cap: int | None,
+        crashed: tuple[int, ...],
+        boundary_users: list[int],
+        all_quiet: bool,
+    ) -> int:
+        """Dispatch next-round epochs for shards the boundary pass can't touch.
+
+        A prefetched epoch runs against the post-sync snapshot while the
+        dispatcher does boundary reconciliation.  It stays an *exact* PUU
+        super-slot iff none of the dispatcher's sequential moves touches
+        the shard's own-region counts — so a shard is eligible only when
+        no boundary user belongs to it **and** no boundary user's coverage
+        intersects its region.  (Its *foreign* counts may still drift;
+        the next ``_sync`` repairs those ext offsets and ``_sync_dirty``
+        blocks any convergence claim built on the stale view.)
+        """
+        if not self.pipeline or self._pool is None:
+            return 0
+        if all_quiet and not boundary_users:
+            return 0  # round is about to claim quiescence — nothing to overlap
+        dirty: set[int] = set(crashed)
+        for uid in boundary_users:
+            rec = self.records.get(uid)
+            if rec is None:
+                continue
+            dirty.add(self._user_shard[uid])
+            cov = rec.covered_tasks()
+            if cov.size:
+                dirty.update(
+                    int(r) for r in np.unique(self.partition.task_region[cov])
+                )
+        n = 0
+        for s in range(self.num_shards):
+            engine = self.engines[s]
+            if engine is None or s in dirty or s in self._inflight:
+                continue
+            self._inflight[s] = self._pool.submit_epoch(
+                engine.spec, engine.export_state(),
+                scheduler=self.scheduler, sort_key=self.sort_key,
+                max_slots=slots_cap,
+            )
+            n += 1
+        if n:
+            self.stats.prefetched_epochs += n
+            if obs.enabled():
+                obs.counter("serve.prefetched_epochs_total").inc(n)
+        return n
+
+    def _flush_inflight(self) -> None:
+        """Harvest every prefetched epoch before a structural change.
+
+        Join / leave / re-tile rebuild shard specs, so an in-flight epoch
+        must land first.  Its results are *banked* into the next round:
+        the moves are already in the engine state, but the move count and
+        deferred boundary users still have to reach that round's
+        quiescence decision — dropping deferred users would let a session
+        claim convergence with a cross-region improvement outstanding.
+        """
+        if not self._inflight:
+            return
+        for s in sorted(self._inflight):
+            result, state = self._pool.harvest(self._inflight[s])  # type: ignore[union-attr]
+            engine = self.engines[s]
+            assert engine is not None
+            self.engines[s] = ShardEngine.from_state(
+                engine.spec, state,
+                scheduler=self.scheduler, sort_key=self.sort_key,
+            )
+            self._banked.append(result)
+        self._inflight.clear()
 
     # ------------------------------------------------------------------- sync
     def _sync(self) -> None:
@@ -351,13 +475,17 @@ class ServeSession:
             new_global[engine.spec.task_map] += local
             contribs.append((engine.spec.task_map, local))
         self.counts = new_global
+        dirty = False
         for engine in self.engines:
             if engine is None:
                 continue
             new_ext = new_global[engine.spec.task_map] - engine.local_counts()
             delta = new_ext - engine.ext
             nz = np.flatnonzero(delta)
+            if nz.size:
+                dirty = True
             engine.apply_external(nz, delta[nz])
+        self._sync_dirty = dirty
         self.ledger.sync(contribs)
         self.stats.sync_points += 1
         if self.validate:
@@ -465,6 +593,7 @@ class ServeSession:
             record.user_id not in self.records,
             f"user id {record.user_id} is already active",
         )
+        self._flush_inflight()
         self._next_user_id = max(self._next_user_id, record.user_id + 1)
         shard = self.partition.owner_shard(
             record.covered_tasks(), fallback=record.user_id
@@ -487,6 +616,7 @@ class ServeSession:
     def leave(self, user_id: int) -> None:
         """Retire one user; its coverage counts decrement at the rebuild."""
         require(user_id in self.records, f"unknown user id {user_id}")
+        self._flush_inflight()
         shard = self._user_shard.pop(user_id)
         del self.records[user_id]
         self._rebuild_shard(shard)
@@ -494,6 +624,93 @@ class ServeSession:
         self.stats.leaves += 1
         if obs.enabled():
             obs.counter("serve.leaves_total").inc()
+
+    # ---------------------------------------------------------------- re-tile
+    def retile(self) -> bool:
+        """Re-partition regions to the current load and rebuild all shards.
+
+        Users keep their strategies — only task *ownership* moves — so the
+        global profile is invariant and the potential must agree across
+        the re-tile up to float association order (asserted at
+        :data:`LEDGER_RTOL`; a mismatch is recorded as a
+        ``retile_potential`` invariant violation).  Returns ``True`` iff
+        the refinement actually changed the region assignment.
+        """
+        if self.num_shards == 1:
+            return False
+        self._flush_inflight()
+        game, profile = self.global_profile()
+        pot_before = potential(profile)
+        new_region = refine_regions(
+            game, self.partition.task_region, self.num_shards,
+            passes=self._refine_passes,
+        )
+        if np.array_equal(new_region, self.partition.task_region):
+            return False
+        self.partition = RegionPartition(
+            num_shards=self.num_shards, task_region=new_region
+        )
+        # Capture every user's current route before tearing engines down:
+        # migrating users must carry their strategy to the new owner.
+        kept: dict[int, int] = {}
+        for engine in self.engines:
+            if engine is None:
+                continue
+            for li, uid in enumerate(engine.spec.users.tolist()):
+                kept[uid] = int(engine.profile.choices[li])
+        for rec in self.records.values():
+            self._user_shard[rec.user_id] = self.partition.owner_shard(
+                rec.covered_tasks(), fallback=rec.user_id
+            )
+        self._global_cache = None
+        for s in range(self.num_shards):
+            recs = self._shard_records(s)
+            self._spec_versions[s] += 1
+            if not recs:
+                self.engines[s] = None
+                continue
+            choices = np.asarray(
+                [kept[r.user_id] for r in recs], dtype=np.intp
+            )
+            self.engines[s] = self._new_engine(s, recs, choices)
+            self.stats.shard_rebuilds += 1
+            if obs.enabled():
+                obs.counter("serve.shard_rebuilds_total").inc()
+        self._sync()
+        pot_after = self.sharded_potential()
+        if not np.isclose(pot_before, pot_after, rtol=LEDGER_RTOL, atol=1e-9):
+            self.violations.append(
+                InvariantViolation(
+                    "retile_potential",
+                    self.round_idx,
+                    f"global potential moved across a re-tile: "
+                    f"{pot_before!r} -> {pot_after!r}",
+                )
+            )
+        self.stats.retiles += 1
+        if obs.enabled():
+            obs.counter("serve.retiles_total").inc()
+        return True
+
+    def _maybe_auto_retile(self) -> None:
+        """React to fresh load-imbalance alerts with a cooldown-gated re-tile.
+
+        The monitor re-fires its imbalance alert every round the shares
+        stay skewed, so without a cooldown the session would re-tile (and
+        re-publish every spec) each round while converging toward balance.
+        """
+        assert self.health is not None
+        alerts = self.health.alerts
+        fresh = [
+            a for a in alerts[self._alerts_seen:] if a.kind == "load_imbalance"
+        ]
+        self._alerts_seen = len(alerts)
+        if not fresh:
+            return
+        if self.round_idx - self._last_retile_round < self._retile_cooldown:
+            return
+        if self.retile():
+            self._last_retile_round = self.round_idx
 
     def _shard_records(self, shard: int) -> list[UserRecord]:
         return [
@@ -668,7 +885,10 @@ class ServeSession:
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.close()
+            # Prefetched futures left by a converged final round: the pool
+            # shutdown waits for the workers, the outcomes are irrelevant.
+            self._inflight.clear()
+            self._pool.shutdown()
             self._pool = None
 
     def __enter__(self) -> "ServeSession":

@@ -435,9 +435,11 @@ class ShardEngine:
     def export_state(self) -> dict[str, Any]:
         """Picklable mutable state (spec travels separately, it is static
         between membership rebuilds)."""
+        from repro.core.shm import compact_ints
+
         return {
-            "choices": self.profile.choices.copy(),
-            "ext": self.ext.copy(),
+            "choices": compact_ints(self.profile.choices),
+            "ext": compact_ints(self.ext),
             "rng_state": self.rng.bit_generator.state,
             "cache": self._cache.export_state(),
             "granted_per_slot": list(self.granted_per_slot),

@@ -1,0 +1,190 @@
+"""Versioned shard-spec transport over shared memory.
+
+A :class:`~repro.serve.shard.ShardSpec` splits naturally into an
+**immutable part** — the compiled :class:`~repro.core.arrays.GameArrays`
+buffers plus the cheap metadata (records' routes, weights, task map) —
+and a **mutable delta** (choices / ext / RNG / proposal cache) that the
+engine snapshot protocol already ships.  The immutable part only changes
+when churn rebuilds the shard and bumps ``spec.version``.
+
+This module publishes the immutable part **once per** ``(shard_id,
+version)`` into one shared-memory segment:
+
+```
+[16-byte header][pickled skeleton][64-aligned GameArrays block]
+```
+
+The skeleton is the metadata pickle plus the
+:class:`~repro.core.shm.BufferTable` manifest; the array block is packed
+by the manifest.  What crosses the pipe per epoch is a
+:class:`SpecTicket` — ~100 bytes naming the segment and the cache key —
+and workers :func:`load_spec` it back with **zero copies** of the array
+buffers (``np.frombuffer`` views over the mapping, stitched into a live
+``ShardSpec`` via :meth:`RouteNavigationGame.from_parts`).
+
+Lifecycle: the dispatcher-side :class:`SpecStore` owns every live
+segment.  Publishing a new version unlinks the old segment immediately —
+POSIX keeps existing worker mappings valid until they evict — and
+:meth:`SpecStore.shutdown` (idempotent, also registered via ``atexit``
+and a GC finalizer on each block) unlinks everything else, so crashed or
+abandoned sessions never orphan segments.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+from dataclasses import dataclass
+
+import repro.obs as obs
+from repro.core.arrays import GameArrays
+from repro.core.game import RouteNavigationGame
+from repro.core.shm import BufferTable, SharedBlock, _align
+from repro.serve.shard import ShardSpec
+from repro.utils.validation import require
+
+__all__ = ["SpecTicket", "SpecStore", "publish_spec", "load_spec"]
+
+_MAGIC = b"RPRSPEC1"
+_HEADER = 16  # magic + 8-byte little-endian skeleton length
+
+
+@dataclass(frozen=True)
+class SpecTicket:
+    """Pipe-sized reference to a published spec.
+
+    ``(shard_id, version)`` is the worker cache key; ``segment`` is the
+    shared-memory name to attach on a miss.  ``nbytes`` is the segment
+    size (accounting only).
+    """
+
+    shard_id: int
+    version: int
+    segment: str
+    nbytes: int
+
+
+def _skeleton_bytes(spec: ShardSpec, table: BufferTable) -> bytes:
+    game = spec.game
+    skeleton = {
+        "shard_id": spec.shard_id,
+        "users": spec.users,
+        "task_map": spec.task_map,
+        "own_mask": spec.own_mask,
+        "version": spec.version,
+        "tasks": game.tasks,
+        "route_sets": game.route_sets,
+        "user_weights": game.user_weights,
+        "platform": game.platform,
+        "detour_unit_km": game.detour_unit_km,
+        "table": table,
+    }
+    return pickle.dumps(skeleton, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def publish_spec(spec: ShardSpec) -> tuple[SpecTicket, SharedBlock]:
+    """Write one spec into a fresh owned segment; returns (ticket, block)."""
+    arrays = spec.game.arrays
+    table = arrays.buffer_table()
+    payload = _skeleton_bytes(spec, table)
+    base = _align(_HEADER + len(payload))
+    block = SharedBlock.create(base + table.total_bytes)
+    buf = block.buf
+    buf[:8] = _MAGIC
+    buf[8:_HEADER] = len(payload).to_bytes(8, "little")
+    buf[_HEADER : _HEADER + len(payload)] = payload
+    table.pack_into(
+        buf,
+        {f: getattr(arrays, f) for f in GameArrays.BUFFER_FIELDS},
+        base=base,
+    )
+    ticket = SpecTicket(
+        shard_id=spec.shard_id,
+        version=spec.version,
+        segment=block.name,
+        nbytes=block.size,
+    )
+    return ticket, block
+
+
+def load_spec(ticket: SpecTicket) -> tuple[ShardSpec, SharedBlock]:
+    """Attach a published segment and rebuild a live spec over it.
+
+    The skeleton unpickle copies a few KB of metadata; every
+    ``GameArrays`` buffer stays a zero-copy read-only view into the
+    mapping.  The returned block must outlive the spec (the worker cache
+    holds both together)."""
+    block = SharedBlock.attach(ticket.segment)
+    buf = block.buf
+    require(bytes(buf[:8]) == _MAGIC, f"segment {ticket.segment} is not a spec")
+    ln = int.from_bytes(bytes(buf[8:_HEADER]), "little")
+    skeleton = pickle.loads(bytes(buf[_HEADER : _HEADER + ln]))
+    table: BufferTable = skeleton["table"]
+    arrays = GameArrays.from_table(
+        table, buf, base=_align(_HEADER + ln), shm=block
+    )
+    game = RouteNavigationGame.from_parts(
+        tasks=skeleton["tasks"],
+        route_sets=skeleton["route_sets"],
+        user_weights=skeleton["user_weights"],
+        platform=skeleton["platform"],
+        detour_unit_km=skeleton["detour_unit_km"],
+        arrays=arrays,
+    )
+    spec = ShardSpec(
+        shard_id=skeleton["shard_id"],
+        users=skeleton["users"],
+        game=game,
+        task_map=skeleton["task_map"],
+        own_mask=skeleton["own_mask"],
+        version=skeleton["version"],
+    )
+    return spec, block
+
+
+class SpecStore:
+    """Dispatcher-side registry: one live segment per shard, keyed on version."""
+
+    def __init__(self) -> None:
+        self._live: dict[int, tuple[int, SpecTicket, SharedBlock]] = {}
+        self._closed = False
+        #: cumulative bytes written into segments (the once-per-version
+        #: spec traffic — the "shipped" side of the payload ledger).
+        self.bytes_published = 0
+        self.publishes = 0
+        atexit.register(self.shutdown)
+
+    def ticket_for(self, spec: ShardSpec) -> SpecTicket:
+        """Return the live ticket for ``spec``, publishing if its
+        ``(shard_id, version)`` is not resident yet."""
+        require(not self._closed, "SpecStore is shut down")
+        cur = self._live.get(spec.shard_id)
+        if cur is not None and cur[0] == spec.version:
+            return cur[1]
+        if cur is not None:
+            cur[2].close()  # unlink the stale version; live worker
+            # mappings survive until their caches evict.
+        ticket, block = publish_spec(spec)
+        self._live[spec.shard_id] = (spec.version, ticket, block)
+        self.bytes_published += block.size
+        self.publishes += 1
+        if obs.enabled():
+            obs.counter("serve.spec_bytes_shipped").inc(block.size)
+            obs.counter("serve.spec_publishes_total").inc()
+        return ticket
+
+    def retire(self, shard_id: int) -> None:
+        """Unlink a shard's segment (e.g. the shard went dormant)."""
+        cur = self._live.pop(shard_id, None)
+        if cur is not None:
+            cur[2].close()
+
+    def shutdown(self) -> None:
+        """Unlink every live segment (idempotent; atexit-registered)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _, _, block in self._live.values():
+            block.close()
+        self._live.clear()
+        atexit.unregister(self.shutdown)

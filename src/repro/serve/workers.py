@@ -1,48 +1,81 @@
-"""Shard worker pool: process-parallel epochs over picklable snapshots.
+"""Shard worker pool: process-parallel epochs over a zero-copy data path.
 
-A :class:`ShardPool` ships ``(ShardSpec, engine state)`` pairs to a
-:class:`~concurrent.futures.ProcessPoolExecutor`, rebuilds each engine in
-the worker via :meth:`~repro.serve.shard.ShardEngine.from_state`, runs one
-epoch, and ships the :class:`~repro.serve.shard.EpochResult` plus the
-post-epoch state back.  Both directions are plain data (numpy arrays,
-dataclasses, the RNG's ``bit_generator.state`` dict), mirroring the
-snapshot protocol the crash/resume chaos hook already relies on.
+A :class:`ShardPool` runs shard epochs in a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  The immutable spec
+crosses the process boundary **once per** ``(shard_id, version)``: the
+dispatcher publishes it into shared memory via a
+:class:`~repro.serve.specstore.SpecStore` and per epoch ships only a
+~100-byte :class:`~repro.serve.specstore.SpecTicket` plus the engine's
+mutable state snapshot (choices / ext / RNG / proposal cache).  Each
+worker keeps a spec cache keyed on the ticket — a churn rebuild bumps
+``spec.version``, misses the cache, and re-attaches the new segment;
+steady-state epochs are pure cache hits with zero array copies
+(``np.frombuffer`` views over the shared mapping).
+
+If shared memory is unavailable the pool degrades to the legacy
+transport (full spec pickled per job) — same results, larger payloads.
 
 Telemetry follows :mod:`repro.experiments.runner`'s pattern: when the
 driver has telemetry enabled, each job enables + resets it in the worker
 process and returns an :class:`repro.obs.TelemetrySnapshot` that the
 driver merges, so ``serve.*`` metrics survive the process boundary.
-
-Shipping the full spec every epoch is deliberate for now — specs change
-under churn (rebuilds bump ``spec.version``) and correctness beats the
-copy cost at current scales.  Caching specs worker-side keyed on
-``(shard_id, version)`` is the "async shard transport" follow-up in
-ROADMAP.md.
+The pool additionally accounts the transport itself:
+``serve.worker_cache_hits`` / ``serve.worker_cache_misses`` (spec-cache
+behaviour), ``serve.spec_bytes_shipped`` (once-per-version segment
+bytes, emitted by the store) and ``serve.epoch_payload_bytes`` (pickled
+per-job pipe traffic — the quantity the zero-copy path collapses).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor
 
 import repro.obs as obs
 from repro.serve.shard import EpochResult, ShardEngine, ShardSpec
+from repro.serve.specstore import SpecStore, SpecTicket, load_spec
 from repro.utils.validation import require
 
 __all__ = ["ShardPool"]
 
 
+# ---------------------------------------------------------------- worker side
+#: Per-worker-process spec cache: shard_id -> (version, spec, shared block).
+#: Engines are rebuilt per job from the cached spec (the mutable state is
+#: what travels); the *spec* — dominated by the compiled arrays — is the
+#: part worth keeping resident.
+_SPEC_CACHE: dict[int, tuple[int, ShardSpec, object]] = {}
+
+
+def _resolve_spec(ref: "ShardSpec | SpecTicket") -> tuple[ShardSpec, bool]:
+    """Return (spec, cache_hit) for a job's spec reference."""
+    if isinstance(ref, ShardSpec):  # legacy transport: spec came by pickle
+        return ref, False
+    cached = _SPEC_CACHE.get(ref.shard_id)
+    if cached is not None and cached[0] == ref.version:
+        return cached[1], True
+    spec, block = load_spec(ref)
+    _SPEC_CACHE[ref.shard_id] = (ref.version, spec, block)
+    if cached is not None:
+        # Evict after the replacement lands; closing the stale mapping is
+        # safe even if old views linger (see repro.core.shm._quiet_close).
+        cached[2].close()  # type: ignore[attr-defined]
+    return spec, False
+
+
 def _run_epoch_job(
-    spec: ShardSpec,
+    ref: "ShardSpec | SpecTicket",
     state: dict,
     scheduler: str,
     sort_key: str,
     max_slots: int | None,
     telemetry: bool,
-) -> tuple[EpochResult, dict, "obs.TelemetrySnapshot | None"]:
-    """Rebuild one shard engine in the worker, run an epoch, snapshot."""
+) -> tuple[EpochResult, dict, "obs.TelemetrySnapshot | None", bool]:
+    """Resolve the spec, rebuild the engine, run one epoch, snapshot."""
     if telemetry:
         obs.enable()
         obs.reset()
+    spec, cache_hit = _resolve_spec(ref)
     engine = ShardEngine.from_state(
         spec, state, scheduler=scheduler, sort_key=sort_key
     )
@@ -55,16 +88,89 @@ def _run_epoch_job(
         if telemetry
         else None
     )
-    return result, engine.export_state(), snap
+    return result, engine.export_state(), snap, cache_hit
 
 
+# ------------------------------------------------------------ dispatcher side
 class ShardPool:
     """A persistent process pool running shard epochs concurrently."""
 
-    def __init__(self, processes: int) -> None:
+    def __init__(self, processes: int, *, use_shm: bool = True) -> None:
         require(processes >= 1, "processes must be >= 1")
         self.processes = processes
-        self._pool = ProcessPoolExecutor(max_workers=processes)
+        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=processes
+        )
+        self._store: SpecStore | None = None
+        if use_shm:
+            try:
+                self._store = SpecStore()
+            except Exception:  # pragma: no cover - no shm on this platform
+                self._store = None
+        #: spec-cache behaviour reported back by workers.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: cumulative pickled per-job payload bytes (pipe traffic).
+        self.payload_bytes = 0
+
+    @property
+    def spec_bytes_shipped(self) -> int:
+        """Once-per-version spec bytes written to shared segments."""
+        return self._store.bytes_published if self._store is not None else 0
+
+    def _spec_ref(self, spec: ShardSpec) -> "ShardSpec | SpecTicket":
+        if self._store is None:
+            return spec
+        try:
+            return self._store.ticket_for(spec)
+        except Exception:  # pragma: no cover - shm runtime failure
+            # Degrade permanently to the pickle transport rather than
+            # failing the epoch.
+            self._store.shutdown()
+            self._store = None
+            return spec
+
+    # ---------------------------------------------------------------- submit
+    def submit_epoch(
+        self,
+        spec: ShardSpec,
+        state: dict,
+        *,
+        scheduler: str,
+        sort_key: str,
+        max_slots: int | None = None,
+    ) -> Future:
+        """Dispatch one shard epoch; pair with :meth:`harvest`."""
+        require(self._pool is not None, "ShardPool is shut down")
+        ref = self._spec_ref(spec)
+        payload = len(
+            pickle.dumps((ref, state), protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self.payload_bytes += payload
+        if obs.enabled():
+            obs.counter("serve.epoch_payload_bytes").inc(payload)
+        return self._pool.submit(
+            _run_epoch_job, ref, state, scheduler, sort_key,
+            max_slots, obs.enabled(),
+        )
+
+    def harvest(self, future: Future) -> tuple[EpochResult, dict]:
+        """Collect one submitted epoch: merge telemetry, count the cache."""
+        result, state, snap, cache_hit = future.result()
+        if snap is not None:
+            obs.merge_snapshot(snap)
+        if cache_hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        if obs.enabled():
+            name = (
+                "serve.worker_cache_hits"
+                if cache_hit
+                else "serve.worker_cache_misses"
+            )
+            obs.counter(name).inc()
+        return result, state
 
     def run_epochs(
         self,
@@ -77,27 +183,31 @@ class ShardPool:
     ) -> list[tuple[EpochResult, dict]]:
         """Run one epoch per shard; results align with the input order."""
         require(len(specs) == len(states), "one state per spec required")
-        telemetry = obs.enabled()
         futures = [
-            self._pool.submit(
-                _run_epoch_job, spec, state, scheduler, sort_key,
-                max_slots, telemetry,
+            self.submit_epoch(
+                spec, state, scheduler=scheduler, sort_key=sort_key,
+                max_slots=max_slots,
             )
             for spec, state in zip(specs, states)
         ]
-        out: list[tuple[EpochResult, dict]] = []
-        for fut in futures:
-            result, state, snap = fut.result()
-            if snap is not None:
-                obs.merge_snapshot(snap)
-            out.append((result, state))
-        return out
+        return [self.harvest(fut) for fut in futures]
 
+    # ------------------------------------------------------------- lifecycle
+    def shutdown(self) -> None:
+        """Stop workers and unlink every published segment (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._store is not None:
+            self._store.shutdown()
+            self._store = None
+
+    # Back-compat alias (pre-refactor API).
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
+        self.shutdown()
 
     def __enter__(self) -> "ShardPool":
         return self
 
     def __exit__(self, *exc) -> None:
-        self.close()
+        self.shutdown()

@@ -1,0 +1,218 @@
+"""Buffer-table protocol and shared-memory transport (repro.core.shm)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arrays import GameArrays
+from repro.core.shm import (
+    ALIGN,
+    BufferTable,
+    SharedBlock,
+    active_segments,
+    compact_ints,
+    os_segments,
+)
+from repro.core.game import RouteNavigationGame
+from tests.helpers import random_game
+
+
+# ------------------------------------------------------------- strategies
+_DTYPES = st.sampled_from(
+    ["<i8", "<i4", "<f8", "<f4", "<u2", "|i1", "<f2"]
+)
+
+
+@st.composite
+def named_arrays(draw):
+    """A mapping of named ndarrays with mixed dtypes, shapes, and emptiness."""
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    n = draw(st.integers(1, 6))
+    out = {}
+    for i in range(n):
+        dtype = np.dtype(draw(_DTYPES))
+        # Deliberately include empty and scalar-ish shapes.
+        shape = tuple(draw(st.lists(st.integers(0, 5), min_size=1, max_size=2)))
+        if dtype.kind == "f":
+            arr = rng.standard_normal(shape).astype(dtype)
+        else:
+            info = np.iinfo(dtype)
+            arr = rng.integers(
+                max(info.min, -1000), min(info.max, 1000), size=shape
+            ).astype(dtype)
+        out[f"buf{i}"] = arr
+    return out
+
+
+class TestBufferTable:
+    @given(named_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_pack_views_roundtrip_bitwise(self, named):
+        """pack_into → views is bitwise identity for every dtype mix."""
+        table = BufferTable.build(named)
+        buf = bytearray(table.total_bytes)
+        table.pack_into(buf, named)
+        views = table.views(buf)
+        assert set(views) == set(named)
+        for name, arr in named.items():
+            v = views[name]
+            assert v.dtype == arr.dtype
+            assert v.shape == arr.shape
+            assert v.tobytes() == np.ascontiguousarray(arr).tobytes()
+
+    @given(named_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_offsets_aligned_and_disjoint(self, named):
+        table = BufferTable.build(named)
+        end = 0
+        for spec in table:
+            assert spec.offset % ALIGN == 0
+            assert spec.offset >= end
+            end = spec.offset + spec.nbytes
+        assert table.total_bytes >= end
+
+    def test_views_read_only_by_default(self):
+        named = {"a": np.arange(8, dtype=np.int64)}
+        table = BufferTable.build(named)
+        buf = bytearray(table.total_bytes)
+        table.pack_into(buf, named)
+        views = table.views(buf)
+        with pytest.raises((ValueError, RuntimeError)):
+            views["a"][0] = 99
+
+    def test_empty_segment_has_zero_bytes(self):
+        named = {"empty": np.zeros(0, dtype=np.float64),
+                 "tail": np.arange(3, dtype=np.int64)}
+        table = BufferTable.build(named)
+        assert table.spec("empty").nbytes == 0
+        buf = bytearray(table.total_bytes)
+        table.pack_into(buf, named)
+        views = table.views(buf)
+        assert views["empty"].size == 0
+        np.testing.assert_array_equal(views["tail"], [0, 1, 2])
+
+    def test_shape_mismatch_rejected(self):
+        table = BufferTable.build({"a": np.arange(4, dtype=np.int64)})
+        buf = bytearray(table.total_bytes)
+        with pytest.raises(Exception):
+            table.pack_into(buf, {"a": np.arange(5, dtype=np.int64)})
+
+
+class TestCompactInts:
+    @given(
+        st.lists(st.integers(-(2**40), 2**40), max_size=30),
+        st.sampled_from([np.int64, np.intp]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_lossless_and_fresh(self, values, dtype):
+        arr = np.asarray(values, dtype=dtype)
+        wire = compact_ints(arr)
+        np.testing.assert_array_equal(wire.astype(arr.dtype), arr)
+        # Never aliases the input: snapshots must not share live state.
+        assert not np.shares_memory(wire, arr)
+
+    def test_downcasts_small_values(self):
+        assert compact_ints(np.arange(10, dtype=np.int64)).dtype == np.int32
+
+    def test_keeps_wide_values(self):
+        arr = np.asarray([2**40], dtype=np.int64)
+        assert compact_ints(arr).dtype == np.int64
+
+    def test_float_passthrough_is_copy(self):
+        arr = np.asarray([1.5, 2.5])
+        out = compact_ints(arr)
+        assert out.dtype == arr.dtype
+        assert not np.shares_memory(out, arr)
+
+
+class TestSharedBlock:
+    def test_create_write_attach_read(self):
+        block = SharedBlock.create(256)
+        try:
+            view = np.frombuffer(block.buf, dtype=np.uint8, count=4)
+            with np.errstate(all="ignore"):
+                block.buf[:4] = b"\x01\x02\x03\x04"
+            other = SharedBlock.attach(block.name)
+            got = bytes(other.buf[:4])
+            del view
+            other.close()
+            assert got == b"\x01\x02\x03\x04"
+        finally:
+            block.close()
+
+    def test_close_is_idempotent_and_unlinks(self):
+        block = SharedBlock.create(64)
+        name = block.name
+        assert name in active_segments()
+        block.close()
+        block.close()
+        assert block.closed
+        assert name not in active_segments()
+        assert name not in os_segments()
+        with pytest.raises(FileNotFoundError):
+            SharedBlock.attach(name)
+
+    def test_gc_reclaims_segment(self):
+        name = SharedBlock.create(64).name  # dropped immediately
+        import gc
+
+        gc.collect()
+        assert name not in active_segments()
+        assert name not in os_segments()
+
+    def test_close_survives_live_numpy_views(self):
+        """Views pin the mapping; close still unlinks the OS name."""
+        block = SharedBlock.create(128)
+        name = block.name
+        view = np.frombuffer(block.buf, dtype=np.uint8)
+        block.close()
+        assert name not in os_segments()
+        assert view.size == 128  # mapping stays valid while the view lives
+
+
+class TestGameArraysSharedRoundTrip:
+    def _game(self, seed: int) -> RouteNavigationGame:
+        return random_game(
+            np.random.default_rng(seed), max_users=12, max_routes=4,
+            max_tasks=14,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_to_shared_from_shared_bitwise(self, seed):
+        ga = self._game(seed).arrays
+        block, table = ga.to_shared()
+        try:
+            back = GameArrays.from_shared(block.name, table)
+            for field in GameArrays.BUFFER_FIELDS:
+                a = getattr(ga, field)
+                b = getattr(back, field)
+                assert a.dtype == b.dtype, field
+                assert a.tobytes() == b.tobytes(), field
+            assert back.num_users == ga.num_users
+            assert back.num_tasks == ga.num_tasks
+            assert back.num_routes_total == ga.num_routes_total
+        finally:
+            block.close()
+
+    def test_shared_views_are_zero_copy_and_read_only(self):
+        ga = self._game(3).arrays
+        block, table = ga.to_shared()
+        try:
+            back = GameArrays.from_shared(block.name, table)
+            assert not back.route_cost.flags.writeable
+            # The view lives inside the shared mapping, not an owned copy.
+            assert not back.route_cost.flags.owndata
+            assert back.route_cost.base is not None
+        finally:
+            block.close()
+
+    def test_pickle_roundtrip_unchanged(self):
+        """__getstate__/__setstate__ still work (legacy transport)."""
+        import pickle
+
+        ga = self._game(5).arrays
+        back = pickle.loads(pickle.dumps(ga))
+        for field in GameArrays.BUFFER_FIELDS:
+            assert getattr(ga, field).tobytes() == getattr(back, field).tobytes()

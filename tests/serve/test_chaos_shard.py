@@ -48,6 +48,32 @@ def test_multi_shard_crash_still_reaches_nash():
     assert result.ok, result.describe()
 
 
+def test_pooled_pipelined_crash_reaches_nash_without_shm_leak():
+    """Crash an in-flight shard under the zero-copy pool: Nash, no leaks.
+
+    The case's leak check asserts that every shared-memory spec segment
+    the session published is gone from the OS after close — the
+    crashed-shard path must drain its prefetched future rather than
+    abandon it.
+    """
+    game = random_game(np.random.default_rng(79), max_users=18, max_tasks=20)
+    runner = ChaosRunner(game)
+    result = runner.run_shard_case(
+        ShardCrashCase(
+            name="pooled-crash",
+            num_shards=4,
+            crash_shards=(1, 3),
+            crash_round=1,
+            scheduler="puu",
+            seed=5,
+            processes=2,
+            pipeline=True,
+        )
+    )
+    assert result.ok, result.describe()
+    assert not any(v.invariant == "shm_leak" for v in result.violations)
+
+
 def test_describe_mentions_crash_details():
     game = random_game(np.random.default_rng(78), max_users=8, max_tasks=10)
     result = ChaosRunner(game).run_shard_case(

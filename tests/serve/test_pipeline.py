@@ -1,0 +1,183 @@
+"""Pipelined epoch dispatch and online re-tiling of a serving session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.churn import synthetic_serve_instance
+from repro.serve.health import HealthMonitor, HealthThresholds
+from repro.serve.partition import RegionPartition
+from repro.serve.session import ServeSession
+from tests.helpers import random_game
+
+
+def _instance(users=300, tasks=80, k=4, seed=11, locality=0.9):
+    return synthetic_serve_instance(users, tasks, k, locality=locality, seed=seed)
+
+
+def _session(k=4, seed=11, **kwargs):
+    tasks, platform, records, partition, factory = _instance(k=k, seed=seed)
+    sess = ServeSession(
+        tasks=tasks, platform=platform, records=records, partition=partition,
+        scheduler="puu", seed=seed, validate=True, **kwargs,
+    )
+    return sess, factory, records
+
+
+class TestPipeline:
+    def test_pipelined_session_reaches_nash(self):
+        sess, _, _ = _session(processes=4, pipeline=True)
+        with sess:
+            sess.run_to_convergence(max_rounds=500)
+            assert sess.is_nash()
+            sess.raise_if_violations()
+            # Every prefetched epoch was either harvested or banked.
+            assert not sess._inflight
+            assert not sess._banked
+
+    def test_pipeline_actually_prefetches(self):
+        """On a local-enough instance some shard must qualify as clean."""
+        tasks, platform, records, partition, _ = synthetic_serve_instance(
+            600, 160, 8, locality=0.97, seed=11
+        )
+        with ServeSession(
+            tasks=tasks, platform=platform, records=records,
+            partition=partition, scheduler="puu", seed=11, validate=True,
+            processes=4, pipeline=True,
+        ) as sess:
+            reports = sess.run_to_convergence(max_rounds=500)
+            assert sess.stats.prefetched_epochs > 0
+            assert sum(r.prefetched for r in reports) == sess.stats.prefetched_epochs
+            assert sess.is_nash()
+            sess.raise_if_violations()
+
+    def test_pipeline_matches_plain_equilibrium_quality(self):
+        """Pipelining changes scheduling, not the fixed-point property."""
+        sess_a, _, _ = _session(processes=4, pipeline=True)
+        sess_b, _, _ = _session(processes=4, pipeline=False)
+        with sess_a, sess_b:
+            sess_a.run_to_convergence(max_rounds=500)
+            sess_b.run_to_convergence(max_rounds=500)
+            assert sess_a.is_nash() and sess_b.is_nash()
+            sess_a.raise_if_violations()
+            sess_b.raise_if_violations()
+
+    def test_churn_flushes_inflight_and_banks_results(self):
+        sess, factory, records = _session(processes=4, pipeline=True)
+        with sess:
+            sess.run_round()
+            sess.run_round()
+            sess.join(factory(sess.next_user_id()))
+            assert not sess._inflight  # structural change drained the pipe
+            sess.leave(records[0].user_id)
+            sess.run_to_convergence(max_rounds=500)
+            assert sess.is_nash()
+            sess.raise_if_violations()
+            assert not sess._banked
+
+    def test_pipeline_requires_pool(self):
+        """pipeline=True without a pool (K=1 or inline) is a silent no-op."""
+        game = random_game(np.random.default_rng(5), max_users=10, max_tasks=12)
+        with ServeSession.from_game(
+            game, num_shards=1, seed=0, pipeline=True
+        ) as sess:
+            assert sess.pipeline is False
+            sess.run_to_convergence()
+
+    def test_crashed_inflight_shard_discards_future(self):
+        sess, _, _ = _session(processes=4, pipeline=True)
+        with sess:
+            sess.run_round()
+            rep = sess.run_round(crash_shards=(0, 1))
+            assert rep.crashed_shards == (0, 1)
+            sess.run_to_convergence(max_rounds=500)
+            assert sess.is_nash()
+            sess.raise_if_violations()
+
+
+class TestRetile:
+    def _skewed_session(self, seed=11):
+        """A session built on a deliberately unbalanced region map.
+
+        Reassigns 60% of the tasks to region 0 (keeping the rest of the
+        refined map): every shard still owns users, but shard 0 carries
+        well over the imbalance thresholds used below, and
+        ``refine_regions`` has real cut-reducing moves available.
+        """
+        tasks, platform, records, partition, factory = _instance(seed=seed)
+        n = partition.num_tasks
+        k = partition.num_shards
+        skew = partition.task_region.copy()
+        order = np.argsort(skew, kind="stable")
+        skew[order[: int(0.6 * n)]] = 0
+        sess = ServeSession(
+            tasks=tasks, platform=platform, records=records,
+            partition=RegionPartition(num_shards=k, task_region=skew),
+            scheduler="puu", seed=seed, validate=True,
+        )
+        return sess, factory
+
+    def test_retile_preserves_potential_and_strategies(self):
+        sess, _ = self._skewed_session()
+        with sess:
+            sess.run_to_convergence(max_rounds=500)
+            pot_before = sess.global_potential()
+            game, profile_before = sess.global_profile()
+            changed = sess.retile()
+            assert changed, "skewed partition should admit a refinement"
+            assert sess.stats.retiles == 1
+            sess.raise_if_violations()
+            # Strategies ride along with their users across the re-tile.
+            _, profile_after = sess.global_profile()
+            np.testing.assert_array_equal(
+                profile_before.choices, profile_after.choices
+            )
+            assert np.isclose(
+                pot_before, sess.global_potential(), rtol=1e-9
+            )
+
+    def test_retile_noop_when_already_refined(self):
+        sess, _, _ = _session()
+        with sess:
+            sess.run_round()
+            assert sess.retile() is False
+            assert sess.stats.retiles == 0
+
+    def test_auto_retile_fires_on_imbalance_alert(self):
+        monitor = HealthMonitor(
+            thresholds=HealthThresholds(load_imbalance=1.2)
+        )
+        sess, _ = self._skewed_session()
+        sess.health = monitor
+        sess.auto_retile = True
+        sess._retile_cooldown = 2
+        with sess:
+            sess.run_to_convergence(max_rounds=500)
+            assert any(a.kind == "load_imbalance" for a in monitor.alerts)
+            assert sess.stats.retiles >= 1
+            assert sess.is_nash()
+            sess.raise_if_violations()
+
+    def test_auto_retile_respects_cooldown(self):
+        monitor = HealthMonitor(
+            thresholds=HealthThresholds(load_imbalance=1.01)
+        )
+        sess, _ = self._skewed_session()
+        sess.health = monitor
+        sess.auto_retile = True
+        sess._retile_cooldown = 1000  # effectively one retile max
+        with sess:
+            sess.run_to_convergence(max_rounds=500)
+            assert sess.stats.retiles <= 1
+            sess.raise_if_violations()
+
+    def test_retile_converges_after_churn(self):
+        sess, factory = self._skewed_session()
+        with sess:
+            sess.run_round()
+            sess.join(factory(sess.next_user_id()))
+            sess.retile()
+            sess.run_to_convergence(max_rounds=500)
+            assert sess.is_nash()
+            sess.raise_if_violations()

@@ -98,3 +98,76 @@ def test_pool_snapshots_labeled_per_shard():
         sweeps = snap.counter_values("allocator.proposals_generated", "shard")
         assert set(sweeps) == {str(s) for s in shard_ids}
         assert all(count > 0 for count in sweeps.values())
+
+
+def test_spec_cache_rebuilds_track_version_bumps_not_epochs():
+    """The worker spec cache misses once per (shard, version), never per epoch."""
+    from repro.serve.shard import build_shard_spec as _build
+
+    specs, engines = _specs_and_states(53)
+    spec = specs[0]
+    state = engines[0].export_state()
+    with ShardPool(1) as pool:
+        assert pool._store is not None, "shared-memory store unavailable"
+        epochs = 5
+        for _ in range(epochs):
+            result, state = pool.harvest(
+                pool.submit_epoch(
+                    spec, state, scheduler="puu", sort_key="delta"
+                )
+            )
+        assert pool.cache_misses == 1
+        assert pool.cache_hits == epochs - 1
+        shipped_v0 = pool.spec_bytes_shipped
+        assert shipped_v0 > 0
+
+        # A version bump (what a churn rebuild does) must miss exactly once.
+        game = random_game(
+            np.random.default_rng(53), max_users=14, max_routes=4, max_tasks=16
+        )
+        from repro.serve.partition import partition_game as _pg
+
+        part = _pg(game, 2)
+        recs = [
+            UserRecord(
+                user_id=i, routes=game.route_sets[i],
+                weights=game.user_weights[i],
+            )
+            for i in spec.users.tolist()
+        ]
+        bumped = _build(
+            spec.shard_id, recs, game.tasks, part, game.platform, version=1
+        )
+        eng = ShardEngine(
+            bumped, scheduler="puu", rng=np.random.default_rng(99)
+        )
+        st2 = eng.export_state()
+        for _ in range(3):
+            _, st2 = pool.harvest(
+                pool.submit_epoch(
+                    bumped, st2, scheduler="puu", sort_key="delta"
+                )
+            )
+        assert pool.cache_misses == 2           # v0 once + v1 once
+        assert pool.cache_hits == (epochs - 1) + 2
+        assert pool.spec_bytes_shipped > shipped_v0  # one more publish
+
+
+def test_pool_payload_excludes_spec_arrays():
+    """Steady-state per-epoch payload must not carry the compiled arrays."""
+    import pickle
+
+    specs, engines = _specs_and_states(54)
+    spec, engine = specs[0], engines[0]
+    state = engine.export_state()
+    legacy = len(pickle.dumps((spec, state), protocol=pickle.HIGHEST_PROTOCOL))
+    with ShardPool(1) as pool:
+        assert pool._store is not None
+        pool.harvest(
+            pool.submit_epoch(spec, state, scheduler="puu", sort_key="delta")
+        )
+        first = pool.payload_bytes
+        # The ticket is tiny; the bulk of `legacy` is the spec itself.
+        arrays_bytes = spec.game.arrays.buffer_table().total_bytes
+        assert first < legacy
+        assert first < legacy - arrays_bytes + 4096
