@@ -52,6 +52,8 @@ TRACKED = (
     "test_bench_proposals.py::TestProposalSweep::test_sweep_scalar_loop",
     "test_bench_proposals.py::TestFullSlot::test_slot_batched",
     "test_bench_proposals.py::TestFullSlot::test_slot_scalar",
+    "test_bench_proposals.py::TestBackendSweep::test_batch_profits[numpy]",
+    "test_bench_proposals.py::TestBackendSweep::test_batch_profits[numba]",
     "test_bench_serve.py::test_churn_round[1]",
     "test_bench_serve.py::test_churn_round[2]",
     "test_bench_serve.py::test_churn_round[4]",
@@ -92,6 +94,13 @@ RATIOS = {
         "test_bench_serve.py::test_churn_round[1]",
         "test_bench_serve.py::test_churn_round[4]",
     ),
+    # Both medians come from the same run (the backend sweep pins each
+    # backend explicitly), so machine speed cancels; the floor asserted in
+    # CI is test_numba_speedup_floor's >=5x, this gate guards drift.
+    "backend.numba_candidate_profits_speedup": (
+        "test_bench_proposals.py::TestBackendSweep::test_batch_profits[numpy]",
+        "test_bench_proposals.py::TestBackendSweep::test_batch_profits[numba]",
+    ),
 }
 
 
@@ -131,6 +140,10 @@ def load_record(bench_path: Path) -> dict[str, Any]:
         "schema": SCHEMA,
         "created": doc.get("datetime"),
         "commit": commit,
+        # The kernel backend the run executed under (stamped by the
+        # benchmarks/conftest.py machine-info hook).  Pre-backend records
+        # carry no key and are read as "numpy" everywhere.
+        "backend": machine.get("kernel_backend", "numpy"),
         "machine": {
             "node": machine.get("node"),
             "machine": machine.get("machine"),
@@ -162,6 +175,11 @@ def _same_machine(a: dict[str, Any], b: dict[str, Any]) -> bool:
     return all(am.get(k) == bm.get(k) for k in ("node", "machine", "processor"))
 
 
+def _same_backend(a: dict[str, Any], b: dict[str, Any]) -> bool:
+    """Like-for-like: a numba run never gates against numpy baselines."""
+    return a.get("backend", "numpy") == b.get("backend", "numpy")
+
+
 def _baseline(
     values: list[float], window: int, pick=max
 ) -> float | None:
@@ -185,9 +203,15 @@ def check(
 ) -> list[str]:
     """Gate ``record`` against the rolling baseline; return failure lines."""
     failures: list[str] = []
-    local = [r for r in history if _same_machine(r, record)]
+    local = [
+        r for r in history
+        if _same_machine(r, record) and _same_backend(r, record)
+    ]
     if not local:
-        print("note: no same-machine history — absolute medians not gated")
+        print(
+            "note: no same-machine/same-backend history — "
+            "absolute medians not gated"
+        )
     for name, median in record["medians"].items():
         prior = [r["medians"][name] for r in local if name in r.get("medians", {})]
         base = _baseline(prior, window, pick=max)
@@ -204,8 +228,13 @@ def check(
                 f"{name}: median {median:.6f}s exceeds baseline "
                 f"{base:.6f}s by more than {threshold:.0%}"
             )
+    comparable = [r for r in history if _same_backend(r, record)]
     for name, ratio in record["ratios"].items():
-        prior = [r["ratios"][name] for r in history if name in r.get("ratios", {})]
+        prior = [
+            r["ratios"][name]
+            for r in comparable
+            if name in r.get("ratios", {})
+        ]
         base = _baseline(prior, window, pick=min)
         if base is None:
             continue

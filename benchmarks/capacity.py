@@ -59,6 +59,7 @@ def run_point(
     validate: bool = False,
     processes: int | None = None,
     pipeline: bool = False,
+    backend: str | None = None,
     churn_rounds: int = CHURN_ROUNDS,
 ) -> dict:
     """One (size, K) measurement: build, converge, churn, account."""
@@ -73,7 +74,7 @@ def run_point(
     sess = ServeSession(
         tasks=tasks, platform=platform, records=records, partition=partition,
         scheduler="puu", seed=SEED, validate=validate,
-        processes=processes, pipeline=pipeline,
+        processes=processes, pipeline=pipeline, backend=backend,
     )
     t1 = time.perf_counter()
     reports = sess.run_to_convergence(max_rounds=1000)
@@ -92,11 +93,14 @@ def run_point(
         sess.run_round()
     t3 = time.perf_counter()
 
+    from repro.core.backend import current_backend
+
     point = {
         "users": users,
         "tasks": n_tasks,
         "shards": shards,
         "processes": processes,
+        "backend": backend or current_backend().name,
         "pipeline": bool(pipeline and sess.pipeline),
         "build_seconds": round(t1 - t0, 3),
         "converge_seconds": round(t2 - t1, 3),
@@ -148,6 +152,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="overlap worker epochs with the boundary pass")
     parser.add_argument("--validate", action="store_true",
                         help="check cross-shard invariants at every sync")
+    parser.add_argument("--backend", default=None,
+                        choices=["numpy", "numba", "cupy"],
+                        help="kernel backend for shard engines and workers")
     parser.add_argument("--churn-rounds", type=int, default=CHURN_ROUNDS)
     parser.add_argument("--record", action="store_true",
                         help="append the curve to BENCH_history.json")
@@ -168,7 +175,8 @@ def main(argv: list[str] | None = None) -> int:
         for k in shard_counts:
             point = run_point(
                 users, k, validate=args.validate, processes=args.processes,
-                pipeline=args.pipeline, churn_rounds=args.churn_rounds,
+                pipeline=args.pipeline, backend=args.backend,
+                churn_rounds=args.churn_rounds,
             )
             points.append(point)
             print(
@@ -182,11 +190,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.record:
         import platform
 
+        from repro.core.backend import current_backend
+
         history = load_history(args.history)
         history.append({
             "schema": SCHEMA,
             "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "kind": "capacity",
+            "backend": args.backend or current_backend().name,
             "machine": {"node": platform.node(),
                         "machine": platform.machine(),
                         "processor": platform.processor(),

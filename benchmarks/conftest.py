@@ -18,6 +18,32 @@ from repro.experiments.results import ResultTable
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def kernel_backend():
+    """Warm the session's kernel backend before any timer starts.
+
+    Compiled backends (numba) pay a one-off JIT cost on first call; doing
+    it here keeps that cost out of every benchmark's first round.  The
+    resolved backend is returned so benches can tag their results.
+    """
+    from repro.core.backend import current_backend
+
+    backend = current_backend()
+    backend.warmup()
+    return backend
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    """Stamp the active kernel backend into the pytest-benchmark document.
+
+    ``bench_history.py`` reads this to keep its ledger like-for-like: a
+    numba run's medians are never gated against numpy baselines.
+    """
+    from repro.core.backend import current_backend
+
+    machine_info["kernel_backend"] = current_backend().name
+
+
 def save_and_print(key: str, table: ResultTable) -> None:
     """Persist a bench's result table and echo it to the terminal."""
     RESULTS_DIR.mkdir(exist_ok=True)

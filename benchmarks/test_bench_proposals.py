@@ -31,6 +31,7 @@ from repro.core import (
     StrategyProfile,
     UserWeights,
 )
+from repro.core.backend import available_backends, get_backend
 from repro.core.responses import batch_best_updates, best_update
 
 N_USERS = 500
@@ -122,6 +123,59 @@ class TestFullSlot:
 
     def test_slot_scalar(self, benchmark, dense_profile, all_users):
         benchmark(_scalar_slot, dense_profile, all_users)
+
+
+class TestBackendSweep:
+    """``batch_candidate_profits`` raced across every installed backend.
+
+    Each parametrized case pins one backend for the call, so a run with
+    numba installed produces both ``[numpy]`` and ``[numba]`` medians in
+    the same document — the ledger derives a machine-independent speedup
+    ratio from the pair (``backend.numba_candidate_profits_speedup``).
+    """
+
+    @pytest.mark.parametrize("backend_name", available_backends())
+    def test_batch_profits(
+        self, benchmark, dense_profile, all_users, backend_name
+    ):
+        backend = get_backend(backend_name)
+        backend.warmup()
+        benchmark.extra_info["backend"] = backend_name
+        ga = dense_profile.game.arrays
+        counts = dense_profile.counts
+        choices = np.asarray(dense_profile.choices, dtype=np.intp)
+        benchmark(
+            backend.batch_candidate_profits, ga, counts, choices, all_users
+        )
+
+
+@pytest.mark.skipif(
+    "numba" not in available_backends(), reason="numba backend not installed"
+)
+def test_numba_speedup_floor(dense_profile, all_users):
+    """Numba batch sweep must beat numpy by >=5x on the dense instance.
+
+    Parity within the declared rtol is checked first — a fast wrong
+    answer is no speedup.
+    """
+    ga = dense_profile.game.arrays
+    counts = dense_profile.counts
+    choices = np.asarray(dense_profile.choices, dtype=np.intp)
+    np_b = get_backend("numpy")
+    nb_b = get_backend("numba")
+    nb_b.warmup()
+
+    ref, _, _ = np_b.batch_candidate_profits(ga, counts, choices, all_users)
+    got, _, _ = nb_b.batch_candidate_profits(ga, counts, choices, all_users)
+    np.testing.assert_allclose(got, ref, rtol=nb_b.rtol, atol=0)
+
+    t_np = _best_of(np_b.batch_candidate_profits, ga, counts, choices, all_users)
+    t_nb = _best_of(nb_b.batch_candidate_profits, ga, counts, choices, all_users)
+    print(
+        f"\nbatch_candidate_profits: {t_np * 1e3:8.2f}ms numpy -> "
+        f"{t_nb * 1e3:8.2f}ms numba ({t_np / t_nb:4.1f}x)"
+    )
+    assert t_np / t_nb >= 5.0, "numba batch_candidate_profits speedup below 5x"
 
 
 def _best_of(f, *args, reps: int = 3, passes: int = 5) -> float:

@@ -31,14 +31,14 @@ class AsyncBR(Allocator):
 
     name = "ASYNC"
 
-    def __init__(self, *, seed=None, config=None,
+    def __init__(self, *, seed=None, config=None, backend=None,
                  rates: Sequence[float] | None = None,
                  quiet_window: float = 3.0):
         """``rates[i]``: user ``i``'s activation rate (default 1.0 each).
         The run stops once every user has ticked at least once since the
         last route change *and* ``quiet_window`` virtual time units passed
         without a change (a distributed-friendly stopping rule)."""
-        super().__init__(seed=seed, config=config)
+        super().__init__(seed=seed, config=config, backend=backend)
         self.rates = None if rates is None else [float(r) for r in rates]
         require(quiet_window > 0, "quiet_window must be positive")
         self.quiet_window = float(quiet_window)

@@ -18,7 +18,6 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.arrays import gather_segments, segment_sums
 from repro.core.game import RouteNavigationGame
 from repro.core.equilibrium import is_nash_equilibrium
 from repro.core.potential import potential
@@ -106,9 +105,19 @@ class Allocator(ABC):
 
     name: str = "base"
 
-    def __init__(self, *, seed: SeedLike = None, config: RunConfig | None = None):
+    def __init__(
+        self,
+        *,
+        seed: SeedLike = None,
+        config: RunConfig | None = None,
+        backend: str | None = None,
+    ):
         self.rng = as_generator(seed)
         self.config = config if config is not None else RunConfig()
+        #: Kernel-backend name to pin on the game before running
+        #: (``None`` = leave the game on the ambient default; see
+        #: :mod:`repro.core.backend`).
+        self.backend = backend
 
     # ------------------------------------------------------------------- API
     def run(
@@ -118,6 +127,9 @@ class Allocator(ABC):
         initial: Sequence[int] | StrategyProfile | None = None,
     ) -> AllocationResult:
         """Run decision-slot dynamics from a (random by default) profile."""
+        if self.backend is not None:
+            game.arrays.set_backend(self.backend)
+            game.arrays.backend.warmup()
         profile = self._initial_profile(game, initial)
         self._begin_run(game)
         recorder = _HistoryRecorder(
@@ -506,14 +518,13 @@ class _HistoryRecorder:
 
 def _profits_of_users(profile: StrategyProfile, users: np.ndarray) -> np.ndarray:
     """``P_i(s)`` for a subset of users, bitwise equal to the matching
-    entries of :func:`~repro.core.profit.all_profits`."""
+    entries of :func:`~repro.core.profit.all_profits`.
+
+    Dispatches to the same kernel backend as ``all_profits`` — the
+    history recorder's validate mode compares the two bitwise, so they
+    must always run on the same implementation.
+    """
     game = profile.game
     ga = game.arrays
     shares = game.tasks.shares(profile.counts)
-    g = ga.chosen_route_ids(profile.choices)[users]
-    lengths = ga.route_len[g]
-    flat = gather_segments(ga.task_ids, ga.indptr[g], lengths)
-    rewards = segment_sums(
-        shares[flat], np.cumsum(lengths) - lengths, lengths
-    )
-    return ga.alpha[users] * rewards - ga.route_cost[g]
+    return ga.backend.profits_of_users(ga, profile.choices, shares, users)

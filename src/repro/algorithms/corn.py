@@ -50,12 +50,13 @@ class CORN(Allocator):
         *,
         seed=None,
         config=None,
+        backend=None,
         node_budget: int = 10_000_000,
         order_users: bool = True,
     ):
         """``order_users=False`` disables the most-constrained-first
         permutation (ablation knob: ~20x more nodes on typical instances)."""
-        super().__init__(seed=seed, config=config)
+        super().__init__(seed=seed, config=config, backend=backend)
         self.node_budget = int(node_budget)
         self.order_users = bool(order_users)
         self.nodes_expanded = 0

@@ -68,10 +68,11 @@ class MUUN(Allocator):
 
     name = "MUUN"
 
-    def __init__(self, *, seed=None, config=None, sort_key: str = "delta"):
+    def __init__(self, *, seed=None, config=None, backend=None,
+                 sort_key: str = "delta"):
         """``sort_key`` selects PUU's greedy order: ``"delta"`` (the paper's
         ``tau_i/|B_i|``) or ``"tau"`` (ablation: raw gain)."""
-        super().__init__(seed=seed, config=config)
+        super().__init__(seed=seed, config=config, backend=backend)
         if sort_key not in ("delta", "tau"):
             raise ValueError(f"unknown sort_key: {sort_key!r}")
         self.sort_key = sort_key

@@ -100,6 +100,7 @@ class GameArrays:
         "_task_user_csr",
         "_user_task_csr",
         "_shm",
+        "_backend",
     )
 
     #: The immutable buffers of the layout, in manifest order — everything
@@ -171,6 +172,35 @@ class GameArrays:
         self._task_user_csr: tuple[np.ndarray, np.ndarray] | None = None
         self._user_task_csr: tuple[np.ndarray, np.ndarray] | None = None
         self._shm: SharedBlock | None = None
+        self._backend = None
+
+    # ------------------------------------------------------ backend dispatch
+    @property
+    def backend(self):
+        """The :class:`~repro.core.backend.KernelBackend` hot kernels run on.
+
+        Per-instance override first, else the ambient default (process
+        default / ``REPRO_BACKEND`` / numpy) — resolved per call, so
+        :func:`repro.core.backend.use_backend` scopes apply to instances
+        without an override.
+        """
+        if self._backend is not None:
+            return self._backend
+        from repro.core.backend import current_backend
+
+        return current_backend()
+
+    def set_backend(self, backend) -> "GameArrays":
+        """Pin this instance to a backend (name or instance); ``None``
+        clears the override back to the ambient default.  Returns
+        ``self`` for chaining."""
+        if backend is None or not isinstance(backend, str):
+            self._backend = backend
+        else:
+            from repro.core.backend import get_backend
+
+            self._backend = get_backend(backend)
+        return self
 
     # -------------------------------------------------------- buffer protocol
     def buffer_table(self) -> BufferTable:
@@ -221,6 +251,7 @@ class GameArrays:
         self._task_user_csr = None
         self._user_task_csr = None
         self._shm = shm
+        self._backend = None
         return self
 
     @classmethod
@@ -237,14 +268,22 @@ class GameArrays:
         state["num_users"] = self.num_users
         state["num_tasks"] = self.num_tasks
         state["num_routes_total"] = self.num_routes_total
+        # A pinned backend travels by *name*; the receiving process
+        # re-resolves it (and falls back with a warning if unavailable).
+        if self._backend is not None:
+            state["backend"] = self._backend.name
         return state
 
     def __setstate__(self, state: dict) -> None:
+        backend_name = state.pop("backend", None)
         for name, value in state.items():
             setattr(self, name, value)
         self._task_user_csr = None
         self._user_task_csr = None
         self._shm = None
+        self._backend = None
+        if backend_name is not None:
+            self.set_backend(backend_name)
 
     # ------------------------------------------------------------- addressing
     def route_id(self, user: int, route: int) -> int:
@@ -300,23 +339,11 @@ class GameArrays:
 
         ``counts_wo`` are the counts with the user's own contribution
         removed; each candidate is evaluated at ``n_k(s_{-i}) + 1`` on its
-        tasks.  One gather over the user's whole CSR slice, one segmented
-        reduction — no per-route Python loop.
+        tasks.  Dispatches to the active kernel backend (the numpy
+        reference does one gather over the user's whole CSR slice plus
+        one segmented reduction — no per-route Python loop).
         """
-        sl = self.user_slice(user)
-        lo, hi = int(self.indptr[sl.start]), int(self.indptr[sl.stop])
-        seg = self.task_ids[lo:hi]
-        if seg.size:
-            n = counts_wo[seg].astype(float) + 1.0
-            terms = (
-                self.base_rewards[seg] + self.reward_increments[seg] * np.log(n)
-            ) / n
-            rewards = segment_sums(
-                terms, self.indptr[sl.start : sl.stop] - lo, self.route_len[sl]
-            )
-        else:
-            rewards = np.zeros(sl.stop - sl.start)
-        return self.alpha[user] * rewards - self.route_cost[sl]
+        return self.backend.candidate_profits(self, user, counts_wo)
 
     def chosen_segment_sums(
         self, choices: np.ndarray, per_task_values: np.ndarray
@@ -348,35 +375,9 @@ class GameArrays:
 
         A task gained at count ``n`` adds ``w_k(n+1)/(n+1)``; a task lost at
         count ``n`` removes ``w_k(n)/n``; only the symmetric difference
-        contributes.
+        contributes.  Dispatches to the active kernel backend.
         """
-        if old_g == new_g:
-            return 0.0
-        gained, lost = self.changed_tasks(old_g, new_g)
-        delta = 0.0
-        if gained.size:
-            n_after = counts[gained].astype(float) + 1.0
-            delta += float(
-                (
-                    (
-                        self.base_rewards[gained]
-                        + self.reward_increments[gained] * np.log(n_after)
-                    )
-                    / n_after
-                ).sum()
-            )
-        if lost.size:
-            n_before = counts[lost].astype(float)
-            delta -= float(
-                (
-                    (
-                        self.base_rewards[lost]
-                        + self.reward_increments[lost] * np.log(n_before)
-                    )
-                    / n_before
-                ).sum()
-            )
-        return delta + float(self.route_pot_cost[old_g] - self.route_pot_cost[new_g])
+        return self.backend.potential_delta(self, counts, old_g, new_g)
 
     def user_coverage_matrix(self, user: int) -> np.ndarray:
         """Dense one-hot ``(num_routes(user), num_tasks)`` coverage matrix.

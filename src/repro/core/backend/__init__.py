@@ -1,0 +1,183 @@
+"""Backend registry: resolve, cache, and fall back between kernel backends.
+
+Selection precedence (first hit wins):
+
+1. an explicit ``backend=`` argument on the call site
+   (:class:`~repro.core.arrays.GameArrays`, the allocators,
+   :class:`~repro.serve.session.ServeSession`, the CLI ``--backend``);
+2. a per-``GameArrays`` override installed with
+   :meth:`~repro.core.arrays.GameArrays.set_backend`;
+3. the process-global default installed with :func:`set_backend`;
+4. the ``REPRO_BACKEND`` environment variable;
+5. ``"numpy"``.
+
+Unavailable backends never raise at selection time: :func:`get_backend`
+falls back to the numpy reference and emits **one**
+:class:`BackendFallbackWarning` per (name, reason) per process — requesting
+``numba`` on a box without numba degrades, loudly but exactly once, to
+correct-but-slower kernels.  Strict callers can use
+:func:`get_backend(name, strict=True) <get_backend>` to surface the
+underlying :class:`ImportError` instead.
+
+Backend instances are process-local singletons (compiled-artifact and
+device caches live on them), created lazily on first request.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import warnings
+from typing import Iterator
+
+from repro.core.backend.base import KernelBackend
+from repro.core.backend.numpy_backend import NumpyBackend
+
+__all__ = [
+    "BackendFallbackWarning",
+    "KernelBackend",
+    "NumpyBackend",
+    "available_backends",
+    "current_backend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+ENV_VAR = "REPRO_BACKEND"
+DEFAULT = "numpy"
+
+#: name -> (module, class) for lazy construction; numpy is eager because it
+#: is the guaranteed fallback and costs nothing to build.
+_LAZY = {
+    "numba": ("repro.core.backend.numba_backend", "NumbaBackend"),
+    "cupy": ("repro.core.backend.cupy_backend", "CupyBackend"),
+}
+
+_instances: dict[str, KernelBackend] = {}
+_warned: set[str] = set()
+_process_default: str | None = None
+
+
+class BackendFallbackWarning(UserWarning):
+    """A requested backend is unavailable; the numpy reference is used."""
+
+
+def _build(name: str) -> KernelBackend:
+    if name == "numpy":
+        return NumpyBackend()
+    module_name, cls_name = _LAZY[name]
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, cls_name)()
+
+
+def get_backend(name: str | None = None, *, strict: bool = False) -> KernelBackend:
+    """Resolve ``name`` (or the ambient default) to a backend instance.
+
+    Unknown or unimportable names fall back to numpy with a single
+    :class:`BackendFallbackWarning` per process, unless ``strict=True``
+    in which case the underlying error propagates.
+    """
+    if name is None:
+        name = _default_name()
+    name = name.strip().lower()
+    inst = _instances.get(name)
+    if inst is not None:
+        return inst
+    if name != "numpy" and name not in _LAZY:
+        if strict:
+            raise ValueError(
+                f"unknown backend {name!r}; known: {sorted(('numpy', *_LAZY))}"
+            )
+        _warn_fallback(name, "unknown backend name")
+        return get_backend("numpy")
+    try:
+        inst = _build(name)
+    except Exception as exc:  # ImportError, missing device, ...
+        if strict:
+            raise
+        _warn_fallback(name, f"{type(exc).__name__}: {exc}")
+        return get_backend("numpy")
+    _instances[name] = inst
+    return inst
+
+
+def _warn_fallback(name: str, reason: str) -> None:
+    key = f"{name}:{reason}"
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(
+        f"kernel backend {name!r} unavailable ({reason}); "
+        f"falling back to 'numpy'",
+        BackendFallbackWarning,
+        stacklevel=3,
+    )
+    from repro import obs
+
+    if obs.enabled():
+        obs.counter("core.backend_fallback", requested=name).inc()
+
+
+def _default_name() -> str:
+    if _process_default is not None:
+        return _process_default
+    return os.environ.get(ENV_VAR, DEFAULT)
+
+
+def set_backend(name: str) -> KernelBackend:
+    """Install ``name`` as the process-global default and return the
+    resolved instance (after fallback, so the return value reports what
+    will actually run)."""
+    global _process_default
+    inst = get_backend(name)
+    _process_default = inst.name
+    return inst
+
+
+def current_backend() -> KernelBackend:
+    """The backend ambient code will get: process default, else
+    ``REPRO_BACKEND``, else numpy."""
+    return get_backend(None)
+
+
+@contextlib.contextmanager
+def use_backend(name: str) -> Iterator[KernelBackend]:
+    """Temporarily install ``name`` as the process default (test helper)."""
+    global _process_default
+    prev = _process_default
+    inst = set_backend(name)
+    try:
+        yield inst
+    finally:
+        _process_default = prev
+
+
+def available_backends() -> list[str]:
+    """Names that resolve to a working backend on this machine, in
+    registry order with numpy first.  Probes quietly (no fallback
+    warnings) and caches via the instance table."""
+    names = ["numpy"]
+    for name in _LAZY:
+        if name in _instances:
+            names.append(name)
+            continue
+        try:
+            _instances[name] = _build(name)
+        except Exception:
+            continue
+        names.append(name)
+    return names
+
+
+def _record_warmup(backend: KernelBackend, seconds: float) -> None:
+    """Telemetry hook called by backends at the end of :meth:`warmup`."""
+    from repro import obs
+
+    if obs.enabled():
+        obs.histogram(
+            "core.jit_warmup_seconds", backend=backend.name
+        ).observe(seconds)
+        obs.gauge("core.backend_info", backend=backend.name).set(1.0)

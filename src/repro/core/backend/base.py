@@ -1,0 +1,150 @@
+"""The kernel-backend interface: one seam under every hot game kernel.
+
+A :class:`KernelBackend` owns the numeric cores of the response-dynamics
+hot path — candidate-profit evaluation (Eq. 2 what-ifs), the segmented
+argmax/max reductions of the batched proposal engine, the chosen-route
+profit gather behind ``all_profits``, and the telescoped potential delta
+(Eq. 8).  Everything *around* those cores — CSR bookkeeping, RNG streams,
+tie-breaking, proposal assembly — stays backend-independent NumPy in
+:mod:`repro.core.responses` / :mod:`repro.core.profit`, so a backend only
+ever sees flat arrays plus the :class:`~repro.core.arrays.GameArrays`
+layout and can never perturb trajectory semantics beyond float tolerance.
+
+Tolerance contract (verified by ``tests/core/test_backend.py`` and the
+backend-parametrized oracle suites):
+
+- ``numpy`` — the reference backend; **bitwise** equal to the pre-seam
+  kernels (it *is* those kernels, extracted verbatim).
+- ``numba`` — JIT-compiled, ``parallel=True`` prange over users,
+  ``fastmath`` **off**; agrees with numpy within ``rtol = 1e-12``
+  (element order inside a route segment is preserved, only the
+  gained/lost split of ``potential_delta`` re-associates).
+- ``cupy`` — optional GPU path for the dense batched sweep only; agrees
+  within ``rtol = 1e-9`` (device transcendentals).
+
+Backends declare their tolerance as :attr:`KernelBackend.rtol`; tests
+read it instead of hard-coding per-backend numbers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.arrays import GameArrays
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend:
+    """Abstract kernel set.  Subclasses implement every kernel method.
+
+    Instances are stateless apart from optional compiled-artifact /
+    device-array caches, process-local, and shared freely across games —
+    the per-call inputs carry all mutable state (counts, choices).
+    """
+
+    #: Registry name (``"numpy"``, ``"numba"``, ``"cupy"``).
+    name: str = "abstract"
+    #: Declared relative tolerance vs the numpy reference backend.
+    #: ``0.0`` means bitwise-identical.
+    rtol: float = 0.0
+
+    # ------------------------------------------------------------- lifecycle
+    def warmup(self) -> float:
+        """Compile/upload whatever the backend needs; return seconds spent.
+
+        Idempotent and cheap after the first call.  Callers that care
+        about latency (benchmark fixtures, pool workers before their
+        first epoch) invoke this explicitly so compile time never lands
+        inside a measured region.  Records ``core.jit_warmup_seconds``
+        and ``core.backend_info`` when telemetry is enabled.
+        """
+        return 0.0
+
+    def info(self) -> dict[str, object]:
+        """Structured description for run reports / ``core.backend_info``."""
+        return {"name": self.name, "rtol": self.rtol}
+
+    # ---------------------------------------------------------- hot kernels
+    def candidate_profits(
+        self, ga: "GameArrays", user: int, counts_wo: np.ndarray
+    ) -> np.ndarray:
+        """``P_i(r_j, s_{-i})`` for every route of one user.
+
+        ``counts_wo`` excludes the user's own contribution; each
+        candidate evaluates at ``n_k(s_{-i}) + 1``.
+        """
+        raise NotImplementedError
+
+    def batch_candidate_profits(
+        self,
+        ga: "GameArrays",
+        counts: np.ndarray,
+        choices: np.ndarray,
+        users: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Candidate profits of all routes of many users in one pass.
+
+        Returns ``(profits, flat_g, r_indptr)`` exactly as documented on
+        :func:`repro.core.responses.batch_candidate_profits`.  ``counts``
+        here are the *full* profile counts (each user's own contribution
+        included); membership of a task in the user's current route
+        decides whether the share term divides by ``n_k`` or
+        ``n_k + 1``.
+        """
+        raise NotImplementedError
+
+    def segmented_best(
+        self, profits: np.ndarray, r_indptr: np.ndarray
+    ) -> np.ndarray:
+        """Per-segment maximum of ``profits`` (segments from ``r_indptr``).
+
+        Segments are non-empty (every user owns >= 1 route).  Max of
+        doubles is exact, so every backend returns identical bits here.
+        """
+        raise NotImplementedError
+
+    def segmented_first_within(
+        self,
+        profits: np.ndarray,
+        r_indptr: np.ndarray,
+        thresholds: np.ndarray,
+    ) -> np.ndarray:
+        """First flat index per segment with ``profits >= thresholds[k]``.
+
+        The deterministic ``pick="first"`` tie-break of the batched
+        proposal engine.  Comparisons are exact, so backends agree
+        bitwise given the same ``profits``.
+        """
+        raise NotImplementedError
+
+    def chosen_profits(
+        self, ga: "GameArrays", choices: np.ndarray, shares: np.ndarray
+    ) -> np.ndarray:
+        """``P_i(s)`` for every user from precomputed per-task shares."""
+        raise NotImplementedError
+
+    def profits_of_users(
+        self,
+        ga: "GameArrays",
+        choices: np.ndarray,
+        shares: np.ndarray,
+        users: np.ndarray,
+    ) -> np.ndarray:
+        """Subset of :meth:`chosen_profits` — must match its entries
+        bitwise *within this backend* (the incremental history recorder
+        cross-checks them against each other)."""
+        raise NotImplementedError
+
+    def potential_delta(
+        self, ga: "GameArrays", counts: np.ndarray, old_g: int, new_g: int
+    ) -> float:
+        """``phi(new, s_{-i}) - phi(s)`` telescoped over the symmetric
+        difference of the two routes (Eq. 8)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} name={self.name!r} rtol={self.rtol}>"

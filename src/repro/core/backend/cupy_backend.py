@@ -1,0 +1,171 @@
+"""CuPy backend: GPU offload for the dense batched candidate sweep.
+
+Only :meth:`batch_candidate_profits` moves to the device — it is the one
+kernel whose arithmetic intensity survives the PCIe round-trip, and only
+because the game's static CSR arrays (task ids, costs, rewards) are
+uploaded **once per game** and reused across every sweep of a dirty-mask
+epoch.  Per-call traffic is just ``counts``/``choices``/``users`` up and
+the profit vector down.  Everything else (single-user what-ifs, segment
+reductions over small batches, potential deltas) inherits the numpy
+reference — those kernels are latency-bound and a device hop would be a
+pessimization.
+
+Tolerance: device transcendentals (``log``) and the reduction order of
+``cupy``'s segmented sum differ from the host, so this backend declares
+``rtol = 1e-9`` rather than the numba backend's 1e-12.
+
+The device-side static arrays are cached per :class:`GameArrays`
+*instance* in a small keyed cache (``GameArrays`` has ``__slots__`` and
+no ``__weakref__``, so the cache is bounded by count, not by liveness —
+at most ``_CACHE_SLOTS`` games stay resident, LRU-evicted).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.backend.numpy_backend import NumpyBackend
+
+# Import at module scope so a missing/broken cupy fails at backend
+# construction, where the registry catches it and falls back to numpy.
+import cupy as cp  # noqa: E402
+
+__all__ = ["CupyBackend"]
+
+_CACHE_SLOTS = 4
+
+
+class _DeviceGame:
+    """The static (per-game) CSR arrays, resident on the device."""
+
+    __slots__ = (
+        "indptr", "task_ids", "task_ids_sorted", "route_len", "route_user",
+        "route_cost", "alpha", "base_rewards", "reward_increments",
+        "user_route_offset",
+    )
+
+    def __init__(self, ga) -> None:
+        self.indptr = cp.asarray(ga.indptr)
+        self.task_ids = cp.asarray(ga.task_ids)
+        self.task_ids_sorted = cp.asarray(ga.task_ids_sorted)
+        self.route_len = cp.asarray(ga.route_len)
+        self.route_user = cp.asarray(ga.route_user)
+        self.route_cost = cp.asarray(ga.route_cost)
+        self.alpha = cp.asarray(ga.alpha)
+        self.base_rewards = cp.asarray(ga.base_rewards)
+        self.reward_increments = cp.asarray(ga.reward_increments)
+        self.user_route_offset = cp.asarray(ga.user_route_offset)
+
+
+class CupyBackend(NumpyBackend):
+    """GPU dense-sweep backend; everything else falls through to numpy."""
+
+    name = "cupy"
+    rtol = 1e-9
+
+    def __init__(self) -> None:
+        # Fail now (not at first kernel) when no device is usable.
+        cp.cuda.runtime.getDeviceCount()
+        self._device_games: OrderedDict[tuple[int, int], _DeviceGame] = (
+            OrderedDict()
+        )
+        self._warm = False
+
+    # ------------------------------------------------------------ lifecycle
+    def warmup(self) -> float:
+        """Touch the device once (context creation + a tiny kernel launch)
+        so first-epoch latency excludes CUDA context setup."""
+        if self._warm:
+            return 0.0
+        t0 = time.perf_counter()
+        x = cp.arange(8, dtype=cp.float64)
+        float(cp.log(x + 1.0).sum())
+        self._warm = True
+        seconds = time.perf_counter() - t0
+        from repro.core.backend import _record_warmup
+
+        _record_warmup(self, seconds)
+        return seconds
+
+    def info(self) -> dict[str, object]:
+        dev = cp.cuda.Device()
+        return {
+            "name": self.name,
+            "rtol": self.rtol,
+            "cupy_version": cp.__version__,
+            "device": int(dev.id),
+            "warm": self._warm,
+        }
+
+    def _device_game(self, ga) -> _DeviceGame:
+        # id() plus num_elements guards against id reuse after gc: a
+        # recycled address with a different CSR size misses the cache.
+        key = (id(ga), int(ga.task_ids.size))
+        cached = self._device_games.get(key)
+        if cached is None:
+            cached = _DeviceGame(ga)
+            self._device_games[key] = cached
+            while len(self._device_games) > _CACHE_SLOTS:
+                self._device_games.popitem(last=False)
+        else:
+            self._device_games.move_to_end(key)
+        return cached
+
+    # ------------------------------------------------------------- kernels
+    def batch_candidate_profits(self, ga, counts, choices, users):
+        flat_g, r_indptr = ga.routes_of_users(users)
+        if flat_g.size == 0:
+            return super().batch_candidate_profits(ga, counts, choices, users)
+        dg = self._device_game(ga)
+        d_users = cp.asarray(users)
+        d_counts = cp.asarray(counts)
+        d_choices = cp.asarray(choices)
+        d_flat_g = cp.asarray(flat_g)
+        lengths = dg.route_len[d_flat_g]
+        starts = dg.indptr[d_flat_g]
+        # Flatten all candidate segments: a device-side expansion of the
+        # host gather_segments (offset-within-segment + per-segment base).
+        total = int(lengths.sum())
+        if total == 0:
+            profits = dg.alpha[dg.route_user[d_flat_g]] * 0.0
+            profits = profits - dg.route_cost[d_flat_g]
+            return cp.asnumpy(profits), flat_g, r_indptr
+        seg_id = cp.repeat(cp.arange(d_flat_g.size), lengths)
+        route_starts = cp.cumsum(lengths) - lengths
+        offs = cp.arange(total) - route_starts[seg_id]
+        flat_tasks = dg.task_ids[starts[seg_id] + offs]
+        # Membership: binary search in each user's sorted chosen segment
+        # via merged (user, task) keys, mirroring the host sparse path.
+        nt = max(int(ga.num_tasks), 1)
+        elem_user = dg.route_user[d_flat_g][seg_id]
+        keys = elem_user.astype(cp.int64) * nt + flat_tasks
+        chosen_g = dg.user_route_offset[d_users] + d_choices[d_users]
+        chosen_len = dg.route_len[chosen_g]
+        c_total = int(chosen_len.sum())
+        if c_total:
+            c_seg = cp.repeat(cp.arange(d_users.size), chosen_len)
+            c_starts = cp.cumsum(chosen_len) - chosen_len
+            c_offs = cp.arange(c_total) - c_starts[c_seg]
+            chosen_tasks = dg.task_ids_sorted[dg.indptr[chosen_g][c_seg] + c_offs]
+            chosen_keys = d_users[c_seg].astype(cp.int64) * nt + chosen_tasks
+            pos = cp.searchsorted(chosen_keys, keys)
+            pos_c = cp.minimum(pos, chosen_keys.size - 1)
+            member = (pos < chosen_keys.size) & (chosen_keys[pos_c] == keys)
+        else:
+            member = cp.zeros(keys.size, dtype=bool)
+        n_out = (d_counts + 1).astype(cp.float64)
+        t_out = (dg.base_rewards + dg.reward_increments * cp.log(n_out)) / n_out
+        n_in = cp.maximum(d_counts, 1).astype(cp.float64)
+        t_in = (dg.base_rewards + dg.reward_increments * cp.log(n_in)) / n_in
+        terms = cp.where(member, t_in[flat_tasks], t_out[flat_tasks])
+        # Segmented sum via cumsum differences (device-friendly reduceat).
+        csum = cp.concatenate((cp.zeros(1), cp.cumsum(terms)))
+        rewards = csum[route_starts + lengths] - csum[route_starts]
+        profits = (
+            dg.alpha[dg.route_user[d_flat_g]] * rewards
+            - dg.route_cost[d_flat_g]
+        )
+        return cp.asnumpy(profits), flat_g, r_indptr

@@ -1,0 +1,325 @@
+"""Numba backend: JIT-compiled, thread-parallel hot kernels.
+
+Compiled with ``parallel=True`` (``prange`` over the batch's users) and
+``fastmath`` **off** — re-association is limited to what the kernel loop
+order already implies, so results stay within the declared ``rtol =
+1e-12`` of the numpy reference (each user's per-route reward sum runs in
+the same element order as the reference's ``reduceat``; only
+``potential_delta`` interleaves the gained/lost sums).
+
+``cache=True`` persists compiled artifacts to numba's on-disk cache, so
+a process pays compilation once per machine, not once per run.  First-use
+latency is still seconds when the cache is cold, which is why
+:meth:`NumbaBackend.warmup` exists: it drives every kernel once on a tiny
+instance so benchmarks and pool workers never measure compile time.  The
+warm-up duration lands in the ``core.jit_warmup_seconds`` histogram.
+
+Determinism: every ``prange`` iteration owns its output rows outright and
+reduces sequentially within the iteration, so results are independent of
+thread count and schedule — bit-for-bit run-to-run, regardless of
+``NUMBA_NUM_THREADS``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.backend.base import KernelBackend
+from repro.core.backend.numpy_backend import NumpyBackend
+
+_EMPTY_INTP = np.zeros(0, dtype=np.intp)
+_EMPTY_F64 = np.zeros(0, dtype=float)
+
+# Import here so a missing numba fails at backend construction (where the
+# registry catches it and falls back) rather than at first kernel call.
+from numba import njit, prange  # noqa: E402
+
+__all__ = ["NumbaBackend"]
+
+_JIT = dict(parallel=True, cache=True, fastmath=False, nogil=True)
+
+
+@njit(**_JIT)
+def _batch_profits(
+    users, r_indptr, uro, indptr, task_ids, task_ids_sorted,
+    route_cost, alpha, base, incs, counts, choices, out,
+):  # pragma: no cover - exercised only where numba is installed
+    for k in prange(users.shape[0]):
+        u = users[k]
+        g0 = uro[u] + choices[u]
+        cs = indptr[g0]
+        ce = indptr[g0 + 1]
+        a = alpha[u]
+        pos = r_indptr[k]
+        for g in range(uro[u], uro[u + 1]):
+            reward = 0.0
+            for e in range(indptr[g], indptr[g + 1]):
+                t = task_ids[e]
+                # Binary search of t in the user's sorted chosen segment:
+                # membership decides n_k vs n_k + 1 (counts include the
+                # user's own contribution exactly when it covers t).
+                lo = cs
+                hi = ce
+                member = False
+                while lo < hi:
+                    mid = (lo + hi) >> 1
+                    v = task_ids_sorted[mid]
+                    if v < t:
+                        lo = mid + 1
+                    elif v > t:
+                        hi = mid
+                    else:
+                        member = True
+                        break
+                if member:
+                    n = float(counts[t])
+                    if n < 1.0:
+                        n = 1.0
+                else:
+                    n = float(counts[t]) + 1.0
+                reward += (base[t] + incs[t] * np.log(n)) / n
+            out[pos] = a * reward - route_cost[g]
+            pos += 1
+
+
+@njit(cache=True, fastmath=False, nogil=True)
+def _single_profits(
+    g_lo, g_hi, indptr, task_ids, route_cost, base, incs, counts_wo,
+    alpha_u, out,
+):  # pragma: no cover - exercised only where numba is installed
+    for g in range(g_lo, g_hi):
+        reward = 0.0
+        for e in range(indptr[g], indptr[g + 1]):
+            t = task_ids[e]
+            n = float(counts_wo[t]) + 1.0
+            reward += (base[t] + incs[t] * np.log(n)) / n
+        out[g - g_lo] = alpha_u * reward - route_cost[g]
+
+
+@njit(**_JIT)
+def _segmented_best(
+    profits, r_indptr, out
+):  # pragma: no cover - exercised only where numba is installed
+    for k in prange(r_indptr.shape[0] - 1):
+        best = profits[r_indptr[k]]
+        for e in range(r_indptr[k] + 1, r_indptr[k + 1]):
+            if profits[e] > best:
+                best = profits[e]
+        out[k] = best
+
+
+@njit(**_JIT)
+def _segmented_first_within(
+    profits, r_indptr, thresholds, out
+):  # pragma: no cover - exercised only where numba is installed
+    for k in prange(r_indptr.shape[0] - 1):
+        first = profits.shape[0]
+        for e in range(r_indptr[k], r_indptr[k + 1]):
+            if profits[e] >= thresholds[k]:
+                first = e
+                break
+        out[k] = first
+
+
+@njit(**_JIT)
+def _chosen_profits(
+    uro, indptr, task_ids, route_cost, alpha, choices, shares, out
+):  # pragma: no cover - exercised only where numba is installed
+    for u in prange(choices.shape[0]):
+        g = uro[u] + choices[u]
+        reward = 0.0
+        for e in range(indptr[g], indptr[g + 1]):
+            reward += shares[task_ids[e]]
+        out[u] = alpha[u] * reward - route_cost[g]
+
+
+@njit(**_JIT)
+def _subset_profits(
+    users, uro, indptr, task_ids, route_cost, alpha, choices, shares, out
+):  # pragma: no cover - exercised only where numba is installed
+    for k in prange(users.shape[0]):
+        u = users[k]
+        g = uro[u] + choices[u]
+        reward = 0.0
+        for e in range(indptr[g], indptr[g + 1]):
+            reward += shares[task_ids[e]]
+        out[k] = alpha[u] * reward - route_cost[g]
+
+
+@njit(cache=True, fastmath=False, nogil=True)
+def _potential_delta(
+    task_ids_sorted, indptr, base, incs, counts, route_pot_cost,
+    old_g, new_g,
+):  # pragma: no cover - exercised only where numba is installed
+    # Two-pointer walk over the sorted old/new segments: tasks only in the
+    # old segment are lost (contribute -w_k(n)/n at current count n >= 1),
+    # tasks only in the new one are gained (+w_k(n+1)/(n+1)).
+    i = indptr[old_g]
+    iend = indptr[old_g + 1]
+    j = indptr[new_g]
+    jend = indptr[new_g + 1]
+    delta = 0.0
+    while i < iend or j < jend:
+        if j >= jend or (i < iend and task_ids_sorted[i] < task_ids_sorted[j]):
+            t = task_ids_sorted[i]
+            n = float(counts[t])
+            if n < 1.0:
+                n = 1.0
+            delta -= (base[t] + incs[t] * np.log(n)) / n
+            i += 1
+        elif i >= iend or task_ids_sorted[j] < task_ids_sorted[i]:
+            t = task_ids_sorted[j]
+            n = float(counts[t]) + 1.0
+            delta += (base[t] + incs[t] * np.log(n)) / n
+            j += 1
+        else:
+            i += 1
+            j += 1
+    return delta + route_pot_cost[old_g] - route_pot_cost[new_g]
+
+
+class NumbaBackend(KernelBackend):
+    """JIT-parallel kernels; tolerance-bounded against the numpy reference."""
+
+    name = "numba"
+    rtol = 1e-12
+
+    def __init__(self) -> None:
+        self._warm = False
+
+    # ------------------------------------------------------------ lifecycle
+    def warmup(self) -> float:
+        """Drive every kernel once on a 2-user toy so all compilation
+        (or on-disk cache loading) happens now, not inside a measured
+        epoch.  Returns the seconds spent; idempotent after the first
+        call (subsequent calls cost one attribute check)."""
+        if self._warm:
+            return 0.0
+        t0 = time.perf_counter()
+        # 2 users x 2 routes x <=2 tasks, 2 tasks total.
+        uro = np.asarray([0, 2, 4], dtype=np.intp)
+        indptr = np.asarray([0, 1, 3, 4, 4], dtype=np.intp)
+        task_ids = np.asarray([0, 0, 1, 1], dtype=np.intp)
+        task_sorted = task_ids.copy()
+        cost = np.asarray([0.1, 0.2, 0.3, 0.4])
+        pot_cost = cost / 2.0
+        alpha = np.asarray([0.5, 0.6])
+        base = np.asarray([10.0, 12.0])
+        incs = np.asarray([0.5, 0.7])
+        counts = np.asarray([1, 1], dtype=np.intp)
+        choices = np.asarray([0, 1], dtype=np.intp)
+        users = np.asarray([0, 1], dtype=np.intp)
+        r_indptr = np.asarray([0, 2, 4], dtype=np.intp)
+        out4 = np.empty(4)
+        out2 = np.empty(2)
+        outi = np.empty(2, dtype=np.intp)
+        _batch_profits(users, r_indptr, uro, indptr, task_ids, task_sorted,
+                       cost, alpha, base, incs, counts, choices, out4)
+        _single_profits(0, 2, indptr, task_ids, cost, base, incs, counts,
+                        0.5, out2)
+        _segmented_best(out4, r_indptr, out2)
+        _segmented_first_within(out4, r_indptr, out2 - 1e-9, outi)
+        _chosen_profits(uro, indptr, task_ids, cost, alpha, choices,
+                        base, out2)
+        _subset_profits(users, uro, indptr, task_ids, cost, alpha, choices,
+                        base, out2)
+        _potential_delta(task_sorted, indptr, base, incs, counts, pot_cost,
+                         0, 1)
+        self._warm = True
+        seconds = time.perf_counter() - t0
+        from repro.core.backend import _record_warmup
+
+        _record_warmup(self, seconds)
+        return seconds
+
+    def info(self) -> dict[str, object]:
+        import numba
+
+        return {
+            "name": self.name,
+            "rtol": self.rtol,
+            "numba_version": numba.__version__,
+            "threads": int(numba.get_num_threads()),
+            "warm": self._warm,
+        }
+
+    # ------------------------------------------------------------- kernels
+    def candidate_profits(self, ga, user, counts_wo):
+        g_lo = int(ga.user_route_offset[user])
+        g_hi = int(ga.user_route_offset[user + 1])
+        out = np.empty(g_hi - g_lo)
+        _single_profits(
+            g_lo, g_hi, ga.indptr, ga.task_ids, ga.route_cost,
+            ga.base_rewards, ga.reward_increments,
+            np.ascontiguousarray(counts_wo, dtype=np.intp),
+            float(ga.alpha[user]), out,
+        )
+        return out
+
+    def batch_candidate_profits(self, ga, counts, choices, users):
+        flat_g, r_indptr = ga.routes_of_users(users)
+        if flat_g.size == 0:
+            return _EMPTY_F64, _EMPTY_INTP, r_indptr
+        profits = np.empty(flat_g.size)
+        _batch_profits(
+            users, r_indptr, ga.user_route_offset, ga.indptr, ga.task_ids,
+            ga.task_ids_sorted, ga.route_cost, ga.alpha, ga.base_rewards,
+            ga.reward_increments,
+            np.ascontiguousarray(counts, dtype=np.intp),
+            np.ascontiguousarray(choices, dtype=np.intp),
+            profits,
+        )
+        return profits, flat_g, r_indptr
+
+    def segmented_best(self, profits, r_indptr):
+        out = np.empty(r_indptr.size - 1)
+        if out.size:
+            _segmented_best(profits, r_indptr, out)
+        return out
+
+    def segmented_first_within(self, profits, r_indptr, thresholds):
+        out = np.empty(r_indptr.size - 1, dtype=np.intp)
+        if out.size:
+            _segmented_first_within(profits, r_indptr, thresholds, out)
+        return out
+
+    def chosen_profits(self, ga, choices, shares):
+        out = np.empty(ga.num_users)
+        if out.size:
+            _chosen_profits(
+                ga.user_route_offset, ga.indptr, ga.task_ids, ga.route_cost,
+                ga.alpha, np.ascontiguousarray(choices, dtype=np.intp),
+                shares, out,
+            )
+        return out
+
+    def profits_of_users(self, ga, choices, shares, users):
+        users = np.ascontiguousarray(users, dtype=np.intp)
+        out = np.empty(users.size)
+        if out.size:
+            _subset_profits(
+                users, ga.user_route_offset, ga.indptr, ga.task_ids,
+                ga.route_cost, ga.alpha,
+                np.ascontiguousarray(choices, dtype=np.intp), shares, out,
+            )
+        return out
+
+    def potential_delta(self, ga, counts, old_g, new_g):
+        if old_g == new_g:
+            return 0.0
+        return float(
+            _potential_delta(
+                ga.task_ids_sorted, ga.indptr, ga.base_rewards,
+                ga.reward_increments,
+                np.ascontiguousarray(counts, dtype=np.intp),
+                ga.route_pot_cost, int(old_g), int(new_g),
+            )
+        )
+
+
+# Unused import kept out of the public surface; NumpyBackend is referenced
+# so subclass-style fallbacks in tests can compare classes without a
+# second import.
+_REFERENCE = NumpyBackend

@@ -1,0 +1,176 @@
+"""The reference backend: the loop-free NumPy kernels, extracted verbatim.
+
+This is the code that used to live inline in
+:class:`~repro.core.arrays.GameArrays` and
+:mod:`repro.core.responses` before the backend seam — gather +
+``np.add.reduceat`` for profit sums, ``maximum``/``minimum.reduceat``
+for the segmented argmax, sorted-segment ``setdiff1d`` for potential
+deltas.  It is the default backend and the correctness anchor: every
+other backend is certified against it (and it, in turn, against the
+scalar oracles in :mod:`repro.core.reference`).  Moving the bodies here
+changed no operation and no operand order, so results are bitwise
+identical to the pre-seam kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backend.base import KernelBackend
+
+__all__ = ["NumpyBackend"]
+
+_EMPTY_INTP = np.zeros(0, dtype=np.intp)
+_EMPTY_F64 = np.zeros(0, dtype=float)
+
+# Membership in batch_candidate_profits uses a dense (user, task) boolean
+# table up to this many cells (16M = 16 MB transient); beyond that it falls
+# back to a binary search over merged keys.  Both paths produce identical
+# bits.
+_DENSE_MEMBER_CELLS = 1 << 24
+
+
+class NumpyBackend(KernelBackend):
+    """Pure-NumPy kernels — the default and the bitwise reference."""
+
+    name = "numpy"
+    rtol = 0.0
+
+    # ------------------------------------------------------------- kernels
+    def candidate_profits(self, ga, user, counts_wo):
+        from repro.core.arrays import segment_sums
+
+        sl = ga.user_slice(user)
+        lo, hi = int(ga.indptr[sl.start]), int(ga.indptr[sl.stop])
+        seg = ga.task_ids[lo:hi]
+        if seg.size:
+            n = counts_wo[seg].astype(float) + 1.0
+            terms = (
+                ga.base_rewards[seg] + ga.reward_increments[seg] * np.log(n)
+            ) / n
+            rewards = segment_sums(
+                terms, ga.indptr[sl.start : sl.stop] - lo, ga.route_len[sl]
+            )
+        else:
+            rewards = np.zeros(sl.stop - sl.start)
+        return ga.alpha[user] * rewards - ga.route_cost[sl]
+
+    def batch_candidate_profits(self, ga, counts, choices, users):
+        from repro.core.arrays import gather_segments, segment_sums
+
+        flat_g, r_indptr = ga.routes_of_users(users)
+        if flat_g.size == 0:
+            return _EMPTY_F64, _EMPTY_INTP, r_indptr
+        lengths = ga.route_len[flat_g]
+        if flat_g.size == ga.num_routes_total:
+            # Full sweep (every user dirty): the concatenated segments are
+            # the whole CSR data array — skip the gather.
+            flat_tasks = ga.task_ids
+        else:
+            flat_tasks = gather_segments(ga.task_ids, ga.indptr[flat_g], lengths)
+        route_starts = np.cumsum(lengths) - lengths
+        if flat_tasks.size:
+            # member[e] = True iff element e's task is covered by its user's
+            # current route (exactly what counts_without subtracts).
+            nt = np.int64(max(ga.num_tasks, 1))
+            elem_user = np.repeat(ga.route_user[flat_g], lengths)
+            keys = elem_user.astype(np.int64) * nt + flat_tasks
+            chosen_g = ga.chosen_route_ids(choices)[users]
+            chosen_len = ga.route_len[chosen_g]
+            chosen_tasks = gather_segments(
+                ga.task_ids_sorted, ga.indptr[chosen_g], chosen_len
+            )
+            # users ascending + tasks sorted within each segment -> keys
+            # sorted.
+            chosen_keys = (
+                np.repeat(users, chosen_len).astype(np.int64) * nt
+                + chosen_tasks
+            )
+            total_cells = int(nt) * max(ga.num_users, 1)
+            if total_cells <= _DENSE_MEMBER_CELLS:
+                # Dense (user, task) membership table: one scatter + one
+                # gather beats a binary search per element by a wide margin.
+                table = np.zeros(total_cells, dtype=bool)
+                table[chosen_keys] = True
+                member = table[keys]
+            else:
+                pos = np.searchsorted(chosen_keys, keys)
+                member = np.zeros(keys.size, dtype=bool)
+                if chosen_keys.size:
+                    hit = pos < chosen_keys.size
+                    member[hit] = chosen_keys[pos[hit]] == keys[hit]
+            # Any element sees exactly one of two counts: n_k + 1 (its user
+            # is not on task k) or n_k (it is, and then n_k >= 1).
+            # Evaluating the share term once per task and gathering is
+            # bitwise identical to evaluating it per element — same doubles
+            # through the same ops — and runs log/divide over N tasks
+            # instead of all route elements.
+            n_out = (counts + 1).astype(float)
+            t_out = (
+                ga.base_rewards + ga.reward_increments * np.log(n_out)
+            ) / n_out
+            n_in = np.maximum(counts, 1).astype(float)
+            t_in = (
+                ga.base_rewards + ga.reward_increments * np.log(n_in)
+            ) / n_in
+            terms = np.where(member, t_in[flat_tasks], t_out[flat_tasks])
+            rewards = segment_sums(terms, route_starts, lengths)
+        else:
+            rewards = np.zeros(flat_g.size)
+        profits = ga.alpha[ga.route_user[flat_g]] * rewards - ga.route_cost[flat_g]
+        return profits, flat_g, r_indptr
+
+    def segmented_best(self, profits, r_indptr):
+        return np.maximum.reduceat(profits, r_indptr[:-1])
+
+    def segmented_first_within(self, profits, r_indptr, thresholds):
+        cand = profits >= np.repeat(thresholds, np.diff(r_indptr))
+        idx = np.where(cand, np.arange(profits.size), profits.size)
+        return np.minimum.reduceat(idx, r_indptr[:-1])
+
+    def chosen_profits(self, ga, choices, shares):
+        rewards = ga.chosen_segment_sums(choices, shares)
+        g = ga.chosen_route_ids(choices)
+        return ga.alpha * rewards - ga.route_cost[g]
+
+    def profits_of_users(self, ga, choices, shares, users):
+        from repro.core.arrays import gather_segments, segment_sums
+
+        g = ga.chosen_route_ids(choices)[users]
+        lengths = ga.route_len[g]
+        flat = gather_segments(ga.task_ids, ga.indptr[g], lengths)
+        rewards = segment_sums(
+            shares[flat], np.cumsum(lengths) - lengths, lengths
+        )
+        return ga.alpha[users] * rewards - ga.route_cost[g]
+
+    def potential_delta(self, ga, counts, old_g, new_g):
+        if old_g == new_g:
+            return 0.0
+        gained, lost = ga.changed_tasks(old_g, new_g)
+        delta = 0.0
+        if gained.size:
+            n_after = counts[gained].astype(float) + 1.0
+            delta += float(
+                (
+                    (
+                        ga.base_rewards[gained]
+                        + ga.reward_increments[gained] * np.log(n_after)
+                    )
+                    / n_after
+                ).sum()
+            )
+        if lost.size:
+            n_before = counts[lost].astype(float)
+            delta -= float(
+                (
+                    (
+                        ga.base_rewards[lost]
+                        + ga.reward_increments[lost] * np.log(n_before)
+                    )
+                    / n_before
+                ).sum()
+            )
+        return delta + float(
+            ga.route_pot_cost[old_g] - ga.route_pot_cost[new_g]
+        )

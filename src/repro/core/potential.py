@@ -37,9 +37,11 @@ def potential_delta(profile: StrategyProfile, user: int, new_route: int) -> floa
     Only the tasks in the symmetric difference of the old and new routes
     contribute: a task gained at count ``n`` adds ``w_k(n+1)/(n+1)``, a task
     dropped at count ``n`` removes ``w_k(n)/n`` (telescoping of the prefix
-    sums in Eq. 8).  The symmetric difference comes from the game's sorted
-    CSR segments (``setdiff1d`` with ``assume_unique``) — no Python sets or
-    per-task loops on the hot path.
+    sums in Eq. 8).  The numeric core dispatches to the active kernel
+    backend (:mod:`repro.core.backend`); the numpy reference takes the
+    symmetric difference of the game's sorted CSR segments
+    (``setdiff1d`` with ``assume_unique``) — no Python sets or per-task
+    loops on the hot path.
     """
     ga = profile.game.arrays
     old_g = ga.route_id(user, profile.route_of(user))

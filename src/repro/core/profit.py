@@ -61,14 +61,13 @@ def all_profits(profile: StrategyProfile) -> np.ndarray:
     The per-task shares ``w_k(n_k)/n_k`` are computed once for the whole
     task set, then every user's chosen-route segment is gathered and
     reduced in one pass over the CSR layout — O(|L| + sum |L_{s_i}|) with
-    no per-user Python loop.
+    no per-user Python loop.  The gather/reduce core dispatches to the
+    active kernel backend (:mod:`repro.core.backend`).
     """
     game = profile.game
     ga = game.arrays
     shares = game.tasks.shares(profile.counts)
-    rewards = ga.chosen_segment_sums(profile.choices, shares)
-    g = ga.chosen_route_ids(profile.choices)
-    return ga.alpha * rewards - ga.route_cost[g]
+    return ga.backend.chosen_profits(ga, profile.choices, shares)
 
 
 def total_profit(profile: StrategyProfile) -> float:

@@ -29,19 +29,14 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.arrays import gather_segments, segment_sums
+from repro.core.arrays import gather_segments
+from repro.core.backend.numpy_backend import _DENSE_MEMBER_CELLS  # noqa: F401 - re-export
 from repro.core.profile import StrategyProfile
 from repro.core.profit import candidate_profits
 
 # Strict-improvement tolerance: float noise below this is not an incentive
 # to move, which also guarantees termination of response dynamics.
 IMPROVEMENT_EPS = 1e-9
-
-# Membership in batch_candidate_profits uses a dense (user, task) boolean
-# table up to this many cells (16M = 16 MB transient); beyond that it falls
-# back to a binary search over merged keys.  Both paths produce identical
-# bits.
-_DENSE_MEMBER_CELLS = 1 << 24
 
 
 def better_responses(profile: StrategyProfile, user: int) -> list[int]:
@@ -273,70 +268,21 @@ def batch_candidate_profits(
     (entries bitwise identical to :func:`~repro.core.profit.candidate_profits`),
     and ``flat_g`` holds the matching global route ids.
 
-    ``users`` must be strictly ascending (unique).  One gather over the
-    concatenated CSR slices + one ``np.add.reduceat``; the per-user
-    "remove my own contribution" step of ``counts_without`` becomes a
-    vectorized membership test of each gathered task against its user's
-    *current* route via a merged ``(user, task)`` key search.
+    ``users`` must be strictly ascending (unique).  The numeric core
+    dispatches to the active kernel backend (see
+    :mod:`repro.core.backend`); the numpy reference does one gather over
+    the concatenated CSR slices + one ``np.add.reduceat``, with the
+    per-user "remove my own contribution" step of ``counts_without``
+    becoming a vectorized membership test of each gathered task against
+    its user's *current* route via a merged ``(user, task)`` key search.
     """
     ga = profile.game.arrays
     users = np.asarray(users, dtype=np.intp)
     if users.size and np.any(np.diff(users) <= 0):
         raise ValueError("users must be strictly ascending")
-    flat_g, r_indptr = ga.routes_of_users(users)
-    if flat_g.size == 0:
-        return _EMPTY_F64, _EMPTY_INTP, r_indptr
-    lengths = ga.route_len[flat_g]
-    if flat_g.size == ga.num_routes_total:
-        # Full sweep (every user dirty): the concatenated segments are the
-        # whole CSR data array — skip the gather.
-        flat_tasks = ga.task_ids
-    else:
-        flat_tasks = gather_segments(ga.task_ids, ga.indptr[flat_g], lengths)
-    route_starts = np.cumsum(lengths) - lengths
-    if flat_tasks.size:
-        # member[e] = True iff element e's task is covered by its user's
-        # current route (exactly what counts_without subtracts).
-        nt = np.int64(max(ga.num_tasks, 1))
-        elem_user = np.repeat(ga.route_user[flat_g], lengths)
-        keys = elem_user.astype(np.int64) * nt + flat_tasks
-        chosen_g = ga.chosen_route_ids(profile.choices)[users]
-        chosen_len = ga.route_len[chosen_g]
-        chosen_tasks = gather_segments(
-            ga.task_ids_sorted, ga.indptr[chosen_g], chosen_len
-        )
-        # users ascending + tasks sorted within each segment -> keys sorted.
-        chosen_keys = (
-            np.repeat(users, chosen_len).astype(np.int64) * nt + chosen_tasks
-        )
-        total_cells = int(nt) * max(ga.num_users, 1)
-        if total_cells <= _DENSE_MEMBER_CELLS:
-            # Dense (user, task) membership table: one scatter + one
-            # gather beats a binary search per element by a wide margin.
-            table = np.zeros(total_cells, dtype=bool)
-            table[chosen_keys] = True
-            member = table[keys]
-        else:
-            pos = np.searchsorted(chosen_keys, keys)
-            member = np.zeros(keys.size, dtype=bool)
-            if chosen_keys.size:
-                hit = pos < chosen_keys.size
-                member[hit] = chosen_keys[pos[hit]] == keys[hit]
-        # Any element sees exactly one of two counts: n_k + 1 (its user is
-        # not on task k) or n_k (it is, and then n_k >= 1).  Evaluating the
-        # share term once per task and gathering is bitwise identical to
-        # evaluating it per element — same doubles through the same ops —
-        # and runs log/divide over N tasks instead of all route elements.
-        n_out = (profile.counts + 1).astype(float)
-        t_out = (ga.base_rewards + ga.reward_increments * np.log(n_out)) / n_out
-        n_in = np.maximum(profile.counts, 1).astype(float)
-        t_in = (ga.base_rewards + ga.reward_increments * np.log(n_in)) / n_in
-        terms = np.where(member, t_in[flat_tasks], t_out[flat_tasks])
-        rewards = segment_sums(terms, route_starts, lengths)
-    else:
-        rewards = np.zeros(flat_g.size)
-    profits = ga.alpha[ga.route_user[flat_g]] * rewards - ga.route_cost[flat_g]
-    return profits, flat_g, r_indptr
+    return ga.backend.batch_candidate_profits(
+        ga, profile.counts, profile.choices, users
+    )
 
 
 def _union_csr(ga, old_g: np.ndarray, new_g: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -395,21 +341,26 @@ def batch_best_updates(
         return ProposalBatch.empty()
     profits, flat_g, r_indptr = batch_candidate_profits(profile, users)
     ga = profile.game.arrays
+    backend = ga.backend
     starts = r_indptr[:-1]
-    best = np.maximum.reduceat(profits, starts)
+    best = backend.segmented_best(profits, r_indptr)
     cur = profits[starts + profile.choices[users]]
     improving = best > cur + IMPROVEMENT_EPS
     sel = np.flatnonzero(improving)
     if sel.size == 0:
         return ProposalBatch.empty()
-    # Tie set: routes within IMPROVEMENT_EPS of the per-user maximum.
-    cand = profits >= np.repeat(best - IMPROVEMENT_EPS, np.diff(r_indptr))
     if pick == "first":
-        idx = np.where(cand, np.arange(profits.size), profits.size)
-        chosen_flat = np.minimum.reduceat(idx, starts)[sel]
+        # Tie-break: first route within IMPROVEMENT_EPS of the per-user
+        # maximum (comparisons are exact, so backends agree bitwise).
+        chosen_flat = backend.segmented_first_within(
+            profits, r_indptr, best - IMPROVEMENT_EPS
+        )[sel]
     elif pick == "random":
         if rng is None:
             raise ValueError("pick='random' requires an rng")
+        # Tie set stays plain numpy: given `profits`, the draws below are
+        # backend-independent and must replay the scalar RNG stream.
+        cand = profits >= np.repeat(best - IMPROVEMENT_EPS, np.diff(r_indptr))
         n_cand = np.add.reduceat(cand.astype(np.intp), starts)
         true_pos = np.flatnonzero(cand)
         true_indptr = np.cumsum(n_cand) - n_cand

@@ -42,6 +42,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--processes", type=int, default=None,
                         help="process-pool size (default: inline)")
     parser.add_argument("--csv", default=None, help="also write CSV here")
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        choices=["numpy", "numba", "cupy"],
+        help="kernel backend for the hot game kernels (default: "
+             "$REPRO_BACKEND or numpy; unavailable backends fall back to "
+             "numpy with a warning — see docs/architecture.md)",
+    )
     parser.add_argument("--svg", default=None,
                         help="render the figure's series as an SVG chart here")
     serve_group = parser.add_argument_group(
@@ -144,6 +151,20 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment.lower() == "dash":
         return _run_dash(args)
+
+    if args.backend is not None:
+        # Process-global default: every game built by the experiments
+        # inherits it; the env var additionally reaches process-pool
+        # workers (experiment runner, ShardPool), which read it as their
+        # ambient default on spawn.
+        import os
+
+        from repro.core.backend import set_backend
+
+        resolved = set_backend(args.backend)
+        resolved.warmup()
+        os.environ["REPRO_BACKEND"] = resolved.name
+        print(f"[kernel backend: {resolved.name}]")
 
     telemetry = bool(
         args.metrics_out or args.trace or args.log_json or args.log_level
@@ -266,6 +287,7 @@ def _run_serve(args: argparse.Namespace, telemetry: bool) -> int:
         health=monitor,
         pipeline=args.pipeline,
         auto_retile=args.auto_retile,
+        backend=args.backend,
     ) as sess:
         for _ in range(args.duration):
             joins, leaves = churn.next_round(sorted(sess.records))

@@ -131,6 +131,7 @@ class ServeSession:
         pipeline: bool = False,
         auto_retile: bool = False,
         retile_cooldown: int = 10,
+        backend: str | None = None,
     ) -> None:
         require(len(records) >= 1, "a session needs at least one user")
         ids = [r.user_id for r in records]
@@ -141,6 +142,15 @@ class ServeSession:
         self.scheduler = scheduler
         self.sort_key = sort_key
         self.validate = validate
+        #: Kernel-backend name pinned onto every engine's arrays and
+        #: propagated to pool workers (``None`` = ambient default).
+        self.backend = backend
+        if backend is not None:
+            # Warm in the dispatcher too: K=1 and in-process shards run
+            # their epochs here, not in a worker.
+            from repro.core.backend import get_backend
+
+            get_backend(backend).warmup()
         self.epoch_slots = epoch_slots
         self.compact_shards = compact_shards
         self.records: dict[int, UserRecord] = {
@@ -198,7 +208,9 @@ class ServeSession:
         if processes is not None and processes > 1 and self.num_shards > 1:
             from repro.serve.workers import ShardPool
 
-            self._pool = ShardPool(min(processes, self.num_shards))
+            self._pool = ShardPool(
+                min(processes, self.num_shards), backend=self.backend
+            )
         # Pipeline mode overlaps worker epochs with the dispatcher's
         # boundary pass; it needs the pool (and K=1 never creates one, so
         # the bit-identity contract is untouched by construction).
@@ -728,6 +740,11 @@ class ServeSession:
             version=self._spec_versions[shard],
             compact=self.compact_shards,
         )
+        if self.backend is not None:
+            # Pinned on the arrays so in-process epochs and pickled spec
+            # round-trips (legacy transport) inherit the choice; workers
+            # on the zero-copy path install it via ShardPool(backend=).
+            spec.game.arrays.set_backend(self.backend)
         return ShardEngine(
             spec,
             scheduler=self.scheduler,

@@ -46,6 +46,27 @@ __all__ = ["ShardPool"]
 #: part worth keeping resident.
 _SPEC_CACHE: dict[int, tuple[int, ShardSpec, object]] = {}
 
+#: Kernel-backend name this worker process has installed + warmed; jobs
+#: re-install only on change (normally once per worker lifetime).
+_BACKEND_READY: str | None = None
+
+
+def _ensure_backend(name: str | None) -> None:
+    """Install + warm the requested kernel backend, once per process.
+
+    Runs before the first epoch so JIT compilation (numba) or device
+    setup (cupy) never lands inside a measured epoch.  Unavailable
+    backends degrade to numpy inside :func:`repro.core.backend.get_backend`
+    with its usual single warning.
+    """
+    global _BACKEND_READY
+    if name is None or name == _BACKEND_READY:
+        return
+    from repro.core.backend import set_backend
+
+    set_backend(name).warmup()
+    _BACKEND_READY = name
+
 
 def _resolve_spec(ref: "ShardSpec | SpecTicket") -> tuple[ShardSpec, bool]:
     """Return (spec, cache_hit) for a job's spec reference."""
@@ -70,11 +91,13 @@ def _run_epoch_job(
     sort_key: str,
     max_slots: int | None,
     telemetry: bool,
+    backend: str | None = None,
 ) -> tuple[EpochResult, dict, "obs.TelemetrySnapshot | None", bool]:
     """Resolve the spec, rebuild the engine, run one epoch, snapshot."""
     if telemetry:
         obs.enable()
         obs.reset()
+    _ensure_backend(backend)
     spec, cache_hit = _resolve_spec(ref)
     engine = ShardEngine.from_state(
         spec, state, scheduler=scheduler, sort_key=sort_key
@@ -95,9 +118,18 @@ def _run_epoch_job(
 class ShardPool:
     """A persistent process pool running shard epochs concurrently."""
 
-    def __init__(self, processes: int, *, use_shm: bool = True) -> None:
+    def __init__(
+        self,
+        processes: int,
+        *,
+        use_shm: bool = True,
+        backend: str | None = None,
+    ) -> None:
         require(processes >= 1, "processes must be >= 1")
         self.processes = processes
+        #: Kernel-backend name each worker installs + warms before its
+        #: first epoch (``None`` = workers keep the ambient default).
+        self.backend = backend
         self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=processes
         )
@@ -151,7 +183,7 @@ class ShardPool:
             obs.counter("serve.epoch_payload_bytes").inc(payload)
         return self._pool.submit(
             _run_epoch_job, ref, state, scheduler, sort_key,
-            max_slots, obs.enabled(),
+            max_slots, obs.enabled(), self.backend,
         )
 
     def harvest(self, future: Future) -> tuple[EpochResult, dict]:

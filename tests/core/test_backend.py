@@ -1,0 +1,227 @@
+"""Backend registry behaviour: resolution, fallback, pickling, propagation.
+
+Numerical parity of the backends is certified by the parametrized oracle
+suites (``test_kernels_properties.py``, ``test_proposal_batch.py``); this
+file covers the *plumbing*: precedence of the selection channels, the
+warn-once graceful degradation when a compiled backend is missing, and
+that a pinned backend survives the transports the serving layer uses.
+"""
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core.backend as backend_mod
+from repro.core.backend import (
+    BackendFallbackWarning,
+    NumpyBackend,
+    available_backends,
+    current_backend,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+
+from tests.helpers import random_game
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry(monkeypatch):
+    """Each test sees a fresh process-default and warn-once state."""
+    monkeypatch.setattr(backend_mod, "_process_default", None)
+    monkeypatch.setattr(backend_mod, "_warned", set())
+    monkeypatch.delenv(backend_mod.ENV_VAR, raising=False)
+    yield
+
+
+class TestResolution:
+    def test_default_is_numpy(self):
+        b = current_backend()
+        assert b.name == "numpy"
+        assert isinstance(b, NumpyBackend)
+        assert b.rtol == 0.0
+
+    def test_instances_are_process_singletons(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_env_var_resolves(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "numpy")
+        assert current_backend().name == "numpy"
+
+    def test_set_backend_beats_env(self, monkeypatch):
+        # Env asks for an unknown name; the explicit set wins and no
+        # fallback warning fires because the env value is never resolved.
+        monkeypatch.setenv(backend_mod.ENV_VAR, "no-such-backend")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", BackendFallbackWarning)
+            set_backend("numpy")
+            assert current_backend().name == "numpy"
+
+    def test_use_backend_restores_previous_default(self):
+        set_backend("numpy")
+        with use_backend("numpy") as b:
+            assert current_backend() is b
+        assert backend_mod._process_default == "numpy"
+
+    def test_available_backends_lists_numpy_first(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+        assert len(names) == len(set(names))
+
+    def test_numpy_warmup_is_free(self):
+        assert get_backend("numpy").warmup() == 0.0
+        info = get_backend("numpy").info()
+        assert info["name"] == "numpy"
+        assert info["rtol"] == 0.0
+
+
+class TestGracefulFallback:
+    def test_unknown_name_falls_back_with_single_warning(self):
+        with pytest.warns(BackendFallbackWarning, match="no-such-backend"):
+            b = get_backend("no-such-backend")
+        assert b.name == "numpy"
+        # Second request for the same broken name: silent (warn-once).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", BackendFallbackWarning)
+            assert get_backend("no-such-backend").name == "numpy"
+
+    def test_missing_compiled_backend_never_raises(self):
+        # Whichever of numba/cupy is absent must degrade, not ImportError.
+        installed = set(available_backends())
+        for name in ("numba", "cupy"):
+            if name in installed:
+                continue
+            with pytest.warns(BackendFallbackWarning, match=name):
+                assert get_backend(name).name == "numpy"
+
+    def test_strict_mode_surfaces_the_error(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("no-such-backend", strict=True)
+        for name in ("numba", "cupy"):
+            if name in set(available_backends()):
+                continue
+            with pytest.raises(Exception):
+                get_backend(name, strict=True)
+
+    def test_set_backend_reports_resolved_name(self):
+        with pytest.warns(BackendFallbackWarning):
+            b = set_backend("no-such-backend")
+        assert b.name == "numpy"
+        # The process default records what actually runs, not the request.
+        assert backend_mod._process_default == "numpy"
+
+
+class TestGameArraysIntegration:
+    def test_instance_override_beats_process_default(self):
+        game = random_game(np.random.default_rng(0))
+        ga = game.arrays
+        assert ga.backend is current_backend()
+        pinned = NumpyBackend()
+        ga.set_backend(pinned)
+        assert ga.backend is pinned
+        ga.set_backend(None)
+        assert ga.backend is current_backend()
+
+    def test_set_backend_accepts_names_and_chains(self):
+        game = random_game(np.random.default_rng(1))
+        ga = game.arrays.set_backend("numpy")
+        assert ga.backend is get_backend("numpy")
+
+    def test_pickle_round_trip_preserves_pinned_backend(self):
+        game = random_game(np.random.default_rng(2))
+        ga = game.arrays
+        ga.set_backend("numpy")
+        clone = pickle.loads(pickle.dumps(ga))
+        assert clone.backend is get_backend("numpy")
+        assert clone._backend is not None  # pinned, not ambient
+
+    def test_pickle_round_trip_without_pin_stays_ambient(self):
+        game = random_game(np.random.default_rng(3))
+        clone = pickle.loads(pickle.dumps(game.arrays))
+        assert clone._backend is None
+        assert clone.backend is current_backend()
+
+    def test_shared_memory_round_trip_stays_ambient(self):
+        game = random_game(np.random.default_rng(4))
+        ga = game.arrays
+        block, table = ga.to_shared()
+        try:
+            view = type(ga).from_table(table, block.buf)
+            assert view._backend is None
+            assert view.backend is current_backend()
+        finally:
+            block.close()
+
+    def test_kernels_dispatch_through_instance_backend(self):
+        calls = []
+
+        class Spy(NumpyBackend):
+            name = "spy"
+
+            def potential_delta(self, ga, counts, old_g, new_g):
+                calls.append((old_g, new_g))
+                return super().potential_delta(ga, counts, old_g, new_g)
+
+        from repro.core import StrategyProfile
+
+        game = random_game(np.random.default_rng(5))
+        ga = game.arrays.set_backend(Spy())
+        profile = StrategyProfile(game, [0] * game.num_users)
+        ga.potential_delta(profile.counts, 0, 1)
+        assert calls == [(0, 1)]
+
+
+class TestPropagation:
+    def test_allocator_backend_pins_game_arrays(self):
+        from repro.algorithms import DGRN
+        from repro.algorithms.base import RunConfig
+
+        game = random_game(np.random.default_rng(6))
+        alloc = DGRN(
+            seed=0, config=RunConfig(max_slots=50), backend="numpy"
+        )
+        alloc.run(game)
+        assert game.arrays._backend is get_backend("numpy")
+
+    def test_worker_ensure_backend_installs_process_default(self, monkeypatch):
+        from repro.serve import workers
+
+        monkeypatch.setattr(workers, "_BACKEND_READY", None)
+        workers._ensure_backend("numpy")
+        assert backend_mod._process_default == "numpy"
+        assert workers._BACKEND_READY == "numpy"
+        # Idempotent: a second call with the same name is a no-op.
+        workers._ensure_backend("numpy")
+
+    def test_shard_pool_carries_backend_name(self):
+        from repro.serve.workers import ShardPool
+
+        pool = ShardPool(1, use_shm=False, backend="numpy")
+        try:
+            assert pool.backend == "numpy"
+        finally:
+            pool.shutdown()
+
+    def test_serve_session_pins_engines(self):
+        from repro.serve.churn import synthetic_serve_instance
+        from repro.serve.session import ServeSession
+
+        tasks, platform, records, partition, _ = synthetic_serve_instance(
+            12, 8, 2, seed=0
+        )
+        with ServeSession(
+            tasks=tasks,
+            platform=platform,
+            records=records,
+            partition=partition,
+            seed=0,
+            backend="numpy",
+        ) as sess:
+            for engine in sess.engines:
+                if engine is not None:
+                    assert engine.spec.game.arrays._backend is get_backend(
+                        "numpy"
+                    )
+            sess.run_round()

@@ -19,6 +19,7 @@ from repro.core import (
     StrategyProfile,
     UserWeights,
 )
+from repro.core.backend import available_backends, use_backend
 from repro.core.potential import potential_delta
 from repro.core.profit import all_profits, candidate_profits
 from repro.core.reference import (
@@ -40,58 +41,70 @@ def game_and_profile(draw):
     return game, StrategyProfile(game, choices)
 
 
+# Every installed kernel backend must hold the scalar-oracle parity below
+# (the declared per-backend rtol is well inside these atol bounds).
+# Parametrize (not a fixture) so hypothesis's function-scoped-fixture
+# health check stays quiet.
+@pytest.mark.parametrize("backend_name", available_backends())
 class TestVectorizedVsScalar:
     @given(game_and_profile())
     @settings(max_examples=60, deadline=None)
-    def test_candidate_profits_match_reference(self, gp):
+    def test_candidate_profits_match_reference(self, backend_name, gp):
         game, profile = gp
-        for u in game.users:
+        with use_backend(backend_name):
+            for u in game.users:
+                np.testing.assert_allclose(
+                    candidate_profits(profile, u),
+                    candidate_profits_reference(profile, u),
+                    rtol=0,
+                    atol=1e-10,
+                )
+
+    @given(game_and_profile())
+    @settings(max_examples=60, deadline=None)
+    def test_potential_delta_matches_reference(self, backend_name, gp):
+        game, profile = gp
+        with use_backend(backend_name):
+            for u in game.users:
+                for j in range(game.num_routes(u)):
+                    assert potential_delta(profile, u, j) == pytest.approx(
+                        potential_delta_reference(profile, u, j), abs=1e-10
+                    )
+
+    @given(game_and_profile())
+    @settings(max_examples=60, deadline=None)
+    def test_all_profits_match_reference(self, backend_name, gp):
+        _, profile = gp
+        with use_backend(backend_name):
             np.testing.assert_allclose(
-                candidate_profits(profile, u),
-                candidate_profits_reference(profile, u),
-                rtol=0,
-                atol=1e-10,
+                all_profits(profile), all_profits_reference(profile),
+                rtol=0, atol=1e-10,
             )
 
     @given(game_and_profile())
-    @settings(max_examples=60, deadline=None)
-    def test_potential_delta_matches_reference(self, gp):
-        game, profile = gp
-        for u in game.users:
-            for j in range(game.num_routes(u)):
-                assert potential_delta(profile, u, j) == pytest.approx(
-                    potential_delta_reference(profile, u, j), abs=1e-10
-                )
-
-    @given(game_and_profile())
-    @settings(max_examples=60, deadline=None)
-    def test_all_profits_match_reference(self, gp):
+    @settings(max_examples=40, deadline=None)
+    def test_recount_matches_reference(self, backend_name, gp):
         _, profile = gp
-        np.testing.assert_allclose(
-            all_profits(profile), all_profits_reference(profile),
-            rtol=0, atol=1e-10,
-        )
+        with use_backend(backend_name):
+            assert np.array_equal(
+                profile._recount(), recount_reference(profile)
+            )
 
     @given(game_and_profile())
     @settings(max_examples=40, deadline=None)
-    def test_recount_matches_reference(self, gp):
-        _, profile = gp
-        assert np.array_equal(profile._recount(), recount_reference(profile))
-
-    @given(game_and_profile())
-    @settings(max_examples=40, deadline=None)
-    def test_eq11_identity_on_vectorized_kernels(self, gp):
+    def test_eq11_identity_on_vectorized_kernels(self, backend_name, gp):
         # P_i(s') - P_i(s) = alpha_i * (phi(s') - phi(s)) for unilateral
         # moves (Eq. 11) — both sides computed by the CSR kernels.
         game, profile = gp
-        for u in game.users:
-            cp = candidate_profits(profile, u)
-            cur = cp[profile.route_of(u)]
-            alpha = game.user_weights[u].alpha
-            for j in range(game.num_routes(u)):
-                assert cp[j] - cur == pytest.approx(
-                    alpha * potential_delta(profile, u, j), abs=1e-7
-                )
+        with use_backend(backend_name):
+            for u in game.users:
+                cp = candidate_profits(profile, u)
+                cur = cp[profile.route_of(u)]
+                alpha = game.user_weights[u].alpha
+                for j in range(game.num_routes(u)):
+                    assert cp[j] - cur == pytest.approx(
+                        alpha * potential_delta(profile, u, j), abs=1e-7
+                    )
 
 
 class TestEdgeShapes:

@@ -25,6 +25,7 @@ from repro.algorithms import DGRN, MUUN
 from repro.algorithms.base import RunConfig
 from repro.algorithms.muun import _select_by_tau, puu_select, puu_select_batch
 from repro.core import StrategyProfile
+from repro.core.backend import available_backends, use_backend
 from repro.core.potential import potential
 from repro.core.profit import all_profits
 from repro.core.responses import batch_best_updates, best_update
@@ -51,42 +52,54 @@ def _scalar_sweep(profile, users, *, pick, rng=None):
     return out
 
 
+# Batch-vs-scalar equality must hold bit-for-bit *within* every installed
+# backend: both paths dispatch to the same kernels, so the batched engine
+# may not perturb a single bit regardless of which backend runs them.
+@pytest.mark.parametrize("backend_name", available_backends())
 class TestBatchVsScalarOracle:
     @given(game_and_profile())
     @settings(max_examples=60, deadline=None)
-    def test_pick_first_matches_scalar_loop(self, gp):
+    def test_pick_first_matches_scalar_loop(self, backend_name, gp):
         game, profile = gp
-        users = np.arange(game.num_users, dtype=np.intp)
-        batch = batch_best_updates(profile, users, pick="first")
-        oracle = _scalar_sweep(profile, users, pick="first")
-        self._assert_batch_equals(batch, oracle)
+        with use_backend(backend_name):
+            users = np.arange(game.num_users, dtype=np.intp)
+            batch = batch_best_updates(profile, users, pick="first")
+            oracle = _scalar_sweep(profile, users, pick="first")
+            self._assert_batch_equals(batch, oracle)
 
     @given(game_and_profile(), st.integers(0, 2**31 - 1))
     @settings(max_examples=60, deadline=None)
-    def test_pick_random_matches_scalar_loop_and_rng_stream(self, gp, seed):
+    def test_pick_random_matches_scalar_loop_and_rng_stream(
+        self, backend_name, gp, seed
+    ):
         game, profile = gp
-        users = np.arange(game.num_users, dtype=np.intp)
-        rng_b = np.random.default_rng(seed)
-        rng_s = np.random.default_rng(seed)
-        batch = batch_best_updates(profile, users, pick="random", rng=rng_b)
-        oracle = _scalar_sweep(profile, users, pick="random", rng=rng_s)
-        self._assert_batch_equals(batch, oracle)
-        # Same draws in the same order: the generators end in the same state.
-        assert rng_b.bit_generator.state == rng_s.bit_generator.state
+        with use_backend(backend_name):
+            users = np.arange(game.num_users, dtype=np.intp)
+            rng_b = np.random.default_rng(seed)
+            rng_s = np.random.default_rng(seed)
+            batch = batch_best_updates(
+                profile, users, pick="random", rng=rng_b
+            )
+            oracle = _scalar_sweep(profile, users, pick="random", rng=rng_s)
+            self._assert_batch_equals(batch, oracle)
+            # Same draws in the same order: the generators end in the same
+            # state.
+            assert rng_b.bit_generator.state == rng_s.bit_generator.state
 
     @given(game_and_profile(), st.data())
     @settings(max_examples=40, deadline=None)
-    def test_user_subset_matches_scalar_loop(self, gp, data):
+    def test_user_subset_matches_scalar_loop(self, backend_name, gp, data):
         game, profile = gp
         subset = sorted(
             data.draw(
                 st.sets(st.integers(0, game.num_users - 1), min_size=0)
             )
         )
-        users = np.asarray(subset, dtype=np.intp)
-        batch = batch_best_updates(profile, users, pick="first")
-        oracle = _scalar_sweep(profile, users, pick="first")
-        self._assert_batch_equals(batch, oracle)
+        with use_backend(backend_name):
+            users = np.asarray(subset, dtype=np.intp)
+            batch = batch_best_updates(profile, users, pick="first")
+            oracle = _scalar_sweep(profile, users, pick="first")
+            self._assert_batch_equals(batch, oracle)
 
     @staticmethod
     def _assert_batch_equals(batch, oracle):
@@ -104,13 +117,14 @@ class TestBatchVsScalarOracle:
         # The object view round-trips.
         assert batch.as_list() == list(oracle)
 
-    def test_rejects_non_ascending_users(self):
+    def test_rejects_non_ascending_users(self, backend_name):
         game = random_game(np.random.default_rng(0))
         profile = StrategyProfile.random(game, np.random.default_rng(1))
-        with pytest.raises(ValueError, match="ascending"):
-            batch_best_updates(
-                profile, np.asarray([0, 0], dtype=np.intp), pick="first"
-            )
+        with use_backend(backend_name):
+            with pytest.raises(ValueError, match="ascending"):
+                batch_best_updates(
+                    profile, np.asarray([0, 0], dtype=np.intp), pick="first"
+                )
 
 
 class TestPUUBatchVsOracle:
@@ -199,15 +213,23 @@ def _shadow_run(kind, game, seed, *, sort_key="delta", max_slots=400):
     }
 
 
+@pytest.mark.parametrize("backend_name", available_backends())
 class TestTrajectoryIdentity:
-    """Fixed-seed DGRN/MUUN runs reproduce the scalar shadow exactly."""
+    """Fixed-seed DGRN/MUUN runs reproduce the scalar shadow exactly.
+
+    Parametrized over every installed kernel backend: the shadow and the
+    allocator both dispatch through the same backend, so move sequences,
+    RNG streams, and profit histories must agree bitwise *within* each
+    backend (cross-backend agreement is bounded by the declared rtol and
+    certified by the scalar-oracle suites instead).
+    """
 
     @pytest.mark.parametrize("seed", range(4))
     @pytest.mark.parametrize(
         "kind,sort_key",
         [("dgrn", "delta"), ("muun", "delta"), ("muun", "tau")],
     )
-    def test_runs_match_shadow(self, kind, sort_key, seed):
+    def test_runs_match_shadow(self, kind, sort_key, seed, backend_name):
         game = random_game(
             np.random.default_rng(300 + seed),
             max_users=8,
@@ -219,8 +241,9 @@ class TestTrajectoryIdentity:
             alloc = DGRN(seed=seed, config=config)
         else:
             alloc = MUUN(seed=seed, config=config, sort_key=sort_key)
-        result = alloc.run(game)
-        shadow = _shadow_run(kind, game, seed, sort_key=sort_key)
+        with use_backend(backend_name):
+            result = alloc.run(game)
+            shadow = _shadow_run(kind, game, seed, sort_key=sort_key)
 
         assert [
             (m.slot, m.user, m.old_route, m.new_route, m.gain)
@@ -241,7 +264,9 @@ class TestTrajectoryIdentity:
         )
 
     @pytest.mark.parametrize("kind", ["dgrn", "muun"])
-    def test_validate_mode_accepts_incremental_histories(self, kind):
+    def test_validate_mode_accepts_incremental_histories(
+        self, kind, backend_name
+    ):
         game = random_game(
             np.random.default_rng(42), max_users=8, max_tasks=12, max_routes=5
         )
@@ -249,8 +274,9 @@ class TestTrajectoryIdentity:
         alloc = DGRN(seed=7, config=config) if kind == "dgrn" else MUUN(
             seed=7, config=config
         )
-        result = alloc.run(game)
-        assert result.converged
-        # Validate mode substitutes exact values, so the recorded potential
-        # equals the full recompute exactly.
-        assert result.potential_history[-1] == potential(result.profile)
+        with use_backend(backend_name):
+            result = alloc.run(game)
+            assert result.converged
+            # Validate mode substitutes exact values, so the recorded
+            # potential equals the full recompute exactly.
+            assert result.potential_history[-1] == potential(result.profile)
