@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-json bench-record bench-gate bench-capacity experiments examples clean loc
+.PHONY: install test bench bench-json bench-record bench-gate bench-capacity chaos-serve experiments examples clean loc
 
 install:
 	pip install -e . || $(PY) setup.py develop
@@ -37,6 +37,14 @@ bench-gate: bench-json
 # Use `$(PY) benchmarks/capacity.py --full` for the 1M-user point.
 bench-capacity:
 	PYTHONPATH=src $(PY) benchmarks/capacity.py --record
+
+# Serving-infrastructure chaos envelope (docs/robustness.md): every
+# serve_fault_matrix case — worker kills, stalls, attach/publish
+# failures, segment corruption, quarantine + re-promotion — must
+# converge to a verified Nash matching the clean run's potential.
+chaos-serve:
+	PYTHONPATH=src $(PY) -m pytest tests/faults/test_serve_chaos.py \
+		tests/serve/test_supervisor.py tests/serve/test_spec_transport.py -q
 
 # Full-scale experiment sweep (writes CSVs under results/).
 experiments:

@@ -162,6 +162,30 @@ def test_epoch_payload_shrink(benchmark):
     )
 
 
+@pytest.mark.parametrize(
+    "supervise", [False, True], ids=["bare", "supervised"]
+)
+def test_supervised_round_overhead(benchmark, supervise):
+    """Steady-state pooled rounds with the ShardSupervisor on vs off.
+
+    Supervision adds only bookkeeping on the clean path (a deadline
+    lookup per harvest + a timing observation per epoch), so the two
+    variants should be within noise of each other; the ledger tracks the
+    pair so a supervision-cost regression shows up as their ratio
+    drifting.
+    """
+    sess, _ = _make_session(4, processes=4, supervise=supervise)
+    sess.run_round()  # warm the worker spec caches
+    benchmark(sess.run_round)
+    report = sess.supervision_report()
+    if supervise:
+        assert report is not None and report["retries"] == 0
+        benchmark.extra_info["deadline_seconds"] = report["deadline"]
+    else:
+        assert report is None
+    sess.close()
+
+
 def test_capacity_floor():
     """K=4 must sustain >=2x the churn throughput of the monolithic K=1."""
     base = _sustained_users_per_second(1)

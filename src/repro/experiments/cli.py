@@ -99,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
              "repro.health_report/v1 JSON here (see docs/serving.md)",
     )
     serve_group.add_argument(
+        "--no-supervise", action="store_true",
+        help="disable the epoch supervisor (deadlines, retries, shard "
+             "quarantine) on pooled sessions; see docs/robustness.md",
+    )
+    serve_group.add_argument(
         "--scrape-port", type=int, default=None, metavar="PORT",
         help="serve live Prometheus metrics at "
              "http://127.0.0.1:PORT/metrics while the session runs "
@@ -288,6 +293,7 @@ def _run_serve(args: argparse.Namespace, telemetry: bool) -> int:
         pipeline=args.pipeline,
         auto_retile=args.auto_retile,
         backend=args.backend,
+        supervise=not args.no_supervise,
     ) as sess:
         for _ in range(args.duration):
             joins, leaves = churn.next_round(sorted(sess.records))
@@ -316,6 +322,15 @@ def _run_serve(args: argparse.Namespace, telemetry: bool) -> int:
             "wall_seconds": elapsed,
             **stats,
         }
+        supervision = sess.supervision_report()
+        if supervision is not None:
+            summary.update(
+                epoch_timeouts=supervision["timeouts"],
+                epoch_retries=supervision["retries"],
+                quarantines=supervision["quarantines"],
+                promotions=supervision["promotions"],
+                pool_rebuilds=supervision["pool_rebuilds"],
+            )
         print(f"\n== serve: K={sess.num_shards} shards, "
               f"{sess.num_users} users, {len(tasks)} tasks "
               f"({elapsed:.1f}s) ==")

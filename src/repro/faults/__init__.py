@@ -19,12 +19,26 @@ package has four pieces:
 from repro.faults.plan import CompiledFaults, CrashEvent, FaultPlan
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.serveplan import (
+    EpochAbandoned,
+    EpochTimeoutError,
+    ServeFaultError,
+    ServeFaultInjector,
+    ServeFaultPlan,
+    SpecAttachError,
+    SpecIntegrityError,
+    SpecPublishError,
+    WorkerCrashError,
+)
 from repro.faults.chaos import (
     ChaosCase,
     ChaosCaseResult,
     ChaosReport,
     ChaosRunner,
+    ServeFaultCase,
+    ServeFaultResult,
     bounded_fault_matrix,
+    serve_fault_matrix,
 )
 
 __all__ = [
@@ -34,9 +48,21 @@ __all__ = [
     "ChaosRunner",
     "CompiledFaults",
     "CrashEvent",
+    "EpochAbandoned",
+    "EpochTimeoutError",
     "FaultInjector",
     "FaultPlan",
     "InvariantChecker",
     "InvariantViolation",
+    "ServeFaultCase",
+    "ServeFaultError",
+    "ServeFaultInjector",
+    "ServeFaultPlan",
+    "ServeFaultResult",
+    "SpecAttachError",
+    "SpecIntegrityError",
+    "SpecPublishError",
+    "WorkerCrashError",
     "bounded_fault_matrix",
+    "serve_fault_matrix",
 ]

@@ -13,17 +13,32 @@ confirmed Nash equilibrium through potential-improving moves only.
 :func:`bounded_fault_matrix` is the CI envelope (the ``chaos-smoke`` job):
 message loss up to 0.3, reordering up to 3 slots, duplication, and up to
 20% of agents crashing once, alone and combined.
+
+:func:`serve_fault_matrix` is its serving-layer sibling (the
+``chaos-serve`` job): :class:`ServeFaultCase` scenarios inject
+*infrastructure* faults — worker SIGKILL, epoch stalls past the
+supervisor deadline, shm attach failures, spec-publish failures, segment
+corruption — through a :class:`~repro.faults.serveplan.ServeFaultPlan`,
+and :meth:`ChaosRunner.run_serve_case` demands that the supervised
+session still converges to a verified Nash whose boundary-ledger
+potential equals the monolithic Eq. 8 (rtol 1e-9) **and** matches a
+clean unfaulted reference run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.game import RouteNavigationGame
 from repro.distributed.resilience import ResilienceConfig
 from repro.distributed.simulator import DistributedOutcome, DistributedSimulation
 from repro.faults.invariants import InvariantViolation
 from repro.faults.plan import FaultPlan
+from repro.faults.serveplan import ServeFaultPlan
+
+if TYPE_CHECKING:
+    from repro.serve.supervisor import SupervisorConfig
 
 #: The bounded-fault envelope the resilient protocol is promised to
 #: survive (acceptance criteria in docs/robustness.md).
@@ -157,6 +172,84 @@ class ShardCrashResult:
         )
 
 
+@dataclass(frozen=True)
+class ServeFaultCase:
+    """One serving-infrastructure scenario: a supervised pooled session
+    under a :class:`~repro.faults.serveplan.ServeFaultPlan`.
+
+    A case passes when the session converges to a verified Nash, every
+    serving invariant holds (cross-shard counts + the boundary-ledger
+    potential identity against monolithic Eq. 8, rtol 1e-9, asserted at
+    every sync in validate mode), the final potential equals a clean
+    unfaulted reference run's, no shared-memory segment leaks — and, for
+    ``expect_quarantine`` cases, at least one shard was quarantined *and*
+    re-promoted before the end, reaching the same equilibrium.
+    """
+
+    name: str
+    num_shards: int
+    plan: ServeFaultPlan
+    scheduler: str = "puu"
+    seed: int = 0
+    max_rounds: int = 200
+    #: worker-pool size; defaults to one process per shard so injected
+    #: stalls never queue other shards' epochs into spurious timeouts.
+    processes: int | None = None
+    pipeline: bool = False
+    #: supervisor knobs (None = library defaults).
+    supervisor: "SupervisorConfig | None" = None
+    #: demand a quarantine + probe re-promotion cycle.
+    expect_quarantine: bool = False
+
+
+@dataclass
+class ServeFaultResult:
+    """Outcome + invariant verdicts of one executed serve-fault case."""
+
+    case: ServeFaultCase
+    converged: bool
+    is_nash: bool
+    rounds: int
+    potential: float
+    reference_potential: float
+    potential_match: bool
+    supervision: dict
+    injected: dict
+    violations: list[InvariantViolation]
+
+    @property
+    def ok(self) -> bool:
+        quarantine_ok = not self.case.expect_quarantine or (
+            self.supervision.get("quarantines", 0) >= 1
+            and self.supervision.get("promotions", 0) >= 1
+            and not self.supervision.get("quarantined_shards")
+        )
+        return (
+            self.converged
+            and self.is_nash
+            and self.potential_match
+            and quarantine_ok
+            and not self.violations
+        )
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        sup = self.supervision
+        extra = "" if not self.violations else f", {len(self.violations)} violation(s)"
+        return (
+            f"{status:4s} {self.case.name} [{self.case.scheduler}, seed "
+            f"{self.case.seed}]: K={self.case.num_shards}, "
+            f"{'converged' if self.converged else 'DID NOT CONVERGE'} in "
+            f"{self.rounds} round(s), nash={self.is_nash}, "
+            f"potential_match={self.potential_match}, "
+            f"injected={self.injected}, timeouts={sup.get('timeouts')}, "
+            f"retries={sup.get('retries')}, "
+            f"quarantines={sup.get('quarantines')}, "
+            f"promotions={sup.get('promotions')}, "
+            f"rebuilds={sup.get('pool_rebuilds')}{extra}"
+        )
+
+
 class ChaosRunner:
     """Execute fault scenarios against one game instance."""
 
@@ -243,6 +336,98 @@ class ChaosRunner:
             violations=violations,
         )
 
+    def run_serve_case(self, case: ServeFaultCase) -> ServeFaultResult:
+        """Run one supervised session under injected infrastructure faults.
+
+        Imported lazily: :mod:`repro.serve` sits above the fault layer and
+        a module-level import would be cyclic.  The clean reference is the
+        same session inline (no pool, no faults) — supervision recovers by
+        re-executing epochs from by-value state, so the faulted run must
+        land on the identical equilibrium, not merely *an* equilibrium.
+        """
+        import numpy as np
+
+        from repro.core.shm import os_segments
+        from repro.serve.session import ServeSession
+
+        def _session(**kwargs) -> ServeSession:
+            return ServeSession.from_game(
+                self.game,
+                num_shards=case.num_shards,
+                scheduler=case.scheduler,
+                seed=case.seed,
+                validate=True,
+                **kwargs,
+            )
+
+        with _session() as ref:
+            ref.run_to_convergence(max_rounds=case.max_rounds)
+            reference_potential = ref.global_potential()
+
+        segments_before = set(os_segments())
+        processes = (
+            case.processes if case.processes is not None else case.num_shards
+        )
+        with _session(
+            processes=processes,
+            pipeline=case.pipeline,
+            supervisor_config=case.supervisor,
+            fault_plan=case.plan,
+        ) as sess:
+            converged = False
+            rounds = 0
+            for _ in range(case.max_rounds):
+                rep = sess.run_round()
+                rounds += 1
+                if not rep.converged:
+                    continue
+                converged = True
+                sup = sess.supervision_report() or {}
+                if not case.expect_quarantine or (
+                    sup.get("promotions", 0) >= 1
+                    and not sup.get("quarantined_shards")
+                ):
+                    # Quarantine cases keep running converged (no-op)
+                    # rounds until the probe re-promotes the shard, so
+                    # the *recovered* session is what we verify.
+                    break
+            sess.check_quiescence()
+            violations = list(sess.violations)
+            supervision = sess.supervision_report() or {}
+            injected = (
+                sess.fault_injector.summary()
+                if sess.fault_injector is not None
+                else {}
+            )
+            potential = sess.global_potential()
+            is_nash = sess.is_nash()
+        leaked = sorted(set(os_segments()) - segments_before)
+        if leaked:
+            violations.append(
+                InvariantViolation(
+                    "shm_leak",
+                    rounds,
+                    f"shared-memory segments outlived the session: {leaked}",
+                )
+            )
+        return ServeFaultResult(
+            case=case,
+            converged=converged,
+            is_nash=is_nash,
+            rounds=rounds,
+            potential=potential,
+            reference_potential=reference_potential,
+            potential_match=bool(
+                np.isclose(potential, reference_potential, rtol=1e-9, atol=0.0)
+            ),
+            supervision=supervision,
+            injected=injected,
+            violations=violations,
+        )
+
+    def run_serve(self, cases: list[ServeFaultCase]) -> list[ServeFaultResult]:
+        return [self.run_serve_case(c) for c in cases]
+
 
 def bounded_fault_matrix(
     *,
@@ -311,5 +496,114 @@ def bounded_fault_matrix(
         )
         for name, plan in scenarios
         for sched in schedulers
+        for seed in seeds
+    ]
+
+
+#: Injected stall length vs. the tight test deadline: the stall must dwarf
+#: ``max(deadline_floor, p95 × multiplier)`` even on a loaded CI box, while
+#: real (sub-millisecond) epochs stay far under the floor.
+STALL_SECONDS = 0.5
+STALL_DEADLINE_FLOOR = 0.05
+
+
+def _stall_supervisor() -> "SupervisorConfig":
+    from repro.serve.supervisor import SupervisorConfig
+
+    return SupervisorConfig(
+        deadline_floor=STALL_DEADLINE_FLOOR,
+        min_history=2,
+        max_retries=2,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        probe_every=2,
+    )
+
+
+def serve_fault_matrix(
+    *,
+    seeds: tuple[int, ...] = (0,),
+    plan_seed: int = 0,
+    num_shards: int = 2,
+) -> list[ServeFaultCase]:
+    """The CI serving-chaos envelope (the ``chaos-serve`` job).
+
+    Every infrastructure fault kind, alone and combined, on a supervised
+    K-shard pooled session; every case must converge to a verified Nash
+    matching the clean run's potential (and the ledger identity against
+    monolithic Eq. 8 at every sync).  Dispatch-indexed events, seeded
+    plans, and seeded supervisor behaviour make each case replayable.
+
+    Stalls are scheduled at dispatch >= 1 because the supervisor arms its
+    deadline only after ``min_history`` (= 2 = one K=2 round) epoch
+    observations; the quarantine case stalls three consecutive dispatches
+    of shard 0 (the round-2 dispatch plus both retries), exhausting
+    ``max_retries`` and forcing the quarantine → probe → re-promote walk.
+    """
+    scenarios: list[tuple[str, ServeFaultPlan, dict]] = [
+        (
+            "worker-kill",
+            ServeFaultPlan(seed=plan_seed, worker_kills=((0, 0),)),
+            {},
+        ),
+        (
+            "worker-kill-pipelined",
+            ServeFaultPlan(seed=plan_seed, worker_kills=((0, 1),)),
+            {"pipeline": True},
+        ),
+        (
+            "epoch-stall",
+            ServeFaultPlan(seed=plan_seed, stalls=((0, 1, STALL_SECONDS),)),
+            {"supervisor": _stall_supervisor()},
+        ),
+        (
+            "attach-failure",
+            ServeFaultPlan(
+                seed=plan_seed, attach_failures=((0, 0), (1, 0))
+            ),
+            {},
+        ),
+        (
+            "publish-failure",
+            ServeFaultPlan(seed=plan_seed, publish_failures=((0, 0),)),
+            {},
+        ),
+        (
+            "segment-corruption",
+            ServeFaultPlan(seed=plan_seed, corruptions=((0, 0),)),
+            {},
+        ),
+        (
+            "quarantine-recovery",
+            ServeFaultPlan(
+                seed=plan_seed,
+                stalls=(
+                    (0, 1, STALL_SECONDS),
+                    (0, 2, STALL_SECONDS),
+                    (0, 3, STALL_SECONDS),
+                ),
+            ),
+            {"supervisor": _stall_supervisor(), "expect_quarantine": True},
+        ),
+        (
+            "mixed",
+            ServeFaultPlan(
+                seed=plan_seed,
+                worker_kills=((1, 1),),
+                stalls=((0, 2, STALL_SECONDS),),
+                publish_failures=((0, 0),),
+            ),
+            {"supervisor": _stall_supervisor()},
+        ),
+    ]
+    return [
+        ServeFaultCase(
+            name=name,
+            num_shards=num_shards,
+            plan=plan,
+            seed=seed,
+            **extra,
+        )
+        for name, plan, extra in scenarios
         for seed in seeds
     ]

@@ -1,0 +1,344 @@
+"""Serve-side fault plans: deterministic infrastructure faults for serving.
+
+The protocol-level :class:`~repro.faults.plan.FaultPlan` perturbs the
+*message substrate* of the distributed simulation.  This module is its
+serving-layer sibling: a :class:`ServeFaultPlan` declares faults of the
+**serving infrastructure** — worker processes, epoch dispatch, and the
+shared-memory spec transport — and compiles them into one seeded,
+replayable schedule that the :class:`~repro.serve.workers.ShardPool` and
+:class:`~repro.serve.specstore.SpecStore` consult the same way the
+message bus consults a :class:`~repro.faults.injector.FaultInjector`.
+
+Fault kinds (see ``docs/robustness.md``, serving-layer failure model):
+
+- ``worker_kills`` — SIGKILL one pool worker right after the named
+  dispatch, breaking the executor (``BrokenProcessPool``) for real;
+- ``stalls`` — the worker sleeps before running the epoch, driving the
+  dispatch past the supervisor's deadline;
+- ``attach_failures`` — the worker's shared-memory attach of the spec
+  segment fails (:class:`SpecAttachError`);
+- ``corruptions`` — the published segment's magic bytes are flipped
+  before dispatch, so a cache-missing worker sees a mangled spec
+  (:class:`SpecIntegrityError`);
+- ``publish_failures`` — publishing a ``(shard_id, version)`` spec into
+  shared memory fails (:class:`SpecPublishError`), forcing the pickle
+  transport for that job.
+
+Explicit events are keyed on the *dispatch index* — the n-th epoch job
+submitted for a shard, retries included — so a schedule replays
+bit-identically; sampled ``*_rate`` faults draw from one RNG stream
+seeded by ``plan.seed`` in a fixed (shard, dispatch, kind) order at
+compile time, so they replay too.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.obs import counter as _obs_counter
+from repro.obs.runtime import RUNTIME as _OBS
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability, require
+
+__all__ = [
+    "EpochFate",
+    "EpochAbandoned",
+    "EpochTimeoutError",
+    "ServeFaultError",
+    "ServeFaultInjector",
+    "ServeFaultPlan",
+    "SpecAttachError",
+    "SpecIntegrityError",
+    "SpecPublishError",
+    "WorkerCrashError",
+]
+
+
+# ------------------------------------------------------------------- failures
+class ServeFaultError(RuntimeError):
+    """Base of the serving layer's typed infrastructure failures.
+
+    Raised by the transport / pool machinery (injected or genuine) and
+    classified by the :class:`~repro.serve.supervisor.ShardSupervisor`,
+    which picks the matching recovery action.
+    """
+
+
+class EpochTimeoutError(ServeFaultError):
+    """A dispatched epoch missed its harvest deadline."""
+
+    def __init__(self, shard_id: int, deadline: float) -> None:
+        super().__init__(
+            f"shard {shard_id} epoch missed its {deadline:.3f}s deadline"
+        )
+        self.shard_id = shard_id
+        self.deadline = deadline
+
+    def __reduce__(self):  # crosses the pool pipe; keep the fields intact
+        return (type(self), (self.shard_id, self.deadline))
+
+
+class WorkerCrashError(ServeFaultError):
+    """The process pool broke under a job (worker died mid-epoch)."""
+
+    def __init__(self, shard_id: int, cause: str = "") -> None:
+        super().__init__(
+            f"worker pool broke under shard {shard_id}'s epoch"
+            + (f": {cause}" if cause else "")
+        )
+        self.shard_id = shard_id
+        self.cause = cause
+
+    def __reduce__(self):
+        return (type(self), (self.shard_id, self.cause))
+
+
+class SpecAttachError(ServeFaultError):
+    """A worker could not map the shared-memory spec segment."""
+
+    def __init__(self, segment: str) -> None:
+        super().__init__(f"cannot attach spec segment {segment!r}")
+        self.segment = segment
+
+    def __reduce__(self):
+        return (type(self), (self.segment,))
+
+
+class SpecIntegrityError(ServeFaultError):
+    """An attached spec segment failed validation (bad magic / mangled
+    skeleton) — the mapping was closed before this was raised."""
+
+    def __init__(self, segment: str, detail: str) -> None:
+        super().__init__(f"spec segment {segment!r} is corrupt: {detail}")
+        self.segment = segment
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.segment, self.detail))
+
+
+class SpecPublishError(ServeFaultError):
+    """Publishing a spec into shared memory failed."""
+
+    def __init__(self, shard_id: int, version: int) -> None:
+        super().__init__(
+            f"publishing spec (shard {shard_id}, v{version}) failed"
+        )
+        self.shard_id = shard_id
+        self.version = version
+
+    def __reduce__(self):
+        return (type(self), (self.shard_id, self.version))
+
+
+class EpochAbandoned(ServeFaultError):
+    """The supervisor exhausted its retries for one epoch and quarantined
+    the shard — the dispatcher must run the epoch inline."""
+
+    def __init__(self, shard_id: int, cause: ServeFaultError) -> None:
+        super().__init__(
+            f"shard {shard_id} epoch abandoned after retries: {cause}"
+        )
+        self.shard_id = shard_id
+        self.cause = cause
+
+
+# ----------------------------------------------------------------------- plan
+@dataclass(frozen=True)
+class EpochFate:
+    """Injected faults for one epoch dispatch of one shard."""
+
+    kill_worker: bool = False
+    stall_seconds: float = 0.0
+    fail_attach: bool = False
+    corrupt_segment: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.kill_worker
+            or self.stall_seconds > 0.0
+            or self.fail_attach
+            or self.corrupt_segment
+        )
+
+
+_CLEAN = EpochFate()
+
+
+@dataclass(frozen=True)
+class ServeFaultPlan:
+    """Declarative serving-infrastructure fault specification.
+
+    Explicit events name ``(shard, dispatch)`` pairs (``stalls`` adds the
+    sleep seconds; ``publish_failures`` is keyed on ``(shard, version)``
+    because publishing happens once per spec version, not per dispatch).
+    Sampled ``*_rate`` faults are drawn per (shard, dispatch) over
+    ``dispatch_window`` at compile time from one RNG seeded by ``seed``.
+    """
+
+    seed: int = 0
+    worker_kills: tuple[tuple[int, int], ...] = ()
+    stalls: tuple[tuple[int, int, float], ...] = ()
+    attach_failures: tuple[tuple[int, int], ...] = ()
+    corruptions: tuple[tuple[int, int], ...] = ()
+    publish_failures: tuple[tuple[int, int], ...] = ()
+    kill_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.25
+    attach_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    dispatch_window: tuple[int, int] = (0, 8)
+
+    def __post_init__(self) -> None:
+        for name, events in (
+            ("worker_kills", self.worker_kills),
+            ("attach_failures", self.attach_failures),
+            ("corruptions", self.corruptions),
+            ("publish_failures", self.publish_failures),
+        ):
+            for shard, n in events:
+                require(
+                    shard >= 0 and n >= 0,
+                    f"{name} entries must be (shard >= 0, index >= 0)",
+                )
+        for shard, n, seconds in self.stalls:
+            require(
+                shard >= 0 and n >= 0 and seconds > 0.0,
+                "stalls entries must be (shard >= 0, dispatch >= 0, "
+                "seconds > 0)",
+            )
+        for name in ("kill_rate", "stall_rate", "attach_rate", "corrupt_rate"):
+            check_probability(name, getattr(self, name))
+        require(self.stall_seconds > 0.0, "stall_seconds must be > 0")
+        lo, hi = self.dispatch_window
+        require(0 <= lo <= hi, "dispatch_window must satisfy 0 <= lo <= hi")
+
+    def is_null(self) -> bool:
+        """True when the plan injects nothing."""
+        return (
+            not self.worker_kills
+            and not self.stalls
+            and not self.attach_failures
+            and not self.corruptions
+            and not self.publish_failures
+            and self.kill_rate == 0.0
+            and self.stall_rate == 0.0
+            and self.attach_rate == 0.0
+            and self.corrupt_rate == 0.0
+        )
+
+    def compile(self, num_shards: int) -> "ServeFaultInjector":
+        """Freeze the schedule (explicit events + sampled draws) into an
+        injector the pool and spec store consult at dispatch time."""
+        require(num_shards >= 1, "num_shards must be >= 1")
+        kills = {(s, n) for s, n in self.worker_kills}
+        stalls = {(s, n): float(sec) for s, n, sec in self.stalls}
+        attach = {(s, n) for s, n in self.attach_failures}
+        corrupt = {(s, n) for s, n in self.corruptions}
+        publish = {(s, v) for s, v in self.publish_failures}
+        if any(
+            p > 0.0
+            for p in (
+                self.kill_rate, self.stall_rate, self.attach_rate,
+                self.corrupt_rate,
+            )
+        ):
+            rng = as_generator(int(self.seed))
+            lo, hi = self.dispatch_window
+            for s in range(num_shards):
+                for n in range(lo, hi + 1):
+                    # Fixed draw order per (shard, dispatch) so the
+                    # schedule replays bit-identically from the seed.
+                    if self.kill_rate > 0.0 and rng.random() < self.kill_rate:
+                        kills.add((s, n))
+                    if self.stall_rate > 0.0 and rng.random() < self.stall_rate:
+                        stalls.setdefault((s, n), self.stall_seconds)
+                    if (
+                        self.attach_rate > 0.0
+                        and rng.random() < self.attach_rate
+                    ):
+                        attach.add((s, n))
+                    if (
+                        self.corrupt_rate > 0.0
+                        and rng.random() < self.corrupt_rate
+                    ):
+                        corrupt.add((s, n))
+        return ServeFaultInjector(
+            plan=self,
+            kills=kills,
+            stalls=stalls,
+            attach=attach,
+            corrupt=corrupt,
+            publish=publish,
+        )
+
+
+@dataclass
+class ServeFaultInjector:
+    """A compiled :class:`ServeFaultPlan` plus per-shard dispatch clocks.
+
+    :meth:`epoch_fate` is consumed by
+    :meth:`~repro.serve.workers.ShardPool.submit_epoch` once per dispatch
+    (retries included — they advance the clock, so a one-shot fault does
+    not re-fire on the retry); :meth:`publish_fails` is consulted by
+    :meth:`~repro.serve.specstore.SpecStore.ticket_for` per publish
+    attempt.  ``injected`` counts what actually fired.
+    """
+
+    plan: ServeFaultPlan
+    kills: set[tuple[int, int]]
+    stalls: dict[tuple[int, int], float]
+    attach: set[tuple[int, int]]
+    corrupt: set[tuple[int, int]]
+    publish: set[tuple[int, int]]
+    injected: Counter = field(default_factory=Counter)
+    _dispatch: Counter = field(default_factory=Counter)
+
+    def epoch_fate(self, shard_id: int) -> EpochFate:
+        """Fate of the next dispatch of ``shard_id`` (advances its clock)."""
+        n = self._dispatch[shard_id]
+        self._dispatch[shard_id] = n + 1
+        key = (shard_id, n)
+        fate = EpochFate(
+            kill_worker=key in self.kills,
+            stall_seconds=self.stalls.get(key, 0.0),
+            fail_attach=key in self.attach,
+            corrupt_segment=key in self.corrupt,
+        )
+        if fate.kill_worker:
+            self._count("worker_kill")
+        if fate.stall_seconds > 0.0:
+            self._count("stall")
+        if fate.fail_attach:
+            self._count("attach_failure")
+        if fate.corrupt_segment:
+            self._count("corruption")
+        return fate if not fate.clean else _CLEAN
+
+    def publish_fails(self, shard_id: int, version: int) -> bool:
+        """True when publishing ``(shard_id, version)`` must fail.
+
+        One-shot: the entry is consumed, so the supervisor's retry (or
+        the next epoch) publishes successfully.
+        """
+        key = (shard_id, version)
+        if key in self.publish:
+            self.publish.discard(key)
+            self._count("publish_failure")
+            return True
+        return False
+
+    def dispatches(self, shard_id: int) -> int:
+        """Epoch jobs dispatched so far for one shard (retries included)."""
+        return self._dispatch[shard_id]
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] += 1
+        if _OBS.enabled:
+            _obs_counter("faults.serve_injected_total", kind=kind).inc()
+
+    def summary(self) -> dict[str, int]:
+        """Copy of the per-kind injection counters."""
+        return dict(self.injected)

@@ -41,7 +41,8 @@ from repro.serve.specstore import (
     load_spec,
     publish_spec,
 )
-from repro.serve.workers import ShardPool
+from repro.serve.supervisor import ShardSupervisor, SupervisorConfig
+from repro.serve.workers import PendingEpoch, ShardPool
 
 __all__ = [
     "HEALTH_SCHEMA",
@@ -51,6 +52,7 @@ __all__ = [
     "EpochResult",
     "HealthMonitor",
     "HealthThresholds",
+    "PendingEpoch",
     "RegionPartition",
     "RoundReport",
     "ScenarioUserFactory",
@@ -58,8 +60,10 @@ __all__ = [
     "ShardEngine",
     "ShardPool",
     "ShardSpec",
+    "ShardSupervisor",
     "SpecStore",
     "SpecTicket",
+    "SupervisorConfig",
     "SyntheticUserFactory",
     "UserRecord",
     "build_shard_spec",

@@ -272,6 +272,15 @@ class HealthMonitor:
                 threshold=float(threshold), detail=detail,
             )
 
+    def record(self, alert: Alert) -> None:
+        """Record an externally raised alert (e.g. the
+        :class:`~repro.serve.supervisor.ShardSupervisor`'s quarantine /
+        promotion events) with the same bookkeeping as internal checks."""
+        self.alerts.append(alert)
+        if obs.enabled():
+            obs.counter("health.alerts_total", kind=alert.kind).inc()
+            obs.event("health.alert", **alert.as_dict())
+
     @property
     def healthy(self) -> bool:
         return not self.alerts

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -48,6 +49,11 @@ from repro.core.potential import potential
 from repro.core.profit import all_profits
 from repro.core.weights import PlatformWeights
 from repro.faults.invariants import InvariantViolation
+from repro.faults.serveplan import (
+    EpochAbandoned,
+    ServeFaultError,
+    ServeFaultPlan,
+)
 from repro.serve.health import HealthMonitor
 from repro.serve.ledger import BoundaryLedger
 from repro.serve.partition import RegionPartition, partition_game, refine_regions
@@ -60,6 +66,9 @@ from repro.serve.shard import (
 from repro.tasks.task import TaskSet
 from repro.utils.rng import RngStream, as_generator
 from repro.utils.validation import require
+
+if TYPE_CHECKING:
+    from repro.serve.supervisor import SupervisorConfig
 
 __all__ = ["ServeSession", "RoundReport"]
 
@@ -132,6 +141,10 @@ class ServeSession:
         auto_retile: bool = False,
         retile_cooldown: int = 10,
         backend: str | None = None,
+        supervise: bool = True,
+        supervisor_config: "SupervisorConfig | None" = None,
+        fault_plan: ServeFaultPlan | None = None,
+        use_shm: bool = True,
     ) -> None:
         require(len(records) >= 1, "a session needs at least one user")
         ids = [r.user_id for r in records]
@@ -205,12 +218,30 @@ class ServeSession:
         self._last_retile_round = -retile_cooldown
         self._alerts_seen = 0
         self._pool = None
+        self._supervisor = None
+        #: Compiled serve-side fault schedule (None = clean substrate).
+        #: Only the pool / spec store consult it — an inline (K=1 or
+        #: process-less) session has no serving substrate to perturb.
+        self.fault_injector = (
+            fault_plan.compile(self.num_shards)
+            if fault_plan is not None and not fault_plan.is_null()
+            else None
+        )
         if processes is not None and processes > 1 and self.num_shards > 1:
+            from repro.serve.supervisor import ShardSupervisor
             from repro.serve.workers import ShardPool
 
             self._pool = ShardPool(
-                min(processes, self.num_shards), backend=self.backend
+                min(processes, self.num_shards), backend=self.backend,
+                use_shm=use_shm, faults=self.fault_injector,
             )
+            if supervise:
+                # Supervision is trajectory-neutral by construction:
+                # engine state travels by value, so retried / inline /
+                # quarantined epochs replay bit-identically.
+                self._supervisor = ShardSupervisor(
+                    self._pool, config=supervisor_config, health=health
+                )
         # Pipeline mode overlaps worker epochs with the dispatcher's
         # boundary pass; it needs the pool (and K=1 never creates one, so
         # the bit-identity contract is untouched by construction).
@@ -363,7 +394,12 @@ class ServeSession:
                     # destroys: drain the worker (keeping its telemetry
                     # attributable) and discard the outcome — the
                     # dispatcher engine is still at its last-sync state.
-                    self._pool.harvest(fut)  # type: ignore[union-attr]
+                    try:
+                        self._pool.harvest(fut)  # type: ignore[union-attr]
+                    except ServeFaultError:
+                        # The outcome was headed for the bin anyway; just
+                        # make sure the executor is usable again.
+                        self._pool.ensure_alive()  # type: ignore[union-attr]
                     continue
                 engine = self.engines[s]
                 assert engine is not None
@@ -375,10 +411,25 @@ class ServeSession:
                 )
         healthy = [s for s in live if s not in crashed]
         if self._pool is not None and (len(healthy) > 1 or self._inflight):
+            if self._supervisor is not None:
+                self._supervisor.begin_round(self.round_idx)
             futures: dict[int, object] = {}
+            probes: set[int] = set()
             for s in healthy:
                 fut = self._inflight.pop(s, None)
                 if fut is None:
+                    if (
+                        self._supervisor is not None
+                        and self._supervisor.is_quarantined(s)
+                    ):
+                        if not self._supervisor.probe_due(s):
+                            # Quarantined: run this shard's epoch inline
+                            # (same state, same trajectory, no pool).
+                            engine = self.engines[s]
+                            assert engine is not None
+                            results.append(engine.run_epoch(slots_cap))
+                            continue
+                        probes.add(s)
                     engine = self.engines[s]
                     assert engine is not None
                     fut = self._pool.submit_epoch(
@@ -388,7 +439,16 @@ class ServeSession:
                     )
                 futures[s] = fut
             for s, fut in futures.items():
-                result, state = self._pool.harvest(fut)
+                harvested = self._harvest_job(s, fut, probe=s in probes)
+                if harvested is None:
+                    # Abandoned (quarantine) or failed probe: the engine
+                    # still holds the exported state by value, so the
+                    # inline rerun replays the epoch bit-identically.
+                    engine = self.engines[s]
+                    assert engine is not None
+                    results.append(engine.run_epoch(slots_cap))
+                    continue
+                result, state = harvested
                 self.engines[s] = ShardEngine.from_state(
                     self.engines[s].spec, state,  # type: ignore[union-attr]
                     scheduler=self.scheduler, sort_key=self.sort_key,
@@ -400,6 +460,21 @@ class ServeSession:
                 assert engine is not None
                 results.append(engine.run_epoch(slots_cap))
         return results
+
+    def _harvest_job(self, s: int, job, *, probe: bool = False):
+        """Harvest one pooled epoch through the supervisor (when present).
+
+        Returns ``(EpochResult, state)``, or ``None`` when the epoch was
+        abandoned (shard quarantined / probe failed) and the caller must
+        run it inline from the engine's unchanged state."""
+        if self._supervisor is None:
+            return self._pool.harvest(job)  # type: ignore[union-attr]
+        if probe:
+            return self._supervisor.probe_harvest(job)
+        try:
+            return self._supervisor.harvest(job)
+        except EpochAbandoned:
+            return None
 
     def _prefetch(
         self,
@@ -439,6 +514,8 @@ class ServeSession:
             engine = self.engines[s]
             if engine is None or s in dirty or s in self._inflight:
                 continue
+            if self._supervisor is not None and self._supervisor.is_quarantined(s):
+                continue  # quarantined shards run inline, never ahead
             self._inflight[s] = self._pool.submit_epoch(
                 engine.spec, engine.export_state(),
                 scheduler=self.scheduler, sort_key=self.sort_key,
@@ -464,9 +541,17 @@ class ServeSession:
         if not self._inflight:
             return
         for s in sorted(self._inflight):
-            result, state = self._pool.harvest(self._inflight[s])  # type: ignore[union-attr]
+            job = self._inflight[s]
+            harvested = self._harvest_job(s, job)
             engine = self.engines[s]
             assert engine is not None
+            if harvested is None:
+                # Abandoned: replay the prefetched epoch inline from the
+                # engine's unchanged state (bit-identical by value).
+                cap = getattr(job, "max_slots", None)
+                self._banked.append(engine.run_epoch(cap))
+                continue
+            result, state = harvested
             self.engines[s] = ShardEngine.from_state(
                 engine.spec, state,
                 scheduler=self.scheduler, sort_key=self.sort_key,
@@ -891,6 +976,16 @@ class ServeSession:
             raise AssertionError(
                 f"{len(self.violations)} serving invariant violation(s):\n{lines}"
             )
+
+    def supervision_report(self) -> dict | None:
+        """Supervisor counters (deadline, retries, quarantines, rebuilds)
+        plus injected-fault totals; ``None`` for unsupervised sessions."""
+        if self._supervisor is None:
+            return None
+        report = self._supervisor.report()
+        if self.fault_injector is not None:
+            report["injected_faults"] = self.fault_injector.summary()
+        return report
 
     def history(self) -> dict[str, np.ndarray | None]:
         """K=1 trajectory histories (bitwise the monolithic allocator's)."""

@@ -40,6 +40,11 @@ import repro.obs as obs
 from repro.core.arrays import GameArrays
 from repro.core.game import RouteNavigationGame
 from repro.core.shm import BufferTable, SharedBlock, _align
+from repro.faults.serveplan import (
+    SpecAttachError,
+    SpecIntegrityError,
+    SpecPublishError,
+)
 from repro.serve.shard import ShardSpec
 from repro.utils.validation import require
 
@@ -113,41 +118,72 @@ def load_spec(ticket: SpecTicket) -> tuple[ShardSpec, SharedBlock]:
     The skeleton unpickle copies a few KB of metadata; every
     ``GameArrays`` buffer stays a zero-copy read-only view into the
     mapping.  The returned block must outlive the spec (the worker cache
-    holds both together)."""
-    block = SharedBlock.attach(ticket.segment)
-    buf = block.buf
-    require(bytes(buf[:8]) == _MAGIC, f"segment {ticket.segment} is not a spec")
-    ln = int.from_bytes(bytes(buf[8:_HEADER]), "little")
-    skeleton = pickle.loads(bytes(buf[_HEADER : _HEADER + ln]))
-    table: BufferTable = skeleton["table"]
-    arrays = GameArrays.from_table(
-        table, buf, base=_align(_HEADER + ln), shm=block
-    )
-    game = RouteNavigationGame.from_parts(
-        tasks=skeleton["tasks"],
-        route_sets=skeleton["route_sets"],
-        user_weights=skeleton["user_weights"],
-        platform=skeleton["platform"],
-        detour_unit_km=skeleton["detour_unit_km"],
-        arrays=arrays,
-    )
-    spec = ShardSpec(
-        shard_id=skeleton["shard_id"],
-        users=skeleton["users"],
-        game=game,
-        task_map=skeleton["task_map"],
-        own_mask=skeleton["own_mask"],
-        version=skeleton["version"],
-    )
+    holds both together).
+
+    Raises :class:`SpecAttachError` when the segment cannot be mapped
+    and :class:`SpecIntegrityError` when validation of the mapped bytes
+    fails — in the latter case the mapping is closed before raising, so
+    a mangled segment never leaks a worker-side attachment."""
+    try:
+        block = SharedBlock.attach(ticket.segment)
+    except (FileNotFoundError, OSError, ValueError) as exc:
+        raise SpecAttachError(ticket.segment) from exc
+    try:
+        buf = block.buf
+        if bytes(buf[:8]) != _MAGIC:
+            raise SpecIntegrityError(ticket.segment, "bad magic bytes")
+        ln = int.from_bytes(bytes(buf[8:_HEADER]), "little")
+        if _HEADER + ln > block.size:
+            raise SpecIntegrityError(ticket.segment, "skeleton overruns segment")
+        try:
+            skeleton = pickle.loads(bytes(buf[_HEADER : _HEADER + ln]))
+        except Exception as exc:
+            raise SpecIntegrityError(
+                ticket.segment, f"skeleton unpickle failed: {exc}"
+            ) from exc
+        table: BufferTable = skeleton["table"]
+        arrays = GameArrays.from_table(
+            table, buf, base=_align(_HEADER + ln), shm=block
+        )
+        game = RouteNavigationGame.from_parts(
+            tasks=skeleton["tasks"],
+            route_sets=skeleton["route_sets"],
+            user_weights=skeleton["user_weights"],
+            platform=skeleton["platform"],
+            detour_unit_km=skeleton["detour_unit_km"],
+            arrays=arrays,
+        )
+        spec = ShardSpec(
+            shard_id=skeleton["shard_id"],
+            users=skeleton["users"],
+            game=game,
+            task_map=skeleton["task_map"],
+            own_mask=skeleton["own_mask"],
+            version=skeleton["version"],
+        )
+    except BaseException:
+        # Drop any views of the mapping before closing so the close is
+        # immediate rather than deferred to the GC finalizer.
+        buf = arrays = game = None  # noqa: F841
+        block.close()
+        raise
     return spec, block
 
 
 class SpecStore:
-    """Dispatcher-side registry: one live segment per shard, keyed on version."""
+    """Dispatcher-side registry: one live segment per shard, keyed on version.
 
-    def __init__(self) -> None:
+    ``faults`` is an optional compiled
+    :class:`~repro.faults.serveplan.ServeFaultInjector`; when set,
+    :meth:`ticket_for` consults it before each publish and raises
+    :class:`SpecPublishError` for scheduled publish failures (the caller
+    falls back to the pickle transport for that job and re-publishes on
+    the next epoch)."""
+
+    def __init__(self, faults=None) -> None:
         self._live: dict[int, tuple[int, SpecTicket, SharedBlock]] = {}
         self._closed = False
+        self.faults = faults
         #: cumulative bytes written into segments (the once-per-version
         #: spec traffic — the "shipped" side of the payload ledger).
         self.bytes_published = 0
@@ -161,6 +197,10 @@ class SpecStore:
         cur = self._live.get(spec.shard_id)
         if cur is not None and cur[0] == spec.version:
             return cur[1]
+        if self.faults is not None and self.faults.publish_fails(
+            spec.shard_id, spec.version
+        ):
+            raise SpecPublishError(spec.shard_id, spec.version)
         if cur is not None:
             cur[2].close()  # unlink the stale version; live worker
             # mappings survive until their caches evict.
@@ -172,6 +212,17 @@ class SpecStore:
             obs.counter("serve.spec_bytes_shipped").inc(block.size)
             obs.counter("serve.spec_publishes_total").inc()
         return ticket
+
+    def corrupt(self, shard_id: int) -> None:
+        """Flip the live segment's magic bytes (fault injection only).
+
+        A cache-missing worker that attaches the segment afterwards sees
+        :class:`SpecIntegrityError`; workers with the spec already cached
+        are unaffected (they never re-read the header)."""
+        cur = self._live.get(shard_id)
+        require(cur is not None, f"no live segment for shard {shard_id}")
+        buf = cur[2].buf
+        buf[:8] = bytes(b ^ 0xFF for b in bytes(buf[:8]))
 
     def retire(self, shard_id: int) -> None:
         """Unlink a shard's segment (e.g. the shard went dormant)."""

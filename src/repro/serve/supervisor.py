@@ -1,0 +1,299 @@
+"""Epoch supervision: deadlines, retries, quarantine, recovery probes.
+
+The :class:`ShardSupervisor` sits between :class:`~repro.serve.session.
+ServeSession` and :class:`~repro.serve.workers.ShardPool` and turns the
+pool's typed infrastructure failures into a self-healing dispatch loop:
+
+1. **Deadlines.**  Every harvest carries a deadline derived from the
+   straggler history the supervisor accumulates (p95 of observed epoch
+   seconds × ``deadline_multiplier``, floored at ``deadline_floor``).
+   Until ``min_history`` epochs have been observed there is no deadline —
+   cold JIT warm-up and first-touch page faults never count as stalls.
+2. **Retries.**  A timed-out / failed epoch is retried up to
+   ``max_retries`` times with capped exponential backoff.  Engine state
+   travels by value, so a retry replays the epoch **bit-identically** —
+   supervision never perturbs trajectories, it only re-executes.
+   Each failure kind gets its matching recovery action first:
+   a broken pool is rebuilt (:meth:`ShardPool.ensure_alive`), an
+   unattachable segment flips the job to the pickle transport, a corrupt
+   segment is retired and republished.
+3. **Quarantine.**  A shard that exhausts its retries is quarantined:
+   the supervisor records a structured ``shard_quarantined``
+   :class:`~repro.serve.health.Alert`, raises
+   :class:`~repro.faults.serveplan.EpochAbandoned`, and the session runs
+   that shard's epochs inline (in-dispatcher) — same trajectory, no pool.
+4. **Recovery probes.**  Every ``probe_every`` rounds a quarantined
+   shard gets one pooled probe dispatch; a successful harvest re-promotes
+   it to pooled execution (``shard_promoted`` alert), a failed probe
+   re-arms the quarantine clock.
+
+Metrics: ``serve.epoch_timeouts_total``, ``serve.epoch_retries_total``
+(labelled by failure kind), ``serve.quarantined_shards`` (gauge),
+``serve.pool_rebuilds_total`` (emitted by the pool).  See
+``docs/robustness.md`` (serving-layer failure model) for the state
+machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import repro.obs as obs
+from repro.faults.serveplan import (
+    EpochAbandoned,
+    EpochTimeoutError,
+    ServeFaultError,
+    SpecAttachError,
+    SpecIntegrityError,
+    WorkerCrashError,
+)
+from repro.serve.health import Alert
+from repro.serve.workers import PendingEpoch, ShardPool
+from repro.utils.validation import require
+
+__all__ = ["SupervisorConfig", "ShardSupervisor"]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs of the deadline / retry / quarantine state machine."""
+
+    #: deadline = max(floor, p95(epoch seconds) × multiplier).
+    deadline_multiplier: float = 8.0
+    #: Generous floor so millisecond epochs on a loaded CI box never
+    #: trip spurious timeouts (a spurious retry is wasted work, not a
+    #: wrong answer — but quarantine flapping helps nobody).
+    deadline_floor: float = 2.0
+    #: No deadline until this many epochs have been observed.
+    min_history: int = 8
+    #: Failed-epoch retries before the shard is quarantined.
+    max_retries: int = 2
+    #: Exponential backoff: base × 2^attempt, capped.
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    #: Rounds between recovery probes of a quarantined shard.
+    probe_every: int = 3
+    #: Straggler-history window (observations kept for the p95).
+    history_cap: int = 256
+
+    def __post_init__(self) -> None:
+        require(self.deadline_multiplier > 0, "deadline_multiplier must be > 0")
+        require(self.deadline_floor > 0, "deadline_floor must be > 0")
+        require(self.min_history >= 1, "min_history must be >= 1")
+        require(self.max_retries >= 0, "max_retries must be >= 0")
+        require(self.backoff_base >= 0, "backoff_base must be >= 0")
+        require(self.backoff_cap >= 0, "backoff_cap must be >= 0")
+        require(self.probe_every >= 1, "probe_every must be >= 1")
+        require(self.history_cap >= self.min_history, "history_cap too small")
+
+
+@dataclass
+class _QuarantineEntry:
+    since_round: int
+    cause: str
+    probes: int = 0
+
+
+class ShardSupervisor:
+    """Deadline/retry/quarantine wrapper around one :class:`ShardPool`."""
+
+    def __init__(
+        self,
+        pool: ShardPool,
+        config: SupervisorConfig | None = None,
+        health=None,
+    ) -> None:
+        self.pool = pool
+        self.config = config or SupervisorConfig()
+        #: Optional :class:`~repro.serve.health.HealthMonitor`; quarantine
+        #: and promotion alerts are recorded there when present.
+        self.health = health
+        self.round = 0
+        self._history: list[float] = []
+        self._quarantined: dict[int, _QuarantineEntry] = {}
+        #: failure/recovery counters (mirrored to obs when enabled).
+        self.timeouts = 0
+        self.retries = 0
+        self.quarantines = 0
+        self.promotions = 0
+
+    # ------------------------------------------------------------- deadlines
+    def observe(self, seconds: float) -> None:
+        """Record one epoch's duration into the straggler history."""
+        self._history.append(seconds)
+        if len(self._history) > self.config.history_cap:
+            del self._history[: -self.config.history_cap]
+
+    def deadline(self) -> float | None:
+        """Current harvest deadline; None while history is too thin."""
+        if len(self._history) < self.config.min_history:
+            return None
+        ranked = sorted(self._history)
+        p95 = ranked[min(len(ranked) - 1, int(0.95 * (len(ranked) - 1)))]
+        return max(self.config.deadline_floor,
+                   p95 * self.config.deadline_multiplier)
+
+    # ---------------------------------------------------------------- rounds
+    def begin_round(self, round_idx: int) -> None:
+        """Advance the supervisor's round clock (probe scheduling)."""
+        self.round = round_idx
+
+    # --------------------------------------------------------------- harvest
+    def harvest(self, job: PendingEpoch):
+        """Harvest one epoch under the deadline, retrying on failure.
+
+        Returns ``(EpochResult, state)``.  After ``max_retries`` failed
+        attempts the shard is quarantined and :class:`EpochAbandoned` is
+        raised — the caller must run the epoch inline from the same state
+        (bit-identical by construction)."""
+        attempt = 0
+        while True:
+            try:
+                result, state = self.pool.harvest(job, timeout=self.deadline())
+            except ServeFaultError as exc:
+                self._count_failure(exc)
+                if attempt >= self.config.max_retries:
+                    self._quarantine(job.shard_id, exc)
+                    raise EpochAbandoned(job.shard_id, exc) from exc
+                self._recover(job, exc)
+                self._backoff(attempt)
+                attempt += 1
+                self.retries += 1
+                if obs.enabled():
+                    obs.counter(
+                        "serve.epoch_retries_total",
+                        kind=type(exc).__name__,
+                    ).inc()
+                job = self.pool.resubmit(job)
+            else:
+                self.observe(result.seconds)
+                return result, state
+
+    def _count_failure(self, exc: ServeFaultError) -> None:
+        if isinstance(exc, EpochTimeoutError):
+            self.timeouts += 1
+            if obs.enabled():
+                obs.counter("serve.epoch_timeouts_total").inc()
+
+    def _recover(self, job: PendingEpoch, exc: ServeFaultError) -> None:
+        """Apply the failure kind's recovery action before resubmitting."""
+        if isinstance(exc, WorkerCrashError):
+            self.pool.ensure_alive()
+        elif isinstance(exc, SpecAttachError):
+            # The segment cannot be mapped from this worker: ship the
+            # retry on the pickle transport instead of failing again.
+            job.force_legacy = True
+        elif isinstance(exc, SpecIntegrityError):
+            # Mangled segment: unlink it so the retry republishes fresh
+            # bytes from the dispatcher's intact spec.
+            self.pool.republish(job.shard_id)
+        # EpochTimeoutError needs no substrate action — resubmit replays
+        # the epoch; the stalled worker's late result is dropped.
+
+    def _backoff(self, attempt: int) -> None:
+        delay = min(
+            self.config.backoff_cap,
+            self.config.backoff_base * (2.0 ** attempt),
+        )
+        if delay > 0:
+            time.sleep(delay)
+
+    # ------------------------------------------------------------ quarantine
+    @property
+    def quarantined(self) -> tuple[int, ...]:
+        """Currently quarantined shard ids, ascending."""
+        return tuple(sorted(self._quarantined))
+
+    def is_quarantined(self, shard_id: int) -> bool:
+        return shard_id in self._quarantined
+
+    def _quarantine(self, shard_id: int, cause: ServeFaultError) -> None:
+        if shard_id in self._quarantined:
+            return
+        self._quarantined[shard_id] = _QuarantineEntry(
+            since_round=self.round, cause=type(cause).__name__
+        )
+        self.quarantines += 1
+        self._record_alert(
+            kind="shard_quarantined",
+            value=float(shard_id),
+            threshold=float(self.config.max_retries),
+            message=(
+                f"shard {shard_id} quarantined to inline execution after "
+                f"{self.config.max_retries + 1} failed attempts "
+                f"({type(cause).__name__}: {cause}); probing every "
+                f"{self.config.probe_every} rounds"
+            ),
+        )
+        self._gauge()
+
+    def probe_due(self, shard_id: int) -> bool:
+        """True when a quarantined shard should get a pooled probe this
+        round (every ``probe_every`` rounds since quarantine/last probe)."""
+        entry = self._quarantined.get(shard_id)
+        if entry is None:
+            return False
+        return self.round - entry.since_round >= self.config.probe_every
+
+    def probe_harvest(self, job: PendingEpoch):
+        """Harvest a recovery probe: one attempt, no retries.
+
+        Success re-promotes the shard and returns ``(result, state)``;
+        failure re-arms the quarantine clock and returns ``None`` (the
+        caller runs the epoch inline, as for any quarantined shard)."""
+        entry = self._quarantined[job.shard_id]
+        entry.probes += 1
+        try:
+            result, state = self.pool.harvest(job, timeout=self.deadline())
+        except ServeFaultError as exc:
+            self._count_failure(exc)
+            self._recover(job, exc)
+            entry.since_round = self.round  # re-arm the probe clock
+            return None
+        self._promote(job.shard_id)
+        self.observe(result.seconds)
+        return result, state
+
+    def _promote(self, shard_id: int) -> None:
+        entry = self._quarantined.pop(shard_id, None)
+        if entry is None:
+            return
+        self.promotions += 1
+        self._record_alert(
+            kind="shard_promoted",
+            value=float(shard_id),
+            threshold=0.0,
+            message=(
+                f"shard {shard_id} re-promoted to pooled execution after "
+                f"{entry.probes} probe(s) "
+                f"({self.round - entry.since_round} rounds quarantined)"
+            ),
+        )
+        self._gauge()
+
+    def _record_alert(self, **kwargs) -> None:
+        alert = Alert(round=self.round, **kwargs)
+        if self.health is not None:
+            self.health.record(alert)
+        elif obs.enabled():
+            obs.counter("health.alerts_total", kind=alert.kind).inc()
+            obs.event("health.alert", **alert.as_dict())
+
+    def _gauge(self) -> None:
+        if obs.enabled():
+            obs.gauge("serve.quarantined_shards").set(len(self._quarantined))
+
+    # ---------------------------------------------------------------- report
+    def report(self) -> dict:
+        """Supervision counters for session summaries / the serve CLI."""
+        return {
+            "deadline": self.deadline(),
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "quarantines": self.quarantines,
+            "promotions": self.promotions,
+            "quarantined_shards": list(self.quarantined),
+            "pool_rebuilds": self.pool.rebuilds,
+            "history_len": len(self._history),
+        }

@@ -13,7 +13,24 @@ steady-state epochs are pure cache hits with zero array copies
 (``np.frombuffer`` views over the shared mapping).
 
 If shared memory is unavailable the pool degrades to the legacy
-transport (full spec pickled per job) — same results, larger payloads.
+transport (full spec pickled per job) — same results, larger payloads —
+and every degradation is observable: a structured ``serve.shm_degraded``
+event plus a ``serve.shm_degraded_total{reason}`` counter fire whenever
+the pool falls back, transiently or permanently.
+
+Failure surface (consumed by
+:class:`~repro.serve.supervisor.ShardSupervisor`): :meth:`submit_epoch`
+returns a :class:`PendingEpoch` handle carrying everything needed to
+resubmit the same job, and :meth:`harvest` translates infrastructure
+failures into the typed errors of :mod:`repro.faults.serveplan` —
+``TimeoutError`` → :class:`~repro.faults.serveplan.EpochTimeoutError`,
+``BrokenProcessPool`` → :class:`~repro.faults.serveplan.WorkerCrashError`
+(after which :meth:`ensure_alive` / :meth:`rebuild` replace the executor;
+fresh workers re-warm their kernel backend and start with empty spec
+caches).  An optional compiled
+:class:`~repro.faults.serveplan.ServeFaultInjector` is consulted per
+dispatch to stage worker kills, epoch stalls, attach failures, and
+segment corruption deterministically.
 
 Telemetry follows :mod:`repro.experiments.runner`'s pattern: when the
 driver has telemetry enabled, each job enables + resets it in the worker
@@ -21,22 +38,36 @@ process and returns an :class:`repro.obs.TelemetrySnapshot` that the
 driver merges, so ``serve.*`` metrics survive the process boundary.
 The pool additionally accounts the transport itself:
 ``serve.worker_cache_hits`` / ``serve.worker_cache_misses`` (spec-cache
-behaviour), ``serve.spec_bytes_shipped`` (once-per-version segment
-bytes, emitted by the store) and ``serve.epoch_payload_bytes`` (pickled
-per-job pipe traffic — the quantity the zero-copy path collapses).
+behaviour; legacy pickle jobs count as ``serve.legacy_jobs_total``
+instead of cache misses — no segment attach happens), ``serve.
+spec_bytes_shipped`` (once-per-version segment bytes, emitted by the
+store) and ``serve.epoch_payload_bytes`` (pickled per-job pipe traffic —
+the quantity the zero-copy path collapses).
 """
 
 from __future__ import annotations
 
+import os
 import pickle
-from concurrent.futures import Future, ProcessPoolExecutor
+import signal
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, TimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 
 import repro.obs as obs
+from repro.faults.serveplan import (
+    EpochTimeoutError,
+    ServeFaultInjector,
+    SpecAttachError,
+    SpecPublishError,
+    WorkerCrashError,
+)
 from repro.serve.shard import EpochResult, ShardEngine, ShardSpec
 from repro.serve.specstore import SpecStore, SpecTicket, load_spec
 from repro.utils.validation import require
 
-__all__ = ["ShardPool"]
+__all__ = ["PendingEpoch", "ShardPool"]
 
 
 # ---------------------------------------------------------------- worker side
@@ -68,10 +99,13 @@ def _ensure_backend(name: str | None) -> None:
     _BACKEND_READY = name
 
 
-def _resolve_spec(ref: "ShardSpec | SpecTicket") -> tuple[ShardSpec, bool]:
-    """Return (spec, cache_hit) for a job's spec reference."""
+def _resolve_spec(ref: "ShardSpec | SpecTicket") -> tuple[ShardSpec, bool | None]:
+    """Return (spec, cache_hit) for a job's spec reference.
+
+    ``cache_hit`` is ``None`` for the legacy transport — the spec came by
+    pickle, so there is no cache to hit or miss."""
     if isinstance(ref, ShardSpec):  # legacy transport: spec came by pickle
-        return ref, False
+        return ref, None
     cached = _SPEC_CACHE.get(ref.shard_id)
     if cached is not None and cached[0] == ref.version:
         return cached[1], True
@@ -92,8 +126,22 @@ def _run_epoch_job(
     max_slots: int | None,
     telemetry: bool,
     backend: str | None = None,
-) -> tuple[EpochResult, dict, "obs.TelemetrySnapshot | None", bool]:
-    """Resolve the spec, rebuild the engine, run one epoch, snapshot."""
+    stall_seconds: float = 0.0,
+    fail_attach: bool = False,
+) -> tuple[EpochResult, dict, "obs.TelemetrySnapshot | None", bool | None]:
+    """Resolve the spec, rebuild the engine, run one epoch, snapshot.
+
+    ``stall_seconds`` / ``fail_attach`` are injected fates from a
+    :class:`~repro.faults.serveplan.ServeFaultPlan`: the stall sleeps
+    before the epoch (driving the dispatch past its deadline), the attach
+    failure raises :class:`~repro.faults.serveplan.SpecAttachError` as if
+    the segment could not be mapped.  Neither touches engine state, so a
+    retried epoch replays bit-identically."""
+    if stall_seconds > 0.0:
+        time.sleep(stall_seconds)
+    if fail_attach:
+        segment = ref.segment if isinstance(ref, SpecTicket) else "<legacy>"
+        raise SpecAttachError(segment)
     if telemetry:
         obs.enable()
         obs.reset()
@@ -115,6 +163,22 @@ def _run_epoch_job(
 
 
 # ------------------------------------------------------------ dispatcher side
+@dataclass
+class PendingEpoch:
+    """Handle for one dispatched epoch: the future plus everything needed
+    to resubmit the identical job (engine state travels by value, so a
+    resubmission replays the epoch bit-identically)."""
+
+    future: Future
+    shard_id: int
+    spec: ShardSpec
+    state: dict
+    scheduler: str
+    sort_key: str
+    max_slots: int | None
+    force_legacy: bool = False
+
+
 class ShardPool:
     """A persistent process pool running shard epochs concurrently."""
 
@@ -124,40 +188,68 @@ class ShardPool:
         *,
         use_shm: bool = True,
         backend: str | None = None,
+        faults: ServeFaultInjector | None = None,
     ) -> None:
         require(processes >= 1, "processes must be >= 1")
         self.processes = processes
         #: Kernel-backend name each worker installs + warms before its
         #: first epoch (``None`` = workers keep the ambient default).
         self.backend = backend
+        #: Compiled serve-side fault schedule (None = clean substrate).
+        self.faults = faults
         self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=processes
         )
+        self._broken = False
         self._store: SpecStore | None = None
         if use_shm:
             try:
-                self._store = SpecStore()
-            except Exception:  # pragma: no cover - no shm on this platform
+                self._store = SpecStore(faults=faults)
+            except Exception as exc:
                 self._store = None
+                self._note_degraded("store_init", str(exc))
         #: spec-cache behaviour reported back by workers.
         self.cache_hits = 0
         self.cache_misses = 0
+        #: jobs that crossed the pipe on the legacy full-spec transport.
+        self.legacy_jobs = 0
         #: cumulative pickled per-job payload bytes (pipe traffic).
         self.payload_bytes = 0
+        #: executor replacements after a worker crash (see :meth:`rebuild`).
+        self.rebuilds = 0
 
     @property
     def spec_bytes_shipped(self) -> int:
         """Once-per-version spec bytes written to shared segments."""
         return self._store.bytes_published if self._store is not None else 0
 
-    def _spec_ref(self, spec: ShardSpec) -> "ShardSpec | SpecTicket":
-        if self._store is None:
+    @property
+    def degraded(self) -> bool:
+        """True once the pool has permanently fallen back to pickle."""
+        return self._store is None
+
+    def _note_degraded(self, reason: str, detail: str) -> None:
+        """Record one shm → pickle degradation, visibly."""
+        if obs.enabled():
+            obs.counter("serve.shm_degraded_total", reason=reason).inc()
+            obs.event("serve.shm_degraded", reason=reason, detail=detail)
+
+    def _spec_ref(
+        self, spec: ShardSpec, *, force_legacy: bool = False
+    ) -> "ShardSpec | SpecTicket":
+        if self._store is None or force_legacy:
             return spec
         try:
             return self._store.ticket_for(spec)
-        except Exception:  # pragma: no cover - shm runtime failure
+        except SpecPublishError as exc:
+            # Transient (typically injected): pickle this one job; the
+            # next epoch publishes normally.
+            self._note_degraded("publish_failure", str(exc))
+            return spec
+        except Exception as exc:
             # Degrade permanently to the pickle transport rather than
             # failing the epoch.
+            self._note_degraded("publish_error", str(exc))
             self._store.shutdown()
             self._store = None
             return spec
@@ -171,37 +263,113 @@ class ShardPool:
         scheduler: str,
         sort_key: str,
         max_slots: int | None = None,
-    ) -> Future:
-        """Dispatch one shard epoch; pair with :meth:`harvest`."""
+        force_legacy: bool = False,
+    ) -> PendingEpoch:
+        """Dispatch one shard epoch; pair with :meth:`harvest`.
+
+        Consults the fault injector (if any) for this dispatch's fate:
+        segment corruption lands after the ticket is published (so only
+        cache-missing attaches see it), stall / attach-failure fates ship
+        with the job, and a worker kill lands right after submission."""
         require(self._pool is not None, "ShardPool is shut down")
-        ref = self._spec_ref(spec)
+        fate = None
+        if self.faults is not None:
+            fate = self.faults.epoch_fate(spec.shard_id)
+        ref = self._spec_ref(spec, force_legacy=force_legacy)
+        if (
+            fate is not None
+            and fate.corrupt_segment
+            and self._store is not None
+            and isinstance(ref, SpecTicket)
+        ):
+            self._store.corrupt(spec.shard_id)
         payload = len(
             pickle.dumps((ref, state), protocol=pickle.HIGHEST_PROTOCOL)
         )
         self.payload_bytes += payload
         if obs.enabled():
             obs.counter("serve.epoch_payload_bytes").inc(payload)
-        return self._pool.submit(
+        job_args = (
             _run_epoch_job, ref, state, scheduler, sort_key,
             max_slots, obs.enabled(), self.backend,
+            fate.stall_seconds if fate is not None else 0.0,
+            fate.fail_attach if fate is not None else False,
+        )
+        try:
+            future = self._pool.submit(*job_args)
+        except BrokenProcessPool:
+            # A worker died between rounds: the executor refuses new work
+            # before any harvest has seen the breakage.  State travels by
+            # value, so rebuilding and resubmitting is trajectory-neutral.
+            self._broken = True
+            self.rebuild()
+            future = self._pool.submit(*job_args)
+        if fate is not None and fate.kill_worker:
+            self.kill_worker()
+        return PendingEpoch(
+            future=future,
+            shard_id=spec.shard_id,
+            spec=spec,
+            state=state,
+            scheduler=scheduler,
+            sort_key=sort_key,
+            max_slots=max_slots,
+            force_legacy=force_legacy or not isinstance(ref, SpecTicket),
         )
 
-    def harvest(self, future: Future) -> tuple[EpochResult, dict]:
-        """Collect one submitted epoch: merge telemetry, count the cache."""
-        result, state, snap, cache_hit = future.result()
+    def resubmit(self, job: PendingEpoch) -> PendingEpoch:
+        """Dispatch the identical epoch again (supervisor retry path)."""
+        return self.submit_epoch(
+            job.spec,
+            job.state,
+            scheduler=job.scheduler,
+            sort_key=job.sort_key,
+            max_slots=job.max_slots,
+            force_legacy=job.force_legacy,
+        )
+
+    def harvest(
+        self,
+        job: "PendingEpoch | Future",
+        timeout: float | None = None,
+    ) -> tuple[EpochResult, dict]:
+        """Collect one submitted epoch: merge telemetry, count the cache.
+
+        With a ``timeout``, a late result raises
+        :class:`~repro.faults.serveplan.EpochTimeoutError` (the stale
+        future is cancelled if still queued; a running one is left to
+        finish and its result dropped — the retry re-runs from the same
+        by-value state, so nothing diverges).  A broken executor raises
+        :class:`~repro.faults.serveplan.WorkerCrashError` and marks the
+        pool for :meth:`ensure_alive`."""
+        future = job.future if isinstance(job, PendingEpoch) else job
+        shard_id = job.shard_id if isinstance(job, PendingEpoch) else -1
+        try:
+            result, state, snap, cache_hit = future.result(timeout)
+        except TimeoutError:
+            future.cancel()
+            raise EpochTimeoutError(shard_id, timeout or 0.0) from None
+        except BrokenProcessPool as exc:
+            self._broken = True
+            raise WorkerCrashError(shard_id, str(exc)) from exc
         if snap is not None:
             obs.merge_snapshot(snap)
-        if cache_hit:
-            self.cache_hits += 1
+        if cache_hit is None:
+            self.legacy_jobs += 1
+            if obs.enabled():
+                obs.counter("serve.legacy_jobs_total").inc()
         else:
-            self.cache_misses += 1
-        if obs.enabled():
-            name = (
-                "serve.worker_cache_hits"
-                if cache_hit
-                else "serve.worker_cache_misses"
-            )
-            obs.counter(name).inc()
+            if cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            if obs.enabled():
+                name = (
+                    "serve.worker_cache_hits"
+                    if cache_hit
+                    else "serve.worker_cache_misses"
+                )
+                obs.counter(name).inc()
         return result, state
 
     def run_epochs(
@@ -215,20 +383,67 @@ class ShardPool:
     ) -> list[tuple[EpochResult, dict]]:
         """Run one epoch per shard; results align with the input order."""
         require(len(specs) == len(states), "one state per spec required")
-        futures = [
+        jobs = [
             self.submit_epoch(
                 spec, state, scheduler=scheduler, sort_key=sort_key,
                 max_slots=max_slots,
             )
             for spec, state in zip(specs, states)
         ]
-        return [self.harvest(fut) for fut in futures]
+        return [self.harvest(job) for job in jobs]
+
+    # -------------------------------------------------------------- recovery
+    def republish(self, shard_id: int) -> None:
+        """Retire a shard's live segment so the next dispatch republishes
+        it fresh (recovery from segment corruption)."""
+        if self._store is not None:
+            self._store.retire(shard_id)
+
+    def kill_worker(self) -> None:
+        """SIGKILL one live worker process (fault injection only).
+
+        Breaks the executor for real — every in-flight future raises
+        ``BrokenProcessPool`` — exercising the same recovery path a
+        genuine OOM-kill or segfault would."""
+        require(self._pool is not None, "ShardPool is shut down")
+        procs = list(self._pool._processes.values())
+        require(bool(procs), "no worker processes to kill yet")
+        os.kill(procs[0].pid, signal.SIGKILL)
+
+    def rebuild(self) -> None:
+        """Replace a broken executor with a fresh one.
+
+        The spec store (and its published segments) survives: fresh
+        workers start with empty spec caches, miss once per shard, and
+        re-attach the live segments; their first job re-warms the kernel
+        backend via ``_ensure_backend``.  In-flight futures of the old
+        executor are already dead (``BrokenProcessPool``)."""
+        old = self._pool
+        self._pool = ProcessPoolExecutor(max_workers=self.processes)
+        self._broken = False
+        self.rebuilds += 1
+        if obs.enabled():
+            obs.counter("serve.pool_rebuilds_total").inc()
+            obs.event("serve.pool_rebuild", rebuilds=self.rebuilds)
+        if old is not None:
+            try:
+                old.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken pools may throw
+                pass
+
+    def ensure_alive(self) -> None:
+        """Rebuild the executor iff a harvest marked it broken."""
+        if self._broken or self._pool is None:
+            self.rebuild()
 
     # ------------------------------------------------------------- lifecycle
     def shutdown(self) -> None:
         """Stop workers and unlink every published segment (idempotent)."""
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            try:
+                self._pool.shutdown(wait=True)
+            except Exception:  # pragma: no cover - broken pools may throw
+                pass
             self._pool = None
         if self._store is not None:
             self._store.shutdown()

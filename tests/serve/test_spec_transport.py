@@ -1,0 +1,287 @@
+"""Spec-transport failure modes: attach cleanup, degradation, stale tickets.
+
+Covers the serving-layer transport satellites: the ``load_spec``
+close-on-failure contract (no leaked attachments or segments), the
+observable shm → pickle degradation path, degraded-transport trajectory
+parity + accounting, and the documented ``ticket_for`` version-bump
+invariant (stale segment unlinked, live worker mappings survive until
+cache eviction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.core.shm import SharedBlock, os_segments
+from repro.faults.serveplan import (
+    ServeFaultPlan,
+    SpecAttachError,
+    SpecIntegrityError,
+)
+from repro.serve.partition import partition_game
+from repro.serve.session import ServeSession
+from repro.serve.shard import ShardEngine, UserRecord, build_shard_spec
+from repro.serve.specstore import SpecTicket, load_spec, publish_spec
+from repro.serve.workers import ShardPool, _run_epoch_job
+from tests.helpers import random_game
+
+
+def _one_spec(seed: int, version: int = 0):
+    game = random_game(
+        np.random.default_rng(seed), max_users=12, max_routes=4, max_tasks=14
+    )
+    part = partition_game(game, 2)
+    records = [
+        UserRecord(
+            user_id=i, routes=game.route_sets[i], weights=game.user_weights[i]
+        )
+        for i in range(game.num_users)
+    ]
+    by_shard: dict[int, list[UserRecord]] = {}
+    for r in records:
+        s = part.owner_shard(r.covered_tasks(), fallback=r.user_id)
+        by_shard.setdefault(s, []).append(r)
+    shard, recs = sorted(by_shard.items())[0]
+    return build_shard_spec(
+        shard, recs, game.tasks, part, game.platform, version=version
+    )
+
+
+def _specs_and_states(seed: int, k: int = 2):
+    game = random_game(
+        np.random.default_rng(seed), max_users=14, max_routes=4, max_tasks=16
+    )
+    part = partition_game(game, k)
+    records = [
+        UserRecord(
+            user_id=i, routes=game.route_sets[i], weights=game.user_weights[i]
+        )
+        for i in range(game.num_users)
+    ]
+    by_shard: dict[int, list[UserRecord]] = {}
+    for r in records:
+        s = part.owner_shard(r.covered_tasks(), fallback=r.user_id)
+        by_shard.setdefault(s, []).append(r)
+    specs, engines = [], []
+    for s, recs in sorted(by_shard.items()):
+        spec = build_shard_spec(s, recs, game.tasks, part, game.platform)
+        specs.append(spec)
+        engines.append(
+            ShardEngine(spec, scheduler="puu", rng=np.random.default_rng(seed + s))
+        )
+    return specs, engines
+
+
+# --------------------------------------------------- load_spec close contract
+def test_load_spec_closes_attachment_on_bad_magic(monkeypatch):
+    """A mangled header must raise the typed error AND close the mapping."""
+    spec = _one_spec(70)
+    ticket, owner = publish_spec(spec)
+    try:
+        owner.buf[:8] = b"\x00" * 8
+        attached: list[SharedBlock] = []
+        real_attach = SharedBlock.attach.__func__
+
+        def spy(cls, name):
+            block = real_attach(cls, name)
+            attached.append(block)
+            return block
+
+        monkeypatch.setattr(SharedBlock, "attach", classmethod(spy))
+        for _ in range(5):
+            with pytest.raises(SpecIntegrityError):
+                load_spec(ticket)
+        assert len(attached) == 5
+        assert all(b.closed for b in attached)
+    finally:
+        owner.close()
+
+
+def test_load_spec_closes_attachment_on_skeleton_garbage(monkeypatch):
+    """Unpicklable skeleton bytes behave like bad magic: typed + closed."""
+    spec = _one_spec(71)
+    ticket, owner = publish_spec(spec)
+    try:
+        owner.buf[16:64] = b"\xde\xad\xbe\xef" * 12  # shred the skeleton
+        attached: list[SharedBlock] = []
+        real_attach = SharedBlock.attach.__func__
+
+        def spy(cls, name):
+            block = real_attach(cls, name)
+            attached.append(block)
+            return block
+
+        monkeypatch.setattr(SharedBlock, "attach", classmethod(spy))
+        with pytest.raises(SpecIntegrityError):
+            load_spec(ticket)
+        assert attached and attached[0].closed
+    finally:
+        owner.close()
+
+
+def test_failed_loads_leak_no_segments():
+    """Repeated failed loads + owner shutdown leave /dev/shm spotless."""
+    before = set(os_segments())
+    spec = _one_spec(72)
+    ticket, owner = publish_spec(spec)
+    owner.buf[:8] = b"\xff" * 8
+    for _ in range(10):
+        with pytest.raises(SpecIntegrityError):
+            load_spec(ticket)
+    owner.close()
+    assert set(os_segments()) - before == set()
+
+
+def test_load_spec_missing_segment_is_typed():
+    ticket = SpecTicket(shard_id=0, version=0, segment="repro-gone-xyz", nbytes=64)
+    with pytest.raises(SpecAttachError):
+        load_spec(ticket)
+
+
+# ------------------------------------------------------ degradation is visible
+def test_publish_error_degrades_pool_observably(monkeypatch):
+    """A genuine store failure falls back to pickle with event + counter."""
+    specs, engines = _specs_and_states(73)
+    spec, state = specs[0], engines[0].export_state()
+    with obs.session(), ShardPool(1) as pool:
+        assert pool._store is not None
+
+        def boom(_spec):
+            raise RuntimeError("no shm for you")
+
+        monkeypatch.setattr(pool._store, "ticket_for", boom)
+        result, _ = pool.harvest(
+            pool.submit_epoch(spec, state, scheduler="puu", sort_key="delta")
+        )
+        assert result.shard_id == spec.shard_id
+        assert pool.degraded          # permanent fallback
+        assert pool.legacy_jobs == 1
+        snap = obs.REGISTRY.snapshot()
+        degraded = snap.counter_values("serve.shm_degraded_total", "reason")
+        assert degraded == {"publish_error": 1}
+
+
+def test_injected_publish_failure_is_transient(tmp_path):
+    """A scheduled publish failure pickles one job, then shm resumes."""
+    specs, engines = _specs_and_states(74)
+    spec, state = specs[0], engines[0].export_state()
+    faults = ServeFaultPlan(
+        seed=0, publish_failures=((spec.shard_id, spec.version),)
+    ).compile(2)
+    with obs.session(), ShardPool(1, faults=faults) as pool:
+        assert pool._store is not None
+        _, state = pool.harvest(
+            pool.submit_epoch(spec, state, scheduler="puu", sort_key="delta")
+        )
+        assert not pool.degraded      # store survives the injected failure
+        assert pool.legacy_jobs == 1
+        pool.harvest(
+            pool.submit_epoch(spec, state, scheduler="puu", sort_key="delta")
+        )
+        assert pool.cache_misses == 1  # shm transport back on the next epoch
+        snap = obs.REGISTRY.snapshot()
+        degraded = snap.counter_values("serve.shm_degraded_total", "reason")
+        assert degraded == {"publish_failure": 1}
+        assert faults.summary() == {"publish_failure": 1}
+
+
+# ------------------------------------------------- degraded transport parity
+def test_degraded_transport_matches_shm_results_and_accounting():
+    """use_shm=False jobs: identical epochs, legacy accounting, fat payloads."""
+    specs, engines = _specs_and_states(75)
+    states = [e.export_state() for e in engines]
+    inline = [
+        ShardEngine.from_state(spec, st, scheduler="puu").run_epoch()
+        for spec, st in zip(specs, states)
+    ]
+    with obs.session():
+        with ShardPool(2, use_shm=False) as pool:
+            outcomes = pool.run_epochs(
+                specs, states, scheduler="puu", sort_key="delta"
+            )
+            # Legacy jobs never touch the spec cache: they are counted as
+            # legacy traffic, not as cache misses (no segment attach).
+            assert pool.cache_hits == 0 and pool.cache_misses == 0
+            assert pool.legacy_jobs == len(specs)
+            assert pool.spec_bytes_shipped == 0
+            payload = pool.payload_bytes
+        snap = obs.REGISTRY.snapshot()
+        assert snap.counter_values("serve.worker_cache_hits") == {}
+        assert snap.counter_values("serve.worker_cache_misses") == {}
+        assert snap.counter_values("serve.legacy_jobs_total") == {
+            (): len(specs)
+        }
+        assert snap.counter_values("serve.epoch_payload_bytes") == {(): payload}
+    for (res, _), ref in zip(outcomes, inline):
+        assert res.shard_id == ref.shard_id
+        assert res.moves == ref.moves
+        assert res.converged == ref.converged
+        assert np.array_equal(res.boundary_users, ref.boundary_users)
+
+
+def test_degraded_session_trajectory_matches_shm_session():
+    game = random_game(
+        np.random.default_rng(76), max_users=16, max_routes=4, max_tasks=18
+    )
+
+    def run(use_shm: bool) -> float:
+        with ServeSession.from_game(
+            game, num_shards=2, scheduler="puu", seed=3, validate=True,
+            processes=2, use_shm=use_shm,
+        ) as sess:
+            sess.run_to_convergence()
+            sess.check_quiescence()
+            assert sess.ok, [str(v) for v in sess.violations]
+            if not use_shm:
+                assert sess._pool is not None and sess._pool.degraded
+            return sess.global_potential()
+
+    assert run(True) == run(False)
+
+
+# ------------------------------------------------ version bump while in flight
+def test_version_bump_unlinks_segment_but_live_mapping_survives():
+    """`ticket_for` retires the stale segment immediately; a worker that
+    already mapped it keeps serving epochs from its cache until eviction
+    (the documented POSIX-unlink invariant)."""
+    spec_v0 = _one_spec(77, version=0)
+    spec_v1 = _one_spec(77, version=1)
+    engine = ShardEngine(
+        spec_v0, scheduler="puu", rng=np.random.default_rng(5)
+    )
+    state = engine.export_state()
+    expected = ShardEngine.from_state(
+        spec_v0, state, scheduler="puu"
+    ).run_epoch()
+    with ShardPool(1) as pool:
+        assert pool._store is not None
+        # Epoch 1 caches the v0 spec (and its mapping) in the one worker.
+        pool.harvest(
+            pool.submit_epoch(spec_v0, state, scheduler="puu", sort_key="delta")
+        )
+        stale_ticket = pool._store._live[spec_v0.shard_id][1]
+        assert stale_ticket.segment in set(os_segments())
+        # Churn bumps the version: the v0 segment is unlinked right away.
+        pool._store.ticket_for(spec_v1)
+        assert stale_ticket.segment not in set(os_segments())
+        # An in-flight epoch still holding the v0 ticket: ship it straight
+        # to the worker, bypassing the store (which has moved on to v1).
+        fut = pool._pool.submit(
+            _run_epoch_job, stale_ticket, state, "puu", "delta", None, False
+        )
+        result, _, _, cache_hit = fut.result()
+        assert cache_hit is True      # served from the surviving mapping
+        assert result.moves == expected.moves
+        assert result.converged == expected.converged
+        # The bump itself evicts on next use: a v1 job misses exactly once.
+        eng1 = ShardEngine(
+            spec_v1, scheduler="puu", rng=np.random.default_rng(6)
+        )
+        pool.harvest(
+            pool.submit_epoch(
+                spec_v1, eng1.export_state(), scheduler="puu", sort_key="delta"
+            )
+        )
+        assert pool.cache_misses == 2  # v0 once + v1 once

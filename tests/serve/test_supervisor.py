@@ -1,0 +1,302 @@
+"""ShardSupervisor: deadlines, retries, quarantine/probe, crash recovery.
+
+Unit-level tests drive a real :class:`ShardPool` under injected
+:class:`~repro.faults.serveplan.ServeFaultPlan` fates and assert that
+every recovery path returns the exact epoch the clean pool would have
+produced (state travels by value, so supervision is trajectory-neutral).
+The session-level suite then asserts the acceptance contract: zero-fault
+supervised sessions are trajectory-identical to unsupervised ones over
+the seeded identity suite.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults.serveplan import (
+    EpochAbandoned,
+    ServeFaultPlan,
+)
+from repro.serve.health import HealthMonitor
+from repro.serve.partition import partition_game
+from repro.serve.session import ServeSession
+from repro.serve.shard import ShardEngine, UserRecord, build_shard_spec
+from repro.serve.supervisor import ShardSupervisor, SupervisorConfig
+from repro.serve.workers import ShardPool
+from tests.helpers import random_game
+
+#: Zero-fault supervised-vs-unsupervised identity sweep width (the same
+#: 34-seed convention as tests/serve/test_identity.py).
+N_SEEDS = int(os.environ.get("REPRO_SUPERVISED_IDENTITY_SEEDS", "34"))
+
+#: Tight test-only supervisor: deadline armed after one observation,
+#: zero backoff so retries don't slow the suite down.
+FAST = SupervisorConfig(
+    deadline_floor=0.05,
+    min_history=1,
+    max_retries=2,
+    backoff_base=0.0,
+    backoff_cap=0.0,
+    probe_every=2,
+)
+
+STALL = 0.25
+
+
+def _one_spec(seed: int):
+    game = random_game(
+        np.random.default_rng(seed), max_users=12, max_routes=4, max_tasks=14
+    )
+    part = partition_game(game, 2)
+    records = [
+        UserRecord(
+            user_id=i, routes=game.route_sets[i], weights=game.user_weights[i]
+        )
+        for i in range(game.num_users)
+    ]
+    by_shard: dict[int, list[UserRecord]] = {}
+    for r in records:
+        s = part.owner_shard(r.covered_tasks(), fallback=r.user_id)
+        by_shard.setdefault(s, []).append(r)
+    shard, recs = sorted(by_shard.items())[0]
+    return build_shard_spec(shard, recs, game.tasks, part, game.platform)
+
+
+def _inline_epoch(spec, state):
+    return ShardEngine.from_state(spec, state, scheduler="puu").run_epoch()
+
+
+def _submit(pool, spec, state):
+    return pool.submit_epoch(spec, state, scheduler="puu", sort_key="delta")
+
+
+# ------------------------------------------------------------------ deadlines
+def test_config_validation():
+    with pytest.raises(Exception):
+        SupervisorConfig(deadline_floor=0.0)
+    with pytest.raises(Exception):
+        SupervisorConfig(probe_every=0)
+    with pytest.raises(Exception):
+        SupervisorConfig(min_history=10, history_cap=5)
+
+
+def test_deadline_needs_history_then_tracks_p95():
+    sup = ShardSupervisor(
+        pool=None,  # deadline logic only
+        config=SupervisorConfig(
+            deadline_floor=0.01, min_history=4, deadline_multiplier=10.0
+        ),
+    )
+    for sec in (0.1, 0.1, 0.1):
+        sup.observe(sec)
+        assert sup.deadline() is None   # history still too thin
+    sup.observe(0.2)
+    # rank = int(0.95 * 3) = 2 → sorted[2] = 0.1 → × multiplier
+    assert sup.deadline() == pytest.approx(0.1 * 10.0)
+    wide = ShardSupervisor(
+        pool=None,
+        config=SupervisorConfig(
+            deadline_floor=0.01, min_history=4, deadline_multiplier=10.0,
+            history_cap=256,
+        ),
+    )
+    for i in range(1, 101):             # 0.01 .. 1.00
+        wide.observe(0.01 * i)
+    # rank = int(0.95 * 99) = 94 → sorted[94] = 0.95 → × multiplier
+    assert wide.deadline() == pytest.approx(9.5)
+    # The floor wins when epochs are fast.
+    fast = ShardSupervisor(
+        pool=None,
+        config=SupervisorConfig(deadline_floor=5.0, min_history=1),
+    )
+    fast.observe(1e-4)
+    assert fast.deadline() == 5.0
+
+
+# ------------------------------------------------------------ failure kinds
+def test_timeout_retry_returns_identical_epoch():
+    spec = _one_spec(80)
+    engine = ShardEngine(spec, scheduler="puu", rng=np.random.default_rng(1))
+    state = engine.export_state()
+    expected = _inline_epoch(spec, state)
+    faults = ServeFaultPlan(
+        seed=0, stalls=((spec.shard_id, 0, STALL),)
+    ).compile(2)
+    with ShardPool(2, faults=faults) as pool:
+        sup = ShardSupervisor(pool, config=FAST)
+        sup.observe(1e-3)               # arm the deadline (floor wins)
+        result, _ = sup.harvest(_submit(pool, spec, state))
+    assert sup.timeouts == 1 and sup.retries == 1
+    assert result.moves == expected.moves
+    assert result.converged == expected.converged
+    assert faults.summary() == {"stall": 1}
+
+
+def test_worker_crash_rebuilds_pool_and_retries():
+    spec = _one_spec(81)
+    engine = ShardEngine(spec, scheduler="puu", rng=np.random.default_rng(2))
+    state = engine.export_state()
+    expected = _inline_epoch(spec, state)
+    faults = ServeFaultPlan(
+        seed=0, worker_kills=((spec.shard_id, 0),)
+    ).compile(2)
+    with ShardPool(2, faults=faults) as pool:
+        sup = ShardSupervisor(pool, config=FAST)
+        result, _ = sup.harvest(_submit(pool, spec, state))
+        assert pool.rebuilds >= 1
+    assert sup.retries >= 1
+    assert result.moves == expected.moves
+
+
+def test_attach_failure_retries_on_legacy_transport():
+    spec = _one_spec(82)
+    engine = ShardEngine(spec, scheduler="puu", rng=np.random.default_rng(3))
+    state = engine.export_state()
+    expected = _inline_epoch(spec, state)
+    faults = ServeFaultPlan(
+        seed=0, attach_failures=((spec.shard_id, 0),)
+    ).compile(2)
+    with ShardPool(2, faults=faults) as pool:
+        sup = ShardSupervisor(pool, config=FAST)
+        result, _ = sup.harvest(_submit(pool, spec, state))
+        assert pool.legacy_jobs == 1    # the retry shipped the full spec
+    assert sup.retries == 1
+    assert result.moves == expected.moves
+
+
+def test_segment_corruption_republishes_and_retries():
+    spec = _one_spec(83)
+    engine = ShardEngine(spec, scheduler="puu", rng=np.random.default_rng(4))
+    state = engine.export_state()
+    expected = _inline_epoch(spec, state)
+    faults = ServeFaultPlan(
+        seed=0, corruptions=((spec.shard_id, 0),)
+    ).compile(2)
+    with ShardPool(2, faults=faults) as pool:
+        sup = ShardSupervisor(pool, config=FAST)
+        result, _ = sup.harvest(_submit(pool, spec, state))
+        assert pool.cache_misses == 1   # the republished segment attached
+    assert sup.retries == 1
+    assert result.moves == expected.moves
+    assert faults.summary() == {"corruption": 1}
+
+
+# ------------------------------------------------------- quarantine lifecycle
+def test_quarantine_then_probe_promotes():
+    spec = _one_spec(84)
+    engine = ShardEngine(spec, scheduler="puu", rng=np.random.default_rng(5))
+    state = engine.export_state()
+    expected = _inline_epoch(spec, state)
+    s = spec.shard_id
+    faults = ServeFaultPlan(
+        seed=0, stalls=((s, 0, STALL), (s, 1, STALL), (s, 2, STALL))
+    ).compile(2)
+    monitor = HealthMonitor()
+    with ShardPool(2, faults=faults) as pool:
+        sup = ShardSupervisor(pool, config=FAST, health=monitor)
+        sup.observe(1e-3)
+        sup.begin_round(1)
+        with pytest.raises(EpochAbandoned):
+            sup.harvest(_submit(pool, spec, state))
+        assert sup.is_quarantined(s)
+        assert sup.quarantines == 1
+        assert [a.kind for a in monitor.alerts] == ["shard_quarantined"]
+        # The inline fallback replays the identical epoch.
+        inline = _inline_epoch(spec, state)
+        assert inline.moves == expected.moves
+        # Not due yet, then due after probe_every rounds.
+        sup.begin_round(2)
+        assert not sup.probe_due(s)
+        sup.begin_round(3)
+        assert sup.probe_due(s)
+        time.sleep(2 * STALL)           # let the stalled workers drain
+        probe = sup.probe_harvest(_submit(pool, spec, state))
+        assert probe is not None
+        result, _ = probe
+        assert result.moves == expected.moves
+    assert not sup.is_quarantined(s)
+    assert sup.promotions == 1
+    assert [a.kind for a in monitor.alerts] == [
+        "shard_quarantined", "shard_promoted",
+    ]
+    assert sup.report()["quarantined_shards"] == []
+
+
+def test_failed_probe_rearms_quarantine():
+    spec = _one_spec(85)
+    engine = ShardEngine(spec, scheduler="puu", rng=np.random.default_rng(6))
+    state = engine.export_state()
+    s = spec.shard_id
+    faults = ServeFaultPlan(
+        seed=0,
+        stalls=tuple((s, n, STALL) for n in range(4)),  # probe stalls too
+    ).compile(2)
+    with ShardPool(2, faults=faults) as pool:
+        sup = ShardSupervisor(pool, config=FAST)
+        sup.observe(1e-3)
+        sup.begin_round(1)
+        with pytest.raises(EpochAbandoned):
+            sup.harvest(_submit(pool, spec, state))
+        sup.begin_round(3)
+        assert sup.probe_due(s)
+        assert sup.probe_harvest(_submit(pool, spec, state)) is None
+        assert sup.is_quarantined(s)
+        assert not sup.probe_due(s)     # clock re-armed by the failed probe
+        sup.begin_round(5)
+        assert sup.probe_due(s)
+        time.sleep(2 * STALL)
+        assert sup.probe_harvest(_submit(pool, spec, state)) is not None
+    assert sup.promotions == 1
+
+
+# ----------------------------------------------- zero-fault trajectory parity
+def _trajectory(game, *, supervise: bool, seed: int):
+    with ServeSession.from_game(
+        game, num_shards=2, scheduler="puu", seed=seed, validate=True,
+        processes=2, supervise=supervise,
+    ) as sess:
+        assert (sess._supervisor is not None) == supervise
+        reports = sess.run_to_convergence(max_rounds=200)
+        sess.check_quiescence()
+        assert sess.ok, [str(v) for v in sess.violations]
+        return (
+            [(r.epoch_moves, r.boundary_moves, r.slots, r.converged)
+             for r in reports],
+            sess.counts.copy(),
+            sess.global_potential(),
+        )
+
+
+def test_supervised_sessions_match_unsupervised_over_seed_suite():
+    """Zero-fault supervision must be invisible: same rounds, same counts,
+    same potential, seed by seed (the 34-seed acceptance sweep)."""
+    rng = np.random.default_rng(2026)
+    for i in range(N_SEEDS):
+        game = random_game(rng, max_users=10, max_routes=4, max_tasks=12)
+        rounds_a, counts_a, pot_a = _trajectory(game, supervise=True, seed=i)
+        rounds_b, counts_b, pot_b = _trajectory(game, supervise=False, seed=i)
+        assert rounds_a == rounds_b, f"seed {i}: round trajectories diverge"
+        assert np.array_equal(counts_a, counts_b), f"seed {i}"
+        assert pot_a == pot_b, f"seed {i}"
+
+
+def test_supervised_session_reports_clean_run():
+    game = random_game(
+        np.random.default_rng(99), max_users=14, max_routes=4, max_tasks=16
+    )
+    with ServeSession.from_game(
+        game, num_shards=2, scheduler="puu", seed=7, processes=2
+    ) as sess:
+        sess.run_to_convergence()
+        report = sess.supervision_report()
+    assert report is not None
+    assert report["timeouts"] == 0
+    assert report["retries"] == 0
+    assert report["quarantines"] == 0
+    assert report["pool_rebuilds"] == 0
+    assert report["quarantined_shards"] == []
+    assert "injected_faults" not in report   # no plan, no injector
